@@ -1,0 +1,529 @@
+//! The LRU block cache.
+
+use std::collections::HashMap;
+
+use crate::key::{BlockKey, Owner};
+use crate::policy::{WritebackPolicy, WritebackTrigger};
+
+#[derive(Debug)]
+struct Slot {
+    data: Box<[u8]>,
+    dirty: bool,
+    /// Virtual time at which the block first became dirty (ns).
+    dirty_since_ns: u64,
+    /// LRU stamp; larger is more recently used.
+    used_tick: u64,
+}
+
+/// Aggregate cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the block cached.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Clean blocks evicted to make room.
+    pub evictions: u64,
+}
+
+/// An LRU block cache with dirty tracking.
+///
+/// The cache never does I/O itself: the owning file system reads misses
+/// from disk and decides when (and in what layout) dirty blocks are written
+/// back. Dirty blocks are never evicted — the capacity bound is enforced
+/// against *clean* blocks, and [`BlockCache::writeback_trigger`] tells the
+/// file system when dirtiness itself demands action.
+#[derive(Debug)]
+pub struct BlockCache {
+    slots: HashMap<BlockKey, Slot>,
+    block_size: usize,
+    capacity_blocks: usize,
+    policy: WritebackPolicy,
+    tick: u64,
+    stats: CacheStats,
+    /// Minimum `dirty_since_ns` over all dirty blocks (u64::MAX when none).
+    oldest_dirty_ns: u64,
+    dirty_count: usize,
+}
+
+impl BlockCache {
+    /// Creates a cache holding up to `capacity_blocks` blocks of
+    /// `block_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(block_size: usize, capacity_blocks: usize, policy: WritebackPolicy) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(capacity_blocks > 0, "capacity must be positive");
+        Self {
+            slots: HashMap::new(),
+            block_size,
+            capacity_blocks,
+            policy,
+            tick: 0,
+            stats: CacheStats::default(),
+            oldest_dirty_ns: u64::MAX,
+            dirty_count: 0,
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity_blocks(&self) -> usize {
+        self.capacity_blocks
+    }
+
+    /// Number of cached blocks (clean + dirty).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns true if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of dirty blocks.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The active write-back policy.
+    pub fn policy(&self) -> WritebackPolicy {
+        self.policy
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a block, counting a hit or miss.
+    pub fn get(&mut self, key: BlockKey) -> Option<&[u8]> {
+        let tick = self.bump();
+        match self.slots.get_mut(&key) {
+            Some(slot) => {
+                slot.used_tick = tick;
+                self.stats.hits += 1;
+                Some(&slot.data)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns true if the block is cached, without touching LRU or stats.
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// Returns true if the block is cached and dirty.
+    pub fn is_dirty(&self, key: BlockKey) -> bool {
+        self.slots.get(&key).is_some_and(|s| s.dirty)
+    }
+
+    /// Looks up a block for modification, marking it dirty.
+    pub fn get_mut(&mut self, key: BlockKey, now_ns: u64) -> Option<&mut [u8]> {
+        let tick = self.bump();
+        match self.slots.get_mut(&key) {
+            Some(slot) => {
+                slot.used_tick = tick;
+                if !slot.dirty {
+                    slot.dirty = true;
+                    slot.dirty_since_ns = now_ns;
+                    self.dirty_count += 1;
+                    self.oldest_dirty_ns = self.oldest_dirty_ns.min(now_ns);
+                }
+                self.stats.hits += 1;
+                Some(&mut slot.data)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert_slot(&mut self, key: BlockKey, data: Box<[u8]>, dirty: bool, now_ns: u64) {
+        assert_eq!(data.len(), self.block_size, "cached block has wrong size");
+        self.evict_for_insert();
+        let tick = self.bump();
+        let old = self.slots.insert(
+            key,
+            Slot {
+                data,
+                dirty,
+                dirty_since_ns: if dirty { now_ns } else { u64::MAX },
+                used_tick: tick,
+            },
+        );
+        if let Some(old) = old {
+            if old.dirty {
+                self.dirty_count -= 1;
+            }
+        }
+        if dirty {
+            self.dirty_count += 1;
+            self.oldest_dirty_ns = self.oldest_dirty_ns.min(now_ns);
+        }
+    }
+
+    /// Inserts a block read from disk (clean).
+    pub fn insert_clean(&mut self, key: BlockKey, data: Box<[u8]>) {
+        self.insert_slot(key, data, false, 0);
+    }
+
+    /// Inserts a freshly written block (dirty as of `now_ns`).
+    pub fn insert_dirty(&mut self, key: BlockKey, data: Box<[u8]>, now_ns: u64) {
+        self.insert_slot(key, data, true, now_ns);
+    }
+
+    /// Evicts least-recently-used *clean* blocks until below capacity.
+    fn evict_for_insert(&mut self) {
+        while self.slots.len() >= self.capacity_blocks {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(_, slot)| !slot.dirty)
+                .min_by_key(|(_, slot)| slot.used_tick)
+                .map(|(&key, _)| key);
+            match victim {
+                Some(key) => {
+                    self.slots.remove(&key);
+                    self.stats.evictions += 1;
+                }
+                // Everything is dirty: allow the cache to overflow. The
+                // CacheFull trigger tells the FS to write back.
+                None => break,
+            }
+        }
+    }
+
+    /// Marks a block clean after it has been written to disk.
+    ///
+    /// No-op if the block is absent or already clean.
+    pub fn mark_clean(&mut self, key: BlockKey) {
+        if let Some(slot) = self.slots.get_mut(&key) {
+            if slot.dirty {
+                slot.dirty = false;
+                slot.dirty_since_ns = u64::MAX;
+                self.dirty_count -= 1;
+                if self.dirty_count == 0 {
+                    self.oldest_dirty_ns = u64::MAX;
+                }
+            }
+        }
+    }
+
+    /// Removes a block entirely (e.g. the file was deleted). Returns true
+    /// if it was present.
+    pub fn remove(&mut self, key: BlockKey) -> bool {
+        match self.slots.remove(&key) {
+            Some(slot) => {
+                if slot.dirty {
+                    self.dirty_count -= 1;
+                    if self.dirty_count == 0 {
+                        self.oldest_dirty_ns = u64::MAX;
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every block belonging to `owner` (deleted file). Dirty
+    /// blocks are discarded too — their data is dead.
+    pub fn remove_owner(&mut self, owner: Owner) {
+        let keys: Vec<BlockKey> = self
+            .slots
+            .keys()
+            .filter(|k| k.owner == owner)
+            .copied()
+            .collect();
+        for key in keys {
+            self.remove(key);
+        }
+    }
+
+    /// Removes keys of `owner` with `index >= first_index` (truncation).
+    pub fn remove_owner_from(&mut self, owner: Owner, first_index: u64) {
+        let keys: Vec<BlockKey> = self
+            .slots
+            .keys()
+            .filter(|k| k.owner == owner && k.index >= first_index)
+            .copied()
+            .collect();
+        for key in keys {
+            self.remove(key);
+        }
+    }
+
+    /// Removes keys of `owner` with `lo <= index < hi` (e.g. purging
+    /// address-keyed metadata blocks when a disk region is reused).
+    pub fn remove_owner_index_range(&mut self, owner: Owner, lo: u64, hi: u64) {
+        let keys: Vec<BlockKey> = self
+            .slots
+            .keys()
+            .filter(|k| k.owner == owner && k.index >= lo && k.index < hi)
+            .copied()
+            .collect();
+        for key in keys {
+            self.remove(key);
+        }
+    }
+
+    /// Drops all clean blocks (the benchmark "flush the file cache" step).
+    pub fn drop_clean(&mut self) {
+        self.slots.retain(|_, slot| slot.dirty);
+    }
+
+    /// Returns the keys of all dirty blocks, sorted for deterministic
+    /// write-back order (by owner, then index).
+    pub fn dirty_keys(&self) -> Vec<BlockKey> {
+        let mut keys: Vec<BlockKey> = self
+            .slots
+            .iter()
+            .filter(|(_, slot)| slot.dirty)
+            .map(|(&key, _)| key)
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Returns dirty keys of a single owner, sorted by index.
+    pub fn dirty_keys_of(&self, owner: Owner) -> Vec<BlockKey> {
+        let mut keys: Vec<BlockKey> = self
+            .slots
+            .iter()
+            .filter(|(key, slot)| slot.dirty && key.owner == owner)
+            .map(|(&key, _)| key)
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Returns dirty keys whose dirty age exceeds the policy threshold.
+    pub fn dirty_keys_older_than(&self, now_ns: u64) -> Vec<BlockKey> {
+        let cutoff = now_ns.saturating_sub(self.policy.age_threshold_ns);
+        let mut keys: Vec<BlockKey> = self
+            .slots
+            .iter()
+            .filter(|(_, slot)| slot.dirty && slot.dirty_since_ns <= cutoff)
+            .map(|(&key, _)| key)
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Checks whether the file system should start a write-back now.
+    pub fn writeback_trigger(&self, now_ns: u64) -> Option<WritebackTrigger> {
+        let high_water = (self.capacity_blocks as f64 * self.policy.dirty_high_water) as usize;
+        if self.dirty_count >= high_water.max(1) {
+            return Some(WritebackTrigger::CacheFull);
+        }
+        if self.oldest_dirty_ns != u64::MAX
+            && now_ns.saturating_sub(self.oldest_dirty_ns) >= self.policy.age_threshold_ns
+        {
+            return Some(WritebackTrigger::AgeThreshold);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::Ino;
+
+    const BS: usize = 64;
+
+    fn cache(capacity: usize) -> BlockCache {
+        BlockCache::new(BS, capacity, WritebackPolicy::paper())
+    }
+
+    fn block(fill: u8) -> Box<[u8]> {
+        vec![fill; BS].into_boxed_slice()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut c = cache(4);
+        let key = BlockKey::file(Ino(1), 0);
+        c.insert_clean(key, block(7));
+        assert_eq!(c.get(key).unwrap()[0], 7);
+        assert_eq!(c.stats().hits, 1);
+        assert!(c.get(BlockKey::file(Ino(1), 1)).is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn rejects_misssized_blocks() {
+        let mut c = cache(4);
+        c.insert_clean(
+            BlockKey::file(Ino(1), 0),
+            vec![0; BS + 1].into_boxed_slice(),
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_clean() {
+        let mut c = cache(2);
+        let a = BlockKey::file(Ino(1), 0);
+        let b = BlockKey::file(Ino(1), 1);
+        let d = BlockKey::file(Ino(1), 2);
+        c.insert_clean(a, block(1));
+        c.insert_clean(b, block(2));
+        // Touch `a` so `b` is least recently used.
+        c.get(a);
+        c.insert_clean(d, block(3));
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_blocks_are_never_evicted() {
+        let mut c = cache(2);
+        let a = BlockKey::file(Ino(1), 0);
+        let b = BlockKey::file(Ino(1), 1);
+        c.insert_dirty(a, block(1), 100);
+        c.insert_dirty(b, block(2), 200);
+        // Cache is at capacity with only dirty blocks; inserting overflows
+        // rather than dropping dirty data.
+        c.insert_clean(BlockKey::file(Ino(1), 2), block(3));
+        assert!(c.contains(a) && c.contains(b));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn get_mut_marks_dirty_once() {
+        let mut c = cache(4);
+        let key = BlockKey::file(Ino(1), 0);
+        c.insert_clean(key, block(0));
+        assert_eq!(c.dirty_count(), 0);
+        c.get_mut(key, 500).unwrap()[0] = 9;
+        assert_eq!(c.dirty_count(), 1);
+        // A second modification does not double-count.
+        c.get_mut(key, 900).unwrap()[1] = 9;
+        assert_eq!(c.dirty_count(), 1);
+        assert!(c.is_dirty(key));
+    }
+
+    #[test]
+    fn mark_clean_clears_dirty_state() {
+        let mut c = cache(4);
+        let key = BlockKey::file(Ino(1), 0);
+        c.insert_dirty(key, block(1), 100);
+        c.mark_clean(key);
+        assert_eq!(c.dirty_count(), 0);
+        assert!(!c.is_dirty(key));
+        assert_eq!(c.writeback_trigger(u64::MAX), None);
+    }
+
+    #[test]
+    fn writeback_triggers_on_age() {
+        let mut c = BlockCache::new(BS, 100, WritebackPolicy::paper().with_age_secs(30.0));
+        let key = BlockKey::file(Ino(1), 0);
+        c.insert_dirty(key, block(1), 1_000);
+        assert_eq!(c.writeback_trigger(1_000), None);
+        assert_eq!(
+            c.writeback_trigger(1_000 + 30_000_000_000),
+            Some(WritebackTrigger::AgeThreshold)
+        );
+    }
+
+    #[test]
+    fn writeback_triggers_on_pressure() {
+        let mut c = cache(4); // High water at 3 dirty blocks.
+        for i in 0..3 {
+            c.insert_dirty(BlockKey::file(Ino(1), i), block(i as u8), 0);
+        }
+        assert_eq!(c.writeback_trigger(0), Some(WritebackTrigger::CacheFull));
+    }
+
+    #[test]
+    fn dirty_keys_are_sorted_and_filtered() {
+        let mut c = cache(10);
+        c.insert_dirty(BlockKey::file(Ino(2), 1), block(0), 0);
+        c.insert_dirty(BlockKey::file(Ino(1), 5), block(0), 0);
+        c.insert_dirty(BlockKey::file(Ino(1), 2), block(0), 0);
+        c.insert_clean(BlockKey::file(Ino(3), 0), block(0));
+        let keys = c.dirty_keys();
+        assert_eq!(
+            keys,
+            vec![
+                BlockKey::file(Ino(1), 2),
+                BlockKey::file(Ino(1), 5),
+                BlockKey::file(Ino(2), 1),
+            ]
+        );
+        assert_eq!(c.dirty_keys_of(Owner::File(Ino(1))).len(), 2);
+    }
+
+    #[test]
+    fn dirty_keys_older_than_uses_threshold() {
+        let mut c = BlockCache::new(BS, 100, WritebackPolicy::paper().with_age_secs(1.0));
+        c.insert_dirty(BlockKey::file(Ino(1), 0), block(0), 0);
+        c.insert_dirty(BlockKey::file(Ino(1), 1), block(0), 2_000_000_000);
+        let old = c.dirty_keys_older_than(2_500_000_000);
+        assert_eq!(old, vec![BlockKey::file(Ino(1), 0)]);
+    }
+
+    #[test]
+    fn remove_owner_discards_all_blocks() {
+        let mut c = cache(10);
+        c.insert_dirty(BlockKey::file(Ino(1), 0), block(0), 0);
+        c.insert_dirty(BlockKey::file(Ino(1), 7), block(0), 0);
+        c.insert_clean(BlockKey::file(Ino(2), 0), block(0));
+        c.remove_owner(Owner::File(Ino(1)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn remove_owner_from_truncates() {
+        let mut c = cache(10);
+        for i in 0..5 {
+            c.insert_clean(BlockKey::file(Ino(1), i), block(0));
+        }
+        c.remove_owner_from(Owner::File(Ino(1)), 2);
+        assert!(c.contains(BlockKey::file(Ino(1), 1)));
+        assert!(!c.contains(BlockKey::file(Ino(1), 2)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn drop_clean_keeps_dirty() {
+        let mut c = cache(10);
+        c.insert_clean(BlockKey::file(Ino(1), 0), block(0));
+        c.insert_dirty(BlockKey::file(Ino(1), 1), block(0), 0);
+        c.drop_clean();
+        assert_eq!(c.len(), 1);
+        assert!(c.is_dirty(BlockKey::file(Ino(1), 1)));
+    }
+
+    #[test]
+    fn oldest_dirty_resets_when_all_clean() {
+        let mut c = cache(10);
+        let key = BlockKey::file(Ino(1), 0);
+        c.insert_dirty(key, block(0), 100);
+        c.remove(key);
+        // No dirty blocks: age trigger must not fire even at huge times.
+        assert_eq!(c.writeback_trigger(u64::MAX), None);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! The file cache both storage managers are built on.
+//!
+//! §4.1 of the paper: "Because all writes are asynchronous, LFS uses the
+//! file cache as a write buffer that accumulates changes to the file system
+//! and performs speed matching between the CPU and disk subsystem." The
+//! same cache fronts the FFS baseline (SunOS had an equivalent), so the two
+//! file systems differ only in *what they do at write-back time*.
+//!
+//! The cache is an LRU map from [`BlockKey`] to a block-sized buffer with a
+//! dirty bit. Write-back is *initiated by the owning file system* when one
+//! of the §4.3.5 triggers fires:
+//!
+//! * **Cache full** — too many dirty blocks relative to capacity.
+//! * **Cache write-back** — some dirty block is older than the age
+//!   threshold (30 seconds in the paper's implementation).
+//! * **Sync request** — an explicit `sync`/`fsync` (driven by the FS, not
+//!   by this crate).
+//!
+//! # Examples
+//!
+//! ```
+//! use block_cache::{BlockCache, BlockKey, WritebackPolicy, WritebackTrigger};
+//! use vfs::Ino;
+//!
+//! let mut cache = BlockCache::new(4096, 64, WritebackPolicy::paper());
+//! let key = BlockKey::file(Ino(5), 0);
+//! cache.insert_dirty(key, vec![0u8; 4096].into_boxed_slice(), 0);
+//! assert_eq!(cache.dirty_count(), 1);
+//!
+//! // Thirty-one virtual seconds later, the age trigger fires.
+//! assert_eq!(
+//!     cache.writeback_trigger(31_000_000_000),
+//!     Some(WritebackTrigger::AgeThreshold)
+//! );
+//! // The file system writes the block out and marks it clean.
+//! cache.mark_clean(key);
+//! assert_eq!(cache.writeback_trigger(31_000_000_000), None);
+//! ```
+
+pub mod cache;
+pub mod key;
+pub mod policy;
+
+pub use cache::{BlockCache, CacheStats};
+pub use key::{BlockKey, Owner};
+pub use policy::{WritebackPolicy, WritebackTrigger};

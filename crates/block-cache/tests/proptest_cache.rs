@@ -1,0 +1,177 @@
+//! Property tests for the block cache: agreement with a naive reference
+//! model, and the invariants write-back correctness depends on.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use block_cache::{BlockCache, BlockKey, Owner, WritebackPolicy};
+use vfs::Ino;
+
+#[derive(Debug, Clone)]
+enum Op {
+    InsertClean {
+        ino: u8,
+        index: u8,
+        fill: u8,
+    },
+    InsertDirty {
+        ino: u8,
+        index: u8,
+        fill: u8,
+        at: u32,
+    },
+    GetMut {
+        ino: u8,
+        index: u8,
+        at: u32,
+    },
+    MarkClean {
+        ino: u8,
+        index: u8,
+    },
+    Remove {
+        ino: u8,
+        index: u8,
+    },
+    RemoveOwner {
+        ino: u8,
+    },
+    DropClean,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..5, 0u8..12, any::<u8>()).prop_map(|(ino, index, fill)| Op::InsertClean {
+            ino,
+            index,
+            fill
+        }),
+        (1u8..5, 0u8..12, any::<u8>(), any::<u32>()).prop_map(|(ino, index, fill, at)| {
+            Op::InsertDirty {
+                ino,
+                index,
+                fill,
+                at,
+            }
+        }),
+        (1u8..5, 0u8..12, any::<u32>()).prop_map(|(ino, index, at)| Op::GetMut { ino, index, at }),
+        (1u8..5, 0u8..12).prop_map(|(ino, index)| Op::MarkClean { ino, index }),
+        (1u8..5, 0u8..12).prop_map(|(ino, index)| Op::Remove { ino, index }),
+        (1u8..5).prop_map(|ino| Op::RemoveOwner { ino }),
+        Just(Op::DropClean),
+    ]
+}
+
+const BS: usize = 32;
+
+fn key(ino: u8, index: u8) -> BlockKey {
+    BlockKey::file(Ino(ino as u32), index as u64)
+}
+
+proptest! {
+    /// The cache must agree with a reference map on membership, dirtiness
+    /// and contents of every *dirty* block (clean blocks may be evicted).
+    #[test]
+    fn agrees_with_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut cache = BlockCache::new(BS, 16, WritebackPolicy::paper());
+        // Reference: key -> (data, dirty).
+        let mut reference: HashMap<BlockKey, (Vec<u8>, bool)> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::InsertClean { ino, index, fill } => {
+                    cache.insert_clean(key(ino, index), vec![fill; BS].into_boxed_slice());
+                    reference.insert(key(ino, index), (vec![fill; BS], false));
+                }
+                Op::InsertDirty { ino, index, fill, at } => {
+                    cache.insert_dirty(key(ino, index), vec![fill; BS].into_boxed_slice(), at as u64);
+                    reference.insert(key(ino, index), (vec![fill; BS], true));
+                }
+                Op::GetMut { ino, index, at } => {
+                    let in_cache = cache.get_mut(key(ino, index), at as u64).is_some();
+                    if let Some((_, dirty)) = reference.get_mut(&key(ino, index)) {
+                        // A reference entry may have been evicted if clean.
+                        if in_cache {
+                            *dirty = true;
+                        } else {
+                            reference.remove(&key(ino, index));
+                        }
+                    }
+                }
+                Op::MarkClean { ino, index } => {
+                    cache.mark_clean(key(ino, index));
+                    if let Some((_, dirty)) = reference.get_mut(&key(ino, index)) {
+                        *dirty = false;
+                    }
+                }
+                Op::Remove { ino, index } => {
+                    cache.remove(key(ino, index));
+                    reference.remove(&key(ino, index));
+                }
+                Op::RemoveOwner { ino } => {
+                    cache.remove_owner(Owner::File(Ino(ino as u32)));
+                    reference.retain(|k, _| k.owner != Owner::File(Ino(ino as u32)));
+                }
+                Op::DropClean => {
+                    cache.drop_clean();
+                    reference.retain(|_, (_, dirty)| *dirty);
+                }
+            }
+
+            // Invariant: every dirty reference block is present with the
+            // right contents (dirty blocks are never evicted).
+            for (k, (data, dirty)) in &reference {
+                if *dirty {
+                    prop_assert!(cache.is_dirty(*k), "dirty {k:?} missing");
+                    prop_assert_eq!(
+                        cache.get(*k).unwrap(), &data[..],
+                        "dirty {:?} has wrong contents", k
+                    );
+                }
+            }
+            // Invariant: the cache never claims dirtiness the model lost.
+            let model_dirty = reference.values().filter(|(_, d)| *d).count();
+            prop_assert_eq!(cache.dirty_count(), model_dirty);
+            // Invariant: dirty_keys is sorted and matches the model.
+            let keys = cache.dirty_keys();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            prop_assert_eq!(&keys, &sorted);
+            prop_assert_eq!(keys.len(), model_dirty);
+        }
+    }
+
+    /// Capacity is respected whenever enough clean blocks exist to evict.
+    #[test]
+    fn capacity_bounds_clean_blocks(inserts in 1usize..200) {
+        let mut cache = BlockCache::new(BS, 16, WritebackPolicy::paper());
+        for i in 0..inserts {
+            cache.insert_clean(
+                BlockKey::file(Ino(1), i as u64),
+                vec![0u8; BS].into_boxed_slice(),
+            );
+        }
+        prop_assert!(cache.len() <= 16);
+    }
+
+    /// An all-dirty cache overflows rather than dropping data.
+    #[test]
+    fn dirty_overflow_preserves_all(inserts in 17usize..64) {
+        let mut cache = BlockCache::new(BS, 16, WritebackPolicy::paper());
+        for i in 0..inserts {
+            cache.insert_dirty(
+                BlockKey::file(Ino(1), i as u64),
+                vec![i as u8; BS].into_boxed_slice(),
+                0,
+            );
+        }
+        prop_assert_eq!(cache.len(), inserts);
+        for i in 0..inserts {
+            prop_assert_eq!(
+                cache.get(BlockKey::file(Ino(1), i as u64)).unwrap()[0],
+                i as u8
+            );
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! In-memory bitmap allocators for inodes and data blocks.
+//!
+//! The bitmaps live in memory while mounted; the dirty ones are written
+//! back to their cylinder group's bitmap block with the delayed writes.
+//! Allocation policy follows FFS: inodes go in their parent directory's
+//! group when possible, and data blocks are placed near the previous
+//! block of the same file, falling back to a rotor scan over all groups.
+
+use vfs::{FsError, FsResult};
+
+use crate::layout::{FfsAddr, FfsSuperblock};
+
+/// Bitmap state for all cylinder groups.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    sb: FfsSuperblock,
+    /// One bool per inode (true = allocated).
+    inode_map: Vec<bool>,
+    /// One bool per block of every cg (true = allocated). Metadata blocks
+    /// are pre-marked.
+    block_map: Vec<bool>,
+    /// Per-cg dirty flags (bitmap block needs rewriting).
+    dirty: Vec<bool>,
+    /// Rotor for block allocation fallback.
+    next_cg: u32,
+    free_blocks: u64,
+    free_inodes: u64,
+}
+
+impl Allocator {
+    /// Creates a fresh allocator with all data blocks and inodes free.
+    pub fn new(sb: FfsSuperblock) -> Self {
+        let nblocks = (sb.ncg * sb.cg_blocks) as usize;
+        let mut block_map = vec![false; nblocks];
+        // Pre-mark each group's metadata region.
+        let meta = 1 + sb.it_blocks();
+        for cg in 0..sb.ncg {
+            let base = (cg * sb.cg_blocks) as usize;
+            for b in 0..meta as usize {
+                block_map[base + b] = true;
+            }
+        }
+        let free_blocks = (sb.ncg * sb.data_blocks_per_cg()) as u64;
+        let free_inodes = sb.max_inodes() as u64;
+        let ncg = sb.ncg as usize;
+        let max_inodes = sb.max_inodes() as usize;
+        Self {
+            sb,
+            inode_map: vec![false; max_inodes],
+            block_map,
+            dirty: vec![false; ncg],
+            next_cg: 0,
+            free_blocks,
+            free_inodes,
+        }
+    }
+
+    /// Free data blocks remaining.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
+
+    /// Free inodes remaining.
+    pub fn free_inodes(&self) -> u64 {
+        self.free_inodes
+    }
+
+    fn block_index(&self, addr: FfsAddr) -> usize {
+        (addr - 1) as usize
+    }
+
+    fn addr_of_index(&self, index: usize) -> FfsAddr {
+        index as u32 + 1
+    }
+
+    /// Returns true if the data block at `addr` is allocated.
+    pub fn is_block_allocated(&self, addr: FfsAddr) -> bool {
+        self.block_map[self.block_index(addr)]
+    }
+
+    /// Returns true if `ino`'s bitmap bit is set.
+    pub fn is_inode_allocated(&self, ino: vfs::Ino) -> bool {
+        ino.is_valid()
+            && self
+                .inode_map
+                .get(ino.0 as usize - 1)
+                .copied()
+                .unwrap_or(false)
+    }
+
+    /// Allocates an inode, preferring cylinder group `prefer_cg`.
+    pub fn alloc_inode(&mut self, prefer_cg: u32) -> FsResult<vfs::Ino> {
+        let ncg = self.sb.ncg;
+        for probe in 0..ncg {
+            let cg = (prefer_cg + probe) % ncg;
+            let start = (cg * self.sb.inodes_per_cg) as usize;
+            let end = start + self.sb.inodes_per_cg as usize;
+            for index in start..end {
+                if !self.inode_map[index] {
+                    self.inode_map[index] = true;
+                    self.dirty[cg as usize] = true;
+                    self.free_inodes -= 1;
+                    return Ok(vfs::Ino(index as u32 + 1));
+                }
+            }
+        }
+        Err(FsError::NoInodes)
+    }
+
+    /// Frees an inode.
+    pub fn free_inode(&mut self, ino: vfs::Ino) -> FsResult<()> {
+        let index = ino.0 as usize - 1;
+        if !self.inode_map[index] {
+            return Err(FsError::Corrupt("double free of FFS inode"));
+        }
+        self.inode_map[index] = false;
+        let (cg, _) = self.sb.ino_location(ino)?;
+        self.dirty[cg as usize] = true;
+        self.free_inodes += 1;
+        Ok(())
+    }
+
+    /// Allocates a data block. `hint` (the previous block of the same
+    /// file, or the inode's group) steers locality: the block after the
+    /// hint is tried first, which lays files out contiguously.
+    pub fn alloc_block(&mut self, hint: Option<FfsAddr>) -> FsResult<FfsAddr> {
+        // Sequential next: the block right after the hint.
+        if let Some(prev) = hint {
+            let next = prev + 1;
+            if self.sb.is_data_block(next) && !self.is_block_allocated(next) {
+                return Ok(self.take(next));
+            }
+            // Any free block in the hint's group.
+            if let Some(cg) = self.sb.cg_of_block(prev) {
+                if let Some(addr) = self.scan_cg(cg) {
+                    return Ok(self.take(addr));
+                }
+            }
+        }
+        // Rotor over all groups.
+        let ncg = self.sb.ncg;
+        for probe in 0..ncg {
+            let cg = (self.next_cg + probe) % ncg;
+            if let Some(addr) = self.scan_cg(cg) {
+                self.next_cg = cg;
+                return Ok(self.take(addr));
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn scan_cg(&self, cg: u32) -> Option<FfsAddr> {
+        let start = self.block_index(self.sb.data_start(cg));
+        let end = self.block_index(self.sb.cg_base(cg) + self.sb.cg_blocks - 1) + 1;
+        (start..end)
+            .find(|&i| !self.block_map[i])
+            .map(|i| self.addr_of_index(i))
+    }
+
+    fn take(&mut self, addr: FfsAddr) -> FfsAddr {
+        let index = self.block_index(addr);
+        debug_assert!(!self.block_map[index]);
+        self.block_map[index] = true;
+        if let Some(cg) = self.sb.cg_of_block(addr) {
+            self.dirty[cg as usize] = true;
+        }
+        self.free_blocks -= 1;
+        addr
+    }
+
+    /// Forcibly marks an inode allocated (fsck bitmap reconstruction).
+    pub fn force_inode(&mut self, ino: vfs::Ino) {
+        let index = ino.0 as usize - 1;
+        if !self.inode_map[index] {
+            self.inode_map[index] = true;
+            self.free_inodes -= 1;
+            if let Ok((cg, _)) = self.sb.ino_location(ino) {
+                self.dirty[cg as usize] = true;
+            }
+        }
+    }
+
+    /// Forcibly marks a block allocated (fsck bitmap reconstruction).
+    pub fn force_block(&mut self, addr: FfsAddr) {
+        if self.sb.is_data_block(addr) && !self.is_block_allocated(addr) {
+            self.take(addr);
+        }
+    }
+
+    /// Frees a data block.
+    pub fn free_block(&mut self, addr: FfsAddr) -> FsResult<()> {
+        if !self.sb.is_data_block(addr) {
+            return Err(FsError::Corrupt("freeing a non-data block"));
+        }
+        let index = self.block_index(addr);
+        if !self.block_map[index] {
+            return Err(FsError::Corrupt("double free of FFS block"));
+        }
+        self.block_map[index] = false;
+        if let Some(cg) = self.sb.cg_of_block(addr) {
+            self.dirty[cg as usize] = true;
+        }
+        self.free_blocks += 1;
+        Ok(())
+    }
+
+    /// Cylinder groups whose bitmap block needs writing.
+    pub fn dirty_groups(&self) -> Vec<u32> {
+        (0..self.dirty.len() as u32)
+            .filter(|&cg| self.dirty[cg as usize])
+            .collect()
+    }
+
+    /// Marks a group's bitmap clean (after write-back).
+    pub fn mark_clean(&mut self, cg: u32) {
+        self.dirty[cg as usize] = false;
+    }
+
+    /// Serialises one group's bitmaps into a bitmap block.
+    pub fn encode_bitmap_block(&self, cg: u32, block_size: usize) -> Vec<u8> {
+        let mut block = vec![0u8; block_size];
+        let ipc = self.sb.inodes_per_cg as usize;
+        let istart = (cg as usize) * ipc;
+        for (i, &bit) in self.inode_map[istart..istart + ipc].iter().enumerate() {
+            if bit {
+                block[i / 8] |= 1 << (i % 8);
+            }
+        }
+        let boff = ipc.div_ceil(8);
+        let cgb = self.sb.cg_blocks as usize;
+        let bstart = (cg as usize) * cgb;
+        for (i, &bit) in self.block_map[bstart..bstart + cgb].iter().enumerate() {
+            if bit {
+                block[boff + i / 8] |= 1 << (i % 8);
+            }
+        }
+        block
+    }
+
+    /// Loads one group's bitmaps from its bitmap block.
+    pub fn load_bitmap_block(&mut self, cg: u32, block: &[u8]) {
+        let ipc = self.sb.inodes_per_cg as usize;
+        let istart = (cg as usize) * ipc;
+        for i in 0..ipc {
+            let bit = block[i / 8] & (1 << (i % 8)) != 0;
+            let was = self.inode_map[istart + i];
+            if was != bit {
+                self.inode_map[istart + i] = bit;
+                if bit {
+                    self.free_inodes -= 1;
+                } else {
+                    self.free_inodes += 1;
+                }
+            }
+        }
+        let boff = ipc.div_ceil(8);
+        let cgb = self.sb.cg_blocks as usize;
+        let bstart = (cg as usize) * cgb;
+        for i in 0..cgb {
+            let bit = block[boff + i / 8] & (1 << (i % 8)) != 0;
+            let was = self.block_map[bstart + i];
+            if was != bit {
+                self.block_map[bstart + i] = bit;
+                let addr = self.addr_of_index(bstart + i);
+                if self.sb.is_data_block(addr) {
+                    if bit {
+                        self.free_blocks -= 1;
+                    } else {
+                        self.free_blocks += 1;
+                    }
+                }
+            }
+        }
+        self.dirty[cg as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FfsConfig;
+    use vfs::Ino;
+
+    fn alloc() -> Allocator {
+        let sb = FfsSuperblock::derive(&FfsConfig::small_test(), 4 * 1024 * 1024).unwrap();
+        Allocator::new(sb)
+    }
+
+    #[test]
+    fn inode_allocation_prefers_group() {
+        let mut a = alloc();
+        let ino = a.alloc_inode(1).unwrap();
+        // Group 1 starts at inode 65 (64 inodes per group).
+        assert_eq!(ino, Ino(65));
+        assert!(a.is_inode_allocated(ino));
+        a.free_inode(ino).unwrap();
+        assert!(!a.is_inode_allocated(ino));
+    }
+
+    #[test]
+    fn inode_exhaustion_and_double_free() {
+        let mut a = alloc();
+        let total = a.free_inodes();
+        for _ in 0..total {
+            a.alloc_inode(0).unwrap();
+        }
+        assert_eq!(a.alloc_inode(0), Err(FsError::NoInodes));
+        let ino = Ino(1);
+        a.free_inode(ino).unwrap();
+        assert!(a.free_inode(ino).is_err());
+    }
+
+    #[test]
+    fn block_allocation_is_sequential_with_hint() {
+        let mut a = alloc();
+        let first = a.alloc_block(None).unwrap();
+        let second = a.alloc_block(Some(first)).unwrap();
+        assert_eq!(second, first + 1, "hint should give the next block");
+        let third = a.alloc_block(Some(second)).unwrap();
+        assert_eq!(third, second + 1);
+    }
+
+    #[test]
+    fn block_free_and_reuse() {
+        let mut a = alloc();
+        let addr = a.alloc_block(None).unwrap();
+        let before = a.free_blocks();
+        a.free_block(addr).unwrap();
+        assert_eq!(a.free_blocks(), before + 1);
+        assert!(a.free_block(addr).is_err(), "double free detected");
+        // Freeing metadata is rejected.
+        assert!(a.free_block(0).is_err());
+    }
+
+    #[test]
+    fn metadata_blocks_are_premarked() {
+        let a = alloc();
+        let sb = a.sb.clone();
+        assert!(a.is_block_allocated(sb.bitmap_block(0)));
+        assert!(a.is_block_allocated(sb.cg_base(0) + 1));
+        assert!(!a.is_block_allocated(sb.data_start(0)));
+    }
+
+    #[test]
+    fn bitmap_blocks_round_trip() {
+        let mut a = alloc();
+        let ino = a.alloc_inode(0).unwrap();
+        let blk = a.alloc_block(None).unwrap();
+        let encoded = a.encode_bitmap_block(0, 512);
+
+        let mut fresh = alloc();
+        fresh.load_bitmap_block(0, &encoded);
+        assert!(fresh.is_inode_allocated(ino));
+        assert!(fresh.is_block_allocated(blk));
+        assert_eq!(fresh.free_blocks(), a.free_blocks());
+        assert_eq!(fresh.free_inodes(), a.free_inodes());
+        assert!(fresh.dirty_groups().is_empty());
+    }
+
+    #[test]
+    fn dirty_group_tracking() {
+        let mut a = alloc();
+        assert!(a.dirty_groups().is_empty());
+        a.alloc_block(None).unwrap();
+        assert_eq!(a.dirty_groups(), vec![0]);
+        a.mark_clean(0);
+        assert!(a.dirty_groups().is_empty());
+    }
+}

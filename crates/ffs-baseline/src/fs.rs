@@ -1,0 +1,452 @@
+//! The mounted FFS volume: state, metadata I/O, and delayed write-back.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use block_cache::{BlockCache, BlockKey, Owner};
+use sim_disk::{BlockDevice, Clock, CpuCost, CpuModel};
+use vfs::{FileKind, FsError, FsResult, Ino};
+
+use crate::alloc::Allocator;
+use crate::config::FfsConfig;
+use crate::layout::{FfsAddr, FfsInode, FfsSuperblock, INODE_SIZE, NIL};
+
+/// Metadata cache namespace: inode-table and bitmap blocks, by address.
+pub(crate) const NS_META: u32 = 1;
+
+/// Cache-owner index of a file's single-indirect block.
+pub(crate) const IDX_SINGLE: u64 = 1 << 40;
+/// Cache-owner index of a file's double-indirect top block.
+pub(crate) const IDX_DTOP: u64 = (1 << 40) + 1;
+/// Base cache-owner index of second-level indirect blocks.
+pub(crate) const IDX_DCHILD_BASE: u64 = 1 << 41;
+
+/// Cache index of double-indirect child `outer`.
+pub(crate) fn idx_dchild(outer: u32) -> u64 {
+    IDX_DCHILD_BASE + outer as u64
+}
+
+/// Returns true if a file-owner cache index denotes a data block.
+pub(crate) fn is_data_idx(idx: u64) -> bool {
+    idx < IDX_SINGLE
+}
+
+/// An in-memory inode with its dirty flag.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedInode {
+    pub inode: FfsInode,
+    pub dirty: bool,
+}
+
+/// Operational counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FfsStats {
+    /// Synchronous inode-table block writes (create/unlink/fsync).
+    pub sync_inode_writes: u64,
+    /// Synchronous directory data block writes.
+    pub sync_dir_writes: u64,
+    /// Delayed (asynchronous) data block writes.
+    pub delayed_data_writes: u64,
+    /// Delayed inode-table block writes.
+    pub delayed_inode_writes: u64,
+    /// Bitmap block writes.
+    pub bitmap_writes: u64,
+    /// Whole-volume fsck scans performed at mount.
+    pub fsck_scans: u64,
+    /// Blocks read by mount-time fsck scans.
+    pub fsck_blocks_scanned: u64,
+}
+
+/// A mounted FFS volume over a block device.
+///
+/// Create with [`Ffs::format`] or [`Ffs::mount`]; use through the
+/// [`vfs::FileSystem`] trait.
+pub struct Ffs<D: BlockDevice> {
+    pub(crate) dev: D,
+    pub(crate) sb: FfsSuperblock,
+    pub(crate) cfg: FfsConfig,
+    pub(crate) clock: Arc<Clock>,
+    pub(crate) cpu: CpuModel,
+    pub(crate) cache: BlockCache,
+    pub(crate) alloc: Allocator,
+    pub(crate) inodes: HashMap<Ino, CachedInode>,
+    pub(crate) stats: FfsStats,
+    pub(crate) in_maintenance: bool,
+}
+
+impl<D: BlockDevice> Ffs<D> {
+    /// Formats the device and mounts the new, empty volume.
+    pub fn format(mut dev: D, cfg: FfsConfig, clock: Arc<Clock>) -> FsResult<Self> {
+        let sb = FfsSuperblock::derive(&cfg, dev.capacity_bytes())?;
+        dev.annotate("superblock");
+        dev.write(0, &sb.encode(), true)?;
+        let mut fs = Self::fresh(dev, sb, cfg, clock);
+
+        // Root directory: inode 1, written synchronously with its bitmap.
+        let root = fs.alloc.alloc_inode(0)?;
+        debug_assert_eq!(root, Ino::ROOT);
+        let now = fs.clock.now_ns();
+        fs.inodes.insert(
+            Ino::ROOT,
+            CachedInode {
+                inode: FfsInode::new(Ino::ROOT, FileKind::Directory, now),
+                dirty: true,
+            },
+        );
+        fs.write_inode_to_table(Ino::ROOT, true)?;
+        fs.flush_bitmaps(true)?;
+        fs.mark_superblock(false)?;
+        Ok(fs)
+    }
+
+    /// Mounts an existing volume.
+    ///
+    /// A cleanly unmounted volume loads its bitmaps directly; a dirty one
+    /// (crash) pays for a whole-volume scan — the recovery-cost contrast
+    /// at the heart of §4.4.
+    pub fn mount(mut dev: D, cfg: FfsConfig, clock: Arc<Clock>) -> FsResult<Self> {
+        let mut first = vec![0u8; sim_disk::SECTOR_SIZE];
+        dev.read(0, &mut first)?;
+        let sb = FfsSuperblock::decode(&first)?;
+        if sb.block_size as usize != cfg.block_size {
+            return Err(FsError::Corrupt("configuration does not match volume"));
+        }
+        let was_clean = sb.clean;
+        let mut fs = Self::fresh(dev, sb, cfg, clock);
+        if was_clean {
+            for cg in 0..fs.sb.ncg {
+                let addr = fs.sb.bitmap_block(cg);
+                let block = fs.read_block_raw(addr)?;
+                fs.alloc.load_bitmap_block(cg, &block);
+            }
+        } else {
+            fs.fsck_scan()?;
+        }
+        fs.mark_superblock(false)?;
+        Ok(fs)
+    }
+
+    /// Cleanly unmounts: syncs everything and marks the volume clean.
+    pub fn unmount(mut self) -> FsResult<D> {
+        use vfs::FileSystem;
+        self.sync()?;
+        self.mark_superblock(true)?;
+        Ok(self.dev)
+    }
+
+    fn fresh(dev: D, sb: FfsSuperblock, cfg: FfsConfig, clock: Arc<Clock>) -> Self {
+        let cpu = CpuModel::sun_4_260(Arc::clone(&clock));
+        let cache = BlockCache::new(
+            sb.block_size as usize,
+            (cfg.cache_bytes / sb.block_size as usize).max(8),
+            cfg.writeback,
+        );
+        let alloc = Allocator::new(sb.clone());
+        Self {
+            dev,
+            sb,
+            cfg,
+            clock,
+            cpu,
+            cache,
+            alloc,
+            inodes: HashMap::new(),
+            stats: FfsStats::default(),
+            in_maintenance: false,
+        }
+    }
+
+    fn mark_superblock(&mut self, clean: bool) -> FsResult<()> {
+        self.sb.clean = clean;
+        let bytes = self.sb.encode();
+        self.dev.annotate("superblock");
+        self.dev.write(0, &bytes, true)?;
+        Ok(())
+    }
+
+    /// Replaces the CPU model (CPU-scaling experiments).
+    pub fn set_cpu_mips(&mut self, mips: f64) {
+        self.cpu = CpuModel::new(Arc::clone(&self.clock), mips);
+    }
+
+    /// The volume geometry.
+    pub fn superblock(&self) -> &FfsSuperblock {
+        &self.sb
+    }
+
+    /// The configuration this volume was mounted with.
+    pub fn config(&self) -> &FfsConfig {
+        &self.cfg
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> &FfsStats {
+        &self.stats
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// Borrows the underlying device.
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Mutably borrows the underlying device.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
+    /// Unmounts without syncing (crash testing) and returns the device.
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// File-system block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.sb.block_size as usize
+    }
+
+    pub(crate) fn now(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    pub(crate) fn charge(&self, cost: CpuCost) {
+        self.cpu.charge(cost);
+    }
+
+    pub(crate) fn sector_of(&self, addr: FfsAddr) -> u64 {
+        addr as u64 * (self.sb.block_size as u64 / sim_disk::SECTOR_SIZE as u64)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw and metadata block I/O.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn read_block_raw(&mut self, addr: FfsAddr) -> FsResult<Vec<u8>> {
+        let mut buf = vec![0u8; self.block_size()];
+        self.dev.read(self.sector_of(addr), &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads a metadata block through the address-keyed cache.
+    pub(crate) fn read_meta_block(&mut self, addr: FfsAddr) -> FsResult<Vec<u8>> {
+        let key = BlockKey::meta(NS_META, addr as u64);
+        if let Some(data) = self.cache.get(key) {
+            return Ok(data.to_vec());
+        }
+        let data = self.read_block_raw(addr)?;
+        self.cache
+            .insert_clean(key, data.clone().into_boxed_slice());
+        Ok(data)
+    }
+
+    // ------------------------------------------------------------------
+    // Inodes.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn ensure_inode(&mut self, ino: Ino) -> FsResult<()> {
+        if self.inodes.contains_key(&ino) {
+            return Ok(());
+        }
+        if !self.alloc.is_inode_allocated(ino) {
+            return Err(FsError::NotFound);
+        }
+        let (block_addr, offset) = self.sb.inode_slot(ino)?;
+        let block = self.read_meta_block(block_addr)?;
+        let inode = FfsInode::decode_slot(&block[offset..offset + INODE_SIZE])?
+            .ok_or(FsError::Corrupt("allocated inode slot is empty"))?;
+        if inode.ino != ino {
+            return Err(FsError::Corrupt("FFS inode number mismatch"));
+        }
+        self.inodes.insert(
+            ino,
+            CachedInode {
+                inode,
+                dirty: false,
+            },
+        );
+        Ok(())
+    }
+
+    pub(crate) fn inode(&mut self, ino: Ino) -> FsResult<FfsInode> {
+        self.ensure_inode(ino)?;
+        Ok(self.inodes[&ino].inode.clone())
+    }
+
+    pub(crate) fn with_inode_mut<R>(
+        &mut self,
+        ino: Ino,
+        f: impl FnOnce(&mut FfsInode) -> R,
+    ) -> FsResult<R> {
+        self.ensure_inode(ino)?;
+        let slot = self.inodes.get_mut(&ino).unwrap();
+        slot.dirty = true;
+        Ok(f(&mut slot.inode))
+    }
+
+    /// Writes an inode into its fixed table slot. With `sync`, this is
+    /// the synchronous metadata write of Figure 1.
+    pub(crate) fn write_inode_to_table(&mut self, ino: Ino, sync: bool) -> FsResult<()> {
+        let (block_addr, offset) = self.sb.inode_slot(ino)?;
+        let encoded = match self.inodes.get(&ino) {
+            Some(cached) => cached.inode.encode(),
+            // A freed inode: zero its slot.
+            None => vec![0u8; INODE_SIZE],
+        };
+        let mut block = self.read_meta_block(block_addr)?;
+        block[offset..offset + INODE_SIZE].copy_from_slice(&encoded);
+        self.cache.insert_clean(
+            BlockKey::meta(NS_META, block_addr as u64),
+            block.clone().into_boxed_slice(),
+        );
+        self.dev.annotate(if sync { "inode-sync" } else { "inode" });
+        self.dev.write(self.sector_of(block_addr), &block, sync)?;
+        if sync {
+            self.stats.sync_inode_writes += 1;
+        } else {
+            self.stats.delayed_inode_writes += 1;
+        }
+        if let Some(cached) = self.inodes.get_mut(&ino) {
+            cached.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Writes a file's cached blocks covering `[start, end)` bytes to
+    /// disk synchronously (directory updates in create/unlink).
+    pub(crate) fn sync_file_range(&mut self, ino: Ino, start: u64, end: u64) -> FsResult<()> {
+        if end <= start {
+            return Ok(());
+        }
+        let bs = self.block_size() as u64;
+        for bno in start / bs..end.div_ceil(bs) {
+            let key = BlockKey::file(ino, bno);
+            let Some(data) = self.cache.get(key).map(|d| d.to_vec()) else {
+                continue;
+            };
+            let addr = self.map_block(ino, bno)?;
+            if addr == NIL {
+                return Err(FsError::Corrupt("dirty block without an address"));
+            }
+            self.dev.annotate("dir-sync");
+            self.dev.write(self.sector_of(addr), &data, true)?;
+            self.cache.mark_clean(key);
+            self.stats.sync_dir_writes += 1;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Delayed write-back.
+    // ------------------------------------------------------------------
+
+    /// Writes all dirty state to its home locations (update in place).
+    /// Writes are asynchronous; callers wanting durability follow with
+    /// `dev.flush()`.
+    pub(crate) fn flush_all(&mut self) -> FsResult<()> {
+        let was = std::mem::replace(&mut self.in_maintenance, true);
+        let result = self.flush_inner();
+        self.in_maintenance = was;
+        result
+    }
+
+    fn flush_inner(&mut self) -> FsResult<()> {
+        // Data and indirect blocks, in (file, block) order.
+        for key in self.cache.dirty_keys() {
+            let Owner::File(ino) = key.owner else {
+                continue;
+            };
+            let data = self
+                .cache
+                .get(key)
+                .expect("dirty block must be cached")
+                .to_vec();
+            let addr = if is_data_idx(key.index) {
+                self.map_block(ino, key.index)?
+            } else {
+                self.indirect_home(ino, key.index)?
+            };
+            if addr == NIL {
+                return Err(FsError::Corrupt("dirty block without an address"));
+            }
+            self.dev.annotate("data");
+            self.dev.write(self.sector_of(addr), &data, false)?;
+            self.cache.mark_clean(key);
+            self.stats.delayed_data_writes += 1;
+        }
+
+        // Dirty inodes, grouped by inode-table block so co-located inodes
+        // cost one write (as the real FFS buffer cache would).
+        let mut dirty_inos: Vec<Ino> = self
+            .inodes
+            .iter()
+            .filter(|(_, c)| c.dirty)
+            .map(|(&ino, _)| ino)
+            .collect();
+        dirty_inos.sort();
+        let mut by_block: Vec<(FfsAddr, Vec<Ino>)> = Vec::new();
+        for ino in dirty_inos {
+            let (block_addr, _) = self.sb.inode_slot(ino)?;
+            match by_block.last_mut() {
+                Some((addr, inos)) if *addr == block_addr => inos.push(ino),
+                _ => by_block.push((block_addr, vec![ino])),
+            }
+        }
+        for (block_addr, inos) in by_block {
+            let mut block = self.read_meta_block(block_addr)?;
+            for &ino in &inos {
+                let (_, offset) = self.sb.inode_slot(ino)?;
+                let encoded = self.inodes[&ino].inode.encode();
+                block[offset..offset + INODE_SIZE].copy_from_slice(&encoded);
+            }
+            self.cache.insert_clean(
+                BlockKey::meta(NS_META, block_addr as u64),
+                block.clone().into_boxed_slice(),
+            );
+            self.dev.annotate("inode");
+            self.dev.write(self.sector_of(block_addr), &block, false)?;
+            self.stats.delayed_inode_writes += 1;
+            for ino in inos {
+                if let Some(cached) = self.inodes.get_mut(&ino) {
+                    cached.dirty = false;
+                }
+            }
+        }
+
+        // Dirty bitmaps.
+        self.flush_bitmaps(false)?;
+        Ok(())
+    }
+
+    /// Writes dirty bitmap blocks.
+    pub(crate) fn flush_bitmaps(&mut self, sync: bool) -> FsResult<()> {
+        for cg in self.alloc.dirty_groups() {
+            let block = self.alloc.encode_bitmap_block(cg, self.block_size());
+            let addr = self.sb.bitmap_block(cg);
+            self.cache.insert_clean(
+                BlockKey::meta(NS_META, addr as u64),
+                block.clone().into_boxed_slice(),
+            );
+            self.dev.annotate("bitmap");
+            self.dev.write(self.sector_of(addr), &block, sync)?;
+            self.alloc.mark_clean(cg);
+            self.stats.bitmap_writes += 1;
+        }
+        Ok(())
+    }
+
+    /// Applies the delayed-write policy after an operation.
+    pub(crate) fn maybe_writeback(&mut self) -> FsResult<()> {
+        if self.in_maintenance {
+            return Ok(());
+        }
+        let now = self.now();
+        if self.cache.writeback_trigger(now).is_some() {
+            self.flush_all()?;
+        }
+        Ok(())
+    }
+}

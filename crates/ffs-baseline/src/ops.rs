@@ -1,0 +1,277 @@
+//! The [`vfs::FileSystem`] implementation for FFS.
+//!
+//! This is where the paper's §3.1 behaviour lives: `create` and `unlink`
+//! perform small, random, *synchronous* writes of the inode-table block
+//! and the directory data block — the accesses Figure 1 draws and the
+//! reason FFS's small-file throughput cannot scale with CPU speed.
+
+use sim_disk::{BlockDevice, CpuCost};
+use vfs::{DirEntry, FileKind, FileSystem, FsError, FsResult, FsStats, Ino, Metadata};
+
+use crate::fs::{CachedInode, Ffs};
+use crate::layout::FfsInode;
+
+impl<D: BlockDevice> Ffs<D> {
+    fn create_node(&mut self, path: &str, kind: FileKind) -> FsResult<Ino> {
+        self.charge(CpuCost::CreateFile);
+        let (parent, name) = self.resolve_parent(path)?;
+        vfs::path::validate_name(name)?;
+        if self.dir_lookup(parent, name)?.is_some() {
+            return Err(FsError::AlreadyExists);
+        }
+        let (parent_cg, _) = self.sb.ino_location(parent)?;
+        let ino = self.alloc.alloc_inode(parent_cg)?;
+        let now = self.now();
+        self.inodes.insert(
+            ino,
+            CachedInode {
+                inode: FfsInode::new(ino, kind, now),
+                dirty: true,
+            },
+        );
+        let range = match self.dir_insert(parent, name, ino, kind) {
+            Ok(range) => range,
+            Err(e) => {
+                self.inodes.remove(&ino);
+                let _ = self.alloc.free_inode(ino);
+                return Err(e);
+            }
+        };
+        // Figure 1: the new inode and the directory block go to disk
+        // synchronously, before creat returns.
+        self.write_inode_to_table(ino, true)?;
+        self.sync_file_range(parent, range.0, range.1)?;
+        self.maybe_writeback()?;
+        Ok(ino)
+    }
+
+    fn drop_link(&mut self, ino: Ino) -> FsResult<()> {
+        let nlink = self.with_inode_mut(ino, |i| {
+            i.nlink -= 1;
+            i.nlink
+        })?;
+        if nlink == 0 {
+            self.destroy_file(ino)?;
+        } else {
+            self.write_inode_to_table(ino, true)?;
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice> FileSystem for Ffs<D> {
+    fn lookup(&mut self, path: &str) -> FsResult<Ino> {
+        self.charge(CpuCost::Syscall);
+        let components = vfs::path::split(path)?;
+        let ino = self.resolve_components(&components)?;
+        self.maybe_writeback()?;
+        Ok(ino)
+    }
+
+    fn create(&mut self, path: &str) -> FsResult<Ino> {
+        self.create_node(path, FileKind::Regular)
+    }
+
+    fn mkdir(&mut self, path: &str) -> FsResult<Ino> {
+        self.create_node(path, FileKind::Directory)
+    }
+
+    fn unlink(&mut self, path: &str) -> FsResult<()> {
+        self.charge(CpuCost::RemoveFile);
+        let (parent, name) = self.resolve_parent(path)?;
+        let (ino, kind) = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+        if kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let (_, range) = self.dir_remove(parent, name)?;
+        // Figure 1 semantics: directory block and inode synchronously.
+        self.sync_file_range(parent, range.0, range.1)?;
+        self.drop_link(ino)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        self.charge(CpuCost::RemoveFile);
+        let (parent, name) = self.resolve_parent(path)?;
+        let (ino, kind) = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+        if kind != FileKind::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        if !self.dir_entries(ino)?.is_empty() {
+            return Err(FsError::DirectoryNotEmpty);
+        }
+        let (_, range) = self.dir_remove(parent, name)?;
+        self.sync_file_range(parent, range.0, range.1)?;
+        self.destroy_file(ino)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        self.charge(CpuCost::CreateFile);
+        let from_parts = vfs::path::split(from)?;
+        let to_parts = vfs::path::split(to)?;
+        if from_parts == to_parts {
+            self.resolve_components(&from_parts)?;
+            return Ok(());
+        }
+        if !from_parts.is_empty() && to_parts.starts_with(&from_parts) {
+            return Err(FsError::InvalidPath);
+        }
+        let (from_parent, from_name) = self.resolve_parent(from)?;
+        let (to_parent, to_name) = self.resolve_parent(to)?;
+        vfs::path::validate_name(to_name)?;
+
+        let (src, src_kind) = self
+            .dir_lookup(from_parent, from_name)?
+            .ok_or(FsError::NotFound)?;
+        if let Some((existing, existing_kind)) = self.dir_lookup(to_parent, to_name)? {
+            match existing_kind {
+                FileKind::Directory => return Err(FsError::AlreadyExists),
+                FileKind::Regular => {
+                    if src_kind == FileKind::Directory {
+                        return Err(FsError::NotADirectory);
+                    }
+                    let (_, range) = self.dir_remove(to_parent, to_name)?;
+                    self.sync_file_range(to_parent, range.0, range.1)?;
+                    self.drop_link(existing)?;
+                }
+            }
+        }
+        let (_, from_range) = self.dir_remove(from_parent, from_name)?;
+        self.sync_file_range(from_parent, from_range.0, from_range.1)?;
+        let to_range = self.dir_insert(to_parent, to_name, src, src_kind)?;
+        self.sync_file_range(to_parent, to_range.0, to_range.1)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn link(&mut self, existing: &str, new: &str) -> FsResult<()> {
+        self.charge(CpuCost::CreateFile);
+        let components = vfs::path::split(existing)?;
+        let src = self.resolve_components(&components)?;
+        if self.inode(src)?.kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let (parent, name) = self.resolve_parent(new)?;
+        vfs::path::validate_name(name)?;
+        if self.dir_lookup(parent, name)?.is_some() {
+            return Err(FsError::AlreadyExists);
+        }
+        let range = self.dir_insert(parent, name, src, FileKind::Regular)?;
+        self.with_inode_mut(src, |i| i.nlink += 1)?;
+        self.write_inode_to_table(src, true)?;
+        self.sync_file_range(parent, range.0, range.1)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn read_at(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.charge(CpuCost::Syscall);
+        if self.inode(ino)?.kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let n = self.do_read(ino, offset, buf)?;
+        self.maybe_writeback()?;
+        Ok(n)
+    }
+
+    fn write_at(&mut self, ino: Ino, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.charge(CpuCost::Syscall);
+        if self.inode(ino)?.kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let n = self.do_write(ino, offset, data)?;
+        self.maybe_writeback()?;
+        Ok(n)
+    }
+
+    fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
+        self.charge(CpuCost::Syscall);
+        if self.inode(ino)?.kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        self.do_truncate(ino, size)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn stat(&mut self, ino: Ino) -> FsResult<Metadata> {
+        self.charge(CpuCost::Syscall);
+        let inode = self.inode(ino)?;
+        Ok(Metadata {
+            ino,
+            kind: inode.kind,
+            size: inode.size,
+            nlink: inode.nlink as u32,
+            mtime_ns: inode.mtime_ns,
+            atime_ns: inode.atime_ns,
+        })
+    }
+
+    fn readdir(&mut self, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.charge(CpuCost::Syscall);
+        let components = vfs::path::split(path)?;
+        let dir = self.resolve_components(&components)?;
+        let entries = self.dir_entries(dir)?;
+        Ok(entries
+            .into_iter()
+            .map(|e| DirEntry {
+                name: e.name,
+                ino: e.ino,
+                kind: e.kind,
+            })
+            .collect())
+    }
+
+    fn fsync(&mut self, ino: Ino) -> FsResult<()> {
+        self.charge(CpuCost::Syscall);
+        self.ensure_inode(ino)?;
+        // Write the file's dirty blocks and inode to their homes.
+        let keys: Vec<_> = self
+            .cache
+            .dirty_keys_of(block_cache::Owner::File(ino))
+            .into_iter()
+            .collect();
+        for key in keys {
+            let data = self.cache.get(key).unwrap().to_vec();
+            let addr = if crate::fs::is_data_idx(key.index) {
+                self.map_block(ino, key.index)?
+            } else {
+                self.indirect_home(ino, key.index)?
+            };
+            if addr != crate::layout::NIL {
+                self.dev.annotate("fsync-data");
+                self.dev.write(self.sector_of(addr), &data, true)?;
+                self.cache.mark_clean(key);
+            }
+        }
+        self.write_inode_to_table(ino, true)?;
+        self.dev.flush()?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> FsResult<()> {
+        self.charge(CpuCost::Syscall);
+        self.flush_all()?;
+        self.dev.flush()?;
+        Ok(())
+    }
+
+    fn drop_caches(&mut self) -> FsResult<()> {
+        self.cache.drop_clean();
+        self.inodes.retain(|_, c| c.dirty);
+        Ok(())
+    }
+
+    fn fs_stats(&mut self) -> FsResult<FsStats> {
+        let total = self.sb.data_capacity_bytes();
+        let free = self.alloc.free_blocks() * self.block_size() as u64;
+        Ok(FsStats {
+            capacity_bytes: total,
+            used_bytes: total - free,
+            live_inodes: (self.sb.max_inodes() as u64) - self.alloc.free_inodes(),
+        })
+    }
+}

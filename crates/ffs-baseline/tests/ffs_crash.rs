@@ -1,0 +1,93 @@
+//! FFS crash behaviour: a dirty mount must run the full scan and repair
+//! the volume to consistency, whatever the crash interrupted.
+
+use std::sync::Arc;
+
+use ffs_baseline::{Ffs, FfsConfig};
+use sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
+use vfs::FileSystem;
+
+const DISK_SECTORS: u64 = 16_384; // 8 MB
+
+fn scripted_run(fs: &mut Ffs<SimDisk>) {
+    let _ = fs.mkdir("/a");
+    for i in 0..8 {
+        let _ = fs.write_file(&format!("/a/f{i}"), &vec![i as u8 + 1; 900]);
+    }
+    let _ = fs.sync();
+    for i in 0..4 {
+        let _ = fs.unlink(&format!("/a/f{i}"));
+    }
+    let _ = fs.mkdir("/b");
+    for i in 0..6 {
+        let _ = fs.write_file(&format!("/b/g{i}"), &vec![0x30 + i as u8; 1500]);
+    }
+    let _ = fs.sync();
+}
+
+#[test]
+fn crash_at_many_points_repairs_to_consistency() {
+    // Count the full run's writes first.
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+    let mut fs = Ffs::format(disk, FfsConfig::small_test(), clock).unwrap();
+    scripted_run(&mut fs);
+    let total = fs.device().stats().writes;
+
+    let mut tested = 0;
+    for crash_at in (0..total + 2).step_by(2) {
+        let clock = Clock::new();
+        let mut disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+        disk.arm_crash(CrashPlan::drop_at(crash_at));
+        let Ok(mut fs) = Ffs::format(disk, FfsConfig::small_test(), clock) else {
+            continue; // Crash during mkfs: nothing to recover.
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scripted_run(&mut fs);
+        }));
+        let _ = result;
+        let image = fs.into_device().into_image();
+
+        let disk = SimDisk::from_image(DiskGeometry::tiny_test(DISK_SECTORS), Clock::new(), image);
+        let clock = disk.clock().clone();
+        let mut fs = Ffs::mount(disk, FfsConfig::small_test(), clock)
+            .unwrap_or_else(|e| panic!("crash at {crash_at}: mount failed: {e}"));
+        assert_eq!(fs.stats().fsck_scans, 1, "dirty volume must scan");
+        let report = fs.fsck().unwrap();
+        assert!(
+            report.is_clean(),
+            "crash at {crash_at}: still inconsistent after repair:\n{report}"
+        );
+        // The repaired volume must be fully usable.
+        fs.write_file("/post-crash", b"works").unwrap();
+        assert_eq!(fs.read_file("/post-crash").unwrap(), b"works");
+        tested += 1;
+    }
+    assert!(tested > 20, "only {tested} crash points exercised");
+}
+
+#[test]
+fn torn_metadata_write_is_repaired() {
+    for torn in [0u64, 1] {
+        let clock = Clock::new();
+        let mut disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+        // Tear an early write (likely the superblock or an inode table
+        // block during the setup phase).
+        disk.arm_crash(CrashPlan::tear_at(6, torn));
+        let Ok(mut fs) = Ffs::format(disk, FfsConfig::small_test(), clock) else {
+            continue;
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scripted_run(&mut fs);
+        }));
+        let _ = result;
+        let image = fs.into_device().into_image();
+
+        let disk = SimDisk::from_image(DiskGeometry::tiny_test(DISK_SECTORS), Clock::new(), image);
+        let clock = disk.clock().clone();
+        if let Ok(mut fs) = Ffs::mount(disk, FfsConfig::small_test(), clock) {
+            let report = fs.fsck().unwrap();
+            assert!(report.is_clean(), "torn {torn}: {report}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Criterion benchmarks for whole file-system operations on both
+//! implementations (host wall time per operation, small simulated disks).
+//! These catch algorithmic regressions in the operation paths — e.g. a
+//! directory update accidentally becoming quadratic.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use ffs_baseline::{Ffs, FfsConfig};
+use lfs_core::{Lfs, LfsConfig};
+use sim_disk::{Clock, DiskGeometry, SimDisk};
+use vfs::FileSystem;
+
+fn fresh_lfs() -> Lfs<SimDisk> {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    Lfs::format(disk, LfsConfig::small_test(), clock).unwrap()
+}
+
+fn fresh_ffs() -> Ffs<SimDisk> {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    Ffs::format(disk, FfsConfig::small_test(), clock).unwrap()
+}
+
+fn bench_create(c: &mut Criterion) {
+    let mut group = c.benchmark_group("create_1k_file");
+    let data = vec![7u8; 1024];
+    group.bench_function("lfs", |b| {
+        b.iter_batched_ref(
+            fresh_lfs,
+            |fs| {
+                for i in 0..50 {
+                    fs.write_file(&format!("/f{i}"), black_box(&data)).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("ffs", |b| {
+        b.iter_batched_ref(
+            fresh_ffs,
+            |fs| {
+                for i in 0..50 {
+                    fs.write_file(&format!("/f{i}"), black_box(&data)).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_read_cached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_cached_4k");
+    let mut lfs = fresh_lfs();
+    let ino = lfs.write_file("/r", &vec![1u8; 4096]).unwrap();
+    let mut buf = vec![0u8; 4096];
+    group.bench_function("lfs", |b| {
+        b.iter(|| lfs.read_at(ino, 0, black_box(&mut buf)).unwrap());
+    });
+    let mut ffs = fresh_ffs();
+    let ino = ffs.write_file("/r", &vec![1u8; 4096]).unwrap();
+    group.bench_function("ffs", |b| {
+        b.iter(|| ffs.read_at(ino, 0, black_box(&mut buf)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_sync(c: &mut Criterion) {
+    // One dirty file, then sync: measures the segment-write path for LFS
+    // and the scattered write-back for FFS.
+    let mut group = c.benchmark_group("write_plus_sync_64k");
+    let data = vec![9u8; 64 * 1024];
+    group.bench_function("lfs", |b| {
+        b.iter_batched_ref(
+            fresh_lfs,
+            |fs| {
+                fs.write_file("/s", black_box(&data)).unwrap();
+                fs.sync().unwrap();
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("ffs", |b| {
+        b.iter_batched_ref(
+            fresh_ffs,
+            |fs| {
+                fs.write_file("/s", black_box(&data)).unwrap();
+                fs.sync().unwrap();
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_cleaner(c: &mut Criterion) {
+    // Host cost of cleaning one segment full of dead+live 512 B blocks.
+    c.bench_function("clean_one_segment", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut fs = fresh_lfs();
+                for i in 0..40 {
+                    fs.write_file(&format!("/v{i}"), &vec![3u8; 2048]).unwrap();
+                }
+                fs.sync().unwrap();
+                for i in 0..40 {
+                    if i % 2 == 0 {
+                        fs.unlink(&format!("/v{i}")).unwrap();
+                    }
+                }
+                fs
+            },
+            |fs| {
+                let victims = fs
+                    .usage_table()
+                    .segments_in_state(lfs_core::layout::usage_block::SegState::Dirty);
+                if let Some(&seg) = victims.first() {
+                    black_box(fs.clean_segment(seg).unwrap());
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_create,
+    bench_read_cached,
+    bench_sync,
+    bench_cleaner
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Figure 3 — small-file I/O (§5.1).
+//!
+//! "Measurements of creating, reading, and deleting many 1K and 10K files
+//! using LFS and the SunOS file system. The creation phase measured the
+//! speed at which 10000 one-kilobyte and 1000 ten-kilobyte files could be
+//! created. Following the creation, the file cache was flushed and all
+//! the files were read (in the same order as they were created). Finally,
+//! we measured the speed at which the files could be deleted."
+//!
+//! Expected shape: LFS an order of magnitude faster on create and delete
+//! (asynchronous log writes vs synchronous metadata updates), and at
+//! least matching FFS on read (files packed densely in segments).
+
+use std::sync::Arc;
+
+use ffs_baseline::FfsConfig;
+use lfs_bench::{ffs_rig, fmt_rate, lfs_rig, print_table, Row};
+use lfs_core::LfsConfig;
+use sim_disk::Clock;
+use vfs::{FileSystem, FsResult};
+use workload::small_files::{create_phase, delete_phase, read_phase, SmallFileSpec};
+use workload::Stopwatch;
+
+/// Per-phase rates in files/second.
+struct Phases {
+    create: f64,
+    read: f64,
+    delete: f64,
+}
+
+fn run_one<F: FileSystem>(
+    fs: &mut F,
+    clock: &Arc<Clock>,
+    spec: &SmallFileSpec,
+) -> FsResult<Phases> {
+    let mut watch = Stopwatch::start(Arc::clone(clock));
+
+    create_phase(fs, spec)?;
+    fs.sync()?;
+    let create_secs = watch.lap_secs();
+
+    // "The file cache was flushed" between create and read.
+    fs.drop_caches()?;
+    watch.lap_secs();
+
+    read_phase(fs, spec)?;
+    let read_secs = watch.lap_secs();
+
+    delete_phase(fs, spec)?;
+    fs.sync()?;
+    let delete_secs = watch.lap_secs();
+
+    let n = spec.nfiles as f64;
+    Ok(Phases {
+        create: n / create_secs,
+        read: n / read_secs,
+        delete: n / delete_secs,
+    })
+}
+
+fn main() {
+    let specs = [
+        ("1 KB x 10000", SmallFileSpec::paper_1k()),
+        ("10 KB x 1000", SmallFileSpec::paper_10k()),
+    ];
+    for (name, spec) in specs {
+        let (mut lfs, clock) = lfs_rig(LfsConfig::paper());
+        let lfs_rates = run_one(&mut lfs, &clock, &spec).expect("LFS run");
+        let report = lfs.fsck().expect("fsck");
+        assert!(report.is_clean(), "LFS inconsistent after run:\n{report}");
+
+        let (mut ffs, clock) = ffs_rig(FfsConfig::paper());
+        let ffs_rates = run_one(&mut ffs, &clock, &spec).expect("FFS run");
+        let report = ffs.fsck().expect("fsck");
+        assert!(report.is_clean(), "FFS inconsistent after run:\n{report}");
+
+        print_table(
+            &format!("Figure 3: small-file I/O, {name} (files/sec)"),
+            "phase",
+            &["LFS", "SunFFS", "LFS/FFS"],
+            &[
+                Row::new(
+                    "create",
+                    vec![
+                        fmt_rate(lfs_rates.create),
+                        fmt_rate(ffs_rates.create),
+                        format!("{:.1}x", lfs_rates.create / ffs_rates.create),
+                    ],
+                ),
+                Row::new(
+                    "read",
+                    vec![
+                        fmt_rate(lfs_rates.read),
+                        fmt_rate(ffs_rates.read),
+                        format!("{:.1}x", lfs_rates.read / ffs_rates.read),
+                    ],
+                ),
+                Row::new(
+                    "delete",
+                    vec![
+                        fmt_rate(lfs_rates.delete),
+                        fmt_rate(ffs_rates.delete),
+                        format!("{:.1}x", lfs_rates.delete / ffs_rates.delete),
+                    ],
+                ),
+            ],
+        );
+    }
+}

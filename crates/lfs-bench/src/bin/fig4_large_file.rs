@@ -1,0 +1,110 @@
+//! Figure 4 — large-file I/O (§5.2).
+//!
+//! Five stages on a 100 MB file with 8 KB requests: sequential write,
+//! sequential read, random write, random read, sequential reread.
+//!
+//! Expected shape:
+//! * LFS write bandwidth near the disk maximum regardless of pattern
+//!   (random writes become sequential segment writes); random write can
+//!   even exceed sequential because repeated offsets are absorbed by the
+//!   cache.
+//! * FFS random writes collapse to seek-bound throughput.
+//! * Random reads are equivalent.
+//! * Sequential reread after random writes is the one case FFS wins:
+//!   update-in-place keeps the file contiguous while LFS has scattered
+//!   the overwritten blocks through the log.
+
+use std::sync::Arc;
+
+use ffs_baseline::FfsConfig;
+use lfs_bench::{ffs_rig, fmt_rate, lfs_rig, print_table, Row};
+use lfs_core::LfsConfig;
+use sim_disk::Clock;
+use vfs::{FileSystem, FsResult};
+use workload::large_file::{rand_read, rand_write, seq_read, seq_write, LargeFileSpec};
+use workload::Stopwatch;
+
+struct Stages {
+    seq_write: f64,
+    seq_read: f64,
+    rand_write: f64,
+    rand_read: f64,
+    seq_reread: f64,
+}
+
+fn kb_per_sec(bytes: u64, secs: f64) -> f64 {
+    bytes as f64 / 1024.0 / secs
+}
+
+fn run_one<F: FileSystem>(
+    fs: &mut F,
+    clock: &Arc<Clock>,
+    spec: &LargeFileSpec,
+) -> FsResult<Stages> {
+    let ino = fs.create("/bigfile")?;
+    let mut watch = Stopwatch::start(Arc::clone(clock));
+
+    seq_write(fs, ino, spec)?;
+    fs.sync()?;
+    let seq_write_secs = watch.lap_secs();
+
+    fs.drop_caches()?;
+    watch.lap_secs();
+    seq_read(fs, ino, spec)?;
+    let seq_read_secs = watch.lap_secs();
+
+    rand_write(fs, ino, spec)?;
+    fs.sync()?;
+    let rand_write_secs = watch.lap_secs();
+
+    fs.drop_caches()?;
+    watch.lap_secs();
+    rand_read(fs, ino, spec)?;
+    let rand_read_secs = watch.lap_secs();
+
+    fs.drop_caches()?;
+    watch.lap_secs();
+    seq_read(fs, ino, spec)?;
+    let seq_reread_secs = watch.lap_secs();
+
+    let bytes = spec.total_bytes;
+    Ok(Stages {
+        seq_write: kb_per_sec(bytes, seq_write_secs),
+        seq_read: kb_per_sec(bytes, seq_read_secs),
+        rand_write: kb_per_sec(bytes, rand_write_secs),
+        rand_read: kb_per_sec(bytes, rand_read_secs),
+        seq_reread: kb_per_sec(bytes, seq_reread_secs),
+    })
+}
+
+fn main() {
+    let spec = LargeFileSpec::paper();
+
+    let (mut lfs, clock) = lfs_rig(LfsConfig::paper());
+    let lfs_rates = run_one(&mut lfs, &clock, &spec).expect("LFS run");
+    let report = lfs.fsck().expect("fsck");
+    assert!(report.is_clean(), "LFS inconsistent after run:\n{report}");
+
+    let (mut ffs, clock) = ffs_rig(FfsConfig::paper());
+    let ffs_rates = run_one(&mut ffs, &clock, &spec).expect("FFS run");
+    let report = ffs.fsck().expect("fsck");
+    assert!(report.is_clean(), "FFS inconsistent after run:\n{report}");
+
+    let rows = [
+        ("seq write", lfs_rates.seq_write, ffs_rates.seq_write),
+        ("seq read", lfs_rates.seq_read, ffs_rates.seq_read),
+        ("rand write", lfs_rates.rand_write, ffs_rates.rand_write),
+        ("rand read", lfs_rates.rand_read, ffs_rates.rand_read),
+        ("seq reread", lfs_rates.seq_reread, ffs_rates.seq_reread),
+    ];
+    print_table(
+        "Figure 4: 100 MB file transfer rates (KB/sec)",
+        "stage",
+        &["LFS", "SunFFS"],
+        &rows
+            .iter()
+            .map(|(name, l, f)| Row::new(*name, vec![fmt_rate(*l), fmt_rate(*f)]))
+            .collect::<Vec<_>>(),
+    );
+    println!("\ndisk max bandwidth: {} KB/sec", 1_300_000 / 1024);
+}

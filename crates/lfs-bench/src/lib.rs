@@ -1,0 +1,136 @@
+#![warn(missing_docs)]
+
+//! Benchmark rig for reproducing the paper's evaluation (§5).
+//!
+//! Each figure/table from the paper has a binary in `src/bin/`:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1_2_create_trace` | Figures 1 & 2 — disk accesses for two small-file creations |
+//! | `fig3_small_file` | Figure 3 — small-file create/read/delete throughput |
+//! | `fig4_large_file` | Figure 4 — 100 MB file sequential/random transfer rates |
+//! | `fig5_cleaning_rate` | Figure 5 — cleaning rate vs segment utilization |
+//! | `tbl_s1_cpu_scaling` | §3.1 — create+delete latency vs CPU speed |
+//! | `tbl_s2_recovery` | §4.4 — crash-recovery cost and loss window |
+//! | `abl_segment_size` | §4.3 ablation — segment size sweep |
+//! | `abl_cleaner_policy` | §4.3.4 ablation — victim-selection policies |
+//! | `abl_writeback_age` | §4.3.5 ablation — write-back age threshold |
+//! | `abl_liveness_fastpath` | §4.3.3 ablation — version-number fast path |
+//!
+//! All measurements are **virtual time** from the shared [`sim_disk::Clock`]
+//! driven by the WREN IV disk model and the Sun-4/260 CPU model, so runs
+//! are deterministic.
+
+use std::sync::Arc;
+
+use ffs_baseline::{Ffs, FfsConfig};
+use lfs_core::{Lfs, LfsConfig};
+use sim_disk::{Clock, DiskGeometry, SimDisk};
+
+/// A freshly formatted LFS on a paper-configuration WREN IV disk.
+pub fn lfs_rig(cfg: LfsConfig) -> (Lfs<SimDisk>, Arc<Clock>) {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::wren_iv(), Arc::clone(&clock));
+    let fs = Lfs::format(disk, cfg, Arc::clone(&clock)).expect("format LFS");
+    (fs, clock)
+}
+
+/// A freshly formatted FFS on a paper-configuration WREN IV disk.
+pub fn ffs_rig(cfg: FfsConfig) -> (Ffs<SimDisk>, Arc<Clock>) {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::wren_iv(), Arc::clone(&clock));
+    let fs = Ffs::format(disk, cfg, Arc::clone(&clock)).expect("format FFS");
+    (fs, clock)
+}
+
+/// One row of a result table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (leftmost column).
+    pub label: String,
+    /// Cell values, matching the header order.
+    pub values: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from a label and preformatted cells.
+    pub fn new(label: impl Into<String>, values: Vec<String>) -> Self {
+        Self {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// Prints a fixed-width table (the format EXPERIMENTS.md records).
+pub fn print_table(title: &str, first_header: &str, headers: &[&str], rows: &[Row]) {
+    println!("\n== {title} ==");
+    let label_width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain([first_header.len()])
+        .max()
+        .unwrap_or(8)
+        + 2;
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.values.get(i).map_or(0, |v| v.len()))
+                .chain([h.len()])
+                .max()
+                .unwrap_or(8)
+                + 2
+        })
+        .collect();
+    print!("{first_header:<label_width$}");
+    for (h, w) in headers.iter().zip(&widths) {
+        print!("{h:>w$}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<label_width$}", row.label);
+        for (v, w) in row.values.iter().zip(&widths) {
+            print!("{v:>w$}");
+        }
+        println!();
+    }
+}
+
+/// Formats a rate with adaptive precision.
+pub fn fmt_rate(value: f64) -> String {
+    if value >= 100.0 {
+        format!("{value:.0}")
+    } else if value >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::FileSystem;
+
+    #[test]
+    fn rigs_produce_working_file_systems() {
+        let (mut lfs, clock) = lfs_rig(LfsConfig::paper());
+        lfs.write_file("/x", b"lfs").unwrap();
+        assert_eq!(lfs.read_file("/x").unwrap(), b"lfs");
+        assert!(clock.now_ns() > 0);
+
+        let (mut ffs, clock) = ffs_rig(FfsConfig::paper());
+        ffs.write_file("/x", b"ffs").unwrap();
+        assert_eq!(ffs.read_file("/x").unwrap(), b"ffs");
+        assert!(clock.now_ns() > 0);
+    }
+
+    #[test]
+    fn fmt_rate_adapts_precision() {
+        assert_eq!(fmt_rate(1234.5), "1234");
+        assert_eq!(fmt_rate(56.78), "56.8");
+        assert_eq!(fmt_rate(3.456), "3.46");
+    }
+}

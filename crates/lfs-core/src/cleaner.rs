@@ -1,0 +1,414 @@
+//! The segment cleaner (§4.3.2 – §4.3.4).
+//!
+//! Cleaning is "a form of incremental garbage collection where the
+//! fragmented segments are compressed together to create space to write
+//! new segments". It runs in two phases:
+//!
+//! 1. **Identify & read**: read candidate segments, walk their summary
+//!    chunks, and classify every block live or dead. The fast path
+//!    (§4.3.3 step 1) compares the version number recorded in the summary
+//!    against the inode map — a mismatch means the file was deleted or
+//!    truncated, so the block is dead without touching the inode. The slow
+//!    path (step 2) maps the block through the inode and indirect blocks
+//!    and compares addresses. Live blocks are put in the file cache,
+//!    *dirty*.
+//! 2. **Write**: the ordinary cache write-back code packs the relocated
+//!    blocks into new segments.
+//!
+//! A cleaned segment is not reusable immediately: until the following
+//! checkpoint commits, the on-disk metadata still references its old
+//! contents, so a crash in between must find them intact. Cleaned
+//! segments are parked in [`SegState::CleanPending`] and promoted by
+//! [`Lfs::checkpoint`].
+
+use block_cache::BlockKey;
+use sim_disk::{BlockDevice, CpuCost};
+use vfs::{FsError, FsResult};
+
+use crate::fs::{idx_dchild, CachedInode, Lfs, IDX_DTOP, IDX_SINGLE};
+use crate::layout::inode::inode_block;
+use crate::layout::summary::{BlockKind, ChunkSummary};
+use crate::layout::usage_block::SegState;
+use crate::types::{BlockAddr, SegNo};
+
+/// Victim-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanerPolicy {
+    /// Clean the segments with the most free space (the paper's §4.3.4:
+    /// "it is desirable to choose the segments with the most free space").
+    Greedy,
+    /// Weigh free space against data age: maximise
+    /// `(1 - u) * age / (1 + u)`. The cost-benefit policy from the LFS
+    /// line of work; implemented here as an ablation.
+    CostBenefit,
+    /// Clean the least-recently-written segments first (FIFO baseline).
+    Oldest,
+}
+
+/// Cleaner tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CleanerConfig {
+    /// Victim-selection policy.
+    pub policy: CleanerPolicy,
+    /// Start cleaning when fewer than this many segments are clean
+    /// ("cleaning is activated when the number of clean segments drops
+    /// below a threshold value").
+    pub activate_below_clean: usize,
+    /// Maximum segments processed per cleaning pass.
+    pub segments_per_pass: usize,
+    /// Skip candidates whose live fraction exceeds this ("segments are
+    /// cleaned until all segments are either clean or contain at least a
+    /// file-system-settable fraction of live blocks").
+    pub max_candidate_utilization: f64,
+    /// Use the §4.3.3 step-1 fast path (summary version number vs inode
+    /// map) to classify blocks without walking inodes. Disabled only by
+    /// the liveness-fastpath ablation; correctness does not depend on it.
+    pub use_version_fastpath: bool,
+}
+
+impl Default for CleanerConfig {
+    fn default() -> Self {
+        Self {
+            policy: CleanerPolicy::Greedy,
+            activate_below_clean: 4,
+            segments_per_pass: 8,
+            max_candidate_utilization: 0.98,
+            use_version_fastpath: true,
+        }
+    }
+}
+
+/// Outcome of one cleaning pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanOutcome {
+    /// Segments processed.
+    pub segments: usize,
+    /// Live blocks copied back into the cache.
+    pub live_blocks: u64,
+    /// Live inodes re-dirtied.
+    pub live_inodes: u64,
+}
+
+impl<D: BlockDevice> Lfs<D> {
+    /// Chooses up to `limit` victim segments according to the policy.
+    pub(crate) fn pick_victims(&self, limit: usize) -> Vec<SegNo> {
+        let now = self.now();
+        let mut candidates: Vec<SegNo> = self
+            .usage
+            .segments_in_state(SegState::Dirty)
+            .into_iter()
+            .filter(|&seg| {
+                self.usage.utilization(seg) <= self.cfg.cleaner.max_candidate_utilization
+            })
+            .collect();
+        match self.cfg.cleaner.policy {
+            CleanerPolicy::Greedy => {
+                candidates.sort_by_key(|&seg| self.usage.get(seg).live_bytes);
+            }
+            CleanerPolicy::Oldest => {
+                candidates.sort_by_key(|&seg| self.usage.get(seg).last_write_ns);
+            }
+            CleanerPolicy::CostBenefit => {
+                let score = |seg: SegNo| -> f64 {
+                    let u = self.usage.utilization(seg);
+                    let age = now.saturating_sub(self.usage.get(seg).last_write_ns) as f64;
+                    (1.0 - u) * age / (1.0 + u)
+                };
+                candidates.sort_by(|&a, &b| {
+                    score(b)
+                        .partial_cmp(&score(a))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            }
+        }
+        candidates.truncate(limit);
+        candidates
+    }
+
+    /// Runs one cleaning pass over up to `segments_per_pass` victims.
+    ///
+    /// Victims are additionally limited by a relocation budget: the live
+    /// data they carry must fit in the clean segments currently available
+    /// (minus a margin for metadata), or the checkpoint that commits the
+    /// relocations could itself run out of space.
+    ///
+    /// The caller must follow up with a checkpoint to make the cleaned
+    /// segments reusable.
+    pub fn clean_pass(&mut self) -> FsResult<CleanOutcome> {
+        let mut budget = self.relocation_budget();
+        self.clean_pass_with_budget(&mut budget)
+    }
+
+    /// The default relocation budget: live bytes that can be rewritten
+    /// into the currently clean segments, keeping a two-segment margin
+    /// for checkpoint metadata.
+    pub(crate) fn relocation_budget(&self) -> u64 {
+        (self.usage.clean_count() as u64)
+            .saturating_sub(2)
+            .saturating_mul(self.usage.seg_bytes())
+    }
+
+    /// One cleaning pass drawing victims against a caller-managed budget
+    /// (shared across several passes preceding one checkpoint, so the
+    /// combined relocations still fit the available clean space).
+    pub fn clean_pass_with_budget(&mut self, budget: &mut u64) -> FsResult<CleanOutcome> {
+        let victims = self.pick_victims(self.cfg.cleaner.segments_per_pass);
+        let mut outcome = CleanOutcome::default();
+        for seg in victims {
+            let live = self.usage.get(seg).live_bytes as u64;
+            if live > *budget {
+                continue;
+            }
+            *budget -= live;
+            let (blocks, inodes) = self.clean_segment(seg)?;
+            outcome.segments += 1;
+            outcome.live_blocks += blocks;
+            outcome.live_inodes += inodes;
+        }
+        self.stats.cleaner_passes += 1;
+        Ok(outcome)
+    }
+
+    /// Cleans segments and checkpoints until at least `target` segments
+    /// are clean (or no progress can be made). The user-level cleaning
+    /// interface of §4.3.4 ("cleaning to be initialized at night or other
+    /// times of slack usage"). Returns the number of clean segments.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use lfs_core::{Lfs, LfsConfig};
+    /// use sim_disk::{Clock, DiskGeometry, SimDisk};
+    /// use vfs::FileSystem;
+    ///
+    /// let clock = Clock::new();
+    /// let disk = SimDisk::new(DiskGeometry::tiny_test(16_384), Arc::clone(&clock));
+    /// let mut fs = Lfs::format(disk, LfsConfig::small_test(), clock)?;
+    /// // Churn, then compact overnight:
+    /// for i in 0..20 {
+    ///     fs.write_file(&format!("/f{i}"), &vec![0u8; 8_192])?;
+    /// }
+    /// for i in 0..18 {
+    ///     fs.unlink(&format!("/f{i}"))?;
+    /// }
+    /// fs.sync()?;
+    /// let clean = fs.clean_until(usize::MAX)?;
+    /// assert!(clean > 0);
+    /// # Ok::<(), vfs::FsError>(())
+    /// ```
+    pub fn clean_until(&mut self, target: usize) -> FsResult<usize> {
+        let target = target.min(self.sb.nsegments as usize - 1);
+        loop {
+            let clean = self.usage.clean_count();
+            if clean >= target {
+                return Ok(clean);
+            }
+            self.in_maintenance = true;
+            let outcome = self.clean_pass();
+            self.in_maintenance = false;
+            let outcome = outcome?;
+            self.checkpoint()?;
+            // Stop on no progress: either nothing was cleanable, or
+            // compaction is only churning its own output (every victim's
+            // free space went right back into rewriting its live data).
+            if outcome.segments == 0 || self.usage.clean_count() <= clean {
+                return Ok(self.usage.clean_count());
+            }
+        }
+    }
+
+    /// Cleans one segment: phase 1 of §4.3.2 (identify live blocks and
+    /// read them into the cache, dirty). Returns `(blocks, inodes)`
+    /// copied.
+    pub fn clean_segment(&mut self, seg: SegNo) -> FsResult<(u64, u64)> {
+        if self.usage.state(seg) != SegState::Dirty {
+            return Err(FsError::Corrupt("cleaning a non-dirty segment"));
+        }
+        let bs = self.block_size();
+        let seg_blocks = self.sb.seg_blocks as usize;
+        let base = self.sb.seg_block(seg, 0);
+
+        // Read the whole segment in one sequential transfer.
+        let mut image = vec![0u8; seg_blocks * bs];
+        self.dev.annotate("cleaner-read");
+        self.dev.read(self.sector_of(base), &mut image)?;
+        self.stats.cleaner_bytes_read += image.len() as u64;
+
+        let mut offset = 0usize;
+        let mut expected_seq: Option<u64> = None;
+        let mut expected_partial = 0u32;
+        let mut live_blocks = 0u64;
+        let mut live_inodes = 0u64;
+
+        while offset + 1 < seg_blocks {
+            let Ok(summary) = ChunkSummary::decode(&image[offset * bs..]) else {
+                break;
+            };
+            match expected_seq {
+                None => {
+                    if summary.partial != 0 {
+                        break;
+                    }
+                    expected_seq = Some(summary.seq);
+                }
+                Some(seq) => {
+                    if summary.seq != seq || summary.partial != expected_partial {
+                        break;
+                    }
+                }
+            }
+            let s = (summary.reserved_blocks as usize)
+                .max(ChunkSummary::summary_blocks(summary.entries.len(), bs));
+            let payload_start = offset + s;
+            if payload_start + summary.entries.len() > seg_blocks {
+                break;
+            }
+            for (i, entry) in summary.entries.iter().enumerate() {
+                let block_off = payload_start + i;
+                let addr = BlockAddr(base.0 + block_off as u32);
+                let data = &image[block_off * bs..(block_off + 1) * bs];
+                let (blocks, inodes) = self.clean_entry(entry.kind, entry.version, addr, data)?;
+                live_blocks += blocks;
+                live_inodes += inodes;
+            }
+            offset = payload_start + summary.entries.len();
+            expected_partial += 1;
+        }
+
+        self.usage.set_state(seg, SegState::CleanPending);
+        self.stats.segments_cleaned += 1;
+        self.stats.cleaner_blocks_copied += live_blocks;
+        self.stats.cleaner_inodes_copied += live_inodes;
+        Ok((live_blocks, live_inodes))
+    }
+
+    /// Classifies one logged block and relocates it if live.
+    fn clean_entry(
+        &mut self,
+        kind: BlockKind,
+        version: u32,
+        addr: BlockAddr,
+        data: &[u8],
+    ) -> FsResult<(u64, u64)> {
+        self.charge(CpuCost::MapBlock);
+        match kind {
+            BlockKind::Data { ino, bno } => {
+                let Ok(entry) = self.imap.get(ino) else {
+                    return Ok((0, 0));
+                };
+                if !entry.allocated {
+                    return Ok((0, 0));
+                }
+                // Fast path (§4.3.3 step 1): version mismatch = dead,
+                // without touching the inode or indirect blocks.
+                if self.cfg.cleaner.use_version_fastpath && entry.version != version {
+                    return Ok((0, 0));
+                }
+                let key = BlockKey::file(ino, bno as u64);
+                if self.cache.is_dirty(key) {
+                    // A newer copy is already waiting to be written.
+                    return Ok((0, 0));
+                }
+                // Slow path (step 2): is the block still part of the file?
+                if self.map_block(ino, bno as u64)? != addr {
+                    return Ok((0, 0));
+                }
+                let now = self.now();
+                if self.cache.contains(key) {
+                    // Clean cached copy: just re-dirty it.
+                    self.cache.get_mut(key, now);
+                } else {
+                    self.cache
+                        .insert_dirty(key, data.to_vec().into_boxed_slice(), now);
+                }
+                self.charge(CpuCost::Instructions(
+                    CpuCost::CopyKb.instructions() * (data.len() as u64).div_ceil(1024),
+                ));
+                Ok((1, 0))
+            }
+            BlockKind::IndSingle { ino }
+            | BlockKind::IndDoubleTop { ino }
+            | BlockKind::IndDoubleChild { ino, .. } => {
+                let Ok(entry) = self.imap.get(ino) else {
+                    return Ok((0, 0));
+                };
+                if !entry.allocated {
+                    return Ok((0, 0));
+                }
+                if self.cfg.cleaner.use_version_fastpath && entry.version != version {
+                    return Ok((0, 0));
+                }
+                let idx = match kind {
+                    BlockKind::IndSingle { .. } => IDX_SINGLE,
+                    BlockKind::IndDoubleTop { .. } => IDX_DTOP,
+                    BlockKind::IndDoubleChild { outer, .. } => idx_dchild(outer),
+                    _ => unreachable!(),
+                };
+                let key = BlockKey::file(ino, idx);
+                if self.cache.is_dirty(key) {
+                    return Ok((0, 0));
+                }
+                let inode = self.inode(ino)?;
+                let current = match kind {
+                    BlockKind::IndSingle { .. } => inode.single,
+                    BlockKind::IndDoubleTop { .. } => inode.double,
+                    BlockKind::IndDoubleChild { outer, .. } => {
+                        if inode.double.is_nil() {
+                            BlockAddr::NIL
+                        } else {
+                            self.indirect_child_addr(ino, inode.double, outer)?
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                if current != addr {
+                    return Ok((0, 0));
+                }
+                let now = self.now();
+                if self.cache.contains(key) {
+                    self.cache.get_mut(key, now);
+                } else {
+                    self.cache
+                        .insert_dirty(key, data.to_vec().into_boxed_slice(), now);
+                }
+                Ok((1, 0))
+            }
+            BlockKind::InodeBlock => {
+                let mut live = 0u64;
+                for (slot, inode) in inode_block::unpack_all(data)? {
+                    let Ok(entry) = self.imap.get(inode.ino) else {
+                        continue;
+                    };
+                    if !entry.allocated
+                        || entry.addr != addr
+                        || entry.slot as usize != slot
+                        || entry.version != inode.version
+                    {
+                        continue;
+                    }
+                    live += 1;
+                    match self.inodes.get_mut(&inode.ino) {
+                        Some(cached) => cached.dirty = true,
+                        None => {
+                            self.inodes
+                                .insert(inode.ino, CachedInode { inode, dirty: true });
+                        }
+                    }
+                }
+                Ok((0, live))
+            }
+            BlockKind::ImapBlock { index } => {
+                let index = index as usize;
+                if index < self.imap.nblocks() && self.imap.block_addr(index) == addr {
+                    // Re-dirty so the next checkpoint rewrites it.
+                    self.imap.mark_block_dirty(index);
+                }
+                Ok((0, 0))
+            }
+            // Usage blocks are rewritten wholesale at every checkpoint;
+            // stale copies are simply dead.
+            BlockKind::UsageBlock { .. } => Ok((0, 0)),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! File-system configuration.
+
+use block_cache::WritebackPolicy;
+
+use crate::cleaner::CleanerConfig;
+
+/// Tunable parameters of an LFS file system.
+///
+/// [`LfsConfig::paper`] reproduces the configuration of the paper's §5
+/// evaluation: 4 KB blocks, 1 MB segments, a ~15 MB file cache, 30-second
+/// write-back and checkpoint intervals.
+#[derive(Debug, Clone)]
+pub struct LfsConfig {
+    /// File-system block size in bytes. Must be a multiple of the sector
+    /// size and a power of two.
+    pub block_size: usize,
+    /// Segment size in bytes. Must be a multiple of `block_size`.
+    pub segment_bytes: usize,
+    /// Maximum number of inodes (sets the inode-map size at format time).
+    pub max_inodes: u32,
+    /// File-cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Write-back policy (age threshold, dirty high-water mark).
+    pub writeback: WritebackPolicy,
+    /// Interval between automatic checkpoints, in virtual nanoseconds.
+    pub checkpoint_interval_ns: u64,
+    /// Segment-cleaner configuration.
+    pub cleaner: CleanerConfig,
+    /// Maximum fraction of log capacity that live data may occupy.
+    /// §5.3's closing question — "how full LFS can allow the disk to
+    /// become and still keep the cleaning cost down" — has a hard edge:
+    /// above ~90 % the cleaner reclaims less per pass than its own
+    /// checkpoints consume and the log wedges. Writes that would push
+    /// live data past this fraction fail with `NoSpace` instead.
+    pub max_utilization: f64,
+    /// Whether mount attempts roll-forward past the last checkpoint
+    /// (the paper's "ultimately LFS will recover" design, §4.4.1).
+    pub roll_forward: bool,
+    /// Whether `fsync` forces a checkpoint so the synced data is
+    /// recoverable even with `roll_forward` disabled.
+    pub fsync_checkpoints: bool,
+}
+
+impl LfsConfig {
+    /// The configuration used in the paper's evaluation (§5).
+    pub fn paper() -> Self {
+        Self {
+            block_size: 4096,
+            segment_bytes: 1024 * 1024,
+            max_inodes: 65_536,
+            cache_bytes: 15 * 1024 * 1024,
+            writeback: WritebackPolicy::paper(),
+            checkpoint_interval_ns: 30 * 1_000_000_000,
+            cleaner: CleanerConfig::default(),
+            max_utilization: 0.88,
+            roll_forward: true,
+            fsync_checkpoints: false,
+        }
+    }
+
+    /// A miniature configuration for fast unit tests on tiny disks:
+    /// 512-byte blocks, 16 KB segments, 512 inodes, 64 KB cache.
+    pub fn small_test() -> Self {
+        Self {
+            block_size: 512,
+            segment_bytes: 16 * 1024,
+            max_inodes: 512,
+            cache_bytes: 64 * 1024,
+            writeback: WritebackPolicy::paper(),
+            checkpoint_interval_ns: 30 * 1_000_000_000,
+            cleaner: CleanerConfig::default(),
+            max_utilization: 0.88,
+            roll_forward: true,
+            fsync_checkpoints: false,
+        }
+    }
+
+    /// Blocks per segment.
+    pub fn seg_blocks(&self) -> usize {
+        self.segment_bytes / self.block_size
+    }
+
+    /// Cache capacity in blocks.
+    pub fn cache_blocks(&self) -> usize {
+        (self.cache_bytes / self.block_size).max(8)
+    }
+
+    /// Builder-style override of the block size.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Builder-style override of the segment size.
+    pub fn with_segment_bytes(mut self, segment_bytes: usize) -> Self {
+        self.segment_bytes = segment_bytes;
+        self
+    }
+
+    /// Builder-style override of the cache size.
+    pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Builder-style override of the checkpoint interval (seconds).
+    pub fn with_checkpoint_secs(mut self, secs: f64) -> Self {
+        self.checkpoint_interval_ns = (secs * 1e9) as u64;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on an invalid configuration;
+    /// called from `format`/`mount`.
+    pub fn validate(&self) {
+        assert!(
+            self.block_size >= sim_disk::SECTOR_SIZE
+                && self.block_size.is_multiple_of(sim_disk::SECTOR_SIZE),
+            "block size must be a multiple of the sector size"
+        );
+        assert!(
+            self.block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(
+            self.segment_bytes.is_multiple_of(self.block_size),
+            "segment size must be a multiple of the block size"
+        );
+        assert!(
+            self.seg_blocks() >= 4,
+            "segments must hold at least 4 blocks (summary + data)"
+        );
+        assert!(self.max_inodes >= 2, "need at least the root inode");
+    }
+}
+
+impl Default for LfsConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_5() {
+        let cfg = LfsConfig::paper();
+        assert_eq!(cfg.block_size, 4096);
+        assert_eq!(cfg.segment_bytes, 1 << 20);
+        assert_eq!(cfg.seg_blocks(), 256);
+        assert_eq!(cfg.checkpoint_interval_ns, 30_000_000_000);
+        cfg.validate();
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        let cfg = LfsConfig::small_test();
+        cfg.validate();
+        assert_eq!(cfg.seg_blocks(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the block size")]
+    fn validate_rejects_misaligned_segment() {
+        LfsConfig::paper().with_segment_bytes(5000).validate();
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = LfsConfig::paper()
+            .with_block_size(8192)
+            .with_segment_bytes(2 << 20)
+            .with_cache_bytes(1 << 20)
+            .with_checkpoint_secs(5.0);
+        assert_eq!(cfg.block_size, 8192);
+        assert_eq!(cfg.seg_blocks(), (2 << 20) / 8192);
+        assert_eq!(cfg.cache_blocks(), (1 << 20) / 8192);
+        assert_eq!(cfg.checkpoint_interval_ns, 5_000_000_000);
+    }
+}

@@ -1,0 +1,777 @@
+//! The mounted file system: state, the write path, and the segment writer.
+//!
+//! [`Lfs`] ties together the device, the file cache, the inode map, the
+//! segment usage table, and the log position. The central routine is
+//! `Lfs::flush`: it drains dirty blocks from the cache into log chunks —
+//! data blocks, then indirect blocks (children before parents), then inode
+//! blocks, then (at checkpoints) inode-map and usage-table blocks — exactly
+//! the packing §4.1 describes, so that one burst of small file writes
+//! becomes one large sequential disk transfer.
+
+mod dir;
+mod file;
+mod ops;
+#[cfg(test)]
+mod tests;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use block_cache::{BlockCache, BlockKey, Owner};
+use sim_disk::{BlockDevice, Clock, CpuCost, CpuModel};
+use vfs::{FileKind, FsError, FsResult, Ino};
+
+use crate::config::LfsConfig;
+use crate::imap::Imap;
+use crate::layout::inode::{inode_block, Inode};
+use crate::layout::summary::BlockKind;
+use crate::layout::superblock::Superblock;
+use crate::layout::usage_block::SegState;
+use crate::log::{ChunkBuilder, LogPosition};
+use crate::stats::LfsStats;
+use crate::types::{BlockAddr, SegNo, INODE_SIZE};
+use crate::usage::UsageTable;
+
+/// Cache-owner index of a file's single-indirect block.
+pub(crate) const IDX_SINGLE: u64 = 1 << 40;
+/// Cache-owner index of a file's double-indirect top block.
+pub(crate) const IDX_DTOP: u64 = (1 << 40) + 1;
+/// Base cache-owner index of second-level indirect blocks.
+pub(crate) const IDX_DCHILD_BASE: u64 = 1 << 41;
+
+/// Cache index of double-indirect child `outer`.
+pub(crate) fn idx_dchild(outer: u32) -> u64 {
+    IDX_DCHILD_BASE + outer as u64
+}
+
+/// Returns true if a file-owner cache index denotes a data block.
+pub(crate) fn is_data_idx(idx: u64) -> bool {
+    idx < IDX_SINGLE
+}
+
+/// Metadata cache namespace for inode blocks, keyed by disk address.
+pub(crate) const NS_INODE_BLOCKS: u32 = 1;
+
+/// An in-memory inode with its dirty flag.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedInode {
+    pub inode: Inode,
+    pub dirty: bool,
+}
+
+/// A mounted log-structured file system over a block device.
+///
+/// Create one with [`Lfs::format`] (new volume) or [`Lfs::mount`]
+/// (existing volume, with crash recovery). All file operations are
+/// available through the [`vfs::FileSystem`] trait implementation.
+pub struct Lfs<D: BlockDevice> {
+    pub(crate) dev: D,
+    pub(crate) sb: Superblock,
+    pub(crate) cfg: LfsConfig,
+    pub(crate) clock: Arc<Clock>,
+    pub(crate) cpu: CpuModel,
+    pub(crate) cache: BlockCache,
+    pub(crate) imap: Imap,
+    pub(crate) usage: UsageTable,
+    pub(crate) inodes: HashMap<Ino, CachedInode>,
+    pub(crate) pos: LogPosition,
+    pub(crate) cp_serial: u64,
+    /// Next checkpoint goes to region B when true.
+    pub(crate) cp_use_b: bool,
+    pub(crate) last_cp_ns: u64,
+    pub(crate) stats: LfsStats,
+    /// Clean segment reserved by the most recent sealing chunk's
+    /// `next_seg` link, so the on-disk chain and the allocator agree.
+    pub(crate) pending_next_seg: Option<SegNo>,
+    /// Reentrancy guard: automatic write-back is suppressed inside
+    /// flush/cleaner/checkpoint work.
+    pub(crate) in_maintenance: bool,
+    /// Segments kept in reserve so a checkpoint can always complete.
+    pub(crate) reserve_segments: usize,
+}
+
+/// In-progress chunk state during a flush.
+pub(crate) struct FlushCtx {
+    builder: Option<ChunkBuilder>,
+}
+
+impl FlushCtx {
+    pub(crate) fn new() -> Self {
+        Self { builder: None }
+    }
+}
+
+impl<D: BlockDevice> Lfs<D> {
+    // ------------------------------------------------------------------
+    // Construction.
+    // ------------------------------------------------------------------
+
+    /// Formats the device and mounts the new, empty file system.
+    pub fn format(mut dev: D, cfg: LfsConfig, clock: Arc<Clock>) -> FsResult<Self> {
+        let sb = Superblock::derive(&cfg, dev.capacity_bytes())?;
+        // Write the superblock synchronously: format must be durable.
+        let sb_bytes = sb.encode();
+        dev.annotate("superblock");
+        dev.write(0, &sb_bytes, true)?;
+        let mut fs = Self::fresh(dev, sb, cfg, clock);
+
+        // Create the root directory.
+        fs.imap.allocate_specific(Ino::ROOT)?;
+        let now = fs.clock.now_ns();
+        let root = Inode::new(Ino::ROOT, FileKind::Directory, 0, now);
+        fs.inodes.insert(
+            Ino::ROOT,
+            CachedInode {
+                inode: root,
+                dirty: true,
+            },
+        );
+        // The initial checkpoint makes the empty file system mountable.
+        fs.checkpoint()?;
+        Ok(fs)
+    }
+
+    /// Builds the common in-memory state shared by format and mount.
+    pub(crate) fn fresh(dev: D, sb: Superblock, cfg: LfsConfig, clock: Arc<Clock>) -> Self {
+        let cpu = CpuModel::sun_4_260(Arc::clone(&clock));
+        let cache = BlockCache::new(
+            sb.block_size as usize,
+            (cfg.cache_bytes / sb.block_size as usize).max(8),
+            cfg.writeback,
+        );
+        let imap = Imap::new(sb.max_inodes, sb.imap_entries_per_block() as usize);
+        let seg_bytes = sb.seg_blocks as u64 * sb.block_size as u64;
+        let usage = UsageTable::new(
+            sb.nsegments,
+            seg_bytes,
+            sb.usage_entries_per_block() as usize,
+        );
+        let reserve = 2 + cfg.cache_bytes.div_ceil(seg_bytes as usize);
+        let reserve = reserve.min(sb.nsegments as usize / 4).max(1);
+        let mut fs = Self {
+            dev,
+            sb,
+            cfg,
+            clock,
+            cpu,
+            cache,
+            imap,
+            usage,
+            inodes: HashMap::new(),
+            pos: LogPosition {
+                seg: SegNo(0),
+                offset: 0,
+                partial: 0,
+                seq: 1,
+            },
+            cp_serial: 0,
+            cp_use_b: false,
+            last_cp_ns: 0,
+            stats: LfsStats::default(),
+            pending_next_seg: None,
+            in_maintenance: false,
+            reserve_segments: reserve,
+        };
+        fs.usage.set_state(SegNo(0), SegState::Active);
+        fs
+    }
+
+    /// Replaces the CPU model (e.g. for the CPU-scaling experiment).
+    pub fn set_cpu_mips(&mut self, mips: f64) {
+        self.cpu = CpuModel::new(Arc::clone(&self.clock), mips);
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// The file-system block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.sb.block_size as usize
+    }
+
+    /// The superblock (immutable geometry).
+    pub fn superblock(&self) -> &Superblock {
+        &self.sb
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> &LfsStats {
+        &self.stats
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// Borrows the underlying device (e.g. to inspect I/O statistics).
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Mutably borrows the underlying device.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
+    /// Unmounts without syncing and returns the device (crash testing).
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// The segment usage table (read-only view for experiments).
+    pub fn usage_table(&self) -> &UsageTable {
+        &self.usage
+    }
+
+    /// The inode map (read-only view for experiments and fsck).
+    pub fn inode_map(&self) -> &Imap {
+        &self.imap
+    }
+
+    /// Number of inodes currently held in the in-memory inode table.
+    pub fn cached_inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Current virtual time.
+    pub(crate) fn now(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Charges CPU work to the virtual clock.
+    pub(crate) fn charge(&self, cost: CpuCost) {
+        self.cpu.charge(cost);
+    }
+
+    /// Sector address of a block.
+    pub(crate) fn sector_of(&self, addr: BlockAddr) -> u64 {
+        addr.0 as u64 * (self.sb.block_size as u64 / sim_disk::SECTOR_SIZE as u64)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw block I/O.
+    // ------------------------------------------------------------------
+
+    /// Reads one block from disk (synchronous).
+    pub(crate) fn read_block_raw(&mut self, addr: BlockAddr) -> FsResult<Vec<u8>> {
+        let mut buf = vec![0u8; self.block_size()];
+        self.dev.read(self.sector_of(addr), &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads a metadata block through the address-keyed cache.
+    pub(crate) fn read_meta_block(&mut self, ns: u32, addr: BlockAddr) -> FsResult<Vec<u8>> {
+        let key = BlockKey::meta(ns, addr.0 as u64);
+        if let Some(data) = self.cache.get(key) {
+            return Ok(data.to_vec());
+        }
+        let data = self.read_block_raw(addr)?;
+        self.cache
+            .insert_clean(key, data.clone().into_boxed_slice());
+        Ok(data)
+    }
+
+    // ------------------------------------------------------------------
+    // Inode table.
+    // ------------------------------------------------------------------
+
+    /// Ensures `ino` is loaded in the inode table.
+    pub(crate) fn ensure_inode(&mut self, ino: Ino) -> FsResult<()> {
+        if self.inodes.contains_key(&ino) {
+            return Ok(());
+        }
+        let entry = self.imap.get(ino)?;
+        if !entry.allocated {
+            return Err(FsError::NotFound);
+        }
+        if entry.addr.is_nil() {
+            return Err(FsError::Corrupt("allocated inode was never written"));
+        }
+        let block = self.read_meta_block(NS_INODE_BLOCKS, entry.addr)?;
+        let inode = inode_block::unpack_slot(&block, entry.slot as usize)?
+            .ok_or(FsError::Corrupt("inode slot empty"))?;
+        if inode.ino != ino {
+            return Err(FsError::Corrupt("inode number mismatch"));
+        }
+        if inode.version != entry.version {
+            return Err(FsError::Corrupt("inode version mismatch"));
+        }
+        self.inodes.insert(
+            ino,
+            CachedInode {
+                inode,
+                dirty: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Returns a copy of an inode.
+    pub(crate) fn inode(&mut self, ino: Ino) -> FsResult<Inode> {
+        self.ensure_inode(ino)?;
+        Ok(self.inodes[&ino].inode.clone())
+    }
+
+    /// Mutates an inode in place and marks it dirty.
+    pub(crate) fn with_inode_mut<R>(
+        &mut self,
+        ino: Ino,
+        f: impl FnOnce(&mut Inode) -> R,
+    ) -> FsResult<R> {
+        self.ensure_inode(ino)?;
+        let slot = self.inodes.get_mut(&ino).unwrap();
+        slot.dirty = true;
+        Ok(f(&mut slot.inode))
+    }
+
+    // ------------------------------------------------------------------
+    // Usage accounting.
+    // ------------------------------------------------------------------
+
+    /// Records that `bytes` previously live at `addr` are now dead.
+    pub(crate) fn retire(&mut self, addr: BlockAddr, bytes: u64) {
+        if let Some((seg, _)) = self.sb.seg_of(addr) {
+            self.usage.sub_live(seg, bytes);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The segment writer.
+    // ------------------------------------------------------------------
+
+    /// Appends one payload block to the current chunk, opening chunks and
+    /// sealing segments as needed. Returns the block's new disk address.
+    pub(crate) fn chunk_add(
+        &mut self,
+        ctx: &mut FlushCtx,
+        kind: BlockKind,
+        version: u32,
+        data: &[u8],
+        live_bytes: u64,
+    ) -> FsResult<BlockAddr> {
+        loop {
+            if ctx.builder.is_none() {
+                self.open_chunk(ctx)?;
+            }
+            if ctx.builder.as_ref().unwrap().is_full() {
+                self.emit_chunk(ctx)?;
+                continue;
+            }
+            let builder = ctx.builder.as_mut().unwrap();
+            let addr = builder.add(kind, version, data);
+            let now = self.now();
+            let seg = builder.seg();
+            self.usage.add_live(seg, live_bytes, now);
+            return Ok(addr);
+        }
+    }
+
+    /// Opens a new chunk at the current log position, sealing the current
+    /// segment first if its tail is too small.
+    fn open_chunk(&mut self, ctx: &mut FlushCtx) -> FsResult<()> {
+        loop {
+            let remaining = (self.sb.seg_blocks - self.pos.offset) as usize;
+            let seg_base = self.sb.seg_block(self.pos.seg, 0);
+            match ChunkBuilder::new(
+                self.pos.seg,
+                seg_base,
+                self.pos.offset,
+                remaining,
+                self.block_size(),
+            ) {
+                Some(builder) => {
+                    ctx.builder = Some(builder);
+                    return Ok(());
+                }
+                None => self.seal_segment()?,
+            }
+        }
+    }
+
+    /// Writes the current chunk to disk (one sequential, asynchronous
+    /// transfer) and advances the log position.
+    pub(crate) fn emit_chunk(&mut self, ctx: &mut FlushCtx) -> FsResult<()> {
+        let Some(builder) = ctx.builder.take() else {
+            return Ok(());
+        };
+        if builder.is_empty() {
+            // Nothing was added; release the reservation without writing.
+            return Ok(());
+        }
+        let now = self.now();
+        // If no further chunk fits after this one, this chunk seals the
+        // segment: record where the log continues so roll-forward can
+        // follow the chain without scanning the disk (§4.3.1: segments
+        // are "formed into a linked list").
+        let offset_after = self.pos.offset + builder.blocks_used();
+        let seals = crate::log::plan_chunk(
+            (self.sb.seg_blocks.saturating_sub(offset_after)) as usize,
+            self.block_size(),
+        )
+        .is_none();
+        let next_seg = if seals {
+            let next = self
+                .usage
+                .next_clean(SegNo((self.pos.seg.0 + 1) % self.sb.nsegments));
+            self.pending_next_seg = next;
+            next.unwrap_or(SegNo::NIL)
+        } else {
+            SegNo::NIL
+        };
+        let chunk = builder.finish(self.pos.seq, self.pos.partial, now, next_seg);
+        self.dev.annotate("log-chunk");
+        self.dev
+            .write(self.sector_of(chunk.addr), &chunk.bytes, false)?;
+        self.pos.offset += chunk.blocks_used;
+        self.pos.partial += 1;
+        self.stats.chunks_written += 1;
+        self.stats.summary_blocks_written += chunk.summary_blocks as u64;
+        if self.pos.offset < self.sb.seg_blocks {
+            self.stats.partial_chunks += 1;
+        }
+        Ok(())
+    }
+
+    /// Test-only wrapper around [`Lfs::seal_segment`].
+    #[cfg(test)]
+    pub(crate) fn seal_segment_for_test(&mut self) -> FsResult<()> {
+        self.seal_segment()
+    }
+
+    /// Test-only mutable access to the usage table.
+    #[cfg(test)]
+    pub(crate) fn usage_mut_for_test(&mut self) -> &mut UsageTable {
+        &mut self.usage
+    }
+
+    /// Test-only view of the log position.
+    #[cfg(test)]
+    pub(crate) fn log_position_for_test(&self) -> LogPosition {
+        self.pos
+    }
+
+    /// Seals the active segment and opens the next clean one.
+    fn seal_segment(&mut self) -> FsResult<()> {
+        let cur = self.pos.seg;
+        self.usage.set_state(cur, SegState::Dirty);
+        self.stats.segments_sealed += 1;
+        // Prefer the segment promised by the sealing chunk's next_seg
+        // link, falling back to a fresh scan if it is no longer clean.
+        let promised = self
+            .pending_next_seg
+            .take()
+            .filter(|&seg| self.usage.state(seg) == SegState::Clean);
+        let next = match promised {
+            Some(seg) => seg,
+            None => self
+                .usage
+                .next_clean(SegNo((cur.0 + 1) % self.sb.nsegments))
+                .ok_or(FsError::NoSpace)?,
+        };
+        self.usage.set_state(next, SegState::Active);
+        // Purge address-keyed metadata cache entries for the reused
+        // region: block addresses are being recycled.
+        let base = self.sb.seg_block(next, 0).0 as u64;
+        self.cache.remove_owner_index_range(
+            Owner::Meta(NS_INODE_BLOCKS),
+            base,
+            base + self.sb.seg_blocks as u64,
+        );
+        self.pos = LogPosition {
+            seg: next,
+            offset: 0,
+            partial: 0,
+            seq: self.pos.seq + 1,
+        };
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Flush: drain dirty state into the log.
+    // ------------------------------------------------------------------
+
+    /// Writes dirty blocks to the log. `include_imap` additionally writes
+    /// dirty inode-map blocks; `include_usage` writes the whole usage
+    /// table (both normally only at checkpoints).
+    pub(crate) fn flush(&mut self, include_imap: bool, include_usage: bool) -> FsResult<()> {
+        let was_maintenance = std::mem::replace(&mut self.in_maintenance, true);
+        let result = self.flush_inner(include_imap, include_usage);
+        self.in_maintenance = was_maintenance;
+        result
+    }
+
+    fn flush_inner(&mut self, include_imap: bool, include_usage: bool) -> FsResult<()> {
+        let mut ctx = FlushCtx::new();
+
+        // Which files have dirty state?
+        let mut owners: Vec<Ino> = self
+            .cache
+            .dirty_keys()
+            .into_iter()
+            .filter_map(|k| match k.owner {
+                Owner::File(ino) => Some(ino),
+                Owner::Meta(_) => None,
+            })
+            .collect();
+        owners.extend(
+            self.inodes
+                .iter()
+                .filter(|(_, c)| c.dirty)
+                .map(|(&ino, _)| ino),
+        );
+        owners.sort();
+        owners.dedup();
+
+        // Phase 1: data blocks, grouped by file, ascending block index.
+        for &ino in &owners {
+            let version = self.imap.get(ino)?.version;
+            let keys: Vec<BlockKey> = self
+                .cache
+                .dirty_keys_of(Owner::File(ino))
+                .into_iter()
+                .filter(|k| is_data_idx(k.index))
+                .collect();
+            for key in keys {
+                let data = self
+                    .cache
+                    .get(key)
+                    .expect("dirty block must be cached")
+                    .to_vec();
+                let bno = key.index as u32;
+                let addr = self.chunk_add(
+                    &mut ctx,
+                    BlockKind::Data { ino, bno },
+                    version,
+                    &data,
+                    self.block_size() as u64,
+                )?;
+                let old = self.set_block_ptr(ino, bno as u64, addr)?;
+                self.retire(old, self.block_size() as u64);
+                self.cache.mark_clean(key);
+                self.stats.data_blocks_written += 1;
+            }
+        }
+
+        // Phase 2: indirect blocks, children before parents (a parent's
+        // content embeds its children's new addresses). Descending cache
+        // index order guarantees this: double-children > double-top >
+        // single.
+        for &ino in &owners {
+            let version = self.imap.get(ino)?.version;
+            loop {
+                let key = self
+                    .cache
+                    .dirty_keys_of(Owner::File(ino))
+                    .into_iter()
+                    .filter(|k| !is_data_idx(k.index))
+                    .max_by_key(|k| k.index);
+                let Some(key) = key else { break };
+                let data = self
+                    .cache
+                    .get(key)
+                    .expect("dirty block must be cached")
+                    .to_vec();
+                let kind = if key.index == IDX_SINGLE {
+                    BlockKind::IndSingle { ino }
+                } else if key.index == IDX_DTOP {
+                    BlockKind::IndDoubleTop { ino }
+                } else {
+                    BlockKind::IndDoubleChild {
+                        ino,
+                        outer: (key.index - IDX_DCHILD_BASE) as u32,
+                    }
+                };
+                let addr =
+                    self.chunk_add(&mut ctx, kind, version, &data, self.block_size() as u64)?;
+                let old = self.set_indirect_ptr(ino, key.index, addr)?;
+                self.retire(old, self.block_size() as u64);
+                self.cache.mark_clean(key);
+                self.stats.indirect_blocks_written += 1;
+            }
+        }
+
+        // Phase 3: inodes, packed into inode blocks.
+        let mut dirty_inos: Vec<Ino> = self
+            .inodes
+            .iter()
+            .filter(|(_, c)| c.dirty)
+            .map(|(&ino, _)| ino)
+            .collect();
+        dirty_inos.sort();
+        let per_block = self.sb.inodes_per_block() as usize;
+        for group in dirty_inos.chunks(per_block) {
+            // Stamp each inode with its current imap version before
+            // packing, so the on-disk copy self-identifies.
+            for &ino in group {
+                let version = self.imap.get(ino)?.version;
+                let slot = self.inodes.get_mut(&ino).unwrap();
+                slot.inode.version = version;
+            }
+            let inode_refs: Vec<&Inode> = group.iter().map(|ino| &self.inodes[ino].inode).collect();
+            let block = inode_block::pack(&inode_refs, self.block_size());
+            let live = (group.len() * INODE_SIZE) as u64;
+            let addr = self.chunk_add(&mut ctx, BlockKind::InodeBlock, 0, &block, live)?;
+            for (slot, &ino) in group.iter().enumerate() {
+                let old = self.imap.get(ino)?;
+                if old.addr.is_some() {
+                    self.retire(old.addr, INODE_SIZE as u64);
+                }
+                self.imap.set_location(ino, addr, slot as u16)?;
+                self.inodes.get_mut(&ino).unwrap().dirty = false;
+            }
+            // Keep the freshly written inode block readable without disk.
+            self.cache.insert_clean(
+                BlockKey::meta(NS_INODE_BLOCKS, addr.0 as u64),
+                block.into_boxed_slice(),
+            );
+            self.stats.inode_blocks_written += 1;
+        }
+
+        // Phase 4: inode-map blocks (checkpoints only). Metadata blocks
+        // are not counted as live bytes: the usage table is a cleaning
+        // hint for *data*, and counting the table's own placement would
+        // make its serialised form self-referential (the paper's "costly
+        // exact crash recovery of this data structure is not needed").
+        if include_imap {
+            for index in self.imap.dirty_blocks() {
+                let block = self.imap.encode_block(index, self.block_size());
+                let addr = self.chunk_add(
+                    &mut ctx,
+                    BlockKind::ImapBlock {
+                        index: index as u32,
+                    },
+                    0,
+                    &block,
+                    0,
+                )?;
+                self.imap.commit_block(index, addr);
+                self.stats.imap_blocks_written += 1;
+            }
+        }
+
+        // Phase 5: the whole segment-usage table (checkpoints only).
+        // Like the inode map, the table's own blocks count zero live
+        // bytes, so its serialised contents do not depend on their own
+        // placement.
+        if include_usage {
+            for index in 0..self.usage.nblocks() {
+                let block = self.usage.encode_block(index, self.block_size());
+                let addr = self.chunk_add(
+                    &mut ctx,
+                    BlockKind::UsageBlock {
+                        index: index as u32,
+                    },
+                    0,
+                    &block,
+                    0,
+                )?;
+                self.usage.commit_block(index, addr);
+                self.stats.usage_blocks_written += 1;
+            }
+        }
+
+        self.emit_chunk(&mut ctx)?;
+        Ok(())
+    }
+
+    /// Initiates one delayed write-back: packs all dirty blocks into log
+    /// chunks and issues the (asynchronous) segment writes, without
+    /// taking a checkpoint. This is the bare "segment write" of §4.1;
+    /// [`Lfs::checkpoint`] and `sync` build on it.
+    pub fn write_back(&mut self) -> FsResult<()> {
+        self.flush(false, false)
+    }
+
+    // ------------------------------------------------------------------
+    // Automatic write-back and space maintenance (§4.3.5).
+    // ------------------------------------------------------------------
+
+    /// Called at the end of every public operation: applies the paper's
+    /// segment-write timing rules and keeps clean segments available.
+    pub(crate) fn maybe_writeback(&mut self) -> FsResult<()> {
+        if self.in_maintenance {
+            return Ok(());
+        }
+        let now = self.now();
+
+        // Periodic checkpoint (30 s in the paper).
+        if now.saturating_sub(self.last_cp_ns) >= self.cfg.checkpoint_interval_ns {
+            self.checkpoint()?;
+            return Ok(());
+        }
+
+        // Cache-driven write-back: cache full or dirty data too old.
+        if self.cache.writeback_trigger(now).is_some() {
+            self.flush(false, false)?;
+        }
+
+        // Bound the in-memory inode table: clean entries reload from the
+        // log via the inode map, so dropping them is free.
+        let inode_cap = self.cache.capacity_blocks().max(1024);
+        if self.inodes.len() > inode_cap {
+            let mut excess = self.inodes.len() - inode_cap;
+            self.inodes.retain(|_, cached| {
+                if cached.dirty || excess == 0 {
+                    true
+                } else {
+                    excess -= 1;
+                    false
+                }
+            });
+        }
+
+        // Cleaner activation: clean-segment count below threshold. The
+        // floor covers the worst case of one full cache flush plus the
+        // checkpoint that commits the cleaner's relocations.
+        let activate_below = self
+            .cfg
+            .cleaner
+            .activate_below_clean
+            .max(self.reserve_segments + 2);
+        if self.usage.clean_count() < activate_below {
+            // Several passes share one relocation budget and one
+            // checkpoint: on small segments a per-pass checkpoint would
+            // cost more log space than a pass reclaims.
+            self.in_maintenance = true;
+            let mut budget = self.relocation_budget();
+            let mut result = Ok(());
+            for _ in 0..4 {
+                match self.clean_pass_with_budget(&mut budget) {
+                    Ok(outcome) if outcome.segments == 0 => break,
+                    Ok(_) => {}
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                let pending = self.usage.segments_in_state(SegState::CleanPending).len();
+                if self.usage.clean_count() + pending >= activate_below + 4 {
+                    break;
+                }
+            }
+            self.in_maintenance = false;
+            result?;
+            // Commit the relocations so cleaned segments become reusable.
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Returns [`FsError::NoSpace`] unless roughly `incoming` more bytes
+    /// fit while preserving (a) the segment reserve a checkpoint needs
+    /// and (b) the utilization headroom the cleaner needs to keep
+    /// reclaiming more space per pass than its checkpoints consume.
+    pub(crate) fn check_space(&self, incoming: u64) -> FsResult<()> {
+        let seg_bytes = self.usage.seg_bytes();
+        let capacity = self.sb.log_capacity_bytes();
+        let reserve = self.reserve_segments as u64 * seg_bytes;
+        let cap = (capacity as f64 * self.cfg.max_utilization) as u64;
+        let budget = cap.saturating_sub(reserve + seg_bytes);
+        if self.usage.total_live_bytes() + incoming > budget {
+            return Err(FsError::NoSpace);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,247 @@
+//! The [`vfs::FileSystem`] implementation for LFS.
+//!
+//! Note what is *absent* here compared with the FFS baseline: no
+//! synchronous metadata writes. `create` and `unlink` mutate only the
+//! cache and the in-memory inode map; everything reaches disk later in
+//! segment-sized sequential transfers (§4.1).
+
+use sim_disk::{BlockDevice, CpuCost};
+use vfs::{DirEntry, FileKind, FileSystem, FsError, FsResult, FsStats, Ino, Metadata};
+
+use super::{CachedInode, Lfs};
+use crate::layout::inode::Inode;
+
+impl<D: BlockDevice> Lfs<D> {
+    /// Creates a file or directory node under `path`.
+    fn create_node(&mut self, path: &str, kind: FileKind) -> FsResult<Ino> {
+        self.charge(CpuCost::CreateFile);
+        let (parent, name) = self.resolve_parent(path)?;
+        vfs::path::validate_name(name)?;
+        if self.dir_lookup(parent, name)?.is_some() {
+            return Err(FsError::AlreadyExists);
+        }
+        self.check_space(self.block_size() as u64)?;
+        let ino = self.imap.allocate()?;
+        let now = self.now();
+        let version = self.imap.get(ino)?.version;
+        let inode = Inode::new(ino, kind, version, now);
+        self.inodes.insert(ino, CachedInode { inode, dirty: true });
+        if let Err(e) = self.dir_insert(parent, name, ino, kind) {
+            // Roll back the allocation on failure (e.g. out of space).
+            self.inodes.remove(&ino);
+            let _ = self.imap.free(ino);
+            return Err(e);
+        }
+        self.maybe_writeback()?;
+        Ok(ino)
+    }
+
+    /// Drops one link; destroys the file when the last link goes.
+    fn drop_link(&mut self, ino: Ino) -> FsResult<()> {
+        let nlink = self.with_inode_mut(ino, |i| {
+            i.nlink -= 1;
+            i.nlink
+        })?;
+        if nlink == 0 {
+            self.destroy_file(ino)?;
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice> FileSystem for Lfs<D> {
+    fn lookup(&mut self, path: &str) -> FsResult<Ino> {
+        self.charge(CpuCost::Syscall);
+        let components = vfs::path::split(path)?;
+        let ino = self.resolve_components(&components)?;
+        self.maybe_writeback()?;
+        Ok(ino)
+    }
+
+    fn create(&mut self, path: &str) -> FsResult<Ino> {
+        self.create_node(path, FileKind::Regular)
+    }
+
+    fn mkdir(&mut self, path: &str) -> FsResult<Ino> {
+        self.create_node(path, FileKind::Directory)
+    }
+
+    fn unlink(&mut self, path: &str) -> FsResult<()> {
+        self.charge(CpuCost::RemoveFile);
+        let (parent, name) = self.resolve_parent(path)?;
+        let (ino, kind) = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+        if kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        self.dir_remove(parent, name)?;
+        self.drop_link(ino)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        self.charge(CpuCost::RemoveFile);
+        let (parent, name) = self.resolve_parent(path)?;
+        let (ino, kind) = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+        if kind != FileKind::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        if !self.dir_entries(ino)?.is_empty() {
+            return Err(FsError::DirectoryNotEmpty);
+        }
+        self.dir_remove(parent, name)?;
+        self.destroy_file(ino)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        self.charge(CpuCost::CreateFile);
+        let from_parts = vfs::path::split(from)?;
+        let to_parts = vfs::path::split(to)?;
+        if from_parts == to_parts {
+            self.resolve_components(&from_parts)?;
+            return Ok(());
+        }
+        if !from_parts.is_empty() && to_parts.starts_with(&from_parts) {
+            return Err(FsError::InvalidPath);
+        }
+        let (from_parent, from_name) = self.resolve_parent(from)?;
+        let (to_parent, to_name) = self.resolve_parent(to)?;
+        vfs::path::validate_name(to_name)?;
+
+        let (src, src_kind) = self
+            .dir_lookup(from_parent, from_name)?
+            .ok_or(FsError::NotFound)?;
+        if let Some((existing, existing_kind)) = self.dir_lookup(to_parent, to_name)? {
+            match existing_kind {
+                FileKind::Directory => return Err(FsError::AlreadyExists),
+                FileKind::Regular => {
+                    if src_kind == FileKind::Directory {
+                        return Err(FsError::NotADirectory);
+                    }
+                    self.dir_remove(to_parent, to_name)?;
+                    self.drop_link(existing)?;
+                }
+            }
+        }
+        self.dir_remove(from_parent, from_name)?;
+        self.dir_insert(to_parent, to_name, src, src_kind)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn link(&mut self, existing: &str, new: &str) -> FsResult<()> {
+        self.charge(CpuCost::CreateFile);
+        let components = vfs::path::split(existing)?;
+        let src = self.resolve_components(&components)?;
+        if self.inode(src)?.kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let (parent, name) = self.resolve_parent(new)?;
+        vfs::path::validate_name(name)?;
+        if self.dir_lookup(parent, name)?.is_some() {
+            return Err(FsError::AlreadyExists);
+        }
+        self.dir_insert(parent, name, src, FileKind::Regular)?;
+        self.with_inode_mut(src, |i| i.nlink += 1)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn read_at(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.charge(CpuCost::Syscall);
+        if self.inode(ino)?.kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let n = self.do_read(ino, offset, buf)?;
+        self.maybe_writeback()?;
+        Ok(n)
+    }
+
+    fn write_at(&mut self, ino: Ino, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.charge(CpuCost::Syscall);
+        if self.inode(ino)?.kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let n = self.do_write(ino, offset, data)?;
+        self.maybe_writeback()?;
+        Ok(n)
+    }
+
+    fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
+        self.charge(CpuCost::Syscall);
+        if self.inode(ino)?.kind == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        self.do_truncate(ino, size)?;
+        self.maybe_writeback()?;
+        Ok(())
+    }
+
+    fn stat(&mut self, ino: Ino) -> FsResult<Metadata> {
+        self.charge(CpuCost::Syscall);
+        let inode = self.inode(ino)?;
+        let entry = self.imap.get(ino)?;
+        Ok(Metadata {
+            ino,
+            kind: inode.kind,
+            size: inode.size,
+            nlink: inode.nlink as u32,
+            mtime_ns: inode.mtime_ns,
+            atime_ns: entry.atime_ns,
+        })
+    }
+
+    fn readdir(&mut self, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.charge(CpuCost::Syscall);
+        let components = vfs::path::split(path)?;
+        let dir = self.resolve_components(&components)?;
+        let entries = self.dir_entries(dir)?;
+        Ok(entries
+            .into_iter()
+            .map(|e| DirEntry {
+                name: e.name,
+                ino: e.ino,
+                kind: e.kind,
+            })
+            .collect())
+    }
+
+    fn fsync(&mut self, ino: Ino) -> FsResult<()> {
+        self.charge(CpuCost::Syscall);
+        self.ensure_inode(ino)?;
+        if self.cfg.fsync_checkpoints {
+            self.checkpoint()?;
+        } else {
+            // §4.3.5 "Sync request": the dirty blocks are pushed to disk.
+            // Flushing everything (not just this file) keeps the file's
+            // directory entry in the same log write, so roll-forward
+            // recovery (§4.4.1) makes the fsync durable.
+            self.flush(false, false)?;
+        }
+        self.dev.flush()?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> FsResult<()> {
+        self.charge(CpuCost::Syscall);
+        self.checkpoint()?;
+        self.dev.flush()?;
+        Ok(())
+    }
+
+    fn drop_caches(&mut self) -> FsResult<()> {
+        self.cache.drop_clean();
+        self.inodes.retain(|_, c| c.dirty);
+        Ok(())
+    }
+
+    fn fs_stats(&mut self) -> FsResult<FsStats> {
+        Ok(FsStats {
+            capacity_bytes: self.sb.log_capacity_bytes(),
+            used_bytes: self.usage.total_live_bytes(),
+            live_inodes: self.imap.live_count(),
+        })
+    }
+}

@@ -1,0 +1,192 @@
+//! Checkpoint regions (§4.4.1).
+//!
+//! "During a checkpoint, all of the memory-resident data structures that
+//! describe the current state of the file system are written to a known
+//! disk location called the checkpoint region." Two fixed regions
+//! alternate; each carries a serial number and checksum so mount can pick
+//! the most recent *valid* one even if a crash interrupted a checkpoint
+//! write.
+
+use vfs::{FsError, FsResult, Ino};
+
+use crate::types::{BlockAddr, SegNo};
+use crate::util::{crc32, ByteReader, ByteWriter};
+
+/// Magic number identifying a checkpoint region ("CKPT").
+pub const CHECKPOINT_MAGIC: u32 = 0x434B_5054;
+
+/// The dynamic state captured by one checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRegion {
+    /// Virtual time at which the checkpoint was taken.
+    pub timestamp_ns: u64,
+    /// Monotonic checkpoint counter (larger = newer).
+    pub serial: u64,
+    /// Log sequence number of the currently open segment.
+    pub seq: u64,
+    /// The currently open segment.
+    pub cur_seg: SegNo,
+    /// Next free block offset within `cur_seg`.
+    pub next_block: u32,
+    /// Next partial-chunk index within `cur_seg`.
+    pub partial: u32,
+    /// Allocation hint: lowest possibly-free inode number.
+    pub next_free_ino: Ino,
+    /// Disk addresses of the inode-map blocks, in map order.
+    pub imap_addrs: Vec<BlockAddr>,
+    /// Disk addresses of the segment-usage-table blocks, in order.
+    pub usage_addrs: Vec<BlockAddr>,
+}
+
+impl CheckpointRegion {
+    /// Serialises the region into exactly `region_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded form does not fit.
+    pub fn encode(&self, region_bytes: usize) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(region_bytes);
+        w.u32(CHECKPOINT_MAGIC);
+        w.u64(self.timestamp_ns);
+        w.u64(self.serial);
+        w.u64(self.seq);
+        w.u32(self.cur_seg.0);
+        w.u32(self.next_block);
+        w.u32(self.partial);
+        w.u32(self.next_free_ino.0);
+        w.u32(self.imap_addrs.len() as u32);
+        w.u32(self.usage_addrs.len() as u32);
+        for addr in &self.imap_addrs {
+            w.u32(addr.0);
+        }
+        for addr in &self.usage_addrs {
+            w.u32(addr.0);
+        }
+        let crc = crc32(w.as_slice());
+        w.u32(crc);
+        w.pad_to(region_bytes);
+        w.into_vec()
+    }
+
+    /// Parses and validates a checkpoint region.
+    pub fn decode(bytes: &[u8]) -> FsResult<Self> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.u32().ok_or(FsError::Corrupt("checkpoint truncated"))?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(FsError::Corrupt("bad checkpoint magic"));
+        }
+        let timestamp_ns = r.u64().ok_or(FsError::Corrupt("checkpoint truncated"))?;
+        let serial = r.u64().ok_or(FsError::Corrupt("checkpoint truncated"))?;
+        let seq = r.u64().ok_or(FsError::Corrupt("checkpoint truncated"))?;
+        let cur_seg = SegNo(r.u32().ok_or(FsError::Corrupt("checkpoint truncated"))?);
+        let next_block = r.u32().ok_or(FsError::Corrupt("checkpoint truncated"))?;
+        let partial = r.u32().ok_or(FsError::Corrupt("checkpoint truncated"))?;
+        let next_free_ino = Ino(r.u32().ok_or(FsError::Corrupt("checkpoint truncated"))?);
+        let nimap = r.u32().ok_or(FsError::Corrupt("checkpoint truncated"))? as usize;
+        let nusage = r.u32().ok_or(FsError::Corrupt("checkpoint truncated"))? as usize;
+        if r.remaining() < (nimap + nusage + 1) * 4 {
+            return Err(FsError::Corrupt("checkpoint truncated"));
+        }
+        let mut imap_addrs = Vec::with_capacity(nimap);
+        for _ in 0..nimap {
+            imap_addrs.push(BlockAddr(r.u32().unwrap()));
+        }
+        let mut usage_addrs = Vec::with_capacity(nusage);
+        for _ in 0..nusage {
+            usage_addrs.push(BlockAddr(r.u32().unwrap()));
+        }
+        let body_len = r.position();
+        let stored_crc = r.u32().unwrap();
+        if crc32(&bytes[..body_len]) != stored_crc {
+            return Err(FsError::Corrupt("checkpoint checksum mismatch"));
+        }
+        Ok(Self {
+            timestamp_ns,
+            serial,
+            seq,
+            cur_seg,
+            next_block,
+            partial,
+            next_free_ino,
+            imap_addrs,
+            usage_addrs,
+        })
+    }
+
+    /// Picks the newer of two (possibly invalid) decoded regions.
+    pub fn newest(a: FsResult<Self>, b: FsResult<Self>) -> FsResult<Self> {
+        match (a, b) {
+            (Ok(a), Ok(b)) => Ok(if a.serial >= b.serial { a } else { b }),
+            (Ok(a), Err(_)) => Ok(a),
+            (Err(_), Ok(b)) => Ok(b),
+            (Err(e), Err(_)) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(serial: u64) -> CheckpointRegion {
+        CheckpointRegion {
+            timestamp_ns: 999,
+            serial,
+            seq: 12,
+            cur_seg: SegNo(3),
+            next_block: 17,
+            partial: 2,
+            next_free_ino: Ino(44),
+            imap_addrs: vec![BlockAddr(100), BlockAddr(101), BlockAddr::NIL],
+            usage_addrs: vec![BlockAddr(200)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let cp = sample(5);
+        let bytes = cp.encode(1024);
+        assert_eq!(bytes.len(), 1024);
+        assert_eq!(CheckpointRegion::decode(&bytes).unwrap(), cp);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let bytes = sample(5).encode(1024);
+        let mut bad = bytes.clone();
+        bad[30] ^= 1;
+        assert!(CheckpointRegion::decode(&bad).is_err());
+        // An all-zero (never written) region is invalid, not a panic.
+        assert!(CheckpointRegion::decode(&vec![0u8; 1024]).is_err());
+    }
+
+    #[test]
+    fn newest_prefers_higher_serial_and_tolerates_corruption() {
+        let older = sample(5);
+        let newer = sample(9);
+        assert_eq!(
+            CheckpointRegion::newest(Ok(older.clone()), Ok(newer.clone())).unwrap(),
+            newer
+        );
+        assert_eq!(
+            CheckpointRegion::newest(Err(FsError::Corrupt("x")), Ok(older.clone())).unwrap(),
+            older
+        );
+        assert_eq!(
+            CheckpointRegion::newest(Ok(newer.clone()), Err(FsError::Corrupt("x"))).unwrap(),
+            newer
+        );
+        assert!(
+            CheckpointRegion::newest(Err(FsError::Corrupt("a")), Err(FsError::Corrupt("b")))
+                .is_err()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds target")]
+    fn encode_rejects_overflow() {
+        // A region too small for the address lists must panic loudly
+        // (geometry bug), not silently truncate.
+        let _ = sample(1).encode(64);
+    }
+}

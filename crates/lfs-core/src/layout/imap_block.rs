@@ -1,0 +1,139 @@
+//! Inode-map block format (§4.2.1).
+//!
+//! The inode map takes an inode number to the current log address of that
+//! inode, and also stores the allocation status, the version number
+//! (bumped on delete/truncate-to-zero, used by the cleaner), and the file's
+//! access time (footnote 2: kept here so reads never rewrite inodes).
+
+use vfs::{FsError, FsResult};
+
+use crate::types::{BlockAddr, IMAP_ENTRY_SIZE};
+use crate::util::{ByteReader, ByteWriter};
+
+/// One inode-map entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImapEntry {
+    /// Log block holding this inode (NIL if never written).
+    pub addr: BlockAddr,
+    /// Inode slot within that block.
+    pub slot: u16,
+    /// Whether the inode number is currently allocated.
+    pub allocated: bool,
+    /// Version number; incremented when the file is deleted or truncated
+    /// to length zero.
+    pub version: u32,
+    /// Last access time (virtual ns).
+    pub atime_ns: u64,
+}
+
+impl ImapEntry {
+    /// A never-used entry.
+    pub const FREE: ImapEntry = ImapEntry {
+        addr: BlockAddr::NIL,
+        slot: 0,
+        allocated: false,
+        version: 0,
+        atime_ns: 0,
+    };
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.addr.0);
+        w.u16(self.slot);
+        w.u16(self.allocated as u16);
+        w.u32(self.version);
+        w.u64(self.atime_ns);
+        w.pad(4);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> FsResult<Self> {
+        let addr = BlockAddr(r.u32().ok_or(FsError::Corrupt("imap entry truncated"))?);
+        let slot = r.u16().ok_or(FsError::Corrupt("imap entry truncated"))?;
+        let flags = r.u16().ok_or(FsError::Corrupt("imap entry truncated"))?;
+        let version = r.u32().ok_or(FsError::Corrupt("imap entry truncated"))?;
+        let atime_ns = r.u64().ok_or(FsError::Corrupt("imap entry truncated"))?;
+        r.skip(4).ok_or(FsError::Corrupt("imap entry truncated"))?;
+        Ok(Self {
+            addr,
+            slot,
+            allocated: flags & 1 != 0,
+            version,
+            atime_ns,
+        })
+    }
+}
+
+/// Serialises `entries` into one imap block of `block_size` bytes.
+///
+/// # Panics
+///
+/// Panics if the entries do not fit.
+pub fn encode_block(entries: &[ImapEntry], block_size: usize) -> Vec<u8> {
+    assert!(
+        entries.len() * IMAP_ENTRY_SIZE <= block_size,
+        "too many imap entries for one block"
+    );
+    let mut w = ByteWriter::with_capacity(block_size);
+    for entry in entries {
+        entry.encode(&mut w);
+    }
+    w.pad_to(block_size);
+    w.into_vec()
+}
+
+/// Parses `count` entries from an imap block.
+pub fn decode_block(block: &[u8], count: usize) -> FsResult<Vec<ImapEntry>> {
+    let mut r = ByteReader::new(block);
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(ImapEntry::decode(&mut r)?);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_round_trip() {
+        let entries = vec![
+            ImapEntry {
+                addr: BlockAddr(77),
+                slot: 3,
+                allocated: true,
+                version: 9,
+                atime_ns: 123_456,
+            },
+            ImapEntry::FREE,
+            ImapEntry {
+                addr: BlockAddr::NIL,
+                slot: 0,
+                allocated: true, // Allocated but never flushed.
+                version: 1,
+                atime_ns: 0,
+            },
+        ];
+        let block = encode_block(&entries, 512);
+        assert_eq!(block.len(), 512);
+        assert_eq!(decode_block(&block, 3).unwrap(), entries);
+    }
+
+    #[test]
+    fn entry_size_constant_is_accurate() {
+        let block = encode_block(&[ImapEntry::FREE; 2], 512);
+        let mut r = ByteReader::new(&block);
+        ImapEntry::decode(&mut r).unwrap();
+        assert_eq!(r.position(), IMAP_ENTRY_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many imap entries")]
+    fn encode_rejects_overflow() {
+        let _ = encode_block(&[ImapEntry::FREE; 100], 512);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        assert!(decode_block(&[0u8; 10], 1).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! On-disk formats.
+//!
+//! Everything here is fixed little-endian layout, hand-serialised through
+//! [`crate::util::ByteWriter`] / [`crate::util::ByteReader`]. The disk is
+//! laid out as:
+//!
+//! ```text
+//! block 0                superblock
+//! blocks cp_a .. +cp     checkpoint region A  (fixed location)
+//! blocks cp_b .. +cp     checkpoint region B  (fixed location)
+//! blocks seg_start ..    segments, each seg_blocks long
+//! ```
+//!
+//! Inside a segment the log is a sequence of *chunks*, each written by one
+//! segment write (possibly partial, §4.3.5):
+//!
+//! ```text
+//! [summary block(s) | data/inode/imap/usage blocks ...] [next chunk ...]
+//! ```
+
+pub mod checkpoint;
+pub mod imap_block;
+pub mod inode;
+pub mod summary;
+pub mod superblock;
+pub mod usage_block;

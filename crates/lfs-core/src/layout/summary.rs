@@ -1,0 +1,356 @@
+//! Segment summary blocks (§4.3.1).
+//!
+//! Each segment write deposits a *chunk*: one or more summary blocks
+//! followed by the blocks they describe. "For each block in the segment,
+//! the summary block indicates the file number of the block's file and the
+//! position of the block within the file." The summary also carries the
+//! sequencing and checksums that roll-forward recovery (§4.4.1) needs to
+//! walk the log past the last checkpoint.
+
+use vfs::{FsError, FsResult, Ino};
+
+use crate::types::{SegNo, SUMMARY_ENTRY_SIZE};
+use crate::util::{crc32, ByteReader, ByteWriter};
+
+/// Magic number identifying a chunk header ("SEGS").
+pub const SUMMARY_MAGIC: u32 = 0x5345_4753;
+
+/// Serialised size of a chunk header, in bytes.
+pub const HEADER_SIZE: usize = 44;
+
+/// What a logged block contains, as recorded in its summary entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Data block `bno` of file `ino`.
+    Data {
+        /// Owning file.
+        ino: Ino,
+        /// Block index within the file.
+        bno: u32,
+    },
+    /// The single-indirect pointer block of file `ino`.
+    IndSingle {
+        /// Owning file.
+        ino: Ino,
+    },
+    /// The double-indirect (top-level) pointer block of file `ino`.
+    IndDoubleTop {
+        /// Owning file.
+        ino: Ino,
+    },
+    /// Second-level indirect block `outer` under file `ino`'s double
+    /// indirect pointer.
+    IndDoubleChild {
+        /// Owning file.
+        ino: Ino,
+        /// Slot in the double-indirect top block.
+        outer: u32,
+    },
+    /// A block of packed inodes.
+    InodeBlock,
+    /// Inode-map block `index`.
+    ImapBlock {
+        /// Index within the inode map.
+        index: u32,
+    },
+    /// Segment-usage-table block `index`.
+    UsageBlock {
+        /// Index within the usage table.
+        index: u32,
+    },
+}
+
+/// One summary entry: the identity of one logged block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryEntry {
+    /// What the block contains.
+    pub kind: BlockKind,
+    /// The owning file's version number at write time (zero for
+    /// metadata blocks). §4.3.3 step 1 uses this for fast liveness checks.
+    pub version: u32,
+}
+
+impl SummaryEntry {
+    fn encode(&self, w: &mut ByteWriter) {
+        let (tag, ino, param) = match self.kind {
+            BlockKind::Data { ino, bno } => (1u8, ino.0, bno),
+            BlockKind::IndSingle { ino } => (2, ino.0, 0),
+            BlockKind::IndDoubleTop { ino } => (3, ino.0, 0),
+            BlockKind::IndDoubleChild { ino, outer } => (4, ino.0, outer),
+            BlockKind::InodeBlock => (5, 0, 0),
+            BlockKind::ImapBlock { index } => (6, 0, index),
+            BlockKind::UsageBlock { index } => (7, 0, index),
+        };
+        w.u8(tag);
+        w.pad(3);
+        w.u32(ino);
+        w.u32(param);
+        w.u32(self.version);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> FsResult<Self> {
+        let tag = r.u8().ok_or(FsError::Corrupt("summary entry truncated"))?;
+        r.skip(3)
+            .ok_or(FsError::Corrupt("summary entry truncated"))?;
+        let ino = Ino(r.u32().ok_or(FsError::Corrupt("summary entry truncated"))?);
+        let param = r.u32().ok_or(FsError::Corrupt("summary entry truncated"))?;
+        let version = r.u32().ok_or(FsError::Corrupt("summary entry truncated"))?;
+        let kind = match tag {
+            1 => BlockKind::Data { ino, bno: param },
+            2 => BlockKind::IndSingle { ino },
+            3 => BlockKind::IndDoubleTop { ino },
+            4 => BlockKind::IndDoubleChild { ino, outer: param },
+            5 => BlockKind::InodeBlock,
+            6 => BlockKind::ImapBlock { index: param },
+            7 => BlockKind::UsageBlock { index: param },
+            _ => return Err(FsError::Corrupt("bad summary entry tag")),
+        };
+        Ok(Self { kind, version })
+    }
+}
+
+/// The unvalidated leading fields of a chunk header (successor scans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkHeaderPrefix {
+    /// Sequence number claimed by the header.
+    pub seq: u64,
+    /// Partial-chunk index claimed by the header.
+    pub partial: u32,
+    /// Entry count claimed by the header.
+    pub nentries: u32,
+}
+
+/// A decoded chunk summary: header fields plus per-block entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkSummary {
+    /// Global sequence number of the segment incarnation this chunk
+    /// belongs to (every time a segment is opened for writing it takes the
+    /// next value).
+    pub seq: u64,
+    /// Index of this chunk within its segment (0 for the first write).
+    pub partial: u32,
+    /// Virtual time of the write.
+    pub timestamp_ns: u64,
+    /// If this chunk seals its segment, the segment the log continues in.
+    pub next_seg: SegNo,
+    /// CRC-32 over the described data blocks, for torn-write detection.
+    pub data_crc: u32,
+    /// Number of summary blocks reserved ahead of the payload. The writer
+    /// sizes the summary area for the worst case before knowing the final
+    /// entry count, so readers must use this recorded value (not a
+    /// recomputation from `entries.len()`) to locate the payload.
+    pub reserved_blocks: u32,
+    /// The entries, one per described block, in log order.
+    pub entries: Vec<SummaryEntry>,
+}
+
+impl ChunkSummary {
+    /// Number of summary blocks this chunk occupies for `block_size`.
+    pub fn summary_blocks(nentries: usize, block_size: usize) -> usize {
+        (HEADER_SIZE + nentries * SUMMARY_ENTRY_SIZE).div_ceil(block_size)
+    }
+
+    /// Largest entry count whose summary fits in `max_blocks` summary
+    /// blocks of `block_size`.
+    pub fn max_entries(max_blocks: usize, block_size: usize) -> usize {
+        (max_blocks * block_size).saturating_sub(HEADER_SIZE) / SUMMARY_ENTRY_SIZE
+    }
+
+    /// Serialises the summary into whole blocks of `block_size`.
+    pub fn encode(&self, block_size: usize) -> Vec<u8> {
+        let mut body = ByteWriter::new();
+        for entry in &self.entries {
+            entry.encode(&mut body);
+        }
+        let body = body.into_vec();
+
+        let mut w = ByteWriter::new();
+        w.u32(SUMMARY_MAGIC);
+        w.u64(self.seq);
+        w.u32(self.partial);
+        w.u32(self.entries.len() as u32);
+        w.u64(self.timestamp_ns);
+        w.u32(self.next_seg.0);
+        w.u32(self.data_crc);
+        w.u32(self.reserved_blocks);
+        // Header CRC covers the fields above plus the entry bytes.
+        let mut crc = 0xFFFF_FFFFu32;
+        crc = crate::util::crc32_update(crc, w.as_slice());
+        crc = crate::util::crc32_update(crc, &body);
+        w.u32(crc ^ 0xFFFF_FFFF);
+        debug_assert_eq!(w.len(), HEADER_SIZE);
+        w.bytes(&body);
+
+        let total = (self.reserved_blocks as usize)
+            .max(Self::summary_blocks(self.entries.len(), block_size))
+            * block_size;
+        w.pad_to(total);
+        w.into_vec()
+    }
+
+    /// Decodes only the header fields from the first summary block,
+    /// without requiring (or checksumming) the entry list.
+    ///
+    /// Used by recovery's successor scan, which reads just one block per
+    /// segment. Callers must treat the result as a hint and re-validate
+    /// with [`ChunkSummary::decode`] before applying anything.
+    pub fn decode_header_prefix(bytes: &[u8]) -> FsResult<ChunkHeaderPrefix> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
+        if magic != SUMMARY_MAGIC {
+            return Err(FsError::Corrupt("bad summary magic"));
+        }
+        let seq = r.u64().ok_or(FsError::Corrupt("summary truncated"))?;
+        let partial = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
+        let nentries = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
+        Ok(ChunkHeaderPrefix {
+            seq,
+            partial,
+            nentries,
+        })
+    }
+
+    /// Parses a chunk summary starting at `bytes` (which must span at
+    /// least the full summary; extra trailing bytes are ignored).
+    pub fn decode(bytes: &[u8]) -> FsResult<Self> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
+        if magic != SUMMARY_MAGIC {
+            return Err(FsError::Corrupt("bad summary magic"));
+        }
+        let seq = r.u64().ok_or(FsError::Corrupt("summary truncated"))?;
+        let partial = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
+        let nentries = r.u32().ok_or(FsError::Corrupt("summary truncated"))? as usize;
+        let timestamp_ns = r.u64().ok_or(FsError::Corrupt("summary truncated"))?;
+        let next_seg = SegNo(r.u32().ok_or(FsError::Corrupt("summary truncated"))?);
+        let data_crc = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
+        let reserved_blocks = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
+        let stored_crc = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
+
+        let body_len = nentries
+            .checked_mul(SUMMARY_ENTRY_SIZE)
+            .ok_or(FsError::Corrupt("summary entry count overflow"))?;
+        if r.remaining() < body_len {
+            return Err(FsError::Corrupt("summary truncated"));
+        }
+        let mut crc = 0xFFFF_FFFFu32;
+        crc = crate::util::crc32_update(crc, &bytes[..HEADER_SIZE - 4]);
+        crc = crate::util::crc32_update(crc, &bytes[HEADER_SIZE..HEADER_SIZE + body_len]);
+        if crc ^ 0xFFFF_FFFF != stored_crc {
+            return Err(FsError::Corrupt("summary checksum mismatch"));
+        }
+
+        let mut entries = Vec::with_capacity(nentries);
+        for _ in 0..nentries {
+            entries.push(SummaryEntry::decode(&mut r)?);
+        }
+        Ok(Self {
+            seq,
+            partial,
+            timestamp_ns,
+            next_seg,
+            data_crc,
+            reserved_blocks,
+            entries,
+        })
+    }
+}
+
+/// Computes the data CRC over the payload blocks of a chunk.
+pub fn data_checksum(payload: &[u8]) -> u32 {
+    crc32(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChunkSummary {
+        ChunkSummary {
+            seq: 42,
+            partial: 3,
+            timestamp_ns: 1_234_567,
+            next_seg: SegNo(7),
+            data_crc: 0xABCD_EF01,
+            reserved_blocks: 1,
+            entries: vec![
+                SummaryEntry {
+                    kind: BlockKind::Data {
+                        ino: Ino(5),
+                        bno: 9,
+                    },
+                    version: 2,
+                },
+                SummaryEntry {
+                    kind: BlockKind::InodeBlock,
+                    version: 0,
+                },
+                SummaryEntry {
+                    kind: BlockKind::ImapBlock { index: 3 },
+                    version: 0,
+                },
+                SummaryEntry {
+                    kind: BlockKind::IndDoubleChild {
+                        ino: Ino(5),
+                        outer: 17,
+                    },
+                    version: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let summary = sample();
+        let bytes = summary.encode(512);
+        assert_eq!(bytes.len() % 512, 0);
+        assert_eq!(ChunkSummary::decode(&bytes).unwrap(), summary);
+    }
+
+    #[test]
+    fn decode_rejects_bit_flips() {
+        let bytes = sample().encode(512);
+        for &offset in &[0usize, 5, 20, HEADER_SIZE + 3] {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 0x80;
+            assert!(
+                ChunkSummary::decode(&bad).is_err(),
+                "bit flip at {offset} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_block_count_matches_paper_geometry() {
+        // 1 MB segment of 4 KB blocks: 254 data blocks need 2 summary
+        // blocks (254 entries do not fit in one).
+        assert_eq!(ChunkSummary::summary_blocks(254, 4096), 2);
+        assert_eq!(ChunkSummary::summary_blocks(1, 4096), 1);
+        let max_one = ChunkSummary::max_entries(1, 4096);
+        assert_eq!(max_one, (4096 - HEADER_SIZE) / 16);
+        assert_eq!(ChunkSummary::summary_blocks(max_one, 4096), 1);
+        assert_eq!(ChunkSummary::summary_blocks(max_one + 1, 4096), 2);
+    }
+
+    #[test]
+    fn empty_chunk_is_representable() {
+        let summary = ChunkSummary {
+            seq: 1,
+            partial: 0,
+            timestamp_ns: 0,
+            next_seg: SegNo::NIL,
+            data_crc: 0,
+            reserved_blocks: 1,
+            entries: Vec::new(),
+        };
+        let bytes = summary.encode(512);
+        assert_eq!(ChunkSummary::decode(&bytes).unwrap(), summary);
+    }
+
+    #[test]
+    fn data_checksum_is_stable() {
+        assert_eq!(data_checksum(b"abc"), data_checksum(b"abc"));
+        assert_ne!(data_checksum(b"abc"), data_checksum(b"abd"));
+    }
+}

@@ -1,0 +1,302 @@
+//! The superblock: immutable file-system geometry, written once at format.
+
+use vfs::{FsError, FsResult};
+
+use crate::config::LfsConfig;
+use crate::types::{BlockAddr, SegNo, IMAP_ENTRY_SIZE, USAGE_ENTRY_SIZE};
+use crate::util::{crc32, ByteReader, ByteWriter};
+
+/// Magic number identifying an LFS superblock ("LFS1").
+pub const SUPERBLOCK_MAGIC: u32 = 0x4C46_5331;
+
+/// On-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Immutable geometry of a formatted LFS volume.
+///
+/// The superblock lives in block 0 and is the only block besides the two
+/// checkpoint regions that is ever rewritten in place (it never is, after
+/// format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblock {
+    /// File-system block size in bytes.
+    pub block_size: u32,
+    /// Blocks per segment.
+    pub seg_blocks: u32,
+    /// Number of segments in the log region.
+    pub nsegments: u32,
+    /// Maximum number of inodes.
+    pub max_inodes: u32,
+    /// Size of each checkpoint region, in blocks.
+    pub cp_blocks: u32,
+    /// First block of checkpoint region A.
+    pub cp_a: BlockAddr,
+    /// First block of checkpoint region B.
+    pub cp_b: BlockAddr,
+    /// First block of the segment (log) region.
+    pub seg_start: BlockAddr,
+}
+
+impl Superblock {
+    /// Computes the geometry for a device of `capacity_bytes` under `cfg`.
+    ///
+    /// Returns [`FsError::NoSpace`] if the device is too small to hold the
+    /// metadata regions plus at least four segments.
+    pub fn derive(cfg: &LfsConfig, capacity_bytes: u64) -> FsResult<Self> {
+        cfg.validate();
+        let bs = cfg.block_size as u64;
+        let total_blocks = capacity_bytes / bs;
+        let seg_blocks = cfg.seg_blocks() as u64;
+
+        // Upper bound on segments, used to size the checkpoint region.
+        let max_segments = total_blocks / seg_blocks;
+        let imap_blocks = imap_blocks_for(cfg.max_inodes, cfg.block_size) as u64;
+        let usage_blocks = usage_blocks_for(max_segments as u32, cfg.block_size) as u64;
+        // Header (fits in 128 bytes) + one address per imap/usage block.
+        let cp_bytes = 128 + 4 * (imap_blocks + usage_blocks);
+        let cp_blocks = cp_bytes.div_ceil(bs);
+
+        let seg_start = 1 + 2 * cp_blocks;
+        if total_blocks <= seg_start {
+            return Err(FsError::NoSpace);
+        }
+        let nsegments = (total_blocks - seg_start) / seg_blocks;
+        if nsegments < 4 {
+            return Err(FsError::NoSpace);
+        }
+
+        Ok(Self {
+            block_size: cfg.block_size as u32,
+            seg_blocks: seg_blocks as u32,
+            nsegments: nsegments as u32,
+            max_inodes: cfg.max_inodes,
+            cp_blocks: cp_blocks as u32,
+            cp_a: BlockAddr(1),
+            cp_b: BlockAddr(1 + cp_blocks as u32),
+            seg_start: BlockAddr(seg_start as u32),
+        })
+    }
+
+    /// Number of inode-map blocks.
+    pub fn imap_blocks(&self) -> u32 {
+        imap_blocks_for(self.max_inodes, self.block_size as usize)
+    }
+
+    /// Number of segment-usage-table blocks.
+    pub fn usage_blocks(&self) -> u32 {
+        usage_blocks_for(self.nsegments, self.block_size as usize)
+    }
+
+    /// Inode-map entries per block.
+    pub fn imap_entries_per_block(&self) -> u32 {
+        (self.block_size as usize / IMAP_ENTRY_SIZE) as u32
+    }
+
+    /// Usage entries per block.
+    pub fn usage_entries_per_block(&self) -> u32 {
+        (self.block_size as usize / USAGE_ENTRY_SIZE) as u32
+    }
+
+    /// Inodes per inode block.
+    pub fn inodes_per_block(&self) -> u32 {
+        (self.block_size as usize / crate::types::INODE_SIZE) as u32
+    }
+
+    /// Block-pointers per indirect block.
+    pub fn ptrs_per_block(&self) -> usize {
+        self.block_size as usize / 4
+    }
+
+    /// Address of block `offset` within segment `seg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` or `offset` is out of range.
+    pub fn seg_block(&self, seg: SegNo, offset: u32) -> BlockAddr {
+        assert!(seg.0 < self.nsegments, "segment {seg} out of range");
+        assert!(offset < self.seg_blocks, "offset {offset} out of segment");
+        BlockAddr(self.seg_start.0 + seg.0 * self.seg_blocks + offset)
+    }
+
+    /// Maps a block address back to `(segment, offset)`.
+    ///
+    /// Returns `None` for addresses outside the log region.
+    pub fn seg_of(&self, addr: BlockAddr) -> Option<(SegNo, u32)> {
+        if addr.is_nil() || addr.0 < self.seg_start.0 {
+            return None;
+        }
+        let rel = addr.0 - self.seg_start.0;
+        let seg = rel / self.seg_blocks;
+        if seg >= self.nsegments {
+            return None;
+        }
+        Some((SegNo(seg), rel % self.seg_blocks))
+    }
+
+    /// Usable data capacity in bytes (the whole log region).
+    pub fn log_capacity_bytes(&self) -> u64 {
+        self.nsegments as u64 * self.seg_blocks as u64 * self.block_size as u64
+    }
+
+    /// Serialises into exactly one block.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(self.block_size as usize);
+        w.u32(SUPERBLOCK_MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u32(self.block_size);
+        w.u32(self.seg_blocks);
+        w.u32(self.nsegments);
+        w.u32(self.max_inodes);
+        w.u32(self.cp_blocks);
+        w.u32(self.cp_a.0);
+        w.u32(self.cp_b.0);
+        w.u32(self.seg_start.0);
+        let mut bytes = w.into_vec();
+        let crc = crc32(&bytes);
+        let mut w = ByteWriter::new();
+        w.bytes(&bytes);
+        w.u32(crc);
+        w.pad_to(self.block_size as usize);
+        bytes = w.into_vec();
+        bytes
+    }
+
+    /// Parses a superblock from the first block of a device.
+    pub fn decode(block: &[u8]) -> FsResult<Self> {
+        let mut r = ByteReader::new(block);
+        let magic = r.u32().ok_or(FsError::Corrupt("superblock too short"))?;
+        if magic != SUPERBLOCK_MAGIC {
+            return Err(FsError::Corrupt("bad superblock magic"));
+        }
+        let version = r.u32().ok_or(FsError::Corrupt("superblock too short"))?;
+        if version != FORMAT_VERSION {
+            return Err(FsError::Corrupt("unsupported format version"));
+        }
+        let mut u = || r.u32().ok_or(FsError::Corrupt("superblock too short"));
+        let block_size = u()?;
+        let seg_blocks = u()?;
+        let nsegments = u()?;
+        let max_inodes = u()?;
+        let cp_blocks = u()?;
+        let cp_a = BlockAddr(u()?);
+        let cp_b = BlockAddr(u()?);
+        let seg_start = BlockAddr(u()?);
+        let stored_crc = u()?;
+        let crc = crc32(&block[..40]);
+        if crc != stored_crc {
+            return Err(FsError::Corrupt("superblock checksum mismatch"));
+        }
+        Ok(Self {
+            block_size,
+            seg_blocks,
+            nsegments,
+            max_inodes,
+            cp_blocks,
+            cp_a,
+            cp_b,
+            seg_start,
+        })
+    }
+}
+
+/// Inode-map blocks needed for `max_inodes` at `block_size`.
+pub fn imap_blocks_for(max_inodes: u32, block_size: usize) -> u32 {
+    let per_block = (block_size / IMAP_ENTRY_SIZE) as u32;
+    max_inodes.div_ceil(per_block)
+}
+
+/// Usage-table blocks needed for `nsegments` at `block_size`.
+pub fn usage_blocks_for(nsegments: u32, block_size: usize) -> u32 {
+    let per_block = (block_size / USAGE_ENTRY_SIZE) as u32;
+    nsegments.div_ceil(per_block).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Superblock {
+        Superblock::derive(&LfsConfig::small_test(), 16 * 1024 * 1024).unwrap()
+    }
+
+    #[test]
+    fn derive_produces_consistent_geometry() {
+        let sb = sample();
+        assert_eq!(sb.block_size, 512);
+        assert_eq!(sb.seg_blocks, 32);
+        assert!(sb.nsegments >= 4);
+        assert!(sb.seg_start.0 > 2 * sb.cp_blocks);
+        // Total footprint fits the device.
+        let total_blocks = 16 * 1024 * 1024 / 512;
+        assert!((sb.seg_start.0 + sb.nsegments * sb.seg_blocks) as u64 <= total_blocks);
+    }
+
+    #[test]
+    fn derive_rejects_tiny_devices() {
+        assert_eq!(
+            Superblock::derive(&LfsConfig::small_test(), 4 * 1024),
+            Err(FsError::NoSpace)
+        );
+    }
+
+    #[test]
+    fn paper_geometry_on_300mb() {
+        let sb = Superblock::derive(&LfsConfig::paper(), 310 * 1024 * 1024).unwrap();
+        assert_eq!(sb.block_size, 4096);
+        assert_eq!(sb.seg_blocks, 256);
+        // Roughly 300 one-megabyte segments.
+        assert!(sb.nsegments >= 290 && sb.nsegments <= 310);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let sb = sample();
+        let bytes = sb.encode();
+        assert_eq!(bytes.len(), sb.block_size as usize);
+        assert_eq!(Superblock::decode(&bytes).unwrap(), sb);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let sb = sample();
+        let mut bytes = sb.encode();
+        bytes[8] ^= 0xFF;
+        assert!(matches!(
+            Superblock::decode(&bytes),
+            Err(FsError::Corrupt(_))
+        ));
+        let mut bad_magic = sb.encode();
+        bad_magic[0] = 0;
+        assert_eq!(
+            Superblock::decode(&bad_magic),
+            Err(FsError::Corrupt("bad superblock magic"))
+        );
+    }
+
+    #[test]
+    fn seg_block_addressing_round_trips() {
+        let sb = sample();
+        let addr = sb.seg_block(SegNo(2), 5);
+        assert_eq!(sb.seg_of(addr), Some((SegNo(2), 5)));
+        // Superblock and checkpoint regions are outside the log.
+        assert_eq!(sb.seg_of(BlockAddr(0)), None);
+        assert_eq!(sb.seg_of(BlockAddr::NIL), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn seg_block_rejects_bad_segment() {
+        let sb = sample();
+        let _ = sb.seg_block(SegNo(sb.nsegments), 0);
+    }
+
+    #[test]
+    fn helper_counts_round_up() {
+        assert_eq!(imap_blocks_for(1, 512), 1);
+        // 512 / 24 = 21 entries per block.
+        assert_eq!(imap_blocks_for(22, 512), 2);
+        assert_eq!(usage_blocks_for(1, 512), 1);
+        // 512 / 16 = 32 entries per block.
+        assert_eq!(usage_blocks_for(33, 512), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Segment-usage-table block format (§4.3.4).
+//!
+//! "LFS keeps a data structure called the segment usage array that keeps
+//! an estimate of the number of live blocks in each segment." The array is
+//! memory-resident and flushed at checkpoints; because it is only a hint
+//! for cleaning policy, exact crash recovery is not required.
+
+use vfs::{FsError, FsResult};
+
+use crate::types::USAGE_ENTRY_SIZE;
+use crate::util::{ByteReader, ByteWriter};
+
+/// Life-cycle state of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegState {
+    /// Contains no live data; available for writing.
+    Clean,
+    /// Contains (possibly zero) live data written by the log.
+    Dirty,
+    /// Currently open for log writes.
+    Active,
+    /// Cleaned, but not reusable until the next checkpoint commits the
+    /// relocated blocks (crash-safety rule; see `cleaner` module docs).
+    CleanPending,
+}
+
+impl SegState {
+    fn to_u32(self) -> u32 {
+        match self {
+            SegState::Clean => 0,
+            SegState::Dirty => 1,
+            SegState::Active => 2,
+            SegState::CleanPending => 3,
+        }
+    }
+
+    fn from_u32(v: u32) -> FsResult<Self> {
+        match v {
+            0 => Ok(SegState::Clean),
+            1 => Ok(SegState::Dirty),
+            2 => Ok(SegState::Active),
+            3 => Ok(SegState::CleanPending),
+            _ => Err(FsError::Corrupt("bad segment state")),
+        }
+    }
+}
+
+/// One usage-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsageEntry {
+    /// Estimated live bytes in the segment.
+    pub live_bytes: u32,
+    /// Segment state.
+    pub state: SegState,
+    /// Virtual time of the most recent write to the segment (used by the
+    /// cost-benefit cleaning policy's age term).
+    pub last_write_ns: u64,
+}
+
+impl UsageEntry {
+    /// A clean, never-written segment.
+    pub const CLEAN: UsageEntry = UsageEntry {
+        live_bytes: 0,
+        state: SegState::Clean,
+        last_write_ns: 0,
+    };
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.live_bytes);
+        w.u32(self.state.to_u32());
+        w.u64(self.last_write_ns);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> FsResult<Self> {
+        let live_bytes = r.u32().ok_or(FsError::Corrupt("usage entry truncated"))?;
+        let state = SegState::from_u32(r.u32().ok_or(FsError::Corrupt("usage entry truncated"))?)?;
+        let last_write_ns = r.u64().ok_or(FsError::Corrupt("usage entry truncated"))?;
+        Ok(Self {
+            live_bytes,
+            state,
+            last_write_ns,
+        })
+    }
+}
+
+/// Serialises `entries` into one usage block.
+///
+/// # Panics
+///
+/// Panics if the entries do not fit in `block_size`.
+pub fn encode_block(entries: &[UsageEntry], block_size: usize) -> Vec<u8> {
+    assert!(
+        entries.len() * USAGE_ENTRY_SIZE <= block_size,
+        "too many usage entries for one block"
+    );
+    let mut w = ByteWriter::with_capacity(block_size);
+    for entry in entries {
+        entry.encode(&mut w);
+    }
+    w.pad_to(block_size);
+    w.into_vec()
+}
+
+/// Parses `count` entries from a usage block.
+pub fn decode_block(block: &[u8], count: usize) -> FsResult<Vec<UsageEntry>> {
+    let mut r = ByteReader::new(block);
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(UsageEntry::decode(&mut r)?);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_round_trip() {
+        let entries = vec![
+            UsageEntry {
+                live_bytes: 4096,
+                state: SegState::Dirty,
+                last_write_ns: 777,
+            },
+            UsageEntry::CLEAN,
+            UsageEntry {
+                live_bytes: 0,
+                state: SegState::CleanPending,
+                last_write_ns: 1,
+            },
+            UsageEntry {
+                live_bytes: 123,
+                state: SegState::Active,
+                last_write_ns: 2,
+            },
+        ];
+        let block = encode_block(&entries, 512);
+        assert_eq!(decode_block(&block, 4).unwrap(), entries);
+    }
+
+    #[test]
+    fn entry_size_constant_is_accurate() {
+        let block = encode_block(&[UsageEntry::CLEAN], 512);
+        let mut r = ByteReader::new(&block);
+        UsageEntry::decode(&mut r).unwrap();
+        assert_eq!(r.position(), USAGE_ENTRY_SIZE);
+    }
+
+    #[test]
+    fn decode_rejects_bad_state() {
+        let mut block = encode_block(&[UsageEntry::CLEAN], 512);
+        block[4] = 200;
+        assert_eq!(
+            decode_block(&block, 1),
+            Err(FsError::Corrupt("bad segment state"))
+        );
+    }
+}

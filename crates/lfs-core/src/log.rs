@@ -1,0 +1,299 @@
+//! The segment writer (§4.1).
+//!
+//! A [`ChunkBuilder`] accumulates blocks for one log *chunk*: the unit of
+//! a single sequential disk transfer, consisting of summary block(s)
+//! followed by payload blocks. A full segment write is one chunk spanning
+//! the whole segment; a partial segment write (sync, age threshold, §4.3.5)
+//! is a smaller chunk appended at the segment's current fill point.
+//!
+//! The summary area is sized for the worst case (the chunk filling the
+//! rest of the segment) so payload block addresses are known the moment a
+//! block is added — they go straight into inode and indirect-block
+//! pointers while the chunk is still being built.
+
+use crate::layout::summary::{self, BlockKind, ChunkSummary, SummaryEntry};
+use crate::types::{BlockAddr, SegNo};
+
+/// The current append position of the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogPosition {
+    /// Segment currently open for writing.
+    pub seg: SegNo,
+    /// Next free block offset within the segment.
+    pub offset: u32,
+    /// Next chunk (partial-write) index within the segment.
+    pub partial: u32,
+    /// Sequence number of the current segment incarnation.
+    pub seq: u64,
+}
+
+/// Plans the summary area for a chunk starting with `remaining` free
+/// blocks in its segment.
+///
+/// Returns `(summary_blocks, payload_capacity)`, or `None` if there is not
+/// enough room for at least one summary block and one payload block (the
+/// segment should be sealed instead).
+pub fn plan_chunk(remaining: usize, block_size: usize) -> Option<(usize, usize)> {
+    for s in 1..remaining {
+        let capacity = remaining - s;
+        if ChunkSummary::summary_blocks(capacity, block_size) <= s {
+            return Some((s, capacity));
+        }
+    }
+    None
+}
+
+/// A finished chunk, ready to be written with one disk transfer.
+#[derive(Debug)]
+pub struct FinishedChunk {
+    /// Disk address of the first (summary) block.
+    pub addr: BlockAddr,
+    /// The raw bytes: summary blocks followed by payload blocks.
+    pub bytes: Vec<u8>,
+    /// Total blocks consumed from the segment (summary + payload).
+    pub blocks_used: u32,
+    /// Summary blocks consumed (log overhead).
+    pub summary_blocks: u32,
+    /// Payload blocks written.
+    pub payload_blocks: u32,
+}
+
+/// Accumulates blocks for one chunk.
+#[derive(Debug)]
+pub struct ChunkBuilder {
+    seg: SegNo,
+    /// Disk address of the chunk start.
+    start_addr: BlockAddr,
+    summary_blocks: usize,
+    capacity: usize,
+    block_size: usize,
+    entries: Vec<SummaryEntry>,
+    payload: Vec<u8>,
+}
+
+impl ChunkBuilder {
+    /// Starts a chunk at `start` within segment `seg` (whose block 0 has
+    /// disk address `seg_base`), with `remaining` free blocks.
+    ///
+    /// Returns `None` when the tail of the segment is too small to be
+    /// worth a chunk — the caller should seal the segment.
+    pub fn new(
+        seg: SegNo,
+        seg_base: BlockAddr,
+        start: u32,
+        remaining: usize,
+        block_size: usize,
+    ) -> Option<Self> {
+        let (summary_blocks, capacity) = plan_chunk(remaining, block_size)?;
+        Some(Self {
+            seg,
+            start_addr: BlockAddr(seg_base.0 + start),
+            summary_blocks,
+            capacity,
+            block_size,
+            entries: Vec::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    /// The segment this chunk is being built in.
+    pub fn seg(&self) -> SegNo {
+        self.seg
+    }
+
+    /// Payload blocks added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if no payload has been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Payload blocks that can still be added.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Returns true if the chunk has reached its payload capacity.
+    pub fn is_full(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Total segment blocks this chunk will consume when finished
+    /// (reserved summary area plus payload so far).
+    pub fn blocks_used(&self) -> u32 {
+        (self.summary_blocks + self.entries.len()) as u32
+    }
+
+    /// Adds one payload block and returns its disk address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is full or the block size is wrong.
+    pub fn add(&mut self, kind: BlockKind, version: u32, data: &[u8]) -> BlockAddr {
+        assert!(!self.is_full(), "chunk is full");
+        assert_eq!(data.len(), self.block_size, "payload block size mismatch");
+        let index = self.entries.len() as u32;
+        self.entries.push(SummaryEntry { kind, version });
+        self.payload.extend_from_slice(data);
+        BlockAddr(self.start_addr.0 + self.summary_blocks as u32 + index)
+    }
+
+    /// Replaces the payload of block `index` (0-based within this
+    /// chunk). Used by the checkpoint to re-encode the segment usage
+    /// table *after* the placement of the table's own blocks has been
+    /// accounted — the data CRC is computed at finish, so patching here
+    /// is safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the size differs.
+    pub fn replace_payload(&mut self, index: usize, data: &[u8]) {
+        assert!(index < self.entries.len(), "payload index out of range");
+        assert_eq!(data.len(), self.block_size, "payload block size mismatch");
+        let start = index * self.block_size;
+        self.payload[start..start + self.block_size].copy_from_slice(data);
+    }
+
+    /// Seals the chunk into writable bytes.
+    pub fn finish(
+        self,
+        seq: u64,
+        partial: u32,
+        timestamp_ns: u64,
+        next_seg: SegNo,
+    ) -> FinishedChunk {
+        let payload_blocks = self.entries.len() as u32;
+        // The summary area was sized for the worst case; the actual
+        // summary may need fewer blocks, but we keep the reserved size so
+        // payload addresses remain valid. Extra summary blocks are dead
+        // space reclaimed by the cleaner like any other.
+        let summary = ChunkSummary {
+            seq,
+            partial,
+            timestamp_ns,
+            next_seg,
+            data_crc: summary::data_checksum(&self.payload),
+            reserved_blocks: self.summary_blocks as u32,
+            entries: self.entries,
+        };
+        let mut bytes = summary.encode(self.block_size);
+        let reserved = self.summary_blocks * self.block_size;
+        assert!(
+            bytes.len() <= reserved,
+            "summary exceeded its reserved area"
+        );
+        bytes.resize(reserved, 0);
+        bytes.extend_from_slice(&self.payload);
+        FinishedChunk {
+            addr: self.start_addr,
+            bytes,
+            blocks_used: self.summary_blocks as u32 + payload_blocks,
+            summary_blocks: self.summary_blocks as u32,
+            payload_blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::Ino;
+
+    #[test]
+    fn plan_chunk_matches_paper_geometry() {
+        // 256-block segment of 4 KB blocks: 2 summary blocks, 254 payload.
+        assert_eq!(plan_chunk(256, 4096), Some((2, 254)));
+        // Small tail: 1 summary + 1 payload.
+        assert_eq!(plan_chunk(2, 4096), Some((1, 1)));
+        // Too small for anything.
+        assert_eq!(plan_chunk(1, 4096), None);
+        assert_eq!(plan_chunk(0, 4096), None);
+    }
+
+    #[test]
+    fn plan_chunk_summary_always_fits() {
+        for bs in [512usize, 4096] {
+            for remaining in 2..300 {
+                if let Some((s, capacity)) = plan_chunk(remaining, bs) {
+                    assert_eq!(s + capacity, remaining);
+                    assert!(ChunkSummary::summary_blocks(capacity, bs) <= s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builder_assigns_contiguous_addresses() {
+        let mut b = ChunkBuilder::new(SegNo(0), BlockAddr(100), 4, 10, 512).unwrap();
+        // 512-byte blocks: one summary block covers plenty of entries.
+        let a0 = b.add(
+            BlockKind::Data {
+                ino: Ino(1),
+                bno: 0,
+            },
+            1,
+            &[0xAA; 512],
+        );
+        let a1 = b.add(
+            BlockKind::Data {
+                ino: Ino(1),
+                bno: 1,
+            },
+            1,
+            &[0xBB; 512],
+        );
+        // Chunk starts at offset 4 in a segment based at block 100, and
+        // one summary block precedes the payload.
+        assert_eq!(a0, BlockAddr(105));
+        assert_eq!(a1, BlockAddr(106));
+    }
+
+    #[test]
+    fn finished_chunk_round_trips_through_summary_decode() {
+        let mut b = ChunkBuilder::new(SegNo(2), BlockAddr(64), 0, 32, 512).unwrap();
+        b.add(
+            BlockKind::Data {
+                ino: Ino(3),
+                bno: 7,
+            },
+            5,
+            &[1; 512],
+        );
+        b.add(BlockKind::InodeBlock, 0, &[2; 512]);
+        let chunk = b.finish(9, 1, 777, SegNo::NIL);
+        assert_eq!(chunk.addr, BlockAddr(64));
+        assert_eq!(chunk.payload_blocks, 2);
+        assert_eq!(chunk.bytes.len(), (chunk.blocks_used as usize) * 512);
+
+        let summary = ChunkSummary::decode(&chunk.bytes).unwrap();
+        assert_eq!(summary.seq, 9);
+        assert_eq!(summary.partial, 1);
+        assert_eq!(summary.entries.len(), 2);
+        let payload_start = chunk.summary_blocks as usize * 512;
+        assert_eq!(
+            summary.data_crc,
+            summary::data_checksum(&chunk.bytes[payload_start..])
+        );
+    }
+
+    #[test]
+    fn is_full_stops_at_capacity() {
+        let mut b = ChunkBuilder::new(SegNo(0), BlockAddr(10), 0, 3, 512).unwrap();
+        // remaining=3: 1 summary + 2 payload.
+        assert_eq!(b.remaining(), 2);
+        b.add(BlockKind::InodeBlock, 0, &[0; 512]);
+        b.add(BlockKind::InodeBlock, 0, &[0; 512]);
+        assert!(b.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk is full")]
+    fn add_past_capacity_panics() {
+        let mut b = ChunkBuilder::new(SegNo(0), BlockAddr(10), 0, 2, 512).unwrap();
+        b.add(BlockKind::InodeBlock, 0, &[0; 512]);
+        b.add(BlockKind::InodeBlock, 0, &[0; 512]);
+    }
+}

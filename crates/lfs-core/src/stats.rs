@@ -1,0 +1,87 @@
+//! Operational counters for experiments and debugging.
+
+/// Counters accumulated by a mounted LFS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LfsStats {
+    /// Log chunks written (each is one sequential disk transfer).
+    pub chunks_written: u64,
+    /// Chunks that did not fill their segment (partial segment writes).
+    pub partial_chunks: u64,
+    /// Segments sealed (filled and closed).
+    pub segments_sealed: u64,
+    /// File data blocks written to the log.
+    pub data_blocks_written: u64,
+    /// Indirect blocks written to the log.
+    pub indirect_blocks_written: u64,
+    /// Inode blocks written to the log.
+    pub inode_blocks_written: u64,
+    /// Inode-map blocks written to the log.
+    pub imap_blocks_written: u64,
+    /// Usage-table blocks written to the log.
+    pub usage_blocks_written: u64,
+    /// Summary blocks written (log overhead).
+    pub summary_blocks_written: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// Segments processed by the cleaner.
+    pub segments_cleaned: u64,
+    /// Live blocks the cleaner copied back into the cache.
+    pub cleaner_blocks_copied: u64,
+    /// Live inodes the cleaner re-dirtied.
+    pub cleaner_inodes_copied: u64,
+    /// Bytes of whole-segment reads performed by the cleaner.
+    pub cleaner_bytes_read: u64,
+    /// Cleaner passes that ran.
+    pub cleaner_passes: u64,
+    /// Log chunks replayed by roll-forward at the last mount.
+    pub rollforward_chunks: u64,
+    /// Inodes recovered by roll-forward at the last mount.
+    pub rollforward_inodes: u64,
+}
+
+impl LfsStats {
+    /// Total blocks written to the log, including summary overhead.
+    pub fn total_log_blocks(&self) -> u64 {
+        self.data_blocks_written
+            + self.indirect_blocks_written
+            + self.inode_blocks_written
+            + self.imap_blocks_written
+            + self.usage_blocks_written
+            + self.summary_blocks_written
+    }
+
+    /// Fraction of written blocks that were summary overhead.
+    pub fn summary_overhead(&self) -> f64 {
+        let total = self.total_log_blocks();
+        if total == 0 {
+            0.0
+        } else {
+            self.summary_blocks_written as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_block_kinds() {
+        let stats = LfsStats {
+            data_blocks_written: 10,
+            indirect_blocks_written: 2,
+            inode_blocks_written: 3,
+            imap_blocks_written: 1,
+            usage_blocks_written: 1,
+            summary_blocks_written: 3,
+            ..LfsStats::default()
+        };
+        assert_eq!(stats.total_log_blocks(), 20);
+        assert!((stats.summary_overhead() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_of_nothing_is_zero() {
+        assert_eq!(LfsStats::default().summary_overhead(), 0.0);
+    }
+}

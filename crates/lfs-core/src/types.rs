@@ -1,0 +1,93 @@
+//! Core address types for the log-structured layout.
+
+use std::fmt;
+
+/// A file-system block address: the block's index on the device, in
+/// FS-block units (not sectors).
+///
+/// `BlockAddr::NIL` marks "no block" — a hole in a file or an unset
+/// pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr(pub u32);
+
+impl BlockAddr {
+    /// The null address.
+    pub const NIL: BlockAddr = BlockAddr(u32::MAX);
+
+    /// Returns true if this address points at a real block.
+    pub fn is_some(self) -> bool {
+        self != Self::NIL
+    }
+
+    /// Returns true if this is the null address.
+    pub fn is_nil(self) -> bool {
+        self == Self::NIL
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_nil() {
+            write!(f, "NIL")
+        } else {
+            write!(f, "blk{}", self.0)
+        }
+    }
+}
+
+/// A segment number: the index of a segment within the log region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegNo(pub u32);
+
+impl SegNo {
+    /// The null segment number.
+    pub const NIL: SegNo = SegNo(u32::MAX);
+
+    /// Returns true if this is a real segment number.
+    pub fn is_some(self) -> bool {
+        self != Self::NIL
+    }
+}
+
+impl fmt::Display for SegNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Self::NIL {
+            write!(f, "segNIL")
+        } else {
+            write!(f, "seg{}", self.0)
+        }
+    }
+}
+
+/// On-disk size of one inode, in bytes.
+pub const INODE_SIZE: usize = 128;
+
+/// On-disk size of one inode-map entry, in bytes.
+pub const IMAP_ENTRY_SIZE: usize = 24;
+
+/// On-disk size of one segment-usage entry, in bytes.
+pub const USAGE_ENTRY_SIZE: usize = 16;
+
+/// On-disk size of one segment-summary entry, in bytes.
+pub const SUMMARY_ENTRY_SIZE: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_addresses() {
+        assert!(BlockAddr::NIL.is_nil());
+        assert!(!BlockAddr::NIL.is_some());
+        assert!(BlockAddr(0).is_some());
+        assert_eq!(format!("{}", BlockAddr(7)), "blk7");
+        assert_eq!(format!("{}", BlockAddr::NIL), "NIL");
+    }
+
+    #[test]
+    fn seg_numbers() {
+        assert!(!SegNo::NIL.is_some());
+        assert!(SegNo(0).is_some());
+        assert_eq!(format!("{}", SegNo(3)), "seg3");
+    }
+}

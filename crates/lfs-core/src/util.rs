@@ -1,0 +1,6 @@
+//! Little-endian serialisation helpers and CRC-32.
+//!
+//! The implementations live in [`vfs::wire`], shared with the FFS
+//! baseline; re-exported here for the layout modules.
+
+pub use vfs::wire::{crc32, crc32_update, ByteReader, ByteWriter};

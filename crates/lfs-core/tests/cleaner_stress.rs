@@ -1,0 +1,118 @@
+//! Cleaner stress tests: sustained churn on a small disk, under every
+//! victim-selection policy, with consistency checks throughout.
+
+use std::sync::Arc;
+
+use lfs_core::{CleanerPolicy, Lfs, LfsConfig};
+use sim_disk::{Clock, DiskGeometry, SimDisk};
+use vfs::FileSystem;
+
+fn small_disk_fs(policy: CleanerPolicy) -> Lfs<SimDisk> {
+    let clock = Clock::new();
+    // 1 MB disk, 16 KB segments: cleaning is unavoidable under churn.
+    let disk = SimDisk::new(DiskGeometry::tiny_test(2048), Arc::clone(&clock));
+    let mut cfg = LfsConfig::small_test();
+    cfg.cleaner.policy = policy;
+    Lfs::format(disk, cfg, clock).unwrap()
+}
+
+fn churn(fs: &mut Lfs<SimDisk>, rounds: usize, check_every: usize) {
+    let blob = vec![0x5Au8; 20_000];
+    for round in 0..rounds {
+        let path = format!("/blob{}", round % 4);
+        if round >= 4 {
+            fs.unlink(&path)
+                .unwrap_or_else(|e| panic!("round {round}: unlink failed: {e}"));
+        }
+        fs.write_file(&path, &blob)
+            .unwrap_or_else(|e| panic!("round {round}: write failed: {e}"));
+        if round % check_every == 0 {
+            let report = fs.fsck().unwrap();
+            assert!(
+                report.is_clean(),
+                "round {round} (cleaned {} segs):\n{report}",
+                fs.stats().segments_cleaned
+            );
+        }
+    }
+    fs.sync().unwrap();
+    assert!(fs.stats().segments_cleaned > 0, "cleaner never ran");
+    // All surviving files must read back intact.
+    for i in 0..4 {
+        assert_eq!(
+            fs.read_file(&format!("/blob{i}")).unwrap(),
+            blob,
+            "blob{i} corrupted after cleaning"
+        );
+    }
+    let report = fs.fsck().unwrap();
+    assert!(report.is_clean(), "final fsck:\n{report}");
+}
+
+#[test]
+fn greedy_policy_survives_churn() {
+    let mut fs = small_disk_fs(CleanerPolicy::Greedy);
+    churn(&mut fs, 150, 10);
+}
+
+#[test]
+fn cost_benefit_policy_survives_churn() {
+    let mut fs = small_disk_fs(CleanerPolicy::CostBenefit);
+    churn(&mut fs, 150, 10);
+}
+
+#[test]
+fn oldest_policy_survives_churn() {
+    let mut fs = small_disk_fs(CleanerPolicy::Oldest);
+    churn(&mut fs, 150, 10);
+}
+
+#[test]
+fn explicit_clean_until_reclaims_space() {
+    let mut fs = small_disk_fs(CleanerPolicy::Greedy);
+    // Fill with short-lived files, then delete most of them.
+    for i in 0..30 {
+        fs.write_file(&format!("/f{i}"), &vec![i as u8; 16_000])
+            .unwrap();
+    }
+    for i in 0..28 {
+        fs.unlink(&format!("/f{i}")).unwrap();
+    }
+    fs.sync().unwrap();
+    let before = fs.usage_table().clean_count();
+    let after = fs.clean_until(before + 5).unwrap();
+    assert!(after > before, "user-initiated cleaning must make progress");
+    let report = fs.fsck().unwrap();
+    assert!(report.is_clean(), "{report}");
+    // The two survivors are intact.
+    assert_eq!(fs.read_file("/f28").unwrap(), vec![28u8; 16_000]);
+    assert_eq!(fs.read_file("/f29").unwrap(), vec![29u8; 16_000]);
+}
+
+#[test]
+fn cleaning_preserves_remount() {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(2048), Arc::clone(&clock));
+    let geometry = disk.geometry().clone();
+    let mut fs = Lfs::format(disk, LfsConfig::small_test(), Arc::clone(&clock)).unwrap();
+    let blob = vec![7u8; 20_000];
+    for round in 0..100 {
+        let path = format!("/blob{}", round % 4);
+        if round >= 4 {
+            fs.unlink(&path).unwrap();
+        }
+        fs.write_file(&path, &blob).unwrap();
+    }
+    fs.sync().unwrap();
+    assert!(fs.stats().segments_cleaned > 0);
+
+    let image = fs.into_device().into_image();
+    let clock2 = Clock::new();
+    let disk2 = SimDisk::from_image(geometry, Arc::clone(&clock2), image);
+    let mut fs2 = Lfs::mount(disk2, LfsConfig::small_test(), clock2).unwrap();
+    for i in 0..4 {
+        assert_eq!(fs2.read_file(&format!("/blob{i}")).unwrap(), blob);
+    }
+    let report = fs2.fsck().unwrap();
+    assert!(report.is_clean(), "{report}");
+}

@@ -1,0 +1,153 @@
+//! The full operation suite across a matrix of geometry configurations —
+//! block sizes, segment sizes, and inode counts must all be first-class.
+
+use std::sync::Arc;
+
+use lfs_core::{Lfs, LfsConfig};
+use sim_disk::{Clock, DiskGeometry, SimDisk};
+use vfs::{FileSystem, FsError};
+
+fn exercise(cfg: LfsConfig, disk_sectors: u64, label: &str) {
+    cfg.validate();
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(disk_sectors), Arc::clone(&clock));
+    let geometry = disk.geometry().clone();
+    let mut fs = Lfs::format(disk, cfg.clone(), Arc::clone(&clock))
+        .unwrap_or_else(|e| panic!("{label}: format failed: {e}"));
+
+    // A bit of everything: nesting, sizes spanning direct and indirect
+    // ranges, holes, renames, links, deletes.
+    fs.mkdir("/d").unwrap();
+    fs.mkdir("/d/e").unwrap();
+    let sizes = [
+        0usize,
+        1,
+        cfg.block_size - 1,
+        cfg.block_size,
+        cfg.block_size * 3 + 7,
+        cfg.block_size * 14, // Into the single-indirect range.
+        cfg.block_size * (14 + cfg.block_size / 4), // Into double-indirect.
+    ];
+    for (i, &size) in sizes.iter().enumerate() {
+        let data: Vec<u8> = (0..size).map(|b| (b * 31 + i) as u8).collect();
+        fs.write_file(&format!("/d/f{i}"), &data)
+            .unwrap_or_else(|e| panic!("{label}: write f{i} ({size} B): {e}"));
+    }
+    let sparse = fs.create("/d/sparse").unwrap();
+    fs.write_at(sparse, (cfg.block_size * 20) as u64, b"tail")
+        .unwrap();
+    fs.link("/d/f1", "/d/e/alias").unwrap();
+    fs.rename("/d/f2", "/d/e/moved").unwrap();
+    fs.unlink("/d/f3").unwrap();
+    fs.sync().unwrap();
+    fs.drop_caches().unwrap();
+
+    for (i, &size) in sizes.iter().enumerate() {
+        if i == 2 {
+            continue; // f2 was renamed.
+        }
+        if i == 3 {
+            continue; // f3 was deleted.
+        }
+        let data = fs
+            .read_file(&format!("/d/f{i}"))
+            .unwrap_or_else(|e| panic!("{label}: read f{i}: {e}"));
+        assert_eq!(data.len(), size, "{label}: f{i} length");
+        assert!(
+            data.iter()
+                .enumerate()
+                .all(|(b, &v)| v == (b * 31 + i) as u8),
+            "{label}: f{i} contents corrupted"
+        );
+    }
+    assert_eq!(fs.read_file("/d/e/moved").unwrap().len(), sizes[2]);
+    assert_eq!(fs.lookup("/d/f3"), Err(FsError::NotFound));
+    let report = fs.fsck().unwrap();
+    assert!(report.is_clean(), "{label}: fsck:\n{report}");
+
+    // Remount and verify again.
+    let image = fs.into_device().into_image();
+    let disk = SimDisk::from_image(geometry, Clock::new(), image);
+    let clock = disk.clock().clone();
+    let mut fs =
+        Lfs::mount(disk, cfg, clock).unwrap_or_else(|e| panic!("{label}: remount failed: {e}"));
+    assert_eq!(
+        fs.read_file("/d/e/alias").unwrap().len(),
+        sizes[1],
+        "{label}: hard link after remount"
+    );
+    let report = fs.fsck().unwrap();
+    assert!(report.is_clean(), "{label}: post-remount fsck:\n{report}");
+}
+
+#[test]
+fn paper_config_on_a_64mb_disk() {
+    exercise(LfsConfig::paper(), 64 * 2048, "paper 4K/1M");
+}
+
+#[test]
+fn tiny_blocks_tiny_segments() {
+    exercise(LfsConfig::small_test(), 16_384, "512B/16K");
+}
+
+#[test]
+fn small_blocks_large_segments() {
+    let cfg = LfsConfig::small_test().with_segment_bytes(256 * 1024);
+    exercise(cfg, 32_768, "512B/256K");
+}
+
+#[test]
+fn large_blocks() {
+    let cfg = LfsConfig::paper()
+        .with_block_size(8192)
+        .with_segment_bytes(1024 * 1024)
+        .with_cache_bytes(1024 * 1024);
+    exercise(cfg, 64 * 2048, "8K/1M");
+}
+
+#[test]
+fn segment_equals_a_few_blocks() {
+    // The degenerate minimum: 4-block segments.
+    let mut cfg = LfsConfig::small_test().with_segment_bytes(4 * 512);
+    cfg.cache_bytes = 16 * 1024;
+    exercise(cfg, 16_384, "512B/2K");
+}
+
+#[test]
+fn few_inodes_exhaust_cleanly() {
+    let mut cfg = LfsConfig::small_test();
+    cfg.max_inodes = 8; // Slot 0 reserved; root + 6 others usable.
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(16_384), Arc::clone(&clock));
+    let mut fs = Lfs::format(disk, cfg, clock).unwrap();
+    let mut created = 0;
+    for i in 0..16 {
+        match fs.create(&format!("/f{i}")) {
+            Ok(_) => created += 1,
+            Err(FsError::NoInodes) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(created, 6, "exactly the non-root inodes");
+    // Deleting frees an inode for reuse.
+    fs.unlink("/f0").unwrap();
+    fs.create("/again").unwrap();
+    assert!(fs.fsck().unwrap().is_clean());
+}
+
+#[test]
+fn mismatched_mount_config_is_rejected() {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(16_384), Arc::clone(&clock));
+    let geometry = disk.geometry().clone();
+    let fs = Lfs::format(disk, LfsConfig::small_test(), clock).unwrap();
+    let image = fs.into_device().into_image();
+
+    let disk = SimDisk::from_image(geometry, Clock::new(), image);
+    let clock = disk.clock().clone();
+    let wrong = LfsConfig::small_test().with_block_size(1024);
+    assert!(matches!(
+        Lfs::mount(disk, wrong, clock),
+        Err(FsError::Corrupt(_))
+    ));
+}

@@ -1,0 +1,222 @@
+//! Property tests for the LFS on-disk formats: arbitrary-value round
+//! trips, and decoder robustness against arbitrary garbage — a recovery
+//! path must never panic on whatever a torn write left behind.
+
+use proptest::prelude::*;
+
+use lfs_core::layout::checkpoint::CheckpointRegion;
+use lfs_core::layout::imap_block::{self, ImapEntry};
+use lfs_core::layout::inode::{inode_block, Inode};
+use lfs_core::layout::summary::{BlockKind, ChunkSummary, SummaryEntry};
+use lfs_core::layout::usage_block::{self, SegState, UsageEntry};
+use lfs_core::types::{BlockAddr, SegNo};
+use vfs::{FileKind, Ino};
+
+fn addr_strategy() -> impl Strategy<Value = BlockAddr> {
+    prop_oneof![Just(BlockAddr::NIL), (0u32..1_000_000).prop_map(BlockAddr)]
+}
+
+fn inode_strategy() -> impl Strategy<Value = Inode> {
+    (
+        1u32..100_000,
+        0u32..50,
+        any::<bool>(),
+        1u16..500,
+        0u64..(1 << 40),
+        any::<u64>(),
+        proptest::collection::vec(addr_strategy(), 12),
+        addr_strategy(),
+        addr_strategy(),
+    )
+        .prop_map(
+            |(ino, version, is_dir, nlink, size, mtime, direct, single, double)| {
+                let mut inode = Inode::new(
+                    Ino(ino),
+                    if is_dir {
+                        FileKind::Directory
+                    } else {
+                        FileKind::Regular
+                    },
+                    version,
+                    mtime,
+                );
+                inode.nlink = nlink;
+                inode.size = size;
+                inode.direct.copy_from_slice(&direct);
+                inode.single = single;
+                inode.double = double;
+                inode
+            },
+        )
+}
+
+fn kind_strategy() -> impl Strategy<Value = BlockKind> {
+    prop_oneof![
+        (1u32..10_000, 0u32..100_000).prop_map(|(ino, bno)| BlockKind::Data { ino: Ino(ino), bno }),
+        (1u32..10_000).prop_map(|ino| BlockKind::IndSingle { ino: Ino(ino) }),
+        (1u32..10_000).prop_map(|ino| BlockKind::IndDoubleTop { ino: Ino(ino) }),
+        (1u32..10_000, 0u32..2048).prop_map(|(ino, outer)| BlockKind::IndDoubleChild {
+            ino: Ino(ino),
+            outer
+        }),
+        Just(BlockKind::InodeBlock),
+        (0u32..4096).prop_map(|index| BlockKind::ImapBlock { index }),
+        (0u32..64).prop_map(|index| BlockKind::UsageBlock { index }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn inode_round_trips(inode in inode_strategy()) {
+        let bytes = inode.encode();
+        prop_assert_eq!(Inode::decode(&bytes).unwrap(), inode);
+    }
+
+    #[test]
+    fn inode_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Inode::decode(&bytes);
+        if bytes.len() >= 128 {
+            let _ = Inode::decode_slot(&bytes[..128]);
+        }
+    }
+
+    #[test]
+    fn inode_blocks_round_trip(inodes in proptest::collection::vec(inode_strategy(), 0..8)) {
+        // 4 KB block holds up to 32 inodes; we use at most 8.
+        let refs: Vec<&Inode> = inodes.iter().collect();
+        let block = inode_block::pack(&refs, 4096);
+        let unpacked = inode_block::unpack_all(&block).unwrap();
+        prop_assert_eq!(unpacked.len(), inodes.len());
+        for (slot, inode) in unpacked {
+            prop_assert_eq!(&inodes[slot], &inode);
+        }
+    }
+
+    #[test]
+    fn summary_round_trips(
+        seq in any::<u64>(),
+        partial in 0u32..1000,
+        timestamp in any::<u64>(),
+        reserved in 1u32..4,
+        entries in proptest::collection::vec(
+            (kind_strategy(), 0u32..100).prop_map(|(kind, version)| SummaryEntry { kind, version }),
+            0..64,
+        ),
+    ) {
+        let summary = ChunkSummary {
+            seq,
+            partial,
+            timestamp_ns: timestamp,
+            next_seg: SegNo::NIL,
+            data_crc: 0x1234_5678,
+            reserved_blocks: reserved,
+            entries,
+        };
+        let encoded = summary.encode(512);
+        prop_assert_eq!(ChunkSummary::decode(&encoded).unwrap(), summary);
+    }
+
+    #[test]
+    fn summary_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = ChunkSummary::decode(&bytes);
+        let _ = ChunkSummary::decode_header_prefix(&bytes);
+    }
+
+    #[test]
+    fn summary_rejects_any_corruption(
+        entries in proptest::collection::vec(
+            (kind_strategy(), 0u32..100).prop_map(|(kind, version)| SummaryEntry { kind, version }),
+            1..32,
+        ),
+        flip in any::<usize>(),
+    ) {
+        let summary = ChunkSummary {
+            seq: 7,
+            partial: 1,
+            timestamp_ns: 42,
+            next_seg: SegNo(3),
+            data_crc: 9,
+            reserved_blocks: 1,
+            entries,
+        };
+        let mut encoded = summary.encode(512);
+        // Flip one bit within the meaningful region (header + entries).
+        let meaningful = 40 + summary.entries.len() * 16;
+        let index = flip % (meaningful * 8);
+        encoded[index / 8] ^= 1 << (index % 8);
+        prop_assert!(
+            ChunkSummary::decode(&encoded) != Ok(summary),
+            "bit flip at {} must not decode to the original", index
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trips(
+        serial in any::<u64>(),
+        seq in any::<u64>(),
+        cur_seg in 0u32..10_000,
+        next_block in 0u32..256,
+        partial in 0u32..64,
+        next_free in 1u32..100_000,
+        imap_addrs in proptest::collection::vec(addr_strategy(), 0..40),
+        usage_addrs in proptest::collection::vec(addr_strategy(), 0..10),
+    ) {
+        let cp = CheckpointRegion {
+            timestamp_ns: 11,
+            serial,
+            seq,
+            cur_seg: SegNo(cur_seg),
+            next_block,
+            partial,
+            next_free_ino: Ino(next_free),
+            imap_addrs,
+            usage_addrs,
+        };
+        let encoded = cp.encode(4096);
+        prop_assert_eq!(CheckpointRegion::decode(&encoded).unwrap(), cp);
+    }
+
+    #[test]
+    fn checkpoint_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = CheckpointRegion::decode(&bytes);
+    }
+
+    #[test]
+    fn imap_blocks_round_trip(
+        entries in proptest::collection::vec(
+            (addr_strategy(), 0u16..32, any::<bool>(), 0u32..1000, any::<u64>()).prop_map(
+                |(addr, slot, allocated, version, atime_ns)| ImapEntry {
+                    addr,
+                    slot,
+                    allocated,
+                    version,
+                    atime_ns,
+                },
+            ),
+            0..21,
+        ),
+    ) {
+        let block = imap_block::encode_block(&entries, 512);
+        prop_assert_eq!(imap_block::decode_block(&block, entries.len()).unwrap(), entries);
+    }
+
+    #[test]
+    fn usage_blocks_round_trip(
+        entries in proptest::collection::vec(
+            (0u32..(1 << 20), 0u8..4, any::<u64>()).prop_map(|(live, state, when)| UsageEntry {
+                live_bytes: live,
+                state: match state {
+                    0 => SegState::Clean,
+                    1 => SegState::Dirty,
+                    2 => SegState::Active,
+                    _ => SegState::CleanPending,
+                },
+                last_write_ns: when,
+            }),
+            0..32,
+        ),
+    ) {
+        let block = usage_block::encode_block(&entries, 512);
+        prop_assert_eq!(usage_block::decode_block(&block, entries.len()).unwrap(), entries);
+    }
+}

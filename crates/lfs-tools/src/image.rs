@@ -1,0 +1,49 @@
+//! Disk-image file handling for the CLI tools.
+//!
+//! Images are flat files of sectors, loaded into a [`sim_disk::SimDisk`]
+//! with a WREN-IV timing model (the timing is irrelevant for offline
+//! inspection but keeps one code path).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use sim_disk::{Clock, DiskGeometry, SimDisk, SECTOR_SIZE};
+
+/// Loads a disk image file, padding it to the geometry if shorter.
+pub fn load(path: &Path, geometry: &DiskGeometry) -> io::Result<SimDisk> {
+    let mut data = fs::read(path)?;
+    let want = geometry.num_sectors as usize * SECTOR_SIZE;
+    if data.len() > want {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "image is larger than the device ({} > {want} bytes)",
+                data.len()
+            ),
+        ));
+    }
+    data.resize(want, 0);
+    Ok(SimDisk::from_image(geometry.clone(), Clock::new(), data))
+}
+
+/// Creates a zero-filled image of the geometry's size.
+pub fn create_blank(geometry: &DiskGeometry) -> SimDisk {
+    SimDisk::new(geometry.clone(), Clock::new())
+}
+
+/// Writes a disk's contents back to an image file.
+pub fn save(path: &Path, disk: &SimDisk) -> io::Result<()> {
+    fs::write(path, disk.image())
+}
+
+/// Geometry chosen by a `--size-mb` option (WREN IV timing).
+pub fn geometry_for_mb(mb: u64) -> DiskGeometry {
+    DiskGeometry::wren_iv().with_sectors(mb * 1024 * 1024 / SECTOR_SIZE as u64)
+}
+
+/// Shared Arc clock helper for tools that need one.
+pub fn clock() -> Arc<Clock> {
+    Clock::new()
+}

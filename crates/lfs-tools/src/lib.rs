@@ -1,0 +1,6 @@
+#![warn(missing_docs)]
+
+//! Library backing the `lfs-tools` command-line interface.
+
+pub mod dump;
+pub mod image;

@@ -1,0 +1,228 @@
+//! `lfs-tools` — command-line utilities for LFS disk images.
+//!
+//! ```text
+//! lfs-tools mkfs  <image> [--size-mb N]        format a new volume
+//! lfs-tools fsck  <image> [--size-mb N]        check consistency
+//! lfs-tools dumpfs <image> [--size-mb N] [-v]  inspect on-disk structures
+//! lfs-tools clean <image> [--size-mb N] --target N   run the cleaner
+//! lfs-tools df    <image>                      segment-level space report
+//! lfs-tools stat  <image> <path>               file attributes
+//! lfs-tools ls    <image> <path>               list a directory
+//! lfs-tools cat   <image> <path>               print a file
+//! lfs-tools put   <image> <host-file> <path>   import a file
+//! ```
+//!
+//! Images are flat files; a missing image is created zero-filled by
+//! `mkfs`. The `--size-mb` option (default 32) sets the simulated disk
+//! size when creating or when the image needs padding.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lfs_core::{Lfs, LfsConfig};
+use lfs_tools::image;
+use sim_disk::SimDisk;
+use vfs::FileSystem;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lfs-tools <mkfs|fsck|dumpfs|clean|ls|cat|put> <image> [args...]\n\
+         run with a subcommand; see crate docs for details"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    image: PathBuf,
+    size_mb: u64,
+    verbose: bool,
+    target: usize,
+    rest: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Option<Opts> {
+    let mut opts = Opts {
+        image: PathBuf::new(),
+        size_mb: 32,
+        verbose: false,
+        target: 8,
+        rest: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size-mb" => opts.size_mb = it.next()?.parse().ok()?,
+            "--target" => opts.target = it.next()?.parse().ok()?,
+            "-v" | "--verbose" => opts.verbose = true,
+            _ => positional.push(arg.clone()),
+        }
+    }
+    opts.image = PathBuf::from(positional.first()?);
+    opts.rest = positional[1..].to_vec();
+    Some(opts)
+}
+
+/// Small-volume config used by the CLI (fast, modest inode count).
+fn cli_config() -> LfsConfig {
+    LfsConfig::paper().with_cache_bytes(2 * 1024 * 1024)
+}
+
+fn mount(opts: &Opts) -> Result<Lfs<SimDisk>, String> {
+    let geometry = image::geometry_for_mb(opts.size_mb);
+    let disk = image::load(&opts.image, &geometry).map_err(|e| e.to_string())?;
+    let clock = disk.clock().clone();
+    Lfs::mount(disk, cli_config(), clock).map_err(|e| format!("mount failed: {e}"))
+}
+
+fn save(fs: Lfs<SimDisk>, path: &Path) -> Result<(), String> {
+    let disk = fs.into_device();
+    image::save(path, &disk).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        return Err("missing subcommand".into());
+    };
+    let Some(opts) = parse(&args[1..]) else {
+        return Err("bad arguments".into());
+    };
+
+    match command.as_str() {
+        "mkfs" => {
+            let geometry = image::geometry_for_mb(opts.size_mb);
+            let disk = image::create_blank(&geometry);
+            let clock = disk.clock().clone();
+            let fs = Lfs::format(disk, cli_config(), clock)
+                .map_err(|e| format!("format failed: {e}"))?;
+            println!(
+                "formatted {}: {} segments of {} blocks",
+                opts.image.display(),
+                fs.superblock().nsegments,
+                fs.superblock().seg_blocks
+            );
+            save(fs, &opts.image)
+        }
+        "fsck" => {
+            let mut fs = mount(&opts)?;
+            let report = fs.fsck().map_err(|e| format!("fsck failed: {e}"))?;
+            println!("{report}");
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!("{} error(s) found", report.errors.len()))
+            }
+        }
+        "dumpfs" => {
+            let geometry = image::geometry_for_mb(opts.size_mb);
+            let mut disk = image::load(&opts.image, &geometry).map_err(|e| e.to_string())?;
+            let mut out = std::io::stdout().lock();
+            lfs_tools::dump::dump(&mut disk, &mut out, opts.verbose)
+                .map_err(|e| format!("dump failed: {e}"))
+        }
+        "clean" => {
+            let mut fs = mount(&opts)?;
+            let before = fs.usage_table().clean_count();
+            let after = fs
+                .clean_until(opts.target)
+                .map_err(|e| format!("cleaning failed: {e}"))?;
+            println!("clean segments: {before} -> {after}");
+            fs.sync().map_err(|e| format!("sync failed: {e}"))?;
+            save(fs, &opts.image)
+        }
+        "df" => {
+            let mut fs = mount(&opts)?;
+            use lfs_core::layout::usage_block::SegState;
+            let usage = fs.usage_table();
+            let seg_kb = usage.seg_bytes() / 1024;
+            let counts = |state: SegState| usage.segments_in_state(state).len();
+            println!(
+                "{} segments x {} KB; clean {}, dirty {}, clean-pending {}, active {}",
+                usage.nsegments(),
+                seg_kb,
+                counts(SegState::Clean),
+                counts(SegState::Dirty),
+                counts(SegState::CleanPending),
+                counts(SegState::Active),
+            );
+            let stats = fs.fs_stats().map_err(|e| format!("df: {e}"))?;
+            println!(
+                "live data: {} KB of {} KB ({:.1}% utilization), {} live inodes",
+                stats.used_bytes / 1024,
+                stats.capacity_bytes / 1024,
+                stats.utilization() * 100.0,
+                stats.live_inodes,
+            );
+            Ok(())
+        }
+        "stat" => {
+            let mut fs = mount(&opts)?;
+            let path = opts.rest.first().ok_or("stat: missing path")?;
+            let ino = fs.lookup(path).map_err(|e| format!("stat: {e}"))?;
+            let meta = fs.stat(ino).map_err(|e| format!("stat: {e}"))?;
+            println!("{path}: {} {}", meta.kind, meta.ino);
+            println!("  size {} B, nlink {}", meta.size, meta.nlink);
+            println!(
+                "  mtime {:.3}s atime {:.3}s (virtual)",
+                meta.mtime_ns as f64 / 1e9,
+                meta.atime_ns as f64 / 1e9
+            );
+            let entry = fs.inode_map().get(ino).map_err(|e| format!("stat: {e}"))?;
+            println!(
+                "  imap: version {}, inode at {} slot {}",
+                entry.version, entry.addr, entry.slot
+            );
+            Ok(())
+        }
+        "ls" => {
+            let mut fs = mount(&opts)?;
+            let path = opts.rest.first().map(String::as_str).unwrap_or("/");
+            let entries = fs.readdir(path).map_err(|e| format!("ls: {e}"))?;
+            for entry in entries {
+                let meta = fs.stat(entry.ino).map_err(|e| format!("stat: {e}"))?;
+                println!(
+                    "{:>10}  {:<4}  {}",
+                    meta.size,
+                    entry.kind.to_string(),
+                    entry.name
+                );
+            }
+            Ok(())
+        }
+        "cat" => {
+            let mut fs = mount(&opts)?;
+            let path = opts.rest.first().ok_or("cat: missing path")?;
+            let data = fs.read_file(path).map_err(|e| format!("cat: {e}"))?;
+            std::io::stdout()
+                .write_all(&data)
+                .map_err(|e| e.to_string())
+        }
+        "put" => {
+            let mut fs = mount(&opts)?;
+            let host = opts.rest.first().ok_or("put: missing host file")?;
+            let path = opts.rest.get(1).ok_or("put: missing target path")?;
+            let data = std::fs::read(host).map_err(|e| e.to_string())?;
+            fs.write_file(path, &data)
+                .map_err(|e| format!("put: {e}"))?;
+            fs.sync().map_err(|e| format!("sync failed: {e}"))?;
+            println!("wrote {} bytes to {path}", data.len());
+            save(fs, &opts.image)
+        }
+        _ => Err(format!("unknown subcommand '{command}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            if message == "missing subcommand" || message == "bad arguments" {
+                return usage();
+            }
+            eprintln!("lfs-tools: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

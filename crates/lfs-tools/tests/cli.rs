@@ -1,0 +1,132 @@
+//! End-to-end tests of the `lfs-tools` command-line interface, driving
+//! the real binary against image files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_lfs-tools")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lfs-tools-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn lfs-tools")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "lfs-tools {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn mkfs_put_ls_cat_fsck_round_trip() {
+    let dir = tmpdir("roundtrip");
+    let image = dir.join("vol.img");
+    let image = image.to_str().unwrap();
+
+    let out = run_ok(&["mkfs", image, "--size-mb", "16"]);
+    assert!(out.contains("formatted"), "{out}");
+
+    let host_file = dir.join("input.txt");
+    std::fs::write(&host_file, b"tools round trip\n").unwrap();
+    let out = run_ok(&[
+        "put",
+        image,
+        host_file.to_str().unwrap(),
+        "/greeting",
+        "--size-mb",
+        "16",
+    ]);
+    assert!(out.contains("wrote 17 bytes"), "{out}");
+
+    let out = run_ok(&["ls", image, "/", "--size-mb", "16"]);
+    assert!(out.contains("greeting"), "{out}");
+
+    let out = run_ok(&["cat", image, "/greeting", "--size-mb", "16"]);
+    assert_eq!(out, "tools round trip\n");
+
+    let out = run_ok(&["fsck", image, "--size-mb", "16"]);
+    assert!(out.contains("clean"), "{out}");
+
+    let out = run_ok(&["dumpfs", image, "--size-mb", "16"]);
+    assert!(out.contains("superblock:"), "{out}");
+    assert!(out.contains("checkpoint A"), "{out}");
+    assert!(out.contains("segment 0"), "{out}");
+
+    let out = run_ok(&["dumpfs", image, "--size-mb", "16", "-v"]);
+    assert!(out.contains("inode block"), "{out}");
+}
+
+#[test]
+fn df_and_stat_report() {
+    let dir = tmpdir("dfstat");
+    let image = dir.join("vol.img");
+    let image = image.to_str().unwrap();
+    run_ok(&["mkfs", image, "--size-mb", "16"]);
+    let host = dir.join("h.txt");
+    std::fs::write(&host, b"attr me").unwrap();
+    run_ok(&[
+        "put",
+        image,
+        host.to_str().unwrap(),
+        "/target",
+        "--size-mb",
+        "16",
+    ]);
+
+    let out = run_ok(&["df", image, "--size-mb", "16"]);
+    assert!(out.contains("segments x"), "{out}");
+    assert!(out.contains("live data:"), "{out}");
+
+    let out = run_ok(&["stat", image, "/target", "--size-mb", "16"]);
+    assert!(out.contains("size 7 B"), "{out}");
+    assert!(out.contains("imap: version"), "{out}");
+    assert!(!run(&["stat", image, "/ghost", "--size-mb", "16"])
+        .status
+        .success());
+}
+
+#[test]
+fn clean_reports_segment_counts() {
+    let dir = tmpdir("clean");
+    let image = dir.join("vol.img");
+    let image = image.to_str().unwrap();
+    run_ok(&["mkfs", image, "--size-mb", "16"]);
+    let out = run_ok(&["clean", image, "--size-mb", "16", "--target", "4"]);
+    assert!(out.contains("clean segments:"), "{out}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!run(&[]).status.success());
+    assert!(!run(&["frobnicate", "/nonexistent.img"]).status.success());
+    assert!(!run(&["cat"]).status.success());
+    // Missing image file.
+    assert!(!run(&["fsck", "/definitely/not/here.img"]).status.success());
+}
+
+#[test]
+fn mounting_garbage_fails_cleanly() {
+    let dir = tmpdir("garbage");
+    let image = dir.join("junk.img");
+    std::fs::write(&image, vec![0xAAu8; 1 << 20]).unwrap();
+    let out = run(&["fsck", image.to_str().unwrap(), "--size-mb", "4"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mount failed"), "{stderr}");
+}

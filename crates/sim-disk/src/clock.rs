@@ -1,0 +1,234 @@
+//! Shared virtual clock and CPU cost model.
+//!
+//! All timing in the reproduction is *virtual*: the disk model and the CPU
+//! model both advance a shared [`Clock`], and every throughput or latency
+//! number reported by the benchmark harness is computed from it. This makes
+//! runs deterministic (identical across machines and repetitions) and lets
+//! experiments sweep CPU speed independently of disk speed, which is the
+//! heart of the paper's technology-trend argument (§2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Nanoseconds per second, as a `u64`.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// A shared, monotonically non-decreasing virtual clock.
+///
+/// The clock is reference-counted and internally atomic so that a file
+/// system, its cache, and its disk can all hold handles to the same
+/// timeline. Time only moves when a component explicitly advances it: the
+/// disk model advances it for synchronous I/O, and the [`CpuModel`] advances
+/// it for compute.
+///
+/// # Examples
+///
+/// ```
+/// use sim_disk::Clock;
+///
+/// let clock = Clock::new();
+/// assert_eq!(clock.now_ns(), 0);
+/// clock.advance_ns(1_500);
+/// assert_eq!(clock.now_ns(), 1_500);
+/// clock.advance_to_ns(1_000); // Never moves backwards.
+/// assert_eq!(clock.now_ns(), 1_500);
+/// ```
+#[derive(Debug, Default)]
+pub struct Clock {
+    now_ns: AtomicU64,
+}
+
+impl Clock {
+    /// Creates a new shared clock starting at time zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            now_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Returns the current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::SeqCst)
+    }
+
+    /// Returns the current virtual time in seconds as a float.
+    pub fn now_secs(&self) -> f64 {
+        self.now_ns() as f64 / NS_PER_SEC as f64
+    }
+
+    /// Advances the clock by `delta` nanoseconds and returns the new time.
+    pub fn advance_ns(&self, delta: u64) -> u64 {
+        self.now_ns.fetch_add(delta, Ordering::SeqCst) + delta
+    }
+
+    /// Advances the clock to `target` nanoseconds if that is in the future.
+    ///
+    /// Returns the (possibly unchanged) current time. The clock never moves
+    /// backwards, so a stale target is a no-op.
+    pub fn advance_to_ns(&self, target: u64) -> u64 {
+        self.now_ns.fetch_max(target, Ordering::SeqCst).max(target)
+    }
+}
+
+/// A unit of CPU work, expressed in instructions executed.
+///
+/// The constants are rough 1990-era syscall path lengths; their absolute
+/// values only matter relative to each other and to the MIPS rating of the
+/// [`CpuModel`]. They were chosen so that at the Sun-4/260's ~10 MIPS the
+/// small-file test is CPU-bound under LFS and disk-bound under FFS, which is
+/// the regime §5.1 of the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuCost {
+    /// Path lookup plus inode allocation plus directory insertion.
+    CreateFile,
+    /// Path lookup plus directory removal plus inode free.
+    RemoveFile,
+    /// Fixed per-syscall overhead for read/write entry and bookkeeping.
+    Syscall,
+    /// Copying and checksumming one kilobyte of data between buffers.
+    CopyKb,
+    /// Block-mapping work for one file block (bmap, cache probe).
+    MapBlock,
+    /// A raw instruction count, for callers with their own model.
+    Instructions(u64),
+}
+
+impl CpuCost {
+    /// Returns the cost in executed instructions.
+    pub fn instructions(self) -> u64 {
+        match self {
+            CpuCost::CreateFile => 12_000,
+            CpuCost::RemoveFile => 8_000,
+            CpuCost::Syscall => 4_000,
+            CpuCost::CopyKb => 2_500,
+            CpuCost::MapBlock => 1_000,
+            CpuCost::Instructions(n) => n,
+        }
+    }
+}
+
+/// A CPU speed model that converts [`CpuCost`] into virtual time.
+///
+/// The model is a single MIPS (million instructions per second) rating.
+/// Experiment S1 sweeps this rating to reproduce the paper's §3.1
+/// observation that an order-of-magnitude CPU upgrade speeds file creation
+/// on a synchronous-write file system by only ~20 %.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    clock: Arc<Clock>,
+    mips: f64,
+}
+
+impl CpuModel {
+    /// MIPS rating approximating the paper's Sun-4/260 (16.6 MHz SPARC).
+    pub const SUN_4_260_MIPS: f64 = 10.0;
+
+    /// Creates a CPU model at the given MIPS rating, charging to `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mips` is not strictly positive.
+    pub fn new(clock: Arc<Clock>, mips: f64) -> Self {
+        assert!(mips > 0.0, "CPU speed must be positive, got {mips}");
+        Self { clock, mips }
+    }
+
+    /// Creates a model matching the paper's test machine.
+    pub fn sun_4_260(clock: Arc<Clock>) -> Self {
+        Self::new(clock, Self::SUN_4_260_MIPS)
+    }
+
+    /// Returns the MIPS rating.
+    pub fn mips(&self) -> f64 {
+        self.mips
+    }
+
+    /// Returns the shared clock this model charges to.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// Charges `cost` to the clock and returns the elapsed nanoseconds.
+    pub fn charge(&self, cost: CpuCost) -> u64 {
+        let ns = self.cost_ns(cost);
+        self.clock.advance_ns(ns);
+        ns
+    }
+
+    /// Returns how long `cost` takes at this CPU speed, without charging.
+    pub fn cost_ns(&self, cost: CpuCost) -> u64 {
+        let instructions = cost.instructions() as f64;
+        (instructions / self.mips * 1_000.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let clock = Clock::new();
+        assert_eq!(clock.now_ns(), 0);
+        assert_eq!(clock.advance_ns(100), 100);
+        assert_eq!(clock.advance_ns(50), 150);
+        assert_eq!(clock.now_ns(), 150);
+    }
+
+    #[test]
+    fn clock_advance_to_is_monotone() {
+        let clock = Clock::new();
+        clock.advance_ns(1_000);
+        assert_eq!(clock.advance_to_ns(500), 1_000);
+        assert_eq!(clock.advance_to_ns(2_000), 2_000);
+        assert_eq!(clock.now_ns(), 2_000);
+    }
+
+    #[test]
+    fn clock_now_secs_converts() {
+        let clock = Clock::new();
+        clock.advance_ns(2 * NS_PER_SEC + NS_PER_SEC / 2);
+        assert!((clock.now_secs() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_handles_see_the_same_time() {
+        let clock = Clock::new();
+        let other = Arc::clone(&clock);
+        clock.advance_ns(42);
+        assert_eq!(other.now_ns(), 42);
+    }
+
+    #[test]
+    fn cpu_model_charges_inverse_to_mips() {
+        let clock = Clock::new();
+        let slow = CpuModel::new(Arc::clone(&clock), 1.0);
+        let fast = CpuModel::new(Arc::clone(&clock), 10.0);
+        let cost = CpuCost::Instructions(1_000_000);
+        // 1 MIPS executes 1M instructions in one second.
+        assert_eq!(slow.cost_ns(cost), NS_PER_SEC);
+        // 10 MIPS is ten times faster.
+        assert_eq!(fast.cost_ns(cost), NS_PER_SEC / 10);
+    }
+
+    #[test]
+    fn cpu_model_charge_advances_clock() {
+        let clock = Clock::new();
+        let cpu = CpuModel::new(Arc::clone(&clock), 10.0);
+        let elapsed = cpu.charge(CpuCost::Syscall);
+        assert_eq!(clock.now_ns(), elapsed);
+        assert!(elapsed > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU speed must be positive")]
+    fn cpu_model_rejects_zero_mips() {
+        let _ = CpuModel::new(Clock::new(), 0.0);
+    }
+
+    #[test]
+    fn create_costs_more_than_syscall() {
+        assert!(CpuCost::CreateFile.instructions() > CpuCost::Syscall.instructions());
+        assert!(CpuCost::RemoveFile.instructions() > CpuCost::Syscall.instructions());
+    }
+}

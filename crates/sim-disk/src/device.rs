@@ -1,0 +1,144 @@
+//! The block-device interface file systems program against.
+
+use std::fmt;
+
+/// Errors returned by block devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// A request touched sectors beyond the end of the device.
+    OutOfRange {
+        /// First sector of the offending request.
+        sector: u64,
+        /// Number of sectors requested.
+        count: u64,
+        /// Total sectors on the device.
+        capacity: u64,
+    },
+    /// A buffer length was not a whole number of sectors.
+    UnalignedLength(usize),
+    /// The device has crashed (fault injection) and rejects all requests.
+    Crashed,
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::OutOfRange {
+                sector,
+                count,
+                capacity,
+            } => write!(
+                f,
+                "request for {count} sectors at {sector} exceeds device capacity {capacity}"
+            ),
+            DiskError::UnalignedLength(len) => {
+                write!(
+                    f,
+                    "buffer length {len} is not a multiple of the sector size"
+                )
+            }
+            DiskError::Crashed => write!(f, "device has crashed"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Result alias for device operations.
+pub type DiskResult<T> = Result<T, DiskError>;
+
+/// A sector-addressed block device.
+///
+/// Reads are always synchronous (a missing block stalls the caller), which
+/// is how §2.3 of the paper frames disk reads. Writes carry a `sync` flag:
+/// a synchronous write stalls the caller until the platters hold the data
+/// (the behaviour that cripples FFS metadata updates in Figure 1), while an
+/// asynchronous write queues the transfer and returns immediately.
+pub trait BlockDevice {
+    /// Total number of sectors on the device.
+    fn num_sectors(&self) -> u64;
+
+    /// Reads `buf.len() / SECTOR_SIZE` sectors starting at `sector`.
+    fn read(&mut self, sector: u64, buf: &mut [u8]) -> DiskResult<()>;
+
+    /// Writes `buf.len() / SECTOR_SIZE` sectors starting at `sector`.
+    ///
+    /// When `sync` is true the call blocks (advances the virtual clock)
+    /// until the transfer completes; otherwise the transfer is queued.
+    fn write(&mut self, sector: u64, buf: &[u8], sync: bool) -> DiskResult<()>;
+
+    /// Blocks until all queued asynchronous writes have completed.
+    fn flush(&mut self) -> DiskResult<()>;
+
+    /// Attaches a label to the next request, for access tracing.
+    ///
+    /// Devices without tracing ignore this; see
+    /// [`SimDisk`](crate::SimDisk) for the tracing implementation.
+    fn annotate(&mut self, _label: &'static str) {}
+
+    /// Returns the device capacity in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.num_sectors() * crate::SECTOR_SIZE as u64
+    }
+}
+
+/// Validates a request against device capacity and sector alignment.
+///
+/// Shared by the device implementations in this crate.
+pub(crate) fn check_request(sector: u64, len: usize, capacity: u64) -> DiskResult<u64> {
+    if !len.is_multiple_of(crate::SECTOR_SIZE) {
+        return Err(DiskError::UnalignedLength(len));
+    }
+    let count = (len / crate::SECTOR_SIZE) as u64;
+    if sector.checked_add(count).is_none_or(|end| end > capacity) {
+        return Err(DiskError::OutOfRange {
+            sector,
+            count,
+            capacity,
+        });
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_request_accepts_aligned_in_range() {
+        assert_eq!(check_request(0, 512, 10), Ok(1));
+        assert_eq!(check_request(8, 1024, 10), Ok(2));
+    }
+
+    #[test]
+    fn check_request_rejects_unaligned() {
+        assert_eq!(
+            check_request(0, 100, 10),
+            Err(DiskError::UnalignedLength(100))
+        );
+    }
+
+    #[test]
+    fn check_request_rejects_out_of_range() {
+        assert!(matches!(
+            check_request(9, 1024, 10),
+            Err(DiskError::OutOfRange { .. })
+        ));
+        // Overflow of sector + count must not wrap.
+        assert!(matches!(
+            check_request(u64::MAX, 512, 10),
+            Err(DiskError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_format_usefully() {
+        let err = DiskError::OutOfRange {
+            sector: 9,
+            count: 2,
+            capacity: 10,
+        };
+        assert!(err.to_string().contains("exceeds device capacity"));
+        assert!(DiskError::Crashed.to_string().contains("crashed"));
+    }
+}

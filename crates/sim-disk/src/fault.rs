@@ -1,0 +1,64 @@
+//! Write-stream fault injection for crash-recovery experiments.
+//!
+//! §4.4 of the paper argues that LFS recovers from crashes by reading the
+//! most recent checkpoint region instead of scanning the disk. To test that
+//! claim we need crashes: a [`CrashPlan`] arms a simulated power failure at
+//! the N-th write. The triggering write is either dropped entirely or torn
+//! (a prefix of its sectors is persisted), and every subsequent request
+//! fails with [`crate::DiskError::Crashed`]. The harness then re-mounts the
+//! surviving image and checks consistency.
+
+/// What happens to the write that triggers the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The triggering write is discarded completely.
+    DropWrite,
+    /// The triggering write persists only its first `sectors` sectors.
+    TornWrite {
+        /// Number of leading sectors that reach the platter.
+        sectors: u64,
+    },
+}
+
+/// An armed crash: power fails at a chosen point in the write stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Zero-based index of the write request that triggers the crash.
+    pub crash_at_write: u64,
+    /// Treatment of the triggering write.
+    pub mode: FaultMode,
+}
+
+impl CrashPlan {
+    /// Crash at write `n`, dropping it entirely.
+    pub fn drop_at(n: u64) -> Self {
+        Self {
+            crash_at_write: n,
+            mode: FaultMode::DropWrite,
+        }
+    }
+
+    /// Crash at write `n`, persisting only `sectors` sectors of it.
+    pub fn tear_at(n: u64, sectors: u64) -> Self {
+        Self {
+            crash_at_write: n,
+            mode: FaultMode::TornWrite { sectors },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let plan = CrashPlan::drop_at(7);
+        assert_eq!(plan.crash_at_write, 7);
+        assert_eq!(plan.mode, FaultMode::DropWrite);
+
+        let torn = CrashPlan::tear_at(3, 2);
+        assert_eq!(torn.crash_at_write, 3);
+        assert_eq!(torn.mode, FaultMode::TornWrite { sectors: 2 });
+    }
+}

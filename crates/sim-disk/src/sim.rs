@@ -1,0 +1,411 @@
+//! The mechanically modelled disk simulator.
+
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::device::{check_request, BlockDevice, DiskError, DiskResult};
+use crate::fault::{CrashPlan, FaultMode};
+use crate::geometry::DiskGeometry;
+use crate::stats::{AccessKind, AccessRecord, AccessTrace, IoStats};
+use crate::SECTOR_SIZE;
+
+/// A disk with a seek + rotation + transfer cost model over a virtual clock.
+///
+/// The device behaves as a single-server queue. Every request is serviced
+/// after the previous one finishes:
+///
+/// * A request that starts exactly where the previous request ended is
+///   **sequential**: the head is already positioned, so it pays only
+///   transfer time. This is what makes LFS's segment-sized writes an
+///   order of magnitude cheaper per byte than FFS's scattered updates.
+/// * Any other request is **random**: it pays a distance-dependent seek
+///   plus average rotational latency plus transfer time.
+///
+/// Synchronous requests (all reads, and writes with `sync = true`) advance
+/// the shared [`Clock`] to their completion time — the caller waits.
+/// Asynchronous writes only push out the device's busy horizon; the virtual
+/// CPU keeps running. [`BlockDevice::flush`] waits for the horizon, which is
+/// how the harness closes a measurement phase.
+#[derive(Debug)]
+pub struct SimDisk {
+    geometry: DiskGeometry,
+    clock: Arc<Clock>,
+    data: Vec<u8>,
+    stats: IoStats,
+    trace: AccessTrace,
+    /// Sector where the previous request ended (head position proxy).
+    head: u64,
+    /// Virtual time at which the device becomes idle.
+    busy_until_ns: u64,
+    /// Number of write requests serviced so far (for fault injection).
+    write_index: u64,
+    crash_plan: Option<CrashPlan>,
+    crashed: bool,
+    next_label: &'static str,
+}
+
+impl SimDisk {
+    /// Creates a zero-filled simulated disk.
+    pub fn new(geometry: DiskGeometry, clock: Arc<Clock>) -> Self {
+        let bytes = geometry.num_sectors as usize * SECTOR_SIZE;
+        Self {
+            geometry,
+            clock,
+            data: vec![0; bytes],
+            stats: IoStats::default(),
+            trace: AccessTrace::default(),
+            head: 0,
+            busy_until_ns: 0,
+            write_index: 0,
+            crash_plan: None,
+            crashed: false,
+            next_label: "",
+        }
+    }
+
+    /// Creates a simulated disk over an existing image (e.g. after a crash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size does not match the geometry.
+    pub fn from_image(geometry: DiskGeometry, clock: Arc<Clock>, image: Vec<u8>) -> Self {
+        assert_eq!(
+            image.len(),
+            geometry.num_sectors as usize * SECTOR_SIZE,
+            "image size does not match geometry"
+        );
+        let mut disk = Self::new(geometry, clock);
+        disk.data = image;
+        disk
+    }
+
+    /// Returns the geometry.
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// Returns the shared clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// Returns accumulated I/O statistics.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Resets accumulated I/O statistics (head position is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Returns the access trace.
+    pub fn trace(&self) -> &AccessTrace {
+        &self.trace
+    }
+
+    /// Returns the access trace mutably (to enable/clear it).
+    pub fn trace_mut(&mut self) -> &mut AccessTrace {
+        &mut self.trace
+    }
+
+    /// Arms a crash plan. See [`CrashPlan`].
+    pub fn arm_crash(&mut self, plan: CrashPlan) {
+        self.crash_plan = Some(plan);
+    }
+
+    /// Returns true if the armed crash has triggered.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Consumes the disk and returns the surviving raw image.
+    pub fn into_image(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Borrows the raw image (what the platters currently hold).
+    pub fn image(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Computes seek + rotation + transfer for a request and updates the
+    /// head position. Returns `(service_ns, was_sequential)`.
+    fn service(&mut self, sector: u64, bytes: u64) -> (u64, bool) {
+        let sequential = sector == self.head;
+        let positioning = if sequential {
+            0
+        } else {
+            let distance = sector.abs_diff(self.head);
+            self.geometry.seek_ns(distance) + self.geometry.avg_rotational_latency_ns()
+        };
+        let transfer = self.geometry.transfer_ns(bytes);
+        self.head = sector + bytes / SECTOR_SIZE as u64;
+        (positioning + transfer, sequential)
+    }
+
+    /// Runs one request through the queue model and updates accounting.
+    fn account(&mut self, kind: AccessKind, sector: u64, bytes: u64, sync: bool) -> (u64, bool) {
+        let issued_at = self.clock.now_ns();
+        let start = self.busy_until_ns.max(issued_at);
+        let (service_ns, sequential) = self.service(sector, bytes);
+        self.busy_until_ns = start + service_ns;
+        if sync {
+            self.clock.advance_to_ns(self.busy_until_ns);
+        }
+
+        self.stats.busy_ns += service_ns;
+        if sequential {
+            self.stats.sequential += 1;
+        } else {
+            self.stats.seeks += 1;
+        }
+        match kind {
+            AccessKind::Read => {
+                self.stats.reads += 1;
+                self.stats.bytes_read += bytes;
+            }
+            AccessKind::Write => {
+                self.stats.writes += 1;
+                self.stats.bytes_written += bytes;
+                if sync {
+                    self.stats.sync_writes += 1;
+                }
+            }
+        }
+
+        let label = std::mem::take(&mut self.next_label);
+        self.trace.record(AccessRecord {
+            kind,
+            sector,
+            bytes,
+            sync,
+            sequential,
+            issued_at_ns: issued_at,
+            service_ns,
+            label,
+        });
+        (service_ns, sequential)
+    }
+}
+
+impl BlockDevice for SimDisk {
+    fn num_sectors(&self) -> u64 {
+        self.geometry.num_sectors
+    }
+
+    fn read(&mut self, sector: u64, buf: &mut [u8]) -> DiskResult<()> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        check_request(sector, buf.len(), self.geometry.num_sectors)?;
+        let start = sector as usize * SECTOR_SIZE;
+        buf.copy_from_slice(&self.data[start..start + buf.len()]);
+        // Reads are always synchronous: the caller needs the data.
+        self.account(AccessKind::Read, sector, buf.len() as u64, true);
+        Ok(())
+    }
+
+    fn write(&mut self, sector: u64, buf: &[u8], sync: bool) -> DiskResult<()> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        check_request(sector, buf.len(), self.geometry.num_sectors)?;
+
+        let this_write = self.write_index;
+        self.write_index += 1;
+        let persisted_bytes = match self.crash_plan {
+            Some(plan) if this_write == plan.crash_at_write => {
+                self.crashed = true;
+                match plan.mode {
+                    FaultMode::DropWrite => 0,
+                    FaultMode::TornWrite { sectors } => {
+                        (sectors as usize * SECTOR_SIZE).min(buf.len())
+                    }
+                }
+            }
+            _ => buf.len(),
+        };
+
+        let start = sector as usize * SECTOR_SIZE;
+        self.data[start..start + persisted_bytes].copy_from_slice(&buf[..persisted_bytes]);
+
+        if self.crashed {
+            // Power failed mid-request; the caller observes an error.
+            return Err(DiskError::Crashed);
+        }
+        self.account(AccessKind::Write, sector, buf.len() as u64, sync);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> DiskResult<()> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        self.clock.advance_to_ns(self.busy_until_ns);
+        Ok(())
+    }
+
+    fn annotate(&mut self, label: &'static str) {
+        self.next_label = label;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_disk() -> SimDisk {
+        SimDisk::new(DiskGeometry::tiny_test(1024), Clock::new())
+    }
+
+    #[test]
+    fn data_round_trips() {
+        let mut disk = small_disk();
+        let payload = vec![0x5A; SECTOR_SIZE * 4];
+        disk.write(10, &payload, true).unwrap();
+        let mut out = vec![0; SECTOR_SIZE * 4];
+        disk.read(10, &mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn sync_write_advances_clock_async_does_not() {
+        let mut disk = small_disk();
+        let buf = vec![0; SECTOR_SIZE];
+        let clock = Arc::clone(disk.clock());
+
+        disk.write(100, &buf, false).unwrap();
+        assert_eq!(clock.now_ns(), 0, "async write must not stall the CPU");
+
+        disk.write(500, &buf, true).unwrap();
+        assert!(clock.now_ns() > 0, "sync write must stall the CPU");
+    }
+
+    #[test]
+    fn flush_waits_for_queued_writes() {
+        let mut disk = small_disk();
+        let buf = vec![0; SECTOR_SIZE * 8];
+        let clock = Arc::clone(disk.clock());
+        disk.write(0, &buf, false).unwrap();
+        disk.write(512, &buf, false).unwrap();
+        assert_eq!(clock.now_ns(), 0);
+        disk.flush().unwrap();
+        let after_flush = clock.now_ns();
+        assert!(after_flush > 0);
+        // Flushing again is free.
+        disk.flush().unwrap();
+        assert_eq!(clock.now_ns(), after_flush);
+    }
+
+    #[test]
+    fn sequential_requests_skip_the_seek() {
+        let mut disk = small_disk();
+        let buf = vec![0; SECTOR_SIZE];
+        disk.write(0, &buf, true).unwrap();
+        disk.write(1, &buf, true).unwrap(); // Continues at the head.
+        disk.write(700, &buf, true).unwrap(); // Random.
+                                              // The head starts at sector 0, so the first write is sequential too.
+        assert_eq!(disk.stats().sequential, 2);
+        assert_eq!(disk.stats().seeks, 1);
+    }
+
+    #[test]
+    fn sequential_transfer_is_much_faster_per_byte() {
+        let geometry = DiskGeometry::wren_iv();
+        let clock = Clock::new();
+        let mut disk = SimDisk::new(geometry.clone(), Arc::clone(&clock));
+
+        // One 1 MB sequential write.
+        let megabyte = vec![0; 1 << 20];
+        disk.write(0, &megabyte, true).unwrap();
+        let sequential_ns = clock.now_ns();
+
+        // 256 scattered 4 KB writes of the same total volume.
+        let four_kb = vec![0; 4096];
+        let before = clock.now_ns();
+        for i in 0..256u64 {
+            // Stride far enough apart to force seeks.
+            disk.write(10_000 + i * 1_000, &four_kb, true).unwrap();
+        }
+        let random_ns = clock.now_ns() - before;
+
+        assert!(
+            random_ns > 5 * sequential_ns,
+            "random ({random_ns} ns) should be much slower than sequential ({sequential_ns} ns)"
+        );
+    }
+
+    #[test]
+    fn crash_drop_discards_the_triggering_write() {
+        let mut disk = small_disk();
+        let ones = vec![1; SECTOR_SIZE];
+        disk.write(0, &ones, true).unwrap();
+        disk.arm_crash(CrashPlan::drop_at(1));
+        let twos = vec![2; SECTOR_SIZE];
+        assert_eq!(disk.write(0, &twos, true), Err(DiskError::Crashed));
+        assert!(disk.has_crashed());
+        // Everything after the crash fails.
+        let mut buf = vec![0; SECTOR_SIZE];
+        assert_eq!(disk.read(0, &mut buf), Err(DiskError::Crashed));
+        // The surviving image still holds the first write.
+        assert_eq!(&disk.into_image()[..SECTOR_SIZE], &ones[..]);
+    }
+
+    #[test]
+    fn crash_tear_persists_a_prefix() {
+        let mut disk = small_disk();
+        disk.arm_crash(CrashPlan::tear_at(0, 1));
+        let payload: Vec<u8> = (0..SECTOR_SIZE * 3)
+            .map(|i| (i / SECTOR_SIZE) as u8 + 1)
+            .collect();
+        assert_eq!(disk.write(5, &payload, false), Err(DiskError::Crashed));
+        let image = disk.into_image();
+        let start = 5 * SECTOR_SIZE;
+        assert_eq!(&image[start..start + SECTOR_SIZE], &payload[..SECTOR_SIZE]);
+        assert_eq!(
+            &image[start + SECTOR_SIZE..start + 2 * SECTOR_SIZE],
+            &vec![0; SECTOR_SIZE][..],
+            "torn sectors must not persist"
+        );
+    }
+
+    #[test]
+    fn image_survives_into_new_disk() {
+        let geometry = DiskGeometry::tiny_test(64);
+        let mut disk = SimDisk::new(geometry.clone(), Clock::new());
+        disk.write(3, &vec![9; SECTOR_SIZE], true).unwrap();
+        let image = disk.into_image();
+        let mut revived = SimDisk::from_image(geometry, Clock::new(), image);
+        let mut buf = vec![0; SECTOR_SIZE];
+        revived.read(3, &mut buf).unwrap();
+        assert_eq!(buf, vec![9; SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn annotate_labels_the_next_traced_access() {
+        let mut disk = small_disk();
+        disk.trace_mut().enable();
+        disk.annotate("inode");
+        disk.write(0, &vec![0; SECTOR_SIZE], true).unwrap();
+        disk.write(1, &vec![0; SECTOR_SIZE], true).unwrap();
+        let records = disk.trace().records();
+        assert_eq!(records[0].label, "inode");
+        assert_eq!(records[1].label, "");
+    }
+
+    #[test]
+    fn stats_track_bytes_and_sync() {
+        let mut disk = small_disk();
+        disk.write(0, &vec![0; SECTOR_SIZE * 2], true).unwrap();
+        disk.write(50, &vec![0; SECTOR_SIZE], false).unwrap();
+        let mut buf = vec![0; SECTOR_SIZE];
+        disk.read(0, &mut buf).unwrap();
+        let stats = disk.stats();
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.sync_writes, 1);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.bytes_written, SECTOR_SIZE as u64 * 3);
+        assert_eq!(stats.bytes_read, SECTOR_SIZE as u64);
+    }
+}

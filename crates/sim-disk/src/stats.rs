@@ -1,0 +1,245 @@
+//! Per-request I/O accounting and access tracing.
+//!
+//! The Figure 1/2 reproduction needs to show, per file system, *how many*
+//! disk accesses an operation causes and whether each is synchronous or
+//! asynchronous, sequential or random. The throughput figures need bytes
+//! moved and total disk busy time. Both come from here.
+
+use std::fmt;
+
+/// Whether a request was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read request (always synchronous).
+    Read,
+    /// A write request.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// One recorded disk access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// First sector of the request.
+    pub sector: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// True if the caller waited for completion.
+    pub sync: bool,
+    /// True if the request started where the previous one ended.
+    pub sequential: bool,
+    /// Virtual time at which the request was issued (ns).
+    pub issued_at_ns: u64,
+    /// Time the device spent servicing the request (ns).
+    pub service_ns: u64,
+    /// Optional label attached by the file system (e.g. "inode", "dir").
+    pub label: &'static str,
+}
+
+/// A bounded trace of disk accesses, off by default.
+///
+/// Tracing is enabled only by the microscopic experiments (Figure 1/2);
+/// the throughput experiments keep it off to avoid unbounded memory use.
+#[derive(Debug, Default)]
+pub struct AccessTrace {
+    enabled: bool,
+    records: Vec<AccessRecord>,
+}
+
+impl AccessTrace {
+    /// Starts recording. Existing records are kept.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops recording.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Returns true if recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record if recording is active.
+    pub fn record(&mut self, record: AccessRecord) {
+        if self.enabled {
+            self.records.push(record);
+        }
+    }
+
+    /// Returns the recorded accesses.
+    pub fn records(&self) -> &[AccessRecord] {
+        &self.records
+    }
+
+    /// Clears the recorded accesses (recording state is unchanged).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+/// Aggregate I/O statistics for a device.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of read requests.
+    pub reads: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Number of synchronous writes (caller waited).
+    pub sync_writes: u64,
+    /// Number of requests that required a head seek.
+    pub seeks: u64,
+    /// Number of requests that continued from the previous request's end.
+    pub sequential: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Total device busy time in nanoseconds.
+    pub busy_ns: u64,
+}
+
+impl IoStats {
+    /// Total requests serviced.
+    pub fn total_requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Requests that were *not* sequential continuations.
+    pub fn random(&self) -> u64 {
+        self.total_requests() - self.sequential
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Returns `self - earlier`, for measuring a phase of an experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
+        debug_assert!(self.total_requests() >= earlier.total_requests());
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            sync_writes: self.sync_writes - earlier.sync_writes,
+            seeks: self.seeks - earlier.seeks,
+            sequential: self.sequential - earlier.sequential,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reads / {} writes ({} sync), {} seeks, {} sequential, {} B read, {} B written, busy {:.3} s",
+            self.reads,
+            self.writes,
+            self.sync_writes,
+            self.seeks,
+            self.sequential,
+            self.bytes_read,
+            self.bytes_written,
+            self.busy_ns as f64 / 1e9,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: AccessKind) -> AccessRecord {
+        AccessRecord {
+            kind,
+            sector: 0,
+            bytes: 512,
+            sync: true,
+            sequential: false,
+            issued_at_ns: 0,
+            service_ns: 10,
+            label: "",
+        }
+    }
+
+    #[test]
+    fn trace_records_only_when_enabled() {
+        let mut trace = AccessTrace::default();
+        trace.record(record(AccessKind::Read));
+        assert!(trace.records().is_empty());
+        trace.enable();
+        trace.record(record(AccessKind::Write));
+        assert_eq!(trace.records().len(), 1);
+        trace.disable();
+        trace.record(record(AccessKind::Read));
+        assert_eq!(trace.records().len(), 1);
+    }
+
+    #[test]
+    fn trace_clear_keeps_recording_state() {
+        let mut trace = AccessTrace::default();
+        trace.enable();
+        trace.record(record(AccessKind::Read));
+        trace.clear();
+        assert!(trace.records().is_empty());
+        assert!(trace.is_enabled());
+    }
+
+    #[test]
+    fn stats_delta_subtracts_fields() {
+        let earlier = IoStats {
+            reads: 1,
+            writes: 2,
+            sync_writes: 1,
+            seeks: 1,
+            sequential: 1,
+            bytes_read: 512,
+            bytes_written: 1024,
+            busy_ns: 100,
+        };
+        let later = IoStats {
+            reads: 3,
+            writes: 5,
+            sync_writes: 2,
+            seeks: 4,
+            sequential: 2,
+            bytes_read: 2048,
+            bytes_written: 4096,
+            busy_ns: 1_000,
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.reads, 2);
+        assert_eq!(delta.writes, 3);
+        assert_eq!(delta.random(), 4);
+        assert_eq!(delta.bytes_total(), 1536 + 3072);
+    }
+
+    #[test]
+    fn stats_display_mentions_key_counters() {
+        let stats = IoStats {
+            reads: 7,
+            ..IoStats::default()
+        };
+        let text = format!("{stats}");
+        assert!(text.contains("7 reads"));
+    }
+}

@@ -1,0 +1,128 @@
+//! UNIX-style inode block-mapping arithmetic.
+//!
+//! Both file systems in this workspace use the classic inode layout:
+//! [`NDIRECT`] direct block pointers, one single-indirect pointer, and one
+//! double-indirect pointer. The paper keeps this format unchanged in LFS
+//! ("the format of inodes and indirect blocks is unchanged", §4.2.1), so the
+//! index arithmetic is shared here.
+
+/// Number of direct block pointers in an inode.
+pub const NDIRECT: usize = 12;
+
+/// Where a file block index lands in the inode's pointer tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockPath {
+    /// Direct pointer `i` in the inode.
+    Direct {
+        /// Index into the inode's direct-pointer array.
+        slot: usize,
+    },
+    /// Slot `slot` of the single-indirect block.
+    Single {
+        /// Index into the single-indirect pointer block.
+        slot: usize,
+    },
+    /// Slot `inner` of the `outer`-th second-level indirect block.
+    Double {
+        /// Index into the double-indirect (top) block.
+        outer: usize,
+        /// Index into the selected second-level block.
+        inner: usize,
+    },
+}
+
+/// Maps a file block index to its position in the pointer tree.
+///
+/// `ptrs_per_block` is `block_size / 4` for 32-bit block addresses.
+/// Returns `None` if the index exceeds the double-indirect range.
+pub fn resolve(block_index: u64, ptrs_per_block: usize) -> Option<BlockPath> {
+    let ppb = ptrs_per_block as u64;
+    if block_index < NDIRECT as u64 {
+        return Some(BlockPath::Direct {
+            slot: block_index as usize,
+        });
+    }
+    let after_direct = block_index - NDIRECT as u64;
+    if after_direct < ppb {
+        return Some(BlockPath::Single {
+            slot: after_direct as usize,
+        });
+    }
+    let after_single = after_direct - ppb;
+    if after_single < ppb * ppb {
+        return Some(BlockPath::Double {
+            outer: (after_single / ppb) as usize,
+            inner: (after_single % ppb) as usize,
+        });
+    }
+    None
+}
+
+/// Maximum file size in bytes for the given geometry.
+pub fn max_file_size(block_size: usize, ptrs_per_block: usize) -> u64 {
+    let ppb = ptrs_per_block as u64;
+    (NDIRECT as u64 + ppb + ppb * ppb) * block_size as u64
+}
+
+/// Number of file blocks needed to hold `size` bytes.
+pub fn blocks_for_size(size: u64, block_size: usize) -> u64 {
+    size.div_ceil(block_size as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PPB: usize = 1024; // 4 KB blocks, 4-byte pointers.
+
+    #[test]
+    fn direct_range() {
+        assert_eq!(resolve(0, PPB), Some(BlockPath::Direct { slot: 0 }));
+        assert_eq!(resolve(11, PPB), Some(BlockPath::Direct { slot: 11 }));
+    }
+
+    #[test]
+    fn single_indirect_range() {
+        assert_eq!(resolve(12, PPB), Some(BlockPath::Single { slot: 0 }));
+        assert_eq!(
+            resolve(12 + 1023, PPB),
+            Some(BlockPath::Single { slot: 1023 })
+        );
+    }
+
+    #[test]
+    fn double_indirect_range() {
+        let first_double = 12 + 1024;
+        assert_eq!(
+            resolve(first_double as u64, PPB),
+            Some(BlockPath::Double { outer: 0, inner: 0 })
+        );
+        assert_eq!(
+            resolve(first_double as u64 + 1024, PPB),
+            Some(BlockPath::Double { outer: 1, inner: 0 })
+        );
+        assert_eq!(
+            resolve(first_double as u64 + 1024 * 1024 - 1, PPB),
+            Some(BlockPath::Double {
+                outer: 1023,
+                inner: 1023
+            })
+        );
+        assert_eq!(resolve(first_double as u64 + 1024 * 1024, PPB), None);
+    }
+
+    #[test]
+    fn max_file_size_covers_the_paper_workloads() {
+        // 4 KB blocks: must comfortably exceed the 100 MB large-file test.
+        let max = max_file_size(4096, PPB);
+        assert!(max > 4 * 1024 * 1024 * 1024u64);
+    }
+
+    #[test]
+    fn blocks_for_size_rounds_up() {
+        assert_eq!(blocks_for_size(0, 4096), 0);
+        assert_eq!(blocks_for_size(1, 4096), 1);
+        assert_eq!(blocks_for_size(4096, 4096), 1);
+        assert_eq!(blocks_for_size(4097, 4096), 2);
+    }
+}

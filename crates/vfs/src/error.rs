@@ -1,0 +1,100 @@
+//! File-system error type.
+
+use std::fmt;
+
+use sim_disk::DiskError;
+
+/// Errors returned by [`crate::FileSystem`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// A path component does not exist.
+    NotFound,
+    /// Creation target already exists.
+    AlreadyExists,
+    /// A non-final path component (or an operation target) is not a directory.
+    NotADirectory,
+    /// The operation requires a regular file but found a directory.
+    IsADirectory,
+    /// `rmdir` of a directory that still has entries.
+    DirectoryNotEmpty,
+    /// The device is out of usable space.
+    NoSpace,
+    /// All inode numbers are allocated.
+    NoInodes,
+    /// A file name is empty, too long, or contains `/` or NUL.
+    InvalidName,
+    /// A path is not absolute or is otherwise malformed.
+    InvalidPath,
+    /// A write or truncate would exceed the maximum mappable file size.
+    FileTooLarge,
+    /// The underlying device failed.
+    Disk(DiskError),
+    /// On-disk state failed a validity check (bad magic, checksum, ...).
+    Corrupt(&'static str),
+    /// The operation is not supported by this file system.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::AlreadyExists => write!(f, "file exists"),
+            FsError::NotADirectory => write!(f, "not a directory"),
+            FsError::IsADirectory => write!(f, "is a directory"),
+            FsError::DirectoryNotEmpty => write!(f, "directory not empty"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free inodes"),
+            FsError::InvalidName => write!(f, "invalid file name"),
+            FsError::InvalidPath => write!(f, "invalid path"),
+            FsError::FileTooLarge => write!(f, "file too large"),
+            FsError::Disk(e) => write!(f, "disk error: {e}"),
+            FsError::Corrupt(what) => write!(f, "file system corrupt: {what}"),
+            FsError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Disk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DiskError> for FsError {
+    fn from(e: DiskError) -> Self {
+        FsError::Disk(e)
+    }
+}
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_errors_convert() {
+        let err: FsError = DiskError::Crashed.into();
+        assert_eq!(err, FsError::Disk(DiskError::Crashed));
+        assert!(err.to_string().contains("disk error"));
+    }
+
+    #[test]
+    fn display_is_unix_flavoured() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        assert_eq!(FsError::NoSpace.to_string(), "no space left on device");
+    }
+
+    #[test]
+    fn source_chains_to_disk_error() {
+        use std::error::Error;
+        let err = FsError::Disk(DiskError::Crashed);
+        assert!(err.source().is_some());
+        assert!(FsError::NotFound.source().is_none());
+    }
+}

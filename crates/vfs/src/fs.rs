@@ -1,0 +1,108 @@
+//! The `FileSystem` trait every storage manager in this workspace exposes.
+
+use crate::error::FsResult;
+use crate::types::{DirEntry, FsStats, Ino, Metadata};
+
+/// A mounted file system.
+///
+/// Paths are absolute (`/a/b/c`). Data operations take an [`Ino`] obtained
+/// from [`lookup`](FileSystem::lookup) or [`create`](FileSystem::create) so
+/// benchmark inner loops do not pay path resolution per request.
+///
+/// Durability semantics follow the paper:
+///
+/// * Plain writes are absorbed by the file cache and reach disk when the
+///   write-back policy fires (age threshold, cache pressure) or on
+///   [`sync`](FileSystem::sync) / [`fsync`](FileSystem::fsync).
+/// * The FFS baseline additionally performs *synchronous* metadata writes
+///   inside [`create`](FileSystem::create) and
+///   [`unlink`](FileSystem::unlink), which is exactly the behaviour §3.1
+///   identifies as the scaling bottleneck. LFS performs none.
+pub trait FileSystem {
+    /// Resolves an absolute path to an inode.
+    fn lookup(&mut self, path: &str) -> FsResult<Ino>;
+
+    /// Creates a regular file. Fails if the path already exists.
+    fn create(&mut self, path: &str) -> FsResult<Ino>;
+
+    /// Creates a directory. Fails if the path already exists.
+    fn mkdir(&mut self, path: &str) -> FsResult<Ino>;
+
+    /// Removes a regular file (one link to it).
+    fn unlink(&mut self, path: &str) -> FsResult<()>;
+
+    /// Removes an empty directory.
+    fn rmdir(&mut self, path: &str) -> FsResult<()>;
+
+    /// Renames a file or directory. An existing regular file at `to` is
+    /// replaced; an existing directory at `to` is an error.
+    fn rename(&mut self, from: &str, to: &str) -> FsResult<()>;
+
+    /// Creates a hard link to an existing regular file.
+    fn link(&mut self, existing: &str, new: &str) -> FsResult<()>;
+
+    /// Reads up to `buf.len()` bytes at `offset`. Returns bytes read
+    /// (short only at end of file).
+    fn read_at(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize>;
+
+    /// Writes `data` at `offset`, extending the file if needed. Returns
+    /// bytes written.
+    fn write_at(&mut self, ino: Ino, offset: u64, data: &[u8]) -> FsResult<usize>;
+
+    /// Sets the file length, zero-filling on extension.
+    fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()>;
+
+    /// Returns file attributes.
+    fn stat(&mut self, ino: Ino) -> FsResult<Metadata>;
+
+    /// Lists a directory.
+    fn readdir(&mut self, path: &str) -> FsResult<Vec<DirEntry>>;
+
+    /// Forces one file's dirty state to disk and waits for it.
+    fn fsync(&mut self, ino: Ino) -> FsResult<()>;
+
+    /// Forces all dirty state to disk and waits for it.
+    fn sync(&mut self) -> FsResult<()>;
+
+    /// Drops all *clean* cached blocks, so subsequent reads hit the disk.
+    ///
+    /// Used by the Figure 3 experiment, which flushes the file cache
+    /// between its create and read phases. Implementations should sync
+    /// first if they need to preserve dirty data.
+    fn drop_caches(&mut self) -> FsResult<()>;
+
+    /// Returns aggregate statistics.
+    fn fs_stats(&mut self) -> FsResult<FsStats>;
+
+    /// Creates a file at `path` and writes `data` to it. Convenience for
+    /// tests and workloads.
+    fn write_file(&mut self, path: &str, data: &[u8]) -> FsResult<Ino> {
+        let ino = self.create(path)?;
+        let mut written = 0;
+        while written < data.len() {
+            written += self.write_at(ino, written as u64, &data[written..])?;
+        }
+        Ok(ino)
+    }
+
+    /// Reads the full contents of the regular file at `path`.
+    fn read_file(&mut self, path: &str) -> FsResult<Vec<u8>> {
+        let ino = self.lookup(path)?;
+        let meta = self.stat(ino)?;
+        if meta.kind == crate::types::FileKind::Directory {
+            return Err(crate::error::FsError::IsADirectory);
+        }
+        let size = meta.size as usize;
+        let mut data = vec![0u8; size];
+        let mut read = 0;
+        while read < size {
+            let n = self.read_at(ino, read as u64, &mut data[read..])?;
+            if n == 0 {
+                break;
+            }
+            read += n;
+        }
+        data.truncate(read);
+        Ok(data)
+    }
+}

@@ -1,0 +1,547 @@
+//! An in-memory reference file system.
+//!
+//! `ModelFs` implements [`FileSystem`] with plain `HashMap`s and `Vec`s and
+//! no caching, no disk, and no failure modes. Property-based tests run
+//! random operation sequences against `ModelFs` and a real file system
+//! (LFS or FFS) and require identical observable behaviour — the classic
+//! model-checking oracle pattern.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::{FsError, FsResult};
+use crate::fs::FileSystem;
+use crate::path::{split, split_parent, validate_name};
+use crate::types::{DirEntry, FileKind, FsStats, Ino, Metadata};
+
+#[derive(Debug, Clone)]
+enum Node {
+    File {
+        data: Vec<u8>,
+        nlink: u32,
+        mtime: u64,
+        atime: u64,
+    },
+    Dir {
+        entries: BTreeMap<String, Ino>,
+        mtime: u64,
+        atime: u64,
+    },
+}
+
+impl Node {
+    fn kind(&self) -> FileKind {
+        match self {
+            Node::File { .. } => FileKind::Regular,
+            Node::Dir { .. } => FileKind::Directory,
+        }
+    }
+}
+
+/// The in-memory reference implementation of [`FileSystem`].
+#[derive(Debug, Clone)]
+pub struct ModelFs {
+    nodes: HashMap<Ino, Node>,
+    next_ino: u32,
+    /// A logical tick counter standing in for time.
+    now: u64,
+}
+
+impl ModelFs {
+    /// Creates an empty file system containing only the root directory.
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            Ino::ROOT,
+            Node::Dir {
+                entries: BTreeMap::new(),
+                mtime: 0,
+                atime: 0,
+            },
+        );
+        Self {
+            nodes,
+            next_ino: Ino::ROOT.0 + 1,
+            now: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.now += 1;
+        self.now
+    }
+
+    fn alloc_ino(&mut self) -> Ino {
+        let ino = Ino(self.next_ino);
+        self.next_ino += 1;
+        ino
+    }
+
+    fn node(&self, ino: Ino) -> FsResult<&Node> {
+        self.nodes.get(&ino).ok_or(FsError::NotFound)
+    }
+
+    fn resolve_components(&self, components: &[&str]) -> FsResult<Ino> {
+        let mut current = Ino::ROOT;
+        for part in components {
+            match self.node(current)? {
+                Node::Dir { entries, .. } => {
+                    current = *entries.get(*part).ok_or(FsError::NotFound)?;
+                }
+                Node::File { .. } => return Err(FsError::NotADirectory),
+            }
+        }
+        Ok(current)
+    }
+
+    /// Resolves the parent directory of `path` and returns `(parent, name)`.
+    fn resolve_parent<'p>(&self, path: &'p str) -> FsResult<(Ino, &'p str)> {
+        let (parent_parts, name) = split_parent(path)?;
+        let parent = self.resolve_components(&parent_parts)?;
+        if self.node(parent)?.kind() != FileKind::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        Ok((parent, name))
+    }
+
+    fn dir_entries_mut(&mut self, ino: Ino) -> FsResult<&mut BTreeMap<String, Ino>> {
+        match self.nodes.get_mut(&ino).ok_or(FsError::NotFound)? {
+            Node::Dir { entries, .. } => Ok(entries),
+            Node::File { .. } => Err(FsError::NotADirectory),
+        }
+    }
+
+    fn insert_entry(&mut self, parent: Ino, name: &str, child: Ino) -> FsResult<()> {
+        validate_name(name)?;
+        let entries = self.dir_entries_mut(parent)?;
+        if entries.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        entries.insert(name.to_string(), child);
+        let now = self.tick();
+        if let Some(Node::Dir { mtime, .. }) = self.nodes.get_mut(&parent) {
+            *mtime = now;
+        }
+        Ok(())
+    }
+
+    fn drop_link(&mut self, ino: Ino) {
+        let remove = match self.nodes.get_mut(&ino) {
+            Some(Node::File { nlink, .. }) => {
+                *nlink -= 1;
+                *nlink == 0
+            }
+            _ => true,
+        };
+        if remove {
+            self.nodes.remove(&ino);
+        }
+    }
+}
+
+impl Default for ModelFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FileSystem for ModelFs {
+    fn lookup(&mut self, path: &str) -> FsResult<Ino> {
+        let components = split(path)?;
+        self.resolve_components(&components)
+    }
+
+    fn create(&mut self, path: &str) -> FsResult<Ino> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let ino = self.alloc_ino();
+        let now = self.tick();
+        self.nodes.insert(
+            ino,
+            Node::File {
+                data: Vec::new(),
+                nlink: 1,
+                mtime: now,
+                atime: now,
+            },
+        );
+        if let Err(e) = self.insert_entry(parent, name, ino) {
+            self.nodes.remove(&ino);
+            return Err(e);
+        }
+        Ok(ino)
+    }
+
+    fn mkdir(&mut self, path: &str) -> FsResult<Ino> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let ino = self.alloc_ino();
+        let now = self.tick();
+        self.nodes.insert(
+            ino,
+            Node::Dir {
+                entries: BTreeMap::new(),
+                mtime: now,
+                atime: now,
+            },
+        );
+        if let Err(e) = self.insert_entry(parent, name, ino) {
+            self.nodes.remove(&ino);
+            return Err(e);
+        }
+        Ok(ino)
+    }
+
+    fn unlink(&mut self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let entries = self.dir_entries_mut(parent)?;
+        let &ino = entries.get(name).ok_or(FsError::NotFound)?;
+        if self.node(ino)?.kind() == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        self.dir_entries_mut(parent)?.remove(name);
+        self.drop_link(ino);
+        let now = self.tick();
+        if let Some(Node::Dir { mtime, .. }) = self.nodes.get_mut(&parent) {
+            *mtime = now;
+        }
+        Ok(())
+    }
+
+    fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let entries = self.dir_entries_mut(parent)?;
+        let &ino = entries.get(name).ok_or(FsError::NotFound)?;
+        match self.node(ino)? {
+            Node::File { .. } => return Err(FsError::NotADirectory),
+            Node::Dir { entries, .. } => {
+                if !entries.is_empty() {
+                    return Err(FsError::DirectoryNotEmpty);
+                }
+            }
+        }
+        self.dir_entries_mut(parent)?.remove(name);
+        self.nodes.remove(&ino);
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        let from_parts = split(from)?;
+        let to_parts = split(to)?;
+        if from_parts == to_parts {
+            // Renaming a path onto itself is a successful no-op, but the
+            // source must exist.
+            self.resolve_components(&from_parts)?;
+            return Ok(());
+        }
+        if !from_parts.is_empty() && to_parts.starts_with(&from_parts) {
+            // Would move a directory underneath itself.
+            return Err(FsError::InvalidPath);
+        }
+        let (from_parent, from_name) = self.resolve_parent(from)?;
+        let (to_parent, to_name) = self.resolve_parent(to)?;
+        validate_name(to_name)?;
+
+        let &src = self
+            .dir_entries_mut(from_parent)?
+            .get(from_name)
+            .ok_or(FsError::NotFound)?;
+        if let Some(&existing) = self.dir_entries_mut(to_parent)?.get(to_name) {
+            match self.node(existing)?.kind() {
+                FileKind::Directory => return Err(FsError::AlreadyExists),
+                FileKind::Regular => {
+                    if self.node(src)?.kind() == FileKind::Directory {
+                        return Err(FsError::NotADirectory);
+                    }
+                    self.dir_entries_mut(to_parent)?.remove(to_name);
+                    self.drop_link(existing);
+                }
+            }
+        }
+        self.dir_entries_mut(from_parent)?.remove(from_name);
+        self.dir_entries_mut(to_parent)?
+            .insert(to_name.to_string(), src);
+        Ok(())
+    }
+
+    fn link(&mut self, existing: &str, new: &str) -> FsResult<()> {
+        let src = self.lookup(existing)?;
+        if self.node(src)?.kind() == FileKind::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let (parent, name) = self.resolve_parent(new)?;
+        self.insert_entry(parent, name, src)?;
+        if let Some(Node::File { nlink, .. }) = self.nodes.get_mut(&src) {
+            *nlink += 1;
+        }
+        Ok(())
+    }
+
+    fn read_at(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let now = self.tick();
+        match self.nodes.get_mut(&ino).ok_or(FsError::NotFound)? {
+            Node::Dir { .. } => Err(FsError::IsADirectory),
+            Node::File { data, atime, .. } => {
+                *atime = now;
+                let offset = offset as usize;
+                if offset >= data.len() {
+                    return Ok(0);
+                }
+                let n = buf.len().min(data.len() - offset);
+                buf[..n].copy_from_slice(&data[offset..offset + n]);
+                Ok(n)
+            }
+        }
+    }
+
+    fn write_at(&mut self, ino: Ino, offset: u64, incoming: &[u8]) -> FsResult<usize> {
+        // POSIX: a zero-length write does not extend the file.
+        if incoming.is_empty() {
+            self.node(ino)?;
+            return Ok(0);
+        }
+        let now = self.tick();
+        match self.nodes.get_mut(&ino).ok_or(FsError::NotFound)? {
+            Node::Dir { .. } => Err(FsError::IsADirectory),
+            Node::File { data, mtime, .. } => {
+                let offset = offset as usize;
+                let end = offset + incoming.len();
+                if data.len() < end {
+                    data.resize(end, 0);
+                }
+                data[offset..end].copy_from_slice(incoming);
+                *mtime = now;
+                Ok(incoming.len())
+            }
+        }
+    }
+
+    fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
+        let now = self.tick();
+        match self.nodes.get_mut(&ino).ok_or(FsError::NotFound)? {
+            Node::Dir { .. } => Err(FsError::IsADirectory),
+            Node::File { data, mtime, .. } => {
+                data.resize(size as usize, 0);
+                *mtime = now;
+                Ok(())
+            }
+        }
+    }
+
+    fn stat(&mut self, ino: Ino) -> FsResult<Metadata> {
+        match self.node(ino)? {
+            Node::File {
+                data,
+                nlink,
+                mtime,
+                atime,
+            } => Ok(Metadata {
+                ino,
+                kind: FileKind::Regular,
+                size: data.len() as u64,
+                nlink: *nlink,
+                mtime_ns: *mtime,
+                atime_ns: *atime,
+            }),
+            Node::Dir { mtime, atime, .. } => Ok(Metadata {
+                ino,
+                kind: FileKind::Directory,
+                size: 0,
+                nlink: 1,
+                mtime_ns: *mtime,
+                atime_ns: *atime,
+            }),
+        }
+    }
+
+    fn readdir(&mut self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let ino = self.lookup(path)?;
+        match self.node(ino)? {
+            Node::File { .. } => Err(FsError::NotADirectory),
+            Node::Dir { entries, .. } => entries
+                .iter()
+                .map(|(name, &child)| {
+                    Ok(DirEntry {
+                        name: name.clone(),
+                        ino: child,
+                        kind: self.node(child)?.kind(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn fsync(&mut self, _ino: Ino) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn sync(&mut self) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn drop_caches(&mut self) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn fs_stats(&mut self) -> FsResult<FsStats> {
+        let used: u64 = self
+            .nodes
+            .values()
+            .map(|n| match n {
+                Node::File { data, .. } => data.len() as u64,
+                Node::Dir { .. } => 0,
+            })
+            .sum();
+        Ok(FsStats {
+            capacity_bytes: 0,
+            used_bytes: used,
+            live_inodes: self.nodes.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let mut fs = ModelFs::new();
+        let ino = fs.create("/hello").unwrap();
+        fs.write_at(ino, 0, b"world").unwrap();
+        let mut buf = [0u8; 8];
+        let n = fs.read_at(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"world");
+        assert_eq!(fs.stat(ino).unwrap().size, 5);
+    }
+
+    #[test]
+    fn create_in_missing_dir_fails() {
+        let mut fs = ModelFs::new();
+        assert_eq!(fs.create("/no/file"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut fs = ModelFs::new();
+        fs.create("/a").unwrap();
+        assert_eq!(fs.create("/a"), Err(FsError::AlreadyExists));
+    }
+
+    #[test]
+    fn mkdir_and_nested_files() {
+        let mut fs = ModelFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.mkdir("/d/e").unwrap();
+        fs.write_file("/d/e/f", b"data").unwrap();
+        assert_eq!(fs.read_file("/d/e/f").unwrap(), b"data");
+        let names: Vec<_> = fs
+            .readdir("/d")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["e"]);
+    }
+
+    #[test]
+    fn unlink_removes_and_frees() {
+        let mut fs = ModelFs::new();
+        fs.write_file("/f", b"x").unwrap();
+        fs.unlink("/f").unwrap();
+        assert_eq!(fs.lookup("/f"), Err(FsError::NotFound));
+        assert_eq!(fs.unlink("/f"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn unlink_rejects_directories() {
+        let mut fs = ModelFs::new();
+        fs.mkdir("/d").unwrap();
+        assert_eq!(fs.unlink("/d"), Err(FsError::IsADirectory));
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let mut fs = ModelFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        assert_eq!(fs.rmdir("/d"), Err(FsError::DirectoryNotEmpty));
+        fs.unlink("/d/f").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert_eq!(fs.lookup("/d"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let mut fs = ModelFs::new();
+        fs.write_file("/a", b"A").unwrap();
+        fs.write_file("/b", b"B").unwrap();
+        fs.rename("/a", "/b").unwrap();
+        assert_eq!(fs.lookup("/a"), Err(FsError::NotFound));
+        assert_eq!(fs.read_file("/b").unwrap(), b"A");
+    }
+
+    #[test]
+    fn rename_into_own_subtree_fails() {
+        let mut fs = ModelFs::new();
+        fs.mkdir("/d").unwrap();
+        assert_eq!(fs.rename("/d", "/d/sub"), Err(FsError::InvalidPath));
+    }
+
+    #[test]
+    fn rename_to_self_is_noop() {
+        let mut fs = ModelFs::new();
+        fs.write_file("/a", b"A").unwrap();
+        fs.rename("/a", "/a").unwrap();
+        assert_eq!(fs.read_file("/a").unwrap(), b"A");
+        assert_eq!(fs.rename("/missing", "/missing"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn hard_links_share_data_and_count() {
+        let mut fs = ModelFs::new();
+        let ino = fs.write_file("/a", b"shared").unwrap();
+        fs.link("/a", "/b").unwrap();
+        assert_eq!(fs.stat(ino).unwrap().nlink, 2);
+        fs.unlink("/a").unwrap();
+        assert_eq!(fs.read_file("/b").unwrap(), b"shared");
+        assert_eq!(fs.stat(ino).unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn zero_length_write_does_not_extend() {
+        // Regression: POSIX says a zero-length write never changes the
+        // file size, even past EOF (found by cross-FS property testing).
+        let mut fs = ModelFs::new();
+        let ino = fs.create("/z").unwrap();
+        assert_eq!(fs.write_at(ino, 100, b"").unwrap(), 0);
+        assert_eq!(fs.stat(ino).unwrap().size, 0);
+        assert!(fs.write_at(Ino(99), 0, b"").is_err());
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut fs = ModelFs::new();
+        let ino = fs.create("/sparse").unwrap();
+        fs.write_at(ino, 10, b"x").unwrap();
+        let data = fs.read_file("/sparse").unwrap();
+        assert_eq!(data.len(), 11);
+        assert!(data[..10].iter().all(|&b| b == 0));
+        assert_eq!(data[10], b'x');
+    }
+
+    #[test]
+    fn truncate_shrinks_and_grows() {
+        let mut fs = ModelFs::new();
+        let ino = fs.write_file("/t", b"abcdef").unwrap();
+        fs.truncate(ino, 3).unwrap();
+        assert_eq!(fs.read_file("/t").unwrap(), b"abc");
+        fs.truncate(ino, 5).unwrap();
+        assert_eq!(fs.read_file("/t").unwrap(), b"abc\0\0");
+    }
+
+    #[test]
+    fn read_past_eof_returns_zero() {
+        let mut fs = ModelFs::new();
+        let ino = fs.write_file("/f", b"ab").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read_at(ino, 100, &mut buf).unwrap(), 0);
+    }
+}

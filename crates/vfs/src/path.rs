@@ -1,0 +1,103 @@
+//! Absolute-path parsing and name validation.
+
+use crate::error::{FsError, FsResult};
+
+/// Maximum length of a single file name, in bytes (as in BSD).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Validates a single directory-entry name.
+///
+/// Names must be non-empty, at most [`MAX_NAME_LEN`] bytes, must not
+/// contain `/` or NUL, and must not be the reserved `.` / `..`.
+pub fn validate_name(name: &str) -> FsResult<()> {
+    if name.is_empty() || name.len() > MAX_NAME_LEN {
+        return Err(FsError::InvalidName);
+    }
+    if name == "." || name == ".." {
+        return Err(FsError::InvalidName);
+    }
+    if name.bytes().any(|b| b == b'/' || b == 0) {
+        return Err(FsError::InvalidName);
+    }
+    Ok(())
+}
+
+/// Splits an absolute path into validated components.
+///
+/// `"/"` yields an empty component list (the root itself). Repeated
+/// slashes and a trailing slash are tolerated, as in UNIX.
+///
+/// # Examples
+///
+/// ```
+/// use vfs::path::split;
+///
+/// assert_eq!(split("/a/b").unwrap(), vec!["a", "b"]);
+/// assert_eq!(split("/").unwrap(), Vec::<&str>::new());
+/// assert!(split("relative").is_err());
+/// ```
+pub fn split(path: &str) -> FsResult<Vec<&str>> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidPath);
+    }
+    let mut components = Vec::new();
+    for part in path.split('/') {
+        if part.is_empty() {
+            continue;
+        }
+        validate_name(part)?;
+        components.push(part);
+    }
+    Ok(components)
+}
+
+/// Splits an absolute path into `(parent components, final name)`.
+///
+/// Fails on `"/"` since the root has no parent entry.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut components = split(path)?;
+    let name = components.pop().ok_or(FsError::InvalidPath)?;
+    Ok((components, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_handles_normal_paths() {
+        assert_eq!(split("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split("//a///b/").unwrap(), vec!["a", "b"]);
+        assert_eq!(split("/").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn split_rejects_relative_and_dot_components() {
+        assert_eq!(split("a/b"), Err(FsError::InvalidPath));
+        assert_eq!(split(""), Err(FsError::InvalidPath));
+        assert_eq!(split("/a/./b"), Err(FsError::InvalidName));
+        assert_eq!(split("/a/../b"), Err(FsError::InvalidName));
+    }
+
+    #[test]
+    fn split_parent_returns_final_name() {
+        let (parent, name) = split_parent("/x/y/z").unwrap();
+        assert_eq!(parent, vec!["x", "y"]);
+        assert_eq!(name, "z");
+        assert_eq!(split_parent("/").unwrap_err(), FsError::InvalidPath);
+    }
+
+    #[test]
+    fn validate_name_enforces_limits() {
+        assert!(validate_name("ok").is_ok());
+        assert_eq!(validate_name(""), Err(FsError::InvalidName));
+        assert_eq!(validate_name("."), Err(FsError::InvalidName));
+        assert_eq!(validate_name(".."), Err(FsError::InvalidName));
+        assert_eq!(validate_name("a/b"), Err(FsError::InvalidName));
+        assert_eq!(validate_name("a\0b"), Err(FsError::InvalidName));
+        let long = "x".repeat(MAX_NAME_LEN + 1);
+        assert_eq!(validate_name(&long), Err(FsError::InvalidName));
+        let exactly = "x".repeat(MAX_NAME_LEN);
+        assert!(validate_name(&exactly).is_ok());
+    }
+}

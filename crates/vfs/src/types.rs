@@ -1,0 +1,127 @@
+//! Shared file-system value types.
+
+use std::fmt;
+
+/// An inode number.
+///
+/// Inode 0 is reserved as "invalid"; the root directory is always
+/// [`Ino::ROOT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ino(pub u32);
+
+impl Ino {
+    /// The invalid inode number.
+    pub const INVALID: Ino = Ino(0);
+    /// The root directory's inode number.
+    pub const ROOT: Ino = Ino(1);
+
+    /// Returns true if this is a usable inode number.
+    pub fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino{}", self.0)
+    }
+}
+
+/// The kind of object an inode describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FileKind {
+    /// A regular file.
+    Regular,
+    /// A directory.
+    Directory,
+}
+
+impl fmt::Display for FileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileKind::Regular => write!(f, "file"),
+            FileKind::Directory => write!(f, "dir"),
+        }
+    }
+}
+
+/// File attributes, as returned by [`crate::FileSystem::stat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    /// Inode number.
+    pub ino: Ino,
+    /// File or directory.
+    pub kind: FileKind,
+    /// Length in bytes.
+    pub size: u64,
+    /// Number of directory entries referring to this inode.
+    pub nlink: u32,
+    /// Last modification time, virtual nanoseconds.
+    pub mtime_ns: u64,
+    /// Last access time, virtual nanoseconds.
+    ///
+    /// In LFS this attribute lives in the inode map, not the inode
+    /// (paper footnote 2), so that reading a file never rewrites its inode.
+    pub atime_ns: u64,
+}
+
+/// One entry returned by [`crate::FileSystem::readdir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (no slashes).
+    pub name: String,
+    /// Target inode.
+    pub ino: Ino,
+    /// Target kind.
+    pub kind: FileKind,
+}
+
+/// Aggregate file-system statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FsStats {
+    /// Total data capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes currently occupied by live data and metadata.
+    pub used_bytes: u64,
+    /// Number of live (allocated) inodes.
+    pub live_inodes: u64,
+}
+
+impl FsStats {
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_bytes == 0 {
+            0.0
+        } else {
+            self.used_bytes as f64 / self.capacity_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ino_validity() {
+        assert!(!Ino::INVALID.is_valid());
+        assert!(Ino::ROOT.is_valid());
+        assert_eq!(Ino::ROOT, Ino(1));
+    }
+
+    #[test]
+    fn ino_displays() {
+        assert_eq!(Ino(42).to_string(), "ino42");
+    }
+
+    #[test]
+    fn utilization_handles_empty() {
+        assert_eq!(FsStats::default().utilization(), 0.0);
+        let stats = FsStats {
+            capacity_bytes: 100,
+            used_bytes: 25,
+            live_inodes: 1,
+        };
+        assert!((stats.utilization() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Little-endian serialisation helpers and CRC-32.
+//!
+//! Both file systems hand-serialise their on-disk formats (fixed
+//! little-endian layouts); these cursors keep the layout code short and
+//! panic-free on truncated input.
+
+/// A bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader at offset zero.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Option<()> {
+        self.take(n).map(|_| ())
+    }
+}
+
+/// A little-endian writer appending to a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns true if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends `n` zero bytes.
+    pub fn pad(&mut self, n: usize) {
+        self.buf.resize(self.buf.len() + n, 0);
+    }
+
+    /// Pads with zeros up to `len` bytes total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer already exceeds `len`.
+    pub fn pad_to(&mut self, len: usize) {
+        assert!(
+            self.buf.len() <= len,
+            "writer length {} exceeds target {len}",
+            self.buf.len()
+        );
+        self.buf.resize(len, 0);
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer and returns the bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Incremental CRC-32 update over `data` given a running register value.
+///
+/// Start from `0xFFFF_FFFF` and XOR the final register with `0xFFFF_FFFF`
+/// (or just call [`crc32`] for one-shot use).
+pub fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    for &byte in data {
+        crc = table[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_round_trips_writer() {
+        let mut w = ByteWriter::new();
+        w.u8(0xAB);
+        w.u16(0x1234);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0102_0304_0506_0708);
+        w.bytes(b"xyz");
+        let data = w.into_vec();
+
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.u8(), Some(0xAB));
+        assert_eq!(r.u16(), Some(0x1234));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(0x0102_0304_0506_0708));
+        assert_eq!(r.bytes(3), Some(&b"xyz"[..]));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), None);
+    }
+
+    #[test]
+    fn reader_rejects_truncated_reads() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.u32(), None);
+        // A failed read consumes nothing.
+        assert_eq!(r.u16(), Some(0x0201));
+    }
+
+    #[test]
+    fn writer_padding() {
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        w.pad(3);
+        w.pad_to(8);
+        assert_eq!(w.into_vec(), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds target")]
+    fn pad_to_rejects_shrinking() {
+        let mut w = ByteWriter::new();
+        w.u64(0);
+        w.pad_to(4);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Different data, different CRC.
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot() {
+        let data = b"the quick brown fox";
+        let oneshot = crc32(data);
+        let mut crc = 0xFFFF_FFFF;
+        crc = crc32_update(crc, &data[..7]);
+        crc = crc32_update(crc, &data[7..]);
+        assert_eq!(crc ^ 0xFFFF_FFFF, oneshot);
+    }
+}

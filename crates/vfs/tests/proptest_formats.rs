@@ -1,0 +1,143 @@
+//! Property tests for the shared wire formats and helpers: round trips
+//! under arbitrary inputs, and graceful rejection of arbitrary garbage.
+
+use proptest::prelude::*;
+
+use vfs::blockmap::{self, BlockPath, NDIRECT};
+use vfs::dirent::{self, RawEntry};
+use vfs::wire::{crc32, ByteReader, ByteWriter};
+use vfs::{FileKind, Ino};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9_.\\-]{1,40}")
+        .unwrap()
+        // "." and ".." are reserved path components.
+        .prop_filter("reserved name", |name| name != "." && name != "..")
+}
+
+fn entry_strategy() -> impl Strategy<Value = (u32, bool, String)> {
+    (1u32..100_000, any::<bool>(), name_strategy())
+}
+
+proptest! {
+    /// Directory streams round-trip through encode/parse.
+    #[test]
+    fn dirent_round_trips(entries in proptest::collection::vec(entry_strategy(), 0..30)) {
+        let mut stream = Vec::new();
+        for (ino, is_dir, name) in &entries {
+            let kind = if *is_dir { FileKind::Directory } else { FileKind::Regular };
+            dirent::encode_entry(&mut stream, Ino(*ino), kind, name);
+        }
+        let parsed = dirent::parse(&stream).unwrap();
+        prop_assert_eq!(parsed.len(), entries.len());
+        for (raw, (ino, is_dir, name)) in parsed.iter().zip(&entries) {
+            prop_assert_eq!(raw.ino, Ino(*ino));
+            prop_assert_eq!(raw.kind == FileKind::Directory, *is_dir);
+            prop_assert_eq!(&raw.name, name);
+        }
+        // Re-encoding the parsed entries reproduces the stream.
+        prop_assert_eq!(dirent::encode_all(&parsed), stream);
+    }
+
+    /// The dirent parser never panics on arbitrary bytes — it either
+    /// parses or returns a corruption error.
+    #[test]
+    fn dirent_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = dirent::parse(&bytes);
+    }
+
+    /// Offsets reported by the parser index the original stream.
+    #[test]
+    fn dirent_offsets_are_accurate(entries in proptest::collection::vec(entry_strategy(), 1..20)) {
+        let mut stream = Vec::new();
+        for (ino, _, name) in &entries {
+            dirent::encode_entry(&mut stream, Ino(*ino), FileKind::Regular, name);
+        }
+        let parsed = dirent::parse(&stream).unwrap();
+        for raw in &parsed {
+            let mut single = Vec::new();
+            dirent::encode_entry(&mut single, raw.ino, raw.kind, &raw.name);
+            prop_assert_eq!(
+                &stream[raw.offset..raw.offset + raw.encoded_len()],
+                &single[..]
+            );
+        }
+        let _ = parsed
+            .iter()
+            .map(RawEntry::encoded_len)
+            .sum::<usize>();
+    }
+
+    /// Block-map resolution is a bijection over the mappable range.
+    #[test]
+    fn blockmap_is_bijective(bno in 0u64..2_000_000, ppb in prop_oneof![Just(128usize), Just(1024), Just(2048)]) {
+        match blockmap::resolve(bno, ppb) {
+            None => prop_assert!(bno >= (NDIRECT + ppb + ppb * ppb) as u64),
+            Some(path) => {
+                // Invert the mapping.
+                let inverse = match path {
+                    BlockPath::Direct { slot } => slot as u64,
+                    BlockPath::Single { slot } => NDIRECT as u64 + slot as u64,
+                    BlockPath::Double { outer, inner } => {
+                        NDIRECT as u64 + ppb as u64 + outer as u64 * ppb as u64 + inner as u64
+                    }
+                };
+                prop_assert_eq!(inverse, bno);
+                // Slots are in range.
+                match path {
+                    BlockPath::Direct { slot } => prop_assert!(slot < NDIRECT),
+                    BlockPath::Single { slot } => prop_assert!(slot < ppb),
+                    BlockPath::Double { outer, inner } => {
+                        prop_assert!(outer < ppb && inner < ppb)
+                    }
+                }
+            }
+        }
+    }
+
+    /// The byte cursors are inverse operations for any field sequence.
+    #[test]
+    fn wire_round_trips(
+        a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        pad in 0usize..32,
+    ) {
+        let mut w = ByteWriter::new();
+        w.u8(a);
+        w.u16(b);
+        w.u32(c);
+        w.u64(d);
+        w.bytes(&bytes);
+        w.pad(pad);
+        let encoded = w.into_vec();
+
+        let mut r = ByteReader::new(&encoded);
+        prop_assert_eq!(r.u8(), Some(a));
+        prop_assert_eq!(r.u16(), Some(b));
+        prop_assert_eq!(r.u32(), Some(c));
+        prop_assert_eq!(r.u64(), Some(d));
+        prop_assert_eq!(r.bytes(bytes.len()), Some(&bytes[..]));
+        prop_assert_eq!(r.remaining(), pad);
+    }
+
+    /// CRC-32 detects any single-bit flip.
+    #[test]
+    fn crc32_detects_bit_flips(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        bit in 0usize..1024,
+    ) {
+        let original = crc32(&data);
+        let mut flipped = data.clone();
+        let index = bit % (data.len() * 8);
+        flipped[index / 8] ^= 1 << (index % 8);
+        prop_assert_ne!(original, crc32(&flipped));
+    }
+
+    /// Path splitting accepts what name validation accepts, rejects the rest.
+    #[test]
+    fn path_split_consistency(parts in proptest::collection::vec(name_strategy(), 1..6)) {
+        let path = format!("/{}", parts.join("/"));
+        let split = vfs::path::split(&path).unwrap();
+        prop_assert_eq!(split, parts);
+    }
+}

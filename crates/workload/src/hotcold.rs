@@ -1,0 +1,142 @@
+//! Hot/cold overwrite churn.
+//!
+//! The cleaner-policy comparisons (and the LFS follow-up literature) use
+//! skewed update patterns: most overwrites hit a small hot set while a
+//! large cold set sits mostly still. The skew is what gives age-aware
+//! cleaning policies something to exploit — and what stresses greedy
+//! ones.
+
+use vfs::{FileSystem, FsResult};
+
+use crate::payload;
+
+/// Parameters of the hot/cold churn.
+#[derive(Debug, Clone)]
+pub struct HotColdSpec {
+    /// Total files in the working set.
+    pub nfiles: usize,
+    /// Size of every file in bytes.
+    pub file_size: usize,
+    /// Fraction of the files that are "hot" (e.g. 0.2).
+    pub hot_fraction: f64,
+    /// Probability that an overwrite hits the hot set (e.g. 0.8).
+    pub hot_bias: f64,
+    /// Number of whole-file overwrites to perform.
+    pub overwrites: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HotColdSpec {
+    /// The classic 80/20 skew.
+    pub fn eighty_twenty(nfiles: usize, file_size: usize, overwrites: usize) -> Self {
+        Self {
+            nfiles,
+            file_size,
+            hot_fraction: 0.2,
+            hot_bias: 0.8,
+            overwrites,
+            seed: 0x807_020,
+        }
+    }
+
+    /// Path of file `i`.
+    pub fn path(&self, i: usize) -> String {
+        format!("/hc{i:05}")
+    }
+
+    fn hot_count(&self) -> usize {
+        ((self.nfiles as f64 * self.hot_fraction) as usize).max(1)
+    }
+}
+
+/// Creates the working set (call once before [`churn`]).
+pub fn populate<F: FileSystem + ?Sized>(fs: &mut F, spec: &HotColdSpec) -> FsResult<()> {
+    let data = payload(spec.seed, spec.file_size);
+    for i in 0..spec.nfiles {
+        fs.write_file(&spec.path(i), &data)?;
+    }
+    fs.sync()
+}
+
+/// Runs the skewed overwrite churn. Returns how many overwrites hit the
+/// hot set.
+pub fn churn<F: FileSystem + ?Sized>(fs: &mut F, spec: &HotColdSpec) -> FsResult<usize> {
+    let hot = spec.hot_count();
+    let data = payload(spec.seed ^ 0xC0FFEE, spec.file_size);
+    let mut state = spec.seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut hot_hits = 0;
+    for _ in 0..spec.overwrites {
+        let r = rng();
+        let target = if (r % 1_000) as f64 / 1_000.0 < spec.hot_bias {
+            hot_hits += 1;
+            (r / 1_024) as usize % hot
+        } else {
+            hot + (r / 1_024) as usize % (spec.nfiles - hot).max(1)
+        };
+        let path = spec.path(target);
+        let ino = fs.lookup(&path)?;
+        fs.truncate(ino, 0)?;
+        let mut written = 0;
+        while written < data.len() {
+            written += fs.write_at(ino, written as u64, &data[written..])?;
+        }
+    }
+    Ok(hot_hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::model::ModelFs;
+
+    #[test]
+    fn skew_is_roughly_honoured() {
+        let mut fs = ModelFs::new();
+        let spec = HotColdSpec::eighty_twenty(50, 256, 1_000);
+        populate(&mut fs, &spec).unwrap();
+        let hot_hits = churn(&mut fs, &spec).unwrap();
+        let fraction = hot_hits as f64 / 1_000.0;
+        assert!(
+            (0.7..0.9).contains(&fraction),
+            "hot fraction {fraction} should be near the 0.8 bias"
+        );
+        // All files still exist at the spec'd size.
+        for i in 0..50 {
+            let ino = fs.lookup(&spec.path(i)).unwrap();
+            assert_eq!(fs.stat(ino).unwrap().size, 256);
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let run = || {
+            let mut fs = ModelFs::new();
+            let spec = HotColdSpec::eighty_twenty(20, 128, 200);
+            populate(&mut fs, &spec).unwrap();
+            churn(&mut fs, &spec).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn degenerate_all_hot_works() {
+        let mut fs = ModelFs::new();
+        let spec = HotColdSpec {
+            nfiles: 3,
+            file_size: 64,
+            hot_fraction: 1.0,
+            hot_bias: 1.0,
+            overwrites: 50,
+            seed: 9,
+        };
+        populate(&mut fs, &spec).unwrap();
+        assert_eq!(churn(&mut fs, &spec).unwrap(), 50);
+    }
+}

@@ -1,0 +1,168 @@
+//! An office/engineering workload generator (§3).
+//!
+//! The paper characterises the target environment as "a large number of
+//! relatively small files (less than 8 kilobytes) whose contents are
+//! accessed sequentially and in their entirety. The average file life
+//! time is short, less than a day before it is overwritten or deleted."
+//!
+//! This generator maintains a working set of such files and issues a
+//! seeded random mix of creates, whole-file overwrites, whole-file reads,
+//! and deletes — the sustained workload the figures' one-shot tests do
+//! not cover.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vfs::{FileSystem, FsResult};
+
+use crate::payload;
+
+/// Parameters of the office workload.
+#[derive(Debug, Clone)]
+pub struct OfficeSpec {
+    /// Total operations to issue.
+    pub operations: usize,
+    /// Target working-set size in files.
+    pub working_set: usize,
+    /// Maximum file size in bytes (paper: "less than 8 kilobytes").
+    pub max_file_size: usize,
+    /// Number of directories files are spread over.
+    pub ndirs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl OfficeSpec {
+    /// A moderate default: 5 000 ops over a 200-file working set.
+    pub fn default_mix() -> Self {
+        Self {
+            operations: 5_000,
+            working_set: 200,
+            max_file_size: 8 * 1024,
+            ndirs: 10,
+            seed: 0x0FF1CE,
+        }
+    }
+
+    /// A scaled-down variant for tests.
+    pub fn scaled(operations: usize, working_set: usize) -> Self {
+        Self {
+            operations,
+            working_set,
+            max_file_size: 2 * 1024,
+            ndirs: 4,
+            seed: 0x0FF1CE,
+        }
+    }
+}
+
+/// Counters from one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OfficeOutcome {
+    /// Files created.
+    pub creates: u64,
+    /// Whole-file overwrites.
+    pub overwrites: u64,
+    /// Whole-file reads.
+    pub reads: u64,
+    /// Files deleted.
+    pub deletes: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+}
+
+/// Runs the workload. Leaves the surviving working set in place.
+pub fn run<F: FileSystem + ?Sized>(fs: &mut F, spec: &OfficeSpec) -> FsResult<OfficeOutcome> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut outcome = OfficeOutcome::default();
+    for d in 0..spec.ndirs {
+        fs.mkdir(&format!("/office{d}"))?;
+    }
+    // Live files: (path, size).
+    let mut live: Vec<(String, usize)> = Vec::new();
+    let mut serial = 0u64;
+
+    for _ in 0..spec.operations {
+        let roll: f64 = rng.gen();
+        // Below the working-set target, bias toward creation.
+        let create_bias = if live.len() < spec.working_set {
+            0.5
+        } else {
+            0.15
+        };
+        if roll < create_bias || live.is_empty() {
+            let size = rng.gen_range(256..=spec.max_file_size);
+            let dir = rng.gen_range(0..spec.ndirs);
+            let path = format!("/office{dir}/doc{serial:07}");
+            serial += 1;
+            fs.write_file(&path, &payload(serial, size))?;
+            outcome.creates += 1;
+            outcome.bytes_written += size as u64;
+            live.push((path, size));
+        } else if roll < create_bias + 0.15 {
+            // Delete: short lifetimes are the norm.
+            let victim = rng.gen_range(0..live.len());
+            let (path, _) = live.swap_remove(victim);
+            fs.unlink(&path)?;
+            outcome.deletes += 1;
+        } else if roll < create_bias + 0.35 {
+            // Overwrite in entirety (truncate + rewrite).
+            let target = rng.gen_range(0..live.len());
+            let size = rng.gen_range(256..=spec.max_file_size);
+            let (path, stored) = &mut live[target];
+            let ino = fs.lookup(path)?;
+            fs.truncate(ino, 0)?;
+            let data = payload(serial, size);
+            serial += 1;
+            let mut written = 0;
+            while written < data.len() {
+                written += fs.write_at(ino, written as u64, &data[written..])?;
+            }
+            *stored = size;
+            outcome.overwrites += 1;
+            outcome.bytes_written += size as u64;
+        } else {
+            // Read sequentially and in its entirety.
+            let target = rng.gen_range(0..live.len());
+            let (path, size) = live[target].clone();
+            let data = fs.read_file(&path)?;
+            if data.len() != size {
+                return Err(vfs::FsError::Corrupt("office file has wrong length"));
+            }
+            outcome.reads += 1;
+            outcome.bytes_read += size as u64;
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::model::ModelFs;
+
+    #[test]
+    fn runs_against_the_model() {
+        let mut fs = ModelFs::new();
+        let outcome = run(&mut fs, &OfficeSpec::scaled(500, 30)).unwrap();
+        assert!(outcome.creates > 0);
+        assert!(outcome.deletes > 0);
+        assert!(outcome.reads > 0);
+        assert!(outcome.overwrites > 0);
+        assert!(outcome.bytes_written > outcome.deletes);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let mut a = ModelFs::new();
+        let mut b = ModelFs::new();
+        let spec = OfficeSpec::scaled(300, 20);
+        assert_eq!(run(&mut a, &spec).unwrap(), run(&mut b, &spec).unwrap());
+        // And the resulting trees match.
+        assert_eq!(
+            a.readdir("/office0").unwrap().len(),
+            b.readdir("/office0").unwrap().len()
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! The small-file workload of §5.1 (Figure 3).
+//!
+//! "The test consisted of creating 10 megabytes of small files, followed
+//! by flushing the file cache and reading all the files from disk. After
+//! reading all the files, they were deleted." Files are spread over
+//! directories as in the office/engineering environment.
+
+use vfs::{FileSystem, FsResult};
+
+use crate::payload;
+
+/// Parameters of the small-file test.
+#[derive(Debug, Clone)]
+pub struct SmallFileSpec {
+    /// Number of files.
+    pub nfiles: usize,
+    /// Size of each file in bytes.
+    pub file_size: usize,
+    /// Files per directory.
+    pub files_per_dir: usize,
+    /// Payload seed.
+    pub seed: u64,
+}
+
+impl SmallFileSpec {
+    /// The paper's 1 KB configuration: 10 000 × 1 KB = 10 MB.
+    pub fn paper_1k() -> Self {
+        Self {
+            nfiles: 10_000,
+            file_size: 1024,
+            files_per_dir: 100,
+            seed: 0x1F5,
+        }
+    }
+
+    /// The paper's 10 KB configuration: 1 000 × 10 KB = 10 MB.
+    pub fn paper_10k() -> Self {
+        Self {
+            nfiles: 1_000,
+            file_size: 10 * 1024,
+            files_per_dir: 100,
+            seed: 0x1F5,
+        }
+    }
+
+    /// A scaled-down variant for tests.
+    pub fn scaled(nfiles: usize, file_size: usize) -> Self {
+        Self {
+            nfiles,
+            file_size,
+            files_per_dir: 50,
+            seed: 0x1F5,
+        }
+    }
+
+    /// Path of file `i`.
+    pub fn path(&self, i: usize) -> String {
+        format!("/sf{:04}/f{:06}", i / self.files_per_dir, i)
+    }
+
+    fn dir(&self, d: usize) -> String {
+        format!("/sf{d:04}")
+    }
+
+    /// Number of directories used.
+    pub fn ndirs(&self) -> usize {
+        self.nfiles.div_ceil(self.files_per_dir)
+    }
+}
+
+/// Create phase: makes the directories and writes every file.
+pub fn create_phase<F: FileSystem + ?Sized>(fs: &mut F, spec: &SmallFileSpec) -> FsResult<()> {
+    for d in 0..spec.ndirs() {
+        fs.mkdir(&spec.dir(d))?;
+    }
+    let data = payload(spec.seed, spec.file_size);
+    for i in 0..spec.nfiles {
+        fs.write_file(&spec.path(i), &data)?;
+    }
+    Ok(())
+}
+
+/// Read phase: reads every file in creation order, verifying length.
+pub fn read_phase<F: FileSystem + ?Sized>(fs: &mut F, spec: &SmallFileSpec) -> FsResult<()> {
+    let mut buf = vec![0u8; spec.file_size];
+    for i in 0..spec.nfiles {
+        let ino = fs.lookup(&spec.path(i))?;
+        let mut read = 0;
+        while read < spec.file_size {
+            let n = fs.read_at(ino, read as u64, &mut buf[read..])?;
+            if n == 0 {
+                return Err(vfs::FsError::Corrupt("small file shorter than written"));
+            }
+            read += n;
+        }
+    }
+    Ok(())
+}
+
+/// Delete phase: unlinks every file.
+pub fn delete_phase<F: FileSystem + ?Sized>(fs: &mut F, spec: &SmallFileSpec) -> FsResult<()> {
+    for i in 0..spec.nfiles {
+        fs.unlink(&spec.path(i))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::model::ModelFs;
+
+    #[test]
+    fn phases_run_against_the_model() {
+        let mut fs = ModelFs::new();
+        let spec = SmallFileSpec::scaled(120, 256);
+        create_phase(&mut fs, &spec).unwrap();
+        assert_eq!(fs.readdir("/sf0000").unwrap().len(), 50);
+        read_phase(&mut fs, &spec).unwrap();
+        delete_phase(&mut fs, &spec).unwrap();
+        assert!(fs.readdir("/sf0001").unwrap().is_empty());
+    }
+
+    #[test]
+    fn paper_specs_total_ten_megabytes() {
+        // "10000 one-kilobyte and 1000 ten-kilobyte files" — both total
+        // the paper's "10 megabytes of small files".
+        let k1 = SmallFileSpec::paper_1k();
+        assert_eq!(k1.nfiles * k1.file_size, 10_000 * 1024);
+        let k10 = SmallFileSpec::paper_10k();
+        assert_eq!(k10.nfiles * k10.file_size, 10_000 * 1024);
+    }
+
+    #[test]
+    fn paths_group_by_directory() {
+        let spec = SmallFileSpec::scaled(100, 64);
+        assert!(spec.path(0).starts_with("/sf0000/"));
+        assert!(spec.path(50).starts_with("/sf0001/"));
+        assert_eq!(spec.ndirs(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Long-horizon "aging" test — a cheap stand-in for the paper's closing
+//! concern ("the real test of a file system is its performance over
+//! months and years of use"): many mount generations of churn, some
+//! ending in clean syncs and some in crashes, with full verification
+//! after every generation.
+
+use std::collections::BTreeMap;
+
+use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
+use lfs_repro::vfs::{FileSystem, FsError};
+use lfs_repro::workload::payload;
+
+const DISK_SECTORS: u64 = 4096; // 2 MB: generations of churn must trigger cleaning.
+
+#[test]
+fn twelve_generations_of_churn_and_crashes() {
+    let geometry = DiskGeometry::tiny_test(DISK_SECTORS);
+    // Ground truth across generations: what must exist on disk.
+    let mut truth: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+
+    // Generation 0: format.
+    let disk = SimDisk::new(geometry.clone(), Clock::new());
+    let clock = disk.clock().clone();
+    let fs = Lfs::format(disk, LfsConfig::small_test(), clock).unwrap();
+    let mut image = fs.into_device().into_image();
+    let mut total_cleaned = 0u64;
+
+    for generation in 0u64..12 {
+        let crash_this_time = generation % 3 == 2;
+        let mut disk = SimDisk::from_image(geometry.clone(), Clock::new(), image);
+        if crash_this_time {
+            // Crash somewhere inside this generation's work.
+            disk.arm_crash(CrashPlan::drop_at(40 + generation * 7));
+        }
+        let clock = disk.clock().clone();
+        let mut fs = Lfs::mount(disk, LfsConfig::small_test(), clock)
+            .unwrap_or_else(|e| panic!("generation {generation}: mount failed: {e}"));
+
+        // Verify everything the previous generations synced.
+        for (path, data) in &truth {
+            match fs.read_file(path) {
+                Ok(read) => assert_eq!(&read, data, "generation {generation}: {path} corrupted"),
+                Err(e) => panic!("generation {generation}: {path} lost: {e}"),
+            }
+        }
+        let report = fs.fsck().unwrap();
+        assert!(report.is_clean(), "generation {generation}:\n{report}");
+
+        // This generation's churn: overwrite some inherited files,
+        // delete others, add new ones. Committed to `truth` only if the
+        // final sync succeeds (crash generations stop partway).
+        let staged = truth.clone();
+        let mut work = || -> Result<BTreeMap<String, Vec<u8>>, FsError> {
+            let mut staged = staged.clone();
+            let keys: Vec<String> = staged.keys().cloned().collect();
+            for (i, path) in keys.iter().enumerate() {
+                if i % 3 == 0 {
+                    fs.unlink(path)?;
+                    staged.remove(path);
+                } else if i % 3 == 1 {
+                    let ino = fs.lookup(path)?;
+                    fs.truncate(ino, 0)?;
+                    let data = payload(generation * 1000 + i as u64, 9_000);
+                    let mut written = 0;
+                    while written < data.len() {
+                        written += fs.write_at(ino, written as u64, &data[written..])?;
+                    }
+                    staged.insert(path.clone(), data);
+                }
+            }
+            for i in 0..8u64 {
+                let path = format!("/g{generation:02}f{i}");
+                let data = payload(generation * 100 + i, 6_000 + (i as usize) * 1_500);
+                fs.write_file(&path, &data)?;
+                staged.insert(path, data);
+            }
+            fs.sync()?;
+            Ok(staged)
+        };
+        match work() {
+            Ok(new_truth) => {
+                truth = new_truth;
+            }
+            Err(FsError::Disk(_)) => {
+                // Crashed mid-generation: `truth` keeps the previous
+                // committed state; recovery may keep more, never less.
+            }
+            Err(e) => panic!("generation {generation}: {e}"),
+        }
+        total_cleaned += fs.stats().segments_cleaned;
+        image = fs.into_device().into_image();
+    }
+
+    assert!(
+        !truth.is_empty(),
+        "the volume must carry state across generations"
+    );
+    assert!(
+        total_cleaned > 0,
+        "twelve generations on a 4 MB disk must exercise the cleaner"
+    );
+}

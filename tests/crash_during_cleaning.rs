@@ -1,0 +1,110 @@
+//! Crash injection during cleaner activity.
+//!
+//! The most delicate window in the whole design: the cleaner has copied
+//! live blocks out of a segment, the relocations are partially written,
+//! and the checkpoint that would commit them has not landed. A crash
+//! anywhere in that window must recover to a consistent volume in which
+//! every previously synced file still reads back intact — that is what
+//! the CleanPending state exists to guarantee.
+
+use std::sync::Arc;
+
+use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
+use lfs_repro::vfs::{FileSystem, FsError};
+
+const DISK_SECTORS: u64 = 2048; // 1 MB: cleaning is unavoidable.
+
+/// Files known durable at the crash: (path, contents).
+type DurableSet = Vec<(String, Vec<u8>)>;
+
+/// Churn that forces continuous cleaning. Returns (path, contents) for
+/// every file that was synced and never subsequently modified/deleted.
+fn churn(fs: &mut Lfs<SimDisk>) -> DurableSet {
+    let mut durable: DurableSet = Vec::new();
+    let blob_for = |round: usize| vec![(round % 251) as u8 + 1; 20_000];
+    let run =
+        |fs: &mut Lfs<SimDisk>, durable: &mut Vec<(String, Vec<u8>)>| -> Result<(), FsError> {
+            for round in 0..60 {
+                let slot = round % 4;
+                let path = format!("/blob{slot}");
+                if round >= 4 {
+                    fs.unlink(&path)?;
+                    durable.retain(|(p, _)| p != &path);
+                }
+                let data = blob_for(round);
+                fs.write_file(&path, &data)?;
+                if round % 3 == 2 {
+                    fs.sync()?;
+                    // Everything currently live is durable now.
+                    durable.retain(|(p, _)| p != &path);
+                    durable.push((path.clone(), data));
+                    durable.dedup_by(|a, b| a.0 == b.0);
+                }
+            }
+            Ok(())
+        };
+    // Stop quietly at the crash.
+    let _ = run(fs, &mut durable);
+    durable
+}
+
+fn run_with_crash(crash_at: u64) -> Option<(Vec<u8>, DurableSet)> {
+    let clock = Clock::new();
+    let mut disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+    disk.arm_crash(CrashPlan::drop_at(crash_at));
+    let mut fs = Lfs::format(disk, LfsConfig::small_test(), clock).ok()?;
+    let mut durable = Vec::new();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        durable = churn(&mut fs);
+    }));
+    let _ = result;
+    // Only count files as durable if their last sync completed BEFORE the
+    // crash; `churn` already stops adding at the first error.
+    Some((fs.into_device().into_image(), durable))
+}
+
+#[test]
+fn crash_sweep_through_cleaning_activity() {
+    // A full run to size the write stream and confirm cleaning happened.
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+    let mut fs = Lfs::format(disk, LfsConfig::small_test(), clock).unwrap();
+    churn(&mut fs);
+    assert!(
+        fs.stats().segments_cleaned > 0,
+        "the scenario must exercise the cleaner"
+    );
+    let total_writes = fs.device().stats().writes;
+
+    let mut tested = 0;
+    for crash_at in (0..total_writes + 2).step_by(5) {
+        let Some((image, durable)) = run_with_crash(crash_at) else {
+            continue;
+        };
+        let disk = SimDisk::from_image(DiskGeometry::tiny_test(DISK_SECTORS), Clock::new(), image);
+        let clock = disk.clock().clone();
+        let mut fs = Lfs::mount(disk, LfsConfig::small_test(), clock)
+            .unwrap_or_else(|e| panic!("crash at {crash_at}: mount failed: {e}"));
+        let report = fs.fsck().unwrap();
+        assert!(
+            report.is_clean(),
+            "crash at {crash_at}: inconsistent after recovery:\n{report}"
+        );
+        for (path, data) in &durable {
+            match fs.read_file(path) {
+                Ok(read) => assert_eq!(
+                    &read, data,
+                    "crash at {crash_at}: {path} corrupted by cleaning+crash"
+                ),
+                Err(e) => panic!("crash at {crash_at}: durable {path} lost: {e}"),
+            }
+        }
+        // The recovered volume keeps working under further churn.
+        fs.write_file("/post", &vec![0xAB; 5_000]).unwrap();
+        fs.sync().unwrap();
+        assert_eq!(fs.read_file("/post").unwrap(), vec![0xAB; 5_000]);
+        tested += 1;
+    }
+    assert!(tested > 30, "sweep covered only {tested} crash points");
+}

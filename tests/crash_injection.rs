@@ -1,0 +1,242 @@
+//! Crash injection: power can fail at *any* write, and the volume must
+//! always mount, pass fsck, and retain everything acknowledged durable
+//! (synced before the crash).
+//!
+//! The deterministic sweep cuts the write stream at every index in a
+//! scripted run — the strongest form of the §4.4 recovery claim our
+//! substrate can check. The property test layers random workloads and
+//! torn writes on top.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
+use lfs_repro::vfs::{FileSystem, FsError};
+
+const DISK_SECTORS: u64 = 16_384; // 8 MB
+
+fn config(roll_forward: bool) -> LfsConfig {
+    let mut cfg = LfsConfig::small_test();
+    cfg.roll_forward = roll_forward;
+    cfg
+}
+
+/// The scripted workload: three generations of files with syncs between.
+/// Returns the paths that were durable (synced) at each generation.
+fn scripted_run(fs: &mut Lfs<SimDisk>) -> DurableSet {
+    let mut durable: DurableSet = Vec::new();
+    fn commit(fs: &mut Lfs<SimDisk>, durable: &mut DurableSet, batch: DurableSet) {
+        if fs.sync().is_ok() {
+            durable.extend(batch);
+        }
+    }
+
+    let mut batch = Vec::new();
+    let _ = fs.mkdir("/gen1");
+    for i in 0..6 {
+        let path = format!("/gen1/f{i}");
+        let data = vec![i as u8 + 1; 600 + i * 97];
+        if fs.write_file(&path, &data).is_ok() {
+            batch.push((path, data));
+        }
+    }
+    commit(fs, &mut durable, batch);
+
+    // Churn: delete half, overwrite others.
+    for i in 0..3 {
+        let _ = fs.unlink(&format!("/gen1/f{i}"));
+    }
+    durable.retain(|(p, _)| !(p.starts_with("/gen1/f") && p.as_str() < "/gen1/f3"));
+    let mut batch = Vec::new();
+    let _ = fs.mkdir("/gen2");
+    for i in 0..6 {
+        let path = format!("/gen2/g{i}");
+        let data = vec![0x40 + i as u8; 900 + i * 53];
+        if fs.write_file(&path, &data).is_ok() {
+            batch.push((path, data));
+        }
+    }
+    commit(fs, &mut durable, batch);
+
+    // A final unsynced generation (never added to `durable`).
+    let _ = fs.mkdir("/gen3");
+    for i in 0..4 {
+        let _ = fs.write_file(&format!("/gen3/h{i}"), &vec![0x70; 700]);
+    }
+    let _ = fs.write_back();
+    durable
+}
+
+/// Runs the script, crashing at write index `crash_at`; returns the
+/// surviving image and what was durable at the moment of the crash.
+/// Files known durable at the crash: (path, contents).
+type DurableSet = Vec<(String, Vec<u8>)>;
+
+/// Runs mkfs + the script, crashing at write index `crash_at`. Returns
+/// `(surviving image, durable set, format completed)`; the image is
+/// `None` when the crash hit during format (nothing to recover).
+fn run_with_crash(crash_at: u64) -> (Option<Vec<u8>>, DurableSet, bool) {
+    let clock = Clock::new();
+    let mut disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+    disk.arm_crash(CrashPlan::drop_at(crash_at));
+    let mut fs = match Lfs::format(disk, config(true), clock) {
+        Ok(fs) => fs,
+        // The crash hit mkfs itself: there is no volume to recover.
+        Err(_) => return (None, Vec::new(), false),
+    };
+    // Track durability as acknowledged *before* the crash interrupted.
+    let mut durable: Vec<(String, Vec<u8>)> = Vec::new();
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        durable = scripted_run(&mut fs);
+    }));
+    // Whether or not the script finished, take the surviving platters.
+    let image = fs.into_device().into_image();
+    let _ = result;
+    (Some(image), durable, true)
+}
+
+fn mount_image(image: Vec<u8>, roll_forward: bool) -> Lfs<SimDisk> {
+    let geometry = DiskGeometry::tiny_test(DISK_SECTORS);
+    let disk = SimDisk::from_image(geometry, Clock::new(), image);
+    let clock = disk.clock().clone();
+    Lfs::mount(disk, config(roll_forward), clock).expect("recovery mount must succeed")
+}
+
+/// Cuts the write stream at every index of the scripted run — recovery
+/// must succeed and preserve every synced file at all of them.
+#[test]
+fn crash_at_every_write_index_recovers_consistently() {
+    // First, find how many writes a full run issues.
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+    let mut fs = Lfs::format(disk, config(true), clock).unwrap();
+    scripted_run(&mut fs);
+    let total_writes = fs.device().stats().writes;
+
+    let mut tested = 0;
+    for crash_at in 0..total_writes + 2 {
+        let (image, durable, formatted) = run_with_crash(crash_at);
+        let Some(image) = image else {
+            assert!(!formatted, "formatted volume must produce an image");
+            continue;
+        };
+        let mut fs = mount_image(image, true);
+        let report = fs.fsck().unwrap();
+        assert!(
+            report.is_clean(),
+            "crash at write {crash_at}: fsck dirty:\n{report}"
+        );
+        for (path, data) in &durable {
+            match fs.read_file(path) {
+                Ok(read) => assert_eq!(&read, data, "crash at write {crash_at}: {path} corrupted"),
+                Err(e) => panic!("crash at write {crash_at}: durable {path} lost: {e}"),
+            }
+        }
+        tested += 1;
+    }
+    assert!(tested >= 10, "sweep covered only {tested} crash points");
+}
+
+#[test]
+fn torn_final_write_is_detected_and_discarded() {
+    for torn_sectors in [1u64, 2, 5] {
+        // Run the script fully once to count its writes, then re-run,
+        // tearing the final one.
+        let clock = Clock::new();
+        let disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+        let mut fs = Lfs::format(disk, config(true), clock).unwrap();
+        scripted_run(&mut fs);
+        let total = fs.device().stats().writes;
+        drop(fs);
+
+        let clock = Clock::new();
+        let mut disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+        disk.arm_crash(CrashPlan::tear_at(total - 1, torn_sectors));
+        let mut fs = Lfs::format(disk, config(true), clock).unwrap();
+        let durable = scripted_run(&mut fs);
+        let image = fs.into_device().into_image();
+
+        let mut fs = mount_image(image, true);
+        let report = fs.fsck().unwrap();
+        assert!(report.is_clean(), "torn {torn_sectors}: {report}");
+        for (path, data) in &durable {
+            assert_eq!(
+                &fs.read_file(path).unwrap(),
+                data,
+                "torn {torn_sectors}: {path}"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_only_recovery_is_also_consistent() {
+    for crash_at in [10u64, 25, 40, 70, 100, 150] {
+        let (image, _, _) = run_with_crash(crash_at);
+        let Some(image) = image else { continue };
+        let mut fs = mount_image(image, false);
+        let report = fs.fsck().unwrap();
+        assert!(
+            report.is_clean(),
+            "checkpoint-only, crash at {crash_at}:\n{report}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random workload, random crash point, random tear width.
+    #[test]
+    fn random_crashes_never_corrupt(
+        nfiles in 2usize..20,
+        file_size in 64usize..4000,
+        crash_at in 5u64..400,
+        tear in proptest::option::of(1u64..8),
+    ) {
+        let clock = Clock::new();
+        let mut disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+        let plan = match tear {
+            Some(sectors) => CrashPlan::tear_at(crash_at, sectors),
+            None => CrashPlan::drop_at(crash_at),
+        };
+        disk.arm_crash(plan);
+        let Ok(mut fs) = Lfs::format(disk, config(true), clock) else {
+            // Crash during mkfs: nothing to check.
+            return Ok(());
+        };
+
+        let mut durable: Vec<String> = Vec::new();
+        let mut pending: Vec<String> = Vec::new();
+        let mut failed = false;
+        for i in 0..nfiles {
+            let path = format!("/p{i:03}");
+            match fs.write_file(&path, &vec![i as u8; file_size]) {
+                Ok(_) => pending.push(path),
+                Err(FsError::Disk(_)) => { failed = true; break; }
+                Err(_) => {}
+            }
+            if i % 5 == 4 {
+                match fs.sync() {
+                    Ok(()) => durable.append(&mut pending),
+                    Err(_) => { failed = true; break; }
+                }
+            }
+        }
+        let _ = failed;
+        let image = fs.into_device().into_image();
+
+        let mut fs = mount_image(image, true);
+        let report = fs.fsck().unwrap();
+        prop_assert!(report.is_clean(), "fsck: {}", report);
+        for path in &durable {
+            prop_assert!(
+                fs.read_file(path).is_ok(),
+                "durable {} lost after crash at {}", path, crash_at
+            );
+        }
+    }
+}

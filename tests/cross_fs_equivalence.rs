@@ -1,0 +1,172 @@
+//! Cross-implementation equivalence: LFS, FFS, and the in-memory model
+//! must agree on observable behaviour under identical operation
+//! sequences — including the full office/engineering workload.
+
+use std::sync::Arc;
+
+use lfs_repro::ffs_baseline::{Ffs, FfsConfig};
+use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::sim_disk::{Clock, DiskGeometry, SimDisk};
+use lfs_repro::vfs::model::ModelFs;
+use lfs_repro::vfs::{FileKind, FileSystem};
+use lfs_repro::workload::office::{run as office_run, OfficeSpec};
+
+fn lfs() -> Lfs<SimDisk> {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    Lfs::format(disk, LfsConfig::small_test(), clock).unwrap()
+}
+
+fn ffs() -> Ffs<SimDisk> {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    Ffs::format(disk, FfsConfig::small_test(), clock).unwrap()
+}
+
+/// Recursively snapshots a tree as (path, kind, content) triples.
+fn snapshot<F: FileSystem>(fs: &mut F) -> Vec<(String, FileKind, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![String::from("/")];
+    while let Some(dir) = stack.pop() {
+        let mut entries = fs.readdir(&dir).unwrap();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        for entry in entries {
+            let path = if dir == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{dir}/{}", entry.name)
+            };
+            match entry.kind {
+                FileKind::Regular => {
+                    let data = fs.read_file(&path).unwrap();
+                    out.push((path, FileKind::Regular, data));
+                }
+                FileKind::Directory => {
+                    out.push((path.clone(), FileKind::Directory, Vec::new()));
+                    stack.push(path);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A fixed, tricky operation script covering the semantic corners.
+fn run_script<F: FileSystem>(fs: &mut F) -> Vec<String> {
+    let mut results = Vec::new();
+    let mut record = |tag: &str, r: Result<(), lfs_repro::vfs::FsError>| {
+        results.push(format!("{tag}: {:?}", r.err()));
+    };
+
+    record("mkdir /a", fs.mkdir("/a").map(|_| ()));
+    record("mkdir /a/b", fs.mkdir("/a/b").map(|_| ()));
+    record("dup mkdir", fs.mkdir("/a").map(|_| ()));
+    record("create /a/f", fs.write_file("/a/f", b"one").map(|_| ()));
+    record(
+        "create /a/b/g",
+        fs.write_file("/a/b/g", &vec![7u8; 5000]).map(|_| ()),
+    );
+    record("link", fs.link("/a/f", "/a/f2"));
+    record("link dir", fs.link("/a/b", "/a/bb"));
+    record("rename over", {
+        let r = fs.write_file("/a/h", b"two").map(|_| ());
+        r.and_then(|_| fs.rename("/a/h", "/a/f"))
+    });
+    record("rename dir", fs.rename("/a/b", "/moved"));
+    record("rename into self", fs.rename("/moved", "/moved/x"));
+    record("unlink f2", fs.unlink("/a/f2"));
+    record("rmdir nonempty", fs.rmdir("/moved"));
+    record("unlink missing", fs.unlink("/ghost"));
+    record("sparse", {
+        fs.create("/sparse").map(|_| ()).and_then(|_| {
+            let ino = fs.lookup("/sparse")?;
+            fs.write_at(ino, 9_000, b"tail")?;
+            fs.truncate(ino, 400)?;
+            fs.write_at(ino, 395, b"abcdefgh")?;
+            Ok(())
+        })
+    });
+    record("sync", fs.sync());
+    results
+}
+
+#[test]
+fn script_results_and_trees_match_across_implementations() {
+    let mut model = ModelFs::new();
+    let mut lfs = lfs();
+    let mut ffs = ffs();
+
+    let model_results = run_script(&mut model);
+    let lfs_results = run_script(&mut lfs);
+    let ffs_results = run_script(&mut ffs);
+    assert_eq!(model_results, lfs_results, "LFS diverged from the model");
+    assert_eq!(model_results, ffs_results, "FFS diverged from the model");
+
+    let model_tree = snapshot(&mut model);
+    assert_eq!(model_tree, snapshot(&mut lfs), "LFS tree diverged");
+    assert_eq!(model_tree, snapshot(&mut ffs), "FFS tree diverged");
+
+    // Both real file systems must also be internally consistent.
+    assert!(lfs.fsck().unwrap().is_clean());
+    assert!(ffs.fsck().unwrap().is_clean());
+}
+
+#[test]
+fn office_workload_trees_match() {
+    let spec = OfficeSpec::scaled(1_500, 60);
+    let mut model = ModelFs::new();
+    let mut lfs = lfs();
+    let mut ffs = ffs();
+    let a = office_run(&mut model, &spec).unwrap();
+    let b = office_run(&mut lfs, &spec).unwrap();
+    let c = office_run(&mut ffs, &spec).unwrap();
+    assert_eq!(a, b, "LFS outcome diverged");
+    assert_eq!(a, c, "FFS outcome diverged");
+
+    let model_tree = snapshot(&mut model);
+    assert_eq!(model_tree, snapshot(&mut lfs));
+    assert_eq!(model_tree, snapshot(&mut ffs));
+    assert!(lfs.fsck().unwrap().is_clean());
+    assert!(ffs.fsck().unwrap().is_clean());
+}
+
+#[test]
+fn office_workload_survives_lfs_remount() {
+    let spec = OfficeSpec::scaled(1_000, 50);
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    let geometry = disk.geometry().clone();
+    let mut fs = Lfs::format(disk, LfsConfig::small_test(), Arc::clone(&clock)).unwrap();
+    office_run(&mut fs, &spec).unwrap();
+    fs.sync().unwrap();
+    let before = snapshot(&mut fs);
+
+    let image = fs.into_device().into_image();
+    let disk = SimDisk::from_image(geometry, Clock::new(), image);
+    let clock = disk.clock().clone();
+    let mut fs = Lfs::mount(disk, LfsConfig::small_test(), clock).unwrap();
+    assert_eq!(before, snapshot(&mut fs));
+    let report = fs.fsck().unwrap();
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn office_workload_survives_ffs_remount() {
+    let spec = OfficeSpec::scaled(1_000, 50);
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    let geometry = disk.geometry().clone();
+    let mut fs = Ffs::format(disk, FfsConfig::small_test(), Arc::clone(&clock)).unwrap();
+    office_run(&mut fs, &spec).unwrap();
+    let before = snapshot(&mut fs);
+    let disk = fs.unmount().unwrap();
+
+    let image = disk.into_image();
+    let disk = SimDisk::from_image(geometry, Clock::new(), image);
+    let clock = disk.clock().clone();
+    let mut fs = Ffs::mount(disk, FfsConfig::small_test(), clock).unwrap();
+    assert_eq!(fs.stats().fsck_scans, 0);
+    assert_eq!(before, snapshot(&mut fs));
+    assert!(fs.fsck().unwrap().is_clean());
+}

@@ -1,0 +1,208 @@
+//! Property-based model checking: random operation sequences must leave
+//! LFS, FFS, and the in-memory reference model in identical observable
+//! states, and both real file systems internally consistent.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lfs_repro::ffs_baseline::{Ffs, FfsConfig};
+use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::sim_disk::{Clock, DiskGeometry, SimDisk};
+use lfs_repro::vfs::model::ModelFs;
+use lfs_repro::vfs::{FileKind, FileSystem, FsError};
+
+/// The operations the property explores.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(usize),
+    Mkdir(usize),
+    Unlink(usize),
+    Rmdir(usize),
+    Write {
+        path: usize,
+        offset: u16,
+        len: u16,
+        fill: u8,
+    },
+    Truncate {
+        path: usize,
+        size: u16,
+    },
+    Rename(usize, usize),
+    Link(usize, usize),
+    ReadBack(usize),
+    Sync,
+}
+
+/// A small fixed path pool spanning two directory levels.
+fn paths() -> Vec<&'static str> {
+    vec![
+        "/a",
+        "/b",
+        "/c",
+        "/dir1",
+        "/dir2",
+        "/dir1/x",
+        "/dir1/y",
+        "/dir2/x",
+        "/dir2/deep",
+        "/dir2/deep/z",
+        "/dir1/x/under",
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let p = 0..paths().len();
+    prop_oneof![
+        p.clone().prop_map(Op::Create),
+        p.clone().prop_map(Op::Mkdir),
+        p.clone().prop_map(Op::Unlink),
+        p.clone().prop_map(Op::Rmdir),
+        (p.clone(), 0u16..5000, 0u16..2000, any::<u8>()).prop_map(|(path, offset, len, fill)| {
+            Op::Write {
+                path,
+                offset,
+                len,
+                fill,
+            }
+        }),
+        (p.clone(), 0u16..6000).prop_map(|(path, size)| Op::Truncate { path, size }),
+        (p.clone(), p.clone()).prop_map(|(a, b)| Op::Rename(a, b)),
+        (p.clone(), p.clone()).prop_map(|(a, b)| Op::Link(a, b)),
+        p.prop_map(Op::ReadBack),
+        Just(Op::Sync),
+    ]
+}
+
+/// Applies one op, normalising the result to a comparable form.
+fn apply<F: FileSystem>(fs: &mut F, op: &Op) -> Result<Vec<u8>, FsError> {
+    let paths = paths();
+    match op {
+        Op::Create(i) => fs.create(paths[*i]).map(|_| Vec::new()),
+        Op::Mkdir(i) => fs.mkdir(paths[*i]).map(|_| Vec::new()),
+        Op::Unlink(i) => fs.unlink(paths[*i]).map(|_| Vec::new()),
+        Op::Rmdir(i) => fs.rmdir(paths[*i]).map(|_| Vec::new()),
+        Op::Write {
+            path,
+            offset,
+            len,
+            fill,
+        } => {
+            let ino = fs.lookup(paths[*path])?;
+            let data = vec![*fill; *len as usize];
+            fs.write_at(ino, *offset as u64, &data)
+                .map(|n| vec![n as u8])
+        }
+        Op::Truncate { path, size } => {
+            let ino = fs.lookup(paths[*path])?;
+            fs.truncate(ino, *size as u64).map(|_| Vec::new())
+        }
+        Op::Rename(a, b) => fs.rename(paths[*a], paths[*b]).map(|_| Vec::new()),
+        Op::Link(a, b) => fs.link(paths[*a], paths[*b]).map(|_| Vec::new()),
+        Op::ReadBack(i) => fs.read_file(paths[*i]),
+        Op::Sync => fs.sync().map(|_| Vec::new()),
+    }
+}
+
+/// Snapshots a tree as sorted (path, kind, content).
+fn snapshot<F: FileSystem>(fs: &mut F) -> Vec<(String, FileKind, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![String::from("/")];
+    while let Some(dir) = stack.pop() {
+        for entry in fs.readdir(&dir).unwrap() {
+            let path = if dir == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{dir}/{}", entry.name)
+            };
+            match entry.kind {
+                FileKind::Regular => {
+                    let data = fs.read_file(&path).unwrap();
+                    out.push((path, FileKind::Regular, data));
+                }
+                FileKind::Directory => {
+                    out.push((path.clone(), FileKind::Directory, Vec::new()));
+                    stack.push(path);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn lfs() -> Lfs<SimDisk> {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(32_768), Arc::clone(&clock));
+    Lfs::format(disk, LfsConfig::small_test(), clock).unwrap()
+}
+
+fn ffs() -> Ffs<SimDisk> {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(32_768), Arc::clone(&clock));
+    Ffs::format(disk, FfsConfig::small_test(), clock).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn lfs_matches_the_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut model = ModelFs::new();
+        let mut fs = lfs();
+        for (step, op) in ops.iter().enumerate() {
+            let expected = apply(&mut model, op);
+            let actual = apply(&mut fs, op);
+            prop_assert_eq!(
+                &expected, &actual,
+                "step {} ({:?}) diverged", step, op
+            );
+        }
+        prop_assert_eq!(snapshot(&mut model), snapshot(&mut fs));
+        let report = fs.fsck().unwrap();
+        prop_assert!(report.is_clean(), "fsck: {}", report);
+    }
+
+    #[test]
+    fn ffs_matches_the_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut model = ModelFs::new();
+        let mut fs = ffs();
+        for (step, op) in ops.iter().enumerate() {
+            let expected = apply(&mut model, op);
+            let actual = apply(&mut fs, op);
+            prop_assert_eq!(
+                &expected, &actual,
+                "step {} ({:?}) diverged", step, op
+            );
+        }
+        prop_assert_eq!(snapshot(&mut model), snapshot(&mut fs));
+        let report = fs.fsck().unwrap();
+        prop_assert!(report.is_clean(), "fsck: {}", report);
+    }
+
+    #[test]
+    fn lfs_state_survives_remount(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let clock = Clock::new();
+        let disk = SimDisk::new(DiskGeometry::tiny_test(32_768), Arc::clone(&clock));
+        let geometry = disk.geometry().clone();
+        let mut fs = Lfs::format(disk, LfsConfig::small_test(), Arc::clone(&clock)).unwrap();
+        for op in &ops {
+            let _ = apply(&mut fs, op);
+        }
+        fs.sync().unwrap();
+        let before = snapshot(&mut fs);
+
+        let image = fs.into_device().into_image();
+        let disk = SimDisk::from_image(geometry, Clock::new(), image);
+        let clock = disk.clock().clone();
+        let mut fs = Lfs::mount(disk, LfsConfig::small_test(), clock).unwrap();
+        prop_assert_eq!(before, snapshot(&mut fs));
+        let report = fs.fsck().unwrap();
+        prop_assert!(report.is_clean(), "fsck after remount: {}", report);
+    }
+}

@@ -1,0 +1,101 @@
+//! Trace record/replay across implementations: a trace captured on one
+//! file system replays on the others to a structurally identical tree.
+
+use std::sync::Arc;
+
+use lfs_repro::ffs_baseline::{Ffs, FfsConfig};
+use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::sim_disk::{Clock, DiskGeometry, SimDisk};
+use lfs_repro::vfs::model::ModelFs;
+use lfs_repro::vfs::{FileKind, FileSystem};
+use lfs_repro::workload::office::{run as office_run, OfficeSpec};
+use lfs_repro::workload::trace::{from_text, replay, to_text, TracingFs};
+
+/// Structural snapshot: (path, kind, size) — replayed traces regenerate
+/// payloads from seeds, so sizes (not bytes) must match.
+fn skeleton<F: FileSystem>(fs: &mut F) -> Vec<(String, FileKind, u64)> {
+    let mut out = Vec::new();
+    let mut stack = vec![String::from("/")];
+    while let Some(dir) = stack.pop() {
+        for entry in fs.readdir(&dir).unwrap() {
+            let path = if dir == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{dir}/{}", entry.name)
+            };
+            let size = fs.stat(entry.ino).unwrap().size;
+            match entry.kind {
+                FileKind::Regular => out.push((path, FileKind::Regular, size)),
+                FileKind::Directory => {
+                    out.push((path.clone(), FileKind::Directory, 0));
+                    stack.push(path);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn office_trace_replays_identically_everywhere() {
+    // Record on LFS.
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    let lfs = Lfs::format(disk, LfsConfig::small_test(), clock).unwrap();
+    let mut traced = TracingFs::new(lfs);
+    office_run(&mut traced, &OfficeSpec::scaled(1_200, 40)).unwrap();
+    let (mut lfs, ops) = traced.finish();
+    let reference = skeleton(&mut lfs);
+    assert!(!reference.is_empty());
+
+    // Serialise through text (exercising the parser on a large trace).
+    let text = to_text(&ops);
+    let parsed = from_text(&text).unwrap();
+    assert_eq!(parsed.len(), ops.len());
+
+    // Replay on the model.
+    let mut model = ModelFs::new();
+    let outcome = replay(&mut model, &parsed);
+    assert_eq!(outcome.failed, 0, "model replay must succeed entirely");
+    assert_eq!(skeleton(&mut model), reference, "model skeleton diverged");
+
+    // Replay on FFS.
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    let mut ffs = Ffs::format(disk, FfsConfig::small_test(), clock).unwrap();
+    let outcome = replay(&mut ffs, &parsed);
+    assert_eq!(outcome.failed, 0, "FFS replay must succeed entirely");
+    assert_eq!(skeleton(&mut ffs), reference, "FFS skeleton diverged");
+    assert!(ffs.fsck().unwrap().is_clean());
+
+    // Replay on a second LFS: full fidelity including fsck.
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    let mut lfs2 = Lfs::format(disk, LfsConfig::small_test(), clock).unwrap();
+    let outcome = replay(&mut lfs2, &parsed);
+    assert_eq!(outcome.failed, 0);
+    assert_eq!(skeleton(&mut lfs2), reference);
+    assert!(lfs2.fsck().unwrap().is_clean());
+}
+
+#[test]
+fn tracing_wrapper_is_transparent() {
+    // The wrapper must not change observable behaviour.
+    let spec = OfficeSpec::scaled(600, 25);
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    let plain = Lfs::format(disk, LfsConfig::small_test(), clock).unwrap();
+    let mut traced = TracingFs::new(plain);
+    let traced_outcome = office_run(&mut traced, &spec).unwrap();
+
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(65_536), Arc::clone(&clock));
+    let mut plain = Lfs::format(disk, LfsConfig::small_test(), clock).unwrap();
+    let plain_outcome = office_run(&mut plain, &spec).unwrap();
+
+    assert_eq!(traced_outcome, plain_outcome);
+    let (mut inner, ops) = traced.finish();
+    assert!(!ops.is_empty());
+    assert_eq!(skeleton(&mut inner), skeleton(&mut plain));
+}
