@@ -44,6 +44,24 @@ pub struct BlockCache {
     /// Minimum `dirty_since_ns` over all dirty blocks (u64::MAX when none).
     oldest_dirty_ns: u64,
     dirty_count: usize,
+    obs: CacheObs,
+}
+
+/// Registry-backed mirrors of [`CacheStats`], so cache behaviour shows up
+/// in the stack-wide metrics report.
+#[derive(Debug, Clone, Default)]
+struct CacheObs {
+    hits: obs::Counter,
+    misses: obs::Counter,
+    evictions: obs::Counter,
+}
+
+impl CacheObs {
+    fn rehome(&mut self, registry: &obs::Registry) {
+        self.hits = registry.adopt_counter("cache.hits", &self.hits);
+        self.misses = registry.adopt_counter("cache.misses", &self.misses);
+        self.evictions = registry.adopt_counter("cache.evictions", &self.evictions);
+    }
 }
 
 impl BlockCache {
@@ -65,7 +83,14 @@ impl BlockCache {
             stats: CacheStats::default(),
             oldest_dirty_ns: u64::MAX,
             dirty_count: 0,
+            obs: CacheObs::default(),
         }
+    }
+
+    /// Re-homes the cache's counters into a shared [`obs::Registry`];
+    /// counts accumulated so far are carried over.
+    pub fn attach_obs(&mut self, registry: &obs::Registry) {
+        self.obs.rehome(registry);
     }
 
     /// Block size in bytes.
@@ -115,10 +140,12 @@ impl BlockCache {
             Some(slot) => {
                 slot.used_tick = tick;
                 self.stats.hits += 1;
+                self.obs.hits.inc();
                 Some(&slot.data)
             }
             None => {
                 self.stats.misses += 1;
+                self.obs.misses.inc();
                 None
             }
         }
@@ -147,10 +174,12 @@ impl BlockCache {
                     self.oldest_dirty_ns = self.oldest_dirty_ns.min(now_ns);
                 }
                 self.stats.hits += 1;
+                self.obs.hits.inc();
                 Some(&mut slot.data)
             }
             None => {
                 self.stats.misses += 1;
+                self.obs.misses.inc();
                 None
             }
         }
@@ -203,6 +232,7 @@ impl BlockCache {
                 Some(key) => {
                     self.slots.remove(&key);
                     self.stats.evictions += 1;
+                    self.obs.evictions.inc();
                 }
                 // Everything is dirty: allow the cache to overflow. The
                 // CacheFull trigger tells the FS to write back.

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace maps the
+//! `criterion` dependency name to this crate. It keeps the criterion 0.5
+//! API shape the benches use (`criterion_group!`, `criterion_main!`,
+//! `Criterion`, benchmark groups, `iter`, `iter_batched_ref`, `Throughput`,
+//! `BatchSize`, `black_box`) but replaces the statistical machinery with a
+//! simple calibrated wall-clock loop: enough to run `cargo bench` and get
+//! a rough ns/iter figure, and to compile under `cargo test`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How batched inputs are sized; only the variants the benches name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Throughput annotation attached to a group; recorded for display only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total measured time across all iterations.
+    elapsed: Duration,
+    /// Number of iterations measured.
+    iters: u64,
+    /// Measurement budget per benchmark.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes a
+        // meaningful slice of the budget.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = ((self.budget.as_nanos() / 20).max(1) / one.as_nanos().max(1)).max(1) as u64;
+
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += per_batch;
+        }
+        if self.iters == 0 {
+            self.elapsed = one;
+            self.iters = 1;
+        }
+    }
+
+    /// Times `routine` against a mutable input rebuilt by `setup`, setup
+    /// excluded from measurement — mirrors `iter_batched_ref`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let per_batch = size.batch_len();
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let mut inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in &mut inputs {
+                black_box(routine(input));
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += per_batch;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn report(id: &str, throughput: Option<Throughput>, bencher: &Bencher) {
+    let ns = bencher.ns_per_iter();
+    let time = if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+            let mbps = bytes as f64 / (ns / 1e9) / 1e6;
+            format!("  {mbps:.1} MB/s")
+        }
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let eps = n as f64 / (ns / 1e9);
+            format!("  {eps:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("{id:<40} {time:>12}/iter{rate}   ({} iters)", bencher.iters);
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: this shim is about producing a rough number,
+        // not publication-grade statistics.
+        let ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        report(&id, None, &bencher);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks, mirroring `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher);
+        report(&id, self.throughput, &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion_group!`: builds a function that runs each benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: emits `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

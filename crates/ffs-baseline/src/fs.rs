@@ -57,6 +57,73 @@ pub struct FfsStats {
     pub fsck_blocks_scanned: u64,
 }
 
+/// Registry-backed instruments: one counter per [`FfsStats`] field plus
+/// the per-operation latency histograms shared with LFS (same `op.*`
+/// names, so LFS and FFS runs export through one schema).
+pub(crate) struct FfsObs {
+    pub registry: obs::Registry,
+    pub sync_inode_writes: obs::Counter,
+    pub sync_dir_writes: obs::Counter,
+    pub delayed_data_writes: obs::Counter,
+    pub delayed_inode_writes: obs::Counter,
+    pub bitmap_writes: obs::Counter,
+    pub fsck_scans: obs::Counter,
+    pub fsck_blocks_scanned: obs::Counter,
+    pub op_lookup: obs::Hist,
+    pub op_create: obs::Hist,
+    pub op_mkdir: obs::Hist,
+    pub op_unlink: obs::Hist,
+    pub op_rmdir: obs::Hist,
+    pub op_rename: obs::Hist,
+    pub op_link: obs::Hist,
+    pub op_read: obs::Hist,
+    pub op_write: obs::Hist,
+    pub op_truncate: obs::Hist,
+    pub op_fsync: obs::Hist,
+    pub op_sync: obs::Hist,
+}
+
+impl FfsObs {
+    pub fn new(registry: obs::Registry) -> Self {
+        let c = |name: &str| registry.counter(name);
+        let h = |name: &str| registry.hist(name);
+        FfsObs {
+            sync_inode_writes: c("ffs.sync_inode_writes"),
+            sync_dir_writes: c("ffs.sync_dir_writes"),
+            delayed_data_writes: c("ffs.delayed_data_writes"),
+            delayed_inode_writes: c("ffs.delayed_inode_writes"),
+            bitmap_writes: c("ffs.bitmap_writes"),
+            fsck_scans: c("fsck.scans"),
+            fsck_blocks_scanned: c("fsck.blocks_scanned"),
+            op_lookup: h("op.lookup_ns"),
+            op_create: h("op.create_ns"),
+            op_mkdir: h("op.mkdir_ns"),
+            op_unlink: h("op.unlink_ns"),
+            op_rmdir: h("op.rmdir_ns"),
+            op_rename: h("op.rename_ns"),
+            op_link: h("op.link_ns"),
+            op_read: h("op.read_ns"),
+            op_write: h("op.write_ns"),
+            op_truncate: h("op.truncate_ns"),
+            op_fsync: h("op.fsync_ns"),
+            op_sync: h("op.sync_ns"),
+            registry,
+        }
+    }
+
+    pub fn stats(&self) -> FfsStats {
+        FfsStats {
+            sync_inode_writes: self.sync_inode_writes.get(),
+            sync_dir_writes: self.sync_dir_writes.get(),
+            delayed_data_writes: self.delayed_data_writes.get(),
+            delayed_inode_writes: self.delayed_inode_writes.get(),
+            bitmap_writes: self.bitmap_writes.get(),
+            fsck_scans: self.fsck_scans.get(),
+            fsck_blocks_scanned: self.fsck_blocks_scanned.get(),
+        }
+    }
+}
+
 /// A mounted FFS volume over a block device.
 ///
 /// Create with [`Ffs::format`] or [`Ffs::mount`]; use through the
@@ -70,7 +137,7 @@ pub struct Ffs<D: BlockDevice> {
     pub(crate) cache: BlockCache,
     pub(crate) alloc: Allocator,
     pub(crate) inodes: HashMap<Ino, CachedInode>,
-    pub(crate) stats: FfsStats,
+    pub(crate) obs: FfsObs,
     pub(crate) in_maintenance: bool,
 }
 
@@ -134,13 +201,17 @@ impl<D: BlockDevice> Ffs<D> {
         Ok(self.dev)
     }
 
-    fn fresh(dev: D, sb: FfsSuperblock, cfg: FfsConfig, clock: Arc<Clock>) -> Self {
+    fn fresh(mut dev: D, sb: FfsSuperblock, cfg: FfsConfig, clock: Arc<Clock>) -> Self {
         let cpu = CpuModel::sun_4_260(Arc::clone(&clock));
-        let cache = BlockCache::new(
+        // One metrics registry covers device, cache, and file system.
+        let registry = obs::Registry::new();
+        dev.attach_obs(&registry);
+        let mut cache = BlockCache::new(
             sb.block_size as usize,
             (cfg.cache_bytes / sb.block_size as usize).max(8),
             cfg.writeback,
         );
+        cache.attach_obs(&registry);
         let alloc = Allocator::new(sb.clone());
         Self {
             dev,
@@ -151,7 +222,7 @@ impl<D: BlockDevice> Ffs<D> {
             cache,
             alloc,
             inodes: HashMap::new(),
-            stats: FfsStats::default(),
+            obs: FfsObs::new(registry),
             in_maintenance: false,
         }
     }
@@ -179,9 +250,15 @@ impl<D: BlockDevice> Ffs<D> {
         &self.cfg
     }
 
-    /// Operational counters.
-    pub fn stats(&self) -> &FfsStats {
-        &self.stats
+    /// A point-in-time snapshot of the operational counters.
+    pub fn stats(&self) -> FfsStats {
+        self.obs.stats()
+    }
+
+    /// The stack's shared metrics registry (device + cache + file
+    /// system), for snapshots, event dumps, and JSON export.
+    pub fn obs(&self) -> &obs::Registry {
+        &self.obs.registry
     }
 
     /// The shared virtual clock.
@@ -305,9 +382,9 @@ impl<D: BlockDevice> Ffs<D> {
         self.dev.annotate(if sync { "inode-sync" } else { "inode" });
         self.dev.write(self.sector_of(block_addr), &block, sync)?;
         if sync {
-            self.stats.sync_inode_writes += 1;
+            self.obs.sync_inode_writes.inc();
         } else {
-            self.stats.delayed_inode_writes += 1;
+            self.obs.delayed_inode_writes.inc();
         }
         if let Some(cached) = self.inodes.get_mut(&ino) {
             cached.dirty = false;
@@ -334,7 +411,7 @@ impl<D: BlockDevice> Ffs<D> {
             self.dev.annotate("dir-sync");
             self.dev.write(self.sector_of(addr), &data, true)?;
             self.cache.mark_clean(key);
-            self.stats.sync_dir_writes += 1;
+            self.obs.sync_dir_writes.inc();
         }
         Ok(())
     }
@@ -375,7 +452,7 @@ impl<D: BlockDevice> Ffs<D> {
             self.dev.annotate("data");
             self.dev.write(self.sector_of(addr), &data, false)?;
             self.cache.mark_clean(key);
-            self.stats.delayed_data_writes += 1;
+            self.obs.delayed_data_writes.inc();
         }
 
         // Dirty inodes, grouped by inode-table block so co-located inodes
@@ -408,7 +485,7 @@ impl<D: BlockDevice> Ffs<D> {
             );
             self.dev.annotate("inode");
             self.dev.write(self.sector_of(block_addr), &block, false)?;
-            self.stats.delayed_inode_writes += 1;
+            self.obs.delayed_inode_writes.inc();
             for ino in inos {
                 if let Some(cached) = self.inodes.get_mut(&ino) {
                     cached.dirty = false;
@@ -433,7 +510,7 @@ impl<D: BlockDevice> Ffs<D> {
             self.dev.annotate("bitmap");
             self.dev.write(self.sector_of(addr), &block, sync)?;
             self.alloc.mark_clean(cg);
-            self.stats.bitmap_writes += 1;
+            self.obs.bitmap_writes.inc();
         }
         Ok(())
     }

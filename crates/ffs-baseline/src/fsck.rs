@@ -181,7 +181,8 @@ impl<D: BlockDevice> Ffs<D> {
     /// O(disk size) recovery the paper contrasts with LFS's O(1)
     /// checkpoint read.
     pub(crate) fn fsck_scan(&mut self) -> FsResult<()> {
-        self.stats.fsck_scans += 1;
+        self.obs.fsck_scans.inc();
+        let start_ns = self.now();
         // Pass 1: read every inode-table block; rebuild the inode bitmap
         // from non-empty slots.
         let per_block = self.block_size() / INODE_SIZE;
@@ -190,7 +191,7 @@ impl<D: BlockDevice> Ffs<D> {
             for tb in 0..self.sb.it_blocks() {
                 let addr = self.sb.cg_base(cg) + 1 + tb;
                 let block = self.read_block_raw(addr)?;
-                self.stats.fsck_blocks_scanned += 1;
+                self.obs.fsck_blocks_scanned.inc();
                 for slot in 0..per_block {
                     let bytes = &block[slot * INODE_SIZE..(slot + 1) * INODE_SIZE];
                     if let Ok(Some(inode)) = FfsInode::decode_slot(bytes) {
@@ -225,13 +226,23 @@ impl<D: BlockDevice> Ffs<D> {
         for ino in inos {
             for addr in self.file_blocks(ino)? {
                 self.mark_block_allocated(addr);
-                self.stats.fsck_blocks_scanned += 1;
+                self.obs.fsck_blocks_scanned.inc();
             }
         }
         // Pass 3: fix directory reference counts.
         crate::fsck::fix_links(self)?;
         // Persist the rebuilt bitmaps.
         self.flush_bitmaps(true)?;
+        let now = self.now();
+        self.obs.registry.event(
+            now,
+            "fsck",
+            format!(
+                "blocks_scanned={} took_ns={}",
+                self.obs.fsck_blocks_scanned.get(),
+                now.saturating_sub(start_ns)
+            ),
+        );
         Ok(())
     }
 

@@ -12,14 +12,14 @@
 
 use std::sync::Arc;
 
-use lfs_bench::{print_table, Row};
+use lfs_bench::{print_table, MetricsReport, Row};
 use lfs_core::{CleanerPolicy, Lfs, LfsConfig};
 use sim_disk::{Clock, DiskGeometry, SimDisk};
 use vfs::FileSystem;
 use workload::hotcold::{churn, populate, HotColdSpec};
 use workload::Stopwatch;
 
-fn run(policy: CleanerPolicy) -> Row {
+fn run(policy: CleanerPolicy, metrics: &mut MetricsReport) -> Row {
     let clock = Clock::new();
     // A small disk (24 MB) so churn forces continuous cleaning.
     let disk = SimDisk::new(
@@ -41,7 +41,7 @@ fn run(policy: CleanerPolicy) -> Row {
     fs.sync().unwrap();
     let secs = watch.elapsed_secs();
 
-    let stats = *fs.stats();
+    let stats = fs.stats();
     let amplification =
         stats.cleaner_blocks_copied as f64 / stats.data_blocks_written.max(1) as f64;
     let report = fs.fsck().unwrap();
@@ -49,6 +49,7 @@ fn run(policy: CleanerPolicy) -> Row {
         report.is_clean(),
         "{policy:?} left an inconsistent FS:\n{report}"
     );
+    metrics.add_lfs(&format!("{policy:?}"), &fs);
     Row::new(
         format!("{policy:?}"),
         vec![
@@ -61,13 +62,14 @@ fn run(policy: CleanerPolicy) -> Row {
 }
 
 fn main() {
+    let mut metrics = MetricsReport::new("abl_cleaner_policy");
     let rows: Vec<Row> = [
         CleanerPolicy::Greedy,
         CleanerPolicy::CostBenefit,
         CleanerPolicy::Oldest,
     ]
     .into_iter()
-    .map(run)
+    .map(|policy| run(policy, &mut metrics))
     .collect();
     print_table(
         "Ablation: cleaner victim-selection policy (hot/cold churn)",
@@ -79,4 +81,5 @@ fn main() {
         "\npaper (SS4.3.4): greedy (most free space) is the paper's choice; \
          cost-benefit is the refinement from the later LFS literature."
     );
+    metrics.emit();
 }

@@ -13,13 +13,13 @@
 
 use std::sync::Arc;
 
-use lfs_bench::{print_table, Row};
+use lfs_bench::{print_table, MetricsReport, Row};
 use lfs_core::{Lfs, LfsConfig};
 use sim_disk::{Clock, DiskGeometry, SimDisk};
 use vfs::FileSystem;
 use workload::{payload, Stopwatch};
 
-fn run(use_fastpath: bool) -> Row {
+fn run(use_fastpath: bool, metrics: &mut MetricsReport) -> Row {
     let clock = Clock::new();
     let disk = SimDisk::new(
         DiskGeometry::wren_iv().with_sectors(64 * 2048),
@@ -75,6 +75,14 @@ fn run(use_fastpath: bool) -> Row {
     let report = fs.fsck().unwrap();
     assert!(report.is_clean(), "{report}");
 
+    metrics.add_lfs(
+        if use_fastpath {
+            "fastpath_on"
+        } else {
+            "fastpath_off"
+        },
+        &fs,
+    );
     Row::new(
         if use_fastpath {
             "version fast path ON"
@@ -91,7 +99,8 @@ fn run(use_fastpath: bool) -> Row {
 }
 
 fn main() {
-    let rows = vec![run(true), run(false)];
+    let mut metrics = MetricsReport::new("abl_liveness_fastpath");
+    let rows = vec![run(true, &mut metrics), run(false, &mut metrics)];
     print_table(
         "Ablation: SS4.3.3 step-1 liveness fast path (delete-heavy cleaning)",
         "configuration",
@@ -103,4 +112,5 @@ fn main() {
          blocks dead without fetching inodes; step 2 (inode walk) is only \
          needed for blocks that are probably live anyway."
     );
+    metrics.emit();
 }

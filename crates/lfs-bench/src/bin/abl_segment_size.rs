@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use lfs_bench::{fmt_rate, lfs_rig, print_table, Row};
+use lfs_bench::{fmt_rate, lfs_rig, print_table, MetricsReport, Row};
 use lfs_core::LfsConfig;
 use vfs::FileSystem;
 use workload::large_file::{seq_write, LargeFileSpec};
@@ -22,6 +22,7 @@ use workload::Stopwatch;
 
 fn main() {
     let mut rows = Vec::new();
+    let mut metrics = MetricsReport::new("abl_segment_size");
     for seg_kb in [64usize, 128, 256, 512, 1024, 2048, 4096] {
         let cfg = LfsConfig::paper().with_segment_bytes(seg_kb * 1024);
 
@@ -32,6 +33,7 @@ fn main() {
         create_phase(&mut fs, &spec).unwrap();
         fs.sync().unwrap();
         let create_rate = spec.nfiles as f64 / watch.elapsed_secs();
+        metrics.add_lfs(&format!("seg_{seg_kb}kb_create"), &fs);
 
         // Large-file sequential write bandwidth.
         let (mut fs, clock) = lfs_rig(cfg);
@@ -42,6 +44,7 @@ fn main() {
         fs.sync().unwrap();
         let write_kb = large.total_bytes as f64 / 1024.0 / watch.elapsed_secs();
         let overhead = fs.stats().summary_overhead() * 100.0;
+        metrics.add_lfs(&format!("seg_{seg_kb}kb_seq_write"), &fs);
 
         rows.push(Row::new(
             format!("{seg_kb} KB"),
@@ -59,4 +62,5 @@ fn main() {
         &rows,
     );
     println!("\npaper (SS4.3): the test configuration used 1 MB segments.");
+    metrics.emit();
 }

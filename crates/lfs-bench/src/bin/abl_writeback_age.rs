@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use lfs_bench::{lfs_rig, print_table, Row};
+use lfs_bench::{lfs_rig, print_table, MetricsReport, Row};
 use lfs_core::LfsConfig;
 use vfs::FileSystem;
 use workload::office::{run as office_run, OfficeSpec};
@@ -21,6 +21,7 @@ use workload::Stopwatch;
 
 fn main() {
     let mut rows = Vec::new();
+    let mut metrics = MetricsReport::new("abl_writeback_age");
     for age_secs in [1.0f64, 5.0, 15.0, 30.0, 60.0, 120.0] {
         let mut cfg = LfsConfig::paper();
         cfg.writeback = cfg.writeback.with_age_secs(age_secs);
@@ -35,6 +36,7 @@ fn main() {
         fs.sync().unwrap();
         let secs = watch.elapsed_secs();
 
+        metrics.add_lfs(&format!("age_{age_secs:.0}s"), &fs);
         let stats = fs.stats();
         let written_mb = fs.device().stats().bytes_written as f64 / (1024.0 * 1024.0);
         let app_mb = outcome.bytes_written as f64 / (1024.0 * 1024.0);
@@ -66,4 +68,5 @@ fn main() {
          disk that the cache would have absorbed; long thresholds widen the \
          crash-loss window (see tbl_s2_recovery)."
     );
+    metrics.emit();
 }

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use lfs_bench::{print_table, Row};
+use lfs_bench::{print_table, MetricsReport, Row};
 use lfs_core::{Lfs, LfsConfig};
 use sim_disk::{Clock, DiskGeometry, SimDisk};
 use vfs::FileSystem;
@@ -25,7 +25,7 @@ struct Outcome {
     segments_cleaned: u64,
 }
 
-fn run(fullness: f64) -> Outcome {
+fn run(fullness: f64, metrics: &mut MetricsReport) -> Outcome {
     // 48 MB disk, 2 MB cache: small enough that the horizon stresses the
     // cleaner, large enough for hundreds of segments.
     let clock = Clock::new();
@@ -78,6 +78,7 @@ fn run(fullness: f64) -> Outcome {
 
     let report = fs.fsck().unwrap();
     assert!(report.is_clean(), "fullness {fullness}: {report}");
+    metrics.add_lfs(&format!("full_{:.0}pct", fullness * 100.0), &fs);
 
     let copied = fs.stats().cleaner_blocks_copied - copied_before;
     let written = fs.stats().data_blocks_written - data_before;
@@ -92,8 +93,9 @@ fn run(fullness: f64) -> Outcome {
 
 fn main() {
     let mut rows = Vec::new();
+    let mut metrics = MetricsReport::new("ext_sustained_use");
     for fullness in [0.30f64, 0.50, 0.65, 0.78, 0.85] {
-        let o = run(fullness);
+        let o = run(fullness, &mut metrics);
         rows.push(Row::new(
             format!("{:.0}% full", fullness * 100.0),
             vec![
@@ -122,4 +124,5 @@ fn main() {
          LfsConfig caps live data at 88% of capacity to stay out of the\n\
          collapse region; this run overrides the cap to map it.)"
     );
+    metrics.emit();
 }

@@ -17,7 +17,7 @@
 //! trace enabled and prints every write the device saw.
 
 use ffs_baseline::{Ffs, FfsConfig};
-use lfs_bench::{ffs_rig, lfs_rig, print_table, Row};
+use lfs_bench::{ffs_rig, lfs_rig, print_table, MetricsReport, Row};
 use lfs_core::{Lfs, LfsConfig};
 use sim_disk::{AccessKind, AccessRecord, BlockDevice, SimDisk};
 use vfs::FileSystem;
@@ -88,6 +88,7 @@ fn summarize(name: &str, records: &[AccessRecord]) {
 }
 
 fn main() {
+    let mut metrics = MetricsReport::new("fig1_2_create_trace");
     let (mut ffs, _clock) = ffs_rig(FfsConfig::paper().with_block_size(4096));
     let ffs_trace = run_example(
         &mut ffs,
@@ -96,6 +97,7 @@ fn main() {
             fs.sync().unwrap();
         },
     );
+    metrics.add_ffs("two_file_create", &ffs);
     print_table(
         "Figure 1: BSD FFS, creating dir1/file1 and dir2/file2",
         "access",
@@ -113,6 +115,7 @@ fn main() {
             fs.device_mut().flush().unwrap();
         },
     );
+    metrics.add_lfs("two_file_create", &lfs);
     print_table(
         "Figure 2: LFS, creating dir1/file1 and dir2/file2",
         "access",
@@ -129,4 +132,5 @@ fn main() {
          (Placement is relative to the previous request: LFS's single chunk\n\
          pays one positioning and then streams — 'one large transfer'.)"
     );
+    metrics.emit();
 }

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use ffs_baseline::FfsConfig;
-use lfs_bench::{ffs_rig, fmt_rate, lfs_rig, print_table, Row};
+use lfs_bench::{ffs_rig, fmt_rate, lfs_rig, print_table, MetricsReport, Row};
 use lfs_core::LfsConfig;
 use sim_disk::Clock;
 use vfs::{FileSystem, FsResult};
@@ -59,20 +59,28 @@ fn run_one<F: FileSystem>(
 }
 
 fn main() {
+    let mut metrics = MetricsReport::new("fig3_small_file");
     let specs = [
         ("1 KB x 10000", SmallFileSpec::paper_1k()),
         ("10 KB x 1000", SmallFileSpec::paper_10k()),
     ];
     for (name, spec) in specs {
+        let size_label = if spec.file_size >= 10 * 1024 {
+            "10k"
+        } else {
+            "1k"
+        };
         let (mut lfs, clock) = lfs_rig(LfsConfig::paper());
         let lfs_rates = run_one(&mut lfs, &clock, &spec).expect("LFS run");
         let report = lfs.fsck().expect("fsck");
         assert!(report.is_clean(), "LFS inconsistent after run:\n{report}");
+        metrics.add_lfs(&format!("{size_label}_files"), &lfs);
 
         let (mut ffs, clock) = ffs_rig(FfsConfig::paper());
         let ffs_rates = run_one(&mut ffs, &clock, &spec).expect("FFS run");
         let report = ffs.fsck().expect("fsck");
         assert!(report.is_clean(), "FFS inconsistent after run:\n{report}");
+        metrics.add_ffs(&format!("{size_label}_files"), &ffs);
 
         print_table(
             &format!("Figure 3: small-file I/O, {name} (files/sec)"),
@@ -106,4 +114,5 @@ fn main() {
             ],
         );
     }
+    metrics.emit();
 }

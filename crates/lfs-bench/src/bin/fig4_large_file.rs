@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use ffs_baseline::FfsConfig;
-use lfs_bench::{ffs_rig, fmt_rate, lfs_rig, print_table, Row};
+use lfs_bench::{ffs_rig, fmt_rate, lfs_rig, print_table, MetricsReport, Row};
 use lfs_core::LfsConfig;
 use sim_disk::Clock;
 use vfs::{FileSystem, FsResult};
@@ -78,17 +78,20 @@ fn run_one<F: FileSystem>(
 }
 
 fn main() {
+    let mut metrics = MetricsReport::new("fig4_large_file");
     let spec = LargeFileSpec::paper();
 
     let (mut lfs, clock) = lfs_rig(LfsConfig::paper());
     let lfs_rates = run_one(&mut lfs, &clock, &spec).expect("LFS run");
     let report = lfs.fsck().expect("fsck");
     assert!(report.is_clean(), "LFS inconsistent after run:\n{report}");
+    metrics.add_lfs("five_stage", &lfs);
 
     let (mut ffs, clock) = ffs_rig(FfsConfig::paper());
     let ffs_rates = run_one(&mut ffs, &clock, &spec).expect("FFS run");
     let report = ffs.fsck().expect("fsck");
     assert!(report.is_clean(), "FFS inconsistent after run:\n{report}");
+    metrics.add_ffs("five_stage", &ffs);
 
     let rows = [
         ("seq write", lfs_rates.seq_write, ffs_rates.seq_write),
@@ -107,4 +110,5 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     println!("\ndisk max bandwidth: {} KB/sec", 1_300_000 / 1024);
+    metrics.emit();
 }

@@ -13,7 +13,7 @@
 //! of §2.3.
 
 use ffs_baseline::FfsConfig;
-use lfs_bench::{ffs_rig, lfs_rig, print_table, Row};
+use lfs_bench::{ffs_rig, lfs_rig, print_table, MetricsReport, Row};
 use lfs_core::LfsConfig;
 use vfs::FileSystem;
 use workload::Stopwatch;
@@ -32,14 +32,17 @@ fn measure<F: FileSystem>(fs: &mut F, clock: &std::sync::Arc<sim_disk::Clock>, n
 fn main() {
     let n = 500;
     let mut rows = Vec::new();
+    let mut metrics = MetricsReport::new("tbl_s1_cpu_scaling");
     for mips in [0.9f64, 2.0, 5.0, 10.0, 14.0, 25.0, 50.0, 100.0] {
         let (mut ffs, clock) = ffs_rig(FfsConfig::paper());
         ffs.set_cpu_mips(mips);
         let ffs_ms = measure(&mut ffs, &clock, n);
+        metrics.add_ffs(&format!("{mips}_mips"), &ffs);
 
         let (mut lfs, clock) = lfs_rig(LfsConfig::paper());
         lfs.set_cpu_mips(mips);
         let lfs_ms = measure(&mut lfs, &clock, n);
+        metrics.add_lfs(&format!("{mips}_mips"), &lfs);
 
         rows.push(Row::new(
             format!("{mips:>5.1} MIPS"),
@@ -60,4 +63,5 @@ fn main() {
         "\npaper (SS3.1): 0.9 -> 14 MIPS gave FFS only ~20% speedup; \
          LFS latency should instead scale with the CPU."
     );
+    metrics.emit();
 }

@@ -20,7 +20,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use ffs_baseline::{Ffs, FfsConfig};
-use lfs_bench::{ffs_rig, lfs_rig, print_table, Row};
+use lfs_bench::{ffs_rig, lfs_rig, print_table, MetricsReport, Row};
 use lfs_core::{Lfs, LfsConfig};
 use sim_disk::{Clock, SimDisk};
 use vfs::{FileKind, FileSystem};
@@ -68,7 +68,7 @@ fn long_office() -> OfficeSpec {
     spec
 }
 
-fn run_lfs(checkpoint_secs: f64, roll_forward: bool) -> Outcome {
+fn run_lfs(checkpoint_secs: f64, roll_forward: bool, metrics: &mut MetricsReport) -> Outcome {
     let mut cfg = LfsConfig::paper().with_checkpoint_secs(checkpoint_secs);
     cfg.roll_forward = roll_forward;
     // A 5-second delayed-write age: data reaches the log well before the
@@ -92,6 +92,13 @@ fn run_lfs(checkpoint_secs: f64, roll_forward: bool) -> Outcome {
         report.is_clean(),
         "LFS inconsistent after recovery:\n{report}"
     );
+    metrics.add_lfs(
+        &format!(
+            "cp_{checkpoint_secs:.0}s_{}",
+            if roll_forward { "rollforward" } else { "cp_only" }
+        ),
+        &fs2,
+    );
 
     let survivors = live_files(&mut fs2);
     Outcome {
@@ -103,7 +110,7 @@ fn run_lfs(checkpoint_secs: f64, roll_forward: bool) -> Outcome {
     }
 }
 
-fn run_ffs() -> Outcome {
+fn run_ffs(metrics: &mut MetricsReport) -> Outcome {
     let (mut fs, _clock) = ffs_rig(FfsConfig::paper());
     office_run(&mut fs, &long_office()).unwrap();
     let files_at_crash = live_files(&mut fs);
@@ -124,6 +131,7 @@ fn run_ffs() -> Outcome {
     assert_eq!(fs2.stats().fsck_scans, 1);
     let report = fs2.fsck().unwrap();
     assert!(report.is_clean(), "FFS inconsistent after fsck:\n{report}");
+    metrics.add_ffs("fsck_scan", &fs2);
 
     let survivors = live_files(&mut fs2);
     Outcome {
@@ -149,18 +157,19 @@ fn row(label: &str, o: &Outcome) -> Row {
 }
 
 fn main() {
+    let mut metrics = MetricsReport::new("tbl_s2_recovery");
     let mut rows = Vec::new();
-    rows.push(row("FFS full fsck scan", &run_ffs()));
+    rows.push(row("FFS full fsck scan", &run_ffs(&mut metrics)));
     for interval in [15.0, 30.0, 60.0, 120.0] {
         rows.push(row(
             &format!("LFS cp={interval}s, checkpoint only"),
-            &run_lfs(interval, false),
+            &run_lfs(interval, false, &mut metrics),
         ));
     }
     for interval in [15.0, 30.0, 60.0, 120.0] {
         rows.push(row(
             &format!("LFS cp={interval}s, roll-forward"),
-            &run_lfs(interval, true),
+            &run_lfs(interval, true, &mut metrics),
         ));
     }
     print_table(
@@ -174,4 +183,5 @@ fn main() {
          bounded log tail with roll-forward); FFS must scan the volume. \
          Without roll-forward, the loss window tracks the checkpoint interval."
     );
+    metrics.emit();
 }

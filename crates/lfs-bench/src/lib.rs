@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use ffs_baseline::{Ffs, FfsConfig};
 use lfs_core::{Lfs, LfsConfig};
-use sim_disk::{Clock, DiskGeometry, SimDisk};
+use sim_disk::{BlockDevice, Clock, DiskGeometry, SimDisk};
 
 /// A freshly formatted LFS on a paper-configuration WREN IV disk.
 pub fn lfs_rig(cfg: LfsConfig) -> (Lfs<SimDisk>, Arc<Clock>) {
@@ -41,6 +41,49 @@ pub fn ffs_rig(cfg: FfsConfig) -> (Ffs<SimDisk>, Arc<Clock>) {
     let disk = SimDisk::new(DiskGeometry::wren_iv(), Arc::clone(&clock));
     let fs = Ffs::format(disk, cfg, Arc::clone(&clock)).expect("format FFS");
     (fs, clock)
+}
+
+/// Collects labelled registry snapshots over a benchmark's runs and
+/// writes the `lfs-repro/metrics/v1` report as `BENCH_<name>.json`
+/// (into `$BENCH_OUT_DIR`, default the working directory).
+pub struct MetricsReport {
+    inner: obs::report::Report,
+}
+
+impl MetricsReport {
+    /// Starts a report named after the benchmark binary.
+    pub fn new(name: &str) -> Self {
+        Self {
+            inner: obs::report::Report::new(name),
+        }
+    }
+
+    /// Snapshots an LFS stack (device + cache + fs) as one run.
+    pub fn add_lfs<D: BlockDevice>(&mut self, label: &str, fs: &Lfs<D>) {
+        self.inner
+            .add_run(label, "lfs", fs.clock().now_ns(), fs.obs());
+    }
+
+    /// Snapshots an FFS stack as one run.
+    pub fn add_ffs<D: BlockDevice>(&mut self, label: &str, fs: &Ffs<D>) {
+        self.inner
+            .add_run(label, "ffs", fs.clock().now_ns(), fs.obs());
+    }
+
+    /// Snapshots a bare registry (no file system attached).
+    pub fn add_registry(&mut self, label: &str, clock_ns: u64, registry: &obs::Registry) {
+        self.inner.add_run(label, "-", clock_ns, registry);
+    }
+
+    /// Writes the report file and prints its path. Failures are reported
+    /// but do not abort the benchmark: the table output on stdout is
+    /// still the primary artifact.
+    pub fn emit(self) {
+        match self.inner.write_bench_json() {
+            Ok(path) => println!("\nmetrics: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write metrics JSON: {e}"),
+        }
+    }
 }
 
 /// One row of a result table.

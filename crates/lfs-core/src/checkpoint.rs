@@ -65,7 +65,18 @@ impl<D: BlockDevice> Lfs<D> {
         self.cp_use_b = !self.cp_use_b;
         self.cp_serial += 1;
         self.last_cp_ns = now;
-        self.stats.checkpoints += 1;
+        self.obs.checkpoints.inc();
+        self.obs.registry.event(
+            now,
+            "checkpoint",
+            format!(
+                "serial={} region={} seg={} offset={}",
+                self.cp_serial,
+                if self.cp_use_b { "A" } else { "B" },
+                self.pos.seg.0,
+                self.pos.offset
+            ),
+        );
 
         // 5. Only now may cleaned segments be reused: the just-committed
         //    checkpoint no longer references their old contents, so a

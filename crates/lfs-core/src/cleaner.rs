@@ -165,7 +165,15 @@ impl<D: BlockDevice> Lfs<D> {
             outcome.live_blocks += blocks;
             outcome.live_inodes += inodes;
         }
-        self.stats.cleaner_passes += 1;
+        self.obs.cleaner_passes.inc();
+        self.obs.registry.event(
+            self.clock.now_ns(),
+            "cleaner_pass",
+            format!(
+                "segments={} live_blocks={} live_inodes={}",
+                outcome.segments, outcome.live_blocks, outcome.live_inodes
+            ),
+        );
         Ok(outcome)
     }
 
@@ -233,7 +241,7 @@ impl<D: BlockDevice> Lfs<D> {
         let mut image = vec![0u8; seg_blocks * bs];
         self.dev.annotate("cleaner-read");
         self.dev.read(self.sector_of(base), &mut image)?;
-        self.stats.cleaner_bytes_read += image.len() as u64;
+        self.obs.cleaner_bytes_read.add(image.len() as u64);
 
         let mut offset = 0usize;
         let mut expected_seq: Option<u64> = None;
@@ -277,9 +285,9 @@ impl<D: BlockDevice> Lfs<D> {
         }
 
         self.usage.set_state(seg, SegState::CleanPending);
-        self.stats.segments_cleaned += 1;
-        self.stats.cleaner_blocks_copied += live_blocks;
-        self.stats.cleaner_inodes_copied += live_inodes;
+        self.obs.segments_cleaned.inc();
+        self.obs.cleaner_blocks_copied.add(live_blocks);
+        self.obs.cleaner_inodes_copied.add(live_inodes);
         Ok((live_blocks, live_inodes))
     }
 

@@ -28,7 +28,7 @@ use crate::layout::summary::BlockKind;
 use crate::layout::superblock::Superblock;
 use crate::layout::usage_block::SegState;
 use crate::log::{ChunkBuilder, LogPosition};
-use crate::stats::LfsStats;
+use crate::stats::{LfsObs, LfsStats};
 use crate::types::{BlockAddr, SegNo, INODE_SIZE};
 use crate::usage::UsageTable;
 
@@ -79,7 +79,7 @@ pub struct Lfs<D: BlockDevice> {
     /// Next checkpoint goes to region B when true.
     pub(crate) cp_use_b: bool,
     pub(crate) last_cp_ns: u64,
-    pub(crate) stats: LfsStats,
+    pub(crate) obs: LfsObs,
     /// Clean segment reserved by the most recent sealing chunk's
     /// `next_seg` link, so the on-disk chain and the allocator agree.
     pub(crate) pending_next_seg: Option<SegNo>,
@@ -132,13 +132,19 @@ impl<D: BlockDevice> Lfs<D> {
     }
 
     /// Builds the common in-memory state shared by format and mount.
-    pub(crate) fn fresh(dev: D, sb: Superblock, cfg: LfsConfig, clock: Arc<Clock>) -> Self {
+    pub(crate) fn fresh(mut dev: D, sb: Superblock, cfg: LfsConfig, clock: Arc<Clock>) -> Self {
         let cpu = CpuModel::sun_4_260(Arc::clone(&clock));
-        let cache = BlockCache::new(
+        // One metrics registry covers the whole stack: the device and the
+        // cache re-home their instruments into it so disk, cache, and
+        // file-system counters share a single snapshot/export.
+        let registry = obs::Registry::new();
+        dev.attach_obs(&registry);
+        let mut cache = BlockCache::new(
             sb.block_size as usize,
             (cfg.cache_bytes / sb.block_size as usize).max(8),
             cfg.writeback,
         );
+        cache.attach_obs(&registry);
         let imap = Imap::new(sb.max_inodes, sb.imap_entries_per_block() as usize);
         let seg_bytes = sb.seg_blocks as u64 * sb.block_size as u64;
         let usage = UsageTable::new(
@@ -167,7 +173,7 @@ impl<D: BlockDevice> Lfs<D> {
             cp_serial: 0,
             cp_use_b: false,
             last_cp_ns: 0,
-            stats: LfsStats::default(),
+            obs: LfsObs::new(registry),
             pending_next_seg: None,
             in_maintenance: false,
             reserve_segments: reserve,
@@ -195,9 +201,15 @@ impl<D: BlockDevice> Lfs<D> {
         &self.sb
     }
 
-    /// Operational counters.
-    pub fn stats(&self) -> &LfsStats {
-        &self.stats
+    /// A point-in-time snapshot of the operational counters.
+    pub fn stats(&self) -> LfsStats {
+        self.obs.stats()
+    }
+
+    /// The stack's shared metrics registry (device + cache + file
+    /// system), for snapshots, event dumps, and JSON export.
+    pub fn obs(&self) -> &obs::Registry {
+        &self.obs.registry
     }
 
     /// The shared virtual clock.
@@ -426,10 +438,10 @@ impl<D: BlockDevice> Lfs<D> {
             .write(self.sector_of(chunk.addr), &chunk.bytes, false)?;
         self.pos.offset += chunk.blocks_used;
         self.pos.partial += 1;
-        self.stats.chunks_written += 1;
-        self.stats.summary_blocks_written += chunk.summary_blocks as u64;
+        self.obs.chunks_written.inc();
+        self.obs.summary_blocks_written.add(chunk.summary_blocks as u64);
         if self.pos.offset < self.sb.seg_blocks {
-            self.stats.partial_chunks += 1;
+            self.obs.partial_chunks.inc();
         }
         Ok(())
     }
@@ -456,7 +468,7 @@ impl<D: BlockDevice> Lfs<D> {
     fn seal_segment(&mut self) -> FsResult<()> {
         let cur = self.pos.seg;
         self.usage.set_state(cur, SegState::Dirty);
-        self.stats.segments_sealed += 1;
+        self.obs.segments_sealed.inc();
         // Prefer the segment promised by the sealing chunk's next_seg
         // link, falling back to a fresh scan if it is no longer clean.
         let promised = self
@@ -471,6 +483,11 @@ impl<D: BlockDevice> Lfs<D> {
                 .ok_or(FsError::NoSpace)?,
         };
         self.usage.set_state(next, SegState::Active);
+        self.obs.registry.event(
+            self.clock.now_ns(),
+            "segment_sealed",
+            format!("seg={} next={} seq={}", cur.0, next.0, self.pos.seq + 1),
+        );
         // Purge address-keyed metadata cache entries for the reused
         // region: block addresses are being recycled.
         let base = self.sb.seg_block(next, 0).0 as u64;
@@ -550,7 +567,7 @@ impl<D: BlockDevice> Lfs<D> {
                 let old = self.set_block_ptr(ino, bno as u64, addr)?;
                 self.retire(old, self.block_size() as u64);
                 self.cache.mark_clean(key);
-                self.stats.data_blocks_written += 1;
+                self.obs.data_blocks_written.inc();
             }
         }
 
@@ -588,7 +605,7 @@ impl<D: BlockDevice> Lfs<D> {
                 let old = self.set_indirect_ptr(ino, key.index, addr)?;
                 self.retire(old, self.block_size() as u64);
                 self.cache.mark_clean(key);
-                self.stats.indirect_blocks_written += 1;
+                self.obs.indirect_blocks_written.inc();
             }
         }
 
@@ -626,7 +643,7 @@ impl<D: BlockDevice> Lfs<D> {
                 BlockKey::meta(NS_INODE_BLOCKS, addr.0 as u64),
                 block.into_boxed_slice(),
             );
-            self.stats.inode_blocks_written += 1;
+            self.obs.inode_blocks_written.inc();
         }
 
         // Phase 4: inode-map blocks (checkpoints only). Metadata blocks
@@ -647,7 +664,7 @@ impl<D: BlockDevice> Lfs<D> {
                     0,
                 )?;
                 self.imap.commit_block(index, addr);
-                self.stats.imap_blocks_written += 1;
+                self.obs.imap_blocks_written.inc();
             }
         }
 
@@ -668,7 +685,7 @@ impl<D: BlockDevice> Lfs<D> {
                     0,
                 )?;
                 self.usage.commit_block(index, addr);
-                self.stats.usage_blocks_written += 1;
+                self.obs.usage_blocks_written.inc();
             }
         }
 

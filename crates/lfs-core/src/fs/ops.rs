@@ -10,8 +10,24 @@ use vfs::{DirEntry, FileKind, FileSystem, FsError, FsResult, FsStats, Ino, Metad
 
 use super::{CachedInode, Lfs};
 use crate::layout::inode::Inode;
+use crate::stats::LfsObs;
 
 impl<D: BlockDevice> Lfs<D> {
+    /// Runs `f` and records its virtual-clock duration in the histogram
+    /// `hist` selects, successful or not — a failed operation still costs
+    /// the time it spent.
+    fn timed<R>(
+        &mut self,
+        hist: fn(&LfsObs) -> &obs::Hist,
+        f: impl FnOnce(&mut Self) -> FsResult<R>,
+    ) -> FsResult<R> {
+        let start = self.now();
+        let result = f(self);
+        let elapsed = self.now().saturating_sub(start);
+        hist(&self.obs).record(elapsed);
+        result
+    }
+
     /// Creates a file or directory node under `path`.
     fn create_node(&mut self, path: &str, kind: FileKind) -> FsResult<Ino> {
         self.charge(CpuCost::CreateFile);
@@ -51,132 +67,178 @@ impl<D: BlockDevice> Lfs<D> {
 
 impl<D: BlockDevice> FileSystem for Lfs<D> {
     fn lookup(&mut self, path: &str) -> FsResult<Ino> {
-        self.charge(CpuCost::Syscall);
-        let components = vfs::path::split(path)?;
-        let ino = self.resolve_components(&components)?;
-        self.maybe_writeback()?;
-        Ok(ino)
+        self.timed(
+            |o| &o.op_lookup,
+            |fs| {
+                fs.charge(CpuCost::Syscall);
+                let components = vfs::path::split(path)?;
+                let ino = fs.resolve_components(&components)?;
+                fs.maybe_writeback()?;
+                Ok(ino)
+            },
+        )
     }
 
     fn create(&mut self, path: &str) -> FsResult<Ino> {
-        self.create_node(path, FileKind::Regular)
+        self.timed(
+            |o| &o.op_create,
+            |fs| fs.create_node(path, FileKind::Regular),
+        )
     }
 
     fn mkdir(&mut self, path: &str) -> FsResult<Ino> {
-        self.create_node(path, FileKind::Directory)
+        self.timed(
+            |o| &o.op_mkdir,
+            |fs| fs.create_node(path, FileKind::Directory),
+        )
     }
 
     fn unlink(&mut self, path: &str) -> FsResult<()> {
-        self.charge(CpuCost::RemoveFile);
-        let (parent, name) = self.resolve_parent(path)?;
-        let (ino, kind) = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
-        if kind == FileKind::Directory {
-            return Err(FsError::IsADirectory);
-        }
-        self.dir_remove(parent, name)?;
-        self.drop_link(ino)?;
-        self.maybe_writeback()?;
-        Ok(())
+        self.timed(
+            |o| &o.op_unlink,
+            |fs| {
+                fs.charge(CpuCost::RemoveFile);
+                let (parent, name) = fs.resolve_parent(path)?;
+                let (ino, kind) = fs.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+                if kind == FileKind::Directory {
+                    return Err(FsError::IsADirectory);
+                }
+                fs.dir_remove(parent, name)?;
+                fs.drop_link(ino)?;
+                fs.maybe_writeback()?;
+                Ok(())
+            },
+        )
     }
 
     fn rmdir(&mut self, path: &str) -> FsResult<()> {
-        self.charge(CpuCost::RemoveFile);
-        let (parent, name) = self.resolve_parent(path)?;
-        let (ino, kind) = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
-        if kind != FileKind::Directory {
-            return Err(FsError::NotADirectory);
-        }
-        if !self.dir_entries(ino)?.is_empty() {
-            return Err(FsError::DirectoryNotEmpty);
-        }
-        self.dir_remove(parent, name)?;
-        self.destroy_file(ino)?;
-        self.maybe_writeback()?;
-        Ok(())
+        self.timed(
+            |o| &o.op_rmdir,
+            |fs| {
+                fs.charge(CpuCost::RemoveFile);
+                let (parent, name) = fs.resolve_parent(path)?;
+                let (ino, kind) = fs.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+                if kind != FileKind::Directory {
+                    return Err(FsError::NotADirectory);
+                }
+                if !fs.dir_entries(ino)?.is_empty() {
+                    return Err(FsError::DirectoryNotEmpty);
+                }
+                fs.dir_remove(parent, name)?;
+                fs.destroy_file(ino)?;
+                fs.maybe_writeback()?;
+                Ok(())
+            },
+        )
     }
 
     fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
-        self.charge(CpuCost::CreateFile);
-        let from_parts = vfs::path::split(from)?;
-        let to_parts = vfs::path::split(to)?;
-        if from_parts == to_parts {
-            self.resolve_components(&from_parts)?;
-            return Ok(());
-        }
-        if !from_parts.is_empty() && to_parts.starts_with(&from_parts) {
-            return Err(FsError::InvalidPath);
-        }
-        let (from_parent, from_name) = self.resolve_parent(from)?;
-        let (to_parent, to_name) = self.resolve_parent(to)?;
-        vfs::path::validate_name(to_name)?;
-
-        let (src, src_kind) = self
-            .dir_lookup(from_parent, from_name)?
-            .ok_or(FsError::NotFound)?;
-        if let Some((existing, existing_kind)) = self.dir_lookup(to_parent, to_name)? {
-            match existing_kind {
-                FileKind::Directory => return Err(FsError::AlreadyExists),
-                FileKind::Regular => {
-                    if src_kind == FileKind::Directory {
-                        return Err(FsError::NotADirectory);
-                    }
-                    self.dir_remove(to_parent, to_name)?;
-                    self.drop_link(existing)?;
+        self.timed(
+            |o| &o.op_rename,
+            |fs| {
+                fs.charge(CpuCost::CreateFile);
+                let from_parts = vfs::path::split(from)?;
+                let to_parts = vfs::path::split(to)?;
+                if from_parts == to_parts {
+                    fs.resolve_components(&from_parts)?;
+                    return Ok(());
                 }
-            }
-        }
-        self.dir_remove(from_parent, from_name)?;
-        self.dir_insert(to_parent, to_name, src, src_kind)?;
-        self.maybe_writeback()?;
-        Ok(())
+                if !from_parts.is_empty() && to_parts.starts_with(&from_parts) {
+                    return Err(FsError::InvalidPath);
+                }
+                let (from_parent, from_name) = fs.resolve_parent(from)?;
+                let (to_parent, to_name) = fs.resolve_parent(to)?;
+                vfs::path::validate_name(to_name)?;
+
+                let (src, src_kind) = fs
+                    .dir_lookup(from_parent, from_name)?
+                    .ok_or(FsError::NotFound)?;
+                if let Some((existing, existing_kind)) = fs.dir_lookup(to_parent, to_name)? {
+                    match existing_kind {
+                        FileKind::Directory => return Err(FsError::AlreadyExists),
+                        FileKind::Regular => {
+                            if src_kind == FileKind::Directory {
+                                return Err(FsError::NotADirectory);
+                            }
+                            fs.dir_remove(to_parent, to_name)?;
+                            fs.drop_link(existing)?;
+                        }
+                    }
+                }
+                fs.dir_remove(from_parent, from_name)?;
+                fs.dir_insert(to_parent, to_name, src, src_kind)?;
+                fs.maybe_writeback()?;
+                Ok(())
+            },
+        )
     }
 
     fn link(&mut self, existing: &str, new: &str) -> FsResult<()> {
-        self.charge(CpuCost::CreateFile);
-        let components = vfs::path::split(existing)?;
-        let src = self.resolve_components(&components)?;
-        if self.inode(src)?.kind == FileKind::Directory {
-            return Err(FsError::IsADirectory);
-        }
-        let (parent, name) = self.resolve_parent(new)?;
-        vfs::path::validate_name(name)?;
-        if self.dir_lookup(parent, name)?.is_some() {
-            return Err(FsError::AlreadyExists);
-        }
-        self.dir_insert(parent, name, src, FileKind::Regular)?;
-        self.with_inode_mut(src, |i| i.nlink += 1)?;
-        self.maybe_writeback()?;
-        Ok(())
+        self.timed(
+            |o| &o.op_link,
+            |fs| {
+                fs.charge(CpuCost::CreateFile);
+                let components = vfs::path::split(existing)?;
+                let src = fs.resolve_components(&components)?;
+                if fs.inode(src)?.kind == FileKind::Directory {
+                    return Err(FsError::IsADirectory);
+                }
+                let (parent, name) = fs.resolve_parent(new)?;
+                vfs::path::validate_name(name)?;
+                if fs.dir_lookup(parent, name)?.is_some() {
+                    return Err(FsError::AlreadyExists);
+                }
+                fs.dir_insert(parent, name, src, FileKind::Regular)?;
+                fs.with_inode_mut(src, |i| i.nlink += 1)?;
+                fs.maybe_writeback()?;
+                Ok(())
+            },
+        )
     }
 
     fn read_at(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
-        self.charge(CpuCost::Syscall);
-        if self.inode(ino)?.kind == FileKind::Directory {
-            return Err(FsError::IsADirectory);
-        }
-        let n = self.do_read(ino, offset, buf)?;
-        self.maybe_writeback()?;
-        Ok(n)
+        self.timed(
+            |o| &o.op_read,
+            |fs| {
+                fs.charge(CpuCost::Syscall);
+                if fs.inode(ino)?.kind == FileKind::Directory {
+                    return Err(FsError::IsADirectory);
+                }
+                let n = fs.do_read(ino, offset, buf)?;
+                fs.maybe_writeback()?;
+                Ok(n)
+            },
+        )
     }
 
     fn write_at(&mut self, ino: Ino, offset: u64, data: &[u8]) -> FsResult<usize> {
-        self.charge(CpuCost::Syscall);
-        if self.inode(ino)?.kind == FileKind::Directory {
-            return Err(FsError::IsADirectory);
-        }
-        let n = self.do_write(ino, offset, data)?;
-        self.maybe_writeback()?;
-        Ok(n)
+        self.timed(
+            |o| &o.op_write,
+            |fs| {
+                fs.charge(CpuCost::Syscall);
+                if fs.inode(ino)?.kind == FileKind::Directory {
+                    return Err(FsError::IsADirectory);
+                }
+                let n = fs.do_write(ino, offset, data)?;
+                fs.maybe_writeback()?;
+                Ok(n)
+            },
+        )
     }
 
     fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
-        self.charge(CpuCost::Syscall);
-        if self.inode(ino)?.kind == FileKind::Directory {
-            return Err(FsError::IsADirectory);
-        }
-        self.do_truncate(ino, size)?;
-        self.maybe_writeback()?;
-        Ok(())
+        self.timed(
+            |o| &o.op_truncate,
+            |fs| {
+                fs.charge(CpuCost::Syscall);
+                if fs.inode(ino)?.kind == FileKind::Directory {
+                    return Err(FsError::IsADirectory);
+                }
+                fs.do_truncate(ino, size)?;
+                fs.maybe_writeback()?;
+                Ok(())
+            },
+        )
     }
 
     fn stat(&mut self, ino: Ino) -> FsResult<Metadata> {
@@ -209,26 +271,36 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
     }
 
     fn fsync(&mut self, ino: Ino) -> FsResult<()> {
-        self.charge(CpuCost::Syscall);
-        self.ensure_inode(ino)?;
-        if self.cfg.fsync_checkpoints {
-            self.checkpoint()?;
-        } else {
-            // §4.3.5 "Sync request": the dirty blocks are pushed to disk.
-            // Flushing everything (not just this file) keeps the file's
-            // directory entry in the same log write, so roll-forward
-            // recovery (§4.4.1) makes the fsync durable.
-            self.flush(false, false)?;
-        }
-        self.dev.flush()?;
-        Ok(())
+        self.timed(
+            |o| &o.op_fsync,
+            |fs| {
+                fs.charge(CpuCost::Syscall);
+                fs.ensure_inode(ino)?;
+                if fs.cfg.fsync_checkpoints {
+                    fs.checkpoint()?;
+                } else {
+                    // §4.3.5 "Sync request": the dirty blocks are pushed to disk.
+                    // Flushing everything (not just this file) keeps the file's
+                    // directory entry in the same log write, so roll-forward
+                    // recovery (§4.4.1) makes the fsync durable.
+                    fs.flush(false, false)?;
+                }
+                fs.dev.flush()?;
+                Ok(())
+            },
+        )
     }
 
     fn sync(&mut self) -> FsResult<()> {
-        self.charge(CpuCost::Syscall);
-        self.checkpoint()?;
-        self.dev.flush()?;
-        Ok(())
+        self.timed(
+            |o| &o.op_sync,
+            |fs| {
+                fs.charge(CpuCost::Syscall);
+                fs.checkpoint()?;
+                fs.dev.flush()?;
+                Ok(())
+            },
+        )
     }
 
     fn drop_caches(&mut self) -> FsResult<()> {

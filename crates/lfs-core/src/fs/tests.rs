@@ -91,7 +91,7 @@ fn chunk_add_seals_segments_when_full() {
     }
     fs.emit_chunk(&mut ctx).unwrap();
     assert_ne!(fs.pos.seg, start_seg, "segment must have sealed");
-    assert!(fs.stats.segments_sealed >= 1);
+    assert!(fs.stats().segments_sealed >= 1);
     assert_eq!(fs.usage.state(start_seg), SegState::Dirty);
     // Sequence numbers advance per segment incarnation.
     assert!(fs.pos.seq > 1);

@@ -123,8 +123,15 @@ pub(crate) fn roll_forward<D: BlockDevice>(fs: &mut Lfs<D>) -> FsResult<()> {
         break;
     }
 
-    fs.stats.rollforward_chunks = applied;
-    fs.stats.rollforward_inodes = recovered_inodes;
+    // The registry is fresh at mount, so the counters start at zero and
+    // `add` records exactly this recovery's work.
+    fs.obs.rollforward_chunks.add(applied);
+    fs.obs.rollforward_inodes.add(recovered_inodes);
+    fs.obs.registry.event(
+        fs.now(),
+        "recovery",
+        format!("chunks={applied} inodes={recovered_inodes}"),
+    );
     if applied == 0 {
         // Nothing past the checkpoint: resume exactly where it left off.
         return Ok(());

@@ -1,4 +1,13 @@
 //! Operational counters for experiments and debugging.
+//!
+//! The live counters are registry-backed [`obs`] instruments held in
+//! [`LfsObs`]; [`LfsStats`] is the point-in-time snapshot the accessor
+//! [`Lfs::stats`](crate::Lfs::stats) assembles from them, so existing
+//! `fs.stats().field` call sites keep working while every count is also
+//! visible through the shared metrics registry (and hence the JSON
+//! export).
+
+use obs::{Counter, Hist, Registry};
 
 /// Counters accumulated by a mounted LFS.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +66,106 @@ impl LfsStats {
             0.0
         } else {
             self.summary_blocks_written as f64 / total as f64
+        }
+    }
+}
+
+/// Registry-backed instruments for a mounted LFS: one [`Counter`] per
+/// [`LfsStats`] field plus per-operation latency histograms. All handles
+/// point into the stack's shared [`Registry`], so the same numbers appear
+/// in `fs.stats()`, in `Registry::snapshot`, and in the exported JSON.
+pub(crate) struct LfsObs {
+    pub registry: Registry,
+    pub chunks_written: Counter,
+    pub partial_chunks: Counter,
+    pub segments_sealed: Counter,
+    pub data_blocks_written: Counter,
+    pub indirect_blocks_written: Counter,
+    pub inode_blocks_written: Counter,
+    pub imap_blocks_written: Counter,
+    pub usage_blocks_written: Counter,
+    pub summary_blocks_written: Counter,
+    pub checkpoints: Counter,
+    pub segments_cleaned: Counter,
+    pub cleaner_blocks_copied: Counter,
+    pub cleaner_inodes_copied: Counter,
+    pub cleaner_bytes_read: Counter,
+    pub cleaner_passes: Counter,
+    pub rollforward_chunks: Counter,
+    pub rollforward_inodes: Counter,
+    pub op_lookup: Hist,
+    pub op_create: Hist,
+    pub op_mkdir: Hist,
+    pub op_unlink: Hist,
+    pub op_rmdir: Hist,
+    pub op_rename: Hist,
+    pub op_link: Hist,
+    pub op_read: Hist,
+    pub op_write: Hist,
+    pub op_truncate: Hist,
+    pub op_fsync: Hist,
+    pub op_sync: Hist,
+}
+
+impl LfsObs {
+    /// Registers every LFS instrument in `registry`.
+    pub fn new(registry: Registry) -> Self {
+        let c = |name: &str| registry.counter(name);
+        let h = |name: &str| registry.hist(name);
+        LfsObs {
+            chunks_written: c("log.chunks_written"),
+            partial_chunks: c("log.partial_chunks"),
+            segments_sealed: c("log.segments_sealed"),
+            data_blocks_written: c("log.data_blocks_written"),
+            indirect_blocks_written: c("log.indirect_blocks_written"),
+            inode_blocks_written: c("log.inode_blocks_written"),
+            imap_blocks_written: c("log.imap_blocks_written"),
+            usage_blocks_written: c("log.usage_blocks_written"),
+            summary_blocks_written: c("log.summary_blocks_written"),
+            checkpoints: c("log.checkpoints"),
+            segments_cleaned: c("cleaner.segments_cleaned"),
+            cleaner_blocks_copied: c("cleaner.blocks_copied"),
+            cleaner_inodes_copied: c("cleaner.inodes_copied"),
+            cleaner_bytes_read: c("cleaner.bytes_read"),
+            cleaner_passes: c("cleaner.passes"),
+            rollforward_chunks: c("recovery.rollforward_chunks"),
+            rollforward_inodes: c("recovery.rollforward_inodes"),
+            op_lookup: h("op.lookup_ns"),
+            op_create: h("op.create_ns"),
+            op_mkdir: h("op.mkdir_ns"),
+            op_unlink: h("op.unlink_ns"),
+            op_rmdir: h("op.rmdir_ns"),
+            op_rename: h("op.rename_ns"),
+            op_link: h("op.link_ns"),
+            op_read: h("op.read_ns"),
+            op_write: h("op.write_ns"),
+            op_truncate: h("op.truncate_ns"),
+            op_fsync: h("op.fsync_ns"),
+            op_sync: h("op.sync_ns"),
+            registry,
+        }
+    }
+
+    /// Assembles the [`LfsStats`] snapshot from the live counters.
+    pub fn stats(&self) -> LfsStats {
+        LfsStats {
+            chunks_written: self.chunks_written.get(),
+            partial_chunks: self.partial_chunks.get(),
+            segments_sealed: self.segments_sealed.get(),
+            data_blocks_written: self.data_blocks_written.get(),
+            indirect_blocks_written: self.indirect_blocks_written.get(),
+            inode_blocks_written: self.inode_blocks_written.get(),
+            imap_blocks_written: self.imap_blocks_written.get(),
+            usage_blocks_written: self.usage_blocks_written.get(),
+            summary_blocks_written: self.summary_blocks_written.get(),
+            checkpoints: self.checkpoints.get(),
+            segments_cleaned: self.segments_cleaned.get(),
+            cleaner_blocks_copied: self.cleaner_blocks_copied.get(),
+            cleaner_inodes_copied: self.cleaner_inodes_copied.get(),
+            cleaner_bytes_read: self.cleaner_bytes_read.get(),
+            cleaner_passes: self.cleaner_passes.get(),
+            rollforward_chunks: self.rollforward_chunks.get(),
+            rollforward_inodes: self.rollforward_inodes.get(),
         }
     }
 }

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use lfs_core::{Lfs, LfsConfig};
-use sim_disk::{BlockDevice, Clock, DiskGeometry, SimDisk, SECTOR_SIZE};
+use sim_disk::{Clock, DiskGeometry, SimDisk, SECTOR_SIZE};
 use vfs::{FileSystem, FsError};
 
 const DISK_SECTORS: u64 = 16_384;

@@ -1,0 +1,179 @@
+//! A minimal JSON writer. The build environment is offline (no serde),
+//! and the metrics schema only needs objects, arrays, strings, and u64 /
+//! f64 numbers, so a push-down string builder is plenty.
+
+/// Escapes a string per RFC 8259 and wraps it in quotes.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builder producing pretty-printed (2-space indented) JSON.
+///
+/// Call sequence mirrors the document: `begin_object`, then alternating
+/// `key(..)` and values (`string`/`u64`/`f64`/nested containers), then
+/// `end_object`; arrays take bare values between `begin_array`/`end_array`.
+pub struct JsonWriter {
+    out: String,
+    indent: usize,
+    /// Per-container: whether it already holds an element.
+    has_elements: Vec<bool>,
+    /// True right after `key()`: the next value continues that line.
+    pending_value: bool,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            indent: 0,
+            has_elements: vec![false],
+            pending_value: false,
+        }
+    }
+
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn newline(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Emits separators before an element (value or key).
+    fn before_element(&mut self) {
+        if self.pending_value {
+            // Continue the `"key": ` line.
+            self.pending_value = false;
+            return;
+        }
+        if let Some(has) = self.has_elements.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+        if self.indent > 0 {
+            self.newline();
+        }
+    }
+
+    fn open(&mut self, bracket: char) {
+        self.before_element();
+        self.out.push(bracket);
+        self.indent += 1;
+        self.has_elements.push(false);
+    }
+
+    fn close(&mut self, bracket: char) {
+        let had_elements = self.has_elements.pop().unwrap_or(false);
+        self.indent -= 1;
+        if had_elements {
+            self.newline();
+        }
+        self.out.push(bracket);
+    }
+
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.open('{');
+        self
+    }
+
+    pub fn end_object(&mut self) -> &mut Self {
+        self.close('}');
+        self
+    }
+
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.open('[');
+        self
+    }
+
+    pub fn end_array(&mut self) -> &mut Self {
+        self.close(']');
+        self
+    }
+
+    /// Writes `"key": `; the next value call completes the member.
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.before_element();
+        self.out.push_str(&quote(key));
+        self.out.push_str(": ");
+        self.pending_value = true;
+        self
+    }
+
+    pub fn string(&mut self, value: &str) -> &mut Self {
+        self.before_element();
+        self.out.push_str(&quote(value));
+        self
+    }
+
+    pub fn u64(&mut self, value: u64) -> &mut Self {
+        self.before_element();
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    pub fn f64(&mut self, value: f64) -> &mut Self {
+        self.before_element();
+        if value.is_finite() {
+            self.out.push_str(&format!("{value}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_nested_structures() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name").string("bench \"one\"");
+        w.key("count").u64(3);
+        w.key("items").begin_array();
+        w.u64(1).u64(2);
+        w.begin_object().key("deep").f64(0.5).end_object();
+        w.end_array();
+        w.key("empty").begin_object().end_object();
+        w.end_object();
+        let text = w.into_string();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"bench \\\"one\\\"\",\n  \"count\": 3,\n  \"items\": [\n    1,\n    2,\n    {\n      \"deep\": 0.5\n    }\n  ],\n  \"empty\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn quote_escapes_control_characters() {
+        assert_eq!(quote("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(quote("tab\tnl\n"), "\"tab\\tnl\\n\"");
+    }
+}

@@ -1,0 +1,476 @@
+//! Unified observability for the reproduction.
+//!
+//! Every layer — the simulated disk, the block cache, LFS proper (log,
+//! cleaner, recovery), and the FFS baseline — reports through one
+//! [`Registry`] per file-system stack:
+//!
+//! * [`Counter`]s are monotone event counts (blocks written, cache hits,
+//!   cleaner copies, nanoseconds of seek time...).
+//! * [`Gauge`]s are last-written values (live-byte ratios, recovered
+//!   chunk counts).
+//! * [`Hist`]s are fixed-bucket latency histograms over the **virtual
+//!   clock** — wall time never appears in metrics, so distributions are
+//!   bit-for-bit reproducible across runs.
+//! * The [event ring](Registry::event) keeps the last N structured
+//!   events (segment sealed, checkpoint written, cleaner pass, crash,
+//!   recovery) for debugging failed tests.
+//!
+//! A [`report::Report`] serialises one or more registries to the
+//! `lfs-repro/metrics/v1` JSON schema that every benchmark binary emits
+//! as `BENCH_<name>.json` (see EXPERIMENTS.md). JSON is hand-written
+//! because the build environment is offline and has no serde.
+//!
+//! Instruments are cheap `Arc` handles: a component grabs its instruments
+//! once and updates them lock-free (counters/gauges) or under a short
+//! mutex (histograms); the registry itself is only locked at
+//! registration and snapshot time.
+
+pub mod json;
+pub mod report;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Histogram bucket upper bounds in nanoseconds: a 1-2-5 ladder from 1 µs
+/// to 50 s. A value lands in the first bucket whose bound it does not
+/// exceed; larger values land in the overflow slot.
+pub const LATENCY_BUCKETS_NS: &[u64] = &[
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    20_000_000_000,
+    50_000_000_000,
+];
+
+/// Default capacity of the structured event ring.
+pub const EVENT_RING_CAPACITY: usize = 1024;
+
+/// A monotone event count. `Clone` shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written value. `Clone` shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistData {
+    /// One slot per `LATENCY_BUCKETS_NS` bound, plus an overflow slot.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        HistData {
+            counts: vec![0; LATENCY_BUCKETS_NS.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// A fixed-bucket histogram of nanosecond durations. `Clone` shares the
+/// underlying cells.
+#[derive(Debug, Clone, Default)]
+pub struct Hist(Arc<Mutex<HistData>>);
+
+impl Hist {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation (nanoseconds).
+    pub fn record(&self, value_ns: u64) {
+        let mut data = self.0.lock().unwrap();
+        let bucket = LATENCY_BUCKETS_NS.partition_point(|&bound| value_ns > bound);
+        data.counts[bucket] += 1;
+        data.count += 1;
+        data.sum = data.sum.saturating_add(value_ns);
+        data.min = data.min.min(value_ns);
+        data.max = data.max.max(value_ns);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.lock().unwrap().count
+    }
+
+    /// Sum of all observations (ns).
+    pub fn sum(&self) -> u64 {
+        self.0.lock().unwrap().sum
+    }
+
+    /// Folds another histogram's observations into this one.
+    pub fn merge_from(&self, other: &Hist) {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return;
+        }
+        let other = other.0.lock().unwrap();
+        let mut data = self.0.lock().unwrap();
+        for (slot, n) in data.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += n;
+        }
+        data.count += other.count;
+        data.sum += other.sum;
+        data.min = data.min.min(other.min);
+        data.max = data.max.max(other.max);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        let data = self.0.lock().unwrap();
+        HistSnapshot {
+            counts: data.counts.clone(),
+            count: data.count,
+            sum: data.sum,
+            min: if data.count == 0 { 0 } else { data.min },
+            max: data.max,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts; index i pairs with `LATENCY_BUCKETS_NS[i]`,
+    /// the final slot is overflow.
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+/// One structured event from the bounded ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time the event was recorded.
+    pub at_ns: u64,
+    /// Stable machine-readable kind, e.g. `"segment_sealed"`.
+    pub kind: &'static str,
+    /// Free-form human-readable detail, e.g. `"seg=12 blocks=254"`.
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct EventRing {
+    events: Vec<Event>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    fn push(&mut self, event: Event) {
+        if self.events.len() < EVENT_RING_CAPACITY {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % EVENT_RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+
+    fn in_order(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    hists: BTreeMap<String, Hist>,
+    events: EventRing,
+}
+
+/// The per-stack metrics registry. `Clone` is cheap and shares state, so
+/// a file system, its device, and its cache can all hold the same
+/// registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it if new.
+    pub fn hist(&self, name: &str) -> Hist {
+        let mut inner = self.inner.lock().unwrap();
+        inner.hists.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Re-homes a counter into this registry: any count accumulated on
+    /// `existing` is carried over, and the returned handle is the
+    /// registry's canonical instrument for `name`. Used when a component
+    /// built with a private registry is attached to a shared one.
+    pub fn adopt_counter(&self, name: &str, existing: &Counter) -> Counter {
+        let canonical = self.counter(name);
+        if !Arc::ptr_eq(&canonical.0, &existing.0) {
+            canonical.add(existing.get());
+        }
+        canonical
+    }
+
+    /// Re-homes a histogram into this registry (see [`adopt_counter`]).
+    ///
+    /// [`adopt_counter`]: Registry::adopt_counter
+    pub fn adopt_hist(&self, name: &str, existing: &Hist) -> Hist {
+        let canonical = self.hist(name);
+        canonical.merge_from(existing);
+        canonical
+    }
+
+    /// Appends a structured event to the bounded ring.
+    pub fn event(&self, at_ns: u64, kind: &'static str, detail: impl Into<String>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.events.push(Event {
+            at_ns,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Returns the ring's events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.in_order()
+    }
+
+    /// Number of events evicted from the ring so far.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.lock().unwrap().events.dropped
+    }
+
+    /// Takes a point-in-time copy of every instrument and the event ring.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            hists: inner
+                .hists
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+            events: inner.events.in_order(),
+        }
+    }
+
+    /// Renders the event ring as one line per event — the debugging dump
+    /// for failed tests.
+    pub fn dump_events(&self) -> String {
+        let mut out = String::new();
+        for event in self.events() {
+            out.push_str(&format!(
+                "[{:>14.6}s] {:<16} {}\n",
+                event.at_ns as f64 / 1e9,
+                event.kind,
+                event.detail
+            ));
+        }
+        out
+    }
+}
+
+/// A point-in-time copy of a whole registry, in deterministic (sorted)
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
+    pub hists: Vec<(String, HistSnapshot)>,
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Looks up a gauge by name (0 if absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_across_clones() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        assert_eq!(reg.snapshot().counter("x"), 3);
+    }
+
+    #[test]
+    fn hist_buckets_partition_correctly() {
+        let hist = Hist::new();
+        hist.record(0); // first bucket (<= 1_000)
+        hist.record(1_000); // still first bucket (bounds are inclusive)
+        hist.record(1_001); // second bucket
+        hist.record(u64::MAX); // overflow slot
+        let snap = hist.snapshot();
+        assert_eq!(snap.counts[0], 2);
+        assert_eq!(snap.counts[1], 1);
+        assert_eq!(snap.counts[LATENCY_BUCKETS_NS.len()], 1);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, u64::MAX);
+        // Bucket counts always total the observation count.
+        assert_eq!(snap.counts.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn adopt_carries_accumulated_values() {
+        let private = Registry::new();
+        let counter = private.counter("disk.reads");
+        counter.add(7);
+        let hist = private.hist("disk.req_ns");
+        hist.record(500);
+
+        let shared = Registry::new();
+        let counter = shared.adopt_counter("disk.reads", &counter);
+        let hist = shared.adopt_hist("disk.req_ns", &hist);
+        counter.inc();
+        hist.record(700);
+
+        let snap = shared.snapshot();
+        assert_eq!(snap.counter("disk.reads"), 8);
+        assert_eq!(snap.hist("disk.req_ns").unwrap().count, 2);
+        // Adopting into the same registry twice must not double-count.
+        let again = shared.adopt_counter("disk.reads", &counter);
+        assert_eq!(again.get(), 8);
+    }
+
+    #[test]
+    fn event_ring_keeps_the_latest_and_counts_drops() {
+        let reg = Registry::new();
+        for i in 0..(EVENT_RING_CAPACITY as u64 + 10) {
+            reg.event(i, "tick", format!("i={i}"));
+        }
+        let events = reg.events();
+        assert_eq!(events.len(), EVENT_RING_CAPACITY);
+        assert_eq!(reg.events_dropped(), 10);
+        assert_eq!(events[0].at_ns, 10, "oldest surviving event");
+        assert_eq!(events.last().unwrap().at_ns, EVENT_RING_CAPACITY as u64 + 9);
+        assert!(reg.dump_events().contains("tick"));
+    }
+
+    #[test]
+    fn snapshot_orders_names_deterministically() {
+        let reg = Registry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").inc();
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+}

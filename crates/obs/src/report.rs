@@ -1,0 +1,202 @@
+//! The `lfs-repro/metrics/v1` report: the one JSON schema every benchmark
+//! binary and example emits (as `BENCH_<name>.json`).
+//!
+//! Shape (see EXPERIMENTS.md for the full field reference):
+//!
+//! ```json
+//! {
+//!   "schema": "lfs-repro/metrics/v1",
+//!   "name": "fig3_small_file",
+//!   "runs": [
+//!     {
+//!       "label": "lfs/create",
+//!       "fs": "lfs",
+//!       "clock_ns": 123456789,
+//!       "counters": { "disk.seek_ns": 0, ... },
+//!       "gauges": { ... },
+//!       "histograms": {
+//!         "op.create": { "unit": "ns", "bucket_bounds_ns": [...],
+//!                         "counts": [...], "count": 9, "sum": 99,
+//!                         "min": 3, "max": 41 }
+//!       },
+//!       "events": [ { "at_ns": 5, "kind": "checkpoint", "detail": "serial=1" } ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use crate::json::JsonWriter;
+use crate::{Registry, Snapshot, LATENCY_BUCKETS_NS};
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "lfs-repro/metrics/v1";
+
+/// One measured run: a labelled registry snapshot at a known virtual time.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Human-meaningful run label, e.g. `"lfs/create"` or `"ffs"`.
+    pub label: String,
+    /// Which file system produced the run: `"lfs"`, `"ffs"`, or `"-"`.
+    pub fs: String,
+    /// Virtual clock at snapshot time.
+    pub clock_ns: u64,
+    pub snapshot: Snapshot,
+}
+
+/// A full metrics report, serialisable to the v1 schema.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Report name; also names the output file (`BENCH_<name>.json`).
+    pub name: String,
+    pub runs: Vec<Run>,
+}
+
+impl Report {
+    pub fn new(name: impl Into<String>) -> Self {
+        Report {
+            name: name.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Snapshots `registry` as one labelled run.
+    pub fn add_run(
+        &mut self,
+        label: impl Into<String>,
+        fs: impl Into<String>,
+        clock_ns: u64,
+        registry: &Registry,
+    ) {
+        self.runs.push(Run {
+            label: label.into(),
+            fs: fs.into(),
+            clock_ns,
+            snapshot: registry.snapshot(),
+        });
+    }
+
+    /// Renders the report as schema-v1 JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string(SCHEMA);
+        w.key("name").string(&self.name);
+        w.key("runs").begin_array();
+        for run in &self.runs {
+            w.begin_object();
+            w.key("label").string(&run.label);
+            w.key("fs").string(&run.fs);
+            w.key("clock_ns").u64(run.clock_ns);
+
+            w.key("counters").begin_object();
+            for (name, value) in &run.snapshot.counters {
+                w.key(name).u64(*value);
+            }
+            w.end_object();
+
+            w.key("gauges").begin_object();
+            for (name, value) in &run.snapshot.gauges {
+                w.key(name).u64(*value);
+            }
+            w.end_object();
+
+            w.key("histograms").begin_object();
+            for (name, hist) in &run.snapshot.hists {
+                w.key(name).begin_object();
+                w.key("unit").string("ns");
+                w.key("bucket_bounds_ns").begin_array();
+                for bound in LATENCY_BUCKETS_NS {
+                    w.u64(*bound);
+                }
+                w.end_array();
+                w.key("counts").begin_array();
+                for count in &hist.counts {
+                    w.u64(*count);
+                }
+                w.end_array();
+                w.key("count").u64(hist.count);
+                w.key("sum").u64(hist.sum);
+                w.key("min").u64(hist.min);
+                w.key("max").u64(hist.max);
+                w.end_object();
+            }
+            w.end_object();
+
+            w.key("events").begin_array();
+            for event in &run.snapshot.events {
+                w.begin_object();
+                w.key("at_ns").u64(event.at_ns);
+                w.key("kind").string(event.kind);
+                w.key("detail").string(&event.detail);
+                w.end_object();
+            }
+            w.end_array();
+
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let mut json = w.into_string();
+        json.push('\n');
+        json
+    }
+
+    /// Writes `BENCH_<name>.json` into `$BENCH_OUT_DIR` (default: the
+    /// current directory) and returns the path.
+    pub fn write_bench_json(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("BENCH_OUT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_has_schema_and_instruments() {
+        let reg = Registry::new();
+        reg.counter("disk.reads").add(4);
+        reg.gauge("cleaner.live_ratio_pct").set(37);
+        reg.hist("op.create").record(5_000);
+        reg.event(42, "checkpoint", "serial=1");
+
+        let mut report = Report::new("unit_test");
+        report.add_run("lfs", "lfs", 1_000, &reg);
+        let json = report.to_json();
+
+        assert!(json.contains("\"schema\": \"lfs-repro/metrics/v1\""));
+        assert!(json.contains("\"disk.reads\": 4"));
+        assert!(json.contains("\"cleaner.live_ratio_pct\": 37"));
+        assert!(json.contains("\"op.create\""));
+        assert!(json.contains("\"kind\": \"checkpoint\""));
+        // The histogram advertises the shared bucket ladder.
+        assert!(json.contains("\"bucket_bounds_ns\""));
+        // Counts vector covers every bucket plus overflow.
+        let counts_len = LATENCY_BUCKETS_NS.len() + 1;
+        let run = &report.runs[0];
+        assert_eq!(run.snapshot.hists[0].1.counts.len(), counts_len);
+    }
+
+    #[test]
+    fn write_bench_json_lands_in_out_dir() {
+        let dir = std::env::temp_dir().join("obs_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        let report = Report::new("tmp_probe");
+        let path = report.write_bench_json().unwrap();
+        std::env::remove_var("BENCH_OUT_DIR");
+        assert!(path.ends_with("BENCH_tmp_probe.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("lfs-repro/metrics/v1"));
+        std::fs::remove_file(path).ok();
+    }
+}

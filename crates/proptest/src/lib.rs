@@ -1,0 +1,481 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace maps the
+//! `proptest` dependency name to this crate. It implements the subset of
+//! proptest 1.x the workspace's property tests use: the `proptest!` macro
+//! (with optional `#![proptest_config(..)]`), `prop_assert!`-family macros,
+//! `prop_oneof!`, `Strategy` with `prop_map`/`prop_filter`, `Just`,
+//! `any::<T>()`, integer range strategies, tuple strategies,
+//! `collection::vec`, `string::string_regex` (character-class patterns
+//! only), and `option::of`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports the generated inputs verbatim;
+//!   `max_shrink_iters` is accepted and ignored.
+//! - **No failure persistence.** Runs are deterministic instead: the RNG
+//!   seed is derived from the test name (override with `PROPTEST_SHIM_SEED`),
+//!   so a failure reproduces on re-run without a regression file.
+//! - Integer generation biases toward range endpoints ~1/8 of the time in
+//!   place of proptest's binary-search shrinking toward boundaries.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections (only `vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count specification: exact, half-open, or inclusive.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                min: range.start,
+                max_inclusive: range.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max_inclusive: *range.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_inclusive - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::string` — only `string_regex`, and only for patterns of the
+/// shape this workspace uses: a sequence of literal characters and
+/// character classes, each optionally repeated `{m}` or `{m,n}`.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One regex atom: a set of candidate characters plus a repetition count.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: u32,
+        max: u32,
+    }
+
+    /// Strategy generating strings matching a (restricted) regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let reps = atom.min + rng.below((atom.max - atom.min) as u64 + 1) as u32;
+                for _ in 0..reps {
+                    out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Parses `[class]` bodies: literals, `a-z` ranges, `\`-escapes.
+    fn parse_class(body: &str) -> Result<Vec<char>, Error> {
+        let mut chars = Vec::new();
+        let mut it = body.chars().peekable();
+        while let Some(c) = it.next() {
+            let lo = match c {
+                '\\' => it
+                    .next()
+                    .ok_or_else(|| Error("dangling escape in class".into()))?,
+                c => c,
+            };
+            if it.peek() == Some(&'-') && {
+                let mut ahead = it.clone();
+                ahead.next();
+                ahead.peek().is_some()
+            } {
+                it.next(); // consume '-'
+                let hi = match it.next().unwrap() {
+                    '\\' => it
+                        .next()
+                        .ok_or_else(|| Error("dangling escape in class".into()))?,
+                    c => c,
+                };
+                if (lo as u32) > (hi as u32) {
+                    return Err(Error(format!("inverted range {lo}-{hi}")));
+                }
+                for cp in lo as u32..=hi as u32 {
+                    chars.push(char::from_u32(cp).ok_or_else(|| Error("bad range".into()))?);
+                }
+            } else {
+                chars.push(lo);
+            }
+        }
+        if chars.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(chars)
+    }
+
+    /// Parses `{m}` / `{m,n}` after an atom; defaults to `{1}`.
+    fn parse_reps(it: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<(u32, u32), Error> {
+        if it.peek() != Some(&'{') {
+            return Ok((1, 1));
+        }
+        it.next();
+        let mut body = String::new();
+        for c in it.by_ref() {
+            if c == '}' {
+                let (min, max) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().map_err(|_| Error("bad repetition".into()))?,
+                        n.parse().map_err(|_| Error("bad repetition".into()))?,
+                    ),
+                    None => {
+                        let m = body.parse().map_err(|_| Error("bad repetition".into()))?;
+                        (m, m)
+                    }
+                };
+                if min > max {
+                    return Err(Error("inverted repetition".into()));
+                }
+                return Ok((min, max));
+            }
+            body.push(c);
+        }
+        Err(Error("unterminated repetition".into()))
+    }
+
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => {
+                    let mut body = String::new();
+                    let mut closed = false;
+                    let mut prev_escape = false;
+                    for c in it.by_ref() {
+                        if c == ']' && !prev_escape {
+                            closed = true;
+                            break;
+                        }
+                        prev_escape = c == '\\' && !prev_escape;
+                        body.push(c);
+                    }
+                    if !closed {
+                        return Err(Error("unterminated character class".into()));
+                    }
+                    parse_class(&body)?
+                }
+                '\\' => vec![it.next().ok_or_else(|| Error("dangling escape".into()))?],
+                '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                    return Err(Error(format!(
+                        "unsupported regex construct '{c}' (shim supports only literals and [class]{{m,n}})"
+                    )));
+                }
+                c => vec![c],
+            };
+            let (min, max) = parse_reps(&mut it)?;
+            atoms.push(Atom { chars, min, max });
+        }
+        Ok(RegexStrategy { atoms })
+    }
+}
+
+/// `proptest::option` — only `of`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // None a quarter of the time, mirroring proptest's default
+            // weighting toward Some.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the harness can attach the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}: `{:?}` == `{:?}`",
+            ::std::format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}: `{:?}` != `{:?}`",
+            ::std::format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in collection::vec(any::<u8>(), 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let (__cases, __seed) = $crate::test_runner::plan(&__config, stringify!($name));
+            let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+            let mut __done: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __done < __cases {
+                __attempts += 1;
+                if __attempts > __cases.saturating_mul(8) + 64 {
+                    panic!(
+                        "proptest shim: {} rejected too many cases ({} accepted of {} attempts)",
+                        stringify!($name), __done, __attempts
+                    );
+                }
+                let __vals = ($(
+                    $crate::strategy::Strategy::generate(&($strat), &mut __rng),
+                )+);
+                let __desc = ::std::format!("{:#?}", __vals);
+                let ($($arg,)+) = __vals;
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                match __result {
+                    Ok(()) => __done += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                        "proptest case failed: {}\n[{} case {}/{} | seed {:#x}] inputs:\n{}",
+                        msg, stringify!($name), __done, __cases, __seed, __desc
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        let strat = (
+            1u32..10,
+            crate::collection::vec(crate::prop_oneof![Just(0u8), 1u8..=9], 3..6),
+        );
+        let mut rng = TestRng::from_seed(99);
+        for _ in 0..500 {
+            let (x, v) = strat.generate(&mut rng);
+            assert!((1..10).contains(&x));
+            assert!((3..6).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+
+    #[test]
+    fn string_regex_matches_class_and_reps() {
+        let strat = crate::string::string_regex("[a-zA-Z0-9_.\\-]{1,40}").unwrap();
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..500 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=40).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_unsupported() {
+        assert!(crate::string::string_regex("(a|b)*").is_err());
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let strat = (0u32..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("nonzero", |&x| x != 0);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let x = strat.generate(&mut rng);
+            assert!(x % 2 == 0 && x != 0 && x < 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself: config override, doc comments, multiple args.
+        #[test]
+        fn macro_smoke(x in 0u64..50, flag in any::<bool>(), v in crate::collection::vec(0u8..4, 8)) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(x < 50);
+            prop_assert_eq!(v.len(), 8);
+            prop_assert_ne!(v.len(), 9, "length {} unexpected", v.len());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Case-execution support: configuration, the per-test RNG, and the error
+//! type `prop_assert!` produces.
+
+use rand::{RngCore, SplitMix64};
+
+/// Mirrors the `proptest::test_runner::ProptestConfig` fields the workspace
+/// names; everything else about real proptest's config is out of scope.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Accepted for source compatibility; this shim does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// How a single generated case ended, when it did not simply pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case does not apply (e.g. a filtered input); retried, not counted.
+    Reject(String),
+    /// The property is false for this input.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(reason) => write!(f, "case rejected: {reason}"),
+            TestCaseError::Fail(reason) => write!(f, "case failed: {reason}"),
+        }
+    }
+}
+
+/// Resolves the run plan for one property: (cases, rng seed). The seed is
+/// derived from the test name so distinct properties explore distinct
+/// streams, yet every run is reproducible. `PROPTEST_SHIM_SEED` overrides
+/// the base seed for exploring alternative streams.
+pub fn plan(config: &ProptestConfig, test_name: &str) -> (u32, u64) {
+    // FNV-1a over the test name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let base = std::env::var("PROPTEST_SHIM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x1f5_0000_0000u64);
+    // max_shrink_iters is config-compatible but unused (no shrinking).
+    let _ = config.max_shrink_iters;
+    (config.cases, base ^ hash)
+}
+
+/// The RNG handed to `Strategy::generate`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    core: SplitMix64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            core: SplitMix64::new(seed),
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.core.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.core.below(bound)
+    }
+
+    #[inline]
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True ~1/8 of the time: the generate-time stand-in for shrinking's
+    /// bias toward range boundaries.
+    #[inline]
+    pub fn pick_edge(&mut self) -> bool {
+        self.below(8) == 0
+    }
+}
+
+impl RngCore for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}

@@ -80,6 +80,12 @@ pub trait BlockDevice {
     fn capacity_bytes(&self) -> u64 {
         self.num_sectors() * crate::SECTOR_SIZE as u64
     }
+
+    /// Re-homes the device's metrics into a shared [`obs::Registry`], so
+    /// one registry covers a whole file-system stack (device + cache +
+    /// file system). Counts accumulated before attachment are carried
+    /// over. Devices without metrics ignore this.
+    fn attach_obs(&mut self, _registry: &obs::Registry) {}
 }
 
 /// Validates a request against device capacity and sector alignment.

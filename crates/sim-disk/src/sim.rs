@@ -2,12 +2,74 @@
 
 use std::sync::Arc;
 
+use obs::{Counter, Hist, Registry};
+
 use crate::clock::Clock;
 use crate::device::{check_request, BlockDevice, DiskError, DiskResult};
 use crate::fault::{CrashPlan, FaultMode};
 use crate::geometry::DiskGeometry;
 use crate::stats::{AccessKind, AccessRecord, AccessTrace, IoStats};
 use crate::SECTOR_SIZE;
+
+/// The disk's handles into an [`obs::Registry`]: request counts, the
+/// seek / rotation / transfer busy-time decomposition, and per-request
+/// service-time histograms split by direction.
+#[derive(Debug, Clone)]
+struct DiskObs {
+    registry: Registry,
+    reads: Counter,
+    writes: Counter,
+    sync_writes: Counter,
+    seeks: Counter,
+    sequential: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    busy_ns: Counter,
+    seek_ns: Counter,
+    rotation_ns: Counter,
+    transfer_ns: Counter,
+    read_lat: Hist,
+    write_lat: Hist,
+}
+
+impl DiskObs {
+    fn from_registry(registry: &Registry) -> Self {
+        DiskObs {
+            registry: registry.clone(),
+            reads: registry.counter("disk.reads"),
+            writes: registry.counter("disk.writes"),
+            sync_writes: registry.counter("disk.sync_writes"),
+            seeks: registry.counter("disk.seeks"),
+            sequential: registry.counter("disk.sequential"),
+            bytes_read: registry.counter("disk.bytes_read"),
+            bytes_written: registry.counter("disk.bytes_written"),
+            busy_ns: registry.counter("disk.busy_ns"),
+            seek_ns: registry.counter("disk.seek_ns"),
+            rotation_ns: registry.counter("disk.rotation_ns"),
+            transfer_ns: registry.counter("disk.transfer_ns"),
+            read_lat: registry.hist("disk.read_service_ns"),
+            write_lat: registry.hist("disk.write_service_ns"),
+        }
+    }
+
+    /// Re-homes every instrument into `registry`, carrying counts over.
+    fn rehome(&mut self, registry: &Registry) {
+        self.registry = registry.clone();
+        self.reads = registry.adopt_counter("disk.reads", &self.reads);
+        self.writes = registry.adopt_counter("disk.writes", &self.writes);
+        self.sync_writes = registry.adopt_counter("disk.sync_writes", &self.sync_writes);
+        self.seeks = registry.adopt_counter("disk.seeks", &self.seeks);
+        self.sequential = registry.adopt_counter("disk.sequential", &self.sequential);
+        self.bytes_read = registry.adopt_counter("disk.bytes_read", &self.bytes_read);
+        self.bytes_written = registry.adopt_counter("disk.bytes_written", &self.bytes_written);
+        self.busy_ns = registry.adopt_counter("disk.busy_ns", &self.busy_ns);
+        self.seek_ns = registry.adopt_counter("disk.seek_ns", &self.seek_ns);
+        self.rotation_ns = registry.adopt_counter("disk.rotation_ns", &self.rotation_ns);
+        self.transfer_ns = registry.adopt_counter("disk.transfer_ns", &self.transfer_ns);
+        self.read_lat = registry.adopt_hist("disk.read_service_ns", &self.read_lat);
+        self.write_lat = registry.adopt_hist("disk.write_service_ns", &self.write_lat);
+    }
+}
 
 /// A disk with a seek + rotation + transfer cost model over a virtual clock.
 ///
@@ -42,6 +104,7 @@ pub struct SimDisk {
     crash_plan: Option<CrashPlan>,
     crashed: bool,
     next_label: &'static str,
+    obs: DiskObs,
 }
 
 impl SimDisk {
@@ -60,6 +123,7 @@ impl SimDisk {
             crash_plan: None,
             crashed: false,
             next_label: "",
+            obs: DiskObs::from_registry(&Registry::new()),
         }
     }
 
@@ -92,6 +156,11 @@ impl SimDisk {
     /// Returns accumulated I/O statistics.
     pub fn stats(&self) -> &IoStats {
         &self.stats
+    }
+
+    /// Returns the registry this disk currently reports into.
+    pub fn obs(&self) -> &Registry {
+        &self.obs.registry
     }
 
     /// Resets accumulated I/O statistics (head position is kept).
@@ -129,47 +198,68 @@ impl SimDisk {
         &self.data
     }
 
-    /// Computes seek + rotation + transfer for a request and updates the
-    /// head position. Returns `(service_ns, was_sequential)`.
-    fn service(&mut self, sector: u64, bytes: u64) -> (u64, bool) {
+    /// Computes the seek / rotation / transfer decomposition for a request
+    /// and updates the head position. Returns
+    /// `(seek_ns, rotation_ns, transfer_ns, was_sequential)`.
+    fn service(&mut self, sector: u64, bytes: u64) -> (u64, u64, u64, bool) {
         let sequential = sector == self.head;
-        let positioning = if sequential {
-            0
+        let (seek, rotation) = if sequential {
+            (0, 0)
         } else {
             let distance = sector.abs_diff(self.head);
-            self.geometry.seek_ns(distance) + self.geometry.avg_rotational_latency_ns()
+            (
+                self.geometry.seek_ns(distance),
+                self.geometry.avg_rotational_latency_ns(),
+            )
         };
         let transfer = self.geometry.transfer_ns(bytes);
         self.head = sector + bytes / SECTOR_SIZE as u64;
-        (positioning + transfer, sequential)
+        (seek, rotation, transfer, sequential)
     }
 
     /// Runs one request through the queue model and updates accounting.
     fn account(&mut self, kind: AccessKind, sector: u64, bytes: u64, sync: bool) -> (u64, bool) {
         let issued_at = self.clock.now_ns();
         let start = self.busy_until_ns.max(issued_at);
-        let (service_ns, sequential) = self.service(sector, bytes);
+        let (seek_ns, rotation_ns, transfer_ns, sequential) = self.service(sector, bytes);
+        let service_ns = seek_ns + rotation_ns + transfer_ns;
         self.busy_until_ns = start + service_ns;
         if sync {
             self.clock.advance_to_ns(self.busy_until_ns);
         }
 
         self.stats.busy_ns += service_ns;
+        self.stats.seek_ns += seek_ns;
+        self.stats.rotation_ns += rotation_ns;
+        self.stats.transfer_ns += transfer_ns;
+        self.obs.busy_ns.add(service_ns);
+        self.obs.seek_ns.add(seek_ns);
+        self.obs.rotation_ns.add(rotation_ns);
+        self.obs.transfer_ns.add(transfer_ns);
         if sequential {
             self.stats.sequential += 1;
+            self.obs.sequential.inc();
         } else {
             self.stats.seeks += 1;
+            self.obs.seeks.inc();
         }
         match kind {
             AccessKind::Read => {
                 self.stats.reads += 1;
                 self.stats.bytes_read += bytes;
+                self.obs.reads.inc();
+                self.obs.bytes_read.add(bytes);
+                self.obs.read_lat.record(service_ns);
             }
             AccessKind::Write => {
                 self.stats.writes += 1;
                 self.stats.bytes_written += bytes;
+                self.obs.writes.inc();
+                self.obs.bytes_written.add(bytes);
+                self.obs.write_lat.record(service_ns);
                 if sync {
                     self.stats.sync_writes += 1;
+                    self.obs.sync_writes.inc();
                 }
             }
         }
@@ -232,6 +322,13 @@ impl BlockDevice for SimDisk {
 
         if self.crashed {
             // Power failed mid-request; the caller observes an error.
+            self.obs.registry.event(
+                self.clock.now_ns(),
+                "crash",
+                format!(
+                    "write_index={this_write} sector={sector} persisted_bytes={persisted_bytes}"
+                ),
+            );
             return Err(DiskError::Crashed);
         }
         self.account(AccessKind::Write, sector, buf.len() as u64, sync);
@@ -248,6 +345,10 @@ impl BlockDevice for SimDisk {
 
     fn annotate(&mut self, label: &'static str) {
         self.next_label = label;
+    }
+
+    fn attach_obs(&mut self, registry: &Registry) {
+        self.obs.rehome(registry);
     }
 }
 
@@ -392,6 +493,51 @@ mod tests {
         let records = disk.trace().records();
         assert_eq!(records[0].label, "inode");
         assert_eq!(records[1].label, "");
+    }
+
+    #[test]
+    fn obs_mirrors_stats_and_decomposes_busy_time() {
+        let mut disk = small_disk();
+        disk.write(0, &vec![0; SECTOR_SIZE * 2], true).unwrap();
+        disk.write(500, &vec![0; SECTOR_SIZE], false).unwrap();
+        let mut buf = vec![0; SECTOR_SIZE];
+        disk.read(7, &mut buf).unwrap();
+
+        let snap = disk.obs().snapshot();
+        let stats = disk.stats();
+        assert_eq!(snap.counter("disk.reads"), stats.reads);
+        assert_eq!(snap.counter("disk.writes"), stats.writes);
+        assert_eq!(snap.counter("disk.busy_ns"), stats.busy_ns);
+        // The decomposition is exact, in both reporting paths.
+        assert_eq!(
+            snap.counter("disk.seek_ns")
+                + snap.counter("disk.rotation_ns")
+                + snap.counter("disk.transfer_ns"),
+            snap.counter("disk.busy_ns")
+        );
+        assert_eq!(
+            stats.seek_ns + stats.rotation_ns + stats.transfer_ns,
+            stats.busy_ns
+        );
+        // Every request lands in a service-time histogram.
+        let read_lat = snap.hist("disk.read_service_ns").unwrap();
+        let write_lat = snap.hist("disk.write_service_ns").unwrap();
+        assert_eq!(read_lat.count, stats.reads);
+        assert_eq!(write_lat.count, stats.writes);
+        assert_eq!(read_lat.sum + write_lat.sum, stats.busy_ns);
+    }
+
+    #[test]
+    fn attach_obs_carries_counts_into_shared_registry() {
+        let mut disk = small_disk();
+        disk.write(0, &vec![0; SECTOR_SIZE], true).unwrap();
+        let shared = obs::Registry::new();
+        disk.attach_obs(&shared);
+        disk.write(1, &vec![0; SECTOR_SIZE], true).unwrap();
+        assert_eq!(shared.snapshot().counter("disk.writes"), 2);
+        // The disk now reports through the shared registry.
+        shared.counter("probe").inc();
+        assert_eq!(disk.obs().snapshot().counter("probe"), 1);
     }
 
     #[test]

@@ -109,6 +109,12 @@ pub struct IoStats {
     pub bytes_written: u64,
     /// Total device busy time in nanoseconds.
     pub busy_ns: u64,
+    /// Busy time spent moving the head (ns).
+    pub seek_ns: u64,
+    /// Busy time spent waiting for the platter (ns).
+    pub rotation_ns: u64,
+    /// Busy time spent transferring data (ns).
+    pub transfer_ns: u64,
 }
 
 impl IoStats {
@@ -143,6 +149,9 @@ impl IoStats {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             busy_ns: self.busy_ns - earlier.busy_ns,
+            seek_ns: self.seek_ns - earlier.seek_ns,
+            rotation_ns: self.rotation_ns - earlier.rotation_ns,
+            transfer_ns: self.transfer_ns - earlier.transfer_ns,
         }
     }
 }
@@ -215,6 +224,9 @@ mod tests {
             bytes_read: 512,
             bytes_written: 1024,
             busy_ns: 100,
+            seek_ns: 50,
+            rotation_ns: 30,
+            transfer_ns: 20,
         };
         let later = IoStats {
             reads: 3,
@@ -225,12 +237,19 @@ mod tests {
             bytes_read: 2048,
             bytes_written: 4096,
             busy_ns: 1_000,
+            seek_ns: 500,
+            rotation_ns: 300,
+            transfer_ns: 200,
         };
         let delta = later.delta_since(&earlier);
         assert_eq!(delta.reads, 2);
         assert_eq!(delta.writes, 3);
         assert_eq!(delta.random(), 4);
         assert_eq!(delta.bytes_total(), 1536 + 3072);
+        assert_eq!(
+            delta.seek_ns + delta.rotation_ns + delta.transfer_ns,
+            delta.busy_ns
+        );
     }
 
     #[test]

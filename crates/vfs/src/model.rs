@@ -292,10 +292,13 @@ impl FileSystem for ModelFs {
     }
 
     fn write_at(&mut self, ino: Ino, offset: u64, incoming: &[u8]) -> FsResult<usize> {
-        // POSIX: a zero-length write does not extend the file.
+        // POSIX: a zero-length write does not extend the file — but it is
+        // still rejected on a directory, like any other write.
         if incoming.is_empty() {
-            self.node(ino)?;
-            return Ok(0);
+            return match self.node(ino)? {
+                Node::Dir { .. } => Err(FsError::IsADirectory),
+                Node::File { .. } => Ok(0),
+            };
         }
         let now = self.tick();
         match self.nodes.get_mut(&ino).ok_or(FsError::NotFound)? {

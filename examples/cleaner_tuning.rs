@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use lfs_repro::lfs_core::layout::usage_block::SegState;
 use lfs_repro::lfs_core::{CleanerPolicy, Lfs, LfsConfig};
+use lfs_repro::obs::report::Report;
 use lfs_repro::sim_disk::{Clock, DiskGeometry, SimDisk};
 use lfs_repro::vfs::FileSystem;
 use lfs_repro::workload::payload;
@@ -85,4 +86,11 @@ fn main() {
 
     let report = fs.fsck().unwrap();
     println!("fsck: {report}");
+
+    let mut metrics = Report::new("example_cleaner_tuning");
+    metrics.add_run("churn_and_clean", "lfs", clock.now_ns(), fs.obs());
+    match metrics.write_bench_json() {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics JSON: {e}"),
+    }
 }

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::obs::report::Report;
 use lfs_repro::sim_disk::{Clock, DiskGeometry, SimDisk};
 use lfs_repro::vfs::FileSystem;
 
@@ -41,6 +42,7 @@ fn main() {
     let image = fs.into_device().into_image();
     println!("\n*** power failure ***\n");
 
+    let mut metrics = Report::new("example_crash_recovery");
     for (mode, roll_forward) in [("checkpoint-only", false), ("roll-forward", true)] {
         let clock = Clock::new();
         let disk = SimDisk::from_image(geometry.clone(), Arc::clone(&clock), image.clone());
@@ -59,6 +61,7 @@ fn main() {
         }
         let report = fs.fsck().unwrap();
         println!("  fsck: {report}");
+        metrics.add_run(mode, "lfs", clock.now_ns(), fs.obs());
         if roll_forward {
             println!(
                 "  roll-forward replayed {} log chunks, {} inodes",
@@ -74,4 +77,8 @@ fn main() {
          The cache-only scratch file is gone either way — exactly the \n\
          paper's stated loss window."
     );
+    match metrics.write_bench_json() {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics JSON: {e}"),
+    }
 }

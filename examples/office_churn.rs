@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use lfs_repro::ffs_baseline::{Ffs, FfsConfig};
 use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::obs::report::Report;
 use lfs_repro::sim_disk::{Clock, DiskGeometry, SimDisk};
 use lfs_repro::vfs::FileSystem;
 use lfs_repro::workload::office::{run, OfficeSpec};
@@ -41,10 +42,12 @@ fn report<F: FileSystem>(name: &str, fs: &mut F, clock: &Arc<Clock>) {
 }
 
 fn main() {
+    let mut metrics = Report::new("example_office_churn");
     let clock = Clock::new();
     let disk = SimDisk::new(DiskGeometry::wren_iv(), Arc::clone(&clock));
     let mut lfs = Lfs::format(disk, LfsConfig::paper(), Arc::clone(&clock)).unwrap();
     report("LFS", &mut lfs, &clock);
+    metrics.add_run("office", "lfs", clock.now_ns(), lfs.obs());
     let stats = lfs.device().stats();
     println!(
         "  disk: {} writes ({} sync), {:.1} MB written, {:.1} MB read\n",
@@ -58,6 +61,7 @@ fn main() {
     let disk = SimDisk::new(DiskGeometry::wren_iv(), Arc::clone(&clock));
     let mut ffs = Ffs::format(disk, FfsConfig::paper(), Arc::clone(&clock)).unwrap();
     report("FFS", &mut ffs, &clock);
+    metrics.add_run("office", "ffs", clock.now_ns(), ffs.obs());
     let stats = ffs.device().stats();
     println!(
         "  disk: {} writes ({} sync), {:.1} MB written, {:.1} MB read",
@@ -71,4 +75,8 @@ fn main() {
          metadata writes; LFS batches everything into large segment writes.",
         ffs.stats().sync_inode_writes + ffs.stats().sync_dir_writes
     );
+    match metrics.write_bench_json() {
+        Ok(path) => println!("\nmetrics: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics JSON: {e}"),
+    }
 }

@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::obs::report::Report;
 use lfs_repro::sim_disk::{Clock, DiskGeometry, SimDisk};
 use lfs_repro::vfs::FileSystem;
 
@@ -61,4 +62,13 @@ fn main() {
     // And the file system can prove itself consistent.
     let report = fs.fsck().unwrap();
     println!("fsck: {report}");
+
+    // Dump everything the stack measured — latency histograms, disk time
+    // breakdown, cache hits, log composition — as a metrics JSON file.
+    let mut metrics = Report::new("example_quickstart");
+    metrics.add_run("quickstart", "lfs", clock.now_ns(), fs.obs());
+    match metrics.write_bench_json() {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics JSON: {e}"),
+    }
 }

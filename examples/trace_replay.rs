@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use lfs_repro::ffs_baseline::{Ffs, FfsConfig};
 use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::obs::report::Report;
 use lfs_repro::sim_disk::{Clock, DiskGeometry, SimDisk};
 use lfs_repro::vfs::FileSystem;
 use lfs_repro::workload::office::{run, OfficeSpec};
@@ -76,4 +77,12 @@ fn main() {
     let ffs_files = ffs.readdir("/office0").unwrap().len();
     assert_eq!(lfs_files, ffs_files, "replayed tree diverged");
     println!("both file systems hold the same {lfs_files} files in /office0");
+
+    let mut metrics = Report::new("example_trace_replay");
+    metrics.add_run("record", "lfs", lfs.clock().now_ns(), lfs.obs());
+    metrics.add_run("replay", "ffs", ffs.clock().now_ns(), ffs.obs());
+    match metrics.write_bench_json() {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics JSON: {e}"),
+    }
 }

@@ -8,6 +8,7 @@
 pub use block_cache;
 pub use ffs_baseline;
 pub use lfs_core;
+pub use obs;
 pub use sim_disk;
 pub use vfs;
 pub use workload;

@@ -112,6 +112,125 @@ fn script_results_and_trees_match_across_implementations() {
     assert!(ffs.fsck().unwrap().is_clean());
 }
 
+/// Rename onto an existing file: the target's old contents must be
+/// replaced atomically from the caller's view, the target inode's link
+/// must drop, and the source name must disappear.
+fn rename_over_script<F: FileSystem>(fs: &mut F) -> Vec<String> {
+    let mut results = Vec::new();
+    let mut record = |tag: &str, r: Result<(), lfs_repro::vfs::FsError>| {
+        results.push(format!("{tag}: {:?}", r.err()));
+    };
+
+    record("mkdir /dir", fs.mkdir("/dir").map(|_| ()));
+    record("create src", fs.write_file("/dir/src", b"new contents").map(|_| ()));
+    record("create dst", fs.write_file("/dir/dst", b"old contents, longer").map(|_| ()));
+    record("rename over file", fs.rename("/dir/src", "/dir/dst"));
+    // The replaced file is fully gone: its name now maps to src's data.
+    record("src gone", match fs.lookup("/dir/src") {
+        Ok(_) => Ok(()),
+        Err(e) => Err(e),
+    });
+    // Rename over a second, hard-linked target: only the name's link dies.
+    record("create dst2", fs.write_file("/dir/dst2", b"linked").map(|_| ()));
+    record("link dst2", fs.link("/dir/dst2", "/dir/keep"));
+    record("create src2", fs.write_file("/dir/src2", b"payload").map(|_| ()));
+    record("rename over linked", fs.rename("/dir/src2", "/dir/dst2"));
+    record("sync", fs.sync());
+    results
+}
+
+#[test]
+fn rename_over_existing_file_matches_across_implementations() {
+    let mut model = ModelFs::new();
+    let mut lfs = lfs();
+    let mut ffs = ffs();
+
+    let model_results = rename_over_script(&mut model);
+    assert_eq!(model_results, rename_over_script(&mut lfs), "LFS diverged");
+    assert_eq!(model_results, rename_over_script(&mut ffs), "FFS diverged");
+
+    let model_tree = snapshot(&mut model);
+    assert_eq!(model_tree, snapshot(&mut lfs), "LFS tree diverged");
+    assert_eq!(model_tree, snapshot(&mut ffs), "FFS tree diverged");
+
+    // Spot-check the semantics on every implementation, not just
+    // model-agreement: the rename won, the old data is unreachable, and
+    // the other hard link of a replaced name still holds its contents.
+    fn check<F: FileSystem>(fs: &mut F, label: &str) {
+        assert_eq!(fs.read_file("/dir/dst").unwrap(), b"new contents", "{label}");
+        assert!(fs.lookup("/dir/src").is_err(), "{label}: source name survived");
+        assert_eq!(fs.read_file("/dir/dst2").unwrap(), b"payload", "{label}");
+        assert_eq!(fs.read_file("/dir/keep").unwrap(), b"linked", "{label}");
+        let keep = fs.lookup("/dir/keep").unwrap();
+        assert_eq!(fs.stat(keep).unwrap().nlink, 1, "{label}: nlink after replace");
+    }
+    check(&mut model, "model");
+    check(&mut lfs, "lfs");
+    check(&mut ffs, "ffs");
+
+    assert!(lfs.fsck().unwrap().is_clean());
+    assert!(ffs.fsck().unwrap().is_clean());
+}
+
+/// Hard-link a file and unlink the original name: the data must remain
+/// reachable through the link, with the link count back to one.
+fn link_unlink_script<F: FileSystem>(fs: &mut F) -> Vec<String> {
+    let mut results = Vec::new();
+    let mut record = |tag: &str, r: Result<(), lfs_repro::vfs::FsError>| {
+        results.push(format!("{tag}: {:?}", r.err()));
+    };
+
+    record("mkdir /ln", fs.mkdir("/ln").map(|_| ()));
+    record("create orig", fs.write_file("/ln/orig", &vec![0xC3; 6000]).map(|_| ()));
+    record("link alias", fs.link("/ln/orig", "/ln/alias"));
+    record("unlink orig", fs.unlink("/ln/orig"));
+    // Writing through the surviving name must still work.
+    record("append via alias", {
+        match fs.lookup("/ln/alias") {
+            Ok(ino) => fs.write_at(ino, 6000, b"tail").map(|_| ()),
+            Err(e) => Err(e),
+        }
+    });
+    // A second round where the *link* dies instead of the original.
+    record("create keep2", fs.write_file("/ln/keep2", b"stay").map(|_| ()));
+    record("link gone2", fs.link("/ln/keep2", "/ln/gone2"));
+    record("unlink gone2", fs.unlink("/ln/gone2"));
+    record("sync", fs.sync());
+    results
+}
+
+#[test]
+fn hard_link_then_unlink_source_matches_across_implementations() {
+    let mut model = ModelFs::new();
+    let mut lfs = lfs();
+    let mut ffs = ffs();
+
+    let model_results = link_unlink_script(&mut model);
+    assert_eq!(model_results, link_unlink_script(&mut lfs), "LFS diverged");
+    assert_eq!(model_results, link_unlink_script(&mut ffs), "FFS diverged");
+
+    let model_tree = snapshot(&mut model);
+    assert_eq!(model_tree, snapshot(&mut lfs), "LFS tree diverged");
+    assert_eq!(model_tree, snapshot(&mut ffs), "FFS tree diverged");
+
+    fn check<F: FileSystem>(fs: &mut F, label: &str) {
+        assert!(fs.lookup("/ln/orig").is_err(), "{label}: unlinked name survived");
+        let mut expect = vec![0xC3u8; 6000];
+        expect.extend_from_slice(b"tail");
+        assert_eq!(fs.read_file("/ln/alias").unwrap(), expect, "{label}");
+        let alias = fs.lookup("/ln/alias").unwrap();
+        assert_eq!(fs.stat(alias).unwrap().nlink, 1, "{label}: nlink after unlink");
+        assert_eq!(fs.read_file("/ln/keep2").unwrap(), b"stay", "{label}");
+        assert!(fs.lookup("/ln/gone2").is_err(), "{label}: dead link survived");
+    }
+    check(&mut model, "model");
+    check(&mut lfs, "lfs");
+    check(&mut ffs, "ffs");
+
+    assert!(lfs.fsck().unwrap().is_clean());
+    assert!(ffs.fsck().unwrap().is_clean());
+}
+
 #[test]
 fn office_workload_trees_match() {
     let spec = OfficeSpec::scaled(1_500, 60);

@@ -1,0 +1,195 @@
+//! Property tests for the observability layer: the invariants every
+//! registry-backed metric must hold no matter what workload runs.
+//!
+//! * Counters are monotone — no operation may ever decrease one.
+//! * Operation-latency histograms count exactly one sample per call of
+//!   the operation they time (success or failure).
+//! * The disk's time accounting balances: seek + rotation + transfer
+//!   nanoseconds always sum to busy nanoseconds.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lfs_repro::ffs_baseline::{Ffs, FfsConfig};
+use lfs_repro::lfs_core::{Lfs, LfsConfig};
+use lfs_repro::sim_disk::{Clock, DiskGeometry, SimDisk};
+use lfs_repro::vfs::FileSystem;
+
+const DISK_SECTORS: u64 = 16_384; // 8 MB
+
+fn lfs_rig() -> Lfs<SimDisk> {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+    Lfs::format(disk, LfsConfig::small_test(), clock).unwrap()
+}
+
+/// One step of a generated workload. Operations are chosen so that both
+/// success and failure paths occur (lookups of absent files, repeated
+/// creates, unlinks of missing paths).
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Write(u8, u16),
+    Read(u8),
+    Unlink(u8),
+    Mkdir(u8),
+    Rename(u8, u8),
+    Sync,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12).prop_map(Op::Create),
+        (0u8..12, 1u16..3000).prop_map(|(i, n)| Op::Write(i, n)),
+        (0u8..12).prop_map(Op::Read),
+        (0u8..12).prop_map(Op::Unlink),
+        (0u8..6).prop_map(Op::Mkdir),
+        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::Rename(a, b)),
+        Just(Op::Sync),
+    ]
+}
+
+/// Applies one op, returning which latency histograms it must have fed
+/// (one sample per entry, regardless of the op's success).
+fn apply<F: FileSystem>(fs: &mut F, op: &Op) -> Vec<&'static str> {
+    match op {
+        Op::Create(i) => {
+            let _ = fs.create(&format!("/f{i}"));
+            vec!["op.create_ns"]
+        }
+        Op::Write(i, n) => {
+            // `lookup` then `write_at`: one sample in each histogram,
+            // but `write_at` only runs when the lookup succeeded.
+            match fs.lookup(&format!("/f{i}")) {
+                Ok(ino) => {
+                    let _ = fs.write_at(ino, 0, &vec![0x5A; *n as usize]);
+                    vec!["op.lookup_ns", "op.write_ns"]
+                }
+                Err(_) => vec!["op.lookup_ns"],
+            }
+        }
+        Op::Read(i) => match fs.lookup(&format!("/f{i}")) {
+            Ok(ino) => {
+                let mut buf = [0u8; 256];
+                let _ = fs.read_at(ino, 0, &mut buf);
+                vec!["op.lookup_ns", "op.read_ns"]
+            }
+            Err(_) => vec!["op.lookup_ns"],
+        },
+        Op::Unlink(i) => {
+            let _ = fs.unlink(&format!("/f{i}"));
+            vec!["op.unlink_ns"]
+        }
+        Op::Mkdir(i) => {
+            let _ = fs.mkdir(&format!("/d{i}"));
+            vec!["op.mkdir_ns"]
+        }
+        Op::Rename(a, b) => {
+            let _ = fs.rename(&format!("/f{a}"), &format!("/f{b}"));
+            vec!["op.rename_ns"]
+        }
+        Op::Sync => {
+            let _ = fs.sync();
+            vec!["op.sync_ns"]
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// No operation sequence may ever decrease a counter.
+    #[test]
+    fn counters_are_monotone(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut fs = lfs_rig();
+        let mut last: BTreeMap<String, u64> = BTreeMap::new();
+        for (step, op) in ops.iter().enumerate() {
+            apply(&mut fs, op);
+            let snap = fs.obs().snapshot();
+            for (name, value) in &snap.counters {
+                if let Some(prev) = last.get(name) {
+                    prop_assert!(
+                        value >= prev,
+                        "counter {} decreased {} -> {} at step {} ({:?})",
+                        name, prev, value, step, op
+                    );
+                }
+                last.insert(name.clone(), *value);
+            }
+        }
+    }
+
+    /// Each `op.*_ns` histogram records exactly one sample per call of
+    /// the operation it times — failed calls included.
+    #[test]
+    fn histogram_totals_match_op_counts(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut fs = lfs_rig();
+        let mut expected: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for op in &ops {
+            for hist in apply(&mut fs, op) {
+                *expected.entry(hist).or_default() += 1;
+            }
+        }
+        let snap = fs.obs().snapshot();
+        for (name, count) in &expected {
+            let hist = snap.hist(name);
+            prop_assert_eq!(
+                hist.map_or(0, |h| h.count), *count,
+                "histogram {} sample count mismatch", name
+            );
+            // Per-bucket counts must themselves sum to the total.
+            if let Some(h) = hist {
+                prop_assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+            }
+        }
+        // And no op histogram appears that we did not drive.
+        for (name, h) in &snap.hists {
+            if name.starts_with("op.") && h.count > 0 {
+                prop_assert!(
+                    expected.contains_key(name.as_str()),
+                    "unexpected samples in {}", name
+                );
+            }
+        }
+    }
+
+    /// The disk's component times always account for all its busy time.
+    #[test]
+    fn disk_component_times_sum_to_busy(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut fs = lfs_rig();
+        for op in &ops {
+            apply(&mut fs, op);
+        }
+        let snap = fs.obs().snapshot();
+        prop_assert_eq!(
+            snap.counter("disk.seek_ns")
+                + snap.counter("disk.rotation_ns")
+                + snap.counter("disk.transfer_ns"),
+            snap.counter("disk.busy_ns")
+        );
+    }
+
+    /// The same histogram-count invariant holds on the FFS baseline,
+    /// which reports through the identical `op.*` namespace.
+    #[test]
+    fn ffs_histograms_match_op_counts(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let clock = Clock::new();
+        let disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+        let mut fs = Ffs::format(disk, FfsConfig::small_test(), clock).unwrap();
+        let mut expected: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for op in &ops {
+            for hist in apply(&mut fs, op) {
+                *expected.entry(hist).or_default() += 1;
+            }
+        }
+        let snap = fs.obs().snapshot();
+        for (name, count) in &expected {
+            prop_assert_eq!(
+                snap.hist(name).map_or(0, |h| h.count), *count,
+                "histogram {} sample count mismatch", name
+            );
+        }
+    }
+}

@@ -148,7 +148,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 64,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     #[test]
