@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! A discrete-event multi-client request engine over the shared virtual
+//! clock.
+//!
+//! The paper's §3 argument is economic: LFS wins because many small,
+//! independent updates become one large sequential transfer, while FFS
+//! pays a seek per metadata update. The single-request harness used by
+//! the figure reproductions cannot exercise the *concurrency* side of
+//! that argument — queueing at the disk, write coalescing across
+//! clients, and the CPU-vs-disk crossover under load. This crate adds
+//! the missing machinery:
+//!
+//! * [`EngineCore`] / [`EngineDisk`] — a disk request queue layered over
+//!   [`sim_disk::SimDisk`]'s submit/complete API, behind the standard
+//!   [`sim_disk::BlockDevice`] trait so LFS and FFS mount it unchanged.
+//!   The queue has a depth knob with backpressure, cross-client write
+//!   coalescing (sector-adjacent pending writes merge into one
+//!   transfer), write absorption, and read-from-queue hits.
+//! * [`sched`] — pluggable I/O schedulers ([`Fcfs`], [`Sstf`],
+//!   [`CLook`]) that reorder pending requests using disk geometry. The
+//!   engine enforces a bounded-wait (anti-starvation) guarantee *outside*
+//!   the policy: an aged request preempts any policy choice.
+//! * [`multi`] — N closed-loop clients running the `workload`
+//!   small-file generator against one file system, dispatched by an
+//!   event loop that advances virtual time to each client's ready-time.
+//!   Per-client latency histograms, queue-depth gauges, and
+//!   scheduler-decision trace events land in the file system's
+//!   [`obs::Registry`].
+//!
+//! Everything is deterministic: same config, same virtual-time results,
+//! byte-identical metrics JSON.
+
+pub mod multi;
+pub mod queue;
+pub mod sched;
+
+pub use multi::{run_small_file_create, ClientSummary, MultiClientConfig, MultiReport};
+pub use queue::{EngineConfig, EngineCore, EngineDisk};
+pub use sched::{CLook, Fcfs, IoScheduler, SchedulerKind, Sstf};

@@ -1,0 +1,606 @@
+//! The engine core: a scheduled disk request queue behind a
+//! [`BlockDevice`] facade.
+//!
+//! [`EngineCore`] owns the [`SimDisk`] and its pending-request queue.
+//! File systems are generic over [`BlockDevice`], so they mount an
+//! [`EngineDisk`] — a cheap handle onto the shared core — and every
+//! asynchronous write they issue lands in the queue, where the configured
+//! [`IoScheduler`] reorders it, adjacent writes coalesce into one
+//! transfer, and a full queue pushes back on the writer. Synchronous
+//! requests wait (advance the virtual clock) until their own completion,
+//! competing with queued work under the same policy.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use obs::{Counter, Gauge, Registry};
+use sim_disk::{
+    AccessKind, BlockDevice, Clock, DiskResult, IoCompletion, SimDisk, SECTOR_SIZE,
+};
+
+use crate::sched::{IoScheduler, SchedulerKind};
+
+/// Tuning knobs for the request engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Scheduling policy for the pending queue.
+    pub scheduler: SchedulerKind,
+    /// Maximum pending requests before a submitter is stalled
+    /// (backpressure).
+    pub queue_depth: usize,
+    /// Bounded-wait guarantee: once the oldest pending request has waited
+    /// this long, it is serviced next regardless of the policy
+    /// (anti-starvation aging).
+    pub max_wait_ns: u64,
+    /// Whether adjacent pending writes coalesce into one transfer.
+    pub coalesce: bool,
+    /// Largest transfer a coalesced write may grow to, in bytes.
+    pub max_transfer_bytes: u64,
+    /// How many scheduler decisions to record as trace events (the rest
+    /// are counted but not traced, to bound the event ring).
+    pub trace_decisions: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerKind::Fcfs,
+            queue_depth: 32,
+            max_wait_ns: 100_000_000,
+            coalesce: true,
+            max_transfer_bytes: 1 << 20,
+            trace_decisions: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the scheduling policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the queue-depth knob.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets the bounded-wait (anti-starvation) threshold.
+    pub fn with_max_wait_ns(mut self, max_wait_ns: u64) -> Self {
+        self.max_wait_ns = max_wait_ns;
+        self
+    }
+
+    /// Enables or disables write coalescing.
+    pub fn with_coalesce(mut self, coalesce: bool) -> Self {
+        self.coalesce = coalesce;
+        self
+    }
+}
+
+/// The engine's handles into an [`obs::Registry`].
+#[derive(Debug, Clone)]
+struct EngineObs {
+    registry: Registry,
+    queue_depth: Gauge,
+    queue_depth_max: Gauge,
+    max_queue_wait: Gauge,
+    coalesced: Counter,
+    absorbed: Counter,
+    queue_read_hits: Counter,
+    backpressure_stalls: Counter,
+    backpressure_ns: Counter,
+    dep_stalls: Counter,
+    dep_stall_ns: Counter,
+    sched_decisions: Counter,
+    aged_picks: Counter,
+}
+
+impl EngineObs {
+    fn from_registry(registry: &Registry) -> Self {
+        EngineObs {
+            registry: registry.clone(),
+            queue_depth: registry.gauge("engine.queue_depth"),
+            queue_depth_max: registry.gauge("engine.queue_depth_max"),
+            max_queue_wait: registry.gauge("engine.max_queue_wait_ns"),
+            coalesced: registry.counter("engine.coalesced_writes"),
+            absorbed: registry.counter("engine.absorbed_writes"),
+            queue_read_hits: registry.counter("engine.queue_read_hits"),
+            backpressure_stalls: registry.counter("engine.backpressure_stalls"),
+            backpressure_ns: registry.counter("engine.backpressure_ns"),
+            dep_stalls: registry.counter("engine.dependency_stalls"),
+            dep_stall_ns: registry.counter("engine.dependency_stall_ns"),
+            sched_decisions: registry.counter("engine.sched_decisions"),
+            aged_picks: registry.counter("engine.aged_picks"),
+        }
+    }
+
+    fn rehome(&mut self, registry: &Registry) {
+        self.registry = registry.clone();
+        self.queue_depth = registry.adopt_gauge("engine.queue_depth", &self.queue_depth);
+        self.queue_depth_max = registry.adopt_gauge("engine.queue_depth_max", &self.queue_depth_max);
+        self.max_queue_wait = registry.adopt_gauge("engine.max_queue_wait_ns", &self.max_queue_wait);
+        self.coalesced = registry.adopt_counter("engine.coalesced_writes", &self.coalesced);
+        self.absorbed = registry.adopt_counter("engine.absorbed_writes", &self.absorbed);
+        self.queue_read_hits = registry.adopt_counter("engine.queue_read_hits", &self.queue_read_hits);
+        self.backpressure_stalls =
+            registry.adopt_counter("engine.backpressure_stalls", &self.backpressure_stalls);
+        self.backpressure_ns = registry.adopt_counter("engine.backpressure_ns", &self.backpressure_ns);
+        self.dep_stalls = registry.adopt_counter("engine.dependency_stalls", &self.dep_stalls);
+        self.dep_stall_ns = registry.adopt_counter("engine.dependency_stall_ns", &self.dep_stall_ns);
+        self.sched_decisions = registry.adopt_counter("engine.sched_decisions", &self.sched_decisions);
+        self.aged_picks = registry.adopt_counter("engine.aged_picks", &self.aged_picks);
+    }
+}
+
+/// The shared request-engine state: disk, queue policy, and accounting.
+pub struct EngineCore {
+    disk: SimDisk,
+    clock: Arc<Clock>,
+    cfg: EngineConfig,
+    sched: Box<dyn IoScheduler>,
+    /// Client currently executing on the (single) virtual CPU; new
+    /// submissions are attributed to it.
+    current_client: Option<usize>,
+    /// Request id → clients credited with it (a coalesced request
+    /// carries every contributor).
+    owners: BTreeMap<u64, Vec<usize>>,
+    /// Per-client queue-wait counters, indexed by client id.
+    per_client_wait: Vec<Counter>,
+    decisions_traced: u64,
+    depth_high_water: u64,
+    obs: EngineObs,
+}
+
+impl EngineCore {
+    /// Wraps `disk` in a request engine. The engine reports into the
+    /// disk's current registry (re-homed later by
+    /// [`BlockDevice::attach_obs`] when a file system mounts).
+    pub fn new(disk: SimDisk, cfg: EngineConfig) -> Self {
+        let clock = Arc::clone(disk.clock());
+        let sched = cfg.scheduler.build();
+        let obs = EngineObs::from_registry(disk.obs());
+        Self {
+            disk,
+            clock,
+            cfg,
+            sched,
+            current_client: None,
+            owners: BTreeMap::new(),
+            per_client_wait: Vec::new(),
+            decisions_traced: 0,
+            depth_high_water: 0,
+            obs,
+        }
+    }
+
+    /// Wraps the core for sharing between an [`EngineDisk`] (owned by the
+    /// file system) and the driving event loop.
+    pub fn into_shared(self) -> Rc<RefCell<EngineCore>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// The underlying disk, mutably (e.g. to arm a crash plan).
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        &mut self.disk
+    }
+
+    /// Consumes the engine and returns the disk (e.g. to extract the
+    /// surviving image after a crash).
+    pub fn into_disk(self) -> SimDisk {
+        self.disk
+    }
+
+    /// Sets the client subsequent submissions are attributed to
+    /// (`None` = unattributed system work such as format or setup).
+    pub fn set_client(&mut self, client: Option<usize>) {
+        self.current_client = client;
+    }
+
+    /// Creates per-client queue-wait counters for clients `0..n`.
+    pub fn register_clients(&mut self, n: usize) {
+        self.per_client_wait = (0..n)
+            .map(|c| self.obs.registry.counter(&format!("engine.c{c:03}.disk_wait_ns")))
+            .collect();
+    }
+
+    /// Re-homes the disk's and the engine's instruments into `registry`.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.disk.attach_obs(registry);
+        self.obs.rehome(registry);
+        for (c, counter) in self.per_client_wait.iter_mut().enumerate() {
+            *counter = registry.adopt_counter(&format!("engine.c{c:03}.disk_wait_ns"), counter);
+        }
+    }
+
+    /// The virtual time at which the device next picks a request: it must
+    /// be idle and the request must have been submitted.
+    fn pick_time(&self) -> Option<u64> {
+        let oldest = self
+            .disk
+            .pending()
+            .iter()
+            .map(|p| p.submitted_at_ns())
+            .min()?;
+        Some(self.disk.busy_until_ns().max(oldest))
+    }
+
+    /// Chooses which pending request the head services at time `t`.
+    ///
+    /// The bounded-wait guarantee lives here, *outside* the pluggable
+    /// policy: if the oldest eligible request has waited `max_wait_ns`,
+    /// it is chosen unconditionally, so no policy can starve a request.
+    fn pick_id(&self, t: u64) -> (u64, bool) {
+        let eligible: Vec<_> = self
+            .disk
+            .pending()
+            .iter()
+            .filter(|p| p.submitted_at_ns() <= t)
+            .collect();
+        debug_assert!(!eligible.is_empty(), "pick_id with no eligible request");
+        let oldest = eligible
+            .iter()
+            .min_by_key(|p| (p.submitted_at_ns(), p.id()))
+            .expect("non-empty");
+        if t - oldest.submitted_at_ns() >= self.cfg.max_wait_ns {
+            return (oldest.id(), true);
+        }
+        (self.sched.pick(self.disk.head(), &eligible), false)
+    }
+
+    /// Services request `id` and runs engine bookkeeping: scheduler
+    /// trace, fairness attribution, and queue gauges.
+    fn complete_with_bookkeeping(&mut self, id: u64, sync: bool) -> DiskResult<IoCompletion> {
+        let done = match self.disk.complete(id, sync) {
+            Ok(done) => done,
+            Err(e) => {
+                // The disk discarded the queue (crash): owners are stale.
+                self.owners.clear();
+                return Err(e);
+            }
+        };
+        self.obs.sched_decisions.inc();
+        if self.decisions_traced < self.cfg.trace_decisions {
+            self.decisions_traced += 1;
+            self.obs.registry.event(
+                done.finish_ns,
+                "sched",
+                format!(
+                    "policy={} id={} kind={} sector={} bytes={} wait_ns={} seq={}",
+                    self.sched.kind().name(),
+                    done.id,
+                    done.kind,
+                    done.sector,
+                    done.bytes,
+                    done.wait_ns,
+                    done.sequential,
+                ),
+            );
+        }
+        if let Some(owners) = self.owners.remove(&done.id) {
+            for c in owners {
+                if let Some(counter) = self.per_client_wait.get(c) {
+                    counter.add(done.wait_ns);
+                }
+            }
+        }
+        if done.wait_ns > self.obs.max_queue_wait.get() {
+            self.obs.max_queue_wait.set(done.wait_ns);
+        }
+        self.obs.queue_depth.set(self.disk.pending_len() as u64);
+        Ok(done)
+    }
+
+    /// Services one scheduler-picked request. The queue must be non-empty.
+    fn service_one(&mut self, sync: bool) -> DiskResult<IoCompletion> {
+        let t = self.pick_time().expect("service_one on an empty queue");
+        let (id, aged) = self.pick_id(t);
+        if aged {
+            self.obs.aged_picks.inc();
+        }
+        self.complete_with_bookkeeping(id, sync)
+    }
+
+    /// Lazily progresses the device up to the current virtual time:
+    /// requests whose service would start strictly before *now* complete
+    /// in the background, without advancing the clock.
+    pub fn pump(&mut self) -> DiskResult<()> {
+        let now = self.clock.now_ns();
+        while let Some(t) = self.pick_time() {
+            if t >= now {
+                break;
+            }
+            self.service_one(false)?;
+        }
+        Ok(())
+    }
+
+    /// Records ownership and queue-depth gauges for a new submission.
+    fn note_submitted(&mut self, id: u64) {
+        if let Some(c) = self.current_client {
+            self.owners.entry(id).or_default().push(c);
+        }
+        let depth = self.disk.pending_len() as u64;
+        self.obs.queue_depth.set(depth);
+        if depth > self.depth_high_water {
+            self.depth_high_water = depth;
+            self.obs.queue_depth_max.set(depth);
+        }
+    }
+
+    /// Services pending requests until none overlaps `[sector, end)`.
+    ///
+    /// Submitting a request that overlaps a queued one would let the
+    /// scheduler reorder dependent accesses; draining first keeps the
+    /// platter state equal to program order.
+    fn drain_overlapping(&mut self, sector: u64, len: usize) -> DiskResult<()> {
+        let end = sector + (len / SECTOR_SIZE) as u64;
+        let before = self.clock.now_ns();
+        let mut cleared_at = before;
+        // Service in scheduler-pick order rather than by targeting the
+        // overlapping id: picks respect the bounded-wait aging guarantee,
+        // so a stream of dependent drains cannot starve an aged request
+        // elsewhere in the queue.
+        while self
+            .disk
+            .pending()
+            .iter()
+            .any(|p| p.sector() < end && sector < p.end_sector())
+        {
+            cleared_at = self.service_one(false)?.finish_ns;
+        }
+        if cleared_at > before {
+            // A write-after-write (or read-after-write) hazard: the
+            // submitter waits until the dependent data is on the platter,
+            // so hazards are a real synchronization point — otherwise an
+            // overloaded submitter could push its whole backlog into the
+            // device's future and backpressure would never engage.
+            self.clock.advance_to_ns(cleared_at);
+            self.obs.dep_stalls.inc();
+            self.obs.dep_stall_ns.add(cleared_at - before);
+        }
+        Ok(())
+    }
+
+    /// Services queued requests (in policy order) until `id` completes,
+    /// then advances the clock to its finish: the caller waited for it.
+    fn wait_for(&mut self, id: u64) -> DiskResult<IoCompletion> {
+        loop {
+            let t = self.pick_time().expect("wait_for a request not in the queue");
+            let (picked, aged) = self.pick_id(t);
+            if aged {
+                self.obs.aged_picks.inc();
+            }
+            let done = self.complete_with_bookkeeping(picked, picked == id)?;
+            if done.id == id {
+                self.clock.advance_to_ns(done.finish_ns);
+                return Ok(done);
+            }
+        }
+    }
+
+    /// Queues an asynchronous write: absorb into an identical pending
+    /// write, coalesce with adjacent ones, and stall the submitter if the
+    /// queue is over depth (backpressure).
+    pub fn submit_async_write(&mut self, sector: u64, buf: &[u8]) -> DiskResult<()> {
+        self.pump()?;
+
+        // Write absorption: an identical-range queued write takes the new
+        // payload in place — no second transfer.
+        let identical = self
+            .disk
+            .pending()
+            .iter()
+            .find(|p| {
+                p.kind() == AccessKind::Write
+                    && p.sector() == sector
+                    && p.bytes() == buf.len() as u64
+            })
+            .map(|p| p.id());
+        if let Some(id) = identical {
+            self.disk.absorb_pending(id, buf);
+            self.obs.absorbed.inc();
+            if let Some(c) = self.current_client {
+                let owners = self.owners.entry(id).or_default();
+                if !owners.contains(&c) {
+                    owners.push(c);
+                }
+            }
+            return Ok(());
+        }
+        self.drain_overlapping(sector, buf.len())?;
+
+        let id = self.disk.submit_write(sector, buf)?;
+        self.note_submitted(id);
+        if self.cfg.coalesce {
+            self.try_coalesce(id);
+        }
+
+        while self.disk.pending_len() > self.cfg.queue_depth {
+            // Queue full: the submitter stalls until a slot frees up.
+            let before = self.clock.now_ns();
+            let done = self.service_one(false)?;
+            if done.finish_ns > before {
+                self.clock.advance_to_ns(done.finish_ns);
+                self.obs.backpressure_stalls.inc();
+                self.obs.backpressure_ns.add(done.finish_ns - before);
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges queued write `id` with sector-adjacent queued writes (one
+    /// merge in each direction), keeping the total transfer under
+    /// `max_transfer_bytes`. Returns the surviving id.
+    fn try_coalesce(&mut self, mut id: u64) -> u64 {
+        // Merge a front neighbour (ends where `id` starts).
+        let me = self.pending_shape(id);
+        let front = self.disk.pending().iter().find_map(|p| {
+            (p.id() != id
+                && p.kind() == AccessKind::Write
+                && p.end_sector() == me.0
+                && p.bytes() + me.2 <= self.cfg.max_transfer_bytes)
+                .then_some(p.id())
+        });
+        if let Some(front_id) = front {
+            self.disk.merge_pending(front_id, id);
+            self.merge_owners(id, front_id);
+            self.obs.coalesced.inc();
+            id = front_id;
+        }
+        // Merge a back neighbour (starts where `id` now ends).
+        let me = self.pending_shape(id);
+        let back = self.disk.pending().iter().find_map(|p| {
+            (p.id() != id
+                && p.kind() == AccessKind::Write
+                && p.sector() == me.1
+                && p.bytes() + me.2 <= self.cfg.max_transfer_bytes)
+                .then_some(p.id())
+        });
+        if let Some(back_id) = back {
+            self.disk.merge_pending(id, back_id);
+            self.merge_owners(back_id, id);
+            self.obs.coalesced.inc();
+        }
+        self.obs.queue_depth.set(self.disk.pending_len() as u64);
+        id
+    }
+
+    /// `(sector, end_sector, bytes)` of pending request `id`.
+    fn pending_shape(&self, id: u64) -> (u64, u64, u64) {
+        let p = self
+            .disk
+            .pending()
+            .iter()
+            .find(|p| p.id() == id)
+            .expect("pending_shape: unknown id");
+        (p.sector(), p.end_sector(), p.bytes())
+    }
+
+    /// Moves the owners of `from` onto `into` (after a merge).
+    fn merge_owners(&mut self, from: u64, into: u64) {
+        if let Some(from_owners) = self.owners.remove(&from) {
+            let into_owners = self.owners.entry(into).or_default();
+            for c in from_owners {
+                if !into_owners.contains(&c) {
+                    into_owners.push(c);
+                }
+            }
+        }
+    }
+
+    /// Performs a synchronous write: queued, scheduled alongside pending
+    /// work, and waited for.
+    pub fn do_sync_write(&mut self, sector: u64, buf: &[u8]) -> DiskResult<()> {
+        self.pump()?;
+        self.drain_overlapping(sector, buf.len())?;
+        let id = self.disk.submit_write(sector, buf)?;
+        self.note_submitted(id);
+        self.wait_for(id)?;
+        Ok(())
+    }
+
+    /// Performs a read. Reads wholly contained in a queued write are
+    /// served from the queue (no head movement — the data is in the
+    /// controller's memory); anything else is queued, scheduled, and
+    /// waited for.
+    pub fn do_read(&mut self, sector: u64, buf: &mut [u8]) -> DiskResult<()> {
+        self.pump()?;
+        let end = sector + (buf.len() / SECTOR_SIZE) as u64;
+        let hit = self.disk.pending().iter().find(|p| {
+            p.kind() == AccessKind::Write && p.sector() <= sector && end <= p.end_sector()
+        });
+        if let Some(p) = hit {
+            let off = (sector - p.sector()) as usize * SECTOR_SIZE;
+            buf.copy_from_slice(&p.data().expect("write without payload")[off..off + buf.len()]);
+            self.obs.queue_read_hits.inc();
+            return Ok(());
+        }
+        self.drain_overlapping(sector, buf.len())?;
+        let id = self.disk.submit_read(sector, buf.len())?;
+        self.note_submitted(id);
+        let done = self.wait_for(id)?;
+        buf.copy_from_slice(done.data.as_deref().expect("read without data"));
+        Ok(())
+    }
+
+    /// Drains the whole queue (in policy order) and waits for the device
+    /// to go idle: the durability barrier.
+    pub fn flush_all(&mut self) -> DiskResult<()> {
+        while self.disk.pending_len() > 0 {
+            self.service_one(false)?;
+        }
+        self.disk.flush()?;
+        self.obs.queue_depth.set(0);
+        Ok(())
+    }
+}
+
+/// A cheap [`BlockDevice`] handle onto a shared [`EngineCore`].
+///
+/// The file system owns one handle; the driving event loop holds another
+/// (via the `Rc`). All I/O the file system issues is routed through the
+/// engine's scheduled queue.
+#[derive(Clone)]
+pub struct EngineDisk(Rc<RefCell<EngineCore>>);
+
+impl EngineDisk {
+    /// Creates a handle onto `core`.
+    pub fn new(core: Rc<RefCell<EngineCore>>) -> Self {
+        Self(core)
+    }
+
+    /// The shared core.
+    pub fn core(&self) -> &Rc<RefCell<EngineCore>> {
+        &self.0
+    }
+}
+
+impl BlockDevice for EngineDisk {
+    fn num_sectors(&self) -> u64 {
+        self.0.borrow().disk.num_sectors()
+    }
+
+    fn read(&mut self, sector: u64, buf: &mut [u8]) -> DiskResult<()> {
+        self.0.borrow_mut().do_read(sector, buf)
+    }
+
+    fn write(&mut self, sector: u64, buf: &[u8], sync: bool) -> DiskResult<()> {
+        if sync {
+            self.0.borrow_mut().do_sync_write(sector, buf)
+        } else {
+            self.0.borrow_mut().submit_async_write(sector, buf)
+        }
+    }
+
+    fn flush(&mut self) -> DiskResult<()> {
+        self.0.borrow_mut().flush_all()
+    }
+
+    fn annotate(&mut self, label: &'static str) {
+        self.0.borrow_mut().disk.annotate(label);
+    }
+
+    fn attach_obs(&mut self, registry: &Registry) {
+        self.0.borrow_mut().attach_obs(registry);
+    }
+}

@@ -1,0 +1,127 @@
+//! Pluggable disk-arm scheduling policies.
+//!
+//! A policy only chooses *which* eligible queued request the head services
+//! next; the engine owns eligibility (a request submitted in the future is
+//! invisible), the bounded-wait guarantee (an aged request preempts the
+//! policy — see [`crate::EngineConfig::max_wait_ns`]), and all accounting.
+//! Every policy must be deterministic: ties break on submission time and
+//! then on request id, never on iteration order of an unordered container.
+
+use sim_disk::SubmittedIo;
+
+/// Which scheduling policy the engine's queue uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// First-come first-served: service in submission order.
+    Fcfs,
+    /// Shortest-seek-time-first: service the request closest to the head.
+    Sstf,
+    /// Circular LOOK: sweep toward higher sectors, then jump back to the
+    /// lowest pending request and sweep again.
+    CLook,
+}
+
+impl SchedulerKind {
+    /// All policies, in a stable order (for sweeps).
+    pub fn all() -> [SchedulerKind; 3] {
+        [SchedulerKind::Fcfs, SchedulerKind::Sstf, SchedulerKind::CLook]
+    }
+
+    /// Stable lower-case name (used in labels and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "fcfs",
+            SchedulerKind::Sstf => "sstf",
+            SchedulerKind::CLook => "clook",
+        }
+    }
+
+    /// Parses a name produced by [`SchedulerKind::name`].
+    pub fn parse(name: &str) -> Option<SchedulerKind> {
+        SchedulerKind::all().into_iter().find(|k| k.name() == name)
+    }
+
+    /// Builds the policy implementation.
+    pub fn build(self) -> Box<dyn IoScheduler> {
+        match self {
+            SchedulerKind::Fcfs => Box::new(Fcfs),
+            SchedulerKind::Sstf => Box::new(Sstf),
+            SchedulerKind::CLook => Box::new(CLook),
+        }
+    }
+}
+
+/// A disk-arm scheduling policy.
+pub trait IoScheduler {
+    /// The policy's kind (for labels and tracing).
+    fn kind(&self) -> SchedulerKind;
+
+    /// Picks the id of the next request to service from `eligible`.
+    ///
+    /// `eligible` is non-empty; `head` is the current head position.
+    fn pick(&self, head: u64, eligible: &[&SubmittedIo]) -> u64;
+}
+
+/// First-come first-served.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fcfs;
+
+impl IoScheduler for Fcfs {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Fcfs
+    }
+
+    fn pick(&self, _head: u64, eligible: &[&SubmittedIo]) -> u64 {
+        eligible
+            .iter()
+            .min_by_key(|p| (p.submitted_at_ns(), p.id()))
+            .expect("eligible set is non-empty")
+            .id()
+    }
+}
+
+/// Shortest-seek-time-first.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Sstf;
+
+impl IoScheduler for Sstf {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Sstf
+    }
+
+    fn pick(&self, head: u64, eligible: &[&SubmittedIo]) -> u64 {
+        eligible
+            .iter()
+            .min_by_key(|p| (p.sector().abs_diff(head), p.submitted_at_ns(), p.id()))
+            .expect("eligible set is non-empty")
+            .id()
+    }
+}
+
+/// Circular LOOK: one-directional elevator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CLook;
+
+impl IoScheduler for CLook {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::CLook
+    }
+
+    fn pick(&self, head: u64, eligible: &[&SubmittedIo]) -> u64 {
+        let ahead = eligible
+            .iter()
+            .filter(|p| p.sector() >= head)
+            .min_by_key(|p| (p.sector(), p.id()));
+        match ahead {
+            Some(p) => p.id(),
+            // Nothing ahead of the head: wrap to the lowest sector.
+            None => {
+                eligible
+                    .iter()
+                    .min_by_key(|p| (p.sector(), p.id()))
+                    .expect("eligible set is non-empty")
+                    .id()
+            }
+        }
+    }
+}

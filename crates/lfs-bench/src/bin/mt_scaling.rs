@@ -1,0 +1,170 @@
+//! Multi-client scaling — the §3 concurrency argument under load.
+//!
+//! N closed-loop clients create small files against LFS and FFS through
+//! the request engine, sweeping client count × I/O scheduler. The run is
+//! *strong scaling*: a fixed total file count is split across clients,
+//! so every cell performs identical work and throughput differences
+//! measure concurrency alone.
+//!
+//! Expected shape: LFS throughput rises with client count until the
+//! disk's sequential bandwidth saturates — concurrent small writes batch
+//! into ever-larger log transfers. FFS stays flat: every create costs
+//! synchronous seeks, so one client is already enough to saturate the
+//! seek rate, and more clients only deepen the queue.
+//!
+//! `--smoke` runs a reduced sweep (for CI): clients {1, 8}, schedulers
+//! {fcfs, clook}, a quarter of the files.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use engine::{run_small_file_create, EngineConfig, EngineCore, EngineDisk, SchedulerKind};
+use ffs_baseline::{Ffs, FfsConfig};
+use lfs_bench::{fmt_rate, print_table, MetricsReport, Row};
+use lfs_core::{Lfs, LfsConfig};
+use sim_disk::{Clock, DiskGeometry, SimDisk};
+
+/// Modern-drive CPU speed (MIPS): fast enough that the disk, not the
+/// CPU, is the contended resource — the regime §3 argues about.
+const CPU_MIPS: f64 = 1000.0;
+/// Size of each created file.
+const FILE_SIZE: usize = 1024;
+/// Mean per-client think time between operations.
+const THINK_NS: u64 = 600_000;
+
+struct Cell {
+    clients: usize,
+    throughput: f64,
+    fairness_millis: u64,
+}
+
+fn engine_rig(sched: SchedulerKind) -> (Rc<std::cell::RefCell<EngineCore>>, EngineDisk, Arc<Clock>) {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::modern(), Arc::clone(&clock));
+    let core = EngineCore::new(disk, EngineConfig::default().with_scheduler(sched)).into_shared();
+    let dev = EngineDisk::new(Rc::clone(&core));
+    (core, dev, clock)
+}
+
+fn run_lfs(
+    sched: SchedulerKind,
+    clients: usize,
+    total_files: usize,
+    metrics: &mut MetricsReport,
+) -> Cell {
+    let (core, dev, clock) = engine_rig(sched);
+    let cfg = LfsConfig::paper()
+        .with_block_size(1024)
+        .with_cache_bytes(1 << 20);
+    let mut fs = Lfs::format(dev, cfg, clock).expect("format LFS");
+    fs.set_cpu_mips(CPU_MIPS);
+    let registry = fs.obs().clone();
+    let mcfg = engine::MultiClientConfig::new(clients, total_files / clients, FILE_SIZE)
+        .with_think_ns(THINK_NS);
+    let report = run_small_file_create(&mut fs, &core, &registry, &mcfg).expect("LFS run");
+    let fsck = fs.fsck().expect("fsck");
+    assert!(fsck.is_clean(), "LFS inconsistent after run:\n{fsck}");
+    metrics.add_lfs(&format!("lfs/{}/c{clients:03}", sched.name()), &fs);
+    Cell {
+        clients,
+        throughput: report.throughput_ops_per_sec(),
+        fairness_millis: report.fairness_millis(),
+    }
+}
+
+fn run_ffs(
+    sched: SchedulerKind,
+    clients: usize,
+    total_files: usize,
+    metrics: &mut MetricsReport,
+) -> Cell {
+    let (core, dev, clock) = engine_rig(sched);
+    let mut fs = Ffs::format(dev, FfsConfig::paper(), clock).expect("format FFS");
+    fs.set_cpu_mips(CPU_MIPS);
+    let registry = fs.obs().clone();
+    let mcfg = engine::MultiClientConfig::new(clients, total_files / clients, FILE_SIZE)
+        .with_think_ns(THINK_NS);
+    let report = run_small_file_create(&mut fs, &core, &registry, &mcfg).expect("FFS run");
+    let fsck = fs.fsck().expect("fsck");
+    assert!(fsck.is_clean(), "FFS inconsistent after run:\n{fsck}");
+    metrics.add_ffs(&format!("ffs/{}/c{clients:03}", sched.name()), &fs);
+    Cell {
+        clients,
+        throughput: report.throughput_ops_per_sec(),
+        fairness_millis: report.fairness_millis(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (client_counts, schedulers, total_files): (&[usize], &[SchedulerKind], usize) = if smoke {
+        (
+            &[1, 8],
+            &[SchedulerKind::Fcfs, SchedulerKind::CLook],
+            512,
+        )
+    } else {
+        (
+            &[1, 2, 4, 8, 16, 32, 64, 128, 256],
+            &SchedulerKind::all(),
+            2048,
+        )
+    };
+
+    let mut metrics = MetricsReport::new("mt_scaling");
+    for &sched in schedulers {
+        let lfs_cells: Vec<Cell> = client_counts
+            .iter()
+            .map(|&n| run_lfs(sched, n, total_files, &mut metrics))
+            .collect();
+        let ffs_cells: Vec<Cell> = client_counts
+            .iter()
+            .map(|&n| run_ffs(sched, n, total_files, &mut metrics))
+            .collect();
+
+        let headers: Vec<String> = client_counts.iter().map(|n| format!("{n} cl")).collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!(
+                "Multi-client small-file create, {} scheduler ({total_files} files total, files/sec)",
+                sched.name()
+            ),
+            "fs",
+            &header_refs,
+            &[
+                Row::new(
+                    "LFS",
+                    lfs_cells.iter().map(|c| fmt_rate(c.throughput)).collect(),
+                ),
+                Row::new(
+                    "FFS",
+                    ffs_cells.iter().map(|c| fmt_rate(c.throughput)).collect(),
+                ),
+                Row::new(
+                    "LFS fairness",
+                    lfs_cells
+                        .iter()
+                        .map(|c| format!("{}", c.fairness_millis))
+                        .collect(),
+                ),
+            ],
+        );
+
+        let lfs_1 = lfs_cells.first().expect("at least one cell");
+        let lfs_peak = lfs_cells
+            .iter()
+            .map(|c| c.throughput)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "  {} summary: LFS 1-client {:.0}/s, peak {:.0}/s ({:.1}x); FFS 1-client {:.0}/s, {}-client {:.0}/s",
+            sched.name(),
+            lfs_1.throughput,
+            lfs_peak,
+            lfs_peak / lfs_1.throughput,
+            ffs_cells.first().expect("cells").throughput,
+            ffs_cells.last().expect("cells").clients,
+            ffs_cells.last().expect("cells").throughput,
+        );
+    }
+    metrics.emit();
+}

@@ -725,18 +725,23 @@ impl<D: BlockDevice> Lfs<D> {
         }
 
         // Bound the in-memory inode table: clean entries reload from the
-        // log via the inode map, so dropping them is free.
+        // log via the inode map, so dropping them is free. Evict in
+        // ascending ino order — a stable choice, where dropping in
+        // HashMap iteration order would make the future read pattern
+        // (and thus every timing metric) vary from process to process.
         let inode_cap = self.cache.capacity_blocks().max(1024);
         if self.inodes.len() > inode_cap {
-            let mut excess = self.inodes.len() - inode_cap;
-            self.inodes.retain(|_, cached| {
-                if cached.dirty || excess == 0 {
-                    true
-                } else {
-                    excess -= 1;
-                    false
-                }
-            });
+            let mut clean: Vec<Ino> = self
+                .inodes
+                .iter()
+                .filter(|(_, cached)| !cached.dirty)
+                .map(|(&ino, _)| ino)
+                .collect();
+            clean.sort();
+            clean.truncate(self.inodes.len() - inode_cap);
+            for ino in clean {
+                self.inodes.remove(&ino);
+            }
         }
 
         // Cleaner activation: clean-segment count below threshold. The

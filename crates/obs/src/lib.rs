@@ -301,6 +301,18 @@ impl Registry {
         canonical
     }
 
+    /// Re-homes a gauge into this registry (see [`adopt_counter`]): the
+    /// canonical gauge takes over the existing gauge's current value.
+    ///
+    /// [`adopt_counter`]: Registry::adopt_counter
+    pub fn adopt_gauge(&self, name: &str, existing: &Gauge) -> Gauge {
+        let canonical = self.gauge(name);
+        if !Arc::ptr_eq(&canonical.0, &existing.0) {
+            canonical.set(existing.get());
+        }
+        canonical
+    }
+
     /// Appends a structured event to the bounded ring.
     pub fn event(&self, at_ns: u64, kind: &'static str, detail: impl Into<String>) {
         let mut inner = self.inner.lock().unwrap();

@@ -18,6 +18,20 @@ pub enum FaultMode {
         /// Number of leading sectors that reach the platter.
         sectors: u64,
     },
+    /// The disk behaves like a drive with a volatile write cache: while
+    /// this mode is armed, asynchronous writes are *held* in a bounded
+    /// in-memory window instead of reaching the platter immediately. A
+    /// held write only persists when it ages out of the window, when a
+    /// [`crate::BlockDevice::flush`] drains the cache (the durability
+    /// barrier), or when a synchronous write forces it through. When the
+    /// crash fires, the triggering write, every held write, **and** every
+    /// still-queued submission are lost together — modelling a power
+    /// failure while an I/O scheduler holds reordered-but-unpersisted
+    /// writes.
+    ReorderWindow {
+        /// Maximum number of asynchronous writes held volatile at once.
+        window: usize,
+    },
 }
 
 /// An armed crash: power fails at a chosen point in the write stream.
@@ -45,6 +59,15 @@ impl CrashPlan {
             mode: FaultMode::TornWrite { sectors },
         }
     }
+
+    /// Crash at write `n` while up to `window` asynchronous writes sit in
+    /// a volatile cache; the held writes are lost along with the trigger.
+    pub fn reorder_at(n: u64, window: usize) -> Self {
+        Self {
+            crash_at_write: n,
+            mode: FaultMode::ReorderWindow { window },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -60,5 +83,9 @@ mod tests {
         let torn = CrashPlan::tear_at(3, 2);
         assert_eq!(torn.crash_at_write, 3);
         assert_eq!(torn.mode, FaultMode::TornWrite { sectors: 2 });
+
+        let reorder = CrashPlan::reorder_at(5, 8);
+        assert_eq!(reorder.crash_at_write, 5);
+        assert_eq!(reorder.mode, FaultMode::ReorderWindow { window: 8 });
     }
 }

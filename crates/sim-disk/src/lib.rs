@@ -22,8 +22,13 @@
 //! * [`IoStats`] / [`AccessTrace`] — per-request accounting used by the
 //!   Figure 1/2 reproduction (count of random/sequential and sync/async
 //!   accesses) and the throughput figures.
-//! * [`CrashPlan`] — write-stream fault injection (drop or tear writes after
-//!   a trigger point) used by the crash-recovery experiments.
+//! * [`CrashPlan`] — write-stream fault injection (drop, tear, or lose a
+//!   reorder window of writes after a trigger point) used by the
+//!   crash-recovery experiments.
+//! * Submit/complete queueing — [`SimDisk::submit_read`],
+//!   [`SimDisk::submit_write`], and [`SimDisk::complete`] expose the device
+//!   queue to an external I/O scheduler (see the `engine` crate), which may
+//!   reorder and coalesce requests before they are serviced.
 
 //! # Examples
 //!
@@ -56,7 +61,7 @@ pub use device::{BlockDevice, DiskError, DiskResult};
 pub use fault::{CrashPlan, FaultMode};
 pub use geometry::DiskGeometry;
 pub use ram::RamDisk;
-pub use sim::SimDisk;
+pub use sim::{IoCompletion, SimDisk, SubmittedIo};
 pub use stats::{AccessKind, AccessRecord, AccessTrace, IoStats};
 
 /// Size of one disk sector in bytes. All devices in this workspace use

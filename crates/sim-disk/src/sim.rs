@@ -1,5 +1,6 @@
 //! The mechanically modelled disk simulator.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use obs::{Counter, Hist, Registry};
@@ -28,6 +29,8 @@ struct DiskObs {
     seek_ns: Counter,
     rotation_ns: Counter,
     transfer_ns: Counter,
+    queue_wait_ns: Counter,
+    coalesced: Counter,
     read_lat: Hist,
     write_lat: Hist,
 }
@@ -47,6 +50,8 @@ impl DiskObs {
             seek_ns: registry.counter("disk.seek_ns"),
             rotation_ns: registry.counter("disk.rotation_ns"),
             transfer_ns: registry.counter("disk.transfer_ns"),
+            queue_wait_ns: registry.counter("disk.queue_wait_ns"),
+            coalesced: registry.counter("disk.coalesced_writes"),
             read_lat: registry.hist("disk.read_service_ns"),
             write_lat: registry.hist("disk.write_service_ns"),
         }
@@ -66,9 +71,105 @@ impl DiskObs {
         self.seek_ns = registry.adopt_counter("disk.seek_ns", &self.seek_ns);
         self.rotation_ns = registry.adopt_counter("disk.rotation_ns", &self.rotation_ns);
         self.transfer_ns = registry.adopt_counter("disk.transfer_ns", &self.transfer_ns);
+        self.queue_wait_ns = registry.adopt_counter("disk.queue_wait_ns", &self.queue_wait_ns);
+        self.coalesced = registry.adopt_counter("disk.coalesced_writes", &self.coalesced);
         self.read_lat = registry.adopt_hist("disk.read_service_ns", &self.read_lat);
         self.write_lat = registry.adopt_hist("disk.write_service_ns", &self.write_lat);
     }
+}
+
+/// A request waiting in the device queue, submitted through the
+/// asynchronous [`SimDisk::submit_read`] / [`SimDisk::submit_write`] path.
+///
+/// A queued request has no effect on the platter, the head, the clock, or
+/// any statistic until [`SimDisk::complete`] services it — an I/O scheduler
+/// sitting above the disk is free to reorder or merge queued requests.
+#[derive(Debug, Clone)]
+pub struct SubmittedIo {
+    id: u64,
+    kind: AccessKind,
+    sector: u64,
+    bytes: u64,
+    submitted_at_ns: u64,
+    /// Payload for writes; `None` for reads.
+    data: Option<Vec<u8>>,
+}
+
+impl SubmittedIo {
+    /// Identifier to pass to [`SimDisk::complete`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Read or write.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// First sector of the request.
+    pub fn sector(&self) -> u64 {
+        self.sector
+    }
+
+    /// Length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// One past the last sector of the request.
+    pub fn end_sector(&self) -> u64 {
+        self.sector + self.bytes / SECTOR_SIZE as u64
+    }
+
+    /// Virtual time at which the request entered the queue.
+    pub fn submitted_at_ns(&self) -> u64 {
+        self.submitted_at_ns
+    }
+
+    /// The write payload (`None` for reads).
+    pub fn data(&self) -> Option<&[u8]> {
+        self.data.as_deref()
+    }
+}
+
+/// The outcome of servicing one queued request via [`SimDisk::complete`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoCompletion {
+    /// Identifier of the completed request.
+    pub id: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// First sector of the request.
+    pub sector: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Virtual time at which the request entered the queue.
+    pub submitted_at_ns: u64,
+    /// Virtual time at which the head started servicing the request.
+    pub start_ns: u64,
+    /// Virtual time at which service finished.
+    pub finish_ns: u64,
+    /// Head time consumed (seek + rotation + transfer).
+    pub service_ns: u64,
+    /// Time spent waiting in the queue (`start_ns - submitted_at_ns`).
+    pub wait_ns: u64,
+    /// True if the request started where the previous one ended.
+    pub sequential: bool,
+    /// Data read from the platter (`None` for writes).
+    pub data: Option<Vec<u8>>,
+}
+
+/// Arguments for recording one serviced request into stats/obs/trace.
+struct Serviced {
+    kind: AccessKind,
+    sector: u64,
+    bytes: u64,
+    sync: bool,
+    issued_at_ns: u64,
+    seek_ns: u64,
+    rotation_ns: u64,
+    transfer_ns: u64,
+    sequential: bool,
 }
 
 /// A disk with a seek + rotation + transfer cost model over a virtual clock.
@@ -99,11 +200,22 @@ pub struct SimDisk {
     head: u64,
     /// Virtual time at which the device becomes idle.
     busy_until_ns: u64,
-    /// Number of write requests serviced so far (for fault injection).
+    /// Number of write requests persisted so far (for fault injection).
+    ///
+    /// Counts in *persist order*: synchronous-path writes count when
+    /// issued, queued writes count when [`SimDisk::complete`] services
+    /// them.
     write_index: u64,
     crash_plan: Option<CrashPlan>,
     crashed: bool,
     next_label: &'static str,
+    /// Requests submitted through the async path, not yet serviced.
+    pending: Vec<SubmittedIo>,
+    next_io_id: u64,
+    /// Volatile write cache, populated only while a
+    /// [`FaultMode::ReorderWindow`] plan is armed: `(sector, data)` of
+    /// asynchronous writes acknowledged but not yet on the platter.
+    held: VecDeque<(u64, Vec<u8>)>,
     obs: DiskObs,
 }
 
@@ -123,6 +235,9 @@ impl SimDisk {
             crash_plan: None,
             crashed: false,
             next_label: "",
+            pending: Vec::new(),
+            next_io_id: 0,
+            held: VecDeque::new(),
             obs: DiskObs::from_registry(&Registry::new()),
         }
     }
@@ -189,6 +304,11 @@ impl SimDisk {
     }
 
     /// Consumes the disk and returns the surviving raw image.
+    ///
+    /// Still-queued submissions and writes held in a volatile
+    /// [`FaultMode::ReorderWindow`] cache are **not** part of the image —
+    /// only flushed or serviced data survives, exactly as after a power
+    /// failure.
     pub fn into_image(self) -> Vec<u8> {
         self.data
     }
@@ -217,47 +337,72 @@ impl SimDisk {
         (seek, rotation, transfer, sequential)
     }
 
-    /// Runs one request through the queue model and updates accounting.
+    /// Runs one synchronous-path request through the queue model and
+    /// updates accounting. The caller is charged from *now*: service
+    /// starts once the device is idle, and synchronous requests advance
+    /// the clock to completion.
     fn account(&mut self, kind: AccessKind, sector: u64, bytes: u64, sync: bool) -> (u64, bool) {
         let issued_at = self.clock.now_ns();
         let start = self.busy_until_ns.max(issued_at);
         let (seek_ns, rotation_ns, transfer_ns, sequential) = self.service(sector, bytes);
-        let service_ns = seek_ns + rotation_ns + transfer_ns;
-        self.busy_until_ns = start + service_ns;
+        self.busy_until_ns = start + seek_ns + rotation_ns + transfer_ns;
         if sync {
             self.clock.advance_to_ns(self.busy_until_ns);
         }
+        self.record_serviced(Serviced {
+            kind,
+            sector,
+            bytes,
+            sync,
+            issued_at_ns: issued_at,
+            seek_ns,
+            rotation_ns,
+            transfer_ns,
+            sequential,
+        });
+        (seek_ns + rotation_ns + transfer_ns, sequential)
+    }
 
+    /// Records one serviced request into stats, obs, and the trace.
+    ///
+    /// This is the **only** place service time enters `busy_ns` and its
+    /// decomposition, and it runs exactly once per serviced request — on
+    /// the synchronous path when the request is issued, on the
+    /// submit/complete path when the request is completed. Queue wait is
+    /// accounted separately ([`IoStats::queue_wait_ns`]) and never counts
+    /// as busy time, so overlapped queueing cannot double-count service.
+    fn record_serviced(&mut self, s: Serviced) {
+        let service_ns = s.seek_ns + s.rotation_ns + s.transfer_ns;
         self.stats.busy_ns += service_ns;
-        self.stats.seek_ns += seek_ns;
-        self.stats.rotation_ns += rotation_ns;
-        self.stats.transfer_ns += transfer_ns;
+        self.stats.seek_ns += s.seek_ns;
+        self.stats.rotation_ns += s.rotation_ns;
+        self.stats.transfer_ns += s.transfer_ns;
         self.obs.busy_ns.add(service_ns);
-        self.obs.seek_ns.add(seek_ns);
-        self.obs.rotation_ns.add(rotation_ns);
-        self.obs.transfer_ns.add(transfer_ns);
-        if sequential {
+        self.obs.seek_ns.add(s.seek_ns);
+        self.obs.rotation_ns.add(s.rotation_ns);
+        self.obs.transfer_ns.add(s.transfer_ns);
+        if s.sequential {
             self.stats.sequential += 1;
             self.obs.sequential.inc();
         } else {
             self.stats.seeks += 1;
             self.obs.seeks.inc();
         }
-        match kind {
+        match s.kind {
             AccessKind::Read => {
                 self.stats.reads += 1;
-                self.stats.bytes_read += bytes;
+                self.stats.bytes_read += s.bytes;
                 self.obs.reads.inc();
-                self.obs.bytes_read.add(bytes);
+                self.obs.bytes_read.add(s.bytes);
                 self.obs.read_lat.record(service_ns);
             }
             AccessKind::Write => {
                 self.stats.writes += 1;
-                self.stats.bytes_written += bytes;
+                self.stats.bytes_written += s.bytes;
                 self.obs.writes.inc();
-                self.obs.bytes_written.add(bytes);
+                self.obs.bytes_written.add(s.bytes);
                 self.obs.write_lat.record(service_ns);
-                if sync {
+                if s.sync {
                     self.stats.sync_writes += 1;
                     self.obs.sync_writes.inc();
                 }
@@ -266,16 +411,252 @@ impl SimDisk {
 
         let label = std::mem::take(&mut self.next_label);
         self.trace.record(AccessRecord {
-            kind,
-            sector,
-            bytes,
-            sync,
-            sequential,
-            issued_at_ns: issued_at,
+            kind: s.kind,
+            sector: s.sector,
+            bytes: s.bytes,
+            sync: s.sync,
+            sequential: s.sequential,
+            issued_at_ns: s.issued_at_ns,
             service_ns,
             label,
         });
-        (service_ns, sequential)
+    }
+
+    /// Evaluates the armed crash plan against the write that is about to
+    /// persist. Returns `Some(persisted_bytes)` if the crash fires; the
+    /// caller must stop with [`DiskError::Crashed`] after applying the
+    /// prefix. On a crash every held and still-queued write is lost.
+    fn crash_check(&mut self, sector: u64, len: usize) -> Option<usize> {
+        let this_write = self.write_index;
+        self.write_index += 1;
+        let plan = self.crash_plan?;
+        if this_write != plan.crash_at_write {
+            return None;
+        }
+        self.crashed = true;
+        let persisted = match plan.mode {
+            FaultMode::DropWrite | FaultMode::ReorderWindow { .. } => 0,
+            FaultMode::TornWrite { sectors } => (sectors as usize * SECTOR_SIZE).min(len),
+        };
+        let held_lost = self.held.len();
+        let queued_lost = self.pending.len();
+        self.held.clear();
+        self.pending.clear();
+        self.obs.registry.event(
+            self.clock.now_ns(),
+            "crash",
+            format!(
+                "write_index={this_write} sector={sector} persisted_bytes={persisted} \
+                 held_lost={held_lost} queued_lost={queued_lost}"
+            ),
+        );
+        Some(persisted)
+    }
+
+    // --- Asynchronous submit/complete path ------------------------------
+
+    /// Queues a read of `bytes` bytes at `sector` without servicing it.
+    ///
+    /// Returns an id to pass to [`SimDisk::complete`]. Queued requests
+    /// cost nothing until completed.
+    pub fn submit_read(&mut self, sector: u64, bytes: usize) -> DiskResult<u64> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        check_request(sector, bytes, self.geometry.num_sectors)?;
+        Ok(self.push_pending(AccessKind::Read, sector, bytes as u64, None))
+    }
+
+    /// Queues a write of `buf` at `sector` without servicing it.
+    ///
+    /// The payload reaches the platter only when [`SimDisk::complete`]
+    /// services the request — **persistence order is completion order** —
+    /// and a crash discards every still-queued submission.
+    pub fn submit_write(&mut self, sector: u64, buf: &[u8]) -> DiskResult<u64> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        check_request(sector, buf.len(), self.geometry.num_sectors)?;
+        Ok(self.push_pending(AccessKind::Write, sector, buf.len() as u64, Some(buf.to_vec())))
+    }
+
+    fn push_pending(
+        &mut self,
+        kind: AccessKind,
+        sector: u64,
+        bytes: u64,
+        data: Option<Vec<u8>>,
+    ) -> u64 {
+        let id = self.next_io_id;
+        self.next_io_id += 1;
+        self.pending.push(SubmittedIo {
+            id,
+            kind,
+            sector,
+            bytes,
+            submitted_at_ns: self.clock.now_ns(),
+            data,
+        });
+        id
+    }
+
+    /// The queued requests, in submission order.
+    pub fn pending(&self) -> &[SubmittedIo] {
+        &self.pending
+    }
+
+    /// Number of queued requests.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Current head position (sector where the last request ended).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Virtual time at which the device becomes idle.
+    pub fn busy_until_ns(&self) -> u64 {
+        self.busy_until_ns
+    }
+
+    /// Merges queued write `back` into queued write `front`.
+    ///
+    /// `front` must end exactly where `back` starts; the merged request
+    /// keeps `front`'s id and the earlier of the two submission times, so
+    /// one head pass services both payloads (write coalescing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is unknown, either request is a read, or the
+    /// requests are not sector-adjacent.
+    pub fn merge_pending(&mut self, front: u64, back: u64) {
+        let back_pos = self
+            .pending
+            .iter()
+            .position(|p| p.id == back)
+            .expect("merge_pending: unknown back id");
+        let back_req = self.pending.remove(back_pos);
+        let front_req = self
+            .pending
+            .iter_mut()
+            .find(|p| p.id == front)
+            .expect("merge_pending: unknown front id");
+        assert_eq!(front_req.kind, AccessKind::Write, "merge_pending: front is a read");
+        assert_eq!(back_req.kind, AccessKind::Write, "merge_pending: back is a read");
+        assert_eq!(
+            front_req.end_sector(),
+            back_req.sector,
+            "merge_pending: requests are not adjacent"
+        );
+        front_req
+            .data
+            .as_mut()
+            .expect("write without payload")
+            .extend_from_slice(back_req.data.as_deref().expect("write without payload"));
+        front_req.bytes += back_req.bytes;
+        front_req.submitted_at_ns = front_req.submitted_at_ns.min(back_req.submitted_at_ns);
+        self.stats.coalesced += 1;
+        self.obs.coalesced.inc();
+    }
+
+    /// Replaces the payload of queued write `id` with `buf` (same length).
+    ///
+    /// Models write absorption: a later write to the same range updates
+    /// the queued request in place instead of queueing a second transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown, is a read, or `buf` has a different
+    /// length than the queued request.
+    pub fn absorb_pending(&mut self, id: u64, buf: &[u8]) {
+        let req = self
+            .pending
+            .iter_mut()
+            .find(|p| p.id == id)
+            .expect("absorb_pending: unknown id");
+        assert_eq!(req.kind, AccessKind::Write, "absorb_pending: target is a read");
+        assert_eq!(req.bytes, buf.len() as u64, "absorb_pending: length mismatch");
+        req.data.as_mut().expect("write without payload").copy_from_slice(buf);
+    }
+
+    /// Services queued request `id`: the head seeks to it, the payload
+    /// moves, and the request is accounted exactly once.
+    ///
+    /// Service starts when the device is free **and** the request has
+    /// been submitted (`start = max(busy_until, submitted_at)`); the gap
+    /// between submission and start is queue wait, which accumulates in
+    /// [`IoStats::queue_wait_ns`] — never in busy time. The clock is
+    /// *not* advanced: the caller decides whether anyone waited. `sync`
+    /// only tags the completion for statistics and tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a queued request.
+    pub fn complete(&mut self, id: u64, sync: bool) -> DiskResult<IoCompletion> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        let pos = self
+            .pending
+            .iter()
+            .position(|p| p.id == id)
+            .expect("complete: unknown io id");
+        let req = self.pending.remove(pos);
+
+        if req.kind == AccessKind::Write {
+            if let Some(persisted) = self.crash_check(req.sector, req.bytes as usize) {
+                let start = req.sector as usize * SECTOR_SIZE;
+                let data = req.data.as_deref().expect("write without payload");
+                self.data[start..start + persisted].copy_from_slice(&data[..persisted]);
+                return Err(DiskError::Crashed);
+            }
+        }
+
+        let start_ns = self.busy_until_ns.max(req.submitted_at_ns);
+        let wait_ns = start_ns - req.submitted_at_ns;
+        let (seek_ns, rotation_ns, transfer_ns, sequential) = self.service(req.sector, req.bytes);
+        let service_ns = seek_ns + rotation_ns + transfer_ns;
+        let finish_ns = start_ns + service_ns;
+        self.busy_until_ns = finish_ns;
+
+        let offset = req.sector as usize * SECTOR_SIZE;
+        let data = match req.kind {
+            AccessKind::Write => {
+                let payload = req.data.as_deref().expect("write without payload");
+                self.data[offset..offset + payload.len()].copy_from_slice(payload);
+                None
+            }
+            AccessKind::Read => Some(self.data[offset..offset + req.bytes as usize].to_vec()),
+        };
+
+        self.stats.queue_wait_ns += wait_ns;
+        self.obs.queue_wait_ns.add(wait_ns);
+        self.record_serviced(Serviced {
+            kind: req.kind,
+            sector: req.sector,
+            bytes: req.bytes,
+            sync,
+            issued_at_ns: req.submitted_at_ns,
+            seek_ns,
+            rotation_ns,
+            transfer_ns,
+            sequential,
+        });
+
+        Ok(IoCompletion {
+            id: req.id,
+            kind: req.kind,
+            sector: req.sector,
+            bytes: req.bytes,
+            submitted_at_ns: req.submitted_at_ns,
+            start_ns,
+            finish_ns,
+            service_ns,
+            wait_ns,
+            sequential,
+            data,
+        })
     }
 }
 
@@ -291,6 +672,19 @@ impl BlockDevice for SimDisk {
         check_request(sector, buf.len(), self.geometry.num_sectors)?;
         let start = sector as usize * SECTOR_SIZE;
         buf.copy_from_slice(&self.data[start..start + buf.len()]);
+        // The volatile write cache serves reads of data it still holds
+        // (overlay in FIFO order so later writes win).
+        let read_range = start..start + buf.len();
+        for (held_sector, held_data) in &self.held {
+            let held_start = *held_sector as usize * SECTOR_SIZE;
+            let held_range = held_start..held_start + held_data.len();
+            let lo = read_range.start.max(held_range.start);
+            let hi = read_range.end.min(held_range.end);
+            if lo < hi {
+                buf[lo - read_range.start..hi - read_range.start]
+                    .copy_from_slice(&held_data[lo - held_range.start..hi - held_range.start]);
+            }
+        }
         // Reads are always synchronous: the caller needs the data.
         self.account(AccessKind::Read, sector, buf.len() as u64, true);
         Ok(())
@@ -302,35 +696,37 @@ impl BlockDevice for SimDisk {
         }
         check_request(sector, buf.len(), self.geometry.num_sectors)?;
 
-        let this_write = self.write_index;
-        self.write_index += 1;
-        let persisted_bytes = match self.crash_plan {
-            Some(plan) if this_write == plan.crash_at_write => {
-                self.crashed = true;
-                match plan.mode {
-                    FaultMode::DropWrite => 0,
-                    FaultMode::TornWrite { sectors } => {
-                        (sectors as usize * SECTOR_SIZE).min(buf.len())
-                    }
-                }
-            }
-            _ => buf.len(),
-        };
-
-        let start = sector as usize * SECTOR_SIZE;
-        self.data[start..start + persisted_bytes].copy_from_slice(&buf[..persisted_bytes]);
-
-        if self.crashed {
+        if let Some(persisted) = self.crash_check(sector, buf.len()) {
             // Power failed mid-request; the caller observes an error.
-            self.obs.registry.event(
-                self.clock.now_ns(),
-                "crash",
-                format!(
-                    "write_index={this_write} sector={sector} persisted_bytes={persisted_bytes}"
-                ),
-            );
+            let start = sector as usize * SECTOR_SIZE;
+            self.data[start..start + persisted].copy_from_slice(&buf[..persisted]);
             return Err(DiskError::Crashed);
         }
+
+        if let Some(CrashPlan {
+            mode: FaultMode::ReorderWindow { window },
+            ..
+        }) = self.crash_plan
+        {
+            if !sync {
+                // Volatile write cache: the drive acks (and is charged)
+                // now, but the payload stays off the platter until it
+                // ages out of the window or a flush drains it.
+                self.account(AccessKind::Write, sector, buf.len() as u64, false);
+                self.held.push_back((sector, buf.to_vec()));
+                while self.held.len() > window {
+                    let (held_sector, held_data) = self.held.pop_front().expect("non-empty");
+                    let start = held_sector as usize * SECTOR_SIZE;
+                    self.data[start..start + held_data.len()].copy_from_slice(&held_data);
+                }
+                return Ok(());
+            }
+            // Synchronous writes are force-unit-access: they persist
+            // immediately, without draining older held writes.
+        }
+
+        let start = sector as usize * SECTOR_SIZE;
+        self.data[start..start + buf.len()].copy_from_slice(buf);
         self.account(AccessKind::Write, sector, buf.len() as u64, sync);
         Ok(())
     }
@@ -338,6 +734,16 @@ impl BlockDevice for SimDisk {
     fn flush(&mut self) -> DiskResult<()> {
         if self.crashed {
             return Err(DiskError::Crashed);
+        }
+        // Service still-queued submissions in submission order, then
+        // drain the volatile cache: flush is the durability barrier.
+        while let Some(front) = self.pending.first() {
+            let id = front.id;
+            self.complete(id, false)?;
+        }
+        while let Some((sector, data)) = self.held.pop_front() {
+            let start = sector as usize * SECTOR_SIZE;
+            self.data[start..start + data.len()].copy_from_slice(&data);
         }
         self.clock.advance_to_ns(self.busy_until_ns);
         Ok(())
@@ -538,6 +944,171 @@ mod tests {
         // The disk now reports through the shared registry.
         shared.counter("probe").inc();
         assert_eq!(disk.obs().snapshot().counter("probe"), 1);
+    }
+
+    #[test]
+    fn submit_complete_round_trips_data_and_accounts_once() {
+        let mut disk = small_disk();
+        let payload = vec![0xA5; SECTOR_SIZE * 2];
+        let w = disk.submit_write(8, &payload).unwrap();
+        // Nothing happens until completion: no stats, no platter change.
+        assert_eq!(disk.stats().writes, 0);
+        assert_eq!(&disk.image()[8 * SECTOR_SIZE..9 * SECTOR_SIZE], &[0u8; SECTOR_SIZE][..]);
+
+        let done = disk.complete(w, false).unwrap();
+        assert_eq!(done.sector, 8);
+        assert_eq!(done.bytes, SECTOR_SIZE as u64 * 2);
+        assert_eq!(disk.stats().writes, 1);
+        assert_eq!(disk.stats().busy_ns, done.service_ns);
+
+        let r = disk.submit_read(8, SECTOR_SIZE * 2).unwrap();
+        let read_done = disk.complete(r, true).unwrap();
+        assert_eq!(read_done.data.as_deref(), Some(&payload[..]));
+        // Completion never advances the clock; the caller decides.
+        assert_eq!(disk.clock().now_ns(), 0);
+    }
+
+    #[test]
+    fn queue_wait_is_tracked_but_never_counts_as_busy() {
+        let mut disk = small_disk();
+        let buf = vec![0; SECTOR_SIZE];
+        let a = disk.submit_write(100, &buf).unwrap();
+        let b = disk.submit_write(700, &buf).unwrap();
+        let c = disk.submit_write(300, &buf).unwrap();
+        // Service out of submission order: b waits behind a, c behind both.
+        let da = disk.complete(a, false).unwrap();
+        let db = disk.complete(b, false).unwrap();
+        let dc = disk.complete(c, false).unwrap();
+        assert_eq!(da.wait_ns, 0);
+        assert_eq!(db.wait_ns, da.service_ns);
+        assert_eq!(dc.wait_ns, da.service_ns + db.service_ns);
+
+        let stats = disk.stats();
+        // Overlapped queueing must not double-count service time: the
+        // busy decomposition stays exact at any queue depth, and queue
+        // wait lives in its own counter.
+        assert_eq!(stats.busy_ns, da.service_ns + db.service_ns + dc.service_ns);
+        assert_eq!(stats.seek_ns + stats.rotation_ns + stats.transfer_ns, stats.busy_ns);
+        assert_eq!(stats.queue_wait_ns, db.wait_ns + dc.wait_ns);
+        let snap = disk.obs().snapshot();
+        assert_eq!(snap.counter("disk.queue_wait_ns"), stats.queue_wait_ns);
+    }
+
+    #[test]
+    fn merge_pending_coalesces_adjacent_writes_into_one_transfer() {
+        let mut disk = small_disk();
+        let a = disk.submit_write(10, &vec![1; SECTOR_SIZE]).unwrap();
+        let b = disk.submit_write(11, &vec![2; SECTOR_SIZE]).unwrap();
+        disk.merge_pending(a, b);
+        assert_eq!(disk.pending_len(), 1);
+        assert_eq!(disk.stats().coalesced, 1);
+
+        let done = disk.complete(a, false).unwrap();
+        assert_eq!(done.bytes, SECTOR_SIZE as u64 * 2);
+        // One request, one head pass.
+        assert_eq!(disk.stats().writes, 1);
+        let image = disk.into_image();
+        assert_eq!(&image[10 * SECTOR_SIZE..11 * SECTOR_SIZE], &vec![1; SECTOR_SIZE][..]);
+        assert_eq!(&image[11 * SECTOR_SIZE..12 * SECTOR_SIZE], &vec![2; SECTOR_SIZE][..]);
+    }
+
+    #[test]
+    fn absorb_pending_replaces_a_queued_payload() {
+        let mut disk = small_disk();
+        let w = disk.submit_write(5, &vec![1; SECTOR_SIZE]).unwrap();
+        disk.absorb_pending(w, &vec![9; SECTOR_SIZE]);
+        disk.complete(w, false).unwrap();
+        assert_eq!(disk.stats().writes, 1, "absorption queues no second transfer");
+        assert_eq!(&disk.into_image()[5 * SECTOR_SIZE..6 * SECTOR_SIZE], &vec![9; SECTOR_SIZE][..]);
+    }
+
+    #[test]
+    fn completion_order_is_persistence_order() {
+        let mut disk = small_disk();
+        disk.arm_crash(CrashPlan::drop_at(u64::MAX)); // Never fires; counts writes.
+        let a = disk.submit_write(10, &vec![1; SECTOR_SIZE]).unwrap();
+        let b = disk.submit_write(20, &vec![2; SECTOR_SIZE]).unwrap();
+        disk.complete(b, false).unwrap();
+        disk.complete(a, false).unwrap();
+        // write_index counts in persist order: b first, then a.
+        assert_eq!(disk.stats().writes, 2);
+    }
+
+    #[test]
+    fn flush_services_queued_submissions() {
+        let mut disk = small_disk();
+        let clock = Arc::clone(disk.clock());
+        disk.submit_write(40, &vec![7; SECTOR_SIZE]).unwrap();
+        disk.submit_write(50, &vec![8; SECTOR_SIZE]).unwrap();
+        disk.flush().unwrap();
+        assert_eq!(disk.pending_len(), 0);
+        assert!(clock.now_ns() > 0);
+        assert_eq!(&disk.image()[40 * SECTOR_SIZE..40 * SECTOR_SIZE + 1], &[7][..]);
+        assert_eq!(&disk.image()[50 * SECTOR_SIZE..50 * SECTOR_SIZE + 1], &[8][..]);
+    }
+
+    #[test]
+    fn crash_at_completion_discards_queued_submissions() {
+        let mut disk = small_disk();
+        disk.arm_crash(CrashPlan::drop_at(0));
+        let a = disk.submit_write(10, &vec![1; SECTOR_SIZE]).unwrap();
+        let _b = disk.submit_write(20, &vec![2; SECTOR_SIZE]).unwrap();
+        assert_eq!(disk.complete(a, false), Err(DiskError::Crashed));
+        assert!(disk.has_crashed());
+        let image = disk.into_image();
+        assert_eq!(&image[10 * SECTOR_SIZE..11 * SECTOR_SIZE], &[0u8; SECTOR_SIZE][..]);
+        assert_eq!(&image[20 * SECTOR_SIZE..21 * SECTOR_SIZE], &[0u8; SECTOR_SIZE][..]);
+    }
+
+    #[test]
+    fn reorder_window_holds_async_writes_until_flush() {
+        let mut disk = small_disk();
+        disk.arm_crash(CrashPlan::reorder_at(u64::MAX, 4));
+        let ones = vec![1; SECTOR_SIZE];
+        disk.write(30, &ones, false).unwrap();
+        // Held, not on the platter — but reads still see it (cache hit).
+        assert_eq!(&disk.image()[30 * SECTOR_SIZE..30 * SECTOR_SIZE + 1], &[0][..]);
+        let mut buf = vec![0; SECTOR_SIZE];
+        disk.read(30, &mut buf).unwrap();
+        assert_eq!(buf, ones);
+        // Flush is the durability barrier.
+        disk.flush().unwrap();
+        assert_eq!(&disk.image()[30 * SECTOR_SIZE..31 * SECTOR_SIZE], &ones[..]);
+    }
+
+    #[test]
+    fn reorder_window_ages_out_oldest_write() {
+        let mut disk = small_disk();
+        disk.arm_crash(CrashPlan::reorder_at(u64::MAX, 2));
+        for i in 0..3u64 {
+            disk.write(10 + i, &vec![i as u8 + 1; SECTOR_SIZE], false).unwrap();
+        }
+        // Window of 2: the oldest write (sector 10) aged out to the platter.
+        assert_eq!(&disk.image()[10 * SECTOR_SIZE..10 * SECTOR_SIZE + 1], &[1][..]);
+        assert_eq!(&disk.image()[11 * SECTOR_SIZE..11 * SECTOR_SIZE + 1], &[0][..]);
+    }
+
+    #[test]
+    fn reorder_window_crash_loses_held_writes_but_not_synced_ones() {
+        let mut disk = small_disk();
+        disk.arm_crash(CrashPlan::reorder_at(3, 8));
+        let synced = vec![9; SECTOR_SIZE];
+        disk.write(5, &synced, true).unwrap(); // write 0: durable (FUA)
+        disk.write(10, &vec![1; SECTOR_SIZE], false).unwrap(); // write 1: held
+        disk.write(11, &vec![2; SECTOR_SIZE], false).unwrap(); // write 2: held
+        assert_eq!(
+            disk.write(12, &vec![3; SECTOR_SIZE], false),
+            Err(DiskError::Crashed) // write 3: trigger
+        );
+        let image = disk.into_image();
+        assert_eq!(&image[5 * SECTOR_SIZE..6 * SECTOR_SIZE], &synced[..]);
+        for sector in [10usize, 11, 12] {
+            assert_eq!(
+                &image[sector * SECTOR_SIZE..sector * SECTOR_SIZE + 1],
+                &[0][..],
+                "held/triggering write to sector {sector} must be lost"
+            );
+        }
     }
 
     #[test]

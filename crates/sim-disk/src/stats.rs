@@ -115,6 +115,14 @@ pub struct IoStats {
     pub rotation_ns: u64,
     /// Busy time spent transferring data (ns).
     pub transfer_ns: u64,
+    /// Time requests spent waiting in the device queue before service (ns).
+    ///
+    /// Only the asynchronous submit/complete path accumulates queue wait;
+    /// it is **not** part of [`IoStats::busy_ns`] — a request waiting in
+    /// the queue does not occupy the head.
+    pub queue_wait_ns: u64,
+    /// Number of pending writes merged into an adjacent pending write.
+    pub coalesced: u64,
 }
 
 impl IoStats {
@@ -152,6 +160,8 @@ impl IoStats {
             seek_ns: self.seek_ns - earlier.seek_ns,
             rotation_ns: self.rotation_ns - earlier.rotation_ns,
             transfer_ns: self.transfer_ns - earlier.transfer_ns,
+            queue_wait_ns: self.queue_wait_ns - earlier.queue_wait_ns,
+            coalesced: self.coalesced - earlier.coalesced,
         }
     }
 }
@@ -227,6 +237,8 @@ mod tests {
             seek_ns: 50,
             rotation_ns: 30,
             transfer_ns: 20,
+            queue_wait_ns: 10,
+            coalesced: 1,
         };
         let later = IoStats {
             reads: 3,
@@ -240,6 +252,8 @@ mod tests {
             seek_ns: 500,
             rotation_ns: 300,
             transfer_ns: 200,
+            queue_wait_ns: 40,
+            coalesced: 3,
         };
         let delta = later.delta_since(&earlier);
         assert_eq!(delta.reads, 2);
@@ -250,6 +264,8 @@ mod tests {
             delta.seek_ns + delta.rotation_ns + delta.transfer_ns,
             delta.busy_ns
         );
+        assert_eq!(delta.queue_wait_ns, 30);
+        assert_eq!(delta.coalesced, 2);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct SmallFileSpec {
     pub files_per_dir: usize,
     /// Payload seed.
     pub seed: u64,
+    /// Tag inserted into every file name. Empty for single-client runs;
+    /// multi-client runs tag each client's files (e.g. `"c007_"`) so many
+    /// clients can churn the *same* directories without name collisions.
+    pub tag: String,
 }
 
 impl SmallFileSpec {
@@ -30,6 +34,7 @@ impl SmallFileSpec {
             file_size: 1024,
             files_per_dir: 100,
             seed: 0x1F5,
+            tag: String::new(),
         }
     }
 
@@ -40,6 +45,7 @@ impl SmallFileSpec {
             file_size: 10 * 1024,
             files_per_dir: 100,
             seed: 0x1F5,
+            tag: String::new(),
         }
     }
 
@@ -50,15 +56,34 @@ impl SmallFileSpec {
             file_size,
             files_per_dir: 50,
             seed: 0x1F5,
+            tag: String::new(),
+        }
+    }
+
+    /// One client's slice of a shared-directory multi-client run.
+    ///
+    /// Every client uses the *same* single directory (`/sf0000`) with its
+    /// client id tagged into each file name. Sharing one directory keeps
+    /// the on-disk hot set (directory data, inode region) identical
+    /// across client counts, so a scaling sweep measures concurrency —
+    /// not allocator placement luck. The payload seed varies per client.
+    pub fn for_client(client: usize, nfiles: usize, file_size: usize) -> Self {
+        Self {
+            nfiles,
+            file_size,
+            files_per_dir: usize::MAX,
+            seed: 0x1F5 ^ (client as u64).wrapping_mul(0x9E37_79B9),
+            tag: format!("c{client:03}_"),
         }
     }
 
     /// Path of file `i`.
     pub fn path(&self, i: usize) -> String {
-        format!("/sf{:04}/f{:06}", i / self.files_per_dir, i)
+        format!("/sf{:04}/{}f{:06}", i / self.files_per_dir, self.tag, i)
     }
 
-    fn dir(&self, d: usize) -> String {
+    /// Path of directory `d` (see [`SmallFileSpec::ndirs`]).
+    pub fn dir(&self, d: usize) -> String {
         format!("/sf{d:04}")
     }
 
@@ -69,9 +94,15 @@ impl SmallFileSpec {
 }
 
 /// Create phase: makes the directories and writes every file.
+///
+/// A directory another client already created is fine — shared-directory
+/// multi-client runs make the same `mkdir` calls from every client.
 pub fn create_phase<F: FileSystem + ?Sized>(fs: &mut F, spec: &SmallFileSpec) -> FsResult<()> {
     for d in 0..spec.ndirs() {
-        fs.mkdir(&spec.dir(d))?;
+        match fs.mkdir(&spec.dir(d)) {
+            Ok(_) | Err(vfs::FsError::AlreadyExists) => {}
+            Err(e) => return Err(e),
+        }
     }
     let data = payload(spec.seed, spec.file_size);
     for i in 0..spec.nfiles {
@@ -119,6 +150,25 @@ mod tests {
         read_phase(&mut fs, &spec).unwrap();
         delete_phase(&mut fs, &spec).unwrap();
         assert!(fs.readdir("/sf0001").unwrap().is_empty());
+    }
+
+    #[test]
+    fn per_client_specs_share_one_directory_without_collisions() {
+        let a = SmallFileSpec::for_client(0, 10, 256);
+        let b = SmallFileSpec::for_client(1, 10, 256);
+        assert_eq!(a.ndirs(), 1);
+        assert_eq!(a.dir(0), b.dir(0), "clients share the directory");
+        assert_ne!(a.path(3), b.path(3), "file names are tagged per client");
+        assert!(a.path(3).starts_with("/sf0000/"));
+        assert_ne!(a.seed, b.seed, "payloads differ per client");
+
+        // Both clients' phases run against one tree.
+        let mut fs = ModelFs::new();
+        create_phase(&mut fs, &a).unwrap();
+        create_phase(&mut fs, &b).unwrap();
+        assert_eq!(fs.readdir("/sf0000").unwrap().len(), 20);
+        delete_phase(&mut fs, &a).unwrap();
+        delete_phase(&mut fs, &b).unwrap();
     }
 
     #[test]
