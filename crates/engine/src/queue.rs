@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use obs::{Counter, Gauge, Registry};
 use sim_disk::{
-    AccessKind, BlockDevice, Clock, DiskResult, IoCompletion, SimDisk, SECTOR_SIZE,
+    AccessKind, BlockDevice, Clock, DiskError, DiskResult, IoCompletion, SimDisk, SECTOR_SIZE,
 };
 
 use crate::sched::{IoScheduler, SchedulerKind};
@@ -41,6 +41,14 @@ pub struct EngineConfig {
     /// How many scheduler decisions to record as trace events (the rest
     /// are counted but not traced, to bound the event ring).
     pub trace_decisions: u64,
+    /// How many times a read failing with a media error
+    /// ([`DiskError::Unreadable`]) is retried before the error is
+    /// surfaced to the caller. Transient faults recover within their
+    /// retry budget; latent faults exhaust it.
+    pub read_retries: u32,
+    /// Base delay for the exponential backoff between read retries, in
+    /// virtual nanoseconds (attempt `n` waits `retry_backoff_ns << n`).
+    pub retry_backoff_ns: u64,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +60,8 @@ impl Default for EngineConfig {
             coalesce: true,
             max_transfer_bytes: 1 << 20,
             trace_decisions: 64,
+            read_retries: 3,
+            retry_backoff_ns: 1_000_000,
         }
     }
 }
@@ -80,6 +90,18 @@ impl EngineConfig {
         self.coalesce = coalesce;
         self
     }
+
+    /// Sets the media-error read-retry budget.
+    pub fn with_read_retries(mut self, read_retries: u32) -> Self {
+        self.read_retries = read_retries;
+        self
+    }
+
+    /// Sets the base retry backoff delay, in virtual nanoseconds.
+    pub fn with_retry_backoff_ns(mut self, retry_backoff_ns: u64) -> Self {
+        self.retry_backoff_ns = retry_backoff_ns;
+        self
+    }
 }
 
 /// The engine's handles into an [`obs::Registry`].
@@ -98,6 +120,8 @@ struct EngineObs {
     dep_stall_ns: Counter,
     sched_decisions: Counter,
     aged_picks: Counter,
+    retries: Counter,
+    retry_exhausted: Counter,
 }
 
 impl EngineObs {
@@ -116,6 +140,8 @@ impl EngineObs {
             dep_stall_ns: registry.counter("engine.dependency_stall_ns"),
             sched_decisions: registry.counter("engine.sched_decisions"),
             aged_picks: registry.counter("engine.aged_picks"),
+            retries: registry.counter("engine.retries"),
+            retry_exhausted: registry.counter("engine.retry_exhausted"),
         }
     }
 
@@ -134,6 +160,8 @@ impl EngineObs {
         self.dep_stall_ns = registry.adopt_counter("engine.dependency_stall_ns", &self.dep_stall_ns);
         self.sched_decisions = registry.adopt_counter("engine.sched_decisions", &self.sched_decisions);
         self.aged_picks = registry.adopt_counter("engine.aged_picks", &self.aged_picks);
+        self.retries = registry.adopt_counter("engine.retries", &self.retries);
+        self.retry_exhausted = registry.adopt_counter("engine.retry_exhausted", &self.retry_exhausted);
     }
 }
 
@@ -272,6 +300,13 @@ impl EngineCore {
     fn complete_with_bookkeeping(&mut self, id: u64, sync: bool) -> DiskResult<IoCompletion> {
         let done = match self.disk.complete(id, sync) {
             Ok(done) => done,
+            Err(e @ DiskError::Unreadable { .. }) => {
+                // A media error fails only this request; the rest of the
+                // queue (and its attribution) is still live.
+                self.owners.remove(&id);
+                self.obs.queue_depth.set(self.disk.pending_len() as u64);
+                return Err(e);
+            }
             Err(e) => {
                 // The disk discarded the queue (crash): owners are stale.
                 self.owners.clear();
@@ -536,11 +571,42 @@ impl EngineCore {
             return Ok(());
         }
         self.drain_overlapping(sector, buf.len())?;
-        let id = self.disk.submit_read(sector, buf.len())?;
-        self.note_submitted(id);
-        let done = self.wait_for(id)?;
-        buf.copy_from_slice(done.data.as_deref().expect("read without data"));
-        Ok(())
+        let mut attempt = 0u32;
+        loop {
+            let id = self.disk.submit_read(sector, buf.len())?;
+            self.note_submitted(id);
+            match self.wait_for(id) {
+                Ok(done) => {
+                    buf.copy_from_slice(done.data.as_deref().expect("read without data"));
+                    return Ok(());
+                }
+                Err(e @ DiskError::Unreadable { .. }) => {
+                    // Media error: the disk consumed the attempt, so a
+                    // retry is a fresh submission. Back off exponentially
+                    // on the virtual clock between attempts, as a real
+                    // driver would between recalibration passes.
+                    if attempt >= self.cfg.read_retries {
+                        self.obs.retry_exhausted.inc();
+                        self.obs.registry.event(
+                            self.clock.now_ns(),
+                            "retry",
+                            format!("exhausted sector={sector} attempts={}", attempt + 1),
+                        );
+                        return Err(e);
+                    }
+                    let delay = self.cfg.retry_backoff_ns << attempt;
+                    attempt += 1;
+                    self.obs.retries.inc();
+                    self.obs.registry.event(
+                        self.clock.now_ns(),
+                        "retry",
+                        format!("read sector={sector} attempt={attempt} backoff_ns={delay}"),
+                    );
+                    self.clock.advance_ns(delay);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Drains the whole queue (in policy order) and waits for the device

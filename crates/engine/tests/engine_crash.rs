@@ -93,7 +93,7 @@ fn lfs_checkpoint_recovery_survives_scheduler_reordering() {
     for i in 0..40 {
         match fs.write_file(&format!("/lost{i:02}"), &vec![0xEE; 2048]) {
             Ok(_) => {}
-            Err(FsError::Disk(DiskError::Crashed)) => {
+            Err(FsError::Io(DiskError::Crashed)) => {
                 crashed = true;
                 break;
             }
@@ -102,7 +102,7 @@ fn lfs_checkpoint_recovery_survives_scheduler_reordering() {
     }
     if !crashed {
         match fs.sync() {
-            Err(FsError::Disk(DiskError::Crashed)) => crashed = true,
+            Err(FsError::Io(DiskError::Crashed)) => crashed = true,
             other => panic!("sync should have crashed, got {other:?}"),
         }
     }

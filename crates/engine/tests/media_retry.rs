@@ -1,0 +1,119 @@
+//! Media-fault retry policy: the engine retries reads that fail with a
+//! media error, backing off exponentially on the virtual clock, and
+//! surfaces a typed error only once the retry budget is exhausted.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use engine::{EngineConfig, EngineCore, EngineDisk};
+use lfs_core::{Lfs, LfsConfig};
+use sim_disk::{
+    BlockDevice, Clock, DiskError, DiskGeometry, MediaFaultPlan, SimDisk, SECTOR_SIZE,
+};
+use vfs::FileSystem;
+
+fn engine(cfg: EngineConfig) -> (Rc<std::cell::RefCell<EngineCore>>, Arc<Clock>) {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(16_384), Arc::clone(&clock));
+    let core = EngineCore::new(disk, cfg).into_shared();
+    (core, clock)
+}
+
+#[test]
+fn transient_media_fault_recovers_within_the_retry_budget() {
+    let (core, clock) = engine(EngineConfig::default());
+    let mut dev = EngineDisk::new(Rc::clone(&core));
+
+    dev.write(40, &vec![0x5A; SECTOR_SIZE], true).unwrap();
+    core.borrow_mut()
+        .disk_mut()
+        .inject_media_faults(MediaFaultPlan::new(7).transient(40, 2));
+
+    let before = clock.now_ns();
+    let mut buf = vec![0u8; SECTOR_SIZE];
+    dev.read(40, &mut buf).unwrap();
+    assert_eq!(buf, vec![0x5A; SECTOR_SIZE]);
+
+    let snap = core.borrow().disk().obs().snapshot();
+    assert_eq!(snap.counter("engine.retries"), 2);
+    assert_eq!(snap.counter("engine.retry_exhausted"), 0);
+    assert_eq!(snap.counter("faults.transient_errors"), 2);
+    // Two backoff waits elapsed on the virtual clock: base + base*2.
+    let base = EngineConfig::default().retry_backoff_ns;
+    assert!(clock.now_ns() - before >= base + (base << 1));
+}
+
+#[test]
+fn latent_media_fault_exhausts_the_retry_budget() {
+    let cfg = EngineConfig::default().with_read_retries(3);
+    let (core, _clock) = engine(cfg);
+    let mut dev = EngineDisk::new(Rc::clone(&core));
+
+    dev.write(9, &vec![0x11; SECTOR_SIZE], true).unwrap();
+    core.borrow_mut()
+        .disk_mut()
+        .inject_media_faults(MediaFaultPlan::new(3).latent(9));
+
+    let mut buf = vec![0u8; SECTOR_SIZE];
+    assert_eq!(dev.read(9, &mut buf), Err(DiskError::Unreadable { sector: 9 }));
+
+    let snap = core.borrow().disk().obs().snapshot();
+    assert_eq!(snap.counter("engine.retries"), 3);
+    assert_eq!(snap.counter("engine.retry_exhausted"), 1);
+    // 1 initial attempt + 3 retries all hit the platter.
+    assert_eq!(snap.counter("faults.unreadable_reads"), 4);
+
+    // A media error fails only that request; the device still services
+    // other sectors afterwards.
+    dev.read(10, &mut buf).unwrap();
+}
+
+#[test]
+fn zero_retry_budget_surfaces_the_first_failure() {
+    let cfg = EngineConfig::default().with_read_retries(0);
+    let (core, _clock) = engine(cfg);
+    let mut dev = EngineDisk::new(Rc::clone(&core));
+
+    core.borrow_mut()
+        .disk_mut()
+        .inject_media_faults(MediaFaultPlan::new(1).transient(5, 1));
+
+    let mut buf = vec![0u8; SECTOR_SIZE];
+    assert_eq!(dev.read(5, &mut buf), Err(DiskError::Unreadable { sector: 5 }));
+    let snap = core.borrow().disk().obs().snapshot();
+    assert_eq!(snap.counter("engine.retries"), 0);
+    assert_eq!(snap.counter("engine.retry_exhausted"), 1);
+}
+
+/// End-to-end: an LFS volume remounted through the engine, with every
+/// sector of the device armed to fail its first read, recovers
+/// transparently — mount-time metadata reads and file reads all ride
+/// the retry policy.
+#[test]
+fn lfs_remount_rides_out_transient_faults_on_every_sector() {
+    let (core, clock) = engine(EngineConfig::default());
+    let dev = EngineDisk::new(Rc::clone(&core));
+    let mut fs = Lfs::format(dev, LfsConfig::small_test(), Arc::clone(&clock)).unwrap();
+    for i in 0..8 {
+        fs.write_file(&format!("/f{i}"), &vec![0xC0 | i as u8; 3000]).unwrap();
+    }
+    fs.sync().unwrap();
+    let dev = fs.into_device();
+
+    // Every sector fails once; writes clear faults, so only reads feel it.
+    let sectors = core.borrow().disk().num_sectors();
+    let mut plan = MediaFaultPlan::new(11);
+    for s in 0..sectors {
+        plan = plan.transient(s, 1);
+    }
+    core.borrow_mut().disk_mut().inject_media_faults(plan);
+
+    let mut fs = Lfs::mount(dev, LfsConfig::small_test(), clock).unwrap();
+    assert!(!fs.is_read_only());
+    for i in 0..8 {
+        assert_eq!(fs.read_file(&format!("/f{i}")).unwrap(), vec![0xC0 | i as u8; 3000]);
+    }
+    let registry = fs.obs().clone();
+    assert!(registry.counter("engine.retries").get() > 0);
+    assert_eq!(registry.counter("engine.retry_exhausted").get(), 0);
+}

@@ -54,6 +54,7 @@ fn bench_summary_codec(c: &mut Criterion) {
             .map(|bno| lfs_core::layout::summary::SummaryEntry {
                 kind: BlockKind::Data { ino: Ino(3), bno },
                 version: 4,
+                crc: 0x5EED_C0DE ^ bno,
             })
             .collect(),
     };

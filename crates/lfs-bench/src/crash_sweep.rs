@@ -1,0 +1,589 @@
+//! Exhaustive crash-consistency torture harness (§4.4).
+//!
+//! A scripted workload with periodic `sync` barriers runs once cleanly to
+//! build a **durability model**: after each barrier, which files (and
+//! which contents) the file system has promised to keep. Then, for every
+//! write index the workload issues — and for each fault mode (dropped
+//! trigger, torn trigger, lost reorder window) — the run is repeated
+//! with a crash armed at that write, the surviving image is remounted,
+//! and the recovered tree is checked against the model:
+//!
+//! * the volume must mount (LFS always; FFS may refuse loudly, which
+//!   counts as *detected*, never as silent corruption),
+//! * `fsck` must report a consistent volume after recovery,
+//! * every file durable at the last barrier at-or-before the crash and
+//!   untouched afterwards must come back byte-identical,
+//! * every recovered file must be a path the workload actually created,
+//!   holding (for LFS) bytes some version of that file actually held —
+//!   stale data is an allowed outcome of a crash, fabricated data never.
+//!
+//! All runs use the virtual clock and seeded fault plans, so a sweep's
+//! output is byte-identical across invocations.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use ffs_baseline::{Ffs, FfsConfig};
+use lfs_core::{Lfs, LfsConfig};
+use sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
+use vfs::{FileKind, FileSystem, FsError};
+
+/// 8 MB tiny-test volume: big enough for the scripted tree, small enough
+/// that thousands of format+replay+remount cycles stay fast.
+const DISK_SECTORS: u64 = 16_384;
+
+/// How a crash treats the triggering write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// The triggering write is dropped entirely.
+    Drop,
+    /// Only a sector prefix of the triggering write persists.
+    Torn,
+    /// The triggering write and a volatile reorder window are lost.
+    Reorder,
+}
+
+impl SweepMode {
+    /// All modes, in sweep order.
+    pub const ALL: [SweepMode; 3] = [SweepMode::Drop, SweepMode::Torn, SweepMode::Reorder];
+
+    /// Stable lowercase name (table rows, metric names).
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepMode::Drop => "drop",
+            SweepMode::Torn => "torn",
+            SweepMode::Reorder => "reorder",
+        }
+    }
+
+    /// The crash plan for this mode at workload write `idx` (an absolute
+    /// device write index). Torn prefixes and window sizes vary
+    /// deterministically with the index so the sweep covers several
+    /// tear/window shapes.
+    fn plan(self, idx: u64) -> CrashPlan {
+        match self {
+            SweepMode::Drop => CrashPlan::drop_at(idx),
+            SweepMode::Torn => CrashPlan::tear_at(idx, idx % 4),
+            SweepMode::Reorder => CrashPlan::reorder_at(idx, 2 + (idx % 7) as usize),
+        }
+    }
+}
+
+/// Which file system a sweep targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepFs {
+    /// The log-structured file system.
+    Lfs,
+    /// The FFS baseline.
+    Ffs,
+}
+
+impl SweepFs {
+    /// Both file systems, in sweep order.
+    pub const ALL: [SweepFs; 2] = [SweepFs::Lfs, SweepFs::Ffs];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepFs::Lfs => "lfs",
+            SweepFs::Ffs => "ffs",
+        }
+    }
+}
+
+/// Sweep shape: workload size and crash-index stride.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Number of write/sync phases in the scripted workload.
+    pub phases: usize,
+    /// Files created per phase.
+    pub files_per_phase: usize,
+    /// Crash-index stride. 1 = exhaustive (every write index).
+    pub stride: u64,
+}
+
+impl SweepSpec {
+    /// The full torture sweep: every crash index of a multi-phase run.
+    pub fn full() -> Self {
+        Self {
+            phases: 6,
+            files_per_phase: 8,
+            stride: 1,
+        }
+    }
+
+    /// A bounded smoke sweep for CI: a smaller script, still exhaustive
+    /// over its (fewer) write indices. LFS batches a whole phase into a
+    /// few segment writes, so it needs several phases to produce a
+    /// meaningful number of crash points.
+    pub fn smoke() -> Self {
+        Self {
+            phases: 4,
+            files_per_phase: 4,
+            stride: 1,
+        }
+    }
+}
+
+/// One scripted operation. The script is pure data so the clean modelling
+/// run and every crash run replay exactly the same sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir(String),
+    Write(String, Vec<u8>),
+    Unlink(String),
+    Sync,
+}
+
+/// Deterministic file contents: phase/index-seeded length and byte fill.
+fn payload(phase: usize, i: usize, salt: usize) -> Vec<u8> {
+    let len = 120 + (phase * 977 + i * 131 + salt * 53) % 3400;
+    let fill = (0x20 + (phase * 31 + i * 7 + salt) % 200) as u8;
+    let mut data = vec![fill; len];
+    // A non-uniform head so torn/rotted prefixes can't masquerade as a
+    // legitimate version of some other file.
+    for (k, b) in data.iter_mut().take(16).enumerate() {
+        *b = b.wrapping_add((k * 17 + phase * 5 + i) as u8);
+    }
+    data
+}
+
+/// Builds the scripted workload: per phase, create a directory of files,
+/// overwrite half of the previous phase's files, delete one, then sync.
+fn script(spec: &SweepSpec) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for p in 0..spec.phases {
+        ops.push(Op::Mkdir(format!("/d{p}")));
+        for i in 0..spec.files_per_phase {
+            ops.push(Op::Write(format!("/d{p}/f{i}"), payload(p, i, 0)));
+        }
+        if p > 0 {
+            for i in 0..spec.files_per_phase / 2 {
+                ops.push(Op::Write(format!("/d{}/f{i}", p - 1), payload(p, i, 1)));
+            }
+            ops.push(Op::Unlink(format!(
+                "/d{}/f{}",
+                p - 1,
+                spec.files_per_phase - 1
+            )));
+        }
+        ops.push(Op::Sync);
+    }
+    ops
+}
+
+/// A durability barrier: the device write count when a `sync` returned,
+/// and the file state the file system promised to keep at that point.
+#[derive(Debug, Clone)]
+struct Barrier {
+    writes_done: u64,
+    durable: BTreeMap<String, Vec<u8>>,
+}
+
+/// The durability model a clean run produces.
+struct Model {
+    /// Device write count after format, before the workload.
+    format_writes: u64,
+    /// Device write count after the whole workload.
+    total_writes: u64,
+    barriers: Vec<Barrier>,
+    /// Every content each path ever held, in write order.
+    history: BTreeMap<String, Vec<Vec<u8>>>,
+    /// Paths the workload unlinked at some point.
+    deleted: BTreeSet<String>,
+    /// Per path: `barriers.len()` at the moment of its last mutation —
+    /// the first barrier index that fully covers the path's final state.
+    touch: BTreeMap<String, usize>,
+}
+
+/// The little extra the sweep needs beyond [`FileSystem`]: the device
+/// write counter (crash indices) and a mount-consistency check.
+trait Rig: FileSystem {
+    fn disk_writes(&self) -> u64;
+    /// Runs the fs's own consistency check; `Ok(None)` = clean,
+    /// `Ok(Some(report))` = problems found.
+    fn check_consistency(&mut self) -> Result<Option<String>, FsError>;
+}
+
+impl Rig for Lfs<SimDisk> {
+    fn disk_writes(&self) -> u64 {
+        self.device().stats().writes
+    }
+    fn check_consistency(&mut self) -> Result<Option<String>, FsError> {
+        let report = self.fsck()?;
+        Ok((!report.is_clean()).then(|| report.to_string()))
+    }
+}
+
+impl Rig for Ffs<SimDisk> {
+    fn disk_writes(&self) -> u64 {
+        self.device().stats().writes
+    }
+    fn check_consistency(&mut self) -> Result<Option<String>, FsError> {
+        let report = self.fsck()?;
+        Ok((!report.is_clean()).then(|| report.to_string()))
+    }
+}
+
+/// Create-or-overwrite: the trait's `write_file` refuses existing paths.
+fn upsert<F: Rig>(fs: &mut F, path: &str, data: &[u8]) -> Result<(), FsError> {
+    let ino = match fs.lookup(path) {
+        Ok(ino) => {
+            fs.truncate(ino, 0)?;
+            ino
+        }
+        Err(FsError::NotFound) => fs.create(path)?,
+        Err(e) => return Err(e),
+    };
+    let mut written = 0;
+    while written < data.len() {
+        written += fs.write_at(ino, written as u64, &data[written..])?;
+    }
+    Ok(())
+}
+
+/// Executes the script cleanly and records the durability model.
+fn dry_run<F: Rig>(fs: &mut F, ops: &[Op], format_writes: u64) -> Model {
+    let mut model = Model {
+        format_writes,
+        total_writes: 0,
+        barriers: Vec::new(),
+        history: BTreeMap::new(),
+        deleted: BTreeSet::new(),
+        touch: BTreeMap::new(),
+    };
+    let mut state: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Mkdir(path) => {
+                fs.mkdir(path).expect("model run mkdir");
+            }
+            Op::Write(path, data) => {
+                upsert(fs, path, data).expect("model run write");
+                state.insert(path.clone(), data.clone());
+                model.history.entry(path.clone()).or_default().push(data.clone());
+                model.touch.insert(path.clone(), model.barriers.len());
+            }
+            Op::Unlink(path) => {
+                fs.unlink(path).expect("model run unlink");
+                state.remove(path);
+                model.deleted.insert(path.clone());
+                model.touch.insert(path.clone(), model.barriers.len());
+            }
+            Op::Sync => {
+                fs.sync().expect("model run sync");
+                model.barriers.push(Barrier {
+                    writes_done: fs.disk_writes(),
+                    durable: state.clone(),
+                });
+            }
+        }
+    }
+    model.total_writes = fs.disk_writes();
+    model
+}
+
+/// Replays the script over a crash-armed volume, stopping at the first
+/// error (the crash). Later ops would all fail against a crashed device.
+fn crash_run<F: Rig>(fs: &mut F, ops: &[Op]) {
+    for op in ops {
+        let r = match op {
+            Op::Mkdir(path) => fs.mkdir(path).map(|_| ()),
+            Op::Write(path, data) => upsert(fs, path, data),
+            Op::Unlink(path) => fs.unlink(path).map(|_| ()),
+            Op::Sync => fs.sync(),
+        };
+        if r.is_err() {
+            return;
+        }
+    }
+}
+
+/// Collects every regular-file path in the recovered tree.
+fn live_files<F: FileSystem>(fs: &mut F) -> Result<BTreeSet<String>, FsError> {
+    let mut out = BTreeSet::new();
+    let mut stack = vec![String::from("/")];
+    while let Some(dir) = stack.pop() {
+        for entry in fs.readdir(&dir)? {
+            let path = if dir == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{dir}/{}", entry.name)
+            };
+            match entry.kind {
+                FileKind::Regular => {
+                    out.insert(path);
+                }
+                FileKind::Directory => stack.push(path),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Checks a recovered volume against the model. `strict_content` demands
+/// every recovered file hold bytes from its real version history (sound
+/// for LFS, whose log never overwrites data in place; FFS in-place
+/// overwrites legitimately tear, so only its untouched-since-barrier
+/// files are content-checked). Returns human-readable violations.
+fn check_recovery<F: Rig>(
+    fs: &mut F,
+    model: &Model,
+    crash_idx: u64,
+    strict_content: bool,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    match fs.check_consistency() {
+        Ok(None) => {}
+        Ok(Some(report)) => problems.push(format!("fsck unclean: {}", report.trim())),
+        Err(e) => {
+            problems.push(format!("fsck failed: {e}"));
+            return problems;
+        }
+    }
+
+    // The newest barrier wholly persisted before the crash: writes with
+    // index < crash_idx reached the platter, the triggering write did not.
+    let guaranteed = model
+        .barriers
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, b)| b.writes_done <= crash_idx);
+    if let Some((g, barrier)) = guaranteed {
+        for (path, content) in &barrier.durable {
+            let untouched_since = model.touch.get(path).copied().unwrap_or(0) <= g;
+            match fs.read_file(path) {
+                Ok(found) => {
+                    if untouched_since {
+                        if &found != content {
+                            problems.push(format!(
+                                "durability: {path} synced at barrier {g} and never \
+                                 touched again, but came back with {} bytes instead of {}",
+                                found.len(),
+                                content.len()
+                            ));
+                        }
+                    } else if strict_content
+                        && !model.history[path].iter().any(|v| v == &found)
+                    {
+                        problems.push(format!(
+                            "integrity: {path} recovered with bytes matching no \
+                             version the workload ever wrote"
+                        ));
+                    }
+                }
+                Err(FsError::NotFound) => {
+                    let legitimately_gone = !untouched_since && model.deleted.contains(path);
+                    if !legitimately_gone {
+                        problems.push(format!(
+                            "durability: {path} synced at barrier {g} is missing"
+                        ));
+                    }
+                }
+                Err(e) => problems.push(format!("durability: reading {path}: {e}")),
+            }
+        }
+    }
+
+    // No fabricated state: every recovered path must be one the workload
+    // created, and (strict mode) hold a content version it really wrote.
+    match live_files(fs) {
+        Ok(found) => {
+            for path in found {
+                match model.history.get(&path) {
+                    None => problems.push(format!("phantom: {path} was never created")),
+                    Some(versions) if strict_content => match fs.read_file(&path) {
+                        Ok(bytes) => {
+                            if !versions.iter().any(|v| v == &bytes) {
+                                problems.push(format!(
+                                    "integrity: {path} holds bytes matching no real version"
+                                ));
+                            }
+                        }
+                        Err(e) => problems.push(format!("integrity: reading {path}: {e}")),
+                    },
+                    Some(_) => {}
+                }
+            }
+        }
+        Err(e) => problems.push(format!("tree walk failed: {e}")),
+    }
+    problems
+}
+
+/// Aggregated result of one (file system × fault mode) sweep.
+#[derive(Debug, Clone)]
+pub struct ModeOutcome {
+    /// Which file system was swept.
+    pub fs: SweepFs,
+    /// Which fault mode was applied.
+    pub mode: SweepMode,
+    /// Crash indices exercised.
+    pub crash_points: u64,
+    /// Remounts that succeeded and recovered to a consistent volume.
+    pub recovered: u64,
+    /// Mounts the file system *refused* with a typed error (detected,
+    /// loud, acceptable for FFS; always a violation for LFS).
+    pub detected_unmountable: u64,
+    /// Model-equivalence violations (silent corruption, lost durable
+    /// data, phantom files). Must be zero.
+    pub violations: u64,
+    /// First few violation descriptions, for the report.
+    pub samples: Vec<String>,
+}
+
+impl ModeOutcome {
+    /// True when the sweep found no silent-corruption or durability
+    /// violations (LFS additionally must never refuse to mount).
+    pub fn is_clean(&self) -> bool {
+        self.violations == 0 && (self.fs == SweepFs::Ffs || self.detected_unmountable == 0)
+    }
+}
+
+fn fresh_disk() -> (SimDisk, Arc<Clock>) {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(DISK_SECTORS), Arc::clone(&clock));
+    (disk, clock)
+}
+
+fn remount_image(image: Vec<u8>) -> (SimDisk, Arc<Clock>) {
+    let clock = Clock::new();
+    let disk = SimDisk::from_image(
+        DiskGeometry::tiny_test(DISK_SECTORS),
+        Arc::clone(&clock),
+        image,
+    );
+    (disk, clock)
+}
+
+/// Sweeps one file system under one fault mode: crash at every
+/// `stride`-th workload write index, remount, check against the model.
+pub fn sweep(fs_kind: SweepFs, mode: SweepMode, spec: &SweepSpec) -> ModeOutcome {
+    let ops = script(spec);
+
+    // Clean pass: build the durability model for this file system.
+    let model = match fs_kind {
+        SweepFs::Lfs => {
+            let (disk, clock) = fresh_disk();
+            let mut fs = Lfs::format(disk, LfsConfig::small_test(), clock).expect("format");
+            let format_writes = fs.disk_writes();
+            dry_run(&mut fs, &ops, format_writes)
+        }
+        SweepFs::Ffs => {
+            let (disk, clock) = fresh_disk();
+            let mut fs = Ffs::format(disk, FfsConfig::small_test(), clock).expect("format");
+            let format_writes = fs.disk_writes();
+            dry_run(&mut fs, &ops, format_writes)
+        }
+    };
+
+    let mut out = ModeOutcome {
+        fs: fs_kind,
+        mode,
+        crash_points: 0,
+        recovered: 0,
+        detected_unmountable: 0,
+        violations: 0,
+        samples: Vec::new(),
+    };
+
+    let mut idx = model.format_writes;
+    while idx < model.total_writes {
+        out.crash_points += 1;
+        let plan = mode.plan(idx);
+        let image = match fs_kind {
+            SweepFs::Lfs => {
+                let (mut disk, clock) = fresh_disk();
+                disk.arm_crash(plan);
+                let mut fs = Lfs::format(disk, LfsConfig::small_test(), clock).expect("format");
+                crash_run(&mut fs, &ops);
+                fs.into_device().into_image()
+            }
+            SweepFs::Ffs => {
+                let (mut disk, clock) = fresh_disk();
+                disk.arm_crash(plan);
+                let mut fs = Ffs::format(disk, FfsConfig::small_test(), clock).expect("format");
+                crash_run(&mut fs, &ops);
+                fs.into_device().into_image()
+            }
+        };
+
+        let problems = match fs_kind {
+            SweepFs::Lfs => {
+                let (disk, clock) = remount_image(image);
+                match Lfs::mount(disk, LfsConfig::small_test(), clock) {
+                    Ok(mut fs) => {
+                        out.recovered += 1;
+                        check_recovery(&mut fs, &model, idx, true)
+                    }
+                    Err(e) => {
+                        // The dual checkpoint regions mean an LFS volume
+                        // must always come back.
+                        out.detected_unmountable += 1;
+                        vec![format!("LFS mount refused after crash: {e}")]
+                    }
+                }
+            }
+            SweepFs::Ffs => {
+                let (disk, clock) = remount_image(image);
+                match Ffs::mount(disk, FfsConfig::small_test(), clock) {
+                    Ok(mut fs) => {
+                        out.recovered += 1;
+                        check_recovery(&mut fs, &model, idx, false)
+                    }
+                    Err(_) => {
+                        // FFS failing loudly is detection, not silence.
+                        out.detected_unmountable += 1;
+                        Vec::new()
+                    }
+                }
+            }
+        };
+        for p in problems {
+            out.violations += 1;
+            if out.samples.len() < 5 {
+                out.samples.push(format!("{} @{idx}: {p}", mode.name()));
+            }
+        }
+        idx += spec.stride;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_is_deterministic() {
+        let a = script(&SweepSpec::smoke());
+        let b = script(&SweepSpec::smoke());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            if let (Op::Write(p1, d1), Op::Write(p2, d2)) = (x, y) {
+                assert_eq!(p1, p2);
+                assert_eq!(d1, d2);
+            }
+        }
+    }
+
+    #[test]
+    fn models_agree_on_barrier_count_across_file_systems() {
+        let spec = SweepSpec::smoke();
+        let ops = script(&spec);
+        let (disk, clock) = fresh_disk();
+        let mut lfs = Lfs::format(disk, LfsConfig::small_test(), clock).unwrap();
+        let w = lfs.disk_writes();
+        let lfs_model = dry_run(&mut lfs, &ops, w);
+        let (disk, clock) = fresh_disk();
+        let mut ffs = Ffs::format(disk, FfsConfig::small_test(), clock).unwrap();
+        let w = ffs.disk_writes();
+        let ffs_model = dry_run(&mut ffs, &ops, w);
+        assert_eq!(lfs_model.barriers.len(), spec.phases);
+        assert_eq!(ffs_model.barriers.len(), spec.phases);
+        // Both runs actually wrote something to crash into.
+        assert!(lfs_model.total_writes > lfs_model.format_writes);
+        assert!(ffs_model.total_writes > ffs_model.format_writes);
+    }
+}

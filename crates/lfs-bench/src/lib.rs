@@ -21,6 +21,8 @@
 //! driven by the WREN IV disk model and the Sun-4/260 CPU model, so runs
 //! are deterministic.
 
+pub mod crash_sweep;
+
 use std::sync::Arc;
 
 use ffs_baseline::{Ffs, FfsConfig};

@@ -31,6 +31,8 @@ impl<D: BlockDevice> Lfs<D> {
     }
 
     fn checkpoint_inner(&mut self) -> FsResult<()> {
+        // A degraded (read-only) file system must not write to the log.
+        self.check_writable()?;
         // 1. All file data, indirect blocks, inodes, and the inode map.
         self.flush(true, false)?;
 
@@ -127,20 +129,30 @@ impl<D: BlockDevice> Lfs<D> {
         if cp.imap_addrs.len() != fs.imap.nblocks() || cp.usage_addrs.len() != fs.usage.nblocks() {
             return Err(FsError::Corrupt("checkpoint metadata counts mismatch"));
         }
+        // A metadata block the media can no longer produce does not fail
+        // the mount: the file system comes up degraded (read-only), with
+        // whatever state the surviving blocks describe.
+        let mut lost_metadata = 0u64;
         for (index, &addr) in cp.imap_addrs.iter().enumerate() {
             if addr.is_nil() {
                 continue; // Block never written: all entries free.
             }
-            let block = fs.read_block_raw(addr)?;
-            fs.imap.load_block(index, addr, &block)?;
+            match fs.read_block_raw(addr) {
+                Ok(block) => fs.imap.load_block(index, addr, &block)?,
+                Err(FsError::Io(_)) => lost_metadata += 1,
+                Err(e) => return Err(e),
+            }
         }
         // Load the usage table.
         for (index, &addr) in cp.usage_addrs.iter().enumerate() {
             if addr.is_nil() {
                 continue;
             }
-            let block = fs.read_block_raw(addr)?;
-            fs.usage.load_block(index, addr, &block)?;
+            match fs.read_block_raw(addr) {
+                Ok(block) => fs.usage.load_block(index, addr, &block)?,
+                Err(FsError::Io(_)) => lost_metadata += 1,
+                Err(e) => return Err(e),
+            }
         }
 
         fs.pos = LogPosition {
@@ -178,7 +190,13 @@ impl<D: BlockDevice> Lfs<D> {
         }
         fs.last_cp_ns = fs.now();
 
-        if fs.cfg.roll_forward {
+        if lost_metadata > 0 {
+            // Unrecoverable checkpoint metadata: mount read-only rather
+            // than refuse service (or, worse, write against partial
+            // state). Roll-forward is skipped — it ends in a checkpoint.
+            fs.obs.scrub_unrecoverable.add(lost_metadata);
+            fs.set_read_only("checkpoint metadata unreadable at mount");
+        } else if fs.cfg.roll_forward {
             crate::recovery::roll_forward(&mut fs)?;
         }
         Ok(fs)

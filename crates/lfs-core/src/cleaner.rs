@@ -27,7 +27,7 @@ use vfs::{FsError, FsResult};
 
 use crate::fs::{idx_dchild, CachedInode, Lfs, IDX_DTOP, IDX_SINGLE};
 use crate::layout::inode::inode_block;
-use crate::layout::summary::{BlockKind, ChunkSummary};
+use crate::layout::summary::{self, BlockKind, ChunkSummary};
 use crate::layout::usage_block::SegState;
 use crate::types::{BlockAddr, SegNo};
 
@@ -276,7 +276,8 @@ impl<D: BlockDevice> Lfs<D> {
                 let block_off = payload_start + i;
                 let addr = BlockAddr(base.0 + block_off as u32);
                 let data = &image[block_off * bs..(block_off + 1) * bs];
-                let (blocks, inodes) = self.clean_entry(entry.kind, entry.version, addr, data)?;
+                let (blocks, inodes) =
+                    self.clean_entry(entry.kind, entry.version, entry.crc, addr, data)?;
                 live_blocks += blocks;
                 live_inodes += inodes;
             }
@@ -292,10 +293,17 @@ impl<D: BlockDevice> Lfs<D> {
     }
 
     /// Classifies one logged block and relocates it if live.
+    ///
+    /// `crc` is the block's end-to-end checksum from the summary entry:
+    /// a live block whose disk bytes no longer match it is never copied
+    /// forward (that would launder the corruption under a fresh
+    /// checksum) — it is recovered from a cached copy when one exists,
+    /// and otherwise reported as unrecoverable.
     fn clean_entry(
         &mut self,
         kind: BlockKind,
         version: u32,
+        crc: u32,
         addr: BlockAddr,
         data: &[u8],
     ) -> FsResult<(u64, u64)> {
@@ -327,6 +335,10 @@ impl<D: BlockDevice> Lfs<D> {
                     // Clean cached copy: just re-dirty it.
                     self.cache.get_mut(key, now);
                 } else {
+                    if summary::block_checksum(data) != crc {
+                        self.note_unrecoverable("file data block", addr);
+                        return Ok((0, 0));
+                    }
                     self.cache
                         .insert_dirty(key, data.to_vec().into_boxed_slice(), now);
                 }
@@ -377,12 +389,25 @@ impl<D: BlockDevice> Lfs<D> {
                 if self.cache.contains(key) {
                     self.cache.get_mut(key, now);
                 } else {
+                    if summary::block_checksum(data) != crc {
+                        self.note_unrecoverable("indirect block", addr);
+                        return Ok((0, 0));
+                    }
                     self.cache
                         .insert_dirty(key, data.to_vec().into_boxed_slice(), now);
                 }
                 Ok((1, 0))
             }
             BlockKind::InodeBlock => {
+                if summary::block_checksum(data) != crc {
+                    // Recover the inodes memory still holds; anything
+                    // only the rotten block knew is lost.
+                    let (recovered, lost) = self.salvage_inode_block(addr)?;
+                    for _ in 0..lost {
+                        self.note_unrecoverable("inode block", addr);
+                    }
+                    return Ok((0, recovered));
+                }
                 let mut live = 0u64;
                 for (slot, inode) in inode_block::unpack_all(data)? {
                     let Ok(entry) = self.imap.get(inode.ino) else {
@@ -418,5 +443,28 @@ impl<D: BlockDevice> Lfs<D> {
             // stale copies are simply dead.
             BlockKind::UsageBlock { .. } => Ok((0, 0)),
         }
+    }
+
+    /// Salvages a corrupt on-disk inode block: every live inode it held
+    /// that is still in the in-memory table is re-dirtied (the next flush
+    /// rewrites it at a new address). Returns `(recovered, lost)` inode
+    /// counts; the caller decides how to account the losses.
+    pub(crate) fn salvage_inode_block(&mut self, addr: BlockAddr) -> FsResult<(u64, u64)> {
+        let residents: Vec<vfs::Ino> = self.imap.allocated_inos().collect();
+        let mut recovered = 0u64;
+        let mut lost = 0u64;
+        for ino in residents {
+            if self.imap.get(ino)?.addr != addr {
+                continue;
+            }
+            match self.inodes.get_mut(&ino) {
+                Some(cached) => {
+                    cached.dirty = true;
+                    recovered += 1;
+                }
+                None => lost += 1,
+            }
+        }
+        Ok((recovered, lost))
     }
 }

@@ -48,6 +48,7 @@ impl<D: BlockDevice> Lfs<D> {
         }
         if disk_addr.is_some() {
             let data = self.read_block_raw(disk_addr)?;
+            self.verify_block("indirect block", disk_addr, &data)?;
             self.charge(CpuCost::MapBlock);
             self.cache.insert_clean(key, data.into_boxed_slice());
             return Ok(true);
@@ -194,6 +195,7 @@ impl<D: BlockDevice> Lfs<D> {
         }
         self.dev.annotate("file-data");
         let data = self.read_block_raw(addr)?;
+        self.verify_block("file data block", addr, &data)?;
         self.cache
             .insert_clean(key, data.clone().into_boxed_slice());
         Ok(Some(data))

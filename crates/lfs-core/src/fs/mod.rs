@@ -88,6 +88,15 @@ pub struct Lfs<D: BlockDevice> {
     pub(crate) in_maintenance: bool,
     /// Segments kept in reserve so a checkpoint can always complete.
     pub(crate) reserve_segments: usize,
+    /// Expected end-to-end CRC-32C of every device block this mount has
+    /// written or replayed, indexed by [`BlockAddr`]. `None` means the
+    /// block's checksum is unknown (never seen), so its reads cannot be
+    /// verified until a scrub or roll-forward records it.
+    pub(crate) block_crc: Vec<Option<u32>>,
+    /// Set when the file system has degraded to read-only: an
+    /// unrecoverable corruption was found, or the mount could not reload
+    /// its metadata. Mutating operations fail with [`FsError::ReadOnly`].
+    pub(crate) read_only: bool,
 }
 
 /// In-progress chunk state during a flush.
@@ -154,6 +163,7 @@ impl<D: BlockDevice> Lfs<D> {
         );
         let reserve = 2 + cfg.cache_bytes.div_ceil(seg_bytes as usize);
         let reserve = reserve.min(sb.nsegments as usize / 4).max(1);
+        let total_blocks = (dev.capacity_bytes() / sb.block_size as u64) as usize;
         let mut fs = Self {
             dev,
             sb,
@@ -177,6 +187,8 @@ impl<D: BlockDevice> Lfs<D> {
             pending_next_seg: None,
             in_maintenance: false,
             reserve_segments: reserve,
+            block_crc: vec![None; total_blocks],
+            read_only: false,
         };
         fs.usage.set_state(SegNo(0), SegState::Active);
         fs
@@ -247,6 +259,30 @@ impl<D: BlockDevice> Lfs<D> {
         self.inodes.len()
     }
 
+    /// Returns true if the file system has degraded to read-only.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Fails with [`FsError::ReadOnly`] if the file system has degraded.
+    pub(crate) fn check_writable(&self) -> FsResult<()> {
+        if self.read_only {
+            Err(FsError::ReadOnly)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Degrades the file system to read-only and records why.
+    pub(crate) fn set_read_only(&mut self, why: &str) {
+        if !self.read_only {
+            self.read_only = true;
+            self.obs
+                .registry
+                .event(self.clock.now_ns(), "read-only", why.to_string());
+        }
+    }
+
     /// Current virtual time.
     pub(crate) fn now(&self) -> u64 {
         self.clock.now_ns()
@@ -280,9 +316,68 @@ impl<D: BlockDevice> Lfs<D> {
             return Ok(data.to_vec());
         }
         let data = self.read_block_raw(addr)?;
+        self.verify_block("metadata block", addr, &data)?;
         self.cache
             .insert_clean(key, data.clone().into_boxed_slice());
         Ok(data)
+    }
+
+    // ------------------------------------------------------------------
+    // End-to-end block integrity.
+    // ------------------------------------------------------------------
+
+    /// Remembers the expected end-to-end checksum of block `addr`.
+    pub(crate) fn record_block_crc(&mut self, addr: BlockAddr, crc: u32) {
+        if let Some(slot) = self.block_crc.get_mut(addr.0 as usize) {
+            *slot = Some(crc);
+        }
+    }
+
+    /// The expected checksum of block `addr`, if known.
+    pub(crate) fn expected_crc(&self, addr: BlockAddr) -> Option<u32> {
+        self.block_crc.get(addr.0 as usize).copied().flatten()
+    }
+
+    /// Verifies a block just read from the log against its recorded
+    /// end-to-end checksum. Blocks with no recorded checksum pass
+    /// unverified; a mismatch is reported as a typed
+    /// [`FsError::Corruption`], never returned silently.
+    pub(crate) fn verify_block(
+        &mut self,
+        what: &'static str,
+        addr: BlockAddr,
+        data: &[u8],
+    ) -> FsResult<()> {
+        let Some(expected) = self.expected_crc(addr) else {
+            return Ok(());
+        };
+        if crate::layout::summary::block_checksum(data) != expected {
+            self.obs.corruptions_detected.inc();
+            self.obs.registry.event(
+                self.clock.now_ns(),
+                "corruption",
+                format!("what={what} addr={}", addr.0),
+            );
+            return Err(FsError::Corruption {
+                what,
+                addr: addr.0 as u64,
+            });
+        }
+        self.obs.verified_reads.inc();
+        Ok(())
+    }
+
+    /// Records that the only remaining copy of a live block failed its
+    /// checksum: counts the loss and degrades the mount to read-only.
+    pub(crate) fn note_unrecoverable(&mut self, what: &'static str, addr: BlockAddr) {
+        self.obs.corruptions_detected.inc();
+        self.obs.scrub_unrecoverable.inc();
+        self.obs.registry.event(
+            self.clock.now_ns(),
+            "corruption",
+            format!("unrecoverable {what} addr={}", addr.0),
+        );
+        self.set_read_only("unrecoverable corruption in live data");
     }
 
     // ------------------------------------------------------------------
@@ -433,6 +528,18 @@ impl<D: BlockDevice> Lfs<D> {
             SegNo::NIL
         };
         let chunk = builder.finish(self.pos.seq, self.pos.partial, now, next_seg);
+        // Remember what every block of this chunk should read back as:
+        // summary blocks lose any stale checksum from a previous segment
+        // incarnation, payload blocks get the freshly stamped one.
+        for b in 0..chunk.blocks_used {
+            if let Some(slot) = self.block_crc.get_mut((chunk.addr.0 + b) as usize) {
+                *slot = None;
+            }
+        }
+        for (i, &crc) in chunk.entry_crcs.iter().enumerate() {
+            let addr = BlockAddr(chunk.addr.0 + chunk.summary_blocks + i as u32);
+            self.record_block_crc(addr, crc);
+        }
         self.dev.annotate("log-chunk");
         self.dev
             .write(self.sector_of(chunk.addr), &chunk.bytes, false)?;
@@ -708,7 +815,7 @@ impl<D: BlockDevice> Lfs<D> {
     /// Called at the end of every public operation: applies the paper's
     /// segment-write timing rules and keeps clean segments available.
     pub(crate) fn maybe_writeback(&mut self) -> FsResult<()> {
-        if self.in_maintenance {
+        if self.in_maintenance || self.read_only {
             return Ok(());
         }
         let now = self.now();

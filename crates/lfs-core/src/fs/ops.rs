@@ -30,6 +30,7 @@ impl<D: BlockDevice> Lfs<D> {
 
     /// Creates a file or directory node under `path`.
     fn create_node(&mut self, path: &str, kind: FileKind) -> FsResult<Ino> {
+        self.check_writable()?;
         self.charge(CpuCost::CreateFile);
         let (parent, name) = self.resolve_parent(path)?;
         vfs::path::validate_name(name)?;
@@ -97,6 +98,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.op_unlink,
             |fs| {
+                fs.check_writable()?;
                 fs.charge(CpuCost::RemoveFile);
                 let (parent, name) = fs.resolve_parent(path)?;
                 let (ino, kind) = fs.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
@@ -115,6 +117,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.op_rmdir,
             |fs| {
+                fs.check_writable()?;
                 fs.charge(CpuCost::RemoveFile);
                 let (parent, name) = fs.resolve_parent(path)?;
                 let (ino, kind) = fs.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
@@ -136,6 +139,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.op_rename,
             |fs| {
+                fs.check_writable()?;
                 fs.charge(CpuCost::CreateFile);
                 let from_parts = vfs::path::split(from)?;
                 let to_parts = vfs::path::split(to)?;
@@ -177,6 +181,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.op_link,
             |fs| {
+                fs.check_writable()?;
                 fs.charge(CpuCost::CreateFile);
                 let components = vfs::path::split(existing)?;
                 let src = fs.resolve_components(&components)?;
@@ -215,6 +220,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.op_write,
             |fs| {
+                fs.check_writable()?;
                 fs.charge(CpuCost::Syscall);
                 if fs.inode(ino)?.kind == FileKind::Directory {
                     return Err(FsError::IsADirectory);
@@ -230,6 +236,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.op_truncate,
             |fs| {
+                fs.check_writable()?;
                 fs.charge(CpuCost::Syscall);
                 if fs.inode(ino)?.kind == FileKind::Directory {
                     return Err(FsError::IsADirectory);
@@ -274,6 +281,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.op_fsync,
             |fs| {
+                fs.check_writable()?;
                 fs.charge(CpuCost::Syscall);
                 fs.ensure_inode(ino)?;
                 if fs.cfg.fsync_checkpoints {
@@ -295,6 +303,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.op_sync,
             |fs| {
+                fs.check_writable()?;
                 fs.charge(CpuCost::Syscall);
                 fs.checkpoint()?;
                 fs.dev.flush()?;

@@ -68,6 +68,12 @@ pub struct SummaryEntry {
     /// The owning file's version number at write time (zero for
     /// metadata blocks). §4.3.3 step 1 uses this for fast liveness checks.
     pub version: u32,
+    /// CRC-32C over the described block's full content, computed at log
+    /// write time. End-to-end integrity: a reader recomputes this over
+    /// the bytes the device returned and any mismatch means the device
+    /// silently corrupted the block (bit-rot), independent of the
+    /// whole-payload `data_crc` used for torn-write detection.
+    pub crc: u32,
 }
 
 impl SummaryEntry {
@@ -86,6 +92,7 @@ impl SummaryEntry {
         w.u32(ino);
         w.u32(param);
         w.u32(self.version);
+        w.u32(self.crc);
     }
 
     fn decode(r: &mut ByteReader<'_>) -> FsResult<Self> {
@@ -95,6 +102,7 @@ impl SummaryEntry {
         let ino = Ino(r.u32().ok_or(FsError::Corrupt("summary entry truncated"))?);
         let param = r.u32().ok_or(FsError::Corrupt("summary entry truncated"))?;
         let version = r.u32().ok_or(FsError::Corrupt("summary entry truncated"))?;
+        let crc = r.u32().ok_or(FsError::Corrupt("summary entry truncated"))?;
         let kind = match tag {
             1 => BlockKind::Data { ino, bno: param },
             2 => BlockKind::IndSingle { ino },
@@ -105,7 +113,7 @@ impl SummaryEntry {
             7 => BlockKind::UsageBlock { index: param },
             _ => return Err(FsError::Corrupt("bad summary entry tag")),
         };
-        Ok(Self { kind, version })
+        Ok(Self { kind, version, crc })
     }
 }
 
@@ -261,6 +269,12 @@ pub fn data_checksum(payload: &[u8]) -> u32 {
     crc32(payload)
 }
 
+/// Computes the per-block end-to-end checksum recorded in
+/// [`SummaryEntry::crc`] (CRC-32C over the block's full content).
+pub fn block_checksum(block: &[u8]) -> u32 {
+    crate::util::crc32c(block)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,14 +294,17 @@ mod tests {
                         bno: 9,
                     },
                     version: 2,
+                    crc: 0x1111_2222,
                 },
                 SummaryEntry {
                     kind: BlockKind::InodeBlock,
                     version: 0,
+                    crc: 0x3333_4444,
                 },
                 SummaryEntry {
                     kind: BlockKind::ImapBlock { index: 3 },
                     version: 0,
+                    crc: 0,
                 },
                 SummaryEntry {
                     kind: BlockKind::IndDoubleChild {
@@ -295,6 +312,7 @@ mod tests {
                         outer: 17,
                     },
                     version: 2,
+                    crc: 0xFFFF_FFFF,
                 },
             ],
         }
@@ -328,7 +346,7 @@ mod tests {
         assert_eq!(ChunkSummary::summary_blocks(254, 4096), 2);
         assert_eq!(ChunkSummary::summary_blocks(1, 4096), 1);
         let max_one = ChunkSummary::max_entries(1, 4096);
-        assert_eq!(max_one, (4096 - HEADER_SIZE) / 16);
+        assert_eq!(max_one, (4096 - HEADER_SIZE) / SUMMARY_ENTRY_SIZE);
         assert_eq!(ChunkSummary::summary_blocks(max_one, 4096), 1);
         assert_eq!(ChunkSummary::summary_blocks(max_one + 1, 4096), 2);
     }

@@ -49,6 +49,7 @@ pub mod imap;
 pub mod layout;
 pub mod log;
 pub mod recovery;
+pub mod scrub;
 pub mod stats;
 pub mod types;
 pub mod usage;
@@ -58,6 +59,7 @@ pub use cleaner::{CleanerConfig, CleanerPolicy};
 pub use config::LfsConfig;
 pub use fs::Lfs;
 pub use fsck::FsckReport;
+pub use scrub::ScrubReport;
 pub use stats::LfsStats;
 pub use types::{BlockAddr, SegNo};
 

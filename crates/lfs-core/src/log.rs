@@ -56,6 +56,10 @@ pub struct FinishedChunk {
     pub summary_blocks: u32,
     /// Payload blocks written.
     pub payload_blocks: u32,
+    /// Per-payload-block end-to-end checksums, in payload order — the
+    /// same values stamped into the summary entries, exposed so the
+    /// writer can remember what each block should read back as.
+    pub entry_crcs: Vec<u32>,
 }
 
 /// Accumulates blocks for one chunk.
@@ -136,7 +140,13 @@ impl ChunkBuilder {
         assert!(!self.is_full(), "chunk is full");
         assert_eq!(data.len(), self.block_size, "payload block size mismatch");
         let index = self.entries.len() as u32;
-        self.entries.push(SummaryEntry { kind, version });
+        // The per-block CRC is stamped in `finish` so `replace_payload`
+        // patches stay covered; a placeholder keeps the entry well-formed.
+        self.entries.push(SummaryEntry {
+            kind,
+            version,
+            crc: 0,
+        });
         self.payload.extend_from_slice(data);
         BlockAddr(self.start_addr.0 + self.summary_blocks as u32 + index)
     }
@@ -165,7 +175,15 @@ impl ChunkBuilder {
         timestamp_ns: u64,
         next_seg: SegNo,
     ) -> FinishedChunk {
-        let payload_blocks = self.entries.len() as u32;
+        let mut entries = self.entries;
+        // Stamp each entry's end-to-end checksum over the final payload
+        // bytes (after any `replace_payload` patches).
+        for (i, entry) in entries.iter_mut().enumerate() {
+            let start = i * self.block_size;
+            entry.crc = summary::block_checksum(&self.payload[start..start + self.block_size]);
+        }
+        let payload_blocks = entries.len() as u32;
+        let entry_crcs: Vec<u32> = entries.iter().map(|e| e.crc).collect();
         // The summary area was sized for the worst case; the actual
         // summary may need fewer blocks, but we keep the reserved size so
         // payload addresses remain valid. Extra summary blocks are dead
@@ -177,7 +195,7 @@ impl ChunkBuilder {
             next_seg,
             data_crc: summary::data_checksum(&self.payload),
             reserved_blocks: self.summary_blocks as u32,
-            entries: self.entries,
+            entries,
         };
         let mut bytes = summary.encode(self.block_size);
         let reserved = self.summary_blocks * self.block_size;
@@ -193,6 +211,7 @@ impl ChunkBuilder {
             blocks_used: self.summary_blocks as u32 + payload_blocks,
             summary_blocks: self.summary_blocks as u32,
             payload_blocks,
+            entry_crcs,
         }
     }
 }
@@ -276,6 +295,30 @@ mod tests {
         assert_eq!(
             summary.data_crc,
             summary::data_checksum(&chunk.bytes[payload_start..])
+        );
+    }
+
+    #[test]
+    fn finish_stamps_per_block_checksums_after_patches() {
+        let mut b = ChunkBuilder::new(SegNo(1), BlockAddr(0), 0, 8, 512).unwrap();
+        b.add(
+            BlockKind::Data {
+                ino: Ino(2),
+                bno: 0,
+            },
+            1,
+            &[0x11; 512],
+        );
+        b.add(BlockKind::UsageBlock { index: 0 }, 0, &[0x22; 512]);
+        // Patch the usage block after placement, as the checkpoint does.
+        b.replace_payload(1, &[0x33; 512]);
+        let chunk = b.finish(1, 0, 0, SegNo::NIL);
+        let summary = ChunkSummary::decode(&chunk.bytes).unwrap();
+        assert_eq!(summary.entries[0].crc, summary::block_checksum(&[0x11; 512]));
+        assert_eq!(
+            summary.entries[1].crc,
+            summary::block_checksum(&[0x33; 512]),
+            "the patched bytes must be the covered bytes"
         );
     }
 

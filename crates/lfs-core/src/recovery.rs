@@ -188,6 +188,9 @@ fn apply_chunk<D: BlockDevice>(
     for (i, entry) in chunk.entries.iter().enumerate() {
         let addr = BlockAddr(seg_base.0 + payload_start + i as u32);
         let data = &payload[i * bs..(i + 1) * bs];
+        // The replayed tail's per-block checksums become the expected
+        // values for future reads of these blocks.
+        fs.record_block_crc(addr, entry.crc);
         match entry.kind {
             BlockKind::InodeBlock => {
                 for (slot, inode) in inode_block::unpack_all(data)? {

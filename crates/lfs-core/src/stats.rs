@@ -46,6 +46,20 @@ pub struct LfsStats {
     pub rollforward_chunks: u64,
     /// Inodes recovered by roll-forward at the last mount.
     pub rollforward_inodes: u64,
+    /// Log reads verified against their per-block checksum.
+    pub verified_reads: u64,
+    /// Checksum mismatches detected on the read path.
+    pub corruptions_detected: u64,
+    /// Segments walked by the scrub pass.
+    pub scrub_segments: u64,
+    /// Blocks whose checksums the scrub pass verified.
+    pub scrub_blocks_verified: u64,
+    /// Bad or rotten live blocks the scrub pass detected.
+    pub scrub_bad_blocks: u64,
+    /// Bad live blocks the scrub pass rewrote to the log head.
+    pub scrub_relocated: u64,
+    /// Bad live blocks the scrub pass could not recover.
+    pub scrub_unrecoverable: u64,
 }
 
 impl LfsStats {
@@ -93,6 +107,13 @@ pub(crate) struct LfsObs {
     pub cleaner_passes: Counter,
     pub rollforward_chunks: Counter,
     pub rollforward_inodes: Counter,
+    pub verified_reads: Counter,
+    pub corruptions_detected: Counter,
+    pub scrub_segments: Counter,
+    pub scrub_blocks_verified: Counter,
+    pub scrub_bad_blocks: Counter,
+    pub scrub_relocated: Counter,
+    pub scrub_unrecoverable: Counter,
     pub op_lookup: Hist,
     pub op_create: Hist,
     pub op_mkdir: Hist,
@@ -130,6 +151,13 @@ impl LfsObs {
             cleaner_passes: c("cleaner.passes"),
             rollforward_chunks: c("recovery.rollforward_chunks"),
             rollforward_inodes: c("recovery.rollforward_inodes"),
+            verified_reads: c("integrity.verified_reads"),
+            corruptions_detected: c("integrity.corruptions_detected"),
+            scrub_segments: c("scrub.segments"),
+            scrub_blocks_verified: c("scrub.blocks_verified"),
+            scrub_bad_blocks: c("scrub.bad_blocks"),
+            scrub_relocated: c("scrub.relocated"),
+            scrub_unrecoverable: c("scrub.unrecoverable"),
             op_lookup: h("op.lookup_ns"),
             op_create: h("op.create_ns"),
             op_mkdir: h("op.mkdir_ns"),
@@ -166,6 +194,13 @@ impl LfsObs {
             cleaner_passes: self.cleaner_passes.get(),
             rollforward_chunks: self.rollforward_chunks.get(),
             rollforward_inodes: self.rollforward_inodes.get(),
+            verified_reads: self.verified_reads.get(),
+            corruptions_detected: self.corruptions_detected.get(),
+            scrub_segments: self.scrub_segments.get(),
+            scrub_blocks_verified: self.scrub_blocks_verified.get(),
+            scrub_bad_blocks: self.scrub_bad_blocks.get(),
+            scrub_relocated: self.scrub_relocated.get(),
+            scrub_unrecoverable: self.scrub_unrecoverable.get(),
         }
     }
 }

@@ -69,7 +69,10 @@ pub const IMAP_ENTRY_SIZE: usize = 24;
 pub const USAGE_ENTRY_SIZE: usize = 16;
 
 /// On-disk size of one segment-summary entry, in bytes.
-pub const SUMMARY_ENTRY_SIZE: usize = 16;
+///
+/// tag (1) + pad (3) + ino (4) + param (4) + version (4) + per-block
+/// CRC-32C (4).
+pub const SUMMARY_ENTRY_SIZE: usize = 20;
 
 #[cfg(test)]
 mod tests {

@@ -3,4 +3,4 @@
 //! The implementations live in [`vfs::wire`], shared with the FFS
 //! baseline; re-exported here for the layout modules.
 
-pub use vfs::wire::{crc32, crc32_update, ByteReader, ByteWriter};
+pub use vfs::wire::{crc32, crc32_update, crc32c, ByteReader, ByteWriter};

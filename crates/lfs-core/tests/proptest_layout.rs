@@ -99,7 +99,7 @@ proptest! {
         timestamp in any::<u64>(),
         reserved in 1u32..4,
         entries in proptest::collection::vec(
-            (kind_strategy(), 0u32..100).prop_map(|(kind, version)| SummaryEntry { kind, version }),
+            (kind_strategy(), 0u32..100, 0u32..u32::MAX).prop_map(|(kind, version, crc)| SummaryEntry { kind, version, crc }),
             0..64,
         ),
     ) {
@@ -125,7 +125,7 @@ proptest! {
     #[test]
     fn summary_rejects_any_corruption(
         entries in proptest::collection::vec(
-            (kind_strategy(), 0u32..100).prop_map(|(kind, version)| SummaryEntry { kind, version }),
+            (kind_strategy(), 0u32..100, 0u32..u32::MAX).prop_map(|(kind, version, crc)| SummaryEntry { kind, version, crc }),
             1..32,
         ),
         flip in any::<usize>(),
@@ -141,7 +141,7 @@ proptest! {
         };
         let mut encoded = summary.encode(512);
         // Flip one bit within the meaningful region (header + entries).
-        let meaningful = 40 + summary.entries.len() * 16;
+        let meaningful = 40 + summary.entries.len() * lfs_core::types::SUMMARY_ENTRY_SIZE;
         let index = flip % (meaningful * 8);
         encoded[index / 8] ^= 1 << (index % 8);
         prop_assert!(

@@ -3,6 +3,7 @@
 //! ```text
 //! lfs-tools mkfs  <image> [--size-mb N]        format a new volume
 //! lfs-tools fsck  <image> [--size-mb N]        check consistency
+//! lfs-tools verify <image> [--size-mb N]       scrub: verify block checksums
 //! lfs-tools dumpfs <image> [--size-mb N] [-v]  inspect on-disk structures
 //! lfs-tools clean <image> [--size-mb N] --target N   run the cleaner
 //! lfs-tools df    <image>                      segment-level space report
@@ -27,7 +28,7 @@ use vfs::FileSystem;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lfs-tools <mkfs|fsck|dumpfs|clean|ls|cat|put> <image> [args...]\n\
+        "usage: lfs-tools <mkfs|fsck|verify|dumpfs|clean|ls|cat|put> <image> [args...]\n\
          run with a subcommand; see crate docs for details"
     );
     ExitCode::from(2)
@@ -113,6 +114,38 @@ fn run() -> Result<(), String> {
                 Ok(())
             } else {
                 Err(format!("{} error(s) found", report.errors.len()))
+            }
+        }
+        "verify" => {
+            let mut fs = mount(&opts)?;
+            let report = fs.scrub().map_err(|e| format!("verify failed: {e}"))?;
+            println!(
+                "scrubbed {} segments: {} blocks verified, {} bad, \
+                 {} relocated, {} unrecoverable, {} unreadable chunks",
+                report.segments,
+                report.blocks_verified,
+                report.bad_blocks,
+                report.relocated,
+                report.unrecoverable,
+                report.unreadable_chunks,
+            );
+            if fs.is_read_only() {
+                println!("volume degraded to read-only");
+            }
+            let clean = report.is_clean();
+            if report.relocated > 0 {
+                // The scrub rewrote damaged blocks at the log head and
+                // checkpointed; persist the repaired image.
+                save(fs, &opts.image)?;
+                println!("relocations written back to {}", opts.image.display());
+            }
+            if clean {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} bad block(s), {} unrecoverable",
+                    report.bad_blocks, report.unrecoverable
+                ))
             }
         }
         "dumpfs" => {

@@ -112,6 +112,71 @@ fn clean_reports_segment_counts() {
 }
 
 #[test]
+fn verify_scrubs_a_healthy_volume() {
+    let dir = tmpdir("verify");
+    let image = dir.join("vol.img");
+    let image = image.to_str().unwrap();
+    run_ok(&["mkfs", image, "--size-mb", "16"]);
+    let host = dir.join("h.txt");
+    std::fs::write(&host, b"verify me").unwrap();
+    run_ok(&[
+        "put",
+        image,
+        host.to_str().unwrap(),
+        "/checked",
+        "--size-mb",
+        "16",
+    ]);
+
+    let out = run_ok(&["verify", image, "--size-mb", "16"]);
+    assert!(out.contains("scrubbed"), "{out}");
+    assert!(out.contains("0 bad"), "{out}");
+    // A healthy volume verified some live blocks.
+    assert!(!out.contains(" 0 blocks verified"), "{out}");
+}
+
+#[test]
+fn verify_flags_bit_rot_in_the_image() {
+    let dir = tmpdir("verify-rot");
+    let image_path = dir.join("vol.img");
+    let image = image_path.to_str().unwrap();
+    run_ok(&["mkfs", image, "--size-mb", "16"]);
+    let host = dir.join("h.txt");
+    std::fs::write(&host, vec![0x77u8; 4096]).unwrap();
+    run_ok(&[
+        "put",
+        image,
+        host.to_str().unwrap(),
+        "/rotting",
+        "--size-mb",
+        "16",
+    ]);
+
+    // Flip bytes somewhere in the log: find a 4096-byte run of 0x77 (the
+    // file's data block) and corrupt the middle of it.
+    let mut bytes = std::fs::read(&image_path).unwrap();
+    let pos = bytes
+        .windows(64)
+        .position(|w| w.iter().all(|&b| b == 0x77))
+        .expect("file data block in image");
+    for b in &mut bytes[pos..pos + 32] {
+        *b ^= 0xFF;
+    }
+    std::fs::write(&image_path, &bytes).unwrap();
+
+    let out = run(&["verify", image, "--size-mb", "16"]);
+    assert!(
+        !out.status.success(),
+        "verify must fail on a rotted image: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("scrubbed"), "{stdout}");
+    assert!(stderr.contains("bad block"), "{stderr}");
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     assert!(!run(&[]).status.success());
     assert!(!run(&["frobnicate", "/nonexistent.img"]).status.success());

@@ -18,6 +18,16 @@ pub enum DiskError {
     UnalignedLength(usize),
     /// The device has crashed (fault injection) and rejects all requests.
     Crashed,
+    /// A sector could not be read (latent or transient media error).
+    ///
+    /// Unlike [`DiskError::Crashed`] this is a per-request failure: the
+    /// device keeps servicing other requests, and a transient fault may
+    /// succeed on retry. Injected by
+    /// [`MediaFaultPlan`](crate::MediaFaultPlan).
+    Unreadable {
+        /// First faulted sector in the failed request.
+        sector: u64,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -38,6 +48,9 @@ impl fmt::Display for DiskError {
                 )
             }
             DiskError::Crashed => write!(f, "device has crashed"),
+            DiskError::Unreadable { sector } => {
+                write!(f, "media error: sector {sector} is unreadable")
+            }
         }
     }
 }

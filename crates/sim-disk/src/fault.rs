@@ -1,4 +1,4 @@
-//! Write-stream fault injection for crash-recovery experiments.
+//! Write-stream and media fault injection for robustness experiments.
 //!
 //! §4.4 of the paper argues that LFS recovers from crashes by reading the
 //! most recent checkpoint region instead of scanning the disk. To test that
@@ -7,6 +7,182 @@
 //! (a prefix of its sectors is persisted), and every subsequent request
 //! fails with [`crate::DiskError::Crashed`]. The harness then re-mounts the
 //! surviving image and checks consistency.
+//!
+//! Crashes stop the disk; real media also fails *while running*. A
+//! [`MediaFaultPlan`] models the per-sector failure modes production
+//! storage treats as expected events rather than catastrophes:
+//!
+//! * **latent sector errors** — reads of a chosen sector fail with
+//!   [`crate::DiskError::Unreadable`] until the sector is rewritten;
+//! * **transient errors** — reads fail K times, then succeed (recoverable
+//!   with a bounded retry policy);
+//! * **silent bit-rot** — reads return deterministically corrupted bytes
+//!   with no error, which only end-to-end checksums can catch.
+//!
+//! All faults are seeded and deterministic: the same plan produces the
+//! same corrupted bytes on every run.
+
+use std::collections::BTreeMap;
+
+/// Per-sector media failure modes injected by a [`MediaFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediaFault {
+    /// Every read of the sector fails with
+    /// [`crate::DiskError::Unreadable`] until the sector is rewritten
+    /// (a write remaps the sector and clears the fault).
+    Latent,
+    /// Reads fail `remaining` more times, then succeed.
+    Transient {
+        /// Failures left before the sector reads cleanly again.
+        remaining: u32,
+    },
+    /// Reads succeed but return silently corrupted bytes: each byte of
+    /// the sector is XORed with a non-zero mask derived from the plan
+    /// seed and the sector number. Cleared by a rewrite.
+    Rot,
+}
+
+/// A deterministic, seeded set of media faults.
+///
+/// Faults apply to the *read* path only — a write to a faulted sector
+/// clears the fault (modelling sector remapping by the drive firmware,
+/// which is also the natural recovery action for a log-structured store:
+/// relocate the data elsewhere and let the bad region be rewritten).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MediaFaultPlan {
+    seed: u64,
+    faults: BTreeMap<u64, MediaFault>,
+}
+
+impl MediaFaultPlan {
+    /// Creates an empty plan with the given corruption seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// Marks `sector` as a latent (permanent until rewritten) read error.
+    pub fn latent(mut self, sector: u64) -> Self {
+        self.faults.insert(sector, MediaFault::Latent);
+        self
+    }
+
+    /// Marks `sector` as failing the next `failures` reads, then recovering.
+    pub fn transient(mut self, sector: u64, failures: u32) -> Self {
+        self.faults.insert(
+            sector,
+            MediaFault::Transient {
+                remaining: failures,
+            },
+        );
+        self
+    }
+
+    /// Marks `sector` as silently returning corrupted bytes.
+    pub fn rot(mut self, sector: u64) -> Self {
+        self.faults.insert(sector, MediaFault::Rot);
+        self
+    }
+
+    /// Number of sectors currently carrying a fault.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no faults remain armed.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault (if any) currently armed on `sector`.
+    pub fn fault_at(&self, sector: u64) -> Option<MediaFault> {
+        self.faults.get(&sector).copied()
+    }
+
+    /// The deterministic non-zero XOR mask bit-rot applies to every byte
+    /// of `sector` (a splitmix64-style mix of seed and sector).
+    pub fn rot_mask(&self, sector: u64) -> u8 {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(sector.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // A zero mask would be a no-op corruption; force at least one bit.
+        (z as u8) | 0x01
+    }
+
+    /// First faulted sector in `[sector, sector + count)`, if any.
+    pub fn first_fault_in(&self, sector: u64, count: u64) -> Option<u64> {
+        let end = sector.saturating_add(count);
+        self.faults.range(sector..end).next().map(|(&s, _)| s)
+    }
+
+    /// Consumes one read attempt over `[sector, sector + count)`.
+    ///
+    /// Returns the outcome for the whole request; transient faults in the
+    /// range each burn one failure. Called by the disk on every read.
+    pub(crate) fn on_read(&mut self, sector: u64, count: u64) -> ReadOutcome {
+        let end = sector.saturating_add(count);
+        let in_range: Vec<u64> = self.faults.range(sector..end).map(|(&s, _)| s).collect();
+        let mut failed_at: Option<u64> = None;
+        let mut transient = false;
+        let mut rotted: Vec<u64> = Vec::new();
+        for s in in_range {
+            match self.faults.get_mut(&s) {
+                Some(MediaFault::Latent) => failed_at = failed_at.or(Some(s)),
+                Some(MediaFault::Transient { remaining }) if *remaining > 0 => {
+                    *remaining -= 1;
+                    transient = true;
+                    failed_at = failed_at.or(Some(s));
+                    if *remaining == 0 {
+                        self.faults.remove(&s);
+                    }
+                }
+                Some(MediaFault::Rot) => rotted.push(s),
+                _ => {}
+            }
+        }
+        match failed_at {
+            Some(s) => ReadOutcome::Unreadable {
+                sector: s,
+                transient,
+            },
+            None => ReadOutcome::Ok { rotted },
+        }
+    }
+
+    /// Clears faults overwritten by `[sector, sector + count)`; returns
+    /// how many were cleared (the write remaps those sectors).
+    pub(crate) fn on_write(&mut self, sector: u64, count: u64) -> u64 {
+        let end = sector.saturating_add(count);
+        let hit: Vec<u64> = self.faults.range(sector..end).map(|(&s, _)| s).collect();
+        for s in &hit {
+            self.faults.remove(s);
+        }
+        hit.len() as u64
+    }
+}
+
+/// Outcome of applying a [`MediaFaultPlan`] to one read request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ReadOutcome {
+    /// The read succeeds; `rotted` sectors must be returned corrupted.
+    Ok {
+        /// Sectors whose bytes are XORed with the rot mask.
+        rotted: Vec<u64>,
+    },
+    /// The read fails with [`crate::DiskError::Unreadable`].
+    Unreadable {
+        /// First faulted sector in the request.
+        sector: u64,
+        /// True when a transient fault (not a latent one) caused it.
+        transient: bool,
+    },
+}
 
 /// What happens to the write that triggers the crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,5 +263,66 @@ mod tests {
         let reorder = CrashPlan::reorder_at(5, 8);
         assert_eq!(reorder.crash_at_write, 5);
         assert_eq!(reorder.mode, FaultMode::ReorderWindow { window: 8 });
+    }
+
+    #[test]
+    fn latent_fault_fails_every_read_until_rewritten() {
+        let mut plan = MediaFaultPlan::new(1).latent(10);
+        for _ in 0..3 {
+            assert_eq!(
+                plan.on_read(8, 4),
+                ReadOutcome::Unreadable {
+                    sector: 10,
+                    transient: false
+                }
+            );
+        }
+        // Reads not covering the sector are clean.
+        assert_eq!(plan.on_read(0, 8), ReadOutcome::Ok { rotted: vec![] });
+        // A rewrite remaps the sector and clears the fault.
+        assert_eq!(plan.on_write(10, 1), 1);
+        assert_eq!(plan.on_read(8, 4), ReadOutcome::Ok { rotted: vec![] });
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn transient_fault_recovers_after_k_failures() {
+        let mut plan = MediaFaultPlan::new(2).transient(5, 2);
+        for _ in 0..2 {
+            assert_eq!(
+                plan.on_read(5, 1),
+                ReadOutcome::Unreadable {
+                    sector: 5,
+                    transient: true
+                }
+            );
+        }
+        assert_eq!(plan.on_read(5, 1), ReadOutcome::Ok { rotted: vec![] });
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn rot_reports_sectors_and_deterministic_nonzero_mask() {
+        let mut plan = MediaFaultPlan::new(42).rot(3).rot(4);
+        assert_eq!(
+            plan.on_read(0, 8),
+            ReadOutcome::Ok { rotted: vec![3, 4] }
+        );
+        let mask = plan.rot_mask(3);
+        assert_ne!(mask, 0, "a zero mask would corrupt nothing");
+        assert_eq!(mask, MediaFaultPlan::new(42).rot_mask(3), "seeded masks are stable");
+        assert_ne!(plan.rot_mask(3), plan.rot_mask(4), "masks differ across these sectors");
+        // Rot persists across reads but clears on rewrite.
+        assert_eq!(plan.on_write(3, 2), 2);
+        assert_eq!(plan.on_read(0, 8), ReadOutcome::Ok { rotted: vec![] });
+    }
+
+    #[test]
+    fn first_fault_in_respects_range() {
+        let plan = MediaFaultPlan::new(0).latent(7).rot(12);
+        assert_eq!(plan.first_fault_in(0, 8), Some(7));
+        assert_eq!(plan.first_fault_in(8, 4), None);
+        assert_eq!(plan.first_fault_in(8, 5), Some(12));
+        assert_eq!(plan.len(), 2);
     }
 }

@@ -25,6 +25,9 @@
 //! * [`CrashPlan`] — write-stream fault injection (drop, tear, or lose a
 //!   reorder window of writes after a trigger point) used by the
 //!   crash-recovery experiments.
+//! * [`MediaFaultPlan`] — seeded per-sector media faults (latent sector
+//!   errors, transient errors that clear after K retries, silent bit-rot)
+//!   used by the end-to-end integrity experiments.
 //! * Submit/complete queueing — [`SimDisk::submit_read`],
 //!   [`SimDisk::submit_write`], and [`SimDisk::complete`] expose the device
 //!   queue to an external I/O scheduler (see the `engine` crate), which may
@@ -58,7 +61,7 @@ pub mod stats;
 
 pub use clock::{Clock, CpuCost, CpuModel};
 pub use device::{BlockDevice, DiskError, DiskResult};
-pub use fault::{CrashPlan, FaultMode};
+pub use fault::{CrashPlan, FaultMode, MediaFault, MediaFaultPlan};
 pub use geometry::DiskGeometry;
 pub use ram::RamDisk;
 pub use sim::{IoCompletion, SimDisk, SubmittedIo};

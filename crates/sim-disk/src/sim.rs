@@ -7,7 +7,7 @@ use obs::{Counter, Hist, Registry};
 
 use crate::clock::Clock;
 use crate::device::{check_request, BlockDevice, DiskError, DiskResult};
-use crate::fault::{CrashPlan, FaultMode};
+use crate::fault::{CrashPlan, FaultMode, MediaFaultPlan, ReadOutcome};
 use crate::geometry::DiskGeometry;
 use crate::stats::{AccessKind, AccessRecord, AccessTrace, IoStats};
 use crate::SECTOR_SIZE;
@@ -31,6 +31,10 @@ struct DiskObs {
     transfer_ns: Counter,
     queue_wait_ns: Counter,
     coalesced: Counter,
+    faults_unreadable: Counter,
+    faults_transient: Counter,
+    faults_rot_reads: Counter,
+    faults_cleared: Counter,
     read_lat: Hist,
     write_lat: Hist,
 }
@@ -52,6 +56,10 @@ impl DiskObs {
             transfer_ns: registry.counter("disk.transfer_ns"),
             queue_wait_ns: registry.counter("disk.queue_wait_ns"),
             coalesced: registry.counter("disk.coalesced_writes"),
+            faults_unreadable: registry.counter("faults.unreadable_reads"),
+            faults_transient: registry.counter("faults.transient_errors"),
+            faults_rot_reads: registry.counter("faults.rot_reads"),
+            faults_cleared: registry.counter("faults.cleared_by_write"),
             read_lat: registry.hist("disk.read_service_ns"),
             write_lat: registry.hist("disk.write_service_ns"),
         }
@@ -73,6 +81,13 @@ impl DiskObs {
         self.transfer_ns = registry.adopt_counter("disk.transfer_ns", &self.transfer_ns);
         self.queue_wait_ns = registry.adopt_counter("disk.queue_wait_ns", &self.queue_wait_ns);
         self.coalesced = registry.adopt_counter("disk.coalesced_writes", &self.coalesced);
+        self.faults_unreadable =
+            registry.adopt_counter("faults.unreadable_reads", &self.faults_unreadable);
+        self.faults_transient =
+            registry.adopt_counter("faults.transient_errors", &self.faults_transient);
+        self.faults_rot_reads = registry.adopt_counter("faults.rot_reads", &self.faults_rot_reads);
+        self.faults_cleared =
+            registry.adopt_counter("faults.cleared_by_write", &self.faults_cleared);
         self.read_lat = registry.adopt_hist("disk.read_service_ns", &self.read_lat);
         self.write_lat = registry.adopt_hist("disk.write_service_ns", &self.write_lat);
     }
@@ -208,6 +223,8 @@ pub struct SimDisk {
     write_index: u64,
     crash_plan: Option<CrashPlan>,
     crashed: bool,
+    /// Armed per-sector media faults; see [`MediaFaultPlan`].
+    media_faults: Option<MediaFaultPlan>,
     next_label: &'static str,
     /// Requests submitted through the async path, not yet serviced.
     pending: Vec<SubmittedIo>,
@@ -234,6 +251,7 @@ impl SimDisk {
             write_index: 0,
             crash_plan: None,
             crashed: false,
+            media_faults: None,
             next_label: "",
             pending: Vec::new(),
             next_io_id: 0,
@@ -301,6 +319,17 @@ impl SimDisk {
     /// Returns true if the armed crash has triggered.
     pub fn has_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// Arms (or replaces) a media-fault plan. See [`MediaFaultPlan`].
+    pub fn inject_media_faults(&mut self, plan: MediaFaultPlan) {
+        self.media_faults = Some(plan);
+    }
+
+    /// The armed media-fault plan, if any (faults clear as sectors are
+    /// rewritten or transient errors exhaust their failure budget).
+    pub fn media_faults(&self) -> Option<&MediaFaultPlan> {
+        self.media_faults.as_ref()
     }
 
     /// Consumes the disk and returns the surviving raw image.
@@ -436,7 +465,12 @@ impl SimDisk {
         self.crashed = true;
         let persisted = match plan.mode {
             FaultMode::DropWrite | FaultMode::ReorderWindow { .. } => 0,
-            FaultMode::TornWrite { sectors } => (sectors as usize * SECTOR_SIZE).min(len),
+            // A torn write must actually tear: at least the final sector
+            // of the triggering request is lost, whatever `sectors` says,
+            // so the plan is never indistinguishable from no fault.
+            FaultMode::TornWrite { sectors } => {
+                (sectors as usize * SECTOR_SIZE).min(len.saturating_sub(SECTOR_SIZE))
+            }
         };
         let held_lost = self.held.len();
         let queued_lost = self.pending.len();
@@ -451,6 +485,70 @@ impl SimDisk {
             ),
         );
         Some(persisted)
+    }
+
+    /// Applies the armed media-fault plan to a read of `count` sectors at
+    /// `sector`. Consumes one attempt from transient faults in the range.
+    ///
+    /// Returns `Ok(rotted)` — the sectors whose bytes must be corrupted in
+    /// the output — or `Err(Unreadable)` when a latent/transient fault in
+    /// the range fails the whole request. Counters and trace events are
+    /// recorded here.
+    fn media_read_check(&mut self, sector: u64, count: u64) -> DiskResult<Vec<u64>> {
+        let outcome = match self.media_faults.as_mut() {
+            Some(plan) => plan.on_read(sector, count),
+            None => return Ok(Vec::new()),
+        };
+        match outcome {
+            ReadOutcome::Ok { rotted } => {
+                if !rotted.is_empty() {
+                    self.obs.faults_rot_reads.inc();
+                }
+                Ok(rotted)
+            }
+            ReadOutcome::Unreadable {
+                sector: bad,
+                transient,
+            } => {
+                if transient {
+                    self.obs.faults_transient.inc();
+                } else {
+                    self.obs.faults_unreadable.inc();
+                }
+                self.obs.registry.event(
+                    self.clock.now_ns(),
+                    "media-fault",
+                    format!("unreadable sector={bad} transient={transient}"),
+                );
+                Err(DiskError::Unreadable { sector: bad })
+            }
+        }
+    }
+
+    /// XORs each rotted sector's bytes in `buf` (a buffer starting at
+    /// `base_sector`) with the plan's deterministic corruption mask.
+    fn apply_rot(&self, base_sector: u64, buf: &mut [u8], rotted: &[u64]) {
+        let Some(plan) = self.media_faults.as_ref() else {
+            return;
+        };
+        for &s in rotted {
+            let mask = plan.rot_mask(s);
+            let start = (s - base_sector) as usize * SECTOR_SIZE;
+            for byte in &mut buf[start..start + SECTOR_SIZE] {
+                *byte ^= mask;
+            }
+        }
+    }
+
+    /// Clears media faults covered by a persisted write (sector remap).
+    fn media_write_clear(&mut self, sector: u64, count: u64) {
+        let cleared = match self.media_faults.as_mut() {
+            Some(plan) => plan.on_write(sector, count),
+            None => return,
+        };
+        if cleared > 0 {
+            self.obs.faults_cleared.add(cleared);
+        }
     }
 
     // --- Asynchronous submit/complete path ------------------------------
@@ -604,14 +702,21 @@ impl SimDisk {
             .expect("complete: unknown io id");
         let req = self.pending.remove(pos);
 
-        if req.kind == AccessKind::Write {
-            if let Some(persisted) = self.crash_check(req.sector, req.bytes as usize) {
-                let start = req.sector as usize * SECTOR_SIZE;
-                let data = req.data.as_deref().expect("write without payload");
-                self.data[start..start + persisted].copy_from_slice(&data[..persisted]);
-                return Err(DiskError::Crashed);
+        let media = match req.kind {
+            AccessKind::Write => {
+                if let Some(persisted) = self.crash_check(req.sector, req.bytes as usize) {
+                    let start = req.sector as usize * SECTOR_SIZE;
+                    let data = req.data.as_deref().expect("write without payload");
+                    self.data[start..start + persisted].copy_from_slice(&data[..persisted]);
+                    return Err(DiskError::Crashed);
+                }
+                self.media_write_clear(req.sector, req.bytes / SECTOR_SIZE as u64);
+                Ok(Vec::new())
             }
-        }
+            // The attempt consumes a transient failure even though the
+            // request is accounted below before the error surfaces.
+            AccessKind::Read => self.media_read_check(req.sector, req.bytes / SECTOR_SIZE as u64),
+        };
 
         let start_ns = self.busy_until_ns.max(req.submitted_at_ns);
         let wait_ns = start_ns - req.submitted_at_ns;
@@ -627,7 +732,13 @@ impl SimDisk {
                 self.data[offset..offset + payload.len()].copy_from_slice(payload);
                 None
             }
-            AccessKind::Read => Some(self.data[offset..offset + req.bytes as usize].to_vec()),
+            AccessKind::Read => {
+                let mut out = self.data[offset..offset + req.bytes as usize].to_vec();
+                if let Ok(rotted) = &media {
+                    self.apply_rot(req.sector, &mut out, rotted);
+                }
+                Some(out)
+            }
         };
 
         self.stats.queue_wait_ns += wait_ns;
@@ -643,6 +754,10 @@ impl SimDisk {
             transfer_ns,
             sequential,
         });
+
+        // The head travelled and the attempt was accounted; only now
+        // does an unreadable sector surface to the caller.
+        media?;
 
         Ok(IoCompletion {
             id: req.id,
@@ -669,9 +784,15 @@ impl BlockDevice for SimDisk {
         if self.crashed {
             return Err(DiskError::Crashed);
         }
-        check_request(sector, buf.len(), self.geometry.num_sectors)?;
+        let count = check_request(sector, buf.len(), self.geometry.num_sectors)?;
+        let media = self.media_read_check(sector, count);
         let start = sector as usize * SECTOR_SIZE;
         buf.copy_from_slice(&self.data[start..start + buf.len()]);
+        if let Ok(rotted) = &media {
+            // Bit-rot lives on the platter, so it applies before the
+            // volatile-cache overlay: held data is still pristine.
+            self.apply_rot(sector, buf, rotted);
+        }
         // The volatile write cache serves reads of data it still holds
         // (overlay in FIFO order so later writes win).
         let read_range = start..start + buf.len();
@@ -685,9 +806,11 @@ impl BlockDevice for SimDisk {
                     .copy_from_slice(&held_data[lo - held_range.start..hi - held_range.start]);
             }
         }
-        // Reads are always synchronous: the caller needs the data.
+        // Reads are always synchronous: the caller needs the data. The
+        // head travels to the bad sector even when the read fails, so
+        // the request is accounted before any media error surfaces.
         self.account(AccessKind::Read, sector, buf.len() as u64, true);
-        Ok(())
+        media.map(|_| ())
     }
 
     fn write(&mut self, sector: u64, buf: &[u8], sync: bool) -> DiskResult<()> {
@@ -702,6 +825,8 @@ impl BlockDevice for SimDisk {
             self.data[start..start + persisted].copy_from_slice(&buf[..persisted]);
             return Err(DiskError::Crashed);
         }
+        // An accepted write remaps its sectors: media faults clear.
+        self.media_write_clear(sector, buf.len() as u64 / SECTOR_SIZE as u64);
 
         if let Some(CrashPlan {
             mode: FaultMode::ReorderWindow { window },
@@ -875,6 +1000,123 @@ mod tests {
             &vec![0; SECTOR_SIZE][..],
             "torn sectors must not persist"
         );
+    }
+
+    #[test]
+    fn crash_tear_with_oversized_sector_count_still_tears() {
+        // Regression: `sectors >= request length` used to persist the
+        // whole write, making the torn plan indistinguishable from no
+        // fault. At least the final sector must always be lost.
+        let mut disk = small_disk();
+        disk.arm_crash(CrashPlan::tear_at(0, 1000));
+        let payload = vec![0xAB; SECTOR_SIZE * 3];
+        assert_eq!(disk.write(5, &payload, true), Err(DiskError::Crashed));
+        let image = disk.into_image();
+        let start = 5 * SECTOR_SIZE;
+        assert_eq!(
+            &image[start..start + 2 * SECTOR_SIZE],
+            &payload[..2 * SECTOR_SIZE],
+            "leading sectors persist"
+        );
+        assert_eq!(
+            &image[start + 2 * SECTOR_SIZE..start + 3 * SECTOR_SIZE],
+            &vec![0; SECTOR_SIZE][..],
+            "the final sector of an oversized tear must be lost"
+        );
+    }
+
+    #[test]
+    fn crash_tear_of_single_sector_write_drops_it() {
+        let mut disk = small_disk();
+        disk.arm_crash(CrashPlan::tear_at(0, 7));
+        assert_eq!(
+            disk.write(9, &vec![0xCD; SECTOR_SIZE], true),
+            Err(DiskError::Crashed)
+        );
+        let image = disk.into_image();
+        assert_eq!(
+            &image[9 * SECTOR_SIZE..10 * SECTOR_SIZE],
+            &vec![0; SECTOR_SIZE][..]
+        );
+    }
+
+    #[test]
+    fn latent_media_fault_fails_reads_until_rewritten() {
+        let mut disk = small_disk();
+        disk.write(20, &vec![7; SECTOR_SIZE * 2], true).unwrap();
+        disk.inject_media_faults(MediaFaultPlan::new(9).latent(21));
+        let mut buf = vec![0; SECTOR_SIZE * 2];
+        assert_eq!(
+            disk.read(20, &mut buf),
+            Err(DiskError::Unreadable { sector: 21 })
+        );
+        // The attempt was accounted: the head travelled to the sector.
+        assert_eq!(disk.stats().reads, 1);
+        assert_eq!(disk.obs().snapshot().counter("faults.unreadable_reads"), 1);
+        // A read not touching the sector is clean.
+        let mut one = vec![0; SECTOR_SIZE];
+        disk.read(20, &mut one).unwrap();
+        assert_eq!(one, vec![7; SECTOR_SIZE]);
+        // A rewrite remaps the sector; reads succeed again.
+        disk.write(21, &vec![8; SECTOR_SIZE], true).unwrap();
+        disk.read(20, &mut buf).unwrap();
+        assert_eq!(&buf[SECTOR_SIZE..], &vec![8; SECTOR_SIZE][..]);
+        assert_eq!(disk.obs().snapshot().counter("faults.cleared_by_write"), 1);
+        assert!(disk.media_faults().unwrap().is_empty());
+    }
+
+    #[test]
+    fn transient_media_fault_succeeds_after_k_retries() {
+        let mut disk = small_disk();
+        disk.write(4, &vec![3; SECTOR_SIZE], true).unwrap();
+        disk.inject_media_faults(MediaFaultPlan::new(1).transient(4, 2));
+        let mut buf = vec![0; SECTOR_SIZE];
+        assert_eq!(disk.read(4, &mut buf), Err(DiskError::Unreadable { sector: 4 }));
+        assert_eq!(disk.read(4, &mut buf), Err(DiskError::Unreadable { sector: 4 }));
+        disk.read(4, &mut buf).unwrap();
+        assert_eq!(buf, vec![3; SECTOR_SIZE]);
+        assert_eq!(disk.obs().snapshot().counter("faults.transient_errors"), 2);
+    }
+
+    #[test]
+    fn rot_corrupts_reads_deterministically_and_silently() {
+        let mut disk = small_disk();
+        disk.write(40, &vec![0x55; SECTOR_SIZE * 2], true).unwrap();
+        disk.inject_media_faults(MediaFaultPlan::new(77).rot(41));
+        let mut a = vec![0; SECTOR_SIZE * 2];
+        disk.read(40, &mut a).unwrap();
+        assert_eq!(&a[..SECTOR_SIZE], &vec![0x55; SECTOR_SIZE][..]);
+        assert_ne!(&a[SECTOR_SIZE..], &vec![0x55; SECTOR_SIZE][..], "rotted sector is corrupt");
+        // Deterministic: a second read returns the same corrupt bytes.
+        let mut b = vec![0; SECTOR_SIZE * 2];
+        disk.read(40, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(disk.obs().snapshot().counter("faults.rot_reads"), 2);
+        // The platter itself is untouched; rewriting clears the rot.
+        disk.write(41, &vec![0x66; SECTOR_SIZE], true).unwrap();
+        disk.read(40, &mut a).unwrap();
+        assert_eq!(&a[SECTOR_SIZE..], &vec![0x66; SECTOR_SIZE][..]);
+    }
+
+    #[test]
+    fn media_faults_apply_on_the_submit_complete_path() {
+        let mut disk = small_disk();
+        disk.write(10, &vec![1; SECTOR_SIZE], true).unwrap();
+        disk.write(12, &vec![4; SECTOR_SIZE], true).unwrap();
+        // Arm after the writes: a write to a faulted sector would clear it.
+        disk.inject_media_faults(MediaFaultPlan::new(5).transient(10, 1).rot(12));
+
+        let r = disk.submit_read(10, SECTOR_SIZE).unwrap();
+        assert_eq!(disk.complete(r, true), Err(DiskError::Unreadable { sector: 10 }));
+        // The failed attempt was accounted and consumed the transient.
+        assert_eq!(disk.stats().reads, 1);
+        let retry = disk.submit_read(10, SECTOR_SIZE).unwrap();
+        let done = disk.complete(retry, true).unwrap();
+        assert_eq!(done.data.as_deref(), Some(&vec![1; SECTOR_SIZE][..]));
+
+        let r2 = disk.submit_read(12, SECTOR_SIZE).unwrap();
+        let done2 = disk.complete(r2, true).unwrap();
+        assert_ne!(done2.data.as_deref(), Some(&vec![4; SECTOR_SIZE][..]), "rot corrupts queued reads too");
     }
 
     #[test]

@@ -135,7 +135,8 @@ proptest! {
         prop_assert_eq!(disk.into_image(), expected);
     }
 
-    /// Torn writes persist exactly the promised sector prefix.
+    /// Torn writes persist exactly the promised sector prefix, clamped so
+    /// the triggering request always loses at least its final sector.
     #[test]
     fn torn_write_keeps_prefix(keep in 0u64..6, req_sectors in 1u8..8) {
         let mut disk = SimDisk::new(DiskGeometry::tiny_test(DEV_SECTORS), Clock::new());
@@ -144,7 +145,7 @@ proptest! {
         let data: Vec<u8> = (0..len).map(|i| (i / SECTOR_SIZE + 1) as u8).collect();
         prop_assert!(disk.write(3, &data, false).is_err());
         let image = disk.into_image();
-        let persisted = (keep as usize * SECTOR_SIZE).min(len);
+        let persisted = (keep as usize * SECTOR_SIZE).min(len - SECTOR_SIZE);
         let start = 3 * SECTOR_SIZE;
         prop_assert_eq!(&image[start..start + persisted], &data[..persisted]);
         prop_assert!(image[start + persisted..start + len].iter().all(|&b| b == 0));

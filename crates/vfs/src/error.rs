@@ -28,9 +28,27 @@ pub enum FsError {
     /// A write or truncate would exceed the maximum mappable file size.
     FileTooLarge,
     /// The underlying device failed.
-    Disk(DiskError),
+    ///
+    /// This is the single mapping point from [`DiskError`] (via `From`),
+    /// so per-request device failures — including
+    /// [`DiskError::Unreadable`] media errors — survive unchanged to the
+    /// VFS boundary instead of collapsing into a generic error.
+    Io(DiskError),
     /// On-disk state failed a validity check (bad magic, checksum, ...).
     Corrupt(&'static str),
+    /// A block's content failed its end-to-end checksum: the device
+    /// returned bytes without error, but they are not the bytes that
+    /// were written (silent corruption). Never returned silently to the
+    /// caller as data.
+    Corruption {
+        /// What kind of block failed verification.
+        what: &'static str,
+        /// The failing block address (file-system block number).
+        addr: u64,
+    },
+    /// The file system is mounted read-only (degraded after unrecoverable
+    /// corruption of critical metadata); mutating operations are refused.
+    ReadOnly,
     /// The operation is not supported by this file system.
     Unsupported(&'static str),
 }
@@ -48,8 +66,12 @@ impl fmt::Display for FsError {
             FsError::InvalidName => write!(f, "invalid file name"),
             FsError::InvalidPath => write!(f, "invalid path"),
             FsError::FileTooLarge => write!(f, "file too large"),
-            FsError::Disk(e) => write!(f, "disk error: {e}"),
+            FsError::Io(e) => write!(f, "disk error: {e}"),
             FsError::Corrupt(what) => write!(f, "file system corrupt: {what}"),
+            FsError::Corruption { what, addr } => {
+                write!(f, "checksum mismatch: {what} at block {addr}")
+            }
+            FsError::ReadOnly => write!(f, "file system is read-only"),
             FsError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
     }
@@ -58,7 +80,7 @@ impl fmt::Display for FsError {
 impl std::error::Error for FsError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            FsError::Disk(e) => Some(e),
+            FsError::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -66,7 +88,7 @@ impl std::error::Error for FsError {
 
 impl From<DiskError> for FsError {
     fn from(e: DiskError) -> Self {
-        FsError::Disk(e)
+        FsError::Io(e)
     }
 }
 
@@ -80,8 +102,24 @@ mod tests {
     #[test]
     fn disk_errors_convert() {
         let err: FsError = DiskError::Crashed.into();
-        assert_eq!(err, FsError::Disk(DiskError::Crashed));
+        assert_eq!(err, FsError::Io(DiskError::Crashed));
         assert!(err.to_string().contains("disk error"));
+        // Media errors survive the conversion typed, not collapsed.
+        let err: FsError = DiskError::Unreadable { sector: 42 }.into();
+        assert_eq!(err, FsError::Io(DiskError::Unreadable { sector: 42 }));
+        assert!(err.to_string().contains("sector 42"));
+    }
+
+    #[test]
+    fn corruption_is_typed_and_addressed() {
+        let err = FsError::Corruption {
+            what: "data block",
+            addr: 123,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+        assert!(msg.contains("123"), "{msg}");
+        assert_eq!(FsError::ReadOnly.to_string(), "file system is read-only");
     }
 
     #[test]
@@ -93,7 +131,7 @@ mod tests {
     #[test]
     fn source_chains_to_disk_error() {
         use std::error::Error;
-        let err = FsError::Disk(DiskError::Crashed);
+        let err = FsError::Io(DiskError::Crashed);
         assert!(err.source().is_some());
         assert!(FsError::NotFound.source().is_none());
     }

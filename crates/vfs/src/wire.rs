@@ -186,6 +186,42 @@ pub fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
     crc
 }
 
+/// CRC-32C (Castagnoli polynomial, reflected), table-driven.
+///
+/// Used for the per-block checksums in LFS segment summaries; kept
+/// distinct from [`crc32`] so a block checksum can never be confused
+/// with a header/payload checksum computed over the same bytes.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Incremental CRC-32C update over `data` given a running register value.
+///
+/// Start from `0xFFFF_FFFF` and XOR the final register with `0xFFFF_FFFF`
+/// (or just call [`crc32c`] for one-shot use).
+pub fn crc32c_update(mut crc: u32, data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0x82F6_3B78 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    for &byte in data {
+        crc = table[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +278,25 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         // Different data, different CRC.
         assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn crc32c_matches_known_vectors() {
+        // Standard test vector for CRC-32C (Castagnoli).
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // The two polynomials disagree on the same input.
+        assert_ne!(crc32c(b"123456789"), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn crc32c_incremental_matches_oneshot() {
+        let data = b"lazy dogs and rotten sectors";
+        let oneshot = crc32c(data);
+        let mut crc = 0xFFFF_FFFF;
+        crc = crc32c_update(crc, &data[..9]);
+        crc = crc32c_update(crc, &data[9..]);
+        assert_eq!(crc ^ 0xFFFF_FFFF, oneshot);
     }
 
     #[test]

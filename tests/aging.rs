@@ -82,7 +82,7 @@ fn twelve_generations_of_churn_and_crashes() {
             Ok(new_truth) => {
                 truth = new_truth;
             }
-            Err(FsError::Disk(_)) => {
+            Err(FsError::Io(_)) => {
                 // Crashed mid-generation: `truth` keeps the previous
                 // committed state; recovery may keep more, never less.
             }

@@ -352,7 +352,7 @@ proptest! {
             let path = format!("/p{i:03}");
             match fs.write_file(&path, &vec![i as u8; file_size]) {
                 Ok(_) => pending.push(path),
-                Err(FsError::Disk(_)) => { failed = true; break; }
+                Err(FsError::Io(_)) => { failed = true; break; }
                 Err(_) => {}
             }
             if i % 5 == 4 {
