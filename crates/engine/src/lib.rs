@@ -35,6 +35,6 @@ pub mod multi;
 pub mod queue;
 pub mod sched;
 
-pub use multi::{run_small_file_create, ClientSummary, MultiClientConfig, MultiReport};
-pub use queue::{EngineConfig, EngineCore, EngineDisk};
+pub use multi::{run_small_file_create, ClientSummary, MultiClientConfig, MultiReport, RequestEngine};
+pub use queue::{EngineConfig, EngineCore, EngineDisk, ReadHandle};
 pub use sched::{CLook, Fcfs, IoScheduler, SchedulerKind, Sstf};

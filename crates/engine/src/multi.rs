@@ -17,13 +17,51 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use obs::Registry;
+use sim_disk::{Clock, DiskResult};
 use vfs::{FileSystem, FsResult};
 use workload::small_files::SmallFileSpec;
 use workload::payload;
 
 use crate::queue::EngineCore;
+
+/// What the multi-client event loop needs from a request engine: the
+/// shared clock, lazy background progress, and client attribution.
+///
+/// Implemented by a shared [`EngineCore`] (one spindle) and by
+/// multi-spindle volumes that fan each call out to every spindle, so
+/// the same event loop drives both.
+pub trait RequestEngine {
+    /// The shared virtual clock.
+    fn clock(&self) -> Arc<Clock>;
+    /// Lazily services queued requests whose start time has passed.
+    fn pump(&self) -> DiskResult<()>;
+    /// Attributes subsequent submissions to `client` (`None` = system
+    /// work such as format or setup).
+    fn set_client(&self, client: Option<usize>);
+    /// Creates per-client queue-wait counters for clients `0..n`.
+    fn register_clients(&self, n: usize);
+}
+
+impl RequestEngine for Rc<RefCell<EngineCore>> {
+    fn clock(&self) -> Arc<Clock> {
+        Arc::clone(self.borrow().clock())
+    }
+
+    fn pump(&self) -> DiskResult<()> {
+        self.borrow_mut().pump()
+    }
+
+    fn set_client(&self, client: Option<usize>) {
+        self.borrow_mut().set_client(client);
+    }
+
+    fn register_clients(&self, n: usize) {
+        self.borrow_mut().register_clients(n);
+    }
+}
 
 /// Parameters of a multi-client small-file run.
 #[derive(Debug, Clone)]
@@ -138,17 +176,18 @@ fn jittered_think_ns(seed: u64, client: usize, op: usize, mean: u64) -> u64 {
 /// histograms (`engine.cNNN.op_ns`), the aggregate histogram
 /// (`engine.op_ns`), and a fairness gauge into `registry`.
 ///
-/// The file system must be mounted on an [`crate::EngineDisk`] backed by
-/// `core` (the loop pumps the engine and attributes submissions to the
-/// dispatched client).
+/// The file system must be mounted on a device backed by `core` — an
+/// [`crate::EngineDisk`] over a shared [`EngineCore`], or any other
+/// [`RequestEngine`] such as a striped volume (the loop pumps the
+/// engine and attributes submissions to the dispatched client).
 pub fn run_small_file_create<F: FileSystem>(
     fs: &mut F,
-    core: &Rc<RefCell<EngineCore>>,
+    core: &impl RequestEngine,
     registry: &Registry,
     cfg: &MultiClientConfig,
 ) -> FsResult<MultiReport> {
     assert!(cfg.clients > 0, "at least one client");
-    let clock = core.borrow().clock().clone();
+    let clock = core.clock();
     let specs: Vec<SmallFileSpec> = (0..cfg.clients)
         .map(|c| SmallFileSpec::for_client(c, cfg.files_per_client, cfg.file_size))
         .collect();
@@ -158,11 +197,8 @@ pub fn run_small_file_create<F: FileSystem>(
         .collect();
 
     // Setup: the shared directory, unattributed to any client.
-    {
-        let mut core_mut = core.borrow_mut();
-        core_mut.set_client(None);
-        core_mut.register_clients(cfg.clients);
-    }
+    core.set_client(None);
+    core.register_clients(cfg.clients);
     for d in 0..specs[0].ndirs() {
         match fs.mkdir(&specs[0].dir(d)) {
             Ok(_) | Err(vfs::FsError::AlreadyExists) => {}
@@ -200,11 +236,8 @@ pub fn run_small_file_create<F: FileSystem>(
             .min_by_key(|&c| (next_ready[c], c))
             .expect("a client still has work");
         clock.advance_to_ns(next_ready[c]);
-        {
-            let mut core_mut = core.borrow_mut();
-            core_mut.pump()?;
-            core_mut.set_client(Some(c));
-        }
+        core.pump()?;
+        core.set_client(Some(c));
 
         let op_index = summaries[c].ops as usize;
         let before_ns = clock.now_ns();
@@ -224,7 +257,7 @@ pub fn run_small_file_create<F: FileSystem>(
     }
 
     // Close the measurement: drain every queued write.
-    core.borrow_mut().set_client(None);
+    core.set_client(None);
     fs.sync()?;
 
     let report = MultiReport {

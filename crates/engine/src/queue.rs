@@ -49,6 +49,11 @@ pub struct EngineConfig {
     /// Base delay for the exponential backoff between read retries, in
     /// virtual nanoseconds (attempt `n` waits `retry_backoff_ns << n`).
     pub retry_backoff_ns: u64,
+    /// When set, coalescing never merges writes into a transfer that
+    /// crosses a multiple of this many sectors. A striped volume sets it
+    /// to the stripe-unit size so a per-spindle queue cannot fuse pieces
+    /// of different stripe units into one head pass.
+    pub stripe_boundary_sectors: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +67,7 @@ impl Default for EngineConfig {
             trace_decisions: 64,
             read_retries: 3,
             retry_backoff_ns: 1_000_000,
+            stripe_boundary_sectors: None,
         }
     }
 }
@@ -102,12 +108,22 @@ impl EngineConfig {
         self.retry_backoff_ns = retry_backoff_ns;
         self
     }
+
+    /// Forbids coalescing across multiples of `sectors` (stripe units).
+    pub fn with_stripe_boundary_sectors(mut self, sectors: u64) -> Self {
+        self.stripe_boundary_sectors = Some(sectors);
+        self
+    }
 }
 
 /// The engine's handles into an [`obs::Registry`].
 #[derive(Debug, Clone)]
 struct EngineObs {
     registry: Registry,
+    /// Metric-name prefix (e.g. `"volume.spindle.0."`); empty for a
+    /// standalone engine. Keeps per-spindle engines apart when several
+    /// report into one shared registry.
+    prefix: String,
     queue_depth: Gauge,
     queue_depth_max: Gauge,
     max_queue_wait: Gauge,
@@ -125,43 +141,54 @@ struct EngineObs {
 }
 
 impl EngineObs {
-    fn from_registry(registry: &Registry) -> Self {
+    fn from_registry(registry: &Registry, prefix: &str) -> Self {
+        let n = |suffix: &str| format!("{prefix}{suffix}");
         EngineObs {
             registry: registry.clone(),
-            queue_depth: registry.gauge("engine.queue_depth"),
-            queue_depth_max: registry.gauge("engine.queue_depth_max"),
-            max_queue_wait: registry.gauge("engine.max_queue_wait_ns"),
-            coalesced: registry.counter("engine.coalesced_writes"),
-            absorbed: registry.counter("engine.absorbed_writes"),
-            queue_read_hits: registry.counter("engine.queue_read_hits"),
-            backpressure_stalls: registry.counter("engine.backpressure_stalls"),
-            backpressure_ns: registry.counter("engine.backpressure_ns"),
-            dep_stalls: registry.counter("engine.dependency_stalls"),
-            dep_stall_ns: registry.counter("engine.dependency_stall_ns"),
-            sched_decisions: registry.counter("engine.sched_decisions"),
-            aged_picks: registry.counter("engine.aged_picks"),
-            retries: registry.counter("engine.retries"),
-            retry_exhausted: registry.counter("engine.retry_exhausted"),
+            prefix: prefix.to_string(),
+            queue_depth: registry.gauge(&n("engine.queue_depth")),
+            queue_depth_max: registry.gauge(&n("engine.queue_depth_max")),
+            max_queue_wait: registry.gauge(&n("engine.max_queue_wait_ns")),
+            coalesced: registry.counter(&n("engine.coalesced_writes")),
+            absorbed: registry.counter(&n("engine.absorbed_writes")),
+            queue_read_hits: registry.counter(&n("engine.queue_read_hits")),
+            backpressure_stalls: registry.counter(&n("engine.backpressure_stalls")),
+            backpressure_ns: registry.counter(&n("engine.backpressure_ns")),
+            dep_stalls: registry.counter(&n("engine.dependency_stalls")),
+            dep_stall_ns: registry.counter(&n("engine.dependency_stall_ns")),
+            sched_decisions: registry.counter(&n("engine.sched_decisions")),
+            aged_picks: registry.counter(&n("engine.aged_picks")),
+            retries: registry.counter(&n("engine.retries")),
+            retry_exhausted: registry.counter(&n("engine.retry_exhausted")),
         }
     }
 
     fn rehome(&mut self, registry: &Registry) {
         self.registry = registry.clone();
-        self.queue_depth = registry.adopt_gauge("engine.queue_depth", &self.queue_depth);
-        self.queue_depth_max = registry.adopt_gauge("engine.queue_depth_max", &self.queue_depth_max);
-        self.max_queue_wait = registry.adopt_gauge("engine.max_queue_wait_ns", &self.max_queue_wait);
-        self.coalesced = registry.adopt_counter("engine.coalesced_writes", &self.coalesced);
-        self.absorbed = registry.adopt_counter("engine.absorbed_writes", &self.absorbed);
-        self.queue_read_hits = registry.adopt_counter("engine.queue_read_hits", &self.queue_read_hits);
+        let prefix = self.prefix.clone();
+        let n = |suffix: &str| format!("{prefix}{suffix}");
+        self.queue_depth = registry.adopt_gauge(&n("engine.queue_depth"), &self.queue_depth);
+        self.queue_depth_max =
+            registry.adopt_gauge(&n("engine.queue_depth_max"), &self.queue_depth_max);
+        self.max_queue_wait =
+            registry.adopt_gauge(&n("engine.max_queue_wait_ns"), &self.max_queue_wait);
+        self.coalesced = registry.adopt_counter(&n("engine.coalesced_writes"), &self.coalesced);
+        self.absorbed = registry.adopt_counter(&n("engine.absorbed_writes"), &self.absorbed);
+        self.queue_read_hits =
+            registry.adopt_counter(&n("engine.queue_read_hits"), &self.queue_read_hits);
         self.backpressure_stalls =
-            registry.adopt_counter("engine.backpressure_stalls", &self.backpressure_stalls);
-        self.backpressure_ns = registry.adopt_counter("engine.backpressure_ns", &self.backpressure_ns);
-        self.dep_stalls = registry.adopt_counter("engine.dependency_stalls", &self.dep_stalls);
-        self.dep_stall_ns = registry.adopt_counter("engine.dependency_stall_ns", &self.dep_stall_ns);
-        self.sched_decisions = registry.adopt_counter("engine.sched_decisions", &self.sched_decisions);
-        self.aged_picks = registry.adopt_counter("engine.aged_picks", &self.aged_picks);
-        self.retries = registry.adopt_counter("engine.retries", &self.retries);
-        self.retry_exhausted = registry.adopt_counter("engine.retry_exhausted", &self.retry_exhausted);
+            registry.adopt_counter(&n("engine.backpressure_stalls"), &self.backpressure_stalls);
+        self.backpressure_ns =
+            registry.adopt_counter(&n("engine.backpressure_ns"), &self.backpressure_ns);
+        self.dep_stalls = registry.adopt_counter(&n("engine.dependency_stalls"), &self.dep_stalls);
+        self.dep_stall_ns =
+            registry.adopt_counter(&n("engine.dependency_stall_ns"), &self.dep_stall_ns);
+        self.sched_decisions =
+            registry.adopt_counter(&n("engine.sched_decisions"), &self.sched_decisions);
+        self.aged_picks = registry.adopt_counter(&n("engine.aged_picks"), &self.aged_picks);
+        self.retries = registry.adopt_counter(&n("engine.retries"), &self.retries);
+        self.retry_exhausted =
+            registry.adopt_counter(&n("engine.retry_exhausted"), &self.retry_exhausted);
     }
 }
 
@@ -177,6 +204,13 @@ pub struct EngineCore {
     /// Request id → clients credited with it (a coalesced request
     /// carries every contributor).
     owners: BTreeMap<u64, Vec<usize>>,
+    /// Reads serviced in the background (scheduler pick order reached
+    /// them before their submitter waited) hold their payload — or
+    /// their media error — here until claimed by `wait_for`. Only the
+    /// split start/finish API leaves reads pending long enough for
+    /// this to happen, e.g. a striped volume with several pieces
+    /// outstanding on one spindle.
+    unclaimed_reads: BTreeMap<u64, DiskResult<IoCompletion>>,
     /// Per-client queue-wait counters, indexed by client id.
     per_client_wait: Vec<Counter>,
     decisions_traced: u64,
@@ -191,7 +225,7 @@ impl EngineCore {
     pub fn new(disk: SimDisk, cfg: EngineConfig) -> Self {
         let clock = Arc::clone(disk.clock());
         let sched = cfg.scheduler.build();
-        let obs = EngineObs::from_registry(disk.obs());
+        let obs = EngineObs::from_registry(disk.obs(), "");
         Self {
             disk,
             clock,
@@ -199,6 +233,7 @@ impl EngineCore {
             sched,
             current_client: None,
             owners: BTreeMap::new(),
+            unclaimed_reads: BTreeMap::new(),
             per_client_wait: Vec::new(),
             decisions_traced: 0,
             depth_high_water: 0,
@@ -246,8 +281,13 @@ impl EngineCore {
 
     /// Creates per-client queue-wait counters for clients `0..n`.
     pub fn register_clients(&mut self, n: usize) {
+        let prefix = &self.obs.prefix;
         self.per_client_wait = (0..n)
-            .map(|c| self.obs.registry.counter(&format!("engine.c{c:03}.disk_wait_ns")))
+            .map(|c| {
+                self.obs
+                    .registry
+                    .counter(&format!("{prefix}engine.c{c:03}.disk_wait_ns"))
+            })
             .collect();
     }
 
@@ -255,9 +295,22 @@ impl EngineCore {
     pub fn attach_obs(&mut self, registry: &Registry) {
         self.disk.attach_obs(registry);
         self.obs.rehome(registry);
+        let prefix = self.obs.prefix.clone();
         for (c, counter) in self.per_client_wait.iter_mut().enumerate() {
-            *counter = registry.adopt_counter(&format!("engine.c{c:03}.disk_wait_ns"), counter);
+            *counter =
+                registry.adopt_counter(&format!("{prefix}engine.c{c:03}.disk_wait_ns"), counter);
         }
+    }
+
+    /// Re-homes this engine's and its disk's instruments under `prefix`
+    /// (for example `"volume.spindle.0."`) in a fresh private registry,
+    /// carrying accumulated counts. A later [`EngineCore::attach_obs`]
+    /// then lands every instrument in the shared registry under its
+    /// prefixed name, so several spindle engines never collide.
+    pub fn set_metric_prefix(&mut self, prefix: &str) {
+        self.disk.set_metric_prefix(prefix);
+        self.obs.prefix = prefix.to_string();
+        self.obs.rehome(self.disk.obs());
     }
 
     /// The virtual time at which the device next picks a request: it must
@@ -308,8 +361,10 @@ impl EngineCore {
                 return Err(e);
             }
             Err(e) => {
-                // The disk discarded the queue (crash): owners are stale.
+                // The disk discarded the queue (crash): owners and any
+                // unclaimed read outcomes are stale.
                 self.owners.clear();
+                self.unclaimed_reads.clear();
                 return Err(e);
             }
         };
@@ -345,14 +400,17 @@ impl EngineCore {
         Ok(done)
     }
 
-    /// Services one scheduler-picked request. The queue must be non-empty.
-    fn service_one(&mut self, sync: bool) -> DiskResult<IoCompletion> {
+    /// Services one scheduler-picked request in the background. The
+    /// queue must be non-empty. Returns `None` when the pick was a read
+    /// that failed with a media error — the error is stashed for its
+    /// waiter and the queue moves on.
+    fn service_one(&mut self) -> DiskResult<Option<IoCompletion>> {
         let t = self.pick_time().expect("service_one on an empty queue");
         let (id, aged) = self.pick_id(t);
         if aged {
             self.obs.aged_picks.inc();
         }
-        self.complete_with_bookkeeping(id, sync)
+        self.service_background(id)
     }
 
     /// Lazily progresses the device up to the current virtual time:
@@ -364,7 +422,7 @@ impl EngineCore {
             if t >= now {
                 break;
             }
-            self.service_one(false)?;
+            self.service_one()?;
         }
         Ok(())
     }
@@ -401,7 +459,9 @@ impl EngineCore {
             .iter()
             .any(|p| p.sector() < end && sector < p.end_sector())
         {
-            cleared_at = self.service_one(false)?.finish_ns;
+            if let Some(done) = self.service_one()? {
+                cleared_at = done.finish_ns;
+            }
         }
         if cleared_at > before {
             // A write-after-write (or read-after-write) hazard: the
@@ -418,18 +478,48 @@ impl EngineCore {
 
     /// Services queued requests (in policy order) until `id` completes,
     /// then advances the clock to its finish: the caller waited for it.
+    ///
+    /// `id` may already have been serviced in the background (its
+    /// outcome is then claimed from `unclaimed_reads`), and sibling
+    /// reads picked ahead of `id` are stashed there for their own
+    /// waiters rather than discarded.
     fn wait_for(&mut self, id: u64) -> DiskResult<IoCompletion> {
         loop {
+            if let Some(res) = self.unclaimed_reads.remove(&id) {
+                let done = res?;
+                self.clock.advance_to_ns(done.finish_ns);
+                return Ok(done);
+            }
             let t = self.pick_time().expect("wait_for a request not in the queue");
             let (picked, aged) = self.pick_id(t);
             if aged {
                 self.obs.aged_picks.inc();
             }
-            let done = self.complete_with_bookkeeping(picked, picked == id)?;
-            if done.id == id {
+            if picked == id {
+                let done = self.complete_with_bookkeeping(picked, true)?;
                 self.clock.advance_to_ns(done.finish_ns);
                 return Ok(done);
             }
+            self.service_background(picked)?;
+        }
+    }
+
+    /// Services `picked` on behalf of nobody: a completed read (or its
+    /// media error) is stashed for its eventual waiter; writes need no
+    /// delivery. Only fatal errors (crash) propagate.
+    fn service_background(&mut self, picked: u64) -> DiskResult<Option<IoCompletion>> {
+        match self.complete_with_bookkeeping(picked, false) {
+            Ok(done) => {
+                if done.data.is_some() {
+                    self.unclaimed_reads.insert(picked, Ok(done.clone()));
+                }
+                Ok(Some(done))
+            }
+            Err(e @ DiskError::Unreadable { .. }) => {
+                self.unclaimed_reads.insert(picked, Err(e));
+                Ok(None)
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -473,11 +563,12 @@ impl EngineCore {
         while self.disk.pending_len() > self.cfg.queue_depth {
             // Queue full: the submitter stalls until a slot frees up.
             let before = self.clock.now_ns();
-            let done = self.service_one(false)?;
-            if done.finish_ns > before {
-                self.clock.advance_to_ns(done.finish_ns);
-                self.obs.backpressure_stalls.inc();
-                self.obs.backpressure_ns.add(done.finish_ns - before);
+            if let Some(done) = self.service_one()? {
+                if done.finish_ns > before {
+                    self.clock.advance_to_ns(done.finish_ns);
+                    self.obs.backpressure_stalls.inc();
+                    self.obs.backpressure_ns.add(done.finish_ns - before);
+                }
             }
         }
         Ok(())
@@ -493,7 +584,8 @@ impl EngineCore {
             (p.id() != id
                 && p.kind() == AccessKind::Write
                 && p.end_sector() == me.0
-                && p.bytes() + me.2 <= self.cfg.max_transfer_bytes)
+                && p.bytes() + me.2 <= self.cfg.max_transfer_bytes
+                && !self.crosses_stripe_boundary(p.sector(), me.1))
                 .then_some(p.id())
         });
         if let Some(front_id) = front {
@@ -508,7 +600,8 @@ impl EngineCore {
             (p.id() != id
                 && p.kind() == AccessKind::Write
                 && p.sector() == me.1
-                && p.bytes() + me.2 <= self.cfg.max_transfer_bytes)
+                && p.bytes() + me.2 <= self.cfg.max_transfer_bytes
+                && !self.crosses_stripe_boundary(me.0, p.end_sector()))
                 .then_some(p.id())
         });
         if let Some(back_id) = back {
@@ -518,6 +611,16 @@ impl EngineCore {
         }
         self.obs.queue_depth.set(self.disk.pending_len() as u64);
         id
+    }
+
+    /// True when a transfer covering `[start, end)` sectors would span a
+    /// multiple of the configured stripe boundary — such a merge would
+    /// fuse pieces of different stripe units into one head pass.
+    fn crosses_stripe_boundary(&self, start: u64, end: u64) -> bool {
+        match self.cfg.stripe_boundary_sectors {
+            Some(unit) if unit > 0 && end > start => start / unit != (end - 1) / unit,
+            _ => false,
+        }
     }
 
     /// `(sector, end_sector, bytes)` of pending request `id`.
@@ -546,10 +649,30 @@ impl EngineCore {
     /// Performs a synchronous write: queued, scheduled alongside pending
     /// work, and waited for.
     pub fn do_sync_write(&mut self, sector: u64, buf: &[u8]) -> DiskResult<()> {
+        let id = self.start_sync_write(sector, buf)?;
+        self.finish_write(id)
+    }
+
+    /// Submits a synchronous write without waiting for it; pair with
+    /// [`EngineCore::finish_write`].
+    ///
+    /// The split lets a striped volume submit a sub-request on every
+    /// spindle *before* waiting on any of them, so the spindles service
+    /// their pieces in overlapped virtual time.
+    /// `start_sync_write` + `finish_write` performs exactly the request
+    /// sequence of [`EngineCore::do_sync_write`].
+    pub fn start_sync_write(&mut self, sector: u64, buf: &[u8]) -> DiskResult<u64> {
         self.pump()?;
         self.drain_overlapping(sector, buf.len())?;
         let id = self.disk.submit_write(sector, buf)?;
         self.note_submitted(id);
+        Ok(id)
+    }
+
+    /// Waits for a write started with [`EngineCore::start_sync_write`]:
+    /// queued requests are serviced in policy order until `id` completes,
+    /// and the clock advances to its finish time.
+    pub fn finish_write(&mut self, id: u64) -> DiskResult<()> {
         self.wait_for(id)?;
         Ok(())
     }
@@ -559,22 +682,53 @@ impl EngineCore {
     /// controller's memory); anything else is queued, scheduled, and
     /// waited for.
     pub fn do_read(&mut self, sector: u64, buf: &mut [u8]) -> DiskResult<()> {
+        let handle = self.start_read(sector, buf.len())?;
+        self.finish_read(handle, sector, buf)
+    }
+
+    /// Starts a read of `len` bytes at `sector` without waiting for it;
+    /// pair with [`EngineCore::finish_read`]. A read wholly contained in
+    /// a queued write is answered immediately from the queued payload.
+    ///
+    /// `start_read` + `finish_read` performs exactly the request
+    /// sequence of [`EngineCore::do_read`].
+    pub fn start_read(&mut self, sector: u64, len: usize) -> DiskResult<ReadHandle> {
         self.pump()?;
-        let end = sector + (buf.len() / SECTOR_SIZE) as u64;
+        let end = sector + (len / SECTOR_SIZE) as u64;
         let hit = self.disk.pending().iter().find(|p| {
             p.kind() == AccessKind::Write && p.sector() <= sector && end <= p.end_sector()
         });
         if let Some(p) = hit {
             let off = (sector - p.sector()) as usize * SECTOR_SIZE;
-            buf.copy_from_slice(&p.data().expect("write without payload")[off..off + buf.len()]);
+            let data = p.data().expect("write without payload")[off..off + len].to_vec();
             self.obs.queue_read_hits.inc();
-            return Ok(());
+            return Ok(ReadHandle::Hit(data));
         }
-        self.drain_overlapping(sector, buf.len())?;
+        self.drain_overlapping(sector, len)?;
+        let id = self.disk.submit_read(sector, len)?;
+        self.note_submitted(id);
+        Ok(ReadHandle::Pending(id))
+    }
+
+    /// Finishes a read started with [`EngineCore::start_read`], filling
+    /// `buf`. Media errors ([`DiskError::Unreadable`]) are retried with
+    /// exponential backoff up to the configured budget; each retry is a
+    /// fresh submission (the disk consumed the failed attempt).
+    pub fn finish_read(
+        &mut self,
+        handle: ReadHandle,
+        sector: u64,
+        buf: &mut [u8],
+    ) -> DiskResult<()> {
+        let mut id = match handle {
+            ReadHandle::Hit(data) => {
+                buf.copy_from_slice(&data);
+                return Ok(());
+            }
+            ReadHandle::Pending(id) => id,
+        };
         let mut attempt = 0u32;
         loop {
-            let id = self.disk.submit_read(sector, buf.len())?;
-            self.note_submitted(id);
             match self.wait_for(id) {
                 Ok(done) => {
                     buf.copy_from_slice(done.data.as_deref().expect("read without data"));
@@ -603,6 +757,8 @@ impl EngineCore {
                         format!("read sector={sector} attempt={attempt} backoff_ns={delay}"),
                     );
                     self.clock.advance_ns(delay);
+                    id = self.disk.submit_read(sector, buf.len())?;
+                    self.note_submitted(id);
                 }
                 Err(e) => return Err(e),
             }
@@ -613,12 +769,21 @@ impl EngineCore {
     /// to go idle: the durability barrier.
     pub fn flush_all(&mut self) -> DiskResult<()> {
         while self.disk.pending_len() > 0 {
-            self.service_one(false)?;
+            self.service_one()?;
         }
         self.disk.flush()?;
         self.obs.queue_depth.set(0);
         Ok(())
     }
+}
+
+/// An in-flight read started with [`EngineCore::start_read`].
+#[derive(Debug)]
+pub enum ReadHandle {
+    /// Served from a queued write's payload; no disk request was made.
+    Hit(Vec<u8>),
+    /// Submitted to the device queue under this request id.
+    Pending(u64),
 }
 
 /// A cheap [`BlockDevice`] handle onto a shared [`EngineCore`].

@@ -42,6 +42,13 @@ impl FfsConfig {
         }
     }
 
+    /// The natural striping unit for this configuration: one cylinder
+    /// group, so allocation locality within a group maps to a single
+    /// spindle and groups rotate round-robin across the array.
+    pub fn stripe_chunk_bytes(&self) -> usize {
+        self.cg_blocks * self.block_size
+    }
+
     /// Builder-style override of the cache size.
     pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
         self.cache_bytes = cache_bytes;

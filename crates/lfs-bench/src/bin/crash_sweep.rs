@@ -11,7 +11,7 @@
 //! Flags: `--smoke` (bounded CI-sized sweep), `--stride N` (test every
 //! N-th crash index).
 
-use lfs_bench::crash_sweep::{sweep, SweepFs, SweepMode, SweepSpec};
+use lfs_bench::crash_sweep::{sweep, sweep_striped, SweepFs, SweepMode, SweepSpec};
 use lfs_bench::{print_table, MetricsReport, Row};
 
 fn main() {
@@ -63,6 +63,33 @@ fn main() {
             all_clean &= out.is_clean();
             samples.extend(out.samples);
         }
+    }
+
+    // Striped volume: the same sweep over a 2-spindle round-robin LFS
+    // volume (drop + torn), proving checkpoint recovery is
+    // stripe-agnostic. Reorder windows are a per-disk cache property and
+    // are covered by the single-disk sweep.
+    for mode in [SweepMode::Drop, SweepMode::Torn] {
+        let out = sweep_striped(mode, &spec, 2);
+        let prefix = format!("sweep.lfs_2spindle.{}", mode.name());
+        registry.counter(&format!("{prefix}.crash_points")).add(out.crash_points);
+        registry.counter(&format!("{prefix}.recovered")).add(out.recovered);
+        registry
+            .counter(&format!("{prefix}.detected_unmountable"))
+            .add(out.detected_unmountable);
+        registry.counter(&format!("{prefix}.violations")).add(out.violations);
+        rows.push(Row::new(
+            format!("lfs x2 {}", mode.name()),
+            vec![
+                out.crash_points.to_string(),
+                out.recovered.to_string(),
+                out.detected_unmountable.to_string(),
+                out.violations.to_string(),
+                if out.is_clean() { "yes" } else { "NO" }.to_string(),
+            ],
+        ));
+        all_clean &= out.is_clean();
+        samples.extend(out.samples);
     }
 
     print_table(

@@ -1,0 +1,259 @@
+//! Stripe scaling — does the log's bandwidth grow with spindle count?
+//!
+//! The paper's core bet is that LFS turns small writes into large
+//! sequential transfers, so its throughput is bounded by *sequential
+//! bandwidth* — a resource that scales linearly with disk count. FFS is
+//! bounded by seeks per create, which striping does not amortize. This
+//! bench mounts the same multi-client small-file create workload on a
+//! [`volume::StripedVolume`] and sweeps spindle count x striping policy
+//! x file system, reporting aggregate write bandwidth per cell.
+//!
+//! Expected shape: LFS under segment round-robin scales close to
+//! linearly (4 spindles >= 3x the 1-spindle bandwidth) because whole
+//! segments land on alternating spindles and drain in parallel. FFS
+//! stays nearly flat (< 1.5x): every create pays synchronous
+//! single-spindle seeks, so extra spindles mostly idle. The binary
+//! asserts both and exits non-zero if either fails.
+//!
+//! Everything runs on the shared virtual clock: output (table and
+//! metrics JSON) is byte-identical across runs.
+//!
+//! `--smoke` runs the CI-sized sweep: spindles {1, 4} x both policies,
+//! LFS only, 16 clients.
+
+use std::sync::Arc;
+
+use engine::run_small_file_create;
+use ffs_baseline::{Ffs, FfsConfig};
+use lfs_bench::{print_table, MetricsReport, Row};
+use lfs_core::{Lfs, LfsConfig};
+use sim_disk::{Clock, DiskGeometry};
+use volume::{StripePolicyKind, StripedVolume, VolumeConfig, VolumeDisk};
+
+/// Modern-host CPU speed (MIPS): fast enough that the disks, not the
+/// CPU, are the contended resource.
+const CPU_MIPS: f64 = 1000.0;
+/// Size of each created file.
+const FILE_SIZE: usize = 4096;
+/// Total files per cell (split across clients — strong scaling).
+const TOTAL_FILES: usize = 4096;
+/// Mean per-client think time between operations.
+const THINK_NS: u64 = 200_000;
+/// Sectors per spindle (64 MB each, Wren IV mechanics).
+const SPINDLE_SECTORS: u64 = 131_072;
+/// RAID-0 chunk for the block-interleave policy.
+const INTERLEAVE_CHUNK: usize = 64 * 1024;
+
+struct Cell {
+    spindles: usize,
+    /// Aggregate physical write bandwidth over the measured run, MB/s.
+    write_mb_s: f64,
+    elapsed_ms: f64,
+    balance_millis: u64,
+}
+
+fn volume_rig(
+    spindles: usize,
+    policy: StripePolicyKind,
+    chunk_bytes: usize,
+) -> (VolumeDisk, Arc<Clock>) {
+    let clock = Clock::new();
+    let cfg = match policy {
+        StripePolicyKind::RrSegment => VolumeConfig::rr_segment(spindles, chunk_bytes),
+        StripePolicyKind::Interleave => VolumeConfig::interleave(spindles, chunk_bytes),
+    };
+    let vol = StripedVolume::new(
+        DiskGeometry::wren_iv().with_sectors(SPINDLE_SECTORS),
+        Arc::clone(&clock),
+        cfg,
+    );
+    (VolumeDisk::new(vol.into_shared()), clock)
+}
+
+/// Sum of physical bytes written across every spindle of the volume.
+fn physical_bytes_written(registry: &obs::Registry, spindles: usize) -> u64 {
+    let snap = registry.snapshot();
+    (0..spindles)
+        .map(|i| snap.counter(&format!("volume.spindle.{i}.disk.bytes_written")))
+        .sum()
+}
+
+fn cell_from_run(
+    registry: &obs::Registry,
+    spindles: usize,
+    bytes_before: u64,
+    elapsed_ns: u64,
+) -> Cell {
+    let bytes = physical_bytes_written(registry, spindles) - bytes_before;
+    Cell {
+        spindles,
+        write_mb_s: bytes as f64 / 1e6 / (elapsed_ns as f64 / 1e9),
+        elapsed_ms: elapsed_ns as f64 / 1e6,
+        balance_millis: registry.snapshot().gauge("volume.stripe_balance_millis"),
+    }
+}
+
+fn run_lfs(
+    spindles: usize,
+    policy: StripePolicyKind,
+    clients: usize,
+    metrics: &mut MetricsReport,
+) -> Cell {
+    let cfg = LfsConfig::paper();
+    let chunk = match policy {
+        StripePolicyKind::RrSegment => cfg.stripe_chunk_bytes(),
+        StripePolicyKind::Interleave => INTERLEAVE_CHUNK,
+    };
+    let (dev, clock) = volume_rig(spindles, policy, chunk);
+    let pump = dev.clone();
+    let mut fs = Lfs::format(dev, cfg, clock).expect("format LFS");
+    fs.set_cpu_mips(CPU_MIPS);
+    let registry = fs.obs().clone();
+    let bytes_before = physical_bytes_written(&registry, spindles);
+    let mcfg = engine::MultiClientConfig::new(clients, TOTAL_FILES / clients, FILE_SIZE)
+        .with_think_ns(THINK_NS);
+    let report = run_small_file_create(&mut fs, &pump, &registry, &mcfg).expect("LFS run");
+    let fsck = fs.fsck().expect("fsck");
+    assert!(fsck.is_clean(), "LFS inconsistent after run:\n{fsck}");
+    metrics.add_lfs(
+        &format!("lfs/{}/s{spindles}/c{clients:03}", policy.name()),
+        &fs,
+    );
+    cell_from_run(&registry, spindles, bytes_before, report.elapsed_ns)
+}
+
+fn run_ffs(
+    spindles: usize,
+    policy: StripePolicyKind,
+    clients: usize,
+    metrics: &mut MetricsReport,
+) -> Cell {
+    let cfg = FfsConfig::paper();
+    let chunk = match policy {
+        StripePolicyKind::RrSegment => cfg.stripe_chunk_bytes(),
+        StripePolicyKind::Interleave => INTERLEAVE_CHUNK,
+    };
+    let (dev, clock) = volume_rig(spindles, policy, chunk);
+    let pump = dev.clone();
+    let mut fs = Ffs::format(dev, cfg, clock).expect("format FFS");
+    fs.set_cpu_mips(CPU_MIPS);
+    let registry = fs.obs().clone();
+    let bytes_before = physical_bytes_written(&registry, spindles);
+    let mcfg = engine::MultiClientConfig::new(clients, TOTAL_FILES / clients, FILE_SIZE)
+        .with_think_ns(THINK_NS);
+    let report = run_small_file_create(&mut fs, &pump, &registry, &mcfg).expect("FFS run");
+    let fsck = fs.fsck().expect("fsck");
+    assert!(fsck.is_clean(), "FFS inconsistent after run:\n{fsck}");
+    metrics.add_ffs(
+        &format!("ffs/{}/s{spindles}/c{clients:03}", policy.name()),
+        &fs,
+    );
+    cell_from_run(&registry, spindles, bytes_before, report.elapsed_ns)
+}
+
+/// Ratio of a sweep's 4-spindle bandwidth to its 1-spindle bandwidth.
+fn scaling_at_4(cells: &[Cell]) -> Option<f64> {
+    let one = cells.iter().find(|c| c.spindles == 1)?;
+    let four = cells.iter().find(|c| c.spindles == 4)?;
+    Some(four.write_mb_s / one.write_mb_s)
+}
+
+fn print_sweep(title: &str, spindle_counts: &[usize], cells: &[Cell]) {
+    let headers: Vec<String> = spindle_counts.iter().map(|n| format!("{n} sp")).collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        title,
+        "metric",
+        &header_refs,
+        &[
+            Row::new(
+                "write MB/s",
+                cells.iter().map(|c| format!("{:.2}", c.write_mb_s)).collect(),
+            ),
+            Row::new(
+                "elapsed ms",
+                cells.iter().map(|c| format!("{:.0}", c.elapsed_ms)).collect(),
+            ),
+            Row::new(
+                "balance (x1000)",
+                cells.iter().map(|c| c.balance_millis.to_string()).collect(),
+            ),
+        ],
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (spindle_counts, client_counts, include_ffs): (&[usize], &[usize], bool) = if smoke {
+        (&[1, 4], &[16], false)
+    } else {
+        (&[1, 2, 4, 8], &[4, 16], true)
+    };
+
+    let mut metrics = MetricsReport::new("stripe_scaling");
+    let mut failures: Vec<String> = Vec::new();
+
+    for &clients in client_counts {
+        for policy in StripePolicyKind::ALL {
+            let lfs_cells: Vec<Cell> = spindle_counts
+                .iter()
+                .map(|&n| run_lfs(n, policy, clients, &mut metrics))
+                .collect();
+            print_sweep(
+                &format!(
+                    "LFS stripe scaling, {} policy, {clients} clients ({TOTAL_FILES} x {FILE_SIZE} B files)",
+                    policy.name()
+                ),
+                spindle_counts,
+                &lfs_cells,
+            );
+            if let Some(ratio) = scaling_at_4(&lfs_cells) {
+                println!("  LFS {} @ {clients} clients: 4-spindle / 1-spindle = {ratio:.2}x", policy.name());
+                if policy == StripePolicyKind::RrSegment && ratio < 3.0 {
+                    failures.push(format!(
+                        "LFS {} @ {clients} clients scaled only {ratio:.2}x at 4 spindles (need >= 3.0x)",
+                        policy.name()
+                    ));
+                }
+            }
+
+            if include_ffs {
+                let ffs_cells: Vec<Cell> = spindle_counts
+                    .iter()
+                    .map(|&n| run_ffs(n, policy, clients, &mut metrics))
+                    .collect();
+                print_sweep(
+                    &format!(
+                        "FFS stripe scaling, {} policy, {clients} clients ({TOTAL_FILES} x {FILE_SIZE} B files)",
+                        policy.name()
+                    ),
+                    spindle_counts,
+                    &ffs_cells,
+                );
+                if let Some(ratio) = scaling_at_4(&ffs_cells) {
+                    println!("  FFS {} @ {clients} clients: 4-spindle / 1-spindle = {ratio:.2}x", policy.name());
+                    if policy == StripePolicyKind::RrSegment && ratio >= 1.5 {
+                        failures.push(format!(
+                            "FFS {} @ {clients} clients scaled {ratio:.2}x at 4 spindles (expected < 1.5x: seeks, not bandwidth, bound FFS)",
+                            policy.name()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "\npaper (SS1-2): LFS is bandwidth-bound, so its throughput scales with \
+         the array's aggregate sequential bandwidth; FFS is seek-bound and \
+         gains little from extra spindles."
+    );
+    metrics.emit();
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("stripe_scaling: FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

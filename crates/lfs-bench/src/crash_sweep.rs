@@ -27,6 +27,7 @@ use ffs_baseline::{Ffs, FfsConfig};
 use lfs_core::{Lfs, LfsConfig};
 use sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
 use vfs::{FileKind, FileSystem, FsError};
+use volume::{StripedVolume, VolumeConfig, VolumeDisk};
 
 /// 8 MB tiny-test volume: big enough for the scripted tree, small enough
 /// that thousands of format+replay+remount cycles stay fast.
@@ -218,6 +219,19 @@ impl Rig for Lfs<SimDisk> {
 impl Rig for Ffs<SimDisk> {
     fn disk_writes(&self) -> u64 {
         self.device().stats().writes
+    }
+    fn check_consistency(&mut self) -> Result<Option<String>, FsError> {
+        let report = self.fsck()?;
+        Ok((!report.is_clean()).then(|| report.to_string()))
+    }
+}
+
+impl Rig for Lfs<VolumeDisk> {
+    /// Writes persisted across all spindles in global persist order —
+    /// the same index space the volume's shared crash plan triggers on,
+    /// so barrier bookkeeping is stripe-agnostic.
+    fn disk_writes(&self) -> u64 {
+        self.device().global_writes()
     }
     fn check_consistency(&mut self) -> Result<Option<String>, FsError> {
         let report = self.fsck()?;
@@ -455,6 +469,97 @@ fn remount_image(image: Vec<u8>) -> (SimDisk, Arc<Clock>) {
         image,
     );
     (disk, clock)
+}
+
+/// Same total logical capacity as the single-disk sweep, cut evenly
+/// across spindles with segment-granular round-robin striping, so the
+/// scripted workload and its durability model are identical.
+fn fresh_volume(spindles: usize) -> (StripedVolume, Arc<Clock>) {
+    assert!(
+        spindles >= 1 && DISK_SECTORS.is_multiple_of(spindles as u64),
+        "spindle count must divide the test capacity"
+    );
+    let clock = Clock::new();
+    let cfg = VolumeConfig::rr_segment(spindles, LfsConfig::small_test().segment_bytes);
+    let vol = StripedVolume::new(
+        DiskGeometry::tiny_test(DISK_SECTORS / spindles as u64),
+        Arc::clone(&clock),
+        cfg,
+    );
+    (vol, clock)
+}
+
+fn remount_volume(spindles: usize, images: Vec<Vec<u8>>) -> (StripedVolume, Arc<Clock>) {
+    let clock = Clock::new();
+    let cfg = VolumeConfig::rr_segment(spindles, LfsConfig::small_test().segment_bytes);
+    let vol = StripedVolume::from_images(
+        DiskGeometry::tiny_test(DISK_SECTORS / spindles as u64),
+        Arc::clone(&clock),
+        cfg,
+        images,
+    );
+    (vol, clock)
+}
+
+/// Sweeps LFS on a multi-spindle round-robin volume under one fault
+/// mode: the same crash plan is armed on every spindle with a shared
+/// write index, so power fails at the globally N-th write wherever it
+/// lands. Checkpoint recovery must be stripe-agnostic: the outcome is
+/// held to exactly the single-disk standard (always mounts, never
+/// silently corrupts, strict content checks).
+pub fn sweep_striped(mode: SweepMode, spec: &SweepSpec, spindles: usize) -> ModeOutcome {
+    let ops = script(spec);
+
+    let model = {
+        let (vol, clock) = fresh_volume(spindles);
+        let dev = VolumeDisk::new(vol.into_shared());
+        let mut fs = Lfs::format(dev, LfsConfig::small_test(), clock).expect("format");
+        let format_writes = fs.disk_writes();
+        dry_run(&mut fs, &ops, format_writes)
+    };
+
+    let mut out = ModeOutcome {
+        fs: SweepFs::Lfs,
+        mode,
+        crash_points: 0,
+        recovered: 0,
+        detected_unmountable: 0,
+        violations: 0,
+        samples: Vec::new(),
+    };
+
+    let mut idx = model.format_writes;
+    while idx < model.total_writes {
+        out.crash_points += 1;
+        let (mut vol, clock) = fresh_volume(spindles);
+        vol.arm_crash_all(mode.plan(idx));
+        let dev = VolumeDisk::new(vol.into_shared());
+        let mut fs = Lfs::format(dev, LfsConfig::small_test(), clock).expect("format");
+        crash_run(&mut fs, &ops);
+        let images = fs.into_device().into_images();
+
+        let (vol, clock) = remount_volume(spindles, images);
+        let dev = VolumeDisk::new(vol.into_shared());
+        let problems = match Lfs::mount(dev, LfsConfig::small_test(), clock) {
+            Ok(mut fs) => {
+                out.recovered += 1;
+                check_recovery(&mut fs, &model, idx, true)
+            }
+            Err(e) => {
+                out.detected_unmountable += 1;
+                vec![format!("LFS mount refused after striped crash: {e}")]
+            }
+        };
+        for p in problems {
+            out.violations += 1;
+            if out.samples.len() < 5 {
+                out.samples
+                    .push(format!("{}x{spindles} @{idx}: {p}", mode.name()));
+            }
+        }
+        idx += spec.stride;
+    }
+    out
 }
 
 /// Sweeps one file system under one fault mode: crash at every

@@ -4,7 +4,7 @@
 //! a failure.
 
 use ffs_baseline::{Ffs, FfsConfig};
-use lfs_bench::crash_sweep::{sweep, SweepFs, SweepMode, SweepSpec};
+use lfs_bench::crash_sweep::{sweep, sweep_striped, SweepFs, SweepMode, SweepSpec};
 use sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
 use std::sync::Arc;
 use vfs::FileSystem;
@@ -50,6 +50,41 @@ fn ffs_never_corrupts_silently_in_any_mode() {
             mode.name()
         );
     }
+}
+
+/// Checkpoint recovery is stripe-agnostic: the same sweep over a
+/// 2-spindle round-robin volume — where the globally N-th write may
+/// land on either spindle — recovers at every crash point.
+#[test]
+fn lfs_survives_every_crash_point_on_a_striped_volume() {
+    for mode in [SweepMode::Drop, SweepMode::Torn] {
+        let out = sweep_striped(mode, &SweepSpec::smoke(), 2);
+        assert!(out.crash_points > 10, "{}: too few crash points", mode.name());
+        assert_eq!(
+            out.recovered,
+            out.crash_points,
+            "{}: striped LFS must remount at every crash point",
+            mode.name()
+        );
+        assert!(
+            out.is_clean(),
+            "{}: {} violations, e.g. {:?}",
+            mode.name(),
+            out.violations,
+            out.samples
+        );
+    }
+}
+
+/// Striped sweeps are as deterministic as single-disk ones.
+#[test]
+fn striped_sweep_outcomes_are_reproducible() {
+    let a = sweep_striped(SweepMode::Torn, &SweepSpec::smoke(), 2);
+    let b = sweep_striped(SweepMode::Torn, &SweepSpec::smoke(), 2);
+    assert_eq!(a.crash_points, b.crash_points);
+    assert_eq!(a.recovered, b.recovered);
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.samples, b.samples);
 }
 
 /// Sweeps are deterministic: the same spec yields identical outcomes.

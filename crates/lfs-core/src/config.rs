@@ -80,6 +80,13 @@ impl LfsConfig {
         self.segment_bytes / self.block_size
     }
 
+    /// The natural striping unit for this configuration: one full
+    /// segment, so each log segment lands on a single spindle and
+    /// successive segments rotate round-robin across the array.
+    pub fn stripe_chunk_bytes(&self) -> usize {
+        self.segment_bytes
+    }
+
     /// Cache capacity in blocks.
     pub fn cache_blocks(&self) -> usize {
         (self.cache_bytes / self.block_size).max(8)

@@ -3,7 +3,7 @@
 use lfs_core::layout::checkpoint::CheckpointRegion;
 use lfs_core::layout::summary::{BlockKind, ChunkSummary};
 use lfs_core::layout::superblock::Superblock;
-use sim_disk::{BlockDevice, SimDisk};
+use sim_disk::BlockDevice;
 use vfs::{FsError, FsResult};
 
 /// Formats one summary entry for display.
@@ -23,7 +23,11 @@ fn entry_desc(kind: BlockKind) -> String {
 
 /// Dumps the superblock, both checkpoint regions, and every segment's
 /// chunk chain to `out`.
-pub fn dump(disk: &mut SimDisk, out: &mut impl std::io::Write, verbose: bool) -> FsResult<()> {
+pub fn dump(
+    disk: &mut impl BlockDevice,
+    out: &mut impl std::io::Write,
+    verbose: bool,
+) -> FsResult<()> {
     let mut first = vec![0u8; sim_disk::SECTOR_SIZE];
     disk.read(0, &mut first)?;
     let sb = Superblock::decode(&first)?;
@@ -126,7 +130,7 @@ pub fn dump(disk: &mut SimDisk, out: &mut impl std::io::Write, verbose: bool) ->
 mod tests {
     use super::*;
     use lfs_core::{Lfs, LfsConfig};
-    use sim_disk::{Clock, DiskGeometry};
+    use sim_disk::{Clock, DiskGeometry, SimDisk};
     use std::sync::Arc;
     use vfs::FileSystem;
 

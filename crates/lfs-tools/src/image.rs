@@ -6,26 +6,76 @@
 
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use sim_disk::{Clock, DiskGeometry, SimDisk, SECTOR_SIZE};
+use volume::{StripedVolume, VolumeConfig, VolumeDisk};
 
-/// Loads a disk image file, padding it to the geometry if shorter.
-pub fn load(path: &Path, geometry: &DiskGeometry) -> io::Result<SimDisk> {
+/// Reads an image file, padding with zeros to `want` bytes.
+fn read_padded(path: &Path, want: usize) -> io::Result<Vec<u8>> {
     let mut data = fs::read(path)?;
-    let want = geometry.num_sectors as usize * SECTOR_SIZE;
     if data.len() > want {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!(
-                "image is larger than the device ({} > {want} bytes)",
+                "image {} is larger than the device ({} > {want} bytes)",
+                path.display(),
                 data.len()
             ),
         ));
     }
     data.resize(want, 0);
+    Ok(data)
+}
+
+/// Loads a disk image file, padding it to the geometry if shorter.
+pub fn load(path: &Path, geometry: &DiskGeometry) -> io::Result<SimDisk> {
+    let data = read_padded(path, geometry.num_sectors as usize * SECTOR_SIZE)?;
     Ok(SimDisk::from_image(geometry.clone(), Clock::new(), data))
+}
+
+/// Per-spindle backing-image paths for a striped volume:
+/// `<image>.s0`, `<image>.s1`, …
+pub fn spindle_paths(path: &Path, spindles: usize) -> Vec<PathBuf> {
+    (0..spindles)
+        .map(|i| {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(format!(".s{i}"));
+            PathBuf::from(name)
+        })
+        .collect()
+}
+
+/// Loads a striped volume from one backing image per spindle, each
+/// padded to the per-spindle geometry if shorter.
+pub fn load_striped(
+    path: &Path,
+    geometry: &DiskGeometry,
+    cfg: VolumeConfig,
+) -> io::Result<VolumeDisk> {
+    let want = geometry.num_sectors as usize * SECTOR_SIZE;
+    let images = spindle_paths(path, cfg.spindles)
+        .iter()
+        .map(|p| read_padded(p, want))
+        .collect::<io::Result<Vec<_>>>()?;
+    let vol = StripedVolume::from_images(geometry.clone(), Clock::new(), cfg, images);
+    Ok(VolumeDisk::new(vol.into_shared()))
+}
+
+/// Creates a zero-filled striped volume of the per-spindle geometry.
+pub fn create_blank_striped(geometry: &DiskGeometry, cfg: VolumeConfig) -> VolumeDisk {
+    VolumeDisk::new(StripedVolume::new(geometry.clone(), Clock::new(), cfg).into_shared())
+}
+
+/// Writes a striped volume's spindles back to their backing images.
+/// Consumes the handle: the caller must hold the only one.
+pub fn save_striped(path: &Path, disk: VolumeDisk) -> io::Result<()> {
+    let images = disk.into_images();
+    for (p, image) in spindle_paths(path, images.len()).iter().zip(&images) {
+        fs::write(p, image)?;
+    }
+    Ok(())
 }
 
 /// Creates a zero-filled image of the geometry's size.

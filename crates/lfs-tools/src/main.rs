@@ -16,15 +16,23 @@
 //! Images are flat files; a missing image is created zero-filled by
 //! `mkfs`. The `--size-mb` option (default 32) sets the simulated disk
 //! size when creating or when the image needs padding.
+//!
+//! Every subcommand also accepts `--spindles N` (default 1): the volume
+//! is then a striped array of N disks with one backing image per
+//! spindle, named `<image>.s0`, `<image>.s1`, … — `<image>` itself is
+//! never touched. Striping is segment round-robin and `--size-mb` is
+//! the size of *each* spindle.
 
 use std::io::Write;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use lfs_core::{Lfs, LfsConfig};
 use lfs_tools::image;
-use sim_disk::SimDisk;
+use sim_disk::{BlockDevice, Clock, SimDisk};
 use vfs::FileSystem;
+use volume::{VolumeConfig, VolumeDisk};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -37,6 +45,7 @@ fn usage() -> ExitCode {
 struct Opts {
     image: PathBuf,
     size_mb: u64,
+    spindles: usize,
     verbose: bool,
     target: usize,
     rest: Vec<String>,
@@ -46,6 +55,7 @@ fn parse(args: &[String]) -> Option<Opts> {
     let mut opts = Opts {
         image: PathBuf::new(),
         size_mb: 32,
+        spindles: 1,
         verbose: false,
         target: 8,
         rest: Vec::new(),
@@ -55,6 +65,7 @@ fn parse(args: &[String]) -> Option<Opts> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--size-mb" => opts.size_mb = it.next()?.parse().ok()?,
+            "--spindles" => opts.spindles = it.next()?.parse().ok().filter(|&n| n > 0)?,
             "--target" => opts.target = it.next()?.parse().ok()?,
             "-v" | "--verbose" => opts.verbose = true,
             _ => positional.push(arg.clone()),
@@ -70,16 +81,72 @@ fn cli_config() -> LfsConfig {
     LfsConfig::paper().with_cache_bytes(2 * 1024 * 1024)
 }
 
-fn mount(opts: &Opts) -> Result<Lfs<SimDisk>, String> {
-    let geometry = image::geometry_for_mb(opts.size_mb);
-    let disk = image::load(&opts.image, &geometry).map_err(|e| e.to_string())?;
-    let clock = disk.clock().clone();
-    Lfs::mount(disk, cli_config(), clock).map_err(|e| format!("mount failed: {e}"))
+/// Striping config used by the CLI: segment round-robin.
+fn striped_config(spindles: usize) -> VolumeConfig {
+    VolumeConfig::rr_segment(spindles, cli_config().stripe_chunk_bytes())
 }
 
-fn save(fs: Lfs<SimDisk>, path: &Path) -> Result<(), String> {
-    let disk = fs.into_device();
-    image::save(path, &disk).map_err(|e| e.to_string())
+/// How a logical volume maps to host files: one flat image, or one
+/// backing image per spindle of a striped array. Commands are generic
+/// over this, so single-disk and striped volumes share every code path.
+trait Backing {
+    type Dev: BlockDevice;
+    fn load(&self, opts: &Opts) -> Result<Self::Dev, String>;
+    fn create_blank(&self, opts: &Opts) -> Self::Dev;
+    fn clock(dev: &Self::Dev) -> Arc<Clock>;
+    fn save(&self, opts: &Opts, dev: Self::Dev) -> Result<(), String>;
+}
+
+struct SingleImage;
+
+impl Backing for SingleImage {
+    type Dev = SimDisk;
+
+    fn load(&self, opts: &Opts) -> Result<SimDisk, String> {
+        image::load(&opts.image, &image::geometry_for_mb(opts.size_mb)).map_err(|e| e.to_string())
+    }
+
+    fn create_blank(&self, opts: &Opts) -> SimDisk {
+        image::create_blank(&image::geometry_for_mb(opts.size_mb))
+    }
+
+    fn clock(dev: &SimDisk) -> Arc<Clock> {
+        dev.clock().clone()
+    }
+
+    fn save(&self, opts: &Opts, dev: SimDisk) -> Result<(), String> {
+        image::save(&opts.image, &dev).map_err(|e| e.to_string())
+    }
+}
+
+struct StripedImages;
+
+impl Backing for StripedImages {
+    type Dev = VolumeDisk;
+
+    fn load(&self, opts: &Opts) -> Result<VolumeDisk, String> {
+        image::load_striped(
+            &opts.image,
+            &image::geometry_for_mb(opts.size_mb),
+            striped_config(opts.spindles),
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    fn create_blank(&self, opts: &Opts) -> VolumeDisk {
+        image::create_blank_striped(
+            &image::geometry_for_mb(opts.size_mb),
+            striped_config(opts.spindles),
+        )
+    }
+
+    fn clock(dev: &VolumeDisk) -> Arc<Clock> {
+        Arc::clone(dev.volume().borrow().clock())
+    }
+
+    fn save(&self, opts: &Opts, dev: VolumeDisk) -> Result<(), String> {
+        image::save_striped(&opts.image, dev).map_err(|e| e.to_string())
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -91,11 +158,27 @@ fn run() -> Result<(), String> {
         return Err("bad arguments".into());
     };
 
-    match command.as_str() {
+    if opts.spindles == 1 {
+        run_cmd(&command, &opts, SingleImage)
+    } else {
+        run_cmd(&command, &opts, StripedImages)
+    }
+}
+
+fn run_cmd<B: Backing>(command: &str, opts: &Opts, backing: B) -> Result<(), String> {
+    let mount = |backing: &B| -> Result<Lfs<B::Dev>, String> {
+        let dev = backing.load(opts)?;
+        let clock = B::clock(&dev);
+        Lfs::mount(dev, cli_config(), clock).map_err(|e| format!("mount failed: {e}"))
+    };
+    let save = |backing: &B, fs: Lfs<B::Dev>| -> Result<(), String> {
+        backing.save(opts, fs.into_device())
+    };
+
+    match command {
         "mkfs" => {
-            let geometry = image::geometry_for_mb(opts.size_mb);
-            let disk = image::create_blank(&geometry);
-            let clock = disk.clock().clone();
+            let disk = backing.create_blank(opts);
+            let clock = B::clock(&disk);
             let fs = Lfs::format(disk, cli_config(), clock)
                 .map_err(|e| format!("format failed: {e}"))?;
             println!(
@@ -104,10 +187,10 @@ fn run() -> Result<(), String> {
                 fs.superblock().nsegments,
                 fs.superblock().seg_blocks
             );
-            save(fs, &opts.image)
+            save(&backing, fs)
         }
         "fsck" => {
-            let mut fs = mount(&opts)?;
+            let mut fs = mount(&backing)?;
             let report = fs.fsck().map_err(|e| format!("fsck failed: {e}"))?;
             println!("{report}");
             if report.is_clean() {
@@ -117,7 +200,7 @@ fn run() -> Result<(), String> {
             }
         }
         "verify" => {
-            let mut fs = mount(&opts)?;
+            let mut fs = mount(&backing)?;
             let report = fs.scrub().map_err(|e| format!("verify failed: {e}"))?;
             println!(
                 "scrubbed {} segments: {} blocks verified, {} bad, \
@@ -136,7 +219,7 @@ fn run() -> Result<(), String> {
             if report.relocated > 0 {
                 // The scrub rewrote damaged blocks at the log head and
                 // checkpointed; persist the repaired image.
-                save(fs, &opts.image)?;
+                save(&backing, fs)?;
                 println!("relocations written back to {}", opts.image.display());
             }
             if clean {
@@ -149,24 +232,23 @@ fn run() -> Result<(), String> {
             }
         }
         "dumpfs" => {
-            let geometry = image::geometry_for_mb(opts.size_mb);
-            let mut disk = image::load(&opts.image, &geometry).map_err(|e| e.to_string())?;
+            let mut disk = backing.load(opts)?;
             let mut out = std::io::stdout().lock();
             lfs_tools::dump::dump(&mut disk, &mut out, opts.verbose)
                 .map_err(|e| format!("dump failed: {e}"))
         }
         "clean" => {
-            let mut fs = mount(&opts)?;
+            let mut fs = mount(&backing)?;
             let before = fs.usage_table().clean_count();
             let after = fs
                 .clean_until(opts.target)
                 .map_err(|e| format!("cleaning failed: {e}"))?;
             println!("clean segments: {before} -> {after}");
             fs.sync().map_err(|e| format!("sync failed: {e}"))?;
-            save(fs, &opts.image)
+            save(&backing, fs)
         }
         "df" => {
-            let mut fs = mount(&opts)?;
+            let mut fs = mount(&backing)?;
             use lfs_core::layout::usage_block::SegState;
             let usage = fs.usage_table();
             let seg_kb = usage.seg_bytes() / 1024;
@@ -191,7 +273,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "stat" => {
-            let mut fs = mount(&opts)?;
+            let mut fs = mount(&backing)?;
             let path = opts.rest.first().ok_or("stat: missing path")?;
             let ino = fs.lookup(path).map_err(|e| format!("stat: {e}"))?;
             let meta = fs.stat(ino).map_err(|e| format!("stat: {e}"))?;
@@ -210,7 +292,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "ls" => {
-            let mut fs = mount(&opts)?;
+            let mut fs = mount(&backing)?;
             let path = opts.rest.first().map(String::as_str).unwrap_or("/");
             let entries = fs.readdir(path).map_err(|e| format!("ls: {e}"))?;
             for entry in entries {
@@ -225,7 +307,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "cat" => {
-            let mut fs = mount(&opts)?;
+            let mut fs = mount(&backing)?;
             let path = opts.rest.first().ok_or("cat: missing path")?;
             let data = fs.read_file(path).map_err(|e| format!("cat: {e}"))?;
             std::io::stdout()
@@ -233,7 +315,7 @@ fn run() -> Result<(), String> {
                 .map_err(|e| e.to_string())
         }
         "put" => {
-            let mut fs = mount(&opts)?;
+            let mut fs = mount(&backing)?;
             let host = opts.rest.first().ok_or("put: missing host file")?;
             let path = opts.rest.get(1).ok_or("put: missing target path")?;
             let data = std::fs::read(host).map_err(|e| e.to_string())?;
@@ -241,7 +323,7 @@ fn run() -> Result<(), String> {
                 .map_err(|e| format!("put: {e}"))?;
             fs.sync().map_err(|e| format!("sync failed: {e}"))?;
             println!("wrote {} bytes to {path}", data.len());
-            save(fs, &opts.image)
+            save(&backing, fs)
         }
         _ => Err(format!("unknown subcommand '{command}'")),
     }

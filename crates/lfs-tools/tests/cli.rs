@@ -176,6 +176,66 @@ fn verify_flags_bit_rot_in_the_image() {
     assert!(stderr.contains("bad block"), "{stderr}");
 }
 
+/// `--spindles N` mounts a striped volume with one backing image per
+/// spindle (`<image>.s0`, `<image>.s1`, …); the full round trip works
+/// and the data really lands across both images.
+#[test]
+fn striped_mkfs_put_verify_round_trip() {
+    let dir = tmpdir("striped");
+    let image_path = dir.join("vol.img");
+    let image = image_path.to_str().unwrap();
+
+    let out = run_ok(&["mkfs", image, "--size-mb", "16", "--spindles", "2"]);
+    assert!(out.contains("formatted"), "{out}");
+    // One backing image per spindle; the flat image itself is never made.
+    assert!(dir.join("vol.img.s0").exists());
+    assert!(dir.join("vol.img.s1").exists());
+    assert!(!image_path.exists());
+
+    // Big enough (3 MB) that the log crosses several 1 MB stripe chunks
+    // and demonstrably reaches the second spindle.
+    let host = dir.join("h.txt");
+    std::fs::write(&host, vec![0x5Au8; 3 << 20]).unwrap();
+    let out = run_ok(&[
+        "put",
+        image,
+        host.to_str().unwrap(),
+        "/wide",
+        "--size-mb",
+        "16",
+        "--spindles",
+        "2",
+    ]);
+    assert!(out.contains("wrote 3145728 bytes"), "{out}");
+
+    let out = run_ok(&["ls", image, "/", "--size-mb", "16", "--spindles", "2"]);
+    assert!(out.contains("wide"), "{out}");
+    let out = run_ok(&["cat", image, "/wide", "--size-mb", "16", "--spindles", "2"]);
+    assert_eq!(out.len(), 3 << 20);
+
+    let out = run_ok(&["fsck", image, "--size-mb", "16", "--spindles", "2"]);
+    assert!(out.contains("clean"), "{out}");
+    let out = run_ok(&["verify", image, "--size-mb", "16", "--spindles", "2"]);
+    assert!(out.contains("0 bad"), "{out}");
+    let out = run_ok(&["dumpfs", image, "--size-mb", "16", "--spindles", "2"]);
+    assert!(out.contains("superblock:"), "{out}");
+
+    // Both spindles carry live data: segment round-robin puts the
+    // superblock/checkpoints on spindle 0 and spreads log segments, so
+    // neither image may be all zeros.
+    for s in ["vol.img.s0", "vol.img.s1"] {
+        let bytes = std::fs::read(dir.join(s)).unwrap();
+        assert!(
+            bytes.iter().any(|&b| b != 0),
+            "{s} is all zeros — striping never touched it"
+        );
+    }
+
+    // A wrong spindle count must not mount as a healthy volume.
+    let out = run(&["fsck", image, "--size-mb", "16", "--spindles", "3"]);
+    assert!(!out.status.success(), "fsck with wrong spindle count must fail");
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     assert!(!run(&[]).status.success());

@@ -103,8 +103,10 @@ pub trait BlockDevice {
 
 /// Validates a request against device capacity and sector alignment.
 ///
-/// Shared by the device implementations in this crate.
-pub(crate) fn check_request(sector: u64, len: usize, capacity: u64) -> DiskResult<u64> {
+/// Shared by the device implementations in this crate, and public so
+/// layered devices (e.g. a striped volume) can validate against their
+/// own logical capacity before fanning a request out.
+pub fn check_request(sector: u64, len: usize, capacity: u64) -> DiskResult<u64> {
     if !len.is_multiple_of(crate::SECTOR_SIZE) {
         return Err(DiskError::UnalignedLength(len));
     }

@@ -1,6 +1,7 @@
 //! The mechanically modelled disk simulator.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use obs::{Counter, Hist, Registry};
@@ -18,6 +19,11 @@ use crate::SECTOR_SIZE;
 #[derive(Debug, Clone)]
 struct DiskObs {
     registry: Registry,
+    /// Metric-name prefix (e.g. `"volume.spindle.0."`). Empty for a
+    /// standalone disk, whose instruments keep their classic `disk.*`
+    /// names. A prefix keeps several disks apart when they all report
+    /// into one shared registry.
+    prefix: String,
     reads: Counter,
     writes: Counter,
     sync_writes: Counter,
@@ -40,56 +46,62 @@ struct DiskObs {
 }
 
 impl DiskObs {
-    fn from_registry(registry: &Registry) -> Self {
+    fn from_registry(registry: &Registry, prefix: &str) -> Self {
+        let n = |suffix: &str| format!("{prefix}{suffix}");
         DiskObs {
             registry: registry.clone(),
-            reads: registry.counter("disk.reads"),
-            writes: registry.counter("disk.writes"),
-            sync_writes: registry.counter("disk.sync_writes"),
-            seeks: registry.counter("disk.seeks"),
-            sequential: registry.counter("disk.sequential"),
-            bytes_read: registry.counter("disk.bytes_read"),
-            bytes_written: registry.counter("disk.bytes_written"),
-            busy_ns: registry.counter("disk.busy_ns"),
-            seek_ns: registry.counter("disk.seek_ns"),
-            rotation_ns: registry.counter("disk.rotation_ns"),
-            transfer_ns: registry.counter("disk.transfer_ns"),
-            queue_wait_ns: registry.counter("disk.queue_wait_ns"),
-            coalesced: registry.counter("disk.coalesced_writes"),
-            faults_unreadable: registry.counter("faults.unreadable_reads"),
-            faults_transient: registry.counter("faults.transient_errors"),
-            faults_rot_reads: registry.counter("faults.rot_reads"),
-            faults_cleared: registry.counter("faults.cleared_by_write"),
-            read_lat: registry.hist("disk.read_service_ns"),
-            write_lat: registry.hist("disk.write_service_ns"),
+            prefix: prefix.to_string(),
+            reads: registry.counter(&n("disk.reads")),
+            writes: registry.counter(&n("disk.writes")),
+            sync_writes: registry.counter(&n("disk.sync_writes")),
+            seeks: registry.counter(&n("disk.seeks")),
+            sequential: registry.counter(&n("disk.sequential")),
+            bytes_read: registry.counter(&n("disk.bytes_read")),
+            bytes_written: registry.counter(&n("disk.bytes_written")),
+            busy_ns: registry.counter(&n("disk.busy_ns")),
+            seek_ns: registry.counter(&n("disk.seek_ns")),
+            rotation_ns: registry.counter(&n("disk.rotation_ns")),
+            transfer_ns: registry.counter(&n("disk.transfer_ns")),
+            queue_wait_ns: registry.counter(&n("disk.queue_wait_ns")),
+            coalesced: registry.counter(&n("disk.coalesced_writes")),
+            faults_unreadable: registry.counter(&n("faults.unreadable_reads")),
+            faults_transient: registry.counter(&n("faults.transient_errors")),
+            faults_rot_reads: registry.counter(&n("faults.rot_reads")),
+            faults_cleared: registry.counter(&n("faults.cleared_by_write")),
+            read_lat: registry.hist(&n("disk.read_service_ns")),
+            write_lat: registry.hist(&n("disk.write_service_ns")),
         }
     }
 
-    /// Re-homes every instrument into `registry`, carrying counts over.
+    /// Re-homes every instrument into `registry` under the current
+    /// prefix, carrying counts over.
     fn rehome(&mut self, registry: &Registry) {
         self.registry = registry.clone();
-        self.reads = registry.adopt_counter("disk.reads", &self.reads);
-        self.writes = registry.adopt_counter("disk.writes", &self.writes);
-        self.sync_writes = registry.adopt_counter("disk.sync_writes", &self.sync_writes);
-        self.seeks = registry.adopt_counter("disk.seeks", &self.seeks);
-        self.sequential = registry.adopt_counter("disk.sequential", &self.sequential);
-        self.bytes_read = registry.adopt_counter("disk.bytes_read", &self.bytes_read);
-        self.bytes_written = registry.adopt_counter("disk.bytes_written", &self.bytes_written);
-        self.busy_ns = registry.adopt_counter("disk.busy_ns", &self.busy_ns);
-        self.seek_ns = registry.adopt_counter("disk.seek_ns", &self.seek_ns);
-        self.rotation_ns = registry.adopt_counter("disk.rotation_ns", &self.rotation_ns);
-        self.transfer_ns = registry.adopt_counter("disk.transfer_ns", &self.transfer_ns);
-        self.queue_wait_ns = registry.adopt_counter("disk.queue_wait_ns", &self.queue_wait_ns);
-        self.coalesced = registry.adopt_counter("disk.coalesced_writes", &self.coalesced);
+        let prefix = self.prefix.clone();
+        let n = |suffix: &str| format!("{prefix}{suffix}");
+        self.reads = registry.adopt_counter(&n("disk.reads"), &self.reads);
+        self.writes = registry.adopt_counter(&n("disk.writes"), &self.writes);
+        self.sync_writes = registry.adopt_counter(&n("disk.sync_writes"), &self.sync_writes);
+        self.seeks = registry.adopt_counter(&n("disk.seeks"), &self.seeks);
+        self.sequential = registry.adopt_counter(&n("disk.sequential"), &self.sequential);
+        self.bytes_read = registry.adopt_counter(&n("disk.bytes_read"), &self.bytes_read);
+        self.bytes_written = registry.adopt_counter(&n("disk.bytes_written"), &self.bytes_written);
+        self.busy_ns = registry.adopt_counter(&n("disk.busy_ns"), &self.busy_ns);
+        self.seek_ns = registry.adopt_counter(&n("disk.seek_ns"), &self.seek_ns);
+        self.rotation_ns = registry.adopt_counter(&n("disk.rotation_ns"), &self.rotation_ns);
+        self.transfer_ns = registry.adopt_counter(&n("disk.transfer_ns"), &self.transfer_ns);
+        self.queue_wait_ns = registry.adopt_counter(&n("disk.queue_wait_ns"), &self.queue_wait_ns);
+        self.coalesced = registry.adopt_counter(&n("disk.coalesced_writes"), &self.coalesced);
         self.faults_unreadable =
-            registry.adopt_counter("faults.unreadable_reads", &self.faults_unreadable);
+            registry.adopt_counter(&n("faults.unreadable_reads"), &self.faults_unreadable);
         self.faults_transient =
-            registry.adopt_counter("faults.transient_errors", &self.faults_transient);
-        self.faults_rot_reads = registry.adopt_counter("faults.rot_reads", &self.faults_rot_reads);
+            registry.adopt_counter(&n("faults.transient_errors"), &self.faults_transient);
+        self.faults_rot_reads =
+            registry.adopt_counter(&n("faults.rot_reads"), &self.faults_rot_reads);
         self.faults_cleared =
-            registry.adopt_counter("faults.cleared_by_write", &self.faults_cleared);
-        self.read_lat = registry.adopt_hist("disk.read_service_ns", &self.read_lat);
-        self.write_lat = registry.adopt_hist("disk.write_service_ns", &self.write_lat);
+            registry.adopt_counter(&n("faults.cleared_by_write"), &self.faults_cleared);
+        self.read_lat = registry.adopt_hist(&n("disk.read_service_ns"), &self.read_lat);
+        self.write_lat = registry.adopt_hist(&n("disk.write_service_ns"), &self.write_lat);
     }
 }
 
@@ -221,6 +233,11 @@ pub struct SimDisk {
     /// issued, queued writes count when [`SimDisk::complete`] services
     /// them.
     write_index: u64,
+    /// When set, crash plans index into this *shared* write counter
+    /// instead of the per-disk one, so a multi-spindle volume can arm
+    /// one plan across all spindles and crash whichever disk services
+    /// the globally N-th write. See [`SimDisk::share_write_index`].
+    shared_write_index: Option<Arc<AtomicU64>>,
     crash_plan: Option<CrashPlan>,
     crashed: bool,
     /// Armed per-sector media faults; see [`MediaFaultPlan`].
@@ -249,6 +266,7 @@ impl SimDisk {
             head: 0,
             busy_until_ns: 0,
             write_index: 0,
+            shared_write_index: None,
             crash_plan: None,
             crashed: false,
             media_faults: None,
@@ -256,7 +274,7 @@ impl SimDisk {
             pending: Vec::new(),
             next_io_id: 0,
             held: VecDeque::new(),
-            obs: DiskObs::from_registry(&Registry::new()),
+            obs: DiskObs::from_registry(&Registry::new(), ""),
         }
     }
 
@@ -314,6 +332,27 @@ impl SimDisk {
     /// Arms a crash plan. See [`CrashPlan`].
     pub fn arm_crash(&mut self, plan: CrashPlan) {
         self.crash_plan = Some(plan);
+    }
+
+    /// Draws crash-plan write indices from `counter` instead of this
+    /// disk's private count.
+    ///
+    /// A striped volume hands every spindle the same counter and arms
+    /// the same [`CrashPlan`] on each: writes are then numbered in
+    /// global persist order across spindles, and exactly the spindle
+    /// servicing the N-th write crashes — the others stop at their next
+    /// request, just like drives sharing a failed power supply.
+    pub fn share_write_index(&mut self, counter: Arc<AtomicU64>) {
+        self.shared_write_index = Some(counter);
+    }
+
+    /// Re-homes this disk's instruments under `prefix` (for example
+    /// `"volume.spindle.0."`) in a fresh private registry, carrying any
+    /// accumulated counts. Several prefixed disks can then attach to
+    /// one shared registry without their metric names colliding.
+    pub fn set_metric_prefix(&mut self, prefix: &str) {
+        self.obs.prefix = prefix.to_string();
+        self.obs.rehome(&Registry::new());
     }
 
     /// Returns true if the armed crash has triggered.
@@ -456,7 +495,12 @@ impl SimDisk {
     /// caller must stop with [`DiskError::Crashed`] after applying the
     /// prefix. On a crash every held and still-queued write is lost.
     fn crash_check(&mut self, sector: u64, len: usize) -> Option<usize> {
-        let this_write = self.write_index;
+        // Writes are numbered in persist order — globally, across every
+        // disk sharing the counter, when one is installed.
+        let this_write = match &self.shared_write_index {
+            Some(counter) => counter.fetch_add(1, Ordering::Relaxed),
+            None => self.write_index,
+        };
         self.write_index += 1;
         let plan = self.crash_plan?;
         if this_write != plan.crash_at_write {

@@ -1,0 +1,592 @@
+//! The striped volume: N spindles behind one [`BlockDevice`].
+//!
+//! A [`StripedVolume`] owns one [`EngineCore`] per spindle — each an
+//! independent [`SimDisk`] with its own mechanical model, request
+//! queue, and scheduler instance, all sharing one virtual [`Clock`] —
+//! and fans every logical request out to per-spindle sub-requests
+//! according to a [`StripePolicy`]. A logical request completes only
+//! when all of its pieces have landed; a partial failure surfaces the
+//! first piece's [`DiskError`], translated back into the volume's
+//! logical address space.
+//!
+//! The overlap that makes striping pay comes from two places:
+//!
+//! * **Asynchronous writes** only push out each spindle's busy horizon,
+//!   so horizons grow in parallel and the final flush waits for the
+//!   *maximum* horizon, not the sum.
+//! * **Synchronous requests** use the engine's split start/finish API:
+//!   every piece is submitted before any is waited on, so the spindles
+//!   service their pieces in overlapped virtual time.
+//!
+//! Crash plans arm across all spindles with a shared write index (see
+//! [`SimDisk::share_write_index`]): power fails at the globally N-th
+//! write, wherever it lands, and every spindle stops together.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use engine::{EngineConfig, EngineCore, RequestEngine};
+use obs::{Counter, Gauge, Registry};
+use sim_disk::{
+    check_request, BlockDevice, Clock, CrashPlan, DiskError, DiskGeometry, DiskResult, SimDisk,
+};
+
+use crate::policy::{
+    split_request, to_logical, BlockInterleave, SegmentRoundRobin, StripePolicy, StripePolicyKind,
+    SubRequest,
+};
+
+/// Parameters of a striped volume.
+#[derive(Debug, Clone)]
+pub struct VolumeConfig {
+    /// Number of spindles (independent disks). One is allowed: the
+    /// volume then behaves exactly like a single engine-fronted disk.
+    pub spindles: usize,
+    /// Striping policy.
+    pub policy: StripePolicyKind,
+    /// Stripe-unit size in bytes: the LFS segment size for
+    /// [`StripePolicyKind::RrSegment`], a small power of two for
+    /// [`StripePolicyKind::Interleave`].
+    pub chunk_bytes: usize,
+    /// Per-spindle engine configuration (scheduler, queue depth, ...).
+    pub engine: EngineConfig,
+}
+
+impl VolumeConfig {
+    /// Segment-granular round-robin over `spindles` disks.
+    pub fn rr_segment(spindles: usize, segment_bytes: usize) -> Self {
+        Self {
+            spindles,
+            policy: StripePolicyKind::RrSegment,
+            chunk_bytes: segment_bytes,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// RAID-0 block interleave over `spindles` disks.
+    pub fn interleave(spindles: usize, chunk_bytes: usize) -> Self {
+        Self {
+            spindles,
+            policy: StripePolicyKind::Interleave,
+            chunk_bytes,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// Replaces the per-spindle engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    fn build_policy(&self) -> Box<dyn StripePolicy> {
+        match self.policy {
+            StripePolicyKind::RrSegment => Box::new(SegmentRoundRobin::new(self.chunk_bytes)),
+            StripePolicyKind::Interleave => Box::new(BlockInterleave::new(self.chunk_bytes)),
+        }
+    }
+}
+
+/// The volume's aggregate instruments (per-spindle instruments live
+/// under `volume.spindle.<i>.*` via each engine's metric prefix).
+#[derive(Debug, Clone)]
+struct VolumeObs {
+    registry: Registry,
+    reads: Counter,
+    writes: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    subrequests: Counter,
+    spindles: Gauge,
+    balance: Gauge,
+}
+
+impl VolumeObs {
+    fn from_registry(registry: &Registry) -> Self {
+        VolumeObs {
+            registry: registry.clone(),
+            reads: registry.counter("volume.reads"),
+            writes: registry.counter("volume.writes"),
+            bytes_read: registry.counter("volume.bytes_read"),
+            bytes_written: registry.counter("volume.bytes_written"),
+            subrequests: registry.counter("volume.subrequests"),
+            spindles: registry.gauge("volume.spindles"),
+            balance: registry.gauge("volume.stripe_balance_millis"),
+        }
+    }
+
+    fn rehome(&mut self, registry: &Registry) {
+        self.registry = registry.clone();
+        self.reads = registry.adopt_counter("volume.reads", &self.reads);
+        self.writes = registry.adopt_counter("volume.writes", &self.writes);
+        self.bytes_read = registry.adopt_counter("volume.bytes_read", &self.bytes_read);
+        self.bytes_written = registry.adopt_counter("volume.bytes_written", &self.bytes_written);
+        self.subrequests = registry.adopt_counter("volume.subrequests", &self.subrequests);
+        self.spindles = registry.adopt_gauge("volume.spindles", &self.spindles);
+        self.balance = registry.adopt_gauge("volume.stripe_balance_millis", &self.balance);
+    }
+}
+
+/// N independent spindles striped into one logical block device.
+pub struct StripedVolume {
+    spindles: Vec<EngineCore>,
+    policy: Box<dyn StripePolicy>,
+    cfg: VolumeConfig,
+    clock: Arc<Clock>,
+    /// Logical capacity: with several spindles, each disk contributes
+    /// only whole stripe units.
+    num_sectors: u64,
+    /// Global write index shared by every spindle's crash plan.
+    global_writes: Arc<AtomicU64>,
+    /// Set once any spindle reports [`DiskError::Crashed`]; all
+    /// subsequent volume operations fail fast — one power supply.
+    crashed: bool,
+    obs: VolumeObs,
+}
+
+impl StripedVolume {
+    /// Creates a volume of `cfg.spindles` zero-filled disks, each with
+    /// `geometry`, sharing `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.spindles` is zero or `cfg.chunk_bytes` is not a
+    /// positive multiple of the sector size.
+    pub fn new(geometry: DiskGeometry, clock: Arc<Clock>, cfg: VolumeConfig) -> Self {
+        Self::build(geometry, clock, cfg, None)
+    }
+
+    /// Revives a volume from per-spindle images (e.g. after a crash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image count does not match `cfg.spindles` or any
+    /// image does not match `geometry`.
+    pub fn from_images(
+        geometry: DiskGeometry,
+        clock: Arc<Clock>,
+        cfg: VolumeConfig,
+        images: Vec<Vec<u8>>,
+    ) -> Self {
+        assert_eq!(images.len(), cfg.spindles, "one image per spindle");
+        Self::build(geometry, clock, cfg, Some(images))
+    }
+
+    fn build(
+        geometry: DiskGeometry,
+        clock: Arc<Clock>,
+        cfg: VolumeConfig,
+        images: Option<Vec<Vec<u8>>>,
+    ) -> Self {
+        assert!(cfg.spindles >= 1, "a volume needs at least one spindle");
+        let policy = cfg.build_policy();
+        let chunk_sectors = policy.chunk_sectors();
+        // A single spindle is the identity mapping over the whole disk;
+        // with several, each contributes only whole stripe units.
+        let num_sectors = if cfg.spindles == 1 {
+            geometry.num_sectors
+        } else {
+            (geometry.num_sectors / chunk_sectors) * chunk_sectors * cfg.spindles as u64
+        };
+        // Per-spindle engines never coalesce across a stripe boundary
+        // (two physically adjacent chunks belong to different stripe
+        // units). A 1-spindle volume keeps the engine config untouched
+        // so it behaves exactly like a plain EngineDisk.
+        let mut engine_cfg = cfg.engine.clone();
+        if cfg.spindles > 1 {
+            engine_cfg = engine_cfg.with_stripe_boundary_sectors(chunk_sectors);
+        }
+
+        let registry = Registry::new();
+        let obs = VolumeObs::from_registry(&registry);
+        let global_writes = Arc::new(AtomicU64::new(0));
+        let mut images = images.map(|v| v.into_iter());
+        let spindles: Vec<EngineCore> = (0..cfg.spindles)
+            .map(|i| {
+                let mut disk = match images.as_mut().and_then(|it| it.next()) {
+                    Some(image) => {
+                        SimDisk::from_image(geometry.clone(), Arc::clone(&clock), image)
+                    }
+                    None => SimDisk::new(geometry.clone(), Arc::clone(&clock)),
+                };
+                disk.share_write_index(Arc::clone(&global_writes));
+                let mut core = EngineCore::new(disk, engine_cfg.clone());
+                core.set_metric_prefix(&format!("volume.spindle.{i}."));
+                core.attach_obs(&registry);
+                core
+            })
+            .collect();
+        obs.spindles.set(cfg.spindles as u64);
+        obs.balance.set(1000);
+        Self {
+            spindles,
+            policy,
+            cfg,
+            clock,
+            num_sectors,
+            global_writes,
+            crashed: false,
+            obs,
+        }
+    }
+
+    /// Wraps the volume for sharing between a [`VolumeDisk`] (owned by
+    /// the file system) and a driving event loop.
+    pub fn into_shared(self) -> Rc<RefCell<StripedVolume>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// The volume configuration.
+    pub fn config(&self) -> &VolumeConfig {
+        &self.cfg
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// Number of spindles.
+    pub fn spindle_count(&self) -> usize {
+        self.spindles.len()
+    }
+
+    /// Logical capacity in sectors.
+    pub fn num_sectors(&self) -> u64 {
+        self.num_sectors
+    }
+
+    /// The registry this volume currently reports into.
+    pub fn obs(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// Spindle `i`'s engine (e.g. to inspect per-spindle stats).
+    pub fn spindle(&self, i: usize) -> &EngineCore {
+        &self.spindles[i]
+    }
+
+    /// Spindle `i`'s engine, mutably (e.g. to inject media faults into
+    /// one disk for degraded-read tests).
+    pub fn spindle_mut(&mut self, i: usize) -> &mut EngineCore {
+        &mut self.spindles[i]
+    }
+
+    /// Writes persisted so far across all spindles, in global persist
+    /// order — the index space crash plans trigger on.
+    pub fn global_writes(&self) -> u64 {
+        self.global_writes.load(Ordering::Relaxed)
+    }
+
+    /// Arms the same crash plan on every spindle. All spindles share
+    /// one write index, so the plan fires on whichever spindle services
+    /// the globally N-th write; the volume then fails every subsequent
+    /// request, like drives behind one failed power supply.
+    pub fn arm_crash_all(&mut self, plan: CrashPlan) {
+        for core in &mut self.spindles {
+            core.disk_mut().arm_crash(plan);
+        }
+    }
+
+    /// True once any spindle's crash plan has fired (or the volume
+    /// observed a crashed spindle).
+    pub fn has_crashed(&self) -> bool {
+        self.crashed || self.spindles.iter().any(|c| c.disk().has_crashed())
+    }
+
+    /// Consumes the volume and returns each spindle's surviving image.
+    /// Still-queued submissions are lost, exactly as after a power
+    /// failure.
+    pub fn into_images(self) -> Vec<Vec<u8>> {
+        self.spindles
+            .into_iter()
+            .map(|core| core.into_disk().into_image())
+            .collect()
+    }
+
+    /// Translates a per-spindle error into the volume's address space
+    /// and latches the crashed state.
+    fn translate(&mut self, spindle: usize, e: DiskError) -> DiskError {
+        match e {
+            DiskError::Crashed => {
+                self.crashed = true;
+                DiskError::Crashed
+            }
+            DiskError::Unreadable { sector } => DiskError::Unreadable {
+                sector: to_logical(&*self.policy, self.spindles.len(), spindle, sector),
+            },
+            other => other,
+        }
+    }
+
+    /// Recomputes the stripe-balance gauge: Jain's fairness index over
+    /// per-spindle bytes written, scaled by 1000 (1000 = perfectly
+    /// balanced, 1000/n = one spindle takes everything).
+    fn update_balance(&mut self) {
+        let written: Vec<f64> = self
+            .spindles
+            .iter()
+            .map(|c| c.disk().stats().bytes_written as f64)
+            .collect();
+        let sum: f64 = written.iter().sum();
+        let sum_sq: f64 = written.iter().map(|b| b * b).sum();
+        let jain = if sum_sq == 0.0 {
+            1000
+        } else {
+            ((sum * sum) / (written.len() as f64 * sum_sq) * 1000.0) as u64
+        };
+        self.obs.balance.set(jain);
+    }
+
+    fn split(&self, sector: u64, count: u64) -> Vec<SubRequest> {
+        split_request(&*self.policy, self.spindles.len(), sector, count)
+    }
+
+    /// Reads `buf.len()` bytes at logical `sector`, fanning the request
+    /// out and joining all pieces. Every piece is started before any is
+    /// waited on, so spindles overlap; the first failing piece (in
+    /// logical order) decides the error, but every started piece is
+    /// still finished so no queue is left holding a read.
+    pub fn read(&mut self, sector: u64, buf: &mut [u8]) -> DiskResult<()> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        let count = check_request(sector, buf.len(), self.num_sectors)?;
+        let subs = self.split(sector, count);
+        self.obs.reads.inc();
+        self.obs.bytes_read.add(buf.len() as u64);
+        self.obs.subrequests.add(subs.len() as u64);
+        if let [sub] = subs.as_slice() {
+            // One piece: take the engine's combined path, which is
+            // exactly the single-spindle EngineDisk request sequence.
+            return match self.spindles[sub.spindle].do_read(sub.sector, buf) {
+                Ok(()) => Ok(()),
+                Err(e) => Err(self.translate(sub.spindle, e)),
+            };
+        }
+        let mut handles = Vec::with_capacity(subs.len());
+        for sub in &subs {
+            match self.spindles[sub.spindle].start_read(sub.sector, sub.bytes()) {
+                Ok(h) => handles.push(h),
+                Err(e) => return Err(self.translate(sub.spindle, e)),
+            }
+        }
+        let mut first_err: Option<DiskError> = None;
+        for (sub, handle) in subs.iter().zip(handles) {
+            let piece = &mut buf[sub.offset..sub.offset + sub.bytes()];
+            match self.spindles[sub.spindle].finish_read(handle, sub.sector, piece) {
+                Ok(()) => {}
+                Err(e) => {
+                    let e = self.translate(sub.spindle, e);
+                    if e == DiskError::Crashed {
+                        return Err(e);
+                    }
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes `buf` at logical `sector`. Synchronous writes submit
+    /// every piece before waiting on any; asynchronous writes go into
+    /// each spindle's queue, pushing out per-spindle busy horizons in
+    /// parallel.
+    pub fn write(&mut self, sector: u64, buf: &[u8], sync: bool) -> DiskResult<()> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        let count = check_request(sector, buf.len(), self.num_sectors)?;
+        let subs = self.split(sector, count);
+        self.obs.writes.inc();
+        self.obs.bytes_written.add(buf.len() as u64);
+        self.obs.subrequests.add(subs.len() as u64);
+        let result = self.write_subs(&subs, buf, sync);
+        self.update_balance();
+        result
+    }
+
+    fn write_subs(&mut self, subs: &[SubRequest], buf: &[u8], sync: bool) -> DiskResult<()> {
+        if !sync {
+            for sub in subs {
+                let piece = &buf[sub.offset..sub.offset + sub.bytes()];
+                if let Err(e) = self.spindles[sub.spindle].submit_async_write(sub.sector, piece) {
+                    return Err(self.translate(sub.spindle, e));
+                }
+            }
+            return Ok(());
+        }
+        if let [sub] = subs {
+            let piece = &buf[sub.offset..sub.offset + sub.bytes()];
+            return match self.spindles[sub.spindle].do_sync_write(sub.sector, piece) {
+                Ok(()) => Ok(()),
+                Err(e) => Err(self.translate(sub.spindle, e)),
+            };
+        }
+        let mut ids = Vec::with_capacity(subs.len());
+        for sub in subs {
+            let piece = &buf[sub.offset..sub.offset + sub.bytes()];
+            match self.spindles[sub.spindle].start_sync_write(sub.sector, piece) {
+                Ok(id) => ids.push(id),
+                Err(e) => return Err(self.translate(sub.spindle, e)),
+            }
+        }
+        for (sub, id) in subs.iter().zip(ids) {
+            if let Err(e) = self.spindles[sub.spindle].finish_write(id) {
+                return Err(self.translate(sub.spindle, e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every spindle's queue and waits for all of them to go
+    /// idle — the durability barrier. The clock lands on the *maximum*
+    /// busy horizon: spindles drained their overlapped work in
+    /// parallel.
+    pub fn flush(&mut self) -> DiskResult<()> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        for i in 0..self.spindles.len() {
+            if let Err(e) = self.spindles[i].flush_all() {
+                return Err(self.translate(i, e));
+            }
+        }
+        self.update_balance();
+        Ok(())
+    }
+
+    /// Lazily progresses every spindle to the current virtual time.
+    pub fn pump(&mut self) -> DiskResult<()> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        for i in 0..self.spindles.len() {
+            if let Err(e) = self.spindles[i].pump() {
+                return Err(self.translate(i, e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Labels the next traced access on every spindle.
+    pub fn annotate(&mut self, label: &'static str) {
+        for core in &mut self.spindles {
+            core.disk_mut().annotate(label);
+        }
+    }
+
+    /// Re-homes the volume's aggregate instruments and every spindle's
+    /// prefixed instruments into `registry`.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs.rehome(registry);
+        for core in &mut self.spindles {
+            core.attach_obs(registry);
+        }
+    }
+}
+
+/// A cheap [`BlockDevice`] handle onto a shared [`StripedVolume`].
+///
+/// The file system owns one handle; a driving event loop may hold
+/// another (via the `Rc`) and use the [`RequestEngine`] impl to pump
+/// the spindles and attribute submissions to clients.
+#[derive(Clone)]
+pub struct VolumeDisk(Rc<RefCell<StripedVolume>>);
+
+impl VolumeDisk {
+    /// Creates a handle onto `volume`.
+    pub fn new(volume: Rc<RefCell<StripedVolume>>) -> Self {
+        Self(volume)
+    }
+
+    /// The shared volume.
+    pub fn volume(&self) -> &Rc<RefCell<StripedVolume>> {
+        &self.0
+    }
+
+    /// Writes persisted so far across all spindles (global persist
+    /// order).
+    pub fn global_writes(&self) -> u64 {
+        self.0.borrow().global_writes()
+    }
+
+    /// True once the volume has crashed.
+    pub fn has_crashed(&self) -> bool {
+        self.0.borrow().has_crashed()
+    }
+
+    /// Arms the same crash plan on every spindle (shared write index).
+    pub fn arm_crash_all(&self, plan: CrashPlan) {
+        self.0.borrow_mut().arm_crash_all(plan);
+    }
+
+    /// Consumes the last handle and returns each spindle's surviving
+    /// image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other handles onto the volume are still alive.
+    pub fn into_images(self) -> Vec<Vec<u8>> {
+        Rc::try_unwrap(self.0)
+            .ok()
+            .expect("into_images: other volume handles still alive")
+            .into_inner()
+            .into_images()
+    }
+}
+
+impl BlockDevice for VolumeDisk {
+    fn num_sectors(&self) -> u64 {
+        self.0.borrow().num_sectors()
+    }
+
+    fn read(&mut self, sector: u64, buf: &mut [u8]) -> DiskResult<()> {
+        self.0.borrow_mut().read(sector, buf)
+    }
+
+    fn write(&mut self, sector: u64, buf: &[u8], sync: bool) -> DiskResult<()> {
+        self.0.borrow_mut().write(sector, buf, sync)
+    }
+
+    fn flush(&mut self) -> DiskResult<()> {
+        self.0.borrow_mut().flush()
+    }
+
+    fn annotate(&mut self, label: &'static str) {
+        self.0.borrow_mut().annotate(label);
+    }
+
+    fn attach_obs(&mut self, registry: &Registry) {
+        self.0.borrow_mut().attach_obs(registry);
+    }
+}
+
+impl RequestEngine for VolumeDisk {
+    fn clock(&self) -> Arc<Clock> {
+        Arc::clone(self.0.borrow().clock())
+    }
+
+    fn pump(&self) -> DiskResult<()> {
+        self.0.borrow_mut().pump()
+    }
+
+    fn set_client(&self, client: Option<usize>) {
+        let mut volume = self.0.borrow_mut();
+        for core in &mut volume.spindles {
+            core.set_client(client);
+        }
+    }
+
+    fn register_clients(&self, n: usize) {
+        let mut volume = self.0.borrow_mut();
+        for core in &mut volume.spindles {
+            core.register_clients(n);
+        }
+    }
+}

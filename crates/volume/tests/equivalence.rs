@@ -1,0 +1,76 @@
+//! A 1-spindle volume is *exactly* a single engine-fronted disk: the
+//! same multi-client LFS workload produces an identical report, an
+//! identical virtual clock, and a byte-identical disk image whether the
+//! file system mounts an [`EngineDisk`] or a [`VolumeDisk`] with one
+//! spindle. Existing single-disk results therefore carry over unchanged
+//! when runs move onto the volume layer.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use engine::{run_small_file_create, EngineConfig, EngineCore, EngineDisk, MultiClientConfig};
+use lfs_core::{Lfs, LfsConfig};
+use sim_disk::{Clock, DiskGeometry, SimDisk};
+use volume::{StripedVolume, VolumeConfig, VolumeDisk};
+
+const DEV_SECTORS: u64 = 16_384;
+
+fn workload() -> MultiClientConfig {
+    MultiClientConfig::new(3, 6, 700)
+}
+
+/// Runs the workload on a plain engine-fronted disk.
+fn run_on_engine_disk() -> (String, u64, Vec<u8>) {
+    let clock = Clock::new();
+    let disk = SimDisk::new(DiskGeometry::tiny_test(DEV_SECTORS), Arc::clone(&clock));
+    let core = EngineCore::new(disk, EngineConfig::default()).into_shared();
+    let dev = EngineDisk::new(Rc::clone(&core));
+    let mut fs = Lfs::format(dev, LfsConfig::small_test(), Arc::clone(&clock)).unwrap();
+    let registry = fs.obs().clone();
+    let report = run_small_file_create(&mut fs, &core, &registry, &workload()).unwrap();
+    let fsck = fs.fsck().unwrap();
+    assert!(fsck.is_clean(), "fsck:\n{fsck}");
+    drop(fs.into_device());
+    let image = Rc::try_unwrap(core)
+        .ok()
+        .unwrap()
+        .into_inner()
+        .into_disk()
+        .into_image();
+    (format!("{report:?}"), clock.now_ns(), image)
+}
+
+/// Runs the workload on a 1-spindle striped volume.
+fn run_on_one_spindle_volume() -> (String, u64, Vec<u8>) {
+    let clock = Clock::new();
+    let lfs_cfg = LfsConfig::small_test();
+    let cfg = VolumeConfig::rr_segment(1, lfs_cfg.segment_bytes);
+    let vol = StripedVolume::new(
+        DiskGeometry::tiny_test(DEV_SECTORS),
+        Arc::clone(&clock),
+        cfg,
+    )
+    .into_shared();
+    let dev = VolumeDisk::new(Rc::clone(&vol));
+    let pump = VolumeDisk::new(Rc::clone(&vol));
+    let mut fs = Lfs::format(dev, lfs_cfg, Arc::clone(&clock)).unwrap();
+    let registry = fs.obs().clone();
+    let report = run_small_file_create(&mut fs, &pump, &registry, &workload()).unwrap();
+    let fsck = fs.fsck().unwrap();
+    assert!(fsck.is_clean(), "fsck:\n{fsck}");
+    let handle = fs.into_device();
+    drop(pump);
+    drop(vol);
+    let mut images = handle.into_images();
+    assert_eq!(images.len(), 1);
+    (format!("{report:?}"), clock.now_ns(), images.remove(0))
+}
+
+#[test]
+fn one_spindle_volume_is_byte_identical_to_engine_disk() {
+    let (report_a, clock_a, image_a) = run_on_engine_disk();
+    let (report_b, clock_b, image_b) = run_on_one_spindle_volume();
+    assert_eq!(report_a, report_b, "multi-client reports diverged");
+    assert_eq!(clock_a, clock_b, "virtual clocks diverged");
+    assert_eq!(image_a, image_b, "disk images diverged");
+}
