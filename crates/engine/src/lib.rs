@@ -36,5 +36,5 @@ pub mod queue;
 pub mod sched;
 
 pub use multi::{run_small_file_create, ClientSummary, MultiClientConfig, MultiReport, RequestEngine};
-pub use queue::{EngineConfig, EngineCore, EngineDisk, ReadHandle};
+pub use queue::{EngineConfig, EngineCore, EngineDisk, ReadHandle, MAINT_OWNER};
 pub use sched::{CLook, Fcfs, IoScheduler, SchedulerKind, Sstf};

@@ -43,6 +43,9 @@ pub trait RequestEngine {
     fn set_client(&self, client: Option<usize>);
     /// Creates per-client queue-wait counters for clients `0..n`.
     fn register_clients(&self, n: usize);
+    /// Total requests currently pending across the engine's queues — the
+    /// idle signal for idle-gated maintenance such as async cleaning.
+    fn queue_depth(&self) -> u64;
 }
 
 impl RequestEngine for Rc<RefCell<EngineCore>> {
@@ -60,6 +63,10 @@ impl RequestEngine for Rc<RefCell<EngineCore>> {
 
     fn register_clients(&self, n: usize) {
         self.borrow_mut().register_clients(n);
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.borrow().queue_len()
     }
 }
 

@@ -138,6 +138,19 @@ struct EngineObs {
     aged_picks: Counter,
     retries: Counter,
     retry_exhausted: Counter,
+    /// Queue wait accumulated by maintenance-class requests (cleaning,
+    /// scrubbing) — the counterpart of the per-client wait counters, so
+    /// maintenance I/O never lands in a foreground client's account.
+    maintenance_wait: Counter,
+    /// Bytes submitted per I/O class. Together with the absorbed and
+    /// queue-read-hit byte counters these partition every submitted byte,
+    /// so `client + maintenance + system == disk transfers + absorbed +
+    /// queue read hits` holds exactly (the accounting regression test).
+    client_bytes: Counter,
+    maintenance_bytes: Counter,
+    system_bytes: Counter,
+    absorbed_bytes: Counter,
+    queue_read_hit_bytes: Counter,
 }
 
 impl EngineObs {
@@ -160,6 +173,12 @@ impl EngineObs {
             aged_picks: registry.counter(&n("engine.aged_picks")),
             retries: registry.counter(&n("engine.retries")),
             retry_exhausted: registry.counter(&n("engine.retry_exhausted")),
+            maintenance_wait: registry.counter(&n("engine.maintenance.disk_wait_ns")),
+            client_bytes: registry.counter(&n("engine.io_bytes.client")),
+            maintenance_bytes: registry.counter(&n("engine.io_bytes.maintenance")),
+            system_bytes: registry.counter(&n("engine.io_bytes.system")),
+            absorbed_bytes: registry.counter(&n("engine.absorbed_bytes")),
+            queue_read_hit_bytes: registry.counter(&n("engine.queue_read_hit_bytes")),
         }
     }
 
@@ -189,7 +208,32 @@ impl EngineObs {
         self.retries = registry.adopt_counter(&n("engine.retries"), &self.retries);
         self.retry_exhausted =
             registry.adopt_counter(&n("engine.retry_exhausted"), &self.retry_exhausted);
+        self.maintenance_wait =
+            registry.adopt_counter(&n("engine.maintenance.disk_wait_ns"), &self.maintenance_wait);
+        self.client_bytes = registry.adopt_counter(&n("engine.io_bytes.client"), &self.client_bytes);
+        self.maintenance_bytes =
+            registry.adopt_counter(&n("engine.io_bytes.maintenance"), &self.maintenance_bytes);
+        self.system_bytes = registry.adopt_counter(&n("engine.io_bytes.system"), &self.system_bytes);
+        self.absorbed_bytes =
+            registry.adopt_counter(&n("engine.absorbed_bytes"), &self.absorbed_bytes);
+        self.queue_read_hit_bytes =
+            registry.adopt_counter(&n("engine.queue_read_hit_bytes"), &self.queue_read_hit_bytes);
     }
+}
+
+/// Owner sentinel for maintenance-class requests (segment cleaning,
+/// scrubbing): their queue waits land in `engine.maintenance.disk_wait_ns`
+/// instead of any foreground client's account.
+pub const MAINT_OWNER: usize = usize::MAX;
+
+/// A non-blocking read tracked by token (the
+/// [`BlockDevice::start_read_async`] facade over
+/// [`EngineCore::start_read`]).
+enum TrackedRead {
+    /// Served from a queued write's payload at start time.
+    Hit(Vec<u8>),
+    /// Waiting in the device queue.
+    Queued { id: u64, sector: u64, len: usize },
 }
 
 /// The shared request-engine state: disk, queue policy, and accounting.
@@ -201,6 +245,12 @@ pub struct EngineCore {
     /// Client currently executing on the (single) virtual CPU; new
     /// submissions are attributed to it.
     current_client: Option<usize>,
+    /// When set, new submissions belong to the maintenance class
+    /// regardless of `current_client`.
+    maintenance: bool,
+    /// Token → in-flight tracked read (the async-read facade).
+    tracked_reads: BTreeMap<u64, TrackedRead>,
+    next_read_token: u64,
     /// Request id → clients credited with it (a coalesced request
     /// carries every contributor).
     owners: BTreeMap<u64, Vec<usize>>,
@@ -232,6 +282,9 @@ impl EngineCore {
             cfg,
             sched,
             current_client: None,
+            maintenance: false,
+            tracked_reads: BTreeMap::new(),
+            next_read_token: 1,
             owners: BTreeMap::new(),
             unclaimed_reads: BTreeMap::new(),
             per_client_wait: Vec::new(),
@@ -277,6 +330,30 @@ impl EngineCore {
     /// (`None` = unattributed system work such as format or setup).
     pub fn set_client(&mut self, client: Option<usize>) {
         self.current_client = client;
+    }
+
+    /// Enables or disables the maintenance I/O class: while on, new
+    /// submissions are owned by [`MAINT_OWNER`] instead of the current
+    /// client, so cleaning issued *during* a foreground operation is
+    /// never charged to that client's wait account.
+    pub fn set_maintenance(&mut self, on: bool) {
+        self.maintenance = on;
+    }
+
+    /// Number of requests currently pending in the queue — the engine's
+    /// idle signal for idle-gated maintenance.
+    pub fn queue_len(&self) -> u64 {
+        self.disk.pending_len() as u64
+    }
+
+    /// The effective owner of a new submission under the current
+    /// attribution state, if any.
+    fn submission_owner(&self) -> Option<usize> {
+        if self.maintenance {
+            Some(MAINT_OWNER)
+        } else {
+            self.current_client
+        }
     }
 
     /// Creates per-client queue-wait counters for clients `0..n`.
@@ -388,7 +465,9 @@ impl EngineCore {
         }
         if let Some(owners) = self.owners.remove(&done.id) {
             for c in owners {
-                if let Some(counter) = self.per_client_wait.get(c) {
+                if c == MAINT_OWNER {
+                    self.obs.maintenance_wait.add(done.wait_ns);
+                } else if let Some(counter) = self.per_client_wait.get(c) {
                     counter.add(done.wait_ns);
                 }
             }
@@ -427,10 +506,20 @@ impl EngineCore {
         Ok(())
     }
 
-    /// Records ownership and queue-depth gauges for a new submission.
+    /// Records ownership, per-class byte accounting, and queue-depth
+    /// gauges for a new submission.
     fn note_submitted(&mut self, id: u64) {
-        if let Some(c) = self.current_client {
-            self.owners.entry(id).or_default().push(c);
+        let bytes = self.pending_shape(id).2;
+        match self.submission_owner() {
+            Some(MAINT_OWNER) => {
+                self.owners.entry(id).or_default().push(MAINT_OWNER);
+                self.obs.maintenance_bytes.add(bytes);
+            }
+            Some(c) => {
+                self.owners.entry(id).or_default().push(c);
+                self.obs.client_bytes.add(bytes);
+            }
+            None => self.obs.system_bytes.add(bytes),
         }
         let depth = self.disk.pending_len() as u64;
         self.obs.queue_depth.set(depth);
@@ -544,7 +633,8 @@ impl EngineCore {
         if let Some(id) = identical {
             self.disk.absorb_pending(id, buf);
             self.obs.absorbed.inc();
-            if let Some(c) = self.current_client {
+            self.obs.absorbed_bytes.add(buf.len() as u64);
+            if let Some(c) = self.submission_owner() {
                 let owners = self.owners.entry(id).or_default();
                 if !owners.contains(&c) {
                     owners.push(c);
@@ -702,6 +792,7 @@ impl EngineCore {
             let off = (sector - p.sector()) as usize * SECTOR_SIZE;
             let data = p.data().expect("write without payload")[off..off + len].to_vec();
             self.obs.queue_read_hits.inc();
+            self.obs.queue_read_hit_bytes.add(len as u64);
             return Ok(ReadHandle::Hit(data));
         }
         self.drain_overlapping(sector, len)?;
@@ -761,6 +852,40 @@ impl EngineCore {
                     self.note_submitted(id);
                 }
                 Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Starts a token-tracked non-blocking read (the engine side of
+    /// [`BlockDevice::start_read_async`]): the read is submitted to the
+    /// queue and virtual time keeps moving under other traffic until
+    /// [`EngineCore::finish_tracked_read`] claims it — if the device
+    /// serviced it in the background meanwhile, claiming it costs no
+    /// additional time at all.
+    pub fn start_tracked_read(&mut self, sector: u64, len: usize) -> DiskResult<u64> {
+        let handle = self.start_read(sector, len)?;
+        let token = self.next_read_token;
+        self.next_read_token += 1;
+        let entry = match handle {
+            ReadHandle::Hit(data) => TrackedRead::Hit(data),
+            ReadHandle::Pending(id) => TrackedRead::Queued { id, sector, len },
+        };
+        self.tracked_reads.insert(token, entry);
+        Ok(token)
+    }
+
+    /// Completes a read started by [`EngineCore::start_tracked_read`].
+    pub fn finish_tracked_read(&mut self, token: u64) -> DiskResult<Vec<u8>> {
+        match self
+            .tracked_reads
+            .remove(&token)
+            .expect("finish_tracked_read: unknown token")
+        {
+            TrackedRead::Hit(data) => Ok(data),
+            TrackedRead::Queued { id, sector, len } => {
+                let mut buf = vec![0u8; len];
+                self.finish_read(ReadHandle::Pending(id), sector, &mut buf)?;
+                Ok(buf)
             }
         }
     }
@@ -833,5 +958,19 @@ impl BlockDevice for EngineDisk {
 
     fn attach_obs(&mut self, registry: &Registry) {
         self.0.borrow_mut().attach_obs(registry);
+    }
+
+    fn set_maintenance(&mut self, on: bool) {
+        self.0.borrow_mut().set_maintenance(on);
+    }
+
+    fn start_read_async(&mut self, sector: u64, len: usize) -> Option<u64> {
+        // A submission error (crash) falls back to the synchronous path,
+        // which reports it properly.
+        self.0.borrow_mut().start_tracked_read(sector, len).ok()
+    }
+
+    fn finish_read_async(&mut self, token: u64) -> DiskResult<Vec<u8>> {
+        self.0.borrow_mut().finish_tracked_read(token)
     }
 }

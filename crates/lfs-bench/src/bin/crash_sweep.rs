@@ -11,7 +11,7 @@
 //! Flags: `--smoke` (bounded CI-sized sweep), `--stride N` (test every
 //! N-th crash index).
 
-use lfs_bench::crash_sweep::{sweep, sweep_striped, SweepFs, SweepMode, SweepSpec};
+use lfs_bench::crash_sweep::{sweep, sweep_cleaner, sweep_striped, SweepFs, SweepMode, SweepSpec};
 use lfs_bench::{print_table, MetricsReport, Row};
 
 fn main() {
@@ -90,6 +90,38 @@ fn main() {
         ));
         all_clean &= out.is_clean();
         samples.extend(out.samples);
+    }
+
+    // Async cleaner in the loop: the same sweep with an incremental
+    // cleaning run interleaved into the workload, on 1- and 2-spindle
+    // volumes, so crash indices land on mid-run states (relocations in
+    // cache, victims parked clean-pending, the committing checkpoint).
+    // Recovery is held to the strict standard: the crash-safety protocol
+    // says a half-finished run must leave either the old copies intact
+    // or the checkpoint that supersedes them.
+    for spindles in [1usize, 2] {
+        for mode in [SweepMode::Drop, SweepMode::Torn] {
+            let out = sweep_cleaner(mode, &spec, spindles);
+            let prefix = format!("sweep.lfs_cleaner_{spindles}sp.{}", mode.name());
+            registry.counter(&format!("{prefix}.crash_points")).add(out.crash_points);
+            registry.counter(&format!("{prefix}.recovered")).add(out.recovered);
+            registry
+                .counter(&format!("{prefix}.detected_unmountable"))
+                .add(out.detected_unmountable);
+            registry.counter(&format!("{prefix}.violations")).add(out.violations);
+            rows.push(Row::new(
+                format!("lfs clean x{spindles} {}", mode.name()),
+                vec![
+                    out.crash_points.to_string(),
+                    out.recovered.to_string(),
+                    out.detected_unmountable.to_string(),
+                    out.violations.to_string(),
+                    if out.is_clean() { "yes" } else { "NO" }.to_string(),
+                ],
+            ));
+            all_clean &= out.is_clean();
+            samples.extend(out.samples);
+        }
     }
 
     print_table(

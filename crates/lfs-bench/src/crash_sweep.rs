@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use ffs_baseline::{Ffs, FfsConfig};
-use lfs_core::{Lfs, LfsConfig};
+use lfs_core::{AsyncCleanerPolicy, CleanerRunMode, Lfs, LfsConfig};
 use sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
 use vfs::{FileKind, FileSystem, FsError};
 use volume::{StripedVolume, VolumeConfig, VolumeDisk};
@@ -32,6 +32,11 @@ use volume::{StripedVolume, VolumeConfig, VolumeDisk};
 /// 8 MB tiny-test volume: big enough for the scripted tree, small enough
 /// that thousands of format+replay+remount cycles stay fast.
 const DISK_SECTORS: u64 = 16_384;
+
+/// 2 MB volume for the async-cleaner sweep: small enough that the
+/// incremental cleaner finds real victims during the scripted churn, so
+/// crash points land inside active [`lfs_core::CleanerRun`]s.
+const CLEANER_DISK_SECTORS: u64 = 4_096;
 
 /// How a crash treats the triggering write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -559,6 +564,223 @@ pub fn sweep_striped(mode: SweepMode, spec: &SweepSpec, spindles: usize) -> Mode
         }
         idx += spec.stride;
     }
+    out
+}
+
+/// The small_test config with the incremental cleaner always eager:
+/// watermarks far above any reachable clean count and minimal step caps,
+/// so the scripted churn keeps a [`lfs_core::CleanerRun`] in flight for
+/// most of the workload and crash indices land in every mid-run state.
+fn async_cleaner_cfg() -> LfsConfig {
+    let mut cfg = LfsConfig::small_test();
+    cfg.cleaner.run_mode = CleanerRunMode::Async(
+        AsyncCleanerPolicy::default()
+            .with_watermarks(1 << 16, 1 << 17)
+            .with_step_caps(2, 4),
+    );
+    cfg
+}
+
+fn fresh_cleaner_volume(spindles: usize) -> (StripedVolume, Arc<Clock>) {
+    assert!(
+        spindles >= 1 && CLEANER_DISK_SECTORS.is_multiple_of(spindles as u64),
+        "spindle count must divide the cleaner-sweep capacity"
+    );
+    let clock = Clock::new();
+    let cfg = VolumeConfig::rr_segment(spindles, LfsConfig::small_test().segment_bytes);
+    let vol = StripedVolume::new(
+        DiskGeometry::tiny_test(CLEANER_DISK_SECTORS / spindles as u64),
+        Arc::clone(&clock),
+        cfg,
+    );
+    (vol, clock)
+}
+
+fn remount_cleaner_volume(spindles: usize, images: Vec<Vec<u8>>) -> (StripedVolume, Arc<Clock>) {
+    let clock = Clock::new();
+    let cfg = VolumeConfig::rr_segment(spindles, LfsConfig::small_test().segment_bytes);
+    let vol = StripedVolume::from_images(
+        DiskGeometry::tiny_test(CLEANER_DISK_SECTORS / spindles as u64),
+        Arc::clone(&clock),
+        cfg,
+        images,
+    );
+    (vol, clock)
+}
+
+/// Offers the incremental cleaner a bounded burst of steps, exactly as
+/// an event-loop host would between foreground dispatches. Both the
+/// model run and every crash run use this same rule, so their device
+/// write sequences are identical up to the crash.
+fn pump_cleaner(fs: &mut Lfs<VolumeDisk>) -> Result<(), FsError> {
+    for _ in 0..4 {
+        if !fs.cleaner_wants_step(0) {
+            return Ok(());
+        }
+        fs.cleaner_step()?;
+    }
+    Ok(())
+}
+
+/// Executes the script cleanly with the cleaner interleaved, recording
+/// the durability model plus the device-write spans during which a
+/// cleaning run was active (so the sweep can prove crash points really
+/// landed mid-run).
+fn dry_run_cleaner(
+    fs: &mut Lfs<VolumeDisk>,
+    ops: &[Op],
+    format_writes: u64,
+) -> (Model, Vec<(u64, u64)>) {
+    let mut model = Model {
+        format_writes,
+        total_writes: 0,
+        barriers: Vec::new(),
+        history: BTreeMap::new(),
+        deleted: BTreeSet::new(),
+        touch: BTreeMap::new(),
+    };
+    let mut spans: Vec<(u64, u64)> = Vec::new();
+    let mut state: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        let w0 = fs.disk_writes();
+        let active_before = fs.cleaner_run_active();
+        match op {
+            Op::Mkdir(path) => {
+                fs.mkdir(path).expect("model run mkdir");
+            }
+            Op::Write(path, data) => {
+                upsert(fs, path, data).expect("model run write");
+                state.insert(path.clone(), data.clone());
+                model.history.entry(path.clone()).or_default().push(data.clone());
+                model.touch.insert(path.clone(), model.barriers.len());
+            }
+            Op::Unlink(path) => {
+                fs.unlink(path).expect("model run unlink");
+                state.remove(path);
+                model.deleted.insert(path.clone());
+                model.touch.insert(path.clone(), model.barriers.len());
+            }
+            Op::Sync => {
+                fs.sync().expect("model run sync");
+                model.barriers.push(Barrier {
+                    writes_done: fs.disk_writes(),
+                    durable: state.clone(),
+                });
+            }
+        }
+        pump_cleaner(fs).expect("model run cleaner step");
+        if active_before || fs.cleaner_run_active() {
+            let w1 = fs.disk_writes();
+            if w1 > w0 {
+                spans.push((w0, w1));
+            }
+        }
+    }
+    // Drain: finish the in-flight run so its committing checkpoint (and
+    // the crash points inside it) are part of the swept write range.
+    let w0 = fs.disk_writes();
+    let was_active = fs.cleaner_run_active();
+    while fs.cleaner_run_active() {
+        fs.cleaner_step().expect("model run drain");
+    }
+    if was_active && fs.disk_writes() > w0 {
+        spans.push((w0, fs.disk_writes()));
+    }
+    model.total_writes = fs.disk_writes();
+    (model, spans)
+}
+
+/// Replays the script with the cleaner interleaved over a crash-armed
+/// volume, stopping at the first error (the crash).
+fn crash_run_cleaner(fs: &mut Lfs<VolumeDisk>, ops: &[Op]) {
+    for op in ops {
+        let r = match op {
+            Op::Mkdir(path) => fs.mkdir(path).map(|_| ()),
+            Op::Write(path, data) => upsert(fs, path, data),
+            Op::Unlink(path) => fs.unlink(path).map(|_| ()),
+            Op::Sync => fs.sync(),
+        };
+        if r.is_err() || pump_cleaner(fs).is_err() {
+            return;
+        }
+    }
+    while fs.cleaner_run_active() {
+        if fs.cleaner_step().is_err() {
+            return;
+        }
+    }
+}
+
+/// Sweeps LFS with the incremental async cleaner interleaved into the
+/// workload: crash at every `stride`-th write index — including the
+/// writes a [`lfs_core::CleanerRun`] issues mid-flight (segment
+/// relocations, parked clean-pending promotions, the committing
+/// checkpoint) — remount, and hold recovery to the strict single-disk
+/// standard. Panics if no crash point landed inside an active run: the
+/// sweep exists to cover exactly those states, so a workload change that
+/// stops the cleaner from running must fail loudly, not pass vacuously.
+pub fn sweep_cleaner(mode: SweepMode, spec: &SweepSpec, spindles: usize) -> ModeOutcome {
+    let ops = script(spec);
+
+    let (model, run_spans) = {
+        let (vol, clock) = fresh_cleaner_volume(spindles);
+        let dev = VolumeDisk::new(vol.into_shared());
+        let mut fs = Lfs::format(dev, async_cleaner_cfg(), clock).expect("format");
+        let format_writes = fs.disk_writes();
+        dry_run_cleaner(&mut fs, &ops, format_writes)
+    };
+
+    let mut out = ModeOutcome {
+        fs: SweepFs::Lfs,
+        mode,
+        crash_points: 0,
+        recovered: 0,
+        detected_unmountable: 0,
+        violations: 0,
+        samples: Vec::new(),
+    };
+
+    let mut mid_run_points = 0u64;
+    let mut idx = model.format_writes;
+    while idx < model.total_writes {
+        out.crash_points += 1;
+        if run_spans.iter().any(|&(lo, hi)| idx >= lo && idx < hi) {
+            mid_run_points += 1;
+        }
+        let (mut vol, clock) = fresh_cleaner_volume(spindles);
+        vol.arm_crash_all(mode.plan(idx));
+        let dev = VolumeDisk::new(vol.into_shared());
+        let mut fs = Lfs::format(dev, async_cleaner_cfg(), clock).expect("format");
+        crash_run_cleaner(&mut fs, &ops);
+        let images = fs.into_device().into_images();
+
+        let (vol, clock) = remount_cleaner_volume(spindles, images);
+        let dev = VolumeDisk::new(vol.into_shared());
+        let problems = match Lfs::mount(dev, async_cleaner_cfg(), clock) {
+            Ok(mut fs) => {
+                out.recovered += 1;
+                check_recovery(&mut fs, &model, idx, true)
+            }
+            Err(e) => {
+                out.detected_unmountable += 1;
+                vec![format!("LFS mount refused after mid-clean crash: {e}")]
+            }
+        };
+        for p in problems {
+            out.violations += 1;
+            if out.samples.len() < 5 {
+                out.samples
+                    .push(format!("cleaner {}x{spindles} @{idx}: {p}", mode.name()));
+            }
+        }
+        idx += spec.stride;
+    }
+    assert!(
+        mid_run_points > 0,
+        "async-cleaner sweep is vacuous: no crash index landed inside an \
+         active cleaning run ({} points swept)",
+        out.crash_points
+    );
     out
 }
 

@@ -22,6 +22,7 @@
 //! are deterministic.
 
 pub mod crash_sweep;
+pub mod interference;
 
 use std::sync::Arc;
 

@@ -45,6 +45,88 @@ pub enum CleanerPolicy {
     Oldest,
 }
 
+/// How cleaning is driven.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CleanerRunMode {
+    /// Clean synchronously inside foreground operations whenever the
+    /// clean-segment count drops below `activate_below_clean` (the
+    /// original clean-on-threshold path).
+    Sync,
+    /// Incremental: foreground operations never clean (beyond an
+    /// emergency floor that keeps the log from wedging); the host steps
+    /// a resumable [`crate::CleanerRun`] between operations via
+    /// [`crate::Lfs::cleaner_step`], typically as a dedicated engine
+    /// client so cleaning I/O competes in the same request queues.
+    Async(AsyncCleanerPolicy),
+}
+
+/// Aggressiveness policy for [`CleanerRunMode::Async`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncCleanerPolicy {
+    /// Start a cleaner run when clean + clean-pending segments drop
+    /// below this count.
+    pub low_watermark: usize,
+    /// Stop cleaning once clean + clean-pending segments reach this
+    /// count (hysteresis: must be > `low_watermark`).
+    pub high_watermark: usize,
+    /// Maximum blocks read from the victim segment per step — the
+    /// cleaner's in-flight I/O cap, bounding how long one step can
+    /// occupy the device ahead of a foreground request.
+    pub max_step_read_blocks: usize,
+    /// Maximum summary entries classified per step (CPU bound per step).
+    pub max_step_entries: usize,
+    /// Idle-only gating: when set, [`crate::Lfs::cleaner_wants_step`]
+    /// reports `true` only while the engine queue depth is at or below
+    /// this bound (the paper's "clean during idle periods").
+    pub idle_queue_depth: Option<u64>,
+    /// Segment-round-robin spindle count of the underlying volume.
+    /// When > 1, victim selection prefers segments living on a spindle
+    /// other than the one the log head is writing, so cleaner reads
+    /// overlap foreground writes instead of queueing behind them.
+    pub stripe_spindles: usize,
+}
+
+impl Default for AsyncCleanerPolicy {
+    fn default() -> Self {
+        Self {
+            low_watermark: 6,
+            high_watermark: 10,
+            max_step_read_blocks: 8,
+            max_step_entries: 32,
+            idle_queue_depth: None,
+            stripe_spindles: 1,
+        }
+    }
+}
+
+impl AsyncCleanerPolicy {
+    /// Builder-style override of the watermarks.
+    pub fn with_watermarks(mut self, low: usize, high: usize) -> Self {
+        self.low_watermark = low;
+        self.high_watermark = high;
+        self
+    }
+
+    /// Builder-style override of the per-step I/O and CPU caps.
+    pub fn with_step_caps(mut self, read_blocks: usize, entries: usize) -> Self {
+        self.max_step_read_blocks = read_blocks;
+        self.max_step_entries = entries;
+        self
+    }
+
+    /// Builder-style idle-only gating.
+    pub fn with_idle_gate(mut self, queue_depth: u64) -> Self {
+        self.idle_queue_depth = Some(queue_depth);
+        self
+    }
+
+    /// Builder-style spindle-aware victim preference.
+    pub fn with_stripe_spindles(mut self, spindles: usize) -> Self {
+        self.stripe_spindles = spindles.max(1);
+        self
+    }
+}
+
 /// Cleaner tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CleanerConfig {
@@ -64,6 +146,9 @@ pub struct CleanerConfig {
     /// map) to classify blocks without walking inodes. Disabled only by
     /// the liveness-fastpath ablation; correctness does not depend on it.
     pub use_version_fastpath: bool,
+    /// Synchronous clean-on-threshold or incremental host-driven
+    /// cleaning; see [`CleanerRunMode`].
+    pub run_mode: CleanerRunMode,
 }
 
 impl Default for CleanerConfig {
@@ -74,6 +159,7 @@ impl Default for CleanerConfig {
             segments_per_pass: 8,
             max_candidate_utilization: 0.98,
             use_version_fastpath: true,
+            run_mode: CleanerRunMode::Sync,
         }
     }
 }
@@ -213,10 +299,13 @@ impl<D: BlockDevice> Lfs<D> {
                 return Ok(clean);
             }
             self.in_maintenance = true;
+            self.dev.set_maintenance(true);
             let outcome = self.clean_pass();
+            let cp = outcome.is_ok().then(|| self.checkpoint());
+            self.dev.set_maintenance(false);
             self.in_maintenance = false;
             let outcome = outcome?;
-            self.checkpoint()?;
+            cp.transpose()?;
             // Stop on no progress: either nothing was cleanable, or
             // compaction is only churning its own output (every victim's
             // free space went right back into rewriting its live data).
@@ -299,7 +388,7 @@ impl<D: BlockDevice> Lfs<D> {
     /// forward (that would launder the corruption under a fresh
     /// checksum) — it is recovered from a cached copy when one exists,
     /// and otherwise reported as unrecoverable.
-    fn clean_entry(
+    pub(crate) fn clean_entry(
         &mut self,
         kind: BlockKind,
         version: u32,

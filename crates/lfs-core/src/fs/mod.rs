@@ -97,6 +97,14 @@ pub struct Lfs<D: BlockDevice> {
     /// unrecoverable corruption was found, or the mount could not reload
     /// its metadata. Mutating operations fail with [`FsError::ReadOnly`].
     pub(crate) read_only: bool,
+    /// The incremental cleaning run in progress, when the cleaner runs
+    /// in [`crate::CleanerRunMode::Async`] and a host is stepping it.
+    pub(crate) cleaner_run: Option<crate::cleaner_run::CleanerRun>,
+    /// Damping for the async cleaner: the clean+pending count at which
+    /// the last run completed without cleaning anything. While the count
+    /// is unchanged, starting another run would spin fruitlessly, so
+    /// [`Lfs::cleaner_wants_step`] declines.
+    pub(crate) cleaner_futile_at: Option<usize>,
 }
 
 /// In-progress chunk state during a flush.
@@ -189,6 +197,8 @@ impl<D: BlockDevice> Lfs<D> {
             reserve_segments: reserve,
             block_crc: vec![None; total_blocks],
             read_only: false,
+            cleaner_run: None,
+            cleaner_futile_at: None,
         };
         fs.usage.set_state(SegNo(0), SegState::Active);
         fs
@@ -853,38 +863,79 @@ impl<D: BlockDevice> Lfs<D> {
 
         // Cleaner activation: clean-segment count below threshold. The
         // floor covers the worst case of one full cache flush plus the
-        // checkpoint that commits the cleaner's relocations.
-        let activate_below = self
-            .cfg
-            .cleaner
-            .activate_below_clean
-            .max(self.reserve_segments + 2);
+        // checkpoint that commits the cleaner's relocations. In async
+        // mode the host-stepped run handles the normal watermarks, so
+        // foreground operations only clean at the emergency floor — the
+        // point below which the next flush could wedge the log.
+        let async_mode = matches!(self.cfg.cleaner.run_mode, crate::CleanerRunMode::Async(_));
+        let activate_below = if async_mode {
+            self.reserve_segments + 2
+        } else {
+            self.cfg
+                .cleaner
+                .activate_below_clean
+                .max(self.reserve_segments + 2)
+        };
         if self.usage.clean_count() < activate_below {
-            // Several passes share one relocation budget and one
-            // checkpoint: on small segments a per-pass checkpoint would
-            // cost more log space than a pass reclaims.
-            self.in_maintenance = true;
-            let mut budget = self.relocation_budget();
-            let mut result = Ok(());
-            for _ in 0..4 {
-                match self.clean_pass_with_budget(&mut budget) {
-                    Ok(outcome) if outcome.segments == 0 => break,
-                    Ok(_) => {}
-                    Err(e) => {
-                        result = Err(e);
-                        break;
-                    }
+            // An in-progress async run may be sitting on fully-cleaned
+            // segments parked in CleanPending: committing them with a
+            // checkpoint is far cheaper than synchronous cleaning, so
+            // try that first.
+            if async_mode
+                && !self
+                    .usage
+                    .segments_in_state(SegState::CleanPending)
+                    .is_empty()
+            {
+                self.dev.set_maintenance(true);
+                let cp = self.checkpoint();
+                self.dev.set_maintenance(false);
+                cp?;
+            }
+            if self.usage.clean_count() < activate_below {
+                if async_mode {
+                    self.obs.async_emergency_passes.inc();
                 }
-                let pending = self.usage.segments_in_state(SegState::CleanPending).len();
-                if self.usage.clean_count() + pending >= activate_below + 4 {
+                // Threshold cleaning is maintenance work even though a
+                // foreground operation triggered it: tag its device I/O
+                // so engine accounting bills the queue waits to the
+                // maintenance class rather than the unlucky client.
+                self.dev.set_maintenance(true);
+                let result = self.clean_threshold_passes(activate_below);
+                self.dev.set_maintenance(false);
+                result?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The synchronous clean-on-threshold body: several passes sharing
+    /// one relocation budget, then the checkpoint that commits them.
+    fn clean_threshold_passes(&mut self, activate_below: usize) -> FsResult<()> {
+        // Several passes share one relocation budget and one
+        // checkpoint: on small segments a per-pass checkpoint would
+        // cost more log space than a pass reclaims.
+        self.in_maintenance = true;
+        let mut budget = self.relocation_budget();
+        let mut result = Ok(());
+        for _ in 0..4 {
+            match self.clean_pass_with_budget(&mut budget) {
+                Ok(outcome) if outcome.segments == 0 => break,
+                Ok(_) => {}
+                Err(e) => {
+                    result = Err(e);
                     break;
                 }
             }
-            self.in_maintenance = false;
-            result?;
-            // Commit the relocations so cleaned segments become reusable.
-            self.checkpoint()?;
+            let pending = self.usage.segments_in_state(SegState::CleanPending).len();
+            if self.usage.clean_count() + pending >= activate_below + 4 {
+                break;
+            }
         }
+        self.in_maintenance = false;
+        result?;
+        // Commit the relocations so cleaned segments become reusable.
+        self.checkpoint()?;
         Ok(())
     }
 

@@ -40,6 +40,7 @@
 
 pub mod checkpoint;
 pub mod cleaner;
+pub mod cleaner_run;
 #[cfg(test)]
 mod cleaner_tests;
 pub mod config;
@@ -55,7 +56,8 @@ pub mod types;
 pub mod usage;
 pub mod util;
 
-pub use cleaner::{CleanerConfig, CleanerPolicy};
+pub use cleaner::{AsyncCleanerPolicy, CleanerConfig, CleanerPolicy, CleanerRunMode};
+pub use cleaner_run::{CleanerRun, CleanerStepOutcome};
 pub use config::LfsConfig;
 pub use fs::Lfs;
 pub use fsck::FsckReport;

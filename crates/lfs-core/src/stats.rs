@@ -42,6 +42,19 @@ pub struct LfsStats {
     pub cleaner_bytes_read: u64,
     /// Cleaner passes that ran.
     pub cleaner_passes: u64,
+    /// Incremental async-cleaner steps executed.
+    pub async_steps: u64,
+    /// Async cleaner runs started (low watermark crossed).
+    pub async_runs_started: u64,
+    /// Async cleaner runs that reached the high watermark or ran dry.
+    pub async_runs_completed: u64,
+    /// Victims abandoned mid-run because their segment state changed.
+    pub async_victims_aborted: u64,
+    /// Async victims selected off the log head's spindle.
+    pub async_offspindle_victims: u64,
+    /// Emergency synchronous passes taken while in async mode (the
+    /// host stepped too slowly and the log neared its floor).
+    pub async_emergency_passes: u64,
     /// Log chunks replayed by roll-forward at the last mount.
     pub rollforward_chunks: u64,
     /// Inodes recovered by roll-forward at the last mount.
@@ -105,6 +118,12 @@ pub(crate) struct LfsObs {
     pub cleaner_inodes_copied: Counter,
     pub cleaner_bytes_read: Counter,
     pub cleaner_passes: Counter,
+    pub async_steps: Counter,
+    pub async_runs_started: Counter,
+    pub async_runs_completed: Counter,
+    pub async_victims_aborted: Counter,
+    pub async_offspindle_victims: Counter,
+    pub async_emergency_passes: Counter,
     pub rollforward_chunks: Counter,
     pub rollforward_inodes: Counter,
     pub verified_reads: Counter,
@@ -149,6 +168,12 @@ impl LfsObs {
             cleaner_inodes_copied: c("cleaner.inodes_copied"),
             cleaner_bytes_read: c("cleaner.bytes_read"),
             cleaner_passes: c("cleaner.passes"),
+            async_steps: c("cleaner.async.steps"),
+            async_runs_started: c("cleaner.async.runs_started"),
+            async_runs_completed: c("cleaner.async.runs_completed"),
+            async_victims_aborted: c("cleaner.async.victims_aborted"),
+            async_offspindle_victims: c("cleaner.async.offspindle_victims"),
+            async_emergency_passes: c("cleaner.async.emergency_passes"),
             rollforward_chunks: c("recovery.rollforward_chunks"),
             rollforward_inodes: c("recovery.rollforward_inodes"),
             verified_reads: c("integrity.verified_reads"),
@@ -192,6 +217,12 @@ impl LfsObs {
             cleaner_inodes_copied: self.cleaner_inodes_copied.get(),
             cleaner_bytes_read: self.cleaner_bytes_read.get(),
             cleaner_passes: self.cleaner_passes.get(),
+            async_steps: self.async_steps.get(),
+            async_runs_started: self.async_runs_started.get(),
+            async_runs_completed: self.async_runs_completed.get(),
+            async_victims_aborted: self.async_victims_aborted.get(),
+            async_offspindle_victims: self.async_offspindle_victims.get(),
+            async_emergency_passes: self.async_emergency_passes.get(),
             rollforward_chunks: self.rollforward_chunks.get(),
             rollforward_inodes: self.rollforward_inodes.get(),
             verified_reads: self.verified_reads.get(),

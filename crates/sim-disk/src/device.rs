@@ -99,6 +99,30 @@ pub trait BlockDevice {
     /// file system). Counts accumulated before attachment are carried
     /// over. Devices without metrics ignore this.
     fn attach_obs(&mut self, _registry: &obs::Registry) {}
+
+    /// Marks subsequent requests as maintenance I/O (segment cleaning,
+    /// scrubbing) until turned off again. Queue-backed devices use this
+    /// to account the I/O to a maintenance class instead of whichever
+    /// foreground client happens to be dispatched, so per-client wait
+    /// histograms never absorb cleaning cost. Plain devices ignore it.
+    fn set_maintenance(&mut self, _on: bool) {}
+
+    /// Starts a non-blocking read of `len` bytes at `sector`, returning
+    /// a token to pass to [`BlockDevice::finish_read_async`]. Devices
+    /// without an asynchronous read path return `None` and the caller
+    /// falls back to the synchronous [`BlockDevice::read`]; queue-backed
+    /// devices submit the read and let virtual time advance under other
+    /// traffic before the caller claims it.
+    fn start_read_async(&mut self, _sector: u64, _len: usize) -> Option<u64> {
+        None
+    }
+
+    /// Completes a read started by [`BlockDevice::start_read_async`],
+    /// blocking (advancing the virtual clock) only if the read has not
+    /// finished yet. The token must come from the same device.
+    fn finish_read_async(&mut self, _token: u64) -> DiskResult<Vec<u8>> {
+        Err(DiskError::Crashed)
+    }
 }
 
 /// Validates a request against device capacity and sector alignment.

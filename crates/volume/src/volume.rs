@@ -143,6 +143,9 @@ pub struct StripedVolume {
     /// Set once any spindle reports [`DiskError::Crashed`]; all
     /// subsequent volume operations fail fast — one power supply.
     crashed: bool,
+    /// Volume token → (spindle, spindle token) for tracked async reads.
+    tracked_reads: std::collections::BTreeMap<u64, (usize, u64)>,
+    next_read_token: u64,
     obs: VolumeObs,
 }
 
@@ -228,6 +231,8 @@ impl StripedVolume {
             num_sectors,
             global_writes,
             crashed: false,
+            tracked_reads: std::collections::BTreeMap::new(),
+            next_read_token: 1,
             obs,
         }
     }
@@ -461,6 +466,53 @@ impl StripedVolume {
         Ok(())
     }
 
+    /// Marks subsequent submissions on every spindle as maintenance
+    /// I/O (see [`EngineCore::set_maintenance`]).
+    pub fn set_maintenance(&mut self, on: bool) {
+        for core in &mut self.spindles {
+            core.set_maintenance(on);
+        }
+    }
+
+    /// Total requests pending across every spindle's queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.spindles.iter().map(|c| c.queue_len()).sum()
+    }
+
+    /// Starts a tracked non-blocking read if the logical range maps to a
+    /// single spindle (always true for ranges inside one segment under
+    /// segment round-robin). Multi-spindle ranges return `None` and the
+    /// caller falls back to the synchronous fan-out read.
+    pub fn start_read_async(&mut self, sector: u64, len: usize) -> Option<u64> {
+        if self.crashed {
+            return None;
+        }
+        let count = check_request(sector, len, self.num_sectors).ok()?;
+        let subs = self.split(sector, count);
+        let [sub] = subs.as_slice() else { return None };
+        self.obs.reads.inc();
+        self.obs.bytes_read.add(len as u64);
+        self.obs.subrequests.inc();
+        let inner = self.spindles[sub.spindle]
+            .start_tracked_read(sub.sector, sub.bytes())
+            .ok()?;
+        let token = self.next_read_token;
+        self.next_read_token += 1;
+        self.tracked_reads.insert(token, (sub.spindle, inner));
+        Some(token)
+    }
+
+    /// Completes a read started by [`StripedVolume::start_read_async`].
+    pub fn finish_read_async(&mut self, token: u64) -> DiskResult<Vec<u8>> {
+        let (spindle, inner) = self
+            .tracked_reads
+            .remove(&token)
+            .expect("finish_read_async: unknown token");
+        self.spindles[spindle]
+            .finish_tracked_read(inner)
+            .map_err(|e| self.translate(spindle, e))
+    }
+
     /// Lazily progresses every spindle to the current virtual time.
     pub fn pump(&mut self) -> DiskResult<()> {
         if self.crashed {
@@ -565,6 +617,18 @@ impl BlockDevice for VolumeDisk {
     fn attach_obs(&mut self, registry: &Registry) {
         self.0.borrow_mut().attach_obs(registry);
     }
+
+    fn set_maintenance(&mut self, on: bool) {
+        self.0.borrow_mut().set_maintenance(on);
+    }
+
+    fn start_read_async(&mut self, sector: u64, len: usize) -> Option<u64> {
+        self.0.borrow_mut().start_read_async(sector, len)
+    }
+
+    fn finish_read_async(&mut self, token: u64) -> DiskResult<Vec<u8>> {
+        self.0.borrow_mut().finish_read_async(token)
+    }
 }
 
 impl RequestEngine for VolumeDisk {
@@ -588,5 +652,9 @@ impl RequestEngine for VolumeDisk {
         for core in &mut volume.spindles {
             core.register_clients(n);
         }
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.0.borrow().queue_depth()
     }
 }
