@@ -32,9 +32,11 @@
 //! byte-identical metrics JSON.
 
 pub mod multi;
+pub mod qos;
 pub mod queue;
 pub mod sched;
 
 pub use multi::{run_small_file_create, ClientSummary, MultiClientConfig, MultiReport, RequestEngine};
+pub use qos::{FairShare, QosClass, QosSpec, TenantQos};
 pub use queue::{EngineConfig, EngineCore, EngineDisk, ReadHandle, MAINT_OWNER};
 pub use sched::{CLook, Fcfs, IoScheduler, SchedulerKind, Sstf};

@@ -25,6 +25,7 @@ use vfs::{FileSystem, FsResult};
 use workload::small_files::SmallFileSpec;
 use workload::payload;
 
+use crate::qos::QosSpec;
 use crate::queue::EngineCore;
 
 /// What the multi-client event loop needs from a request engine: the
@@ -46,6 +47,10 @@ pub trait RequestEngine {
     /// Total requests currently pending across the engine's queues — the
     /// idle signal for idle-gated maintenance such as async cleaning.
     fn queue_depth(&self) -> u64;
+    /// Installs (or clears) a per-client QoS spec on every queue the
+    /// engine schedules. The default does nothing, so engines without a
+    /// QoS-aware queue keep compiling.
+    fn set_qos(&self, _spec: Option<QosSpec>) {}
 }
 
 impl RequestEngine for Rc<RefCell<EngineCore>> {
@@ -67,6 +72,10 @@ impl RequestEngine for Rc<RefCell<EngineCore>> {
 
     fn queue_depth(&self) -> u64 {
         self.borrow().queue_len()
+    }
+
+    fn set_qos(&self, spec: Option<QosSpec>) {
+        self.borrow_mut().set_qos(spec);
     }
 }
 

@@ -1,0 +1,284 @@
+//! Per-client quality of service: weights and priority classes.
+//!
+//! A [`QosSpec`] names every tenant's *weight* (proportional share of
+//! service while backlogged) and *class* ([`QosClass::Latency`] tenants
+//! are serviced ahead of [`QosClass::Bulk`] tenants). The mechanism is
+//! one [`FairShare`] ledger — a start-time-fair-queueing variant over
+//! the shared virtual clock's service units — used at *both* contention
+//! points of the stack:
+//!
+//! * the disk request queue ([`crate::EngineCore`] consults a ledger in
+//!   its pick loop, after the bounded-wait aging guarantee), so a
+//!   latency tenant's synchronous request is not stuck behind a bulk
+//!   tenant's queued backlog, and
+//! * the operation dispatcher of a trace replay (the `trace` crate
+//!   keeps its own ledger over operation service time), so a 4x-weight
+//!   tenant is dispatched 4x as often while every tenant is backlogged.
+//!
+//! QoS never weakens the anti-starvation guarantee: the engine's aging
+//! check runs *before* the ledger is consulted, so a zero-priority
+//! request still cannot wait past [`crate::EngineConfig::max_wait_ns`]
+//! plus the drain bound, whatever the weights say.
+
+/// Service class of one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QosClass {
+    /// Latency-sensitive: serviced ahead of every bulk tenant.
+    Latency,
+    /// Throughput-oriented (the default): shares capacity by weight.
+    #[default]
+    Bulk,
+}
+
+impl QosClass {
+    /// Stable lower-case name (used in labels and trace files).
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Latency => "latency",
+            QosClass::Bulk => "bulk",
+        }
+    }
+
+    /// Parses a name produced by [`QosClass::name`].
+    pub fn parse(name: &str) -> Option<QosClass> {
+        match name {
+            "latency" => Some(QosClass::Latency),
+            "bulk" => Some(QosClass::Bulk),
+            _ => None,
+        }
+    }
+
+    /// Ordering rank: lower ranks are serviced first.
+    fn rank(self) -> u8 {
+        match self {
+            QosClass::Latency => 0,
+            QosClass::Bulk => 1,
+        }
+    }
+}
+
+/// One tenant's QoS parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQos {
+    /// Proportional-share weight (>= 1).
+    pub weight: u64,
+    /// Service class.
+    pub class: QosClass,
+}
+
+impl Default for TenantQos {
+    fn default() -> Self {
+        TenantQos {
+            weight: 1,
+            class: QosClass::Bulk,
+        }
+    }
+}
+
+/// The per-client QoS assignment for a run: tenant `c`'s parameters live
+/// at index `c`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QosSpec {
+    /// Per-tenant parameters, indexed by client id.
+    pub tenants: Vec<TenantQos>,
+}
+
+impl QosSpec {
+    /// `n` tenants, all weight 1, all bulk — QoS on but neutral.
+    pub fn uniform(n: usize) -> Self {
+        QosSpec {
+            tenants: vec![TenantQos::default(); n],
+        }
+    }
+
+    /// Sets tenant `client`'s weight (clamped to >= 1).
+    pub fn with_weight(mut self, client: usize, weight: u64) -> Self {
+        if let Some(t) = self.tenants.get_mut(client) {
+            t.weight = weight.max(1);
+        }
+        self
+    }
+
+    /// Sets tenant `client`'s class.
+    pub fn with_class(mut self, client: usize, class: QosClass) -> Self {
+        if let Some(t) = self.tenants.get_mut(client) {
+            t.class = class;
+        }
+        self
+    }
+
+    /// Number of tenants covered by the spec.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when the spec covers no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Tenant `client`'s parameters (default weight-1 bulk for clients
+    /// beyond the spec, so a partial spec degrades gracefully).
+    pub fn tenant(&self, client: usize) -> TenantQos {
+        self.tenants.get(client).copied().unwrap_or_default()
+    }
+}
+
+/// Fixed-point scale for normalized service: one service unit at weight
+/// `SCALE` advances virtual time by 1.
+const VTIME_SCALE: u64 = 1 << 16;
+
+/// A weighted fair-share ledger (start-time fair queueing).
+///
+/// Each tenant has a *virtual time*: its cumulative charged service
+/// divided by its weight. The scheduler always picks, among candidates,
+/// the best `(class rank, virtual time, id)` — so latency tenants go
+/// first, and within a class the tenant furthest behind its fair share
+/// goes next. While every tenant stays backlogged, cumulative service
+/// converges to the weight ratio.
+///
+/// A tenant returning from idle is clamped forward to the system's
+/// virtual time ([`FairShare::note_active`]): idling banks no credit, so
+/// a sleeping tenant cannot wake up and monopolize the device.
+#[derive(Debug, Clone)]
+pub struct FairShare {
+    spec: QosSpec,
+    /// Per-tenant virtual time, indexed by client id (grown on demand).
+    vtime: Vec<u64>,
+    /// Virtual time of the most recent pick — the "system" virtual
+    /// time a newly active tenant is clamped forward to.
+    system_v: u64,
+}
+
+impl FairShare {
+    /// An empty ledger over `spec`.
+    pub fn new(spec: QosSpec) -> Self {
+        let n = spec.len();
+        FairShare {
+            spec,
+            vtime: vec![0; n],
+            system_v: 0,
+        }
+    }
+
+    /// The spec the ledger was built over.
+    pub fn spec(&self) -> &QosSpec {
+        &self.spec
+    }
+
+    fn slot(&mut self, client: usize) -> &mut u64 {
+        if client >= self.vtime.len() {
+            self.vtime.resize(client + 1, self.system_v);
+        }
+        &mut self.vtime[client]
+    }
+
+    /// Charges `units` of service (bytes, nanoseconds — any additive
+    /// unit, as long as one unit is used consistently) to `client`,
+    /// advancing its virtual time by `units / weight`.
+    pub fn charge(&mut self, client: usize, units: u64) {
+        let weight = self.spec.tenant(client).weight.max(1);
+        let v = self.slot(client);
+        *v = v.saturating_add(units.saturating_mul(VTIME_SCALE) / weight);
+    }
+
+    /// Clamps a tenant returning from idle forward to the system virtual
+    /// time, so idling banks no credit.
+    pub fn note_active(&mut self, client: usize) {
+        let system_v = self.system_v;
+        let v = self.slot(client);
+        *v = (*v).max(system_v);
+    }
+
+    /// The pick key of `client`: lower is serviced first.
+    pub fn key(&self, client: usize) -> (u8, u64, usize) {
+        let t = self.spec.tenant(client);
+        let v = self.vtime.get(client).copied().unwrap_or(self.system_v);
+        (t.class.rank(), v, client)
+    }
+
+    /// Picks the best candidate — lowest `(class rank, virtual time,
+    /// id)` — and advances the system virtual time to its pick.
+    /// Returns `None` on an empty candidate set.
+    pub fn pick(&mut self, candidates: impl IntoIterator<Item = usize>) -> Option<usize> {
+        let best = candidates.into_iter().min_by_key(|&c| self.key(c))?;
+        self.system_v = self.vtime.get(best).copied().unwrap_or(self.system_v);
+        Some(best)
+    }
+
+    /// Tenant `client`'s current virtual time (test/introspection hook).
+    pub fn vtime(&self, client: usize) -> u64 {
+        self.vtime.get(client).copied().unwrap_or(self.system_v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_picks_converge_to_weight_ratio() {
+        // Two always-backlogged tenants, weights 4:1, unit charges.
+        let spec = QosSpec::uniform(2).with_weight(0, 4);
+        let mut fair = FairShare::new(spec);
+        let mut served = [0u64; 2];
+        for _ in 0..1000 {
+            let c = fair.pick([0, 1]).unwrap();
+            served[c] += 1;
+            fair.charge(c, 1000);
+        }
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!(
+            (ratio - 4.0).abs() < 0.1,
+            "4:1 weights served {served:?} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn latency_class_preempts_bulk_regardless_of_weight() {
+        let spec = QosSpec::uniform(2)
+            .with_weight(0, 100)
+            .with_class(1, QosClass::Latency);
+        let mut fair = FairShare::new(spec);
+        fair.charge(1, 1_000_000); // latency tenant far "ahead" on service
+        assert_eq!(fair.pick([0, 1]), Some(1));
+    }
+
+    #[test]
+    fn idle_tenants_bank_no_credit() {
+        let spec = QosSpec::uniform(2);
+        let mut fair = FairShare::new(spec);
+        // Tenant 0 runs alone for a while.
+        for _ in 0..100 {
+            let c = fair.pick([0]).unwrap();
+            fair.charge(c, 1000);
+        }
+        // Tenant 1 wakes: clamped to system virtual time, so it does not
+        // monopolize the next 100 picks.
+        fair.note_active(1);
+        let mut served = [0u64; 2];
+        for _ in 0..100 {
+            let c = fair.pick([0, 1]).unwrap();
+            served[c] += 1;
+            fair.charge(c, 1000);
+        }
+        assert!(
+            served[0] >= 45,
+            "waking tenant starved the running one: {served:?}"
+        );
+    }
+
+    #[test]
+    fn spec_accessors_and_parse_round_trip() {
+        let spec = QosSpec::uniform(3)
+            .with_weight(1, 4)
+            .with_class(2, QosClass::Latency);
+        assert_eq!(spec.tenant(1).weight, 4);
+        assert_eq!(spec.tenant(2).class, QosClass::Latency);
+        assert_eq!(spec.tenant(9), TenantQos::default());
+        for class in [QosClass::Latency, QosClass::Bulk] {
+            assert_eq!(QosClass::parse(class.name()), Some(class));
+        }
+        assert_eq!(QosClass::parse("gold"), None);
+    }
+}

@@ -20,6 +20,7 @@ use sim_disk::{
     AccessKind, BlockDevice, Clock, DiskError, DiskResult, IoCompletion, SimDisk, SECTOR_SIZE,
 };
 
+use crate::qos::{FairShare, QosSpec};
 use crate::sched::{IoScheduler, SchedulerKind};
 
 /// Tuning knobs for the request engine.
@@ -136,6 +137,7 @@ struct EngineObs {
     dep_stall_ns: Counter,
     sched_decisions: Counter,
     aged_picks: Counter,
+    qos_picks: Counter,
     retries: Counter,
     retry_exhausted: Counter,
     /// Queue wait accumulated by maintenance-class requests (cleaning,
@@ -171,6 +173,7 @@ impl EngineObs {
             dep_stall_ns: registry.counter(&n("engine.dependency_stall_ns")),
             sched_decisions: registry.counter(&n("engine.sched_decisions")),
             aged_picks: registry.counter(&n("engine.aged_picks")),
+            qos_picks: registry.counter(&n("engine.qos_picks")),
             retries: registry.counter(&n("engine.retries")),
             retry_exhausted: registry.counter(&n("engine.retry_exhausted")),
             maintenance_wait: registry.counter(&n("engine.maintenance.disk_wait_ns")),
@@ -205,6 +208,7 @@ impl EngineObs {
         self.sched_decisions =
             registry.adopt_counter(&n("engine.sched_decisions"), &self.sched_decisions);
         self.aged_picks = registry.adopt_counter(&n("engine.aged_picks"), &self.aged_picks);
+        self.qos_picks = registry.adopt_counter(&n("engine.qos_picks"), &self.qos_picks);
         self.retries = registry.adopt_counter(&n("engine.retries"), &self.retries);
         self.retry_exhausted =
             registry.adopt_counter(&n("engine.retry_exhausted"), &self.retry_exhausted);
@@ -263,6 +267,14 @@ pub struct EngineCore {
     unclaimed_reads: BTreeMap<u64, DiskResult<IoCompletion>>,
     /// Per-client queue-wait counters, indexed by client id.
     per_client_wait: Vec<Counter>,
+    /// Per-client completed-bytes counters, indexed by client id (a
+    /// coalesced request's bytes split evenly across its owners).
+    per_client_bytes: Vec<Counter>,
+    /// When set, the queue pick is QoS-aware: latency-class tenants'
+    /// requests go first, and among bulk tenants the one furthest behind
+    /// its weighted fair share is serviced next. The aging guarantee is
+    /// checked *before* the ledger, so QoS never starves anyone.
+    qos: Option<FairShare>,
     decisions_traced: u64,
     depth_high_water: u64,
     obs: EngineObs,
@@ -288,6 +300,8 @@ impl EngineCore {
             owners: BTreeMap::new(),
             unclaimed_reads: BTreeMap::new(),
             per_client_wait: Vec::new(),
+            per_client_bytes: Vec::new(),
+            qos: None,
             decisions_traced: 0,
             depth_high_water: 0,
             obs,
@@ -356,7 +370,8 @@ impl EngineCore {
         }
     }
 
-    /// Creates per-client queue-wait counters for clients `0..n`.
+    /// Creates per-client queue-wait and completed-bytes counters for
+    /// clients `0..n`.
     pub fn register_clients(&mut self, n: usize) {
         let prefix = &self.obs.prefix;
         self.per_client_wait = (0..n)
@@ -366,6 +381,26 @@ impl EngineCore {
                     .counter(&format!("{prefix}engine.c{c:03}.disk_wait_ns"))
             })
             .collect();
+        self.per_client_bytes = (0..n)
+            .map(|c| {
+                self.obs
+                    .registry
+                    .counter(&format!("{prefix}engine.c{c:03}.io_bytes_done"))
+            })
+            .collect();
+    }
+
+    /// Installs (or clears, with `None`) a per-client QoS spec. While a
+    /// spec is installed, scheduler picks service latency-class tenants
+    /// first and divide capacity among bulk tenants by weight; the
+    /// bounded-wait aging guarantee still overrides every QoS decision.
+    pub fn set_qos(&mut self, spec: Option<QosSpec>) {
+        self.qos = spec.map(FairShare::new);
+    }
+
+    /// The installed QoS ledger, if any (introspection for tests).
+    pub fn qos(&self) -> Option<&FairShare> {
+        self.qos.as_ref()
     }
 
     /// Re-homes the disk's and the engine's instruments into `registry`.
@@ -376,6 +411,10 @@ impl EngineCore {
         for (c, counter) in self.per_client_wait.iter_mut().enumerate() {
             *counter =
                 registry.adopt_counter(&format!("{prefix}engine.c{c:03}.disk_wait_ns"), counter);
+        }
+        for (c, counter) in self.per_client_bytes.iter_mut().enumerate() {
+            *counter =
+                registry.adopt_counter(&format!("{prefix}engine.c{c:03}.io_bytes_done"), counter);
         }
     }
 
@@ -406,8 +445,12 @@ impl EngineCore {
     ///
     /// The bounded-wait guarantee lives here, *outside* the pluggable
     /// policy: if the oldest eligible request has waited `max_wait_ns`,
-    /// it is chosen unconditionally, so no policy can starve a request.
-    fn pick_id(&self, t: u64) -> (u64, bool) {
+    /// it is chosen unconditionally, so no policy (including QoS) can
+    /// starve a request. Below the aging bound, an installed QoS ledger
+    /// narrows the candidate set to the best tenant's requests —
+    /// latency class first, then lowest weighted virtual time — and the
+    /// geometry policy picks among those.
+    fn pick_id(&mut self, t: u64) -> (u64, bool) {
         let eligible: Vec<_> = self
             .disk
             .pending()
@@ -421,6 +464,33 @@ impl EngineCore {
             .expect("non-empty");
         if t - oldest.submitted_at_ns() >= self.cfg.max_wait_ns {
             return (oldest.id(), true);
+        }
+        if let Some(fair) = self.qos.as_mut() {
+            // Best client owner of each eligible request (a coalesced
+            // request carries the best of its contributors); requests
+            // with no foreground owner (system, maintenance) are only
+            // picked when no client request is eligible — aging keeps
+            // them from starving.
+            let best_owner = eligible
+                .iter()
+                .flat_map(|p| self.owners.get(&p.id()).into_iter().flatten())
+                .filter(|&&c| c != MAINT_OWNER)
+                .copied()
+                .min_by_key(|&c| fair.key(c));
+            if let Some(owner) = best_owner {
+                let owned: Vec<_> = eligible
+                    .iter()
+                    .filter(|p| {
+                        self.owners
+                            .get(&p.id())
+                            .is_some_and(|os| os.contains(&owner))
+                    })
+                    .copied()
+                    .collect();
+                fair.pick(std::iter::once(owner));
+                self.obs.qos_picks.inc();
+                return (self.sched.pick(self.disk.head(), &owned), false);
+            }
         }
         (self.sched.pick(self.disk.head(), &eligible), false)
     }
@@ -464,11 +534,22 @@ impl EngineCore {
             );
         }
         if let Some(owners) = self.owners.remove(&done.id) {
+            // A coalesced request's bytes are split evenly across its
+            // contributors so per-client completed-bytes stay a partition.
+            let share = done.bytes / owners.len().max(1) as u64;
             for c in owners {
                 if c == MAINT_OWNER {
                     self.obs.maintenance_wait.add(done.wait_ns);
-                } else if let Some(counter) = self.per_client_wait.get(c) {
-                    counter.add(done.wait_ns);
+                } else {
+                    if let Some(counter) = self.per_client_wait.get(c) {
+                        counter.add(done.wait_ns);
+                    }
+                    if let Some(counter) = self.per_client_bytes.get(c) {
+                        counter.add(share);
+                    }
+                    if let Some(fair) = self.qos.as_mut() {
+                        fair.charge(c, share);
+                    }
                 }
             }
         }
@@ -518,6 +599,11 @@ impl EngineCore {
             Some(c) => {
                 self.owners.entry(id).or_default().push(c);
                 self.obs.client_bytes.add(bytes);
+                // A tenant returning from idle starts at the system
+                // virtual time: idling banks no QoS credit.
+                if let Some(fair) = self.qos.as_mut() {
+                    fair.note_active(c);
+                }
             }
             None => self.obs.system_bytes.add(bytes),
         }
@@ -638,6 +724,11 @@ impl EngineCore {
                 let owners = self.owners.entry(id).or_default();
                 if !owners.contains(&c) {
                     owners.push(c);
+                }
+                if c != MAINT_OWNER {
+                    if let Some(fair) = self.qos.as_mut() {
+                        fair.note_active(c);
+                    }
                 }
             }
             return Ok(());

@@ -23,6 +23,7 @@
 
 pub mod crash_sweep;
 pub mod interference;
+pub mod trace_replay;
 
 use std::sync::Arc;
 
@@ -76,6 +77,13 @@ impl MetricsReport {
     /// Snapshots a bare registry (no file system attached).
     pub fn add_registry(&mut self, label: &str, clock_ns: u64, registry: &obs::Registry) {
         self.inner.add_run(label, "-", clock_ns, registry);
+    }
+
+    /// The report rendered as its JSON document, without writing a
+    /// file — what `emit` would write. The determinism tests compare
+    /// this byte-for-byte across repeated runs.
+    pub fn to_json(&self) -> String {
+        self.inner.to_json()
     }
 
     /// Writes the report file and prints its path. Failures are reported

@@ -1,0 +1,39 @@
+//! Determinism of the `trace_replay` bench: two identical runs must
+//! produce byte-identical metrics JSON (the `BENCH_trace_replay.json`
+//! payload) and identical namespace digests. Everything is virtual
+//! time, so any divergence is a real nondeterminism bug, not noise.
+
+use lfs_bench::trace_replay::{run_cell, FsKind};
+use lfs_bench::MetricsReport;
+use trace::{by_name, GenSpec};
+
+fn one_run() -> (String, Vec<u64>) {
+    let trace = by_name("office", &GenSpec::small(4)).expect("office");
+    let mut metrics = MetricsReport::new("trace_replay");
+    let mut digests = Vec::new();
+    for qos in [false, true] {
+        let cell = run_cell(FsKind::Lfs, "office", &trace, 1, qos, &mut metrics);
+        digests.push(cell.snapshot_hash);
+    }
+    (metrics.to_json(), digests)
+}
+
+#[test]
+fn bench_json_is_byte_identical_across_runs() {
+    let (json_a, digests_a) = one_run();
+    let (json_b, digests_b) = one_run();
+    assert_eq!(json_a, json_b, "two identical bench runs diverged");
+    assert_eq!(digests_a, digests_b);
+
+    // The keys CI recomputes the QoS assertions from must be present.
+    for key in [
+        "trace.t00.weight",
+        "trace.t00.contended_bytes",
+        "trace.t00.p99_ns",
+        "replay.ops_per_sec_milli",
+        "replay.snapshot_hash",
+        "trace.dep_violations",
+    ] {
+        assert!(json_a.contains(key), "metrics JSON lost the '{key}' gauge");
+    }
+}

@@ -1,0 +1,514 @@
+//! The `lfs-trace` format: a versioned, multi-tenant operation trace.
+//!
+//! A trace file is plain text. The first significant line is the header
+//! `lfs-trace v1`; after it come directives, one per line, with `#`
+//! comments and blank lines ignored:
+//!
+//! ```text
+//! lfs-trace v1
+//! clients 2
+//! qos 0 weight 4 class bulk        # optional; default weight 1, bulk
+//! qos 1 weight 1 class latency
+//! op 0 c0 t0 after - mkdir /t0
+//! op 1 c0 t500000 after 0 create /t0/doc
+//! op 2 c1 t500000 after 1 read /t0/doc 0 4096
+//! ```
+//!
+//! Each `op` record carries a unique id, the issuing client, a think
+//! time (client-side delay before the operation becomes runnable), an
+//! explicit happens-before dependency list (`-` for none), and the
+//! operation itself in the [`workload::trace::TraceOp`] line grammar —
+//! so the single-stream format stays a strict subset of this one.
+//!
+//! Besides the explicit edges, every record has an implicit
+//! happens-before edge from the issuing client's previous record
+//! (program order). [`Trace::parse`] validates the whole graph —
+//! explicit and implicit edges together must be acyclic — and rejects
+//! malformed input with a typed [`TraceError`], never a panic.
+
+use std::fmt;
+
+use engine::{QosClass, QosSpec};
+use workload::trace::TraceOp;
+
+use crate::graph::DepGraph;
+
+/// Current format version (the `v1` of the header line).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Largest client count a trace may declare. Per-tenant QoS and replay
+/// state is sized by this number at parse time, so it is a hard format
+/// limit rather than a soft suggestion.
+pub const MAX_CLIENTS: usize = 1 << 16;
+
+/// Everything that can be wrong with a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The input does not start with an `lfs-trace` header line.
+    BadHeader,
+    /// The header names a version this parser does not speak.
+    BadVersion(String),
+    /// A directive line is missing a required field.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// Which field was expected.
+        what: &'static str,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A line starts with an unknown directive.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The embedded operation spec failed to parse.
+    BadOp {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A `qos` line names an unknown class.
+    BadQosClass {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A record's client id is outside `0..clients`.
+    BadClient {
+        /// 1-based line number.
+        line: usize,
+        /// The offending client id.
+        client: usize,
+    },
+    /// The `clients` directive exceeds [`MAX_CLIENTS`] — per-tenant
+    /// state is allocated eagerly, so an absurd count is rejected, not
+    /// honoured.
+    TooManyClients {
+        /// 1-based line number.
+        line: usize,
+        /// The declared client count.
+        clients: usize,
+    },
+    /// Two records share an id.
+    DuplicateId {
+        /// The repeated record id.
+        id: u64,
+    },
+    /// A record depends on an id that is not in the trace.
+    DanglingDependency {
+        /// The depending record.
+        id: u64,
+        /// The missing dependency id.
+        dep: u64,
+    },
+    /// A record depends on itself.
+    SelfDependency {
+        /// The offending record id.
+        id: u64,
+    },
+    /// The dependency graph (explicit edges plus per-client program
+    /// order) contains a cycle through this record.
+    CyclicDependency {
+        /// A record id on the cycle.
+        id: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "missing 'lfs-trace' header"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version '{v}'"),
+            TraceError::MissingField { line, what } => {
+                write!(f, "line {line}: missing {what}")
+            }
+            TraceError::BadNumber { line } => write!(f, "line {line}: bad number"),
+            TraceError::UnknownDirective { line } => {
+                write!(f, "line {line}: unknown directive")
+            }
+            TraceError::BadOp { line } => write!(f, "line {line}: bad operation spec"),
+            TraceError::BadQosClass { line } => write!(f, "line {line}: bad qos class"),
+            TraceError::BadClient { line, client } => {
+                write!(f, "line {line}: client {client} out of range")
+            }
+            TraceError::TooManyClients { line, clients } => {
+                write!(
+                    f,
+                    "line {line}: client count {clients} exceeds the limit {MAX_CLIENTS}"
+                )
+            }
+            TraceError::DuplicateId { id } => write!(f, "duplicate record id {id}"),
+            TraceError::DanglingDependency { id, dep } => {
+                write!(f, "record {id} depends on unknown record {dep}")
+            }
+            TraceError::SelfDependency { id } => write!(f, "record {id} depends on itself"),
+            TraceError::CyclicDependency { id } => {
+                write!(f, "dependency cycle through record {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One trace record: an operation plus its scheduling envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Unique record id (referenced by dependency edges).
+    pub id: u64,
+    /// Issuing client (tenant), `0..trace.clients`.
+    pub client: usize,
+    /// Client-side think time before the operation becomes runnable,
+    /// in virtual nanoseconds.
+    pub think_ns: u64,
+    /// Explicit happens-before dependencies: this record may not start
+    /// until every listed record has finished.
+    pub deps: Vec<u64>,
+    /// The operation itself.
+    pub op: TraceOp,
+}
+
+/// A parsed, validated trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Number of clients (tenants) the trace was recorded for.
+    pub clients: usize,
+    /// Per-tenant QoS parameters (weight 1, bulk unless a `qos` line
+    /// says otherwise).
+    pub qos: QosSpec,
+    /// The records, in file order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Parses and validates a trace. Rejects malformed input, unknown
+    /// ids, and dependency cycles with a typed [`TraceError`].
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+            .filter(|(_, l)| !l.is_empty());
+
+        let (_, header) = lines.next().ok_or(TraceError::BadHeader)?;
+        let mut head = header.split_whitespace();
+        if head.next() != Some("lfs-trace") {
+            return Err(TraceError::BadHeader);
+        }
+        let version = head.next().unwrap_or("");
+        if version != "v1" {
+            return Err(TraceError::BadVersion(version.to_string()));
+        }
+
+        let mut clients = 0usize;
+        let mut qos = QosSpec::default();
+        let mut records = Vec::new();
+        for (line, text) in lines {
+            let mut fields = text.split_whitespace();
+            match fields.next().unwrap() {
+                "clients" => {
+                    clients = parse_num(
+                        fields.next().ok_or(TraceError::MissingField {
+                            line,
+                            what: "client count",
+                        })?,
+                        line,
+                    )? as usize;
+                    if clients > MAX_CLIENTS {
+                        return Err(TraceError::TooManyClients { line, clients });
+                    }
+                    qos = QosSpec::uniform(clients);
+                }
+                "qos" => {
+                    let c = parse_num(
+                        fields.next().ok_or(TraceError::MissingField {
+                            line,
+                            what: "qos client",
+                        })?,
+                        line,
+                    )? as usize;
+                    if c >= clients {
+                        return Err(TraceError::BadClient { line, client: c });
+                    }
+                    // `weight <w> class <name>` in either order, both
+                    // optional.
+                    while let Some(key) = fields.next() {
+                        let value = fields.next().ok_or(TraceError::MissingField {
+                            line,
+                            what: "qos value",
+                        })?;
+                        match key {
+                            "weight" => qos = qos.with_weight(c, parse_num(value, line)?),
+                            "class" => {
+                                let class = QosClass::parse(value)
+                                    .ok_or(TraceError::BadQosClass { line })?;
+                                qos = qos.with_class(c, class);
+                            }
+                            _ => return Err(TraceError::UnknownDirective { line }),
+                        }
+                    }
+                }
+                "op" => {
+                    let id = parse_num(
+                        fields.next().ok_or(TraceError::MissingField {
+                            line,
+                            what: "record id",
+                        })?,
+                        line,
+                    )?;
+                    let client_field = fields.next().ok_or(TraceError::MissingField {
+                        line,
+                        what: "client (cN)",
+                    })?;
+                    let client = parse_num(
+                        client_field
+                            .strip_prefix('c')
+                            .ok_or(TraceError::MissingField {
+                                line,
+                                what: "client (cN)",
+                            })?,
+                        line,
+                    )? as usize;
+                    if client >= clients {
+                        return Err(TraceError::BadClient { line, client });
+                    }
+                    let think_field = fields.next().ok_or(TraceError::MissingField {
+                        line,
+                        what: "think time (tN)",
+                    })?;
+                    let think_ns = parse_num(
+                        think_field
+                            .strip_prefix('t')
+                            .ok_or(TraceError::MissingField {
+                                line,
+                                what: "think time (tN)",
+                            })?,
+                        line,
+                    )?;
+                    if fields.next() != Some("after") {
+                        return Err(TraceError::MissingField {
+                            line,
+                            what: "'after' keyword",
+                        });
+                    }
+                    let deps_field = fields.next().ok_or(TraceError::MissingField {
+                        line,
+                        what: "dependency list",
+                    })?;
+                    let deps = if deps_field == "-" {
+                        Vec::new()
+                    } else {
+                        deps_field
+                            .split(',')
+                            .map(|d| parse_num(d, line))
+                            .collect::<Result<Vec<_>, _>>()?
+                    };
+                    let op_text = fields.collect::<Vec<_>>().join(" ");
+                    let op = TraceOp::parse_line(&op_text)
+                        .ok()
+                        .flatten()
+                        .ok_or(TraceError::BadOp { line })?;
+                    records.push(TraceRecord {
+                        id,
+                        client,
+                        think_ns,
+                        deps,
+                        op,
+                    });
+                }
+                _ => return Err(TraceError::UnknownDirective { line }),
+            }
+        }
+
+        let trace = Trace {
+            clients,
+            qos,
+            records,
+        };
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// [`Trace::parse`] over raw bytes: invalid UTF-8 is decoded lossily
+    /// (replacement characters fail field parsing, never the process).
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        Trace::parse(&String::from_utf8_lossy(bytes))
+    }
+
+    /// Validates record ids, dependency targets, and graph acyclicity
+    /// (explicit edges plus per-client program order). `parse` runs
+    /// this; call it directly on programmatically built traces.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &self.records {
+            if !seen.insert(r.id) {
+                return Err(TraceError::DuplicateId { id: r.id });
+            }
+            if r.deps.contains(&r.id) {
+                return Err(TraceError::SelfDependency { id: r.id });
+            }
+        }
+        for r in &self.records {
+            for &dep in &r.deps {
+                if !seen.contains(&dep) {
+                    return Err(TraceError::DanglingDependency { id: r.id, dep });
+                }
+            }
+        }
+        DepGraph::build(self).map(|_| ())
+    }
+
+    /// Serialises the trace in the `lfs-trace v1` grammar;
+    /// [`Trace::parse`] round-trips the result exactly.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("lfs-trace v{FORMAT_VERSION}\nclients {}\n", self.clients);
+        for (c, t) in self.qos.tenants.iter().enumerate() {
+            out.push_str(&format!(
+                "qos {c} weight {} class {}\n",
+                t.weight,
+                t.class.name()
+            ));
+        }
+        for r in &self.records {
+            let deps = if r.deps.is_empty() {
+                "-".to_string()
+            } else {
+                r.deps
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!(
+                "op {} c{} t{} after {deps} {}\n",
+                r.id,
+                r.client,
+                r.think_ns,
+                r.op.to_line()
+            ));
+        }
+        out
+    }
+
+    /// The subset of the trace issued by `client`, renumbered as a
+    /// single-tenant trace. Cross-client dependency edges are dropped
+    /// (same-client edges are kept), giving the workload this tenant
+    /// would run *alone* — the solo baseline for interference studies.
+    pub fn filter_client(&self, client: usize) -> Trace {
+        let keep: std::collections::BTreeSet<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.client == client)
+            .map(|r| r.id)
+            .collect();
+        let records = self
+            .records
+            .iter()
+            .filter(|r| r.client == client)
+            .map(|r| TraceRecord {
+                id: r.id,
+                client: 0,
+                think_ns: r.think_ns,
+                deps: r.deps.iter().copied().filter(|d| keep.contains(d)).collect(),
+                op: r.op.clone(),
+            })
+            .collect();
+        Trace {
+            clients: 1,
+            qos: QosSpec::uniform(1),
+            records,
+        }
+    }
+}
+
+fn parse_num(s: &str, line: usize) -> Result<u64, TraceError> {
+    s.parse().map_err(|_| TraceError::BadNumber { line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+lfs-trace v1
+clients 2
+qos 0 weight 4 class bulk
+qos 1 weight 1 class latency
+op 0 c0 t0 after - mkdir /t0
+op 1 c0 t1000 after 0 create /t0/f
+op 2 c1 t1000 after 1 read /t0/f 0 0
+";
+
+    #[test]
+    fn parses_and_round_trips() {
+        let trace = Trace::parse(SMALL).unwrap();
+        assert_eq!(trace.clients, 2);
+        assert_eq!(trace.qos.tenant(0).weight, 4);
+        assert_eq!(trace.qos.tenant(1).class, QosClass::Latency);
+        assert_eq!(trace.records.len(), 3);
+        assert_eq!(trace.records[2].deps, vec![1]);
+        assert_eq!(Trace::parse(&trace.to_text()).unwrap(), trace);
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_versions() {
+        assert_eq!(Trace::parse(""), Err(TraceError::BadHeader));
+        assert_eq!(Trace::parse("hello\n"), Err(TraceError::BadHeader));
+        assert_eq!(
+            Trace::parse("lfs-trace v9\n"),
+            Err(TraceError::BadVersion("v9".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_graph_violations_with_typed_errors() {
+        let dup = "lfs-trace v1\nclients 1\nop 0 c0 t0 after - sync\nop 0 c0 t0 after - sync\n";
+        assert_eq!(Trace::parse(dup), Err(TraceError::DuplicateId { id: 0 }));
+        let dangling = "lfs-trace v1\nclients 1\nop 0 c0 t0 after 7 sync\n";
+        assert_eq!(
+            Trace::parse(dangling),
+            Err(TraceError::DanglingDependency { id: 0, dep: 7 })
+        );
+        let selfdep = "lfs-trace v1\nclients 1\nop 0 c0 t0 after 0 sync\n";
+        assert_eq!(Trace::parse(selfdep), Err(TraceError::SelfDependency { id: 0 }));
+        // Explicit cycle: 0 -> 1 -> 0 (two clients, so program order
+        // does not already serialize them).
+        let cycle =
+            "lfs-trace v1\nclients 2\nop 0 c0 t0 after 1 sync\nop 1 c1 t0 after 0 sync\n";
+        assert!(matches!(
+            Trace::parse(cycle),
+            Err(TraceError::CyclicDependency { .. })
+        ));
+        // Program-order cycle: record 0 of client 0 explicitly after
+        // record 1 of client 0, but program order puts 0 first.
+        let po_cycle =
+            "lfs-trace v1\nclients 1\nop 0 c0 t0 after 1 sync\nop 1 c0 t0 after - sync\n";
+        assert!(matches!(
+            Trace::parse(po_cycle),
+            Err(TraceError::CyclicDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_clients_and_bad_ops() {
+        let bad_client = "lfs-trace v1\nclients 1\nop 0 c3 t0 after - sync\n";
+        assert_eq!(
+            Trace::parse(bad_client),
+            Err(TraceError::BadClient { line: 3, client: 3 })
+        );
+        let bad_op = "lfs-trace v1\nclients 1\nop 0 c0 t0 after - explode /x\n";
+        assert_eq!(Trace::parse(bad_op), Err(TraceError::BadOp { line: 3 }));
+    }
+
+    #[test]
+    fn filter_client_drops_cross_client_edges() {
+        let trace = Trace::parse(SMALL).unwrap();
+        let solo = trace.filter_client(1);
+        assert_eq!(solo.clients, 1);
+        assert_eq!(solo.records.len(), 1);
+        assert!(solo.records[0].deps.is_empty(), "cross-client edge kept");
+        solo.validate().unwrap();
+    }
+}

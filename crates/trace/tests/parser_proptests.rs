@@ -1,0 +1,138 @@
+//! Robustness properties for the `lfs-trace v1` parser:
+//!
+//! 1. Arbitrary bytes never panic the parser — malformed input is a
+//!    typed [`TraceError`], whatever it looks like.
+//! 2. Every generated trace round-trips: `to_text` → `parse` →
+//!    `to_text` is a fixed point and the parsed trace validates.
+//! 3. Cyclic dependency graphs are rejected with the typed
+//!    [`TraceError::CyclicDependency`], never accepted or panicked on.
+//!
+//! Plus the golden-fixture check: the committed `.trace` files under
+//! `tests/fixtures/` parse to exactly what today's generators emit, so
+//! a format or generator drift shows up as a failing diff. Regenerate
+//! with `REGEN_FIXTURES=1 cargo test -p trace --test parser_proptests`.
+
+use proptest::prelude::*;
+
+use trace::{by_name, GenSpec, Trace, TraceError, TRACE_NAMES};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Total parsing: raw bytes in, `Result` out, no panics.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let _ = Trace::parse_bytes(&bytes);
+    }
+
+    /// Token soup under a valid header digs past the header check; the
+    /// parser must still only ever return a typed error or a trace.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    Just("op".to_string()),
+                    Just("clients".to_string()),
+                    Just("qos".to_string()),
+                    Just("after".to_string()),
+                    Just("-".to_string()),
+                    Just("c0".to_string()),
+                    Just("write".to_string()),
+                    Just("latency".to_string()),
+                    any::<u32>().prop_map(|n| n.to_string()),
+                    Just("/a{b".to_string()),
+                    Just("t,".to_string()),
+                    Just("c-1".to_string()),
+                ],
+                0..8,
+            ),
+            0..24,
+        ),
+    ) {
+        let mut text = String::from("lfs-trace v1\n");
+        for line in &lines {
+            text.push_str(&line.join(" "));
+            text.push('\n');
+        }
+        if let Ok(t) = Trace::parse(&text) {
+            // Anything accepted must survive its own round trip.
+            let again = Trace::parse(&t.to_text()).expect("round trip of accepted trace");
+            prop_assert_eq!(t.to_text(), again.to_text());
+        }
+    }
+
+    /// Generated traces are fixed points of `to_text` ∘ `parse`.
+    #[test]
+    fn every_generated_trace_round_trips(
+        gen_ix in 0usize..4,
+        clients in 1usize..5,
+        ops in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let spec = GenSpec {
+            clients,
+            ops_per_client: ops,
+            working_set: 6,
+            max_file_size: 1024,
+            seed,
+        };
+        let t = by_name(TRACE_NAMES[gen_ix], &spec).expect("known generator");
+        t.validate().expect("generated trace must validate");
+        let text = t.to_text();
+        let parsed = Trace::parse(&text).expect("generated trace must parse");
+        prop_assert_eq!(&parsed.to_text(), &text, "to_text/parse is not a fixed point");
+        prop_assert_eq!(parsed.clients, t.clients);
+        prop_assert_eq!(parsed.records.len(), t.records.len());
+    }
+
+    /// A dependency ring of any length >= 2 (each record `after` the
+    /// next, last closing back to the first) is rejected as cyclic.
+    #[test]
+    fn cyclic_dependency_graphs_are_rejected(
+        len in 2usize..12,
+        think in 0u64..1000,
+    ) {
+        let mut text = format!("lfs-trace v1\nclients {len}\n");
+        for i in 0..len {
+            let dep = (i + 1) % len;
+            text.push_str(&format!("op {i} c{i} t{think} after {dep} sync\n"));
+        }
+        match Trace::parse(&text) {
+            Err(TraceError::CyclicDependency { .. }) => {}
+            other => prop_assert!(false, "cycle of {} accepted or mistyped: {:?}", len, other),
+        }
+    }
+}
+
+/// Golden fixtures: one committed `.trace` file per generator, pinned
+/// to a small spec. Guards the on-disk format (a parser change that
+/// breaks old traces fails here) and the generators (a generator change
+/// shows up as a reviewable fixture diff).
+#[test]
+fn golden_fixtures_match_generators() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let regen = std::env::var_os("REGEN_FIXTURES").is_some();
+    for name in TRACE_NAMES {
+        let t = by_name(name, &GenSpec::small(3)).expect("known generator");
+        let text = t.to_text();
+        let path = dir.join(format!("{name}.trace"));
+        if regen {
+            std::fs::create_dir_all(&dir).expect("fixture dir");
+            std::fs::write(&path, &text).expect("write fixture");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with REGEN_FIXTURES=1", path.display()));
+        assert_eq!(
+            golden, text,
+            "fixture {name}.trace drifted from the generator; \
+             regenerate with REGEN_FIXTURES=1 if intentional"
+        );
+        let parsed = Trace::parse(&golden).expect("fixture parses");
+        parsed.validate().expect("fixture validates");
+        assert_eq!(parsed.to_text(), golden, "fixture round-trips");
+    }
+}

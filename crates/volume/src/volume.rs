@@ -657,4 +657,11 @@ impl RequestEngine for VolumeDisk {
     fn queue_depth(&self) -> u64 {
         self.0.borrow().queue_depth()
     }
+
+    fn set_qos(&self, spec: Option<engine::QosSpec>) {
+        let mut volume = self.0.borrow_mut();
+        for core in &mut volume.spindles {
+            core.set_qos(spec.clone());
+        }
+    }
 }
