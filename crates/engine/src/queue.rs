@@ -360,6 +360,27 @@ impl EngineCore {
         self.disk.pending_len() as u64
     }
 
+    /// True when the underlying media is dead (see
+    /// [`SimDisk::kill_media`]): an offline spindle rejects every
+    /// request, so volumes route around it instead of submitting.
+    pub fn is_offline(&self) -> bool {
+        self.disk.is_dead()
+    }
+
+    /// Drops every engine-side record of queued requests: ownership
+    /// attribution, unclaimed background completions, and tracked reads
+    /// still waiting in the device queue (already-served hits survive
+    /// until claimed). A volume calls this when it kills the spindle —
+    /// the disk discards its queue with the media, and the engine's
+    /// bookkeeping must not dangle on ids that will never complete.
+    pub fn discard_queue(&mut self) {
+        self.owners.clear();
+        self.unclaimed_reads.clear();
+        self.tracked_reads
+            .retain(|_, t| matches!(t, TrackedRead::Hit(_)));
+        self.obs.queue_depth.set(0);
+    }
+
     /// The effective owner of a new submission under the current
     /// attribution state, if any.
     fn submission_owner(&self) -> Option<usize> {

@@ -85,6 +85,30 @@ fn zero_retry_budget_surfaces_the_first_failure() {
     assert_eq!(snap.counter("engine.retry_exhausted"), 1);
 }
 
+#[test]
+fn dead_media_takes_the_engine_offline_until_replaced() {
+    let (core, _clock) = engine(EngineConfig::default());
+    let mut dev = EngineDisk::new(Rc::clone(&core));
+    dev.write(4, &vec![0x22; SECTOR_SIZE], true).unwrap();
+    assert!(!core.borrow().is_offline());
+
+    core.borrow_mut().disk_mut().kill_media();
+    {
+        let mut eng = core.borrow_mut();
+        assert!(eng.is_offline());
+        eng.discard_queue();
+        assert_eq!(eng.queue_len(), 0);
+    }
+    let mut buf = vec![0u8; SECTOR_SIZE];
+    assert_eq!(dev.read(4, &mut buf), Err(DiskError::Unreadable { sector: 4 }));
+
+    core.borrow_mut().disk_mut().replace_media();
+    assert!(!core.borrow().is_offline());
+    dev.write(4, &vec![0x33; SECTOR_SIZE], true).unwrap();
+    dev.read(4, &mut buf).unwrap();
+    assert_eq!(buf, vec![0x33; SECTOR_SIZE]);
+}
+
 /// End-to-end: an LFS volume remounted through the engine, with every
 /// sector of the device armed to fail its first read, recovers
 /// transparently — mount-time metadata reads and file reads all ride

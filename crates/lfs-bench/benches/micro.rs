@@ -44,6 +44,7 @@ fn bench_segment_packing(c: &mut Criterion) {
 
 fn bench_summary_codec(c: &mut Criterion) {
     let summary = ChunkSummary {
+        addr: lfs_core::types::BlockAddr(256),
         seq: 9,
         partial: 0,
         timestamp_ns: 123,

@@ -11,7 +11,9 @@
 //! Flags: `--smoke` (bounded CI-sized sweep), `--stride N` (test every
 //! N-th crash index).
 
-use lfs_bench::crash_sweep::{sweep, sweep_cleaner, sweep_striped, SweepFs, SweepMode, SweepSpec};
+use lfs_bench::crash_sweep::{
+    sweep, sweep_cleaner, sweep_rebuild, sweep_striped, SweepFs, SweepMode, SweepSpec,
+};
 use lfs_bench::{print_table, MetricsReport, Row};
 
 fn main() {
@@ -122,6 +124,36 @@ fn main() {
             all_clean &= out.is_clean();
             samples.extend(out.samples);
         }
+    }
+
+    // Parity rebuild in the loop: a 4-spindle parity volume loses a
+    // spindle mid-workload and rebuilds the replacement while writes keep
+    // flowing; the crash may land before, during, or after the rebuild.
+    // Remount models a dirty array assembly — drive swap, rebuild from
+    // zero out of the surviving spindles' XOR (segment-aligned metadata
+    // plus seal-on-flush close the write hole; no resync pass) — then
+    // holds recovery to the strict single-disk standard.
+    for mode in [SweepMode::Drop, SweepMode::Torn] {
+        let out = sweep_rebuild(mode, &spec, 4);
+        let prefix = format!("sweep.lfs_rebuild_4sp.{}", mode.name());
+        registry.counter(&format!("{prefix}.crash_points")).add(out.crash_points);
+        registry.counter(&format!("{prefix}.recovered")).add(out.recovered);
+        registry
+            .counter(&format!("{prefix}.detected_unmountable"))
+            .add(out.detected_unmountable);
+        registry.counter(&format!("{prefix}.violations")).add(out.violations);
+        rows.push(Row::new(
+            format!("lfs rebuild x4 {}", mode.name()),
+            vec![
+                out.crash_points.to_string(),
+                out.recovered.to_string(),
+                out.detected_unmountable.to_string(),
+                out.violations.to_string(),
+                if out.is_clean() { "yes" } else { "NO" }.to_string(),
+            ],
+        ));
+        all_clean &= out.is_clean();
+        samples.extend(out.samples);
     }
 
     print_table(

@@ -61,6 +61,8 @@ fn volume_rig(
     let cfg = match policy {
         StripePolicyKind::RrSegment => VolumeConfig::rr_segment(spindles, chunk_bytes),
         StripePolicyKind::Interleave => VolumeConfig::interleave(spindles, chunk_bytes),
+        StripePolicyKind::ParitySegment => VolumeConfig::parity_segment(spindles, chunk_bytes),
+        StripePolicyKind::ParityRotate => VolumeConfig::parity_rotate(spindles, chunk_bytes),
     };
     let vol = StripedVolume::new(
         DiskGeometry::wren_iv().with_sectors(SPINDLE_SECTORS),
@@ -101,8 +103,8 @@ fn run_lfs(
 ) -> Cell {
     let cfg = LfsConfig::paper();
     let chunk = match policy {
-        StripePolicyKind::RrSegment => cfg.stripe_chunk_bytes(),
-        StripePolicyKind::Interleave => INTERLEAVE_CHUNK,
+        StripePolicyKind::RrSegment | StripePolicyKind::ParitySegment => cfg.stripe_chunk_bytes(),
+        StripePolicyKind::Interleave | StripePolicyKind::ParityRotate => INTERLEAVE_CHUNK,
     };
     let (dev, clock) = volume_rig(spindles, policy, chunk);
     let pump = dev.clone();
@@ -130,8 +132,8 @@ fn run_ffs(
 ) -> Cell {
     let cfg = FfsConfig::paper();
     let chunk = match policy {
-        StripePolicyKind::RrSegment => cfg.stripe_chunk_bytes(),
-        StripePolicyKind::Interleave => INTERLEAVE_CHUNK,
+        StripePolicyKind::RrSegment | StripePolicyKind::ParitySegment => cfg.stripe_chunk_bytes(),
+        StripePolicyKind::Interleave | StripePolicyKind::ParityRotate => INTERLEAVE_CHUNK,
     };
     let (dev, clock) = volume_rig(spindles, policy, chunk);
     let pump = dev.clone();
@@ -194,7 +196,12 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
 
     for &clients in client_counts {
-        for policy in StripePolicyKind::ALL {
+        // This bench measures raw RAID-0 scaling; the parity kinds pay
+        // for redundancy by design (one spindle of every row is parity)
+        // and are measured by the degraded_rebuild bench instead. They
+        // also need >= 2 spindles, which the 1-spindle baseline here
+        // cannot provide.
+        for policy in StripePolicyKind::ALL.into_iter().filter(|k| !k.is_parity()) {
             let lfs_cells: Vec<Cell> = spindle_counts
                 .iter()
                 .map(|&n| run_lfs(n, policy, clients, &mut metrics))

@@ -27,7 +27,7 @@ use ffs_baseline::{Ffs, FfsConfig};
 use lfs_core::{AsyncCleanerPolicy, CleanerRunMode, Lfs, LfsConfig};
 use sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
 use vfs::{FileKind, FileSystem, FsError};
-use volume::{StripedVolume, VolumeConfig, VolumeDisk};
+use volume::{RebuildPolicy, RebuildProgress, StripedVolume, VolumeConfig, VolumeDisk};
 
 /// 8 MB tiny-test volume: big enough for the scripted tree, small enough
 /// that thousands of format+replay+remount cycles stay fast.
@@ -779,6 +779,305 @@ pub fn sweep_cleaner(mode: SweepMode, spec: &SweepSpec, spindles: usize) -> Mode
         mid_run_points > 0,
         "async-cleaner sweep is vacuous: no crash index landed inside an \
          active cleaning run ({} points swept)",
+        out.crash_points
+    );
+    out
+}
+
+/// Per-spindle capacity of the rebuild sweep's parity volume: small so
+/// the online rebuild's row writes are a large share of the swept write
+/// range, putting many crash indices mid-rebuild.
+const REBUILD_SPINDLE_SECTORS: u64 = 1_024;
+
+/// The spindle the rebuild sweep kills. Fixed, so the model run and
+/// every crash run issue identical device-write sequences.
+const REBUILD_DEAD_SPINDLE: usize = 1;
+
+/// Data chunk under the rebuild sweep's parity-segment policy: 8 KB.
+const REBUILD_CHUNK_BYTES: usize = 8 * 1024;
+
+/// LFS sized so one segment covers exactly one parity row: full-segment
+/// writes take the no-read parity fast path, as the storage manager
+/// intends. Metadata regions are segment-aligned so each in-place
+/// rewrite target (superblock, checkpoint A, checkpoint B) owns its
+/// stripe rows outright, and flushes seal their segment so no parity
+/// row ever mixes committed chunks with a later append — together the
+/// layout rules that close the degraded-array write hole (see
+/// `sweep_rebuild`).
+fn rebuild_lfs_cfg(spindles: usize) -> LfsConfig {
+    LfsConfig::small_test()
+        .with_segment_bytes((spindles - 1) * REBUILD_CHUNK_BYTES)
+        .with_segment_aligned_metadata()
+        .with_seal_on_flush()
+}
+
+fn rebuild_volume_cfg(spindles: usize) -> VolumeConfig {
+    VolumeConfig::parity_segment(spindles, (spindles - 1) * REBUILD_CHUNK_BYTES)
+}
+
+/// Eager, small-step pacing: no idle gate (crash runs must be
+/// deterministic, and queue depths vary with where the crash landed)
+/// and two rows per step, so rebuild writes interleave with most of the
+/// remaining workload.
+fn rebuild_policy() -> RebuildPolicy {
+    RebuildPolicy::default()
+        .with_idle_queue_depth(None)
+        .with_max_step_rows(2)
+}
+
+fn fresh_rebuild_volume(spindles: usize) -> (StripedVolume, Arc<Clock>) {
+    let clock = Clock::new();
+    let vol = StripedVolume::new(
+        DiskGeometry::tiny_test(REBUILD_SPINDLE_SECTORS),
+        Arc::clone(&clock),
+        rebuild_volume_cfg(spindles),
+    );
+    (vol, clock)
+}
+
+fn remount_rebuild_volume(spindles: usize, images: Vec<Vec<u8>>) -> (StripedVolume, Arc<Clock>) {
+    let clock = Clock::new();
+    let vol = StripedVolume::from_images(
+        DiskGeometry::tiny_test(REBUILD_SPINDLE_SECTORS),
+        Arc::clone(&clock),
+        rebuild_volume_cfg(spindles),
+        images,
+    );
+    (vol, clock)
+}
+
+/// Offers the rebuild a bounded burst of steps between ops, as an
+/// event-loop host would. Used identically by the model run and every
+/// crash run so their write sequences match up to the crash.
+fn pump_rebuild(fs: &Lfs<VolumeDisk>) -> Result<(), vfs::FsError> {
+    for _ in 0..2 {
+        if !fs.device().rebuild_wants_step() {
+            return Ok(());
+        }
+        fs.device().rebuild_step().map_err(FsError::Io)?;
+    }
+    Ok(())
+}
+
+/// Executes the rebuild script — workload with a spindle killed a third
+/// of the way in and a replacement swapped in at two thirds — recording
+/// the durability model plus the device-write spans during which the
+/// online rebuild was copying rows.
+fn dry_run_rebuild(
+    fs: &mut Lfs<VolumeDisk>,
+    ops: &[Op],
+    format_writes: u64,
+) -> (Model, Vec<(u64, u64)>) {
+    let mut model = Model {
+        format_writes,
+        total_writes: 0,
+        barriers: Vec::new(),
+        history: BTreeMap::new(),
+        deleted: BTreeSet::new(),
+        touch: BTreeMap::new(),
+    };
+    let mut spans: Vec<(u64, u64)> = Vec::new();
+    let mut state: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let (kill_at, replace_at) = (ops.len() / 3, 2 * ops.len() / 3);
+    for (i, op) in ops.iter().enumerate() {
+        if i == kill_at {
+            fs.device().kill_spindle(REBUILD_DEAD_SPINDLE);
+        }
+        if i == replace_at {
+            fs.device()
+                .replace_spindle(REBUILD_DEAD_SPINDLE, rebuild_policy());
+        }
+        let w0 = fs.disk_writes();
+        match op {
+            Op::Mkdir(path) => {
+                fs.mkdir(path).expect("model run mkdir");
+            }
+            Op::Write(path, data) => {
+                upsert(fs, path, data).expect("model run write");
+                state.insert(path.clone(), data.clone());
+                model.history.entry(path.clone()).or_default().push(data.clone());
+                model.touch.insert(path.clone(), model.barriers.len());
+            }
+            Op::Unlink(path) => {
+                fs.unlink(path).expect("model run unlink");
+                state.remove(path);
+                model.deleted.insert(path.clone());
+                model.touch.insert(path.clone(), model.barriers.len());
+            }
+            Op::Sync => {
+                fs.sync().expect("model run sync");
+                model.barriers.push(Barrier {
+                    writes_done: fs.disk_writes(),
+                    durable: state.clone(),
+                });
+            }
+        }
+        let active = fs.device().rebuild_remaining_rows().is_some();
+        pump_rebuild(fs).expect("model run rebuild step");
+        if active {
+            let w1 = fs.disk_writes();
+            if w1 > w0 {
+                spans.push((w0, w1));
+            }
+        }
+    }
+    // Drain: finish the rebuild so its tail (and the crash points inside
+    // it) are part of the swept write range.
+    let w0 = fs.disk_writes();
+    let was_active = fs.device().rebuild_remaining_rows().is_some();
+    while fs.device().rebuild_remaining_rows().is_some() {
+        fs.device().rebuild_step().expect("model run drain");
+    }
+    if was_active && fs.disk_writes() > w0 {
+        spans.push((w0, fs.disk_writes()));
+    }
+    model.total_writes = fs.disk_writes();
+    (model, spans)
+}
+
+/// Replays the rebuild script over a crash-armed volume, stopping at
+/// the first error (the crash).
+fn crash_run_rebuild(fs: &mut Lfs<VolumeDisk>, ops: &[Op]) {
+    let (kill_at, replace_at) = (ops.len() / 3, 2 * ops.len() / 3);
+    for (i, op) in ops.iter().enumerate() {
+        if i == kill_at {
+            fs.device().kill_spindle(REBUILD_DEAD_SPINDLE);
+        }
+        if i == replace_at {
+            fs.device()
+                .replace_spindle(REBUILD_DEAD_SPINDLE, rebuild_policy());
+        }
+        let r = match op {
+            Op::Mkdir(path) => fs.mkdir(path).map(|_| ()),
+            Op::Write(path, data) => upsert(fs, path, data),
+            Op::Unlink(path) => fs.unlink(path).map(|_| ()),
+            Op::Sync => fs.sync(),
+        };
+        if r.is_err() || pump_rebuild(fs).is_err() {
+            return;
+        }
+    }
+    while fs.device().rebuild_remaining_rows().is_some() {
+        if fs.device().rebuild_step().is_err() {
+            return;
+        }
+    }
+}
+
+/// Sweeps LFS on a parity volume through a mid-life spindle death and
+/// online rebuild: crash at every `stride`-th write index — healthy
+/// phase, degraded phase, and *inside the rebuild's own row writes* —
+/// then remount with the bay's drive swapped for a blank, re-run the
+/// rebuild to completion, and hold recovery to the strict single-disk
+/// standard with every read served from the rebuilt platter.
+///
+/// The remount models a dirty array assembly: the suspect drive is
+/// swapped for a blank and rebuilt from the surviving spindles' XOR,
+/// whatever instant the crash hit. No parity resync is run first — and
+/// none would be sound: if the crash landed after the in-workload
+/// spindle death, the dead spindle's latest contents exist *only* in
+/// the parity encoding, so "resyncing" parity from the surviving media
+/// would destroy exactly the bytes the rebuild must reproduce. Instead
+/// the layout itself closes the write hole, by two rules. In-place
+/// rows (`segment_align_metadata`): the only rows LFS ever rewrites in
+/// place are the superblock and the two checkpoint regions, and each
+/// owns its stripe rows outright, so a torn rewrite can stale only the
+/// parity of the region being written — garbling, at worst, that
+/// region's own reconstruction, which its checksum rejects in favour
+/// of the sibling checkpoint. Log rows (`seal_on_flush`): every flush
+/// seals its segment, so no append ever shares a parity row with a
+/// previously committed chunk — a torn row holds only the torn flush's
+/// own uncommitted tail, which roll-forward's per-chunk CRCs and
+/// self-addresses fence. Without the second rule the sweep fails: a
+/// sync that appends into the format flush's still-open segment, torn
+/// at its parity write, leaves the row's XOR stale across the
+/// *committed* inode-map blocks sharing the row, and the rebuild
+/// faithfully reconstructs the lost spindle's garble.
+///
+/// Panics if no crash index landed inside a rebuild write span — the
+/// sweep exists to cover exactly those states, so a workload change
+/// that finishes the rebuild instantly must fail loudly, not pass
+/// vacuously.
+pub fn sweep_rebuild(mode: SweepMode, spec: &SweepSpec, spindles: usize) -> ModeOutcome {
+    assert!(spindles >= 2, "a parity rebuild needs at least 2 spindles");
+    let ops = script(spec);
+
+    let (model, rebuild_spans) = {
+        let (vol, clock) = fresh_rebuild_volume(spindles);
+        let dev = VolumeDisk::new(vol.into_shared());
+        let mut fs = Lfs::format(dev, rebuild_lfs_cfg(spindles), clock).expect("format");
+        let format_writes = fs.disk_writes();
+        dry_run_rebuild(&mut fs, &ops, format_writes)
+    };
+
+    let mut out = ModeOutcome {
+        fs: SweepFs::Lfs,
+        mode,
+        crash_points: 0,
+        recovered: 0,
+        detected_unmountable: 0,
+        violations: 0,
+        samples: Vec::new(),
+    };
+
+    let mut mid_rebuild_points = 0u64;
+    let mut idx = model.format_writes;
+    while idx < model.total_writes {
+        out.crash_points += 1;
+        if rebuild_spans.iter().any(|&(lo, hi)| idx >= lo && idx < hi) {
+            mid_rebuild_points += 1;
+        }
+        let (mut vol, clock) = fresh_rebuild_volume(spindles);
+        vol.arm_crash_all(mode.plan(idx));
+        let dev = VolumeDisk::new(vol.into_shared());
+        let mut fs = Lfs::format(dev, rebuild_lfs_cfg(spindles), clock).expect("format");
+        crash_run_rebuild(&mut fs, &ops);
+        let images = fs.into_device().into_images();
+
+        let (vol, clock) = remount_rebuild_volume(spindles, images);
+        let dev = VolumeDisk::new(vol.into_shared());
+        // Dirty assembly: the operator swaps the suspect drive for a
+        // blank and the volume rebuilds it from parity while mounting
+        // degraded. The dead spindle's media is stale (it stopped
+        // persisting at the in-workload kill), so it is never read —
+        // its logical contents are reconstructed from the survivors.
+        dev.kill_spindle(REBUILD_DEAD_SPINDLE);
+        dev.replace_spindle(REBUILD_DEAD_SPINDLE, rebuild_policy());
+        let problems = match Lfs::mount(dev, rebuild_lfs_cfg(spindles), clock) {
+            Ok(mut fs) => {
+                out.recovered += 1;
+                let mut problems = Vec::new();
+                loop {
+                    match fs.device().rebuild_step() {
+                        Ok(RebuildProgress::Completed) | Ok(RebuildProgress::Idle) => break,
+                        Ok(RebuildProgress::Progress { .. }) => {}
+                        Err(e) => {
+                            problems.push(format!("post-crash rebuild failed: {e:?}"));
+                            break;
+                        }
+                    }
+                }
+                problems.extend(check_recovery(&mut fs, &model, idx, true));
+                problems
+            }
+            Err(e) => {
+                out.detected_unmountable += 1;
+                vec![format!("LFS mount refused after rebuild-sweep crash: {e}")]
+            }
+        };
+        for p in problems {
+            out.violations += 1;
+            if out.samples.len() < 5 {
+                out.samples
+                    .push(format!("rebuild {}x{spindles} @{idx}: {p}", mode.name()));
+            }
+        }
+        idx += spec.stride;
+    }
+    assert!(
+        mid_rebuild_points > 0,
+        "rebuild sweep is vacuous: no crash index landed inside a rebuild \
+         write span ({} points swept)",
         out.crash_points
     );
     out

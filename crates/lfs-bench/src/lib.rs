@@ -17,11 +17,25 @@
 //! | `abl_writeback_age` | §4.3.5 ablation — write-back age threshold |
 //! | `abl_liveness_fastpath` | §4.3.3 ablation — version-number fast path |
 //!
+//! Extensions beyond the paper's figures (each documented in
+//! EXPERIMENTS.md):
+//!
+//! | Binary | Claim under test |
+//! |---|---|
+//! | `ext_sustained_use` | §5.3/§6 — steady-state behaviour vs disk fullness |
+//! | `mt_scaling` | §3 — multi-client scaling through the request engine |
+//! | `stripe_scaling` | §2 — log bandwidth scales with spindle count |
+//! | `cleaner_interference` | §4.3.4 — async cleaning as an engine client |
+//! | `trace_replay` | §4.3.5 — trace-driven multi-tenant replay with QoS |
+//! | `crash_sweep` | §4.4 — exhaustive crash/media-fault torture sweep |
+//! | `degraded_rebuild` | §3 parity claim — degraded reads and online rebuild |
+//!
 //! All measurements are **virtual time** from the shared [`sim_disk::Clock`]
 //! driven by the WREN IV disk model and the Sun-4/260 CPU model, so runs
 //! are deterministic.
 
 pub mod crash_sweep;
+pub mod degraded;
 pub mod interference;
 pub mod trace_replay;
 

@@ -4,7 +4,7 @@
 //! a failure.
 
 use ffs_baseline::{Ffs, FfsConfig};
-use lfs_bench::crash_sweep::{sweep, sweep_striped, SweepFs, SweepMode, SweepSpec};
+use lfs_bench::crash_sweep::{sweep, sweep_rebuild, sweep_striped, SweepFs, SweepMode, SweepSpec};
 use sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
 use std::sync::Arc;
 use vfs::FileSystem;
@@ -74,6 +74,42 @@ fn lfs_survives_every_crash_point_on_a_striped_volume() {
             out.samples
         );
     }
+}
+
+/// Crashes before, during, and after an online parity rebuild never
+/// violate the durability model: remount replaces the dead spindle,
+/// restarts the rebuild from zero, and must land on exactly the
+/// model-equivalent tree (satellite: mid-rebuild crash points).
+#[test]
+fn lfs_survives_every_crash_point_during_a_parity_rebuild() {
+    for mode in [SweepMode::Drop, SweepMode::Torn] {
+        let out = sweep_rebuild(mode, &SweepSpec::smoke(), 4);
+        assert!(out.crash_points > 10, "{}: too few crash points", mode.name());
+        assert_eq!(
+            out.recovered,
+            out.crash_points,
+            "{}: degraded LFS must remount at every crash point",
+            mode.name()
+        );
+        assert!(
+            out.is_clean(),
+            "{}: {} violations, e.g. {:?}",
+            mode.name(),
+            out.violations,
+            out.samples
+        );
+    }
+}
+
+/// Rebuild sweeps are as deterministic as the others.
+#[test]
+fn rebuild_sweep_outcomes_are_reproducible() {
+    let a = sweep_rebuild(SweepMode::Torn, &SweepSpec::smoke(), 4);
+    let b = sweep_rebuild(SweepMode::Torn, &SweepSpec::smoke(), 4);
+    assert_eq!(a.crash_points, b.crash_points);
+    assert_eq!(a.recovered, b.recovered);
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.samples, b.samples);
 }
 
 /// Striped sweeps are as deterministic as single-disk ones.

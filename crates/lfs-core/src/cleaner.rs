@@ -339,7 +339,8 @@ impl<D: BlockDevice> Lfs<D> {
         let mut live_inodes = 0u64;
 
         while offset + 1 < seg_blocks {
-            let Ok(summary) = ChunkSummary::decode(&image[offset * bs..]) else {
+            let here = BlockAddr(base.0 + offset as u32);
+            let Ok(summary) = ChunkSummary::decode_at(&image[offset * bs..], here) else {
                 break;
             };
             match expected_seq {

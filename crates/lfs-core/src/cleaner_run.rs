@@ -393,7 +393,8 @@ impl<D: BlockDevice> Lfs<D> {
             if v.offset + 1 >= seg_blocks {
                 return Ok(true);
             }
-            let Ok(summary) = ChunkSummary::decode(&v.image[v.offset * bs..]) else {
+            let here = BlockAddr(base.0 + v.offset as u32);
+            let Ok(summary) = ChunkSummary::decode_at(&v.image[v.offset * bs..], here) else {
                 return Ok(true);
             };
             if v.entry_cursor == 0 {

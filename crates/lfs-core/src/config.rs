@@ -39,6 +39,49 @@ pub struct LfsConfig {
     /// Whether `fsync` forces a checkpoint so the synced data is
     /// recoverable even with `roll_forward` disabled.
     pub fsync_checkpoints: bool,
+    /// Segment-align the fixed metadata regions at format time, so the
+    /// superblock and each checkpoint region start on their own
+    /// segment boundary (padding the gaps).
+    ///
+    /// On a parity volume whose stripe rows coincide with segments,
+    /// this confines every in-place metadata rewrite to rows that hold
+    /// nothing else. That closes half of the degraded-array write
+    /// hole: a checkpoint write torn by a crash can stale only its own
+    /// row's parity, so a later XOR reconstruction of a lost spindle
+    /// can garble only the region being written — which its own
+    /// checksum already rejects — never an unrelated committed block.
+    /// The other half of the hole lives in the log itself and needs
+    /// [`seal_on_flush`] as well.
+    ///
+    /// Off by default; single-disk layouts gain nothing from the
+    /// padding.
+    ///
+    /// [`seal_on_flush`]: LfsConfig::seal_on_flush
+    pub segment_align_metadata: bool,
+    /// Seal the open segment at the end of every flush, so no later
+    /// flush ever appends into a segment that already holds committed
+    /// chunks.
+    ///
+    /// On a parity volume whose stripe rows coincide with segments,
+    /// appending a chunk rewrites the row's parity in place. If the
+    /// crash lands between the append's data writes and its parity
+    /// write, the row's XOR is stale at every in-row offset the append
+    /// changed — and if an *earlier, committed* chunk shares the row, a
+    /// later reconstruction of a lost spindle garbles that committed
+    /// chunk at the matching offsets. No write ordering fixes this
+    /// (data-before-parity and parity-before-data are symmetric), so
+    /// the fix is structural: with this knob each parity row only ever
+    /// holds chunks of a single flush. A torn row then contains only
+    /// that flush's uncommitted tail, which roll-forward's payload
+    /// CRCs and chunk self-addresses already fence. Sealed rows are
+    /// write-once until the cleaner reclaims the whole segment.
+    ///
+    /// The forced seal stamps a `next_seg` link in the flush's final
+    /// chunk, so roll-forward can still follow the chain across the
+    /// mid-segment boundary. Off by default: on a single disk it only
+    /// costs segment-tail fragmentation (which the cleaner reclaims)
+    /// without buying anything.
+    pub seal_on_flush: bool,
 }
 
 impl LfsConfig {
@@ -55,6 +98,8 @@ impl LfsConfig {
             max_utilization: 0.88,
             roll_forward: true,
             fsync_checkpoints: false,
+            segment_align_metadata: false,
+            seal_on_flush: false,
         }
     }
 
@@ -72,6 +117,8 @@ impl LfsConfig {
             max_utilization: 0.88,
             roll_forward: true,
             fsync_checkpoints: false,
+            segment_align_metadata: false,
+            seal_on_flush: false,
         }
     }
 
@@ -113,6 +160,24 @@ impl LfsConfig {
     /// Builder-style override of the checkpoint interval (seconds).
     pub fn with_checkpoint_secs(mut self, secs: f64) -> Self {
         self.checkpoint_interval_ns = (secs * 1e9) as u64;
+        self
+    }
+
+    /// Builder-style enable of [`segment_align_metadata`]
+    /// (see that field for the parity write-hole rationale).
+    ///
+    /// [`segment_align_metadata`]: LfsConfig::segment_align_metadata
+    pub fn with_segment_aligned_metadata(mut self) -> Self {
+        self.segment_align_metadata = true;
+        self
+    }
+
+    /// Builder-style enable of [`seal_on_flush`]
+    /// (see that field for the parity write-hole rationale).
+    ///
+    /// [`seal_on_flush`]: LfsConfig::seal_on_flush
+    pub fn with_seal_on_flush(mut self) -> Self {
+        self.seal_on_flush = true;
         self
     }
 

@@ -110,11 +110,23 @@ pub struct Lfs<D: BlockDevice> {
 /// In-progress chunk state during a flush.
 pub(crate) struct FlushCtx {
     builder: Option<ChunkBuilder>,
+    /// Set just before the flush's final [`Lfs::emit_chunk`] when
+    /// [`LfsConfig::seal_on_flush`] is on: forces that chunk to stamp a
+    /// `next_seg` link so the forced seal that follows leaves a
+    /// roll-forward-walkable chain.
+    seal_after: bool,
+    /// Whether any chunk was actually written through this context —
+    /// an empty flush must not burn a segment on a forced seal.
+    wrote: bool,
 }
 
 impl FlushCtx {
     pub(crate) fn new() -> Self {
-        Self { builder: None }
+        Self {
+            builder: None,
+            seal_after: false,
+            wrote: false,
+        }
     }
 }
 
@@ -518,16 +530,18 @@ impl<D: BlockDevice> Lfs<D> {
             return Ok(());
         }
         let now = self.now();
-        // If no further chunk fits after this one, this chunk seals the
-        // segment: record where the log continues so roll-forward can
-        // follow the chain without scanning the disk (§4.3.1: segments
-        // are "formed into a linked list").
+        // If no further chunk fits after this one — or a seal-on-flush
+        // seal is imminent — this chunk seals the segment: record where
+        // the log continues so roll-forward can follow the chain
+        // without scanning the disk (§4.3.1: segments are "formed into
+        // a linked list").
         let offset_after = self.pos.offset + builder.blocks_used();
-        let seals = crate::log::plan_chunk(
-            (self.sb.seg_blocks.saturating_sub(offset_after)) as usize,
-            self.block_size(),
-        )
-        .is_none();
+        let seals = ctx.seal_after
+            || crate::log::plan_chunk(
+                (self.sb.seg_blocks.saturating_sub(offset_after)) as usize,
+                self.block_size(),
+            )
+            .is_none();
         let next_seg = if seals {
             let next = self
                 .usage
@@ -555,6 +569,7 @@ impl<D: BlockDevice> Lfs<D> {
             .write(self.sector_of(chunk.addr), &chunk.bytes, false)?;
         self.pos.offset += chunk.blocks_used;
         self.pos.partial += 1;
+        ctx.wrote = true;
         self.obs.chunks_written.inc();
         self.obs.summary_blocks_written.add(chunk.summary_blocks as u64);
         if self.pos.offset < self.sb.seg_blocks {
@@ -806,7 +821,16 @@ impl<D: BlockDevice> Lfs<D> {
             }
         }
 
+        ctx.seal_after = self.cfg.seal_on_flush;
         self.emit_chunk(&mut ctx)?;
+        // Seal-on-flush: retire the segment so no later flush appends
+        // into a parity row that now holds committed chunks (see
+        // [`LfsConfig::seal_on_flush`]). The final chunk above stamped
+        // the `next_seg` link this seal will follow. An empty flush
+        // wrote nothing and seals nothing.
+        if self.cfg.seal_on_flush && ctx.wrote {
+            self.seal_segment()?;
+        }
         Ok(())
     }
 

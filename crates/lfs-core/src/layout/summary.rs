@@ -9,14 +9,14 @@
 
 use vfs::{FsError, FsResult, Ino};
 
-use crate::types::{SegNo, SUMMARY_ENTRY_SIZE};
+use crate::types::{BlockAddr, SegNo, SUMMARY_ENTRY_SIZE};
 use crate::util::{crc32, ByteReader, ByteWriter};
 
 /// Magic number identifying a chunk header ("SEGS").
 pub const SUMMARY_MAGIC: u32 = 0x5345_4753;
 
 /// Serialised size of a chunk header, in bytes.
-pub const HEADER_SIZE: usize = 44;
+pub const HEADER_SIZE: usize = 48;
 
 /// What a logged block contains, as recorded in its summary entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +120,8 @@ impl SummaryEntry {
 /// The unvalidated leading fields of a chunk header (successor scans).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkHeaderPrefix {
+    /// Disk address the header claims to live at.
+    pub addr: BlockAddr,
     /// Sequence number claimed by the header.
     pub seq: u64,
     /// Partial-chunk index claimed by the header.
@@ -131,6 +133,14 @@ pub struct ChunkHeaderPrefix {
 /// A decoded chunk summary: header fields plus per-block entries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkSummary {
+    /// Disk address of this chunk's first summary block — the chunk's
+    /// *self-identity*, covered by the header CRC. Readers must compare
+    /// it against the address they actually read from and reject any
+    /// mismatch: a byte-exact copy of a valid chunk sitting at the
+    /// wrong place (e.g. forged by XOR-reconstructing a parity row that
+    /// a crash left torn) carries valid checksums, and only the
+    /// recorded address betrays it.
+    pub addr: BlockAddr,
     /// Global sequence number of the segment incarnation this chunk
     /// belongs to (every time a segment is opened for writing it takes the
     /// next value).
@@ -174,6 +184,7 @@ impl ChunkSummary {
 
         let mut w = ByteWriter::new();
         w.u32(SUMMARY_MAGIC);
+        w.u32(self.addr.0);
         w.u64(self.seq);
         w.u32(self.partial);
         w.u32(self.entries.len() as u32);
@@ -208,14 +219,28 @@ impl ChunkSummary {
         if magic != SUMMARY_MAGIC {
             return Err(FsError::Corrupt("bad summary magic"));
         }
+        let addr = BlockAddr(r.u32().ok_or(FsError::Corrupt("summary truncated"))?);
         let seq = r.u64().ok_or(FsError::Corrupt("summary truncated"))?;
         let partial = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
         let nentries = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
         Ok(ChunkHeaderPrefix {
+            addr,
             seq,
             partial,
             nentries,
         })
+    }
+
+    /// Parses a chunk summary that was read from disk address `expect`,
+    /// rejecting a header whose recorded self-address disagrees — the
+    /// signature of a displaced byte-exact copy, which every other
+    /// checksum in the chunk would happily accept.
+    pub fn decode_at(bytes: &[u8], expect: BlockAddr) -> FsResult<Self> {
+        let chunk = Self::decode(bytes)?;
+        if chunk.addr != expect {
+            return Err(FsError::Corrupt("chunk summary at wrong address"));
+        }
+        Ok(chunk)
     }
 
     /// Parses a chunk summary starting at `bytes` (which must span at
@@ -226,6 +251,7 @@ impl ChunkSummary {
         if magic != SUMMARY_MAGIC {
             return Err(FsError::Corrupt("bad summary magic"));
         }
+        let addr = BlockAddr(r.u32().ok_or(FsError::Corrupt("summary truncated"))?);
         let seq = r.u64().ok_or(FsError::Corrupt("summary truncated"))?;
         let partial = r.u32().ok_or(FsError::Corrupt("summary truncated"))?;
         let nentries = r.u32().ok_or(FsError::Corrupt("summary truncated"))? as usize;
@@ -253,6 +279,7 @@ impl ChunkSummary {
             entries.push(SummaryEntry::decode(&mut r)?);
         }
         Ok(Self {
+            addr,
             seq,
             partial,
             timestamp_ns,
@@ -281,6 +308,7 @@ mod tests {
 
     fn sample() -> ChunkSummary {
         ChunkSummary {
+            addr: BlockAddr(320),
             seq: 42,
             partial: 3,
             timestamp_ns: 1_234_567,
@@ -340,6 +368,20 @@ mod tests {
     }
 
     #[test]
+    fn decode_at_rejects_displaced_copies() {
+        let summary = sample();
+        let bytes = summary.encode(512);
+        // At its recorded home the chunk is accepted...
+        assert_eq!(ChunkSummary::decode_at(&bytes, summary.addr).unwrap(), summary);
+        // ...but the same valid bytes read from anywhere else are not:
+        // every CRC passes, only the self-address betrays the copy.
+        assert_eq!(
+            ChunkSummary::decode_at(&bytes, BlockAddr(summary.addr.0 + 16)),
+            Err(FsError::Corrupt("chunk summary at wrong address"))
+        );
+    }
+
+    #[test]
     fn summary_block_count_matches_paper_geometry() {
         // 1 MB segment of 4 KB blocks: 254 data blocks need 2 summary
         // blocks (254 entries do not fit in one).
@@ -354,6 +396,7 @@ mod tests {
     #[test]
     fn empty_chunk_is_representable() {
         let summary = ChunkSummary {
+            addr: BlockAddr(0),
             seq: 1,
             partial: 0,
             timestamp_ns: 0,

@@ -56,7 +56,22 @@ impl Superblock {
         let cp_bytes = 128 + 4 * (imap_blocks + usage_blocks);
         let cp_blocks = cp_bytes.div_ceil(bs);
 
-        let seg_start = 1 + 2 * cp_blocks;
+        // With `segment_align_metadata` each fixed region starts on its
+        // own segment boundary, so on a parity volume whose stripe rows
+        // coincide with segments no row mixes two in-place-rewritten
+        // regions (or a region and the log). The padded layout is
+        // recorded in the superblock, so mounting needs no knowledge of
+        // the knob. Off, the regions pack back-to-back as always.
+        let align = |b: u64| {
+            if cfg.segment_align_metadata {
+                b.div_ceil(seg_blocks) * seg_blocks
+            } else {
+                b
+            }
+        };
+        let cp_a = align(1);
+        let cp_b = align(cp_a + cp_blocks);
+        let seg_start = align(cp_b + cp_blocks);
         if total_blocks <= seg_start {
             return Err(FsError::NoSpace);
         }
@@ -71,8 +86,8 @@ impl Superblock {
             nsegments: nsegments as u32,
             max_inodes: cfg.max_inodes,
             cp_blocks: cp_blocks as u32,
-            cp_a: BlockAddr(1),
-            cp_b: BlockAddr(1 + cp_blocks as u32),
+            cp_a: BlockAddr(cp_a as u32),
+            cp_b: BlockAddr(cp_b as u32),
             seg_start: BlockAddr(seg_start as u32),
         })
     }
@@ -288,6 +303,28 @@ mod tests {
     fn seg_block_rejects_bad_segment() {
         let sb = sample();
         let _ = sb.seg_block(SegNo(sb.nsegments), 0);
+    }
+
+    #[test]
+    fn aligned_metadata_gives_each_fixed_region_its_own_segment_row() {
+        let cfg = LfsConfig::small_test().with_segment_aligned_metadata();
+        let sb = Superblock::derive(&cfg, 16 * 1024 * 1024).unwrap();
+        let seg = sb.seg_blocks;
+        // Superblock row [0, seg), then each region starts a fresh row.
+        assert_eq!(sb.cp_a.0 % seg, 0);
+        assert!(sb.cp_a.0 >= seg);
+        assert_eq!(sb.cp_b.0 % seg, 0);
+        assert!(sb.cp_b.0 >= sb.cp_a.0 + sb.cp_blocks);
+        assert_eq!(sb.seg_start.0 % seg, 0);
+        assert!(sb.seg_start.0 >= sb.cp_b.0 + sb.cp_blocks);
+        // The padded geometry round-trips through the superblock, so
+        // mount needs no knowledge of the alignment knob.
+        assert_eq!(Superblock::decode(&sb.encode()).unwrap(), sb);
+        // Default layouts are bit-identical to the packed original.
+        let packed = Superblock::derive(&LfsConfig::small_test(), 16 * 1024 * 1024).unwrap();
+        assert_eq!(packed.cp_a.0, 1);
+        assert_eq!(packed.cp_b.0, 1 + packed.cp_blocks);
+        assert_eq!(packed.seg_start.0, 1 + 2 * packed.cp_blocks);
     }
 
     #[test]

@@ -189,6 +189,7 @@ impl ChunkBuilder {
         // payload addresses remain valid. Extra summary blocks are dead
         // space reclaimed by the cleaner like any other.
         let summary = ChunkSummary {
+            addr: self.start_addr,
             seq,
             partial,
             timestamp_ns,

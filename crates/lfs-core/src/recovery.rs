@@ -7,10 +7,12 @@
 //! implemented here:
 //!
 //! 1. Starting at the checkpointed log position, walk the chunk chain:
-//!    within a segment chunks are validated by `(seq, partial)` continuity
-//!    and a CRC over their payload (torn writes stop the walk); across
-//!    segments, the successor is the segment whose first chunk carries the
-//!    next sequence number.
+//!    within a segment chunks are validated by `(seq, partial)` continuity,
+//!    the self-address stamped in the (CRC-covered) header — so a displaced
+//!    byte-exact copy of a valid chunk can never be applied — and a CRC
+//!    over their payload (torn writes stop the walk); across segments, the
+//!    successor is the segment whose first chunk carries the next sequence
+//!    number at the right address.
 //! 2. Re-apply metadata: inode blocks found in the tail update the inode
 //!    map (data blocks need no action — the inodes written in the same
 //!    flush point at them); newer inode-map blocks are reloaded wholesale.
@@ -68,7 +70,13 @@ pub(crate) fn roll_forward<D: BlockDevice>(fs: &mut Lfs<D>) -> FsResult<()> {
         let mut next_seg = SegNo::NIL;
         while (pos.offset as usize) + 1 < seg_blocks {
             let offset = pos.offset as usize - image_base;
-            let Ok(chunk) = ChunkSummary::decode(&image[offset * bs..]) else {
+            // `decode_at` also pins the chunk to this exact address: a
+            // byte-exact copy of some other (valid, CRC-clean) chunk
+            // landing here — e.g. XOR-forged while reconstructing a
+            // parity row a crash tore — must read as end-of-log, not as
+            // applicable history.
+            let here = BlockAddr(base.0 + pos.offset);
+            let Ok(chunk) = ChunkSummary::decode_at(&image[offset * bs..], here) else {
                 break;
             };
             if chunk.seq != pos.seq || chunk.partial != pos.partial {
@@ -109,7 +117,7 @@ pub(crate) fn roll_forward<D: BlockDevice>(fs: &mut Lfs<D>) -> FsResult<()> {
             let first = fs.sb.seg_block(next_seg, 0);
             let header = fs.read_block_raw(first)?;
             if let Ok(head) = ChunkSummary::decode_header_prefix(&header) {
-                if head.seq == pos.seq + 1 && head.partial == 0 {
+                if head.addr == first && head.seq == pos.seq + 1 && head.partial == 0 {
                     pos = LogPosition {
                         seg: next_seg,
                         offset: 0,

@@ -142,7 +142,8 @@ impl<D: BlockDevice> Lfs<D> {
                 cursor += 1;
             }
             let truncated = cursor < seg_blocks && blocks[cursor].is_none();
-            let Ok(chunk) = ChunkSummary::decode(&buf) else {
+            let here = BlockAddr(base.0 + offset as u32);
+            let Ok(chunk) = ChunkSummary::decode_at(&buf, here) else {
                 if truncated {
                     // The summary area itself is unreadable: the rest of
                     // this segment's chain cannot even be enumerated.

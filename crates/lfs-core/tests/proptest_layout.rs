@@ -94,6 +94,7 @@ proptest! {
 
     #[test]
     fn summary_round_trips(
+        addr in 0u32..100_000,
         seq in any::<u64>(),
         partial in 0u32..1000,
         timestamp in any::<u64>(),
@@ -104,6 +105,7 @@ proptest! {
         ),
     ) {
         let summary = ChunkSummary {
+            addr: lfs_core::types::BlockAddr(addr),
             seq,
             partial,
             timestamp_ns: timestamp,
@@ -131,6 +133,7 @@ proptest! {
         flip in any::<usize>(),
     ) {
         let summary = ChunkSummary {
+            addr: lfs_core::types::BlockAddr(320),
             seq: 7,
             partial: 1,
             timestamp_ns: 42,
@@ -141,7 +144,7 @@ proptest! {
         };
         let mut encoded = summary.encode(512);
         // Flip one bit within the meaningful region (header + entries).
-        let meaningful = 40 + summary.entries.len() * lfs_core::types::SUMMARY_ENTRY_SIZE;
+        let meaningful = 44 + summary.entries.len() * lfs_core::types::SUMMARY_ENTRY_SIZE;
         let index = flip % (meaningful * 8);
         encoded[index / 8] ^= 1 << (index % 8);
         prop_assert!(

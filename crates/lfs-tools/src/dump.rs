@@ -72,7 +72,8 @@ pub fn dump(
         let mut chunks = Vec::new();
         let mut expected: Option<(u64, u32)> = None;
         while offset + 1 < sb.seg_blocks as usize {
-            let Ok(chunk) = ChunkSummary::decode(&image[offset * bs..]) else {
+            let here = lfs_core::types::BlockAddr(base + offset as u32);
+            let Ok(chunk) = ChunkSummary::decode_at(&image[offset * bs..], here) else {
                 break;
             };
             match expected {

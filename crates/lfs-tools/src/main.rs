@@ -11,6 +11,8 @@
 //! lfs-tools ls    <image> <path>               list a directory
 //! lfs-tools cat   <image> <path>               print a file
 //! lfs-tools put   <image> <host-file> <path>   import a file
+//! lfs-tools rebuild <image> --spindles N --policy <parity> --degraded I
+//!                                              reconstruct a lost spindle
 //! ```
 //!
 //! Images are flat files; a missing image is created zero-filled by
@@ -20,8 +22,18 @@
 //! Every subcommand also accepts `--spindles N` (default 1): the volume
 //! is then a striped array of N disks with one backing image per
 //! spindle, named `<image>.s0`, `<image>.s1`, … — `<image>` itself is
-//! never touched. Striping is segment round-robin and `--size-mb` is
-//! the size of *each* spindle.
+//! never touched. `--policy` picks the striping policy by its stable
+//! name (`rr-segment`, the default; `interleave`; `parity-segment`;
+//! `parity-rotate`) and `--size-mb` is the size of *each* spindle.
+//!
+//! On a parity policy, `--degraded I` mounts the array with spindle I's
+//! media treated as dead: every read touching it is served by XOR
+//! reconstruction across the survivors, so a damaged array can still be
+//! fsck'd, scrubbed, and copied out of. Degraded mounts are read-only
+//! from the CLI's point of view — commands that would write the backing
+//! images back refuse. `rebuild` reconstructs the named spindle's image
+//! in full (the `<image>.sI` file may be stale or missing) and leaves
+//! the array healthy.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -32,11 +44,11 @@ use lfs_core::{Lfs, LfsConfig};
 use lfs_tools::image;
 use sim_disk::{BlockDevice, Clock, SimDisk};
 use vfs::FileSystem;
-use volume::{VolumeConfig, VolumeDisk};
+use volume::{RebuildPolicy, RebuildProgress, StripePolicyKind, VolumeConfig, VolumeDisk};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lfs-tools <mkfs|fsck|verify|dumpfs|clean|ls|cat|put> <image> [args...]\n\
+        "usage: lfs-tools <mkfs|fsck|verify|dumpfs|clean|ls|cat|put|rebuild> <image> [args...]\n\
          run with a subcommand; see crate docs for details"
     );
     ExitCode::from(2)
@@ -46,6 +58,8 @@ struct Opts {
     image: PathBuf,
     size_mb: u64,
     spindles: usize,
+    policy: StripePolicyKind,
+    degraded: Option<usize>,
     verbose: bool,
     target: usize,
     rest: Vec<String>,
@@ -56,6 +70,8 @@ fn parse(args: &[String]) -> Option<Opts> {
         image: PathBuf::new(),
         size_mb: 32,
         spindles: 1,
+        policy: StripePolicyKind::RrSegment,
+        degraded: None,
         verbose: false,
         target: 8,
         rest: Vec::new(),
@@ -66,6 +82,8 @@ fn parse(args: &[String]) -> Option<Opts> {
         match arg.as_str() {
             "--size-mb" => opts.size_mb = it.next()?.parse().ok()?,
             "--spindles" => opts.spindles = it.next()?.parse().ok().filter(|&n| n > 0)?,
+            "--policy" => opts.policy = StripePolicyKind::parse(it.next()?)?,
+            "--degraded" => opts.degraded = Some(it.next()?.parse().ok()?),
             "--target" => opts.target = it.next()?.parse().ok()?,
             "-v" | "--verbose" => opts.verbose = true,
             _ => positional.push(arg.clone()),
@@ -77,13 +95,48 @@ fn parse(args: &[String]) -> Option<Opts> {
 }
 
 /// Small-volume config used by the CLI (fast, modest inode count).
-fn cli_config() -> LfsConfig {
-    LfsConfig::paper().with_cache_bytes(2 * 1024 * 1024)
+/// Parity policies add the layout rules that close the parity write
+/// hole — every image formatted for a parity array gets them, so a
+/// crash mid-command never leaves a row whose XOR is stale across
+/// committed data.
+fn cli_config(opts: &Opts) -> LfsConfig {
+    let base = LfsConfig::paper().with_cache_bytes(2 * 1024 * 1024);
+    if opts.spindles > 1 && opts.policy.is_parity() {
+        base.with_segment_aligned_metadata().with_seal_on_flush()
+    } else {
+        base
+    }
 }
 
-/// Striping config used by the CLI: segment round-robin.
-fn striped_config(spindles: usize) -> VolumeConfig {
-    VolumeConfig::rr_segment(spindles, cli_config().stripe_chunk_bytes())
+/// Striping config selected by `--spindles` / `--policy`. Fails with a
+/// friendly message (instead of the library panic) when the LFS segment
+/// does not split across the parity array's data spindles.
+fn striped_config(opts: &Opts) -> Result<VolumeConfig, String> {
+    let chunk = cli_config(opts).stripe_chunk_bytes();
+    // RAID-0/5 stripe unit for the small-chunk policies.
+    const INTERLEAVE_CHUNK: usize = 64 * 1024;
+    let n = opts.spindles;
+    match opts.policy {
+        StripePolicyKind::RrSegment => Ok(VolumeConfig::rr_segment(n, chunk)),
+        StripePolicyKind::Interleave => Ok(VolumeConfig::interleave(n, INTERLEAVE_CHUNK)),
+        StripePolicyKind::ParitySegment => {
+            let data = n - 1;
+            if data == 0 || !chunk.is_multiple_of(data * sim_disk::SECTOR_SIZE) {
+                return Err(format!(
+                    "parity-segment: the {chunk}-byte segment does not split into \
+                     {data} sector-aligned chunks; use a spindle count where \
+                     (spindles - 1) divides the segment into sector multiples"
+                ));
+            }
+            Ok(VolumeConfig::parity_segment(n, chunk))
+        }
+        StripePolicyKind::ParityRotate => {
+            if n < 2 {
+                return Err("parity-rotate needs at least 2 spindles".into());
+            }
+            Ok(VolumeConfig::parity_rotate(n, INTERLEAVE_CHUNK))
+        }
+    }
 }
 
 /// How a logical volume maps to host files: one flat image, or one
@@ -92,7 +145,7 @@ fn striped_config(spindles: usize) -> VolumeConfig {
 trait Backing {
     type Dev: BlockDevice;
     fn load(&self, opts: &Opts) -> Result<Self::Dev, String>;
-    fn create_blank(&self, opts: &Opts) -> Self::Dev;
+    fn create_blank(&self, opts: &Opts) -> Result<Self::Dev, String>;
     fn clock(dev: &Self::Dev) -> Arc<Clock>;
     fn save(&self, opts: &Opts, dev: Self::Dev) -> Result<(), String>;
 }
@@ -103,11 +156,14 @@ impl Backing for SingleImage {
     type Dev = SimDisk;
 
     fn load(&self, opts: &Opts) -> Result<SimDisk, String> {
+        if opts.degraded.is_some() {
+            return Err("--degraded needs a parity array (--spindles > 1)".into());
+        }
         image::load(&opts.image, &image::geometry_for_mb(opts.size_mb)).map_err(|e| e.to_string())
     }
 
-    fn create_blank(&self, opts: &Opts) -> SimDisk {
-        image::create_blank(&image::geometry_for_mb(opts.size_mb))
+    fn create_blank(&self, opts: &Opts) -> Result<SimDisk, String> {
+        Ok(image::create_blank(&image::geometry_for_mb(opts.size_mb)))
     }
 
     fn clock(dev: &SimDisk) -> Arc<Clock> {
@@ -119,25 +175,49 @@ impl Backing for SingleImage {
     }
 }
 
+/// Validates a `--degraded` spindle index against the array and, if
+/// set, kills that spindle's media so reads reconstruct through parity.
+fn apply_degraded(opts: &Opts, dev: &VolumeDisk) -> Result<(), String> {
+    let Some(i) = opts.degraded else {
+        return Ok(());
+    };
+    if !opts.policy.is_parity() {
+        return Err(format!(
+            "--degraded needs a parity policy; '{}' has no redundancy to read through",
+            opts.policy
+        ));
+    }
+    if i >= opts.spindles {
+        return Err(format!(
+            "--degraded {i}: no such spindle (array has {})",
+            opts.spindles
+        ));
+    }
+    dev.kill_spindle(i);
+    Ok(())
+}
+
 struct StripedImages;
 
 impl Backing for StripedImages {
     type Dev = VolumeDisk;
 
     fn load(&self, opts: &Opts) -> Result<VolumeDisk, String> {
-        image::load_striped(
+        let dev = image::load_striped(
             &opts.image,
             &image::geometry_for_mb(opts.size_mb),
-            striped_config(opts.spindles),
+            striped_config(opts)?,
         )
-        .map_err(|e| e.to_string())
+        .map_err(|e| e.to_string())?;
+        apply_degraded(opts, &dev)?;
+        Ok(dev)
     }
 
-    fn create_blank(&self, opts: &Opts) -> VolumeDisk {
-        image::create_blank_striped(
+    fn create_blank(&self, opts: &Opts) -> Result<VolumeDisk, String> {
+        Ok(image::create_blank_striped(
             &image::geometry_for_mb(opts.size_mb),
-            striped_config(opts.spindles),
-        )
+            striped_config(opts)?,
+        ))
     }
 
     fn clock(dev: &VolumeDisk) -> Arc<Clock> {
@@ -158,6 +238,9 @@ fn run() -> Result<(), String> {
         return Err("bad arguments".into());
     };
 
+    if command == "rebuild" {
+        return cmd_rebuild(&opts);
+    }
     if opts.spindles == 1 {
         run_cmd(&command, &opts, SingleImage)
     } else {
@@ -165,21 +248,79 @@ fn run() -> Result<(), String> {
     }
 }
 
+/// `rebuild <image> --spindles N --policy <parity> --degraded I`:
+/// reconstructs spindle I's entire image from the survivors (every
+/// chunk row is the XOR of the same row on the other spindles) and
+/// writes all backing images back healthy. The lost spindle's
+/// `<image>.sI` file may hold stale bytes or not exist at all — its
+/// content is never read.
+fn cmd_rebuild(opts: &Opts) -> Result<(), String> {
+    let Some(i) = opts.degraded else {
+        return Err("rebuild: name the lost spindle with --degraded <i>".into());
+    };
+    if opts.spindles < 2 {
+        return Err("rebuild: needs a parity array (--spindles > 1)".into());
+    }
+    // A missing replacement image is the expected case (the drive is
+    // gone); materialize an empty file so the array loads, then let the
+    // degraded mount treat it as dead.
+    let paths = image::spindle_paths(&opts.image, opts.spindles);
+    let lost = &paths[i.min(paths.len() - 1)];
+    if !lost.exists() {
+        std::fs::write(lost, []).map_err(|e| e.to_string())?;
+    }
+    let dev = StripedImages.load(opts)?; // applies the --degraded kill
+    // Offline rebuild: no foreground to yield to, so disable the idle
+    // gate and take big steps.
+    dev.replace_spindle(
+        i,
+        RebuildPolicy::default()
+            .with_idle_queue_depth(None)
+            .with_max_step_rows(64),
+    );
+    let rows = dev
+        .volume()
+        .borrow()
+        .rebuild()
+        .map(|r| r.total_rows())
+        .unwrap_or(0);
+    loop {
+        match dev.rebuild_step().map_err(|e| format!("rebuild: {e}"))? {
+            RebuildProgress::Progress { .. } => {}
+            RebuildProgress::Completed => break,
+            RebuildProgress::Idle => return Err("rebuild: no rebuild in progress".into()),
+        }
+    }
+    let mut settle = dev.clone();
+    settle.flush().map_err(|e| format!("rebuild: {e}"))?;
+    drop(settle);
+    let chunk_kb = striped_config(opts)?.chunk_bytes as u64 / 1024;
+    println!("rebuilt spindle {i}: {rows} chunk rows ({} KB) reconstructed from parity", rows * chunk_kb);
+    image::save_striped(&opts.image, dev).map_err(|e| e.to_string())
+}
+
 fn run_cmd<B: Backing>(command: &str, opts: &Opts, backing: B) -> Result<(), String> {
     let mount = |backing: &B| -> Result<Lfs<B::Dev>, String> {
         let dev = backing.load(opts)?;
         let clock = B::clock(&dev);
-        Lfs::mount(dev, cli_config(), clock).map_err(|e| format!("mount failed: {e}"))
+        Lfs::mount(dev, cli_config(opts), clock).map_err(|e| format!("mount failed: {e}"))
     };
     let save = |backing: &B, fs: Lfs<B::Dev>| -> Result<(), String> {
+        if opts.degraded.is_some() {
+            return Err(
+                "refusing to write backing images from a degraded mount; \
+                 run `lfs-tools rebuild` first"
+                    .into(),
+            );
+        }
         backing.save(opts, fs.into_device())
     };
 
     match command {
         "mkfs" => {
-            let disk = backing.create_blank(opts);
+            let disk = backing.create_blank(opts)?;
             let clock = B::clock(&disk);
-            let fs = Lfs::format(disk, cli_config(), clock)
+            let fs = Lfs::format(disk, cli_config(opts), clock)
                 .map_err(|e| format!("format failed: {e}"))?;
             println!(
                 "formatted {}: {} segments of {} blocks",

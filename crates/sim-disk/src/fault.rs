@@ -52,6 +52,7 @@ pub enum MediaFault {
 pub struct MediaFaultPlan {
     seed: u64,
     faults: BTreeMap<u64, MediaFault>,
+    dead: bool,
 }
 
 impl MediaFaultPlan {
@@ -60,7 +61,22 @@ impl MediaFaultPlan {
         Self {
             seed,
             faults: BTreeMap::new(),
+            dead: false,
         }
+    }
+
+    /// Kills the whole spindle: every read and write fails with
+    /// [`crate::DiskError::Unreadable`] until the media is replaced.
+    /// This models a head crash or controller death — per-sector faults
+    /// become irrelevant because nothing is reachable.
+    pub fn kill(mut self) -> Self {
+        self.dead = true;
+        self
+    }
+
+    /// True when the whole spindle is dead (see [`MediaFaultPlan::kill`]).
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// Marks `sector` as a latent (permanent until rewritten) read error.
@@ -315,6 +331,15 @@ mod tests {
         // Rot persists across reads but clears on rewrite.
         assert_eq!(plan.on_write(3, 2), 2);
         assert_eq!(plan.on_read(0, 8), ReadOutcome::Ok { rotted: vec![] });
+    }
+
+    #[test]
+    fn kill_marks_the_plan_dead_and_survives_builder_chaining() {
+        let plan = MediaFaultPlan::new(9).latent(3).kill();
+        assert!(plan.is_dead());
+        assert_eq!(plan.len(), 1, "per-sector faults survive, just unreachable");
+        assert!(!MediaFaultPlan::new(9).is_dead());
+        assert!(!MediaFaultPlan::default().is_dead());
     }
 
     #[test]

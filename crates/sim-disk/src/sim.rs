@@ -371,6 +371,59 @@ impl SimDisk {
         self.media_faults.as_ref()
     }
 
+    /// Kills the whole spindle, as if the head crashed: every subsequent
+    /// read and write fails with [`DiskError::Unreadable`] until
+    /// [`SimDisk::replace_media`] swaps in a fresh drive. Still-queued
+    /// submissions and volatile held writes are lost with the media.
+    pub fn kill_media(&mut self) {
+        let plan = self.media_faults.take().unwrap_or_default();
+        self.media_faults = Some(plan.kill());
+        self.pending.clear();
+        self.held.clear();
+        self.obs
+            .registry
+            .event(self.clock.now_ns(), "media-fault", "spindle dead".to_string());
+    }
+
+    /// True when the media is dead (see [`SimDisk::kill_media`]).
+    pub fn is_dead(&self) -> bool {
+        self.media_faults.as_ref().is_some_and(|p| p.is_dead())
+    }
+
+    /// Swaps in a blank replacement drive: the image zeroes, every
+    /// armed media fault (including a whole-spindle kill) clears, and
+    /// the head parks at sector 0. Statistics, the crash plan, and the
+    /// (possibly shared) write counter stay with the bay, not the
+    /// drive — a rebuild's writes still count in global persist order.
+    pub fn replace_media(&mut self) {
+        self.data.iter_mut().for_each(|b| *b = 0);
+        self.media_faults = None;
+        self.pending.clear();
+        self.held.clear();
+        self.head = 0;
+        self.obs.registry.event(
+            self.clock.now_ns(),
+            "media-fault",
+            "spindle replaced".to_string(),
+        );
+    }
+
+    /// Fails the request with [`DiskError::Unreadable`] when the whole
+    /// spindle is dead. Writes check this *before* the crash plan: a
+    /// request a dead drive rejects never counts as a persist event.
+    fn dead_check(&mut self, sector: u64) -> DiskResult<()> {
+        if !self.is_dead() {
+            return Ok(());
+        }
+        self.obs.faults_unreadable.inc();
+        self.obs.registry.event(
+            self.clock.now_ns(),
+            "media-fault",
+            format!("dead spindle rejects sector={sector}"),
+        );
+        Err(DiskError::Unreadable { sector })
+    }
+
     /// Consumes the disk and returns the surviving raw image.
     ///
     /// Still-queued submissions and writes held in a volatile
@@ -539,6 +592,7 @@ impl SimDisk {
     /// the range fails the whole request. Counters and trace events are
     /// recorded here.
     fn media_read_check(&mut self, sector: u64, count: u64) -> DiskResult<Vec<u64>> {
+        self.dead_check(sector)?;
         let outcome = match self.media_faults.as_mut() {
             Some(plan) => plan.on_read(sector, count),
             None => return Ok(Vec::new()),
@@ -606,6 +660,7 @@ impl SimDisk {
             return Err(DiskError::Crashed);
         }
         check_request(sector, bytes, self.geometry.num_sectors)?;
+        self.dead_check(sector)?;
         Ok(self.push_pending(AccessKind::Read, sector, bytes as u64, None))
     }
 
@@ -619,6 +674,7 @@ impl SimDisk {
             return Err(DiskError::Crashed);
         }
         check_request(sector, buf.len(), self.geometry.num_sectors)?;
+        self.dead_check(sector)?;
         Ok(self.push_pending(AccessKind::Write, sector, buf.len() as u64, Some(buf.to_vec())))
     }
 
@@ -748,6 +804,7 @@ impl SimDisk {
 
         let media = match req.kind {
             AccessKind::Write => {
+                self.dead_check(req.sector)?;
                 if let Some(persisted) = self.crash_check(req.sector, req.bytes as usize) {
                     let start = req.sector as usize * SECTOR_SIZE;
                     let data = req.data.as_deref().expect("write without payload");
@@ -862,6 +919,7 @@ impl BlockDevice for SimDisk {
             return Err(DiskError::Crashed);
         }
         check_request(sector, buf.len(), self.geometry.num_sectors)?;
+        self.dead_check(sector)?;
 
         if let Some(persisted) = self.crash_check(sector, buf.len()) {
             // Power failed mid-request; the caller observes an error.
@@ -943,6 +1001,51 @@ mod tests {
         let mut out = vec![0; SECTOR_SIZE * 4];
         disk.read(10, &mut out).unwrap();
         assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn killed_media_rejects_all_io_until_replaced() {
+        let mut disk = small_disk();
+        disk.write(10, &vec![0x5A; SECTOR_SIZE], true).unwrap();
+        disk.kill_media();
+        assert!(disk.is_dead());
+        let mut out = vec![0; SECTOR_SIZE];
+        assert_eq!(
+            disk.read(10, &mut out),
+            Err(DiskError::Unreadable { sector: 10 })
+        );
+        assert_eq!(
+            disk.write(20, &vec![1; SECTOR_SIZE], true),
+            Err(DiskError::Unreadable { sector: 20 })
+        );
+        assert_eq!(
+            disk.submit_read(10, SECTOR_SIZE),
+            Err(DiskError::Unreadable { sector: 10 })
+        );
+        assert_eq!(
+            disk.submit_write(10, &vec![2; SECTOR_SIZE]),
+            Err(DiskError::Unreadable { sector: 10 })
+        );
+        // A dead drive never consumes crash-plan persist slots: only
+        // the one pre-kill write counted.
+        assert_eq!(disk.write_index, 1);
+
+        disk.replace_media();
+        assert!(!disk.is_dead());
+        disk.read(10, &mut out).unwrap();
+        assert_eq!(out, vec![0; SECTOR_SIZE], "replacement drive is blank");
+        disk.write(10, &vec![7; SECTOR_SIZE], true).unwrap();
+        disk.read(10, &mut out).unwrap();
+        assert_eq!(out, vec![7; SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn kill_media_discards_queued_submissions() {
+        let mut disk = small_disk();
+        disk.submit_write(4, &vec![9; SECTOR_SIZE]).unwrap();
+        assert_eq!(disk.pending_len(), 1);
+        disk.kill_media();
+        assert_eq!(disk.pending_len(), 0, "queued IO dies with the media");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Striping policies: how logical sectors map onto spindles.
 //!
-//! Both policies are chunked RAID-0 layouts — the logical address space
+//! The RAID-0 policies are chunked layouts — the logical address space
 //! is cut into fixed-size *stripe units* (chunks) dealt round-robin
 //! across spindles — and differ only in the chunk size:
 //!
@@ -10,6 +10,23 @@
 //!   consecutive segments rotate across spindles.
 //! * [`BlockInterleave`] uses a small configurable chunk (classic
 //!   RAID-0), so one large request fans out across every spindle.
+//!
+//! The parity policies add single-fault redundancy: each *row* (one
+//! chunk per spindle at the same physical offset) dedicates one
+//! rotating spindle to the XOR of the other chunks, so any one dead
+//! spindle's contents can be reconstructed from the survivors:
+//!
+//! * [`ParitySegment`] is LFS's natural fit — the chunk is sized so one
+//!   full segment write covers a whole data row, letting the volume
+//!   compute parity straight from the write buffer without ever reading
+//!   old data (the log never pays the RAID-5 read-modify-write tax).
+//! * [`ParityRotate`] is classic RAID-5: small chunks, rotating parity,
+//!   read-modify-write on partial rows.
+//!
+//! Both keep the **row-XOR invariant**: for every physical sector `p`,
+//! the XOR of sector `p` across all spindles is zero. Reconstruction of
+//! any physical range on one spindle is then the XOR of the *same*
+//! physical range on every other spindle, with no role bookkeeping.
 //!
 //! [`split_request`] is the request splitter: it cuts a logical request
 //! into per-spindle sub-requests whose union is an exact partition of
@@ -25,24 +42,53 @@ pub enum StripePolicyKind {
     RrSegment,
     /// RAID-0 block interleave with a small configurable chunk.
     Interleave,
+    /// Per-segment parity: chunk sized so a segment is one data row;
+    /// parity rotates and is computed from the write buffer alone.
+    ParitySegment,
+    /// RAID-5 rotating parity over small configurable chunks.
+    ParityRotate,
 }
 
 impl StripePolicyKind {
     /// All policies, for sweeps.
-    pub const ALL: [StripePolicyKind; 2] =
-        [StripePolicyKind::RrSegment, StripePolicyKind::Interleave];
+    pub const ALL: [StripePolicyKind; 4] = [
+        StripePolicyKind::RrSegment,
+        StripePolicyKind::Interleave,
+        StripePolicyKind::ParitySegment,
+        StripePolicyKind::ParityRotate,
+    ];
 
     /// Stable name used in bench labels and CLI flags.
     pub fn name(&self) -> &'static str {
         match self {
             StripePolicyKind::RrSegment => "rr-segment",
             StripePolicyKind::Interleave => "interleave",
+            StripePolicyKind::ParitySegment => "parity-segment",
+            StripePolicyKind::ParityRotate => "parity-rotate",
         }
     }
 
     /// Parses a [`StripePolicyKind::name`] back.
     pub fn parse(s: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// True for policies that dedicate one chunk per row to parity.
+    pub fn is_parity(&self) -> bool {
+        matches!(
+            self,
+            StripePolicyKind::ParitySegment | StripePolicyKind::ParityRotate
+        )
+    }
+
+    /// Smallest spindle count the policy is defined for (parity needs a
+    /// data chunk *and* a parity chunk per row).
+    pub fn min_spindles(&self) -> usize {
+        if self.is_parity() {
+            2
+        } else {
+            1
+        }
     }
 }
 
@@ -52,8 +98,14 @@ impl std::fmt::Display for StripePolicyKind {
     }
 }
 
-/// A chunked striping layout: logical chunk `c` lives on spindle
-/// `c % n` at per-spindle chunk row `c / n`.
+/// A chunked striping layout.
+///
+/// Logical chunks are dealt in rows: row `r` of an `n`-spindle volume
+/// holds [`StripePolicy::data_per_row`] logical chunks at physical
+/// chunk-row `r` on their spindles, skipping the row's parity spindle
+/// (if the policy has one). For the RAID-0 policies every spindle
+/// carries data (`data_per_row == n`, no parity) and the mapping
+/// reduces to the classic `chunk % n` / `chunk / n`.
 ///
 /// The trait carries the chunk size; the mapping itself is shared by
 /// every policy (provided methods) so the splitter and its inverse stay
@@ -65,20 +117,57 @@ pub trait StripePolicy {
     /// Stripe-unit size in sectors.
     fn chunk_sectors(&self) -> u64;
 
+    /// Logical (data) chunks per row on an `n`-spindle volume.
+    fn data_per_row(&self, spindles: usize) -> usize {
+        spindles
+    }
+
+    /// Spindle holding row `row`'s parity chunk, if the policy keeps
+    /// parity. `None` for the RAID-0 policies.
+    fn parity_spindle(&self, row: u64, spindles: usize) -> Option<usize> {
+        let _ = (row, spindles);
+        None
+    }
+
     /// Spindle holding logical chunk `chunk` of an `n`-spindle volume.
     fn spindle_of_chunk(&self, chunk: u64, spindles: usize) -> usize {
-        (chunk % spindles as u64) as usize
+        let dpr = self.data_per_row(spindles) as u64;
+        let d = (chunk % dpr) as usize;
+        match self.parity_spindle(chunk / dpr, spindles) {
+            Some(p) if d >= p => d + 1,
+            _ => d,
+        }
     }
 
     /// Per-spindle chunk row of logical chunk `chunk`.
     fn row_of_chunk(&self, chunk: u64, spindles: usize) -> u64 {
-        chunk / spindles as u64
+        chunk / self.data_per_row(spindles) as u64
     }
 
     /// Inverse of the mapping: the logical chunk at `row` on `spindle`.
+    /// For parity policies, `spindle` must hold data in that row — the
+    /// parity chunk has no logical address.
     fn chunk_at(&self, row: u64, spindle: usize, spindles: usize) -> u64 {
-        row * spindles as u64 + spindle as u64
+        let d = match self.parity_spindle(row, spindles) {
+            Some(p) => {
+                debug_assert_ne!(spindle, p, "parity chunk has no logical address");
+                if spindle > p {
+                    spindle - 1
+                } else {
+                    spindle
+                }
+            }
+            None => spindle,
+        };
+        row * self.data_per_row(spindles) as u64 + d as u64
     }
+}
+
+/// The rotation both parity policies share: row `r` parks parity on
+/// spindle `(n - 1) - (r mod n)`, so parity load spreads evenly and no
+/// spindle is the RAID-4 bottleneck.
+pub(crate) fn rotated_parity_spindle(row: u64, spindles: usize) -> usize {
+    (spindles - 1) - (row % spindles as u64) as usize
 }
 
 /// Whole-segment round-robin: the chunk is the LFS segment, so each
@@ -148,6 +237,98 @@ impl StripePolicy for BlockInterleave {
 
     fn chunk_sectors(&self) -> u64 {
         self.chunk_sectors
+    }
+}
+
+/// Per-segment parity: the chunk is sized so one LFS segment write
+/// covers exactly one full data row (`chunk = segment / (n - 1)`), so
+/// parity is computed from the segment buffer alone — the log never
+/// reads old data to update parity. One spindle per row, rotating,
+/// holds the XOR of the row's data chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct ParitySegment {
+    chunk_sectors: u64,
+}
+
+impl ParitySegment {
+    /// A per-segment-parity policy with `chunk_bytes` stripe units
+    /// (callers size the chunk as `segment_bytes / (spindles - 1)`; see
+    /// [`crate::VolumeConfig::parity_segment`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `chunk_bytes` is a positive multiple of the sector
+    /// size.
+    pub fn new(chunk_bytes: usize) -> Self {
+        assert!(
+            chunk_bytes > 0 && chunk_bytes.is_multiple_of(SECTOR_SIZE),
+            "chunk size must be a positive multiple of {SECTOR_SIZE}"
+        );
+        Self {
+            chunk_sectors: (chunk_bytes / SECTOR_SIZE) as u64,
+        }
+    }
+}
+
+impl StripePolicy for ParitySegment {
+    fn kind(&self) -> StripePolicyKind {
+        StripePolicyKind::ParitySegment
+    }
+
+    fn chunk_sectors(&self) -> u64 {
+        self.chunk_sectors
+    }
+
+    fn data_per_row(&self, spindles: usize) -> usize {
+        spindles - 1
+    }
+
+    fn parity_spindle(&self, row: u64, spindles: usize) -> Option<usize> {
+        Some(rotated_parity_spindle(row, spindles))
+    }
+}
+
+/// Classic RAID-5: small chunks with rotating parity. Partial-row
+/// writes pay read-modify-write; full rows are computed from the
+/// buffer like [`ParitySegment`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParityRotate {
+    chunk_sectors: u64,
+}
+
+impl ParityRotate {
+    /// A rotating-parity policy striping at `chunk_bytes` granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `chunk_bytes` is a positive multiple of the sector
+    /// size.
+    pub fn new(chunk_bytes: usize) -> Self {
+        assert!(
+            chunk_bytes > 0 && chunk_bytes.is_multiple_of(SECTOR_SIZE),
+            "chunk size must be a positive multiple of {SECTOR_SIZE}"
+        );
+        Self {
+            chunk_sectors: (chunk_bytes / SECTOR_SIZE) as u64,
+        }
+    }
+}
+
+impl StripePolicy for ParityRotate {
+    fn kind(&self) -> StripePolicyKind {
+        StripePolicyKind::ParityRotate
+    }
+
+    fn chunk_sectors(&self) -> u64 {
+        self.chunk_sectors
+    }
+
+    fn data_per_row(&self, spindles: usize) -> usize {
+        spindles - 1
+    }
+
+    fn parity_spindle(&self, row: u64, spindles: usize) -> Option<usize> {
+        Some(rotated_parity_spindle(row, spindles))
     }
 }
 
@@ -234,10 +415,82 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
+        assert_eq!(StripePolicyKind::ALL.len(), 4);
         for kind in StripePolicyKind::ALL {
             assert_eq!(StripePolicyKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(StripePolicyKind::parse("raid5"), None);
+        assert!(StripePolicyKind::ParitySegment.is_parity());
+        assert!(StripePolicyKind::ParityRotate.is_parity());
+        assert!(!StripePolicyKind::RrSegment.is_parity());
+        assert_eq!(StripePolicyKind::ParityRotate.min_spindles(), 2);
+        assert_eq!(StripePolicyKind::Interleave.min_spindles(), 1);
+    }
+
+    #[test]
+    fn parity_rotation_skips_one_spindle_per_row() {
+        let policy = ParityRotate::new(2 * SECTOR_SIZE);
+        let n = 3;
+        // Row r parks parity on spindle (n-1) - (r % n).
+        assert_eq!(policy.parity_spindle(0, n), Some(2));
+        assert_eq!(policy.parity_spindle(1, n), Some(1));
+        assert_eq!(policy.parity_spindle(2, n), Some(0));
+        assert_eq!(policy.parity_spindle(3, n), Some(2));
+        assert_eq!(policy.data_per_row(n), 2);
+        // Row 0 (parity on 2): chunks 0,1 on spindles 0,1.
+        assert_eq!(policy.spindle_of_chunk(0, n), 0);
+        assert_eq!(policy.spindle_of_chunk(1, n), 1);
+        // Row 1 (parity on 1): chunks 2,3 on spindles 0,2.
+        assert_eq!(policy.spindle_of_chunk(2, n), 0);
+        assert_eq!(policy.spindle_of_chunk(3, n), 2);
+        // Row 2 (parity on 0): chunks 4,5 on spindles 1,2.
+        assert_eq!(policy.spindle_of_chunk(4, n), 1);
+        assert_eq!(policy.spindle_of_chunk(5, n), 2);
+    }
+
+    #[test]
+    fn parity_chunk_at_inverts_spindle_of_chunk() {
+        for policy in [
+            &ParityRotate::new(SECTOR_SIZE) as &dyn StripePolicy,
+            &ParitySegment::new(4 * SECTOR_SIZE),
+        ] {
+            for spindles in 2..=5usize {
+                for chunk in 0..64u64 {
+                    let row = policy.row_of_chunk(chunk, spindles);
+                    let spindle = policy.spindle_of_chunk(chunk, spindles);
+                    assert_ne!(
+                        Some(spindle),
+                        policy.parity_spindle(row, spindles),
+                        "data never lands on the parity spindle"
+                    );
+                    assert_eq!(policy.chunk_at(row, spindle, spindles), chunk);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_split_partitions_and_inverts() {
+        let policy = ParitySegment::new(2 * SECTOR_SIZE);
+        for spindles in 2..=4usize {
+            for (sector, count) in [(0u64, 1u64), (1, 7), (5, 12), (0, 32)] {
+                let subs = split_request(&policy, spindles, sector, count);
+                // Exact partition: offsets/lengths tile the buffer.
+                let mut at = 0usize;
+                let mut total = 0u64;
+                for sub in &subs {
+                    assert_eq!(sub.offset, at);
+                    at += sub.bytes();
+                    total += sub.sectors;
+                    // And every piece inverts to its logical position.
+                    assert_eq!(
+                        to_logical(&policy, spindles, sub.spindle, sub.sector),
+                        sector + (sub.offset / SECTOR_SIZE) as u64
+                    );
+                }
+                assert_eq!(total, count);
+            }
+        }
     }
 
     #[test]

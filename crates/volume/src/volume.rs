@@ -23,6 +23,7 @@
 //! write, wherever it lands, and every spindle stops together.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,12 +32,14 @@ use engine::{EngineConfig, EngineCore, RequestEngine};
 use obs::{Counter, Gauge, Registry};
 use sim_disk::{
     check_request, BlockDevice, Clock, CrashPlan, DiskError, DiskGeometry, DiskResult, SimDisk,
+    SECTOR_SIZE,
 };
 
 use crate::policy::{
-    split_request, to_logical, BlockInterleave, SegmentRoundRobin, StripePolicy, StripePolicyKind,
-    SubRequest,
+    split_request, to_logical, BlockInterleave, ParityRotate, ParitySegment, SegmentRoundRobin,
+    StripePolicy, StripePolicyKind, SubRequest,
 };
+use crate::rebuild::{RebuildPolicy, RebuildProgress, RebuildRun, SpindleState};
 
 /// Parameters of a striped volume.
 #[derive(Debug, Clone)]
@@ -75,6 +78,46 @@ impl VolumeConfig {
         }
     }
 
+    /// Per-segment parity over `spindles` disks: one LFS segment of
+    /// `segment_bytes` covers exactly one data row (`spindles - 1`
+    /// chunks), so full-segment writes compute parity from the write
+    /// buffer alone and never read old data.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `spindles >= 2` and `segment_bytes` splits evenly
+    /// into `spindles - 1` sector-aligned chunks.
+    pub fn parity_segment(spindles: usize, segment_bytes: usize) -> Self {
+        assert!(spindles >= 2, "parity needs at least 2 spindles");
+        let data = spindles - 1;
+        assert!(
+            segment_bytes > 0 && segment_bytes.is_multiple_of(data * SECTOR_SIZE),
+            "segment of {segment_bytes} bytes must split into {data} sector-aligned chunks"
+        );
+        Self {
+            spindles,
+            policy: StripePolicyKind::ParitySegment,
+            chunk_bytes: segment_bytes / data,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// RAID-5 rotating parity over `spindles` disks with `chunk_bytes`
+    /// stripe units.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `spindles >= 2`.
+    pub fn parity_rotate(spindles: usize, chunk_bytes: usize) -> Self {
+        assert!(spindles >= 2, "parity needs at least 2 spindles");
+        Self {
+            spindles,
+            policy: StripePolicyKind::ParityRotate,
+            chunk_bytes,
+            engine: EngineConfig::default(),
+        }
+    }
+
     /// Replaces the per-spindle engine configuration.
     pub fn with_engine(mut self, engine: EngineConfig) -> Self {
         self.engine = engine;
@@ -85,6 +128,8 @@ impl VolumeConfig {
         match self.policy {
             StripePolicyKind::RrSegment => Box::new(SegmentRoundRobin::new(self.chunk_bytes)),
             StripePolicyKind::Interleave => Box::new(BlockInterleave::new(self.chunk_bytes)),
+            StripePolicyKind::ParitySegment => Box::new(ParitySegment::new(self.chunk_bytes)),
+            StripePolicyKind::ParityRotate => Box::new(ParityRotate::new(self.chunk_bytes)),
         }
     }
 }
@@ -99,7 +144,19 @@ struct VolumeObs {
     bytes_read: Counter,
     bytes_written: Counter,
     subrequests: Counter,
+    /// Logical reads that needed at least one XOR reconstruction.
+    degraded_reads: Counter,
+    /// Per-piece XOR reconstructions (a degraded read may need several).
+    reconstructions: Counter,
+    rebuild_steps: Counter,
+    rebuild_rows: Counter,
+    rebuild_bytes: Counter,
+    rebuild_completed: Counter,
+    /// Rows whose parity a [`StripedVolume::resync_parity`] scan rewrote.
+    resync_rows_fixed: Counter,
+    rebuild_remaining: Gauge,
     spindles: Gauge,
+    spindles_online: Gauge,
     balance: Gauge,
 }
 
@@ -112,7 +169,16 @@ impl VolumeObs {
             bytes_read: registry.counter("volume.bytes_read"),
             bytes_written: registry.counter("volume.bytes_written"),
             subrequests: registry.counter("volume.subrequests"),
+            degraded_reads: registry.counter("volume.degraded_reads"),
+            reconstructions: registry.counter("volume.reconstructions"),
+            rebuild_steps: registry.counter("volume.rebuild.steps"),
+            rebuild_rows: registry.counter("volume.rebuild.rows"),
+            rebuild_bytes: registry.counter("volume.rebuild.bytes_written"),
+            rebuild_completed: registry.counter("volume.rebuild.runs_completed"),
+            resync_rows_fixed: registry.counter("volume.resync_rows_fixed"),
+            rebuild_remaining: registry.gauge("volume.rebuild.remaining_rows"),
             spindles: registry.gauge("volume.spindles"),
+            spindles_online: registry.gauge("volume.spindles_online"),
             balance: registry.gauge("volume.stripe_balance_millis"),
         }
     }
@@ -124,8 +190,32 @@ impl VolumeObs {
         self.bytes_read = registry.adopt_counter("volume.bytes_read", &self.bytes_read);
         self.bytes_written = registry.adopt_counter("volume.bytes_written", &self.bytes_written);
         self.subrequests = registry.adopt_counter("volume.subrequests", &self.subrequests);
+        self.degraded_reads = registry.adopt_counter("volume.degraded_reads", &self.degraded_reads);
+        self.reconstructions =
+            registry.adopt_counter("volume.reconstructions", &self.reconstructions);
+        self.rebuild_steps = registry.adopt_counter("volume.rebuild.steps", &self.rebuild_steps);
+        self.rebuild_rows = registry.adopt_counter("volume.rebuild.rows", &self.rebuild_rows);
+        self.rebuild_bytes =
+            registry.adopt_counter("volume.rebuild.bytes_written", &self.rebuild_bytes);
+        self.rebuild_completed =
+            registry.adopt_counter("volume.rebuild.runs_completed", &self.rebuild_completed);
+        self.resync_rows_fixed =
+            registry.adopt_counter("volume.resync_rows_fixed", &self.resync_rows_fixed);
+        self.rebuild_remaining =
+            registry.adopt_gauge("volume.rebuild.remaining_rows", &self.rebuild_remaining);
         self.spindles = registry.adopt_gauge("volume.spindles", &self.spindles);
+        self.spindles_online =
+            registry.adopt_gauge("volume.spindles_online", &self.spindles_online);
         self.balance = registry.adopt_gauge("volume.stripe_balance_millis", &self.balance);
+    }
+}
+
+/// XORs `src` into `dst` byte by byte (`dst.len()` must equal
+/// `src.len()`); the whole parity subsystem reduces to this.
+fn xor_into(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
     }
 }
 
@@ -146,6 +236,11 @@ pub struct StripedVolume {
     /// Volume token → (spindle, spindle token) for tracked async reads.
     tracked_reads: std::collections::BTreeMap<u64, (usize, u64)>,
     next_read_token: u64,
+    /// Per-spindle availability (all [`SpindleState::Online`] until
+    /// [`StripedVolume::kill_spindle`]).
+    states: Vec<SpindleState>,
+    /// The in-flight rebuild, if a replaced spindle is being refilled.
+    rebuild: Option<RebuildRun>,
     obs: VolumeObs,
 }
 
@@ -184,14 +279,24 @@ impl StripedVolume {
         images: Option<Vec<Vec<u8>>>,
     ) -> Self {
         assert!(cfg.spindles >= 1, "a volume needs at least one spindle");
+        assert!(
+            cfg.spindles >= cfg.policy.min_spindles(),
+            "{} needs at least {} spindles",
+            cfg.policy.name(),
+            cfg.policy.min_spindles()
+        );
         let policy = cfg.build_policy();
         let chunk_sectors = policy.chunk_sectors();
         // A single spindle is the identity mapping over the whole disk;
-        // with several, each contributes only whole stripe units.
+        // with several, each contributes only whole stripe units — and
+        // under a parity policy one chunk per row is redundancy, not
+        // address space.
         let num_sectors = if cfg.spindles == 1 {
             geometry.num_sectors
         } else {
-            (geometry.num_sectors / chunk_sectors) * chunk_sectors * cfg.spindles as u64
+            (geometry.num_sectors / chunk_sectors)
+                * chunk_sectors
+                * policy.data_per_row(cfg.spindles) as u64
         };
         // Per-spindle engines never coalesce across a stripe boundary
         // (two physically adjacent chunks belong to different stripe
@@ -222,7 +327,9 @@ impl StripedVolume {
             })
             .collect();
         obs.spindles.set(cfg.spindles as u64);
+        obs.spindles_online.set(cfg.spindles as u64);
         obs.balance.set(1000);
+        let states = vec![SpindleState::Online; cfg.spindles];
         Self {
             spindles,
             policy,
@@ -233,6 +340,8 @@ impl StripedVolume {
             crashed: false,
             tracked_reads: std::collections::BTreeMap::new(),
             next_read_token: 1,
+            states,
+            rebuild: None,
             obs,
         }
     }
@@ -328,12 +437,18 @@ impl StripedVolume {
 
     /// Recomputes the stripe-balance gauge: Jain's fairness index over
     /// per-spindle bytes written, scaled by 1000 (1000 = perfectly
-    /// balanced, 1000/n = one spindle takes everything).
+    /// balanced, 1000/n = one spindle takes everything). Offline and
+    /// rebuilding spindles are excluded — a dead drive takes no writes
+    /// by design, and a mid-rebuild replacement is catching up, so
+    /// counting either would report phantom imbalance during degraded
+    /// operation.
     fn update_balance(&mut self) {
         let written: Vec<f64> = self
             .spindles
             .iter()
-            .map(|c| c.disk().stats().bytes_written as f64)
+            .zip(&self.states)
+            .filter(|(_, state)| **state == SpindleState::Online)
+            .map(|(c, _)| c.disk().stats().bytes_written as f64)
             .collect();
         let sum: f64 = written.iter().sum();
         let sum_sq: f64 = written.iter().map(|b| b * b).sum();
@@ -347,6 +462,298 @@ impl StripedVolume {
 
     fn split(&self, sector: u64, count: u64) -> Vec<SubRequest> {
         split_request(&*self.policy, self.spindles.len(), sector, count)
+    }
+
+    /// True when the volume keeps parity (reads can reconstruct).
+    fn is_parity(&self) -> bool {
+        self.cfg.policy.is_parity()
+    }
+
+    fn online_count(&self) -> u64 {
+        self.states
+            .iter()
+            .filter(|s| **s == SpindleState::Online)
+            .count() as u64
+    }
+
+    /// Availability of spindle `i`.
+    pub fn spindle_state(&self, i: usize) -> SpindleState {
+        self.states[i]
+    }
+
+    /// The in-flight rebuild, if a replaced spindle is being refilled.
+    pub fn rebuild(&self) -> Option<&RebuildRun> {
+        self.rebuild.as_ref()
+    }
+
+    /// Kills spindle `i`: the media dies ([`SimDisk::kill_media`]), its
+    /// queue is discarded (queued I/O dies with the drive), and the
+    /// volume routes around it — on a parity volume reads reconstruct
+    /// and writes keep parity current, so no data is lost; on a RAID-0
+    /// volume requests touching the spindle simply fail.
+    pub fn kill_spindle(&mut self, i: usize) {
+        self.states[i] = SpindleState::Dead;
+        self.spindles[i].disk_mut().kill_media();
+        self.spindles[i].discard_queue();
+        if self.rebuild.as_ref().is_some_and(|r| r.spindle() == i) {
+            // The replacement died mid-rebuild; wait for the next one.
+            self.rebuild = None;
+        }
+        self.obs.spindles_online.set(self.online_count());
+        self.obs.registry.event(
+            self.clock.now_ns(),
+            "volume",
+            format!("spindle {i} dead"),
+        );
+        self.update_balance();
+    }
+
+    /// Swaps a blank replacement into bay `i` and starts an online
+    /// rebuild governed by `policy`. The replacement is written through
+    /// immediately (so rebuilt rows stay fresh under foreground writes)
+    /// but serves no reads until [`StripedVolume::rebuild_step`] walks
+    /// every chunk row; the host event loop paces the steps via
+    /// [`StripedVolume::rebuild_wants_step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless spindle `i` is [`SpindleState::Dead`] and the
+    /// volume keeps parity (RAID-0 has nothing to rebuild from).
+    pub fn replace_spindle(&mut self, i: usize, policy: RebuildPolicy) {
+        assert_eq!(
+            self.states[i],
+            SpindleState::Dead,
+            "replace_spindle: spindle {i} is not dead"
+        );
+        assert!(
+            self.is_parity(),
+            "replace_spindle: only parity volumes can rebuild a replacement"
+        );
+        self.spindles[i].disk_mut().replace_media();
+        self.states[i] = SpindleState::Rebuilding;
+        let chunk = self.policy.chunk_sectors();
+        let rows = self.spindles[i].disk().num_sectors() / chunk;
+        self.rebuild = Some(RebuildRun::new(i, rows, policy));
+        self.obs.rebuild_remaining.set(rows);
+        self.obs.registry.event(
+            self.clock.now_ns(),
+            "volume",
+            format!("spindle {i} replaced, rebuilding {rows} rows"),
+        );
+        self.update_balance();
+    }
+
+    /// Whether the rebuild policy allows a step at the current queue
+    /// depth (idle gate / urgency watermark; see [`RebuildPolicy`]).
+    pub fn rebuild_wants_step(&self) -> bool {
+        self.rebuild
+            .as_ref()
+            .is_some_and(|r| r.wants_step(self.queue_depth()))
+    }
+
+    /// Reconstructs and writes up to [`RebuildPolicy::max_step_rows`]
+    /// chunk rows to the replacement, as maintenance-class I/O through
+    /// the same engine queues foreground requests use. Every physical
+    /// row — data or parity — is the XOR of the same row on the
+    /// surviving spindles, so the rebuild needs no role bookkeeping.
+    pub fn rebuild_step(&mut self) -> DiskResult<RebuildProgress> {
+        if self.crashed {
+            return Err(DiskError::Crashed);
+        }
+        let Some(run) = self.rebuild.as_mut() else {
+            return Ok(RebuildProgress::Idle);
+        };
+        let target = run.spindle();
+        let (first, rows) = run.claim_step();
+        if rows == 0 {
+            return Ok(RebuildProgress::Idle);
+        }
+        let chunk = self.policy.chunk_sectors();
+        self.set_maintenance(true);
+        let mut row_buf = vec![0u8; chunk as usize * SECTOR_SIZE];
+        for row in first..first + rows {
+            let sector = row * chunk;
+            let step = self
+                .reconstruct_range(target, sector, &mut row_buf)
+                .and_then(|()| self.spindles[target].do_sync_write(sector, &row_buf));
+            if let Err(e) = step {
+                self.set_maintenance(false);
+                if let Some(run) = self.rebuild.as_mut() {
+                    run.rewind_to(row);
+                }
+                if e == DiskError::Crashed {
+                    self.crashed = true;
+                }
+                return Err(e);
+            }
+            self.obs.rebuild_rows.inc();
+            self.obs.rebuild_bytes.add(row_buf.len() as u64);
+        }
+        self.set_maintenance(false);
+        self.obs.rebuild_steps.inc();
+        let remaining = self.rebuild.as_ref().expect("run in progress").remaining_rows();
+        self.obs.rebuild_remaining.set(remaining);
+        if remaining == 0 {
+            self.states[target] = SpindleState::Online;
+            self.rebuild = None;
+            self.obs.rebuild_completed.inc();
+            self.obs.spindles_online.set(self.online_count());
+            self.obs.registry.event(
+                self.clock.now_ns(),
+                "volume",
+                format!("spindle {target} rebuilt, back online"),
+            );
+            self.update_balance();
+            return Ok(RebuildProgress::Completed);
+        }
+        Ok(RebuildProgress::Progress { rows })
+    }
+
+    /// Recomputes parity from the data chunks on every row, closing the
+    /// RAID-5 write hole after an unclean shutdown: a crash between a
+    /// row's data write and its parity update leaves the row's XOR
+    /// stale, and a later reconstruction through that row would corrupt
+    /// *committed* bytes at the same within-row offsets on whichever
+    /// spindle is being reconstructed. Data chunks are authoritative;
+    /// parity is rewritten wherever the row XOR is nonzero. Run this
+    /// before trusting the volume to tolerate a spindle loss again —
+    /// exactly the resync a conventional array performs when assembled
+    /// dirty. Returns the number of rows fixed.
+    ///
+    /// Only sound when every spindle's *media is current*. If any
+    /// spindle stopped persisting before the shutdown (a dead drive
+    /// re-presenting stale media), its latest logical contents exist
+    /// only in the parity encoding, and "resyncing" parity from the
+    /// stale media destroys exactly the bytes a rebuild must
+    /// reproduce. Kill such a spindle first and rebuild it instead;
+    /// never resync a dirty *degraded* assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the volume keeps parity with every spindle online:
+    /// a write hole plus a missing spindle is a genuine double fault
+    /// with nothing authoritative to resync from.
+    pub fn resync_parity(&mut self) -> DiskResult<u64> {
+        assert!(self.is_parity(), "resync_parity: not a parity volume");
+        assert!(
+            self.states.iter().all(|s| *s == SpindleState::Online),
+            "resync_parity: every spindle must be online"
+        );
+        let n = self.spindles.len();
+        let chunk = self.policy.chunk_sectors();
+        let rows = self.spindles[0].disk().num_sectors() / chunk;
+        let bytes = chunk as usize * SECTOR_SIZE;
+        let mut xor = vec![0u8; bytes];
+        let mut tmp = vec![0u8; bytes];
+        let mut fixed = 0u64;
+        self.set_maintenance(true);
+        for row in 0..rows {
+            let sector = row * chunk;
+            let p = self.policy.parity_spindle(row, n).expect("parity volume");
+            xor.fill(0);
+            let scan = (|| -> DiskResult<()> {
+                for s in (0..n).filter(|&s| s != p) {
+                    self.spindles[s].do_read(sector, &mut tmp)?;
+                    xor_into(&mut xor, &tmp);
+                }
+                self.spindles[p].do_read(sector, &mut tmp)?;
+                if xor != tmp {
+                    self.spindles[p].do_sync_write(sector, &xor)?;
+                    fixed += 1;
+                }
+                Ok(())
+            })();
+            if let Err(e) = scan {
+                self.set_maintenance(false);
+                if e == DiskError::Crashed {
+                    self.crashed = true;
+                }
+                return Err(e);
+            }
+        }
+        self.set_maintenance(false);
+        self.obs.resync_rows_fixed.add(fixed);
+        if fixed > 0 {
+            self.obs.registry.event(
+                self.clock.now_ns(),
+                "volume",
+                format!("parity resync rewrote {fixed} of {rows} rows"),
+            );
+        }
+        Ok(fixed)
+    }
+
+    /// XOR-reconstructs physical range `[sector, sector + out.len())`
+    /// of `target` from the same range on every other spindle — valid
+    /// for any mix of data and parity rows, because every parity row
+    /// maintains XOR-across-spindles = 0. Fails if a second spindle is
+    /// unavailable (double fault). Errors come back untranslated.
+    fn reconstruct_range(&mut self, target: usize, sector: u64, out: &mut [u8]) -> DiskResult<()> {
+        let n = self.spindles.len();
+        let others: Vec<usize> = (0..n).filter(|&s| s != target).collect();
+        for &s in &others {
+            if self.states[s] != SpindleState::Online {
+                return Err(DiskError::Unreadable { sector });
+            }
+        }
+        let mut handles = Vec::with_capacity(others.len());
+        for &s in &others {
+            handles.push(self.spindles[s].start_read(sector, out.len())?);
+        }
+        out.fill(0);
+        let mut tmp = vec![0u8; out.len()];
+        for (&s, h) in others.iter().zip(handles) {
+            self.spindles[s].finish_read(h, sector, &mut tmp)?;
+            xor_into(out, &tmp);
+        }
+        self.obs.reconstructions.inc();
+        Ok(())
+    }
+
+    /// [`StripedVolume::reconstruct_range`] with error mapping: crashes
+    /// latch, anything else escapes as [`DiskError::Unreadable`] at
+    /// `escape` — the *logical* sector the caller was serving, since a
+    /// double fault has no single physical culprit worth reporting.
+    fn reconstruct_or_escape(
+        &mut self,
+        target: usize,
+        sector: u64,
+        out: &mut [u8],
+        escape: u64,
+    ) -> DiskResult<()> {
+        match self.reconstruct_range(target, sector, out) {
+            Ok(()) => Ok(()),
+            Err(DiskError::Crashed) => {
+                self.crashed = true;
+                Err(DiskError::Crashed)
+            }
+            Err(_) => Err(DiskError::Unreadable { sector: escape }),
+        }
+    }
+
+    /// Reads the *current logical* content of physical range
+    /// `[sector, sector + out.len())` on `spindle`: directly when the
+    /// spindle serves reads, by reconstruction when it is dead,
+    /// rebuilding, or the direct read hits unreadable sectors.
+    fn read_physical(
+        &mut self,
+        spindle: usize,
+        sector: u64,
+        out: &mut [u8],
+        escape: u64,
+    ) -> DiskResult<()> {
+        if self.states[spindle] == SpindleState::Online {
+            match self.spindles[spindle].do_read(sector, out) {
+                Ok(()) => return Ok(()),
+                Err(DiskError::Crashed) => {
+                    self.crashed = true;
+                    return Err(DiskError::Crashed);
+                }
+                Err(DiskError::Unreadable { .. }) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        self.reconstruct_or_escape(spindle, sector, out, escape)
     }
 
     /// Reads `buf.len()` bytes at logical `sector`, fanning the request
@@ -363,6 +770,9 @@ impl StripedVolume {
         self.obs.reads.inc();
         self.obs.bytes_read.add(buf.len() as u64);
         self.obs.subrequests.add(subs.len() as u64);
+        if self.is_parity() {
+            return self.read_parity(&subs, sector, buf);
+        }
         if let [sub] = subs.as_slice() {
             // One piece: take the engine's combined path, which is
             // exactly the single-spindle EngineDisk request sequence.
@@ -411,9 +821,225 @@ impl StripedVolume {
         self.obs.writes.inc();
         self.obs.bytes_written.add(buf.len() as u64);
         self.obs.subrequests.add(subs.len() as u64);
-        let result = self.write_subs(&subs, buf, sync);
+        let result = if self.is_parity() {
+            self.write_parity(&subs, sector, buf, sync)
+        } else {
+            self.write_subs(&subs, buf, sync)
+        };
         self.update_balance();
         result
+    }
+
+    /// The fan-out read for parity volumes: pieces on healthy spindles
+    /// are read directly (all started before any is waited on); pieces
+    /// on dead or rebuilding spindles — or whose direct read comes back
+    /// unreadable — are served by XOR reconstruction across the
+    /// survivors. Only a double fault escapes, translated to the
+    /// logical sector of the piece that could not be served.
+    fn read_parity(&mut self, subs: &[SubRequest], base_sector: u64, buf: &mut [u8]) -> DiskResult<()> {
+        let mut handles: Vec<Option<engine::ReadHandle>> = Vec::with_capacity(subs.len());
+        for sub in subs {
+            if self.states[sub.spindle] == SpindleState::Online {
+                match self.spindles[sub.spindle].start_read(sub.sector, sub.bytes()) {
+                    Ok(h) => handles.push(Some(h)),
+                    Err(DiskError::Crashed) => {
+                        self.crashed = true;
+                        return Err(DiskError::Crashed);
+                    }
+                    // An unreadable submission routes to reconstruction
+                    // like an unreadable completion would.
+                    Err(DiskError::Unreadable { .. }) => handles.push(None),
+                    Err(other) => return Err(other),
+                }
+            } else {
+                handles.push(None);
+            }
+        }
+        let mut degraded = false;
+        let mut first_err: Option<DiskError> = None;
+        for (sub, handle) in subs.iter().zip(handles) {
+            let logical = base_sector + (sub.offset / SECTOR_SIZE) as u64;
+            let piece = &mut buf[sub.offset..sub.offset + sub.bytes()];
+            let served = match handle {
+                Some(h) => match self.spindles[sub.spindle].finish_read(h, sub.sector, piece) {
+                    Ok(()) => true,
+                    Err(DiskError::Crashed) => {
+                        self.crashed = true;
+                        return Err(DiskError::Crashed);
+                    }
+                    Err(DiskError::Unreadable { .. }) => false,
+                    Err(other) => return Err(other),
+                },
+                None => false,
+            };
+            if !served {
+                degraded = true;
+                match self.reconstruct_or_escape(sub.spindle, sub.sector, piece, logical) {
+                    Ok(()) => {}
+                    Err(DiskError::Crashed) => return Err(DiskError::Crashed),
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+        }
+        if degraded {
+            self.obs.degraded_reads.inc();
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The parity-maintaining write. Pieces are grouped by chunk row
+    /// (under a parity policy no sub-request ever spans two rows —
+    /// rotation breaks physical contiguity at every row boundary, so
+    /// the splitter cannot merge across one) and each touched row's
+    /// parity chunk is updated in the same request:
+    ///
+    /// - **Full row** (every data chunk covered whole — the normal case
+    ///   for LFS segment writes under [`crate::ParitySegment`]): parity
+    ///   is the XOR of the buffer pieces. *No old data is read.*
+    /// - **Partial row**: read-modify-write,
+    ///   `parity' = parity ⊕ Σ (old ⊕ new)` over the written pieces,
+    ///   with any unavailable old content reconstructed from the
+    ///   survivors.
+    ///
+    /// Pieces bound for a dead spindle are not written — the updated
+    /// parity absorbs their content, so reads reconstruct the new data.
+    /// A dead *parity* spindle leaves its rows unprotected (data writes
+    /// through normally) until rebuild re-derives it. Rebuilding
+    /// spindles are written through so finished rows stay fresh.
+    fn write_parity(
+        &mut self,
+        subs: &[SubRequest],
+        base_sector: u64,
+        buf: &[u8],
+        sync: bool,
+    ) -> DiskResult<()> {
+        let n = self.spindles.len();
+        let chunk = self.policy.chunk_sectors();
+        let dpr = self.policy.data_per_row(n);
+        let mut rows: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, sub) in subs.iter().enumerate() {
+            let row = sub.sector / chunk;
+            debug_assert_eq!(
+                (sub.sector + sub.sectors - 1) / chunk,
+                row,
+                "parity sub-request crosses a chunk-row boundary"
+            );
+            rows.entry(row).or_default().push(i);
+        }
+        // Compute every touched row's parity piece before issuing any
+        // write, so RMW reads of old content see pre-request state.
+        let mut parity_pieces: Vec<(usize, u64, Vec<u8>)> = Vec::new();
+        for (&row, idxs) in &rows {
+            let p = self
+                .policy
+                .parity_spindle(row, n)
+                .expect("parity policy always parks parity");
+            if self.states[p] == SpindleState::Dead {
+                // The row's parity chunk died with its spindle: data
+                // writes through unprotected until rebuild re-derives
+                // the chunk from the new contents.
+                continue;
+            }
+            let row_base = row * chunk;
+            let lo = idxs.iter().map(|&i| subs[i].sector - row_base).min().unwrap();
+            let hi = idxs
+                .iter()
+                .map(|&i| subs[i].sector + subs[i].sectors - row_base)
+                .max()
+                .unwrap();
+            let full_cover = idxs.len() == dpr
+                && idxs
+                    .iter()
+                    .all(|&i| subs[i].sector == row_base && subs[i].sectors == chunk);
+            let mut parity = vec![0u8; (hi - lo) as usize * SECTOR_SIZE];
+            if full_cover {
+                // The LFS fast path: a whole row (one full segment
+                // under ParitySegment) derives parity from the write
+                // buffer alone.
+                for &i in idxs {
+                    let sub = &subs[i];
+                    xor_into(&mut parity, &buf[sub.offset..sub.offset + sub.bytes()]);
+                }
+            } else {
+                let escape = base_sector + (subs[idxs[0]].offset / SECTOR_SIZE) as u64;
+                self.read_physical(p, row_base + lo, &mut parity, escape)?;
+                let mut old = vec![0u8; (hi - lo) as usize * SECTOR_SIZE];
+                for &i in idxs {
+                    let sub = &subs[i];
+                    let a = (sub.sector - row_base - lo) as usize * SECTOR_SIZE;
+                    let escape = base_sector + (sub.offset / SECTOR_SIZE) as u64;
+                    let old_piece = &mut old[a..a + sub.bytes()];
+                    self.read_physical(sub.spindle, sub.sector, old_piece, escape)?;
+                    xor_into(&mut parity[a..a + sub.bytes()], old_piece);
+                    xor_into(
+                        &mut parity[a..a + sub.bytes()],
+                        &buf[sub.offset..sub.offset + sub.bytes()],
+                    );
+                }
+            }
+            parity_pieces.push((p, row_base + lo, parity));
+        }
+        if !sync {
+            for sub in subs {
+                if self.states[sub.spindle] == SpindleState::Dead {
+                    continue;
+                }
+                let piece = &buf[sub.offset..sub.offset + sub.bytes()];
+                if let Err(e) = self.spindles[sub.spindle].submit_async_write(sub.sector, piece) {
+                    return Err(self.translate(sub.spindle, e));
+                }
+            }
+            for (p, sector, parity) in &parity_pieces {
+                if let Err(e) = self.spindles[*p].submit_async_write(*sector, parity) {
+                    return Err(self.translate_parity(e));
+                }
+            }
+            return Ok(());
+        }
+        // Sync: start every piece — data and parity — before finishing
+        // any, so the spindles seek in parallel.
+        let mut ids: Vec<(usize, u64, bool)> = Vec::new();
+        for sub in subs {
+            if self.states[sub.spindle] == SpindleState::Dead {
+                continue;
+            }
+            let piece = &buf[sub.offset..sub.offset + sub.bytes()];
+            match self.spindles[sub.spindle].start_sync_write(sub.sector, piece) {
+                Ok(id) => ids.push((sub.spindle, id, false)),
+                Err(e) => return Err(self.translate(sub.spindle, e)),
+            }
+        }
+        for (p, sector, parity) in &parity_pieces {
+            match self.spindles[*p].start_sync_write(*sector, parity) {
+                Ok(id) => ids.push((*p, id, true)),
+                Err(e) => return Err(self.translate_parity(e)),
+            }
+        }
+        for (spindle, id, is_parity) in ids {
+            if let Err(e) = self.spindles[spindle].finish_write(id) {
+                return Err(if is_parity {
+                    self.translate_parity(e)
+                } else {
+                    self.translate(spindle, e)
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Error translation for parity-chunk I/O: crashes latch, anything
+    /// else keeps its physical sector — a parity address has no logical
+    /// equivalent to translate to.
+    fn translate_parity(&mut self, e: DiskError) -> DiskError {
+        if e == DiskError::Crashed {
+            self.crashed = true;
+        }
+        e
     }
 
     fn write_subs(&mut self, subs: &[SubRequest], buf: &[u8], sync: bool) -> DiskResult<()> {
@@ -490,6 +1116,10 @@ impl StripedVolume {
         let count = check_request(sector, len, self.num_sectors).ok()?;
         let subs = self.split(sector, count);
         let [sub] = subs.as_slice() else { return None };
+        if self.states[sub.spindle] != SpindleState::Online {
+            // Degraded: fall back to the reconstructing fan-out read.
+            return None;
+        }
         self.obs.reads.inc();
         self.obs.bytes_read.add(len as u64);
         self.obs.subrequests.inc();
@@ -590,6 +1220,45 @@ impl VolumeDisk {
             .expect("into_images: other volume handles still alive")
             .into_inner()
             .into_images()
+    }
+
+    /// Availability of spindle `i` (see [`StripedVolume::spindle_state`]).
+    pub fn spindle_state(&self, i: usize) -> SpindleState {
+        self.0.borrow().spindle_state(i)
+    }
+
+    /// Kills spindle `i` (see [`StripedVolume::kill_spindle`]).
+    pub fn kill_spindle(&self, i: usize) {
+        self.0.borrow_mut().kill_spindle(i);
+    }
+
+    /// Swaps in a replacement and starts the online rebuild (see
+    /// [`StripedVolume::replace_spindle`]).
+    pub fn replace_spindle(&self, i: usize, policy: RebuildPolicy) {
+        self.0.borrow_mut().replace_spindle(i, policy);
+    }
+
+    /// Whether the rebuild policy allows a step right now (see
+    /// [`StripedVolume::rebuild_wants_step`]).
+    pub fn rebuild_wants_step(&self) -> bool {
+        self.0.borrow().rebuild_wants_step()
+    }
+
+    /// Runs one bounded rebuild step (see
+    /// [`StripedVolume::rebuild_step`]).
+    pub fn rebuild_step(&self) -> DiskResult<RebuildProgress> {
+        self.0.borrow_mut().rebuild_step()
+    }
+
+    /// Chunk rows still missing from an in-flight rebuild, if any.
+    pub fn rebuild_remaining_rows(&self) -> Option<u64> {
+        self.0.borrow().rebuild().map(|r| r.remaining_rows())
+    }
+
+    /// Rewrites stale parity from the authoritative data chunks (see
+    /// [`StripedVolume::resync_parity`]).
+    pub fn resync_parity(&self) -> DiskResult<u64> {
+        self.0.borrow_mut().resync_parity()
     }
 }
 

@@ -7,7 +7,8 @@ use proptest::prelude::*;
 
 use sim_disk::SECTOR_SIZE;
 use volume::{
-    split_request, to_logical, BlockInterleave, SegmentRoundRobin, StripePolicy, StripePolicyKind,
+    split_request, to_logical, BlockInterleave, ParityRotate, ParitySegment, SegmentRoundRobin,
+    StripePolicy, StripePolicyKind,
 };
 
 fn policy_for(kind: StripePolicyKind, chunk_sectors: u64) -> Box<dyn StripePolicy> {
@@ -15,6 +16,8 @@ fn policy_for(kind: StripePolicyKind, chunk_sectors: u64) -> Box<dyn StripePolic
     match kind {
         StripePolicyKind::RrSegment => Box::new(SegmentRoundRobin::new(chunk_bytes)),
         StripePolicyKind::Interleave => Box::new(BlockInterleave::new(chunk_bytes)),
+        StripePolicyKind::ParitySegment => Box::new(ParitySegment::new(chunk_bytes)),
+        StripePolicyKind::ParityRotate => Box::new(ParityRotate::new(chunk_bytes)),
     }
 }
 
@@ -73,6 +76,67 @@ proptest! {
                 );
                 prop_assert_eq!(
                     to_logical(&*policy, spindles, sub.spindle, sub.sector + k),
+                    logical,
+                    "to_logical does not invert the split"
+                );
+            }
+        }
+    }
+
+    /// The parity policies partition too — and no data piece ever lands
+    /// on its row's parity spindle.
+    #[test]
+    fn parity_sub_requests_partition_and_avoid_the_parity_spindle(
+        kind_ix in 2usize..4,
+        spindles in 2usize..9,
+        chunk_sectors in 1u64..65,
+        sector in 0u64..10_000,
+        count in 1u64..512,
+    ) {
+        let kind = StripePolicyKind::ALL[kind_ix];
+        prop_assert!(kind.is_parity());
+        let policy = policy_for(kind, chunk_sectors);
+        let subs = split_request(&*policy, spindles, sector, count);
+
+        // Exact partition of the logical buffer.
+        let mut covered = 0usize;
+        for sub in &subs {
+            prop_assert_eq!(sub.offset, covered, "gap or overlap in the logical buffer");
+            prop_assert!(sub.sectors > 0, "empty sub-request");
+            covered += sub.bytes();
+        }
+        prop_assert_eq!(covered, count as usize * SECTOR_SIZE);
+
+        // No overlap on any spindle's platter.
+        let mut extents: Vec<(usize, u64, u64)> = Vec::new();
+        for sub in &subs {
+            prop_assert!(sub.spindle < spindles, "spindle id out of range");
+            let (start, end) = (sub.sector, sub.sector + sub.sectors);
+            for (sp, s, e) in &extents {
+                if *sp == sub.spindle {
+                    prop_assert!(
+                        end <= *s || start >= *e,
+                        "physical extents [{start},{end}) and [{s},{e}) overlap on spindle {sp}"
+                    );
+                }
+            }
+            extents.push((sub.spindle, start, end));
+        }
+
+        // Sector by sector: each piece avoids its row's parity spindle
+        // and the inverse mapping recovers the logical sector exactly.
+        for sub in &subs {
+            for k in 0..sub.sectors {
+                let logical = sector + (sub.offset / SECTOR_SIZE) as u64 + k;
+                let physical = sub.sector + k;
+                let row = physical / chunk_sectors;
+                prop_assert_ne!(
+                    Some(sub.spindle),
+                    policy.parity_spindle(row, spindles),
+                    "data written onto row {}'s parity spindle", row
+                );
+                prop_assert_eq!(
+                    to_logical(&*policy, spindles, sub.spindle, physical),
                     logical,
                     "to_logical does not invert the split"
                 );

@@ -19,6 +19,12 @@ fn volume(spindles: usize, kind: StripePolicyKind) -> (StripedVolume, Arc<Clock>
     let cfg = match kind {
         StripePolicyKind::RrSegment => VolumeConfig::rr_segment(spindles, CHUNK_BYTES),
         StripePolicyKind::Interleave => VolumeConfig::interleave(spindles, CHUNK_BYTES),
+        // Segment = one chunk per data spindle, so the chunk size (and
+        // thus the physical layout grain) matches the other kinds.
+        StripePolicyKind::ParitySegment => {
+            VolumeConfig::parity_segment(spindles, CHUNK_BYTES * (spindles - 1))
+        }
+        StripePolicyKind::ParityRotate => VolumeConfig::parity_rotate(spindles, CHUNK_BYTES),
     };
     let vol = StripedVolume::new(
         DiskGeometry::tiny_test(SPINDLE_SECTORS),
