@@ -48,13 +48,21 @@ pub struct EngineConfig {
     /// retry budget; latent faults exhaust it.
     pub read_retries: u32,
     /// Base delay for the exponential backoff between read retries, in
-    /// virtual nanoseconds (attempt `n` waits `retry_backoff_ns << n`).
+    /// virtual nanoseconds: attempt `n` waits `retry_backoff_ns * 2^n`,
+    /// with the exponent capped so large retry budgets plateau instead
+    /// of overflowing.
     pub retry_backoff_ns: u64,
     /// When set, coalescing never merges writes into a transfer that
     /// crosses a multiple of this many sectors. A striped volume sets it
     /// to the stripe-unit size so a per-spindle queue cannot fuse pieces
     /// of different stripe units into one head pass.
     pub stripe_boundary_sectors: Option<u64>,
+    /// Per-request latency budget for hedging, measured from submission.
+    /// When a pending read's predicted completion blows this deadline,
+    /// [`EngineCore::hedge_overdue`] reports it so the owner can race a
+    /// redundant path (e.g. XOR reconstruction on a parity volume)
+    /// against the slow original. `None` disables hedging.
+    pub hedge_deadline_ns: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +77,7 @@ impl Default for EngineConfig {
             read_retries: 3,
             retry_backoff_ns: 1_000_000,
             stripe_boundary_sectors: None,
+            hedge_deadline_ns: None,
         }
     }
 }
@@ -115,6 +124,13 @@ impl EngineConfig {
         self.stripe_boundary_sectors = Some(sectors);
         self
     }
+
+    /// Arms per-request read hedging with the given latency budget (see
+    /// [`EngineConfig::hedge_deadline_ns`]).
+    pub fn with_hedge_deadline_ns(mut self, deadline_ns: u64) -> Self {
+        self.hedge_deadline_ns = Some(deadline_ns);
+        self
+    }
 }
 
 /// The engine's handles into an [`obs::Registry`].
@@ -140,6 +156,11 @@ struct EngineObs {
     qos_picks: Counter,
     retries: Counter,
     retry_exhausted: Counter,
+    /// Reads whose predicted completion blew the hedge deadline — each
+    /// one a notification that let the owner race a redundant path.
+    hedges: Counter,
+    /// Hedged races the redundant path won (the slow original lost).
+    hedge_wins: Counter,
     /// Queue wait accumulated by maintenance-class requests (cleaning,
     /// scrubbing) — the counterpart of the per-client wait counters, so
     /// maintenance I/O never lands in a foreground client's account.
@@ -176,6 +197,8 @@ impl EngineObs {
             qos_picks: registry.counter(&n("engine.qos_picks")),
             retries: registry.counter(&n("engine.retries")),
             retry_exhausted: registry.counter(&n("engine.retry_exhausted")),
+            hedges: registry.counter(&n("engine.hedges")),
+            hedge_wins: registry.counter(&n("engine.hedge_wins")),
             maintenance_wait: registry.counter(&n("engine.maintenance.disk_wait_ns")),
             client_bytes: registry.counter(&n("engine.io_bytes.client")),
             maintenance_bytes: registry.counter(&n("engine.io_bytes.maintenance")),
@@ -212,6 +235,8 @@ impl EngineObs {
         self.retries = registry.adopt_counter(&n("engine.retries"), &self.retries);
         self.retry_exhausted =
             registry.adopt_counter(&n("engine.retry_exhausted"), &self.retry_exhausted);
+        self.hedges = registry.adopt_counter(&n("engine.hedges"), &self.hedges);
+        self.hedge_wins = registry.adopt_counter(&n("engine.hedge_wins"), &self.hedge_wins);
         self.maintenance_wait =
             registry.adopt_counter(&n("engine.maintenance.disk_wait_ns"), &self.maintenance_wait);
         self.client_bytes = registry.adopt_counter(&n("engine.io_bytes.client"), &self.client_bytes);
@@ -229,6 +254,13 @@ impl EngineObs {
 /// scrubbing): their queue waits land in `engine.maintenance.disk_wait_ns`
 /// instead of any foreground client's account.
 pub const MAINT_OWNER: usize = usize::MAX;
+
+/// Ceiling on the retry-backoff exponent: attempt `n` waits
+/// `retry_backoff_ns * 2^min(n, MAX_BACKOFF_SHIFT)`. 2^20 of the 1 ms
+/// default base is ~17 virtual minutes — beyond any plausible media
+/// recovery — and the cap keeps absurd `read_retries` settings from
+/// overflowing the shift or the clock.
+const MAX_BACKOFF_SHIFT: u32 = 20;
 
 /// A non-blocking read tracked by token (the
 /// [`BlockDevice::start_read_async`] facade over
@@ -317,6 +349,12 @@ impl EngineCore {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// Mutable access to the policy knobs (e.g. to arm or drop a hedge
+    /// deadline mid-run when a spindle's health changes).
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.cfg
     }
 
     /// The shared virtual clock.
@@ -700,6 +738,147 @@ impl EngineCore {
         }
     }
 
+    /// Predicted virtual completion time of request `id`: if it was
+    /// already serviced in the background, its actual finish; otherwise
+    /// `max(busy_until, submitted_at)`, plus a service estimate for
+    /// every earlier-submitted request still in the queue (the backlog
+    /// the device must chew through first — `busy_until` only covers
+    /// work whose service has *started*), plus the request's own
+    /// estimate (each including any fail-slow penalty the media would
+    /// charge). Scheduler reordering makes the backlog term an
+    /// estimate, but aging bounds how far reality can drift from
+    /// submission order. Deterministic and non-mutating. `None` when
+    /// `id` is unknown or already failed.
+    pub fn estimated_finish_ns(&self, id: u64) -> Option<u64> {
+        if let Some(res) = self.unclaimed_reads.get(&id) {
+            return res.as_ref().ok().map(|done| done.finish_ns);
+        }
+        let p = self.disk.pending().iter().find(|p| p.id() == id)?;
+        let mut start = self.disk.busy_until_ns().max(p.submitted_at_ns());
+        for q in self.disk.pending() {
+            if q.id() < id {
+                start += self.disk.estimate_service_ns(start, q.sector(), q.bytes());
+            }
+        }
+        Some(start + self.disk.estimate_service_ns(start, p.sector(), p.bytes()))
+    }
+
+    /// The hedge hook: true when pending read `id`'s predicted latency
+    /// (completion minus submission) blows the configured
+    /// [`EngineConfig::hedge_deadline_ns`]. Each overdue report counts
+    /// one `engine.hedges` — the owner is expected to race a redundant
+    /// path and drain the original via [`EngineCore::drain_read`]. Never
+    /// fires when hedging is disabled, and never changes the queue, so
+    /// the aging and QoS guarantees are untouched.
+    pub fn hedge_overdue(&mut self, id: u64) -> bool {
+        let Some(deadline) = self.cfg.hedge_deadline_ns else {
+            return false;
+        };
+        let submitted = if let Some(res) = self.unclaimed_reads.get(&id) {
+            match res {
+                Ok(done) => done.submitted_at_ns,
+                Err(_) => return false,
+            }
+        } else {
+            match self.disk.pending().iter().find(|p| p.id() == id) {
+                Some(p) => p.submitted_at_ns(),
+                None => return false,
+            }
+        };
+        let Some(finish) = self.estimated_finish_ns(id) else {
+            return false;
+        };
+        let overdue = finish.saturating_sub(submitted) > deadline;
+        if overdue {
+            self.obs.hedges.inc();
+            self.obs.registry.event(
+                self.clock.now_ns(),
+                "hedge",
+                format!(
+                    "read id={id} predicted_lat_ns={} deadline_ns={deadline}",
+                    finish.saturating_sub(submitted)
+                ),
+            );
+        }
+        overdue
+    }
+
+    /// Credits one hedged race to the redundant path (the caller decided
+    /// the reconstruction finished before the slow original).
+    pub fn record_hedge_win(&mut self) {
+        self.obs.hedge_wins.inc();
+    }
+
+    /// The submission-side hedge hook: true when a read of
+    /// `[sector, sector + len)` would stall on an overlapping queued
+    /// request long enough that its total predicted latency (hazard
+    /// clear, then service) blows [`EngineConfig::hedge_deadline_ns`].
+    ///
+    /// [`EngineCore::hedge_overdue`] cannot catch this case: the
+    /// read-after-write hazard is paid *inside* submission (the
+    /// submitter's clock advances to the overlapping request's finish
+    /// before the read even has an id), so by the time a pending id
+    /// exists the stall is already sunk. The owner is expected to call
+    /// this before submitting and, when it fires, serve the read from a
+    /// redundant path instead — read steering. Each firing counts one
+    /// `engine.hedges`; like [`EngineCore::hedge_overdue`] it never
+    /// mutates the queue.
+    pub fn submit_hazard_overdue(&mut self, sector: u64, len: usize) -> bool {
+        let Some(deadline) = self.cfg.hedge_deadline_ns else {
+            return false;
+        };
+        let end = sector + (len / SECTOR_SIZE) as u64;
+        let now = self.clock.now_ns();
+        let mut clear_ns = now;
+        for p in self.disk.pending() {
+            if p.sector() < end && sector < p.end_sector() {
+                let start = self.disk.busy_until_ns().max(p.submitted_at_ns()).max(now);
+                let finish = start + self.disk.estimate_service_ns(start, p.sector(), p.bytes());
+                clear_ns = clear_ns.max(finish);
+            }
+        }
+        if clear_ns == now {
+            return false;
+        }
+        let service = self.disk.estimate_service_ns(clear_ns, sector, len as u64);
+        let overdue = (clear_ns - now) + service > deadline;
+        if overdue {
+            self.obs.hedges.inc();
+            self.obs.registry.event(
+                now,
+                "hedge",
+                format!(
+                    "read sector={sector} hazard_clear_lat_ns={} deadline_ns={deadline}",
+                    (clear_ns - now) + service
+                ),
+            );
+        }
+        overdue
+    }
+
+    /// Services queued requests in policy order until `id` completes,
+    /// **without advancing the shared clock** — the device does the work
+    /// (its busy horizon moves and later requests queue behind it) but
+    /// no caller waits on it. This is how the losing side of a hedged
+    /// race is drained: the foreground pays only the winner's latency
+    /// while the loser still physically occupies its spindle.
+    pub fn drain_read(&mut self, id: u64) -> DiskResult<IoCompletion> {
+        loop {
+            if let Some(res) = self.unclaimed_reads.remove(&id) {
+                return res;
+            }
+            let t = self.pick_time().expect("drain_read a request not in the queue");
+            let (picked, aged) = self.pick_id(t);
+            if aged {
+                self.obs.aged_picks.inc();
+            }
+            if picked == id {
+                return self.complete_with_bookkeeping(picked, false);
+            }
+            self.service_background(picked)?;
+        }
+    }
+
     /// Services `picked` on behalf of nobody: a completed read (or its
     /// media error) is stashed for its eventual waiter; writes need no
     /// delivery. Only fatal errors (crash) propagate.
@@ -951,7 +1130,14 @@ impl EngineCore {
                         );
                         return Err(e);
                     }
-                    let delay = self.cfg.retry_backoff_ns << attempt;
+                    // The exponential backoff is capped: a large
+                    // configured retry budget must plateau, not overflow
+                    // the shift (attempt >= 64 panics in debug builds)
+                    // or push the virtual clock absurdly far.
+                    let delay = self
+                        .cfg
+                        .retry_backoff_ns
+                        .saturating_mul(1u64 << attempt.min(MAX_BACKOFF_SHIFT));
                     attempt += 1;
                     self.obs.retries.inc();
                     self.obs.registry.event(

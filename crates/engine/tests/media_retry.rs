@@ -86,6 +86,34 @@ fn zero_retry_budget_surfaces_the_first_failure() {
 }
 
 #[test]
+fn huge_retry_budget_caps_backoff_instead_of_overflowing_the_shift() {
+    // Regression: the backoff used `retry_backoff_ns << attempt`, which
+    // panics in debug builds (and wraps in release) once a configured
+    // budget pushes `attempt` to 64. A 100-retry latent fault must
+    // surface a typed error with the clock still sane.
+    let cfg = EngineConfig::default()
+        .with_read_retries(100)
+        .with_retry_backoff_ns(1);
+    let (core, clock) = engine(cfg);
+    let mut dev = EngineDisk::new(Rc::clone(&core));
+
+    dev.write(9, &vec![0x11; SECTOR_SIZE], true).unwrap();
+    core.borrow_mut()
+        .disk_mut()
+        .inject_media_faults(MediaFaultPlan::new(3).latent(9));
+
+    let mut buf = vec![0u8; SECTOR_SIZE];
+    assert_eq!(dev.read(9, &mut buf), Err(DiskError::Unreadable { sector: 9 }));
+
+    let snap = core.borrow().disk().obs().snapshot();
+    assert_eq!(snap.counter("engine.retries"), 100);
+    assert_eq!(snap.counter("engine.retry_exhausted"), 1);
+    // The backoff plateaued at base * 2^20 per attempt; with a 1 ns
+    // base, 100 capped waits stay far below a virtual year.
+    assert!(clock.now_ns() < 365 * 24 * 3600 * 1_000_000_000);
+}
+
+#[test]
 fn dead_media_takes_the_engine_offline_until_replaced() {
     let (core, _clock) = engine(EngineConfig::default());
     let mut dev = EngineDisk::new(Rc::clone(&core));

@@ -145,7 +145,8 @@ fn one_run(smoke: bool, fault: bool, metrics: &mut MetricsReport) -> RunResult {
         pump.replace_spindle(
             DEAD_SPINDLE,
             RebuildPolicy::default().with_max_step_rows(1),
-        );
+        )
+        .expect("replace the dead spindle");
     }
     let rebuilding = run_phase(&mut fs, &pump, &cfg, 2, fault).expect("rebuilding phase");
     phases.push(("rebuilding", rebuilding));

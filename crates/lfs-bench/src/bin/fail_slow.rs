@@ -1,0 +1,224 @@
+//! Fail-slow tolerance — does a limping spindle take the array's tail
+//! latency with it, and does the system heal itself?
+//!
+//! Fail-slow hardware (a spindle serving at 10x its healthy time while
+//! still returning correct bytes) is the failure mode RAID was never
+//! built for: nothing errors, so nothing fails over, and every read
+//! through the sick disk drags the foreground tail. This bench runs the
+//! degraded-rebuild workload on a 4-spindle parity volume with one
+//! spindle degrading mid-run, in three arms (see
+//! [`lfs_bench::fail_slow`]): `hedged` (hedge deadline + health
+//! monitor + hot spare), `nohedge` (the suffering baseline), and a
+//! never-faulted `control`.
+//!
+//! In-binary assertions, each also recomputable from
+//! `BENCH_fail_slow.json`:
+//!
+//! * (a) hedged fail-slow foreground *read* p99 <= 2x the healthy
+//!   baseline (the control arm's same phase on a never-faulted array) —
+//!   hedged reconstruction bounds what the slow spindle can charge;
+//! * (b) the no-hedge arm's fail-slow read p99 is worse than the
+//!   hedged arm's — the protection is load-bearing, not vacuous;
+//! * (c) the hedged arm heals itself: exactly one eviction, one hot
+//!   spare consumed, one rebuild completed, scrub clean, and a
+//!   namespace digest equal to the never-faulted control's;
+//! * vacuity: hedges fired and reconstruction won races in the hedged
+//!   arm; the control arm saw no eviction and no degraded read.
+//!
+//! Everything runs on the shared virtual clock; `--smoke` shrinks the
+//! op counts for CI and the assertions still run.
+
+use lfs_bench::fail_slow::{
+    bench_cfg, run_arm, ArmResult, ARMS, HEDGE_DEADLINE_NS, MULTIPLIER_PCT, SPINDLES,
+};
+use lfs_bench::{print_table, MetricsReport, Row};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut metrics = MetricsReport::new("fail_slow");
+    let mut failures: Vec<String> = Vec::new();
+
+    let results: Vec<ArmResult> = ARMS
+        .iter()
+        .map(|spec| run_arm(spec, smoke, &mut metrics))
+        .collect();
+    let arm = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.spec.name == name)
+            .expect("arm present")
+    };
+    let hedged = arm("hedged");
+    let nohedge = arm("nohedge");
+    let control = arm("control");
+
+    let headers: Vec<&str> = results.iter().map(|r| r.spec.name).collect();
+    let cfg = bench_cfg(smoke);
+    print_table(
+        &format!(
+            "fail-slow ({}x mid-run), {} clients x {} ops/phase, {SPINDLES} spindles \
+             (parity-segment), hedge deadline {} ms",
+            MULTIPLIER_PCT / 100,
+            cfg.clients,
+            cfg.ops_per_phase,
+            HEDGE_DEADLINE_NS / 1_000_000,
+        ),
+        "metric",
+        &headers,
+        &[
+            Row::new(
+                "healthy read p99 ms",
+                results
+                    .iter()
+                    .map(|r| format!("{:.1}", r.phase("healthy").read_p99_ns as f64 / 1e6))
+                    .collect(),
+            ),
+            Row::new(
+                "failslow read p99 ms",
+                results
+                    .iter()
+                    .map(|r| format!("{:.1}", r.phase("failslow").read_p99_ns as f64 / 1e6))
+                    .collect(),
+            ),
+            Row::new(
+                "failslow op p99 ms",
+                results
+                    .iter()
+                    .map(|r| format!("{:.1}", r.phase("failslow").p99_ns as f64 / 1e6))
+                    .collect(),
+            ),
+            Row::new(
+                "failslow ops/s",
+                results
+                    .iter()
+                    .map(|r| format!("{:.2}", r.phase("failslow").ops_per_sec()))
+                    .collect(),
+            ),
+            Row::new(
+                "hedges (wins)",
+                results
+                    .iter()
+                    .map(|r| format!("{} ({})", r.hedges, r.hedge_wins))
+                    .collect(),
+            ),
+            Row::new(
+                "evictions",
+                results.iter().map(|r| r.evictions.to_string()).collect(),
+            ),
+            Row::new(
+                "spares used",
+                results.iter().map(|r| r.spares_used.to_string()).collect(),
+            ),
+            Row::new(
+                "scrub clean",
+                results.iter().map(|r| r.scrub_clean.to_string()).collect(),
+            ),
+            Row::new(
+                "digest",
+                results
+                    .iter()
+                    .map(|r| format!("{:016x}", r.digest))
+                    .collect(),
+            ),
+        ],
+    );
+
+    // (a) Hedging bounds the fail-slow read tail: read p99 within 2x
+    // the healthy baseline — the control arm's same phase, same ops on
+    // a never-faulted array, so the only difference is the fault.
+    // (Reads are the shieldable half of an op — a write lands on every
+    // spindle and cannot be served from the survivors, so whole-op
+    // latency is not the hedge's claim.)
+    let hedged_ratio = hedged.phase("failslow").read_p99_ns as f64
+        / control.phase("failslow").read_p99_ns.max(1) as f64;
+    println!(
+        "\n  hedged failslow read p99 / control (no-fault) read p99 = {hedged_ratio:.2}x \
+         (bound 2.00x)"
+    );
+    if hedged_ratio > 2.0 {
+        failures.push(format!(
+            "hedged fail-slow read p99 is {hedged_ratio:.2}x the no-fault control (bound: 2x)"
+        ));
+    }
+
+    // (b) The baseline without hedging is worse — the protection is
+    // load-bearing.
+    let baseline_ratio = nohedge.phase("failslow").read_p99_ns as f64
+        / hedged.phase("failslow").read_p99_ns.max(1) as f64;
+    println!(
+        "  nohedge failslow read p99 / hedged failslow read p99 = {baseline_ratio:.2}x \
+         (need > 1.00x)"
+    );
+    if nohedge.phase("failslow").read_p99_ns <= hedged.phase("failslow").read_p99_ns {
+        failures.push(format!(
+            "the no-hedge arm's fail-slow read p99 ({} ns) is not worse than the hedged arm's \
+             ({} ns)",
+            nohedge.phase("failslow").read_p99_ns,
+            hedged.phase("failslow").read_p99_ns
+        ));
+    }
+
+    // (c) The hedged arm healed itself: one eviction, one spare, one
+    // completed rebuild, a clean scrub, and the control's namespace.
+    if hedged.evictions != 1 || hedged.spares_used != 1 || hedged.rebuilds_completed != 1 {
+        failures.push(format!(
+            "self-healing did not converge: {} evictions, {} spares used, {} rebuilds completed \
+             (want 1/1/1)",
+            hedged.evictions, hedged.spares_used, hedged.rebuilds_completed
+        ));
+    }
+    if !hedged.scrub_clean {
+        failures.push("post-failover scrub found damage".to_string());
+    }
+    for r in [hedged, nohedge] {
+        if r.digest != control.digest {
+            failures.push(format!(
+                "{} namespace digest {:016x} != control {:016x}",
+                r.spec.name, r.digest, control.digest
+            ));
+        }
+    }
+
+    // Vacuity guards: the mechanisms must actually have been exercised.
+    assert!(
+        hedged.hedges > 0,
+        "no read was ever reported overdue in the hedged arm"
+    );
+    assert!(
+        hedged.hedge_wins > 0,
+        "reconstruction never beat the slow spindle in the hedged arm"
+    );
+    assert!(
+        hedged.drain_steps + hedged.phase("failslow").rebuild_steps > 0,
+        "the hot-spare rebuild never stepped"
+    );
+    assert_eq!(
+        control.evictions, 0,
+        "the monitor evicted a spindle on healthy media"
+    );
+    assert_eq!(
+        control.degraded_reads, 0,
+        "the control arm must never serve a degraded read"
+    );
+    assert_eq!(
+        nohedge.evictions, 0,
+        "the unmonitored arm cannot evict anything"
+    );
+
+    println!(
+        "\nfail-slow is the failure RAID's error model misses: nothing faults, \
+         so nothing fails over, and one sick spindle owns the tail. Hedged \
+         reconstruction puts a price cap on every read (pay the survivors \
+         instead of waiting), and the health monitor turns the latency \
+         signature into an eviction + hot-spare rebuild with no operator in \
+         the loop."
+    );
+    metrics.emit();
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("fail_slow: FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -885,7 +885,8 @@ fn dry_run_rebuild(
         }
         if i == replace_at {
             fs.device()
-                .replace_spindle(REBUILD_DEAD_SPINDLE, rebuild_policy());
+                .replace_spindle(REBUILD_DEAD_SPINDLE, rebuild_policy())
+                .expect("replace a dead spindle");
         }
         let w0 = fs.disk_writes();
         match op {
@@ -945,7 +946,8 @@ fn crash_run_rebuild(fs: &mut Lfs<VolumeDisk>, ops: &[Op]) {
         }
         if i == replace_at {
             fs.device()
-                .replace_spindle(REBUILD_DEAD_SPINDLE, rebuild_policy());
+                .replace_spindle(REBUILD_DEAD_SPINDLE, rebuild_policy())
+                .expect("replace a dead spindle");
         }
         let r = match op {
             Op::Mkdir(path) => fs.mkdir(path).map(|_| ()),
@@ -1042,7 +1044,8 @@ pub fn sweep_rebuild(mode: SweepMode, spec: &SweepSpec, spindles: usize) -> Mode
         // persisting at the in-workload kill), so it is never read —
         // its logical contents are reconstructed from the survivors.
         dev.kill_spindle(REBUILD_DEAD_SPINDLE);
-        dev.replace_spindle(REBUILD_DEAD_SPINDLE, rebuild_policy());
+        dev.replace_spindle(REBUILD_DEAD_SPINDLE, rebuild_policy())
+            .expect("replace a dead spindle");
         let problems = match Lfs::mount(dev, rebuild_lfs_cfg(spindles), clock) {
             Ok(mut fs) => {
                 out.recovered += 1;

@@ -55,6 +55,13 @@ pub struct PhaseOutcome {
     pub p50_ns: u64,
     /// Exact 99th-percentile foreground operation latency.
     pub p99_ns: u64,
+    /// Exact median of the operations' *read* portion alone.
+    pub read_p50_ns: u64,
+    /// Exact 99th percentile of the operations' *read* portion alone —
+    /// the half of the op a hedged reconstruction can shield from a
+    /// fail-slow spindle (writes land on every spindle and cannot be
+    /// served from the survivors).
+    pub read_p99_ns: u64,
     /// Rebuild steps the driver's offers landed during the phase.
     pub rebuild_steps: u64,
 }
@@ -140,6 +147,7 @@ pub fn run_phase(
         .collect();
     let mut done_ops: Vec<usize> = vec![0; cfg.clients];
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.clients * ops_per_client);
+    let mut read_latencies: Vec<u64> = Vec::with_capacity(cfg.clients * ops_per_client);
     let mut rebuild_steps = 0u64;
 
     let total_ops = cfg.clients * ops_per_client;
@@ -186,6 +194,7 @@ pub fn run_phase(
         // Read one slot end-to-end (degraded: XOR reconstruction)...
         let read_slot = (op + 1) % cfg.slots_per_client;
         let data = fs.read_file(&slot_path(c, read_slot))?;
+        read_latencies.push(clock.now_ns() - before_ns);
         assert_eq!(data.len(), cfg.file_size, "slot changed size");
         // ...then overwrite another (parity from the write buffer).
         let write_slot = op % cfg.slots_per_client;
@@ -207,11 +216,14 @@ pub fn run_phase(
 
     let elapsed_ns = clock.now_ns() - start_ns;
     latencies.sort_unstable();
+    read_latencies.sort_unstable();
     Ok(PhaseOutcome {
         ops: total_ops as u64,
         elapsed_ns,
         p50_ns: percentile_ns(&latencies, 50.0),
         p99_ns: percentile_ns(&latencies, 99.0),
+        read_p50_ns: percentile_ns(&read_latencies, 50.0),
+        read_p99_ns: percentile_ns(&read_latencies, 99.0),
         rebuild_steps,
     })
 }

@@ -29,6 +29,7 @@
 //! | `trace_replay` | §4.3.5 — trace-driven multi-tenant replay with QoS |
 //! | `crash_sweep` | §4.4 — exhaustive crash/media-fault torture sweep |
 //! | `degraded_rebuild` | §3 parity claim — degraded reads and online rebuild |
+//! | `fail_slow` | fail-slow tolerance — hedged reads, health eviction, hot-spare failover |
 //!
 //! All measurements are **virtual time** from the shared [`sim_disk::Clock`]
 //! driven by the WREN IV disk model and the Sun-4/260 CPU model, so runs
@@ -36,6 +37,7 @@
 
 pub mod crash_sweep;
 pub mod degraded;
+pub mod fail_slow;
 pub mod interference;
 pub mod trace_replay;
 

@@ -13,6 +13,7 @@
 //! lfs-tools put   <image> <host-file> <path>   import a file
 //! lfs-tools rebuild <image> --spindles N --policy <parity> --degraded I
 //!                                              reconstruct a lost spindle
+//! lfs-tools status <image> --spindles N        per-spindle state and health
 //! ```
 //!
 //! Images are flat files; a missing image is created zero-filled by
@@ -34,6 +35,13 @@
 //! images back refuse. `rebuild` reconstructs the named spindle's image
 //! in full (the `<image>.sI` file may be stale or missing) and leaves
 //! the array healthy.
+//!
+//! `--hot-spare N` (parity arrays only) stocks N hot spares and arms
+//! the fail-slow health monitor for the duration of the command: a
+//! spindle the monitor evicts is swapped for a spare and rebuilt online
+//! with no operator action, exactly as a production mount would.
+//! `status` reports each spindle's serving state, the monitor's verdict
+//! (when one is armed), and its observed/model service-time inflation.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -44,11 +52,15 @@ use lfs_core::{Lfs, LfsConfig};
 use lfs_tools::image;
 use sim_disk::{BlockDevice, Clock, SimDisk};
 use vfs::FileSystem;
-use volume::{RebuildPolicy, RebuildProgress, StripePolicyKind, VolumeConfig, VolumeDisk};
+use volume::{
+    HealthPolicy, HealthState, RebuildPolicy, RebuildProgress, SpindleState, StripePolicyKind,
+    VolumeConfig, VolumeDisk,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lfs-tools <mkfs|fsck|verify|dumpfs|clean|ls|cat|put|rebuild> <image> [args...]\n\
+        "usage: lfs-tools <mkfs|fsck|verify|dumpfs|clean|ls|cat|put|rebuild|status> <image> \
+         [args...]\n\
          run with a subcommand; see crate docs for details"
     );
     ExitCode::from(2)
@@ -60,6 +72,7 @@ struct Opts {
     spindles: usize,
     policy: StripePolicyKind,
     degraded: Option<usize>,
+    hot_spares: usize,
     verbose: bool,
     target: usize,
     rest: Vec<String>,
@@ -72,6 +85,7 @@ fn parse(args: &[String]) -> Option<Opts> {
         spindles: 1,
         policy: StripePolicyKind::RrSegment,
         degraded: None,
+        hot_spares: 0,
         verbose: false,
         target: 8,
         rest: Vec::new(),
@@ -84,6 +98,7 @@ fn parse(args: &[String]) -> Option<Opts> {
             "--spindles" => opts.spindles = it.next()?.parse().ok().filter(|&n| n > 0)?,
             "--policy" => opts.policy = StripePolicyKind::parse(it.next()?)?,
             "--degraded" => opts.degraded = Some(it.next()?.parse().ok()?),
+            "--hot-spare" => opts.hot_spares = it.next()?.parse().ok()?,
             "--target" => opts.target = it.next()?.parse().ok()?,
             "-v" | "--verbose" => opts.verbose = true,
             _ => positional.push(arg.clone()),
@@ -197,6 +212,25 @@ fn apply_degraded(opts: &Opts, dev: &VolumeDisk) -> Result<(), String> {
     Ok(())
 }
 
+/// Stocks `--hot-spare N` spares and arms the default fail-slow health
+/// monitor on a parity mount, so an eviction during the command swaps a
+/// spare in and rebuilds online — the production automation, available
+/// from the CLI.
+fn apply_hot_spares(opts: &Opts, dev: &VolumeDisk) -> Result<(), String> {
+    if opts.hot_spares == 0 {
+        return Ok(());
+    }
+    if !opts.policy.is_parity() {
+        return Err(format!(
+            "--hot-spare needs a parity policy; '{}' cannot rebuild a replacement",
+            opts.policy
+        ));
+    }
+    dev.set_health_policy(HealthPolicy::default());
+    dev.set_hot_spares(opts.hot_spares);
+    Ok(())
+}
+
 struct StripedImages;
 
 impl Backing for StripedImages {
@@ -210,6 +244,7 @@ impl Backing for StripedImages {
         )
         .map_err(|e| e.to_string())?;
         apply_degraded(opts, &dev)?;
+        apply_hot_spares(opts, &dev)?;
         Ok(dev)
     }
 
@@ -240,6 +275,9 @@ fn run() -> Result<(), String> {
 
     if command == "rebuild" {
         return cmd_rebuild(&opts);
+    }
+    if command == "status" {
+        return cmd_status(&opts);
     }
     if opts.spindles == 1 {
         run_cmd(&command, &opts, SingleImage)
@@ -277,7 +315,8 @@ fn cmd_rebuild(opts: &Opts) -> Result<(), String> {
         RebuildPolicy::default()
             .with_idle_queue_depth(None)
             .with_max_step_rows(64),
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let rows = dev
         .volume()
         .borrow()
@@ -297,6 +336,47 @@ fn cmd_rebuild(opts: &Opts) -> Result<(), String> {
     let chunk_kb = striped_config(opts)?.chunk_bytes as u64 / 1024;
     println!("rebuilt spindle {i}: {rows} chunk rows ({} KB) reconstructed from parity", rows * chunk_kb);
     image::save_striped(&opts.image, dev).map_err(|e| e.to_string())
+}
+
+/// `status <image> --spindles N [--policy P] [--degraded I] [--hot-spare N]`:
+/// per-spindle serving state, the health monitor's verdict when one is
+/// armed (`--hot-spare` arms it), and the observed/model service-time
+/// inflation the verdict is based on.
+fn cmd_status(opts: &Opts) -> Result<(), String> {
+    if opts.spindles < 2 {
+        return Err("status: needs a striped array (--spindles > 1)".into());
+    }
+    let dev = StripedImages.load(opts)?;
+    let vol = dev.volume().borrow();
+    println!(
+        "{} spindles, policy {}, {} hot spare(s) stocked",
+        opts.spindles,
+        opts.policy,
+        vol.hot_spares()
+    );
+    for i in 0..opts.spindles {
+        let serving = match vol.spindle_state(i) {
+            SpindleState::Online => "online",
+            SpindleState::Dead => "dead",
+            SpindleState::Rebuilding => "rebuilding",
+        };
+        let verdict = match vol.health_state(i) {
+            Some(HealthState::Healthy) => "healthy",
+            Some(HealthState::Suspect) => "suspect",
+            Some(HealthState::Evicted) => "evicted",
+            None => "unmonitored",
+        };
+        match vol.health_inflation_millis(i) {
+            Some(0) => println!("  spindle {i}: {serving:<10} {verdict:<11} inflation - (no samples)"),
+            Some(m) => println!(
+                "  spindle {i}: {serving:<10} {verdict:<11} inflation {}.{:03}x",
+                m / 1000,
+                m % 1000
+            ),
+            None => println!("  spindle {i}: {serving:<10} {verdict}"),
+        }
+    }
+    Ok(())
 }
 
 fn run_cmd<B: Backing>(command: &str, opts: &Opts, backing: B) -> Result<(), String> {

@@ -237,6 +237,54 @@ fn striped_mkfs_put_verify_round_trip() {
 }
 
 #[test]
+fn status_reports_health_and_hot_spares() {
+    let dir = tmpdir("status");
+    let image = dir.join("vol.img");
+    let image = image.to_str().unwrap();
+    let base = ["--size-mb", "8", "--spindles", "3", "--policy", "parity-segment"];
+
+    let args: Vec<&str> = ["mkfs", image].iter().chain(&base).copied().collect();
+    run_ok(&args);
+
+    // Unmonitored by default: serving state only.
+    let args: Vec<&str> = ["status", image].iter().chain(&base).copied().collect();
+    let out = run_ok(&args);
+    assert!(out.contains("0 hot spare(s) stocked"), "{out}");
+    assert!(out.contains("spindle 2: online     unmonitored"), "{out}");
+
+    // --hot-spare arms the monitor and stocks the spare.
+    let args: Vec<&str> = ["status", image]
+        .iter()
+        .chain(&base)
+        .chain(&["--hot-spare", "1"])
+        .copied()
+        .collect();
+    let out = run_ok(&args);
+    assert!(out.contains("1 hot spare(s) stocked"), "{out}");
+    assert!(out.contains("healthy"), "{out}");
+
+    // A degraded mount shows the dead spindle.
+    let args: Vec<&str> = ["status", image]
+        .iter()
+        .chain(&base)
+        .chain(&["--degraded", "1"])
+        .copied()
+        .collect();
+    let out = run_ok(&args);
+    assert!(out.contains("spindle 1: dead"), "{out}");
+
+    // Hot spares need redundancy to rebuild from.
+    let out = run(&[
+        "status", image, "--size-mb", "8", "--spindles", "3", "--hot-spare", "1",
+    ]);
+    assert!(!out.status.success(), "--hot-spare on rr-segment must fail");
+
+    // status is an array command.
+    let out = run(&["status", image, "--size-mb", "8"]);
+    assert!(!out.status.success(), "status on a single image must fail");
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     assert!(!run(&[]).status.success());
     assert!(!run(&["frobnicate", "/nonexistent.img"]).status.success());

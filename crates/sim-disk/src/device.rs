@@ -28,6 +28,12 @@ pub enum DiskError {
         /// First faulted sector in the failed request.
         sector: u64,
     },
+    /// The operation is not valid for the device's current
+    /// configuration or state — an operator-misuse error (e.g. asking a
+    /// RAID-0 volume to rebuild, or resyncing parity on a degraded
+    /// assembly). The request was rejected before touching any media;
+    /// the device keeps servicing everything else.
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for DiskError {
@@ -51,6 +57,7 @@ impl fmt::Display for DiskError {
             DiskError::Unreadable { sector } => {
                 write!(f, "media error: sector {sector} is unreadable")
             }
+            DiskError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
         }
     }
 }
@@ -185,5 +192,9 @@ mod tests {
         };
         assert!(err.to_string().contains("exceeds device capacity"));
         assert!(DiskError::Crashed.to_string().contains("crashed"));
+        assert_eq!(
+            DiskError::Unsupported("no parity").to_string(),
+            "unsupported operation: no parity"
+        );
     }
 }

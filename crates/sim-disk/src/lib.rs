@@ -61,7 +61,7 @@ pub mod stats;
 
 pub use clock::{Clock, CpuCost, CpuModel};
 pub use device::{check_request, BlockDevice, DiskError, DiskResult};
-pub use fault::{CrashPlan, FaultMode, MediaFault, MediaFaultPlan};
+pub use fault::{CrashPlan, FailSlowProfile, FaultMode, MediaFault, MediaFaultPlan};
 pub use geometry::DiskGeometry;
 pub use ram::RamDisk;
 pub use sim::{IoCompletion, SimDisk, SubmittedIo};

@@ -35,6 +35,7 @@ struct DiskObs {
     seek_ns: Counter,
     rotation_ns: Counter,
     transfer_ns: Counter,
+    stall_ns: Counter,
     queue_wait_ns: Counter,
     coalesced: Counter,
     faults_unreadable: Counter,
@@ -62,6 +63,7 @@ impl DiskObs {
             seek_ns: registry.counter(&n("disk.seek_ns")),
             rotation_ns: registry.counter(&n("disk.rotation_ns")),
             transfer_ns: registry.counter(&n("disk.transfer_ns")),
+            stall_ns: registry.counter(&n("disk.stall_ns")),
             queue_wait_ns: registry.counter(&n("disk.queue_wait_ns")),
             coalesced: registry.counter(&n("disk.coalesced_writes")),
             faults_unreadable: registry.counter(&n("faults.unreadable_reads")),
@@ -90,6 +92,7 @@ impl DiskObs {
         self.seek_ns = registry.adopt_counter(&n("disk.seek_ns"), &self.seek_ns);
         self.rotation_ns = registry.adopt_counter(&n("disk.rotation_ns"), &self.rotation_ns);
         self.transfer_ns = registry.adopt_counter(&n("disk.transfer_ns"), &self.transfer_ns);
+        self.stall_ns = registry.adopt_counter(&n("disk.stall_ns"), &self.stall_ns);
         self.queue_wait_ns = registry.adopt_counter(&n("disk.queue_wait_ns"), &self.queue_wait_ns);
         self.coalesced = registry.adopt_counter(&n("disk.coalesced_writes"), &self.coalesced);
         self.faults_unreadable =
@@ -176,7 +179,8 @@ pub struct IoCompletion {
     pub start_ns: u64,
     /// Virtual time at which service finished.
     pub finish_ns: u64,
-    /// Head time consumed (seek + rotation + transfer).
+    /// Head time consumed (seek + rotation + transfer, plus any
+    /// fail-slow stall the media charged).
     pub service_ns: u64,
     /// Time spent waiting in the queue (`start_ns - submitted_at_ns`).
     pub wait_ns: u64,
@@ -196,6 +200,7 @@ struct Serviced {
     seek_ns: u64,
     rotation_ns: u64,
     transfer_ns: u64,
+    stall_ns: u64,
     sequential: bool,
 }
 
@@ -466,7 +471,8 @@ impl SimDisk {
         let issued_at = self.clock.now_ns();
         let start = self.busy_until_ns.max(issued_at);
         let (seek_ns, rotation_ns, transfer_ns, sequential) = self.service(sector, bytes);
-        self.busy_until_ns = start + seek_ns + rotation_ns + transfer_ns;
+        let stall_ns = self.latency_fault_ns(start, seek_ns + rotation_ns + transfer_ns, sector);
+        self.busy_until_ns = start + seek_ns + rotation_ns + transfer_ns + stall_ns;
         if sync {
             self.clock.advance_to_ns(self.busy_until_ns);
         }
@@ -479,9 +485,51 @@ impl SimDisk {
             seek_ns,
             rotation_ns,
             transfer_ns,
+            stall_ns,
             sequential,
         });
-        (seek_ns + rotation_ns + transfer_ns, sequential)
+        (seek_ns + rotation_ns + transfer_ns + stall_ns, sequential)
+    }
+
+    /// Extra latency the armed fail-slow schedule charges a request whose
+    /// service starts at `start_ns` (0 when none is armed).
+    fn latency_fault_ns(&self, start_ns: u64, base_service_ns: u64, sector: u64) -> u64 {
+        self.media_faults
+            .as_ref()
+            .map_or(0, |p| p.latency_extra_ns(start_ns, base_service_ns, sector))
+    }
+
+    /// What the mechanical model alone — seek + rotation + transfer
+    /// from the current head position, the drive's "datasheet" cost —
+    /// says a request of `bytes` at `sector` should take, ignoring any
+    /// armed latency faults. This is the healthy-expectation baseline a
+    /// fail-slow detector divides observed service time by: absolute
+    /// latency cannot separate a sequential read on a sick drive from a
+    /// long random read on a healthy one, but the ratio to this model
+    /// can.
+    pub fn estimate_base_service_ns(&self, sector: u64, bytes: u64) -> u64 {
+        let sequential = sector == self.head;
+        let (seek, rotation) = if sequential {
+            (0, 0)
+        } else {
+            let distance = sector.abs_diff(self.head);
+            (
+                self.geometry.seek_ns(distance),
+                self.geometry.avg_rotational_latency_ns(),
+            )
+        };
+        seek + rotation + self.geometry.transfer_ns(bytes)
+    }
+
+    /// Non-mutating estimate of what servicing a request of `bytes` at
+    /// `sector` would cost if the head picked it up once the device goes
+    /// idle (or at `start_ns`, whichever is later), including any armed
+    /// fail-slow penalty. The head does not move and nothing is
+    /// accounted — this is the engine's crystal ball for hedging
+    /// decisions, and it is exact when the request is serviced next.
+    pub fn estimate_service_ns(&self, start_ns: u64, sector: u64, bytes: u64) -> u64 {
+        let base = self.estimate_base_service_ns(sector, bytes);
+        base + self.latency_fault_ns(start_ns, base, sector)
     }
 
     /// Records one serviced request into stats, obs, and the trace.
@@ -493,15 +541,17 @@ impl SimDisk {
     /// accounted separately ([`IoStats::queue_wait_ns`]) and never counts
     /// as busy time, so overlapped queueing cannot double-count service.
     fn record_serviced(&mut self, s: Serviced) {
-        let service_ns = s.seek_ns + s.rotation_ns + s.transfer_ns;
+        let service_ns = s.seek_ns + s.rotation_ns + s.transfer_ns + s.stall_ns;
         self.stats.busy_ns += service_ns;
         self.stats.seek_ns += s.seek_ns;
         self.stats.rotation_ns += s.rotation_ns;
         self.stats.transfer_ns += s.transfer_ns;
+        self.stats.stall_ns += s.stall_ns;
         self.obs.busy_ns.add(service_ns);
         self.obs.seek_ns.add(s.seek_ns);
         self.obs.rotation_ns.add(s.rotation_ns);
         self.obs.transfer_ns.add(s.transfer_ns);
+        self.obs.stall_ns.add(s.stall_ns);
         if s.sequential {
             self.stats.sequential += 1;
             self.obs.sequential.inc();
@@ -822,7 +872,9 @@ impl SimDisk {
         let start_ns = self.busy_until_ns.max(req.submitted_at_ns);
         let wait_ns = start_ns - req.submitted_at_ns;
         let (seek_ns, rotation_ns, transfer_ns, sequential) = self.service(req.sector, req.bytes);
-        let service_ns = seek_ns + rotation_ns + transfer_ns;
+        let stall_ns =
+            self.latency_fault_ns(start_ns, seek_ns + rotation_ns + transfer_ns, req.sector);
+        let service_ns = seek_ns + rotation_ns + transfer_ns + stall_ns;
         let finish_ns = start_ns + service_ns;
         self.busy_until_ns = finish_ns;
 
@@ -853,6 +905,7 @@ impl SimDisk {
             seek_ns,
             rotation_ns,
             transfer_ns,
+            stall_ns,
             sequential,
         });
 
@@ -1264,6 +1317,69 @@ mod tests {
         let r2 = disk.submit_read(12, SECTOR_SIZE).unwrap();
         let done2 = disk.complete(r2, true).unwrap();
         assert_ne!(done2.data.as_deref(), Some(&vec![4; SECTOR_SIZE][..]), "rot corrupts queued reads too");
+    }
+
+    #[test]
+    fn fail_slow_inflates_service_and_accounts_stall_separately() {
+        use crate::fault::FailSlowProfile;
+        let mut disk = small_disk();
+        let buf = vec![0; SECTOR_SIZE];
+        // Healthy baseline: a random single-sector write, seek distance
+        // 100 (head starts at 0).
+        disk.write(100, &buf, true).unwrap();
+        let healthy_ns = disk.clock().now_ns();
+        assert_eq!(disk.stats().stall_ns, 0, "healthy media never stalls");
+
+        // 4x multiplier from now on: the same shape of request takes 4x.
+        disk.inject_media_faults(MediaFaultPlan::new(0).fail_slow(
+            FailSlowProfile::at(disk.clock().now_ns()).with_multiplier_pct(400),
+        ));
+        let before = disk.clock().now_ns();
+        // Head is at 101; sector 201 repeats the same 100-sector seek.
+        disk.write(201, &buf, true).unwrap();
+        let slow_ns = disk.clock().now_ns() - before;
+        // Identical seek distance, rotation, and transfer, so the 4x
+        // shows through exactly.
+        assert_eq!(slow_ns, 4 * healthy_ns);
+
+        let stats = disk.stats();
+        assert_eq!(stats.stall_ns, 3 * healthy_ns, "the extra 3x is stall");
+        // The busy decomposition stays exact with the stall component.
+        assert_eq!(
+            stats.seek_ns + stats.rotation_ns + stats.transfer_ns + stats.stall_ns,
+            stats.busy_ns
+        );
+        let snap = disk.obs().snapshot();
+        assert_eq!(snap.counter("disk.stall_ns"), stats.stall_ns);
+        assert_eq!(
+            snap.counter("disk.seek_ns")
+                + snap.counter("disk.rotation_ns")
+                + snap.counter("disk.transfer_ns")
+                + snap.counter("disk.stall_ns"),
+            snap.counter("disk.busy_ns")
+        );
+    }
+
+    #[test]
+    fn fail_slow_applies_on_the_submit_complete_path_and_estimate_is_exact() {
+        use crate::fault::FailSlowProfile;
+        let mut disk = small_disk();
+        disk.write(10, &vec![6; SECTOR_SIZE], true).unwrap();
+        disk.inject_media_faults(
+            MediaFaultPlan::new(0)
+                .fail_slow(FailSlowProfile::at(0).with_multiplier_pct(300).with_stalls(
+                    1_000_000_000,
+                    1_000_000,
+                )),
+        );
+        let id = disk.submit_read(10, SECTOR_SIZE).unwrap();
+        // The estimate sees the same start time complete() will use.
+        let start = disk.busy_until_ns().max(disk.clock().now_ns());
+        let est = disk.estimate_service_ns(start, 10, SECTOR_SIZE as u64);
+        let done = disk.complete(id, true).unwrap();
+        assert_eq!(done.service_ns, est, "estimate is exact for the next request");
+        assert!(disk.stats().stall_ns > 0);
+        assert_eq!(done.data.as_deref(), Some(&vec![6; SECTOR_SIZE][..]));
     }
 
     #[test]

@@ -115,6 +115,10 @@ pub struct IoStats {
     pub rotation_ns: u64,
     /// Busy time spent transferring data (ns).
     pub transfer_ns: u64,
+    /// Busy time charged by an armed fail-slow latency fault (ns) — the
+    /// head held hostage by a sick drive, not by real work. Zero on
+    /// healthy media.
+    pub stall_ns: u64,
     /// Time requests spent waiting in the device queue before service (ns).
     ///
     /// Only the asynchronous submit/complete path accumulates queue wait;
@@ -160,6 +164,7 @@ impl IoStats {
             seek_ns: self.seek_ns - earlier.seek_ns,
             rotation_ns: self.rotation_ns - earlier.rotation_ns,
             transfer_ns: self.transfer_ns - earlier.transfer_ns,
+            stall_ns: self.stall_ns - earlier.stall_ns,
             queue_wait_ns: self.queue_wait_ns - earlier.queue_wait_ns,
             coalesced: self.coalesced - earlier.coalesced,
         }
@@ -233,10 +238,11 @@ mod tests {
             sequential: 1,
             bytes_read: 512,
             bytes_written: 1024,
-            busy_ns: 100,
+            busy_ns: 105,
             seek_ns: 50,
             rotation_ns: 30,
             transfer_ns: 20,
+            stall_ns: 5,
             queue_wait_ns: 10,
             coalesced: 1,
         };
@@ -248,10 +254,11 @@ mod tests {
             sequential: 2,
             bytes_read: 2048,
             bytes_written: 4096,
-            busy_ns: 1_000,
+            busy_ns: 1_015,
             seek_ns: 500,
             rotation_ns: 300,
             transfer_ns: 200,
+            stall_ns: 15,
             queue_wait_ns: 40,
             coalesced: 3,
         };
@@ -261,9 +268,10 @@ mod tests {
         assert_eq!(delta.random(), 4);
         assert_eq!(delta.bytes_total(), 1536 + 3072);
         assert_eq!(
-            delta.seek_ns + delta.rotation_ns + delta.transfer_ns,
+            delta.seek_ns + delta.rotation_ns + delta.transfer_ns + delta.stall_ns,
             delta.busy_ns
         );
+        assert_eq!(delta.stall_ns, 10);
         assert_eq!(delta.queue_wait_ns, 30);
         assert_eq!(delta.coalesced, 2);
     }

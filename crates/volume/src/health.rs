@@ -1,0 +1,429 @@
+//! Fail-slow spindle health monitoring.
+//!
+//! A disk rarely announces that it is dying: it gets *slow* first —
+//! remapped sectors, recalibration storms, vibration — while still
+//! returning correct data. A parity volume that waits for a hard
+//! failure lets one limping spindle set the latency of every stripe it
+//! touches.
+//!
+//! Absolute latency cannot diagnose this: a sequential read on a sick
+//! drive can be cheaper than a long random read on a healthy one, so
+//! any fixed latency SLO either misses the former or slanders the
+//! latter. The discriminating signal is **service-time inflation** —
+//! the ratio of a request's observed service time to what the drive's
+//! own mechanical model (seek + rotation + transfer for *that* request)
+//! says it should cost. A healthy drive holds inflation at 1.0x
+//! whatever the access pattern; a fail-slow drive inflates every
+//! request by its degradation factor.
+//!
+//! The [`HealthMonitor`] tracks each spindle's inflation (per-mille
+//! EWMA against [`HealthPolicy::slo_inflation_millis`]) and a sliding
+//! window of media errors, and walks a healthy → suspect → evicted
+//! state machine with hysteresis on both edges:
+//!
+//! * A spindle becomes **suspect** after [`HealthPolicy::suspect_after`]
+//!   consecutive breaches (inflation EWMA over the SLO, or too many
+//!   errors in the window).
+//! * A suspect spindle **recovers** after
+//!   [`HealthPolicy::recover_after`] consecutive clean observations —
+//!   a transient stall is forgiven.
+//! * A suspect spindle that keeps breaching for
+//!   [`HealthPolicy::evict_after`] more observations is **evicted**:
+//!   [`crate::StripedVolume`] kills it and, when a hot spare is
+//!   configured, swaps the spare in and starts the online rebuild with
+//!   zero operator actions.
+//!
+//! All arithmetic is integer (per-mille ratios and EWMA weights), so
+//! verdicts are bit-for-bit deterministic.
+
+use std::collections::VecDeque;
+
+/// The health verdict on one spindle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Inflation and error rate within the SLO.
+    Healthy,
+    /// Breaching, but not long enough to act on — still serving.
+    Suspect,
+    /// Breached past the hysteresis: the volume has routed around it.
+    Evicted,
+}
+
+/// A state-machine transition reported by [`HealthMonitor::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// The spindle crossed into [`HealthState::Suspect`].
+    Suspected(usize),
+    /// A suspect spindle cleared the SLO long enough to be forgiven.
+    Recovered(usize),
+    /// The spindle crossed into [`HealthState::Evicted`]; the volume
+    /// should kill it and fail over to a hot spare.
+    Evicted(usize),
+}
+
+/// Thresholds and hysteresis for the health state machine.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// EWMA weight of the newest inflation sample, in per-mille
+    /// (`200` = the newest sample contributes 20%).
+    pub ewma_alpha_millis: u64,
+    /// Inflation SLO, in per-mille of the model-expected service time:
+    /// the EWMA breaching this is a strike. `2000` = sustained 2x the
+    /// mechanical model.
+    pub slo_inflation_millis: u64,
+    /// Length of the sliding per-spindle error window (observations).
+    pub error_window: usize,
+    /// More than this many errors inside the window is a strike even
+    /// when inflation looks fine.
+    pub max_window_errors: u32,
+    /// Consecutive strikes to go healthy → suspect.
+    pub suspect_after: u32,
+    /// Consecutive strikes *while suspect* to go suspect → evicted.
+    pub evict_after: u32,
+    /// Consecutive clean observations to go suspect → healthy.
+    pub recover_after: u32,
+    /// Observations before any verdict — the EWMA needs a baseline.
+    pub min_observations: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            ewma_alpha_millis: 200,
+            slo_inflation_millis: 2000,
+            error_window: 16,
+            max_window_errors: 2,
+            suspect_after: 3,
+            evict_after: 5,
+            recover_after: 8,
+            min_observations: 8,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Replaces the EWMA weight of the newest sample (per-mille).
+    pub fn with_ewma_alpha_millis(mut self, millis: u64) -> Self {
+        self.ewma_alpha_millis = millis.min(1000);
+        self
+    }
+
+    /// Replaces the inflation SLO (per-mille of the model-expected
+    /// service time).
+    pub fn with_slo_inflation_millis(mut self, millis: u64) -> Self {
+        self.slo_inflation_millis = millis;
+        self
+    }
+
+    /// Replaces the error window length and its strike threshold.
+    pub fn with_error_window(mut self, window: usize, max_errors: u32) -> Self {
+        self.error_window = window.max(1);
+        self.max_window_errors = max_errors;
+        self
+    }
+
+    /// Replaces the healthy → suspect hysteresis.
+    pub fn with_suspect_after(mut self, strikes: u32) -> Self {
+        self.suspect_after = strikes.max(1);
+        self
+    }
+
+    /// Replaces the suspect → evicted hysteresis.
+    pub fn with_evict_after(mut self, strikes: u32) -> Self {
+        self.evict_after = strikes.max(1);
+        self
+    }
+
+    /// Replaces the suspect → healthy hysteresis.
+    pub fn with_recover_after(mut self, clears: u32) -> Self {
+        self.recover_after = clears.max(1);
+        self
+    }
+
+    /// Replaces the warmup observation count.
+    pub fn with_min_observations(mut self, n: u64) -> Self {
+        self.min_observations = n;
+        self
+    }
+}
+
+/// Per-spindle tracker state.
+#[derive(Debug, Clone)]
+struct Tracker {
+    state: HealthState,
+    /// EWMA of observed service-time inflation, in per-mille of the
+    /// model expectation; `None` until the first sample.
+    ewma_millis: Option<u64>,
+    observations: u64,
+    errors: VecDeque<bool>,
+    window_errors: u32,
+    breach_streak: u32,
+    clear_streak: u32,
+}
+
+impl Tracker {
+    fn fresh() -> Self {
+        Self {
+            state: HealthState::Healthy,
+            ewma_millis: None,
+            observations: 0,
+            errors: VecDeque::new(),
+            window_errors: 0,
+            breach_streak: 0,
+            clear_streak: 0,
+        }
+    }
+}
+
+/// Watches every spindle of a striped volume and issues
+/// [`HealthEvent`]s as spindles cross the state machine's edges.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    policy: HealthPolicy,
+    trackers: Vec<Tracker>,
+}
+
+impl HealthMonitor {
+    /// A monitor over `spindles` drives, all starting healthy.
+    pub fn new(spindles: usize, policy: HealthPolicy) -> Self {
+        Self {
+            policy,
+            trackers: vec![Tracker::fresh(); spindles],
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Current verdict on spindle `i`.
+    pub fn state(&self, i: usize) -> HealthState {
+        self.trackers[i].state
+    }
+
+    /// Smoothed service-time inflation of spindle `i`, in per-mille of
+    /// the model expectation (0 before any sample; 1000 = on-model).
+    pub fn ewma_inflation_millis(&self, i: usize) -> u64 {
+        self.trackers[i].ewma_millis.unwrap_or(0)
+    }
+
+    /// Forgets everything about spindle `i` — called when a replacement
+    /// finishes rebuilding and comes online, so the new drive is not
+    /// judged on its predecessor's record.
+    pub fn reset(&mut self, i: usize) {
+        self.trackers[i] = Tracker::fresh();
+    }
+
+    /// Feeds one serviced request on spindle `i`: its observed service
+    /// time against what the drive's mechanical model says that request
+    /// should cost. Returns the transition this observation caused, if
+    /// any. Evicted spindles are no longer judged (the volume already
+    /// routed around them); [`HealthMonitor::reset`] rearms them after
+    /// a rebuild.
+    pub fn observe(
+        &mut self,
+        i: usize,
+        observed_ns: u64,
+        expected_ns: u64,
+    ) -> Option<HealthEvent> {
+        let inflation =
+            ((observed_ns as u128 * 1000) / (expected_ns.max(1) as u128)).min(u64::MAX as u128);
+        self.ingest(i, inflation as u64, false)
+    }
+
+    /// Feeds one media-error completion on spindle `i`. The error is
+    /// inflation-neutral — it is scored against the error window at the
+    /// spindle's current inflation EWMA, so a burst of errors cannot
+    /// mask (or fake) a latency breach.
+    pub fn observe_error(&mut self, i: usize) -> Option<HealthEvent> {
+        let at = self.trackers[i].ewma_millis.unwrap_or(1000);
+        self.ingest(i, at, true)
+    }
+
+    fn ingest(&mut self, i: usize, inflation_millis: u64, error: bool) -> Option<HealthEvent> {
+        let policy = self.policy;
+        let t = &mut self.trackers[i];
+        if t.state == HealthState::Evicted {
+            return None;
+        }
+        t.observations += 1;
+        t.ewma_millis = Some(match t.ewma_millis {
+            None => inflation_millis,
+            Some(prev) => {
+                let a = policy.ewma_alpha_millis as u128;
+                (((inflation_millis as u128) * a + (prev as u128) * (1000 - a)) / 1000) as u64
+            }
+        });
+        t.errors.push_back(error);
+        if error {
+            t.window_errors += 1;
+        }
+        while t.errors.len() > policy.error_window {
+            if t.errors.pop_front() == Some(true) {
+                t.window_errors -= 1;
+            }
+        }
+        let warmed = t.observations >= policy.min_observations;
+        let breach = warmed
+            && (t.ewma_millis.unwrap_or(0) > policy.slo_inflation_millis
+                || t.window_errors > policy.max_window_errors);
+        if breach {
+            t.breach_streak += 1;
+            t.clear_streak = 0;
+        } else {
+            t.clear_streak += 1;
+            t.breach_streak = 0;
+        }
+        match t.state {
+            HealthState::Healthy if t.breach_streak >= policy.suspect_after => {
+                t.state = HealthState::Suspect;
+                // Eviction counts strikes accumulated *as a suspect*.
+                t.breach_streak = 0;
+                Some(HealthEvent::Suspected(i))
+            }
+            HealthState::Suspect if t.breach_streak >= policy.evict_after => {
+                t.state = HealthState::Evicted;
+                Some(HealthEvent::Evicted(i))
+            }
+            HealthState::Suspect if t.clear_streak >= policy.recover_after => {
+                t.state = HealthState::Healthy;
+                Some(HealthEvent::Recovered(i))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One model-expected unit, for readable observed/expected pairs.
+    const EXPECTED: u64 = 1_000_000;
+
+    fn quick_policy() -> HealthPolicy {
+        HealthPolicy::default()
+            .with_ewma_alpha_millis(1000) // newest sample only: no smoothing lag
+            .with_slo_inflation_millis(2000)
+            .with_suspect_after(2)
+            .with_evict_after(3)
+            .with_recover_after(2)
+            .with_min_observations(1)
+    }
+
+    #[test]
+    fn healthy_spindle_never_transitions() {
+        let mut mon = HealthMonitor::new(2, quick_policy());
+        for _ in 0..100 {
+            assert_eq!(mon.observe(0, EXPECTED, EXPECTED), None);
+        }
+        assert_eq!(mon.ewma_inflation_millis(0), 1000, "on-model is 1.0x");
+        assert_eq!(mon.state(0), HealthState::Healthy);
+        assert_eq!(mon.state(1), HealthState::Healthy, "unobserved stays healthy");
+    }
+
+    #[test]
+    fn inflation_breaches_walk_suspect_then_evicted_with_hysteresis() {
+        let mut mon = HealthMonitor::new(1, quick_policy());
+        let slow = 5 * EXPECTED;
+        assert_eq!(mon.observe(0, slow, EXPECTED), None, "one strike is not enough");
+        assert_eq!(mon.observe(0, slow, EXPECTED), Some(HealthEvent::Suspected(0)));
+        assert_eq!(mon.state(0), HealthState::Suspect);
+        // Eviction needs evict_after = 3 more strikes from the suspect edge.
+        assert_eq!(mon.observe(0, slow, EXPECTED), None);
+        assert_eq!(mon.observe(0, slow, EXPECTED), None);
+        assert_eq!(mon.observe(0, slow, EXPECTED), Some(HealthEvent::Evicted(0)));
+        assert_eq!(mon.state(0), HealthState::Evicted);
+        // Evicted spindles are no longer judged.
+        assert_eq!(mon.observe(0, 1, EXPECTED), None);
+        assert_eq!(mon.state(0), HealthState::Evicted);
+    }
+
+    #[test]
+    fn inflation_is_judged_relative_to_the_request_shape() {
+        // A long request on a healthy drive (expensive but on-model)
+        // must not look sicker than a short request served at 5x.
+        let mut mon = HealthMonitor::new(2, quick_policy());
+        for _ in 0..10 {
+            // 100x the absolute latency, but exactly what the model
+            // predicts for that request: inflation 1.0x.
+            assert_eq!(mon.observe(0, 100 * EXPECTED, 100 * EXPECTED), None);
+        }
+        assert_eq!(mon.state(0), HealthState::Healthy);
+        // Cheap requests at 5x the model: absolute latency is tiny,
+        // inflation is flagrant.
+        mon.observe(1, EXPECTED / 20, EXPECTED / 100);
+        assert_eq!(
+            mon.observe(1, EXPECTED / 20, EXPECTED / 100),
+            Some(HealthEvent::Suspected(1))
+        );
+    }
+
+    #[test]
+    fn a_transient_stall_is_forgiven() {
+        let mut mon = HealthMonitor::new(1, quick_policy());
+        let slow = 5 * EXPECTED;
+        mon.observe(0, slow, EXPECTED);
+        assert_eq!(mon.observe(0, slow, EXPECTED), Some(HealthEvent::Suspected(0)));
+        assert_eq!(mon.observe(0, EXPECTED, EXPECTED), None);
+        assert_eq!(
+            mon.observe(0, EXPECTED, EXPECTED),
+            Some(HealthEvent::Recovered(0))
+        );
+        assert_eq!(mon.state(0), HealthState::Healthy);
+        // The recovery cleared the strike count: suspicion starts over.
+        assert_eq!(mon.observe(0, slow, EXPECTED), None);
+        assert_eq!(mon.observe(0, slow, EXPECTED), Some(HealthEvent::Suspected(0)));
+    }
+
+    #[test]
+    fn error_rate_breaches_without_inflation() {
+        let policy = quick_policy().with_error_window(4, 1);
+        let mut mon = HealthMonitor::new(1, policy);
+        assert_eq!(mon.observe_error(0), None, "1 error in window: allowed");
+        assert_eq!(mon.observe_error(0), None, "2 errors: first strike");
+        assert_eq!(mon.observe_error(0), Some(HealthEvent::Suspected(0)));
+        assert_eq!(
+            mon.ewma_inflation_millis(0),
+            1000,
+            "errors are inflation-neutral"
+        );
+        // The window slides: old errors age out and the streak clears.
+        for _ in 0..4 {
+            mon.observe(0, EXPECTED, EXPECTED);
+        }
+        assert_eq!(mon.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn warmup_defers_judgement_and_reset_rearms_it() {
+        let policy = quick_policy().with_min_observations(10);
+        let mut mon = HealthMonitor::new(1, policy);
+        let slow = 5 * EXPECTED;
+        for _ in 0..9 {
+            assert_eq!(mon.observe(0, slow, EXPECTED), None, "still warming up");
+        }
+        assert_eq!(mon.state(0), HealthState::Healthy);
+        mon.observe(0, slow, EXPECTED);
+        assert_eq!(mon.observe(0, slow, EXPECTED), Some(HealthEvent::Suspected(0)));
+        mon.reset(0);
+        assert_eq!(mon.state(0), HealthState::Healthy);
+        assert_eq!(mon.ewma_inflation_millis(0), 0);
+        for _ in 0..9 {
+            assert_eq!(mon.observe(0, slow, EXPECTED), None, "warmup restarted");
+        }
+    }
+
+    #[test]
+    fn ewma_smooths_with_integer_per_mille_weights() {
+        let policy = HealthPolicy::default().with_ewma_alpha_millis(500);
+        let mut mon = HealthMonitor::new(1, policy);
+        mon.observe(0, EXPECTED, EXPECTED);
+        assert_eq!(mon.ewma_inflation_millis(0), 1000, "first sample seeds the EWMA");
+        mon.observe(0, 2 * EXPECTED, EXPECTED);
+        assert_eq!(mon.ewma_inflation_millis(0), 1500);
+        mon.observe(0, 3 * EXPECTED, 2 * EXPECTED);
+        assert_eq!(mon.ewma_inflation_millis(0), 1500);
+    }
+}

@@ -21,10 +21,12 @@
 
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod policy;
 pub mod rebuild;
 pub mod volume;
 
+pub use health::{HealthEvent, HealthMonitor, HealthPolicy, HealthState};
 pub use policy::{
     split_request, to_logical, BlockInterleave, ParityRotate, ParitySegment, SegmentRoundRobin,
     StripePolicy, StripePolicyKind, SubRequest,

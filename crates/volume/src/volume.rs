@@ -35,6 +35,7 @@ use sim_disk::{
     SECTOR_SIZE,
 };
 
+use crate::health::{HealthEvent, HealthMonitor, HealthPolicy, HealthState};
 use crate::policy::{
     split_request, to_logical, BlockInterleave, ParityRotate, ParitySegment, SegmentRoundRobin,
     StripePolicy, StripePolicyKind, SubRequest,
@@ -154,6 +155,17 @@ struct VolumeObs {
     rebuild_completed: Counter,
     /// Rows whose parity a [`StripedVolume::resync_parity`] scan rewrote.
     resync_rows_fixed: Counter,
+    /// Hedged races run: a deadline-blown direct read raced against
+    /// XOR reconstruction from the survivors.
+    hedged_reads: Counter,
+    /// Spindles the health monitor marked suspect.
+    health_suspects: Counter,
+    /// Suspect spindles that cleared the SLO and were forgiven.
+    health_recoveries: Counter,
+    /// Spindles the health monitor auto-evicted (fail-slow).
+    health_evictions: Counter,
+    /// Hot spares consumed by automatic failover.
+    health_spares_used: Counter,
     rebuild_remaining: Gauge,
     spindles: Gauge,
     spindles_online: Gauge,
@@ -176,6 +188,11 @@ impl VolumeObs {
             rebuild_bytes: registry.counter("volume.rebuild.bytes_written"),
             rebuild_completed: registry.counter("volume.rebuild.runs_completed"),
             resync_rows_fixed: registry.counter("volume.resync_rows_fixed"),
+            hedged_reads: registry.counter("volume.hedged_reads"),
+            health_suspects: registry.counter("volume.health.suspects"),
+            health_recoveries: registry.counter("volume.health.recoveries"),
+            health_evictions: registry.counter("volume.health.evictions"),
+            health_spares_used: registry.counter("volume.health.spares_used"),
             rebuild_remaining: registry.gauge("volume.rebuild.remaining_rows"),
             spindles: registry.gauge("volume.spindles"),
             spindles_online: registry.gauge("volume.spindles_online"),
@@ -201,6 +218,15 @@ impl VolumeObs {
             registry.adopt_counter("volume.rebuild.runs_completed", &self.rebuild_completed);
         self.resync_rows_fixed =
             registry.adopt_counter("volume.resync_rows_fixed", &self.resync_rows_fixed);
+        self.hedged_reads = registry.adopt_counter("volume.hedged_reads", &self.hedged_reads);
+        self.health_suspects =
+            registry.adopt_counter("volume.health.suspects", &self.health_suspects);
+        self.health_recoveries =
+            registry.adopt_counter("volume.health.recoveries", &self.health_recoveries);
+        self.health_evictions =
+            registry.adopt_counter("volume.health.evictions", &self.health_evictions);
+        self.health_spares_used =
+            registry.adopt_counter("volume.health.spares_used", &self.health_spares_used);
         self.rebuild_remaining =
             registry.adopt_gauge("volume.rebuild.remaining_rows", &self.rebuild_remaining);
         self.spindles = registry.adopt_gauge("volume.spindles", &self.spindles);
@@ -219,6 +245,19 @@ fn xor_into(dst: &mut [u8], src: &[u8]) {
     }
 }
 
+/// One tracked async read in flight against a single spindle. The
+/// physical and logical addresses are kept so the claim can fall back
+/// to XOR reconstruction if the spindle is killed (operator command or
+/// health eviction) while the read is still queued.
+#[derive(Debug, Clone, Copy)]
+struct TrackedVolumeRead {
+    spindle: usize,
+    inner: u64,
+    sector: u64,
+    logical: u64,
+    len: usize,
+}
+
 /// N independent spindles striped into one logical block device.
 pub struct StripedVolume {
     spindles: Vec<EngineCore>,
@@ -233,14 +272,21 @@ pub struct StripedVolume {
     /// Set once any spindle reports [`DiskError::Crashed`]; all
     /// subsequent volume operations fail fast — one power supply.
     crashed: bool,
-    /// Volume token → (spindle, spindle token) for tracked async reads.
-    tracked_reads: std::collections::BTreeMap<u64, (usize, u64)>,
+    /// Volume token → in-flight tracked async read.
+    tracked_reads: std::collections::BTreeMap<u64, TrackedVolumeRead>,
     next_read_token: u64,
     /// Per-spindle availability (all [`SpindleState::Online`] until
     /// [`StripedVolume::kill_spindle`]).
     states: Vec<SpindleState>,
     /// The in-flight rebuild, if a replaced spindle is being refilled.
     rebuild: Option<RebuildRun>,
+    /// Fail-slow watcher over the spindles, when armed (see
+    /// [`StripedVolume::set_health_policy`]).
+    health: Option<HealthMonitor>,
+    /// Blank drives on the shelf for automatic failover.
+    hot_spares: usize,
+    /// Pacing for a rebuild the health monitor starts on its own.
+    spare_rebuild_policy: RebuildPolicy,
     obs: VolumeObs,
 }
 
@@ -342,6 +388,9 @@ impl StripedVolume {
             next_read_token: 1,
             states,
             rebuild: None,
+            health: None,
+            hot_spares: 0,
+            spare_rebuild_policy: RebuildPolicy::default(),
             obs,
         }
     }
@@ -486,6 +535,151 @@ impl StripedVolume {
         self.rebuild.as_ref()
     }
 
+    /// Arms fail-slow health monitoring: every parity read feeds each
+    /// touched spindle's predicted service latency (and media errors)
+    /// into a [`HealthMonitor`], and a spindle that breaches `policy`
+    /// past its hysteresis is auto-evicted — killed and, when a hot
+    /// spare is stocked ([`StripedVolume::set_hot_spares`]), replaced
+    /// and rebuilt online with zero operator actions.
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        self.health = Some(HealthMonitor::new(self.spindles.len(), policy));
+        for i in 0..self.spindles.len() {
+            self.health_state_gauge(i, HealthState::Healthy);
+        }
+    }
+
+    /// Stocks `n` blank hot spares for the health monitor's automatic
+    /// failover; each eviction consumes one.
+    pub fn set_hot_spares(&mut self, n: usize) {
+        self.hot_spares = n;
+    }
+
+    /// Hot spares still on the shelf.
+    pub fn hot_spares(&self) -> usize {
+        self.hot_spares
+    }
+
+    /// Replaces the pacing policy for rebuilds the health monitor
+    /// starts when it fails over to a hot spare.
+    pub fn set_spare_rebuild_policy(&mut self, policy: RebuildPolicy) {
+        self.spare_rebuild_policy = policy;
+    }
+
+    /// The health monitor's verdict on spindle `i` (`None` when
+    /// monitoring is not armed).
+    pub fn health_state(&self, i: usize) -> Option<HealthState> {
+        self.health.as_ref().map(|h| h.state(i))
+    }
+
+    /// The health monitor's smoothed service-time inflation for
+    /// spindle `i`, in per-mille of the mechanical model's cost
+    /// (1000 = on-model; `None` when monitoring is not armed).
+    pub fn health_inflation_millis(&self, i: usize) -> Option<u64> {
+        self.health.as_ref().map(|h| h.ewma_inflation_millis(i))
+    }
+
+    /// Publishes spindle `i`'s health verdict as a gauge
+    /// (`volume.health.state.<i>`: 0 healthy, 1 suspect, 2 evicted).
+    fn health_state_gauge(&self, i: usize, state: HealthState) {
+        let value = match state {
+            HealthState::Healthy => 0,
+            HealthState::Suspect => 1,
+            HealthState::Evicted => 2,
+        };
+        self.obs
+            .registry
+            .gauge(&format!("volume.health.state.{i}"))
+            .set(value);
+    }
+
+    /// Feeds one serviced-request observation (observed vs model-
+    /// expected service time) into the health monitor and applies any
+    /// suspect/recover transition immediately. Evictions are *returned*
+    /// instead of applied, so a read loop can finish its in-flight
+    /// pieces before the volume kills the spindle under them.
+    fn observe_health(&mut self, spindle: usize, observed_ns: u64, expected_ns: u64) -> bool {
+        let Some(monitor) = self.health.as_mut() else {
+            return false;
+        };
+        let event = monitor.observe(spindle, observed_ns, expected_ns);
+        self.apply_health_event(spindle, event)
+    }
+
+    /// Applies a health transition, publishing counters, gauges, and
+    /// registry events. Returns true when the verdict is eviction.
+    fn apply_health_event(&mut self, spindle: usize, event: Option<HealthEvent>) -> bool {
+        match event {
+            None => false,
+            Some(HealthEvent::Suspected(i)) => {
+                self.obs.health_suspects.inc();
+                self.health_state_gauge(i, HealthState::Suspect);
+                self.obs.registry.event(
+                    self.clock.now_ns(),
+                    "health",
+                    format!("spindle {i} suspect (fail-slow)"),
+                );
+                false
+            }
+            Some(HealthEvent::Recovered(i)) => {
+                self.obs.health_recoveries.inc();
+                self.health_state_gauge(i, HealthState::Healthy);
+                self.obs.registry.event(
+                    self.clock.now_ns(),
+                    "health",
+                    format!("spindle {i} recovered"),
+                );
+                false
+            }
+            Some(HealthEvent::Evicted(i)) => {
+                debug_assert_eq!(i, spindle);
+                true
+            }
+        }
+    }
+
+    /// Feeds one piece's predicted service-time inflation (observed
+    /// over the mechanical model's cost for the same piece — a pure
+    /// media signal, independent of queue depth and request shape) into
+    /// the health monitor, queueing the spindle on `evict` when the
+    /// verdict is eviction. Reads and writes carry the same signal, so
+    /// both paths feed it; callers apply `evict` only once no in-flight
+    /// handle could dangle on the killed queue.
+    fn feed_health(&mut self, spindle: usize, sector: u64, bytes: u64, evict: &mut Vec<usize>) {
+        if self.health.is_none() || self.states[spindle] != SpindleState::Online {
+            return;
+        }
+        let disk = self.spindles[spindle].disk();
+        let start = disk.busy_until_ns().max(self.clock.now_ns());
+        let svc = disk.estimate_service_ns(start, sector, bytes);
+        let model = disk.estimate_base_service_ns(sector, bytes);
+        if self.observe_health(spindle, svc, model) && !evict.contains(&spindle) {
+            evict.push(spindle);
+        }
+    }
+
+    /// Applies a health eviction: the spindle is killed (reads
+    /// reconstruct, writes keep parity current) and, if a hot spare is
+    /// stocked, the spare is swapped in and the online rebuild starts.
+    fn auto_evict(&mut self, i: usize) {
+        if !self.is_parity() || self.states[i] != SpindleState::Online {
+            return;
+        }
+        self.obs.health_evictions.inc();
+        self.health_state_gauge(i, HealthState::Evicted);
+        self.obs.registry.event(
+            self.clock.now_ns(),
+            "health",
+            format!("spindle {i} evicted (fail-slow)"),
+        );
+        self.kill_spindle(i);
+        if self.hot_spares > 0 {
+            self.hot_spares -= 1;
+            self.obs.health_spares_used.inc();
+            self.replace_spindle(i, self.spare_rebuild_policy)
+                .expect("hot-spare failover: spindle was just killed on a parity volume");
+        }
+    }
+
     /// Kills spindle `i`: the media dies ([`SimDisk::kill_media`]), its
     /// queue is discarded (queued I/O dies with the drive), and the
     /// volume routes around it — on a parity volume reads reconstruct
@@ -515,20 +709,27 @@ impl StripedVolume {
     /// every chunk row; the host event loop paces the steps via
     /// [`StripedVolume::rebuild_wants_step`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless spindle `i` is [`SpindleState::Dead`] and the
-    /// volume keeps parity (RAID-0 has nothing to rebuild from).
-    pub fn replace_spindle(&mut self, i: usize, policy: RebuildPolicy) {
-        assert_eq!(
-            self.states[i],
-            SpindleState::Dead,
-            "replace_spindle: spindle {i} is not dead"
-        );
-        assert!(
-            self.is_parity(),
-            "replace_spindle: only parity volumes can rebuild a replacement"
-        );
+    /// Returns [`DiskError::Unsupported`] — without touching any media
+    /// — when `i` is not a bay of this volume, the volume keeps no
+    /// parity (RAID-0 has nothing to rebuild from), or spindle `i` is
+    /// not [`SpindleState::Dead`] (replacing a live or already
+    /// rebuilding drive would discard data a rebuild cannot recover).
+    pub fn replace_spindle(&mut self, i: usize, policy: RebuildPolicy) -> DiskResult<()> {
+        if i >= self.spindles.len() {
+            return Err(DiskError::Unsupported("replace_spindle: no such bay"));
+        }
+        if !self.is_parity() {
+            return Err(DiskError::Unsupported(
+                "replace_spindle: only parity volumes can rebuild a replacement",
+            ));
+        }
+        if self.states[i] != SpindleState::Dead {
+            return Err(DiskError::Unsupported(
+                "replace_spindle: spindle is not dead",
+            ));
+        }
         self.spindles[i].disk_mut().replace_media();
         self.states[i] = SpindleState::Rebuilding;
         let chunk = self.policy.chunk_sectors();
@@ -541,6 +742,7 @@ impl StripedVolume {
             format!("spindle {i} replaced, rebuilding {rows} rows"),
         );
         self.update_balance();
+        Ok(())
     }
 
     /// Whether the rebuild policy allows a step at the current queue
@@ -596,6 +798,12 @@ impl StripedVolume {
         if remaining == 0 {
             self.states[target] = SpindleState::Online;
             self.rebuild = None;
+            // The rebuilt drive is new hardware: judge it on its own
+            // record, not its predecessor's.
+            if let Some(monitor) = self.health.as_mut() {
+                monitor.reset(target);
+                self.health_state_gauge(target, HealthState::Healthy);
+            }
             self.obs.rebuild_completed.inc();
             self.obs.spindles_online.set(self.online_count());
             self.obs.registry.event(
@@ -628,17 +836,24 @@ impl StripedVolume {
     /// reproduce. Kill such a spindle first and rebuild it instead;
     /// never resync a dirty *degraded* assembly.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless the volume keeps parity with every spindle online:
-    /// a write hole plus a missing spindle is a genuine double fault
-    /// with nothing authoritative to resync from.
+    /// Returns [`DiskError::Unsupported`] — without touching any media
+    /// — on a non-parity volume, or on a degraded assembly (any spindle
+    /// dead or rebuilding): a write hole plus a missing spindle is a
+    /// genuine double fault with nothing authoritative to resync from,
+    /// and overwriting parity there destroys the only copy of the
+    /// missing spindle's bytes.
     pub fn resync_parity(&mut self) -> DiskResult<u64> {
-        assert!(self.is_parity(), "resync_parity: not a parity volume");
-        assert!(
-            self.states.iter().all(|s| *s == SpindleState::Online),
-            "resync_parity: every spindle must be online"
-        );
+        if !self.is_parity() {
+            return Err(DiskError::Unsupported("resync_parity: not a parity volume"));
+        }
+        if self.states.iter().any(|s| *s != SpindleState::Online) {
+            return Err(DiskError::Unsupported(
+                "resync_parity: degraded assembly — kill and rebuild the stale spindle \
+                 instead of resyncing parity over it",
+            ));
+        }
         let n = self.spindles.len();
         let chunk = self.policy.chunk_sectors();
         let rows = self.spindles[0].disk().num_sectors() / chunk;
@@ -735,6 +950,12 @@ impl StripedVolume {
     /// `[sector, sector + out.len())` on `spindle`: directly when the
     /// spindle serves reads, by reconstruction when it is dead,
     /// rebuilding, or the direct read hits unreadable sectors.
+    ///
+    /// This is also the read half of a parity read-modify-write, so it
+    /// gets the same hedge protection as [`StripedVolume::read_parity`]:
+    /// without it a fail-slow spindle charges its full degraded service
+    /// to every partial-row *write* (checkpoints, superblocks), which is
+    /// exactly the foreground tail the hedge exists to cap.
     fn read_physical(
         &mut self,
         spindle: usize,
@@ -743,8 +964,31 @@ impl StripedVolume {
         escape: u64,
     ) -> DiskResult<()> {
         if self.states[spindle] == SpindleState::Online {
-            match self.spindles[spindle].do_read(sector, out) {
-                Ok(()) => return Ok(()),
+            match self.spindles[spindle].start_read(sector, out.len()) {
+                Ok(h) => {
+                    let hedge = match &h {
+                        engine::ReadHandle::Pending(id)
+                            if self.survivors_online(spindle)
+                                && self.spindles[spindle].hedge_overdue(*id) =>
+                        {
+                            Some(*id)
+                        }
+                        _ => None,
+                    };
+                    let finished = match hedge {
+                        Some(id) => self.hedged_race(spindle, id, sector, out).map(|_| ()),
+                        None => self.spindles[spindle].finish_read(h, sector, out),
+                    };
+                    match finished {
+                        Ok(()) => return Ok(()),
+                        Err(DiskError::Crashed) => {
+                            self.crashed = true;
+                            return Err(DiskError::Crashed);
+                        }
+                        Err(DiskError::Unreadable { .. }) => {}
+                        Err(other) => return Err(other),
+                    }
+                }
                 Err(DiskError::Crashed) => {
                     self.crashed = true;
                     return Err(DiskError::Crashed);
@@ -836,10 +1080,36 @@ impl StripedVolume {
     /// unreadable — are served by XOR reconstruction across the
     /// survivors. Only a double fault escapes, translated to the
     /// logical sector of the piece that could not be served.
+    ///
+    /// With a hedge deadline armed ([`EngineConfig::hedge_deadline_ns`])
+    /// a piece whose predicted direct latency blows the budget is raced
+    /// against XOR reconstruction ([`StripedVolume::hedged_race`]), and
+    /// with health monitoring armed every piece feeds its spindle's
+    /// predicted service time into the [`HealthMonitor`] — evictions it
+    /// decides are applied after the last piece lands, so no in-flight
+    /// handle dangles on a killed spindle.
     fn read_parity(&mut self, subs: &[SubRequest], base_sector: u64, buf: &mut [u8]) -> DiskResult<()> {
         let mut handles: Vec<Option<engine::ReadHandle>> = Vec::with_capacity(subs.len());
+        let mut steered: Vec<bool> = Vec::with_capacity(subs.len());
+        let mut evict: Vec<usize> = Vec::new();
         for sub in subs {
             if self.states[sub.spindle] == SpindleState::Online {
+                self.feed_health(sub.spindle, sub.sector, sub.bytes() as u64, &mut evict);
+                // The submission-side hedge: an overlapping queued
+                // request (a still-in-flight segment write, say) would
+                // stall this read *at submission* — the read-after-write
+                // hazard is paid before the request even has an id, so
+                // the in-queue hedge hook below can never see it. When
+                // the predicted stall blows the deadline and every
+                // survivor is online, skip the direct read entirely and
+                // steer the piece to reconstruction.
+                if self.survivors_online(sub.spindle)
+                    && self.spindles[sub.spindle].submit_hazard_overdue(sub.sector, sub.bytes())
+                {
+                    handles.push(None);
+                    steered.push(true);
+                    continue;
+                }
                 match self.spindles[sub.spindle].start_read(sub.sector, sub.bytes()) {
                     Ok(h) => handles.push(Some(h)),
                     Err(DiskError::Crashed) => {
@@ -848,34 +1118,79 @@ impl StripedVolume {
                     }
                     // An unreadable submission routes to reconstruction
                     // like an unreadable completion would.
-                    Err(DiskError::Unreadable { .. }) => handles.push(None),
+                    Err(DiskError::Unreadable { .. }) => {
+                        if self.observe_health_error(sub.spindle) {
+                            evict.push(sub.spindle);
+                        }
+                        handles.push(None);
+                    }
                     Err(other) => return Err(other),
                 }
             } else {
                 handles.push(None);
             }
+            steered.push(false);
         }
         let mut degraded = false;
         let mut first_err: Option<DiskError> = None;
-        for (sub, handle) in subs.iter().zip(handles) {
+        for ((sub, handle), was_steered) in subs.iter().zip(handles).zip(steered) {
             let logical = base_sector + (sub.offset / SECTOR_SIZE) as u64;
             let piece = &mut buf[sub.offset..sub.offset + sub.bytes()];
             let served = match handle {
-                Some(h) => match self.spindles[sub.spindle].finish_read(h, sub.sector, piece) {
-                    Ok(()) => true,
-                    Err(DiskError::Crashed) => {
-                        self.crashed = true;
-                        return Err(DiskError::Crashed);
+                Some(h) => {
+                    // The hedge hook: a queued piece whose predicted
+                    // latency blows the deadline is raced against
+                    // reconstruction — but only when every survivor is
+                    // online, otherwise there is nothing to race.
+                    let hedge = match &h {
+                        engine::ReadHandle::Pending(id)
+                            if self.survivors_online(sub.spindle)
+                                && self.spindles[sub.spindle].hedge_overdue(*id) =>
+                        {
+                            Some(*id)
+                        }
+                        _ => None,
+                    };
+                    let finished = match hedge {
+                        Some(id) => self
+                            .hedged_race(sub.spindle, id, sub.sector, piece)
+                            .map(|was_degraded| {
+                                degraded |= was_degraded;
+                            }),
+                        None => self.spindles[sub.spindle].finish_read(h, sub.sector, piece),
+                    };
+                    match finished {
+                        Ok(()) => true,
+                        Err(DiskError::Crashed) => {
+                            self.crashed = true;
+                            return Err(DiskError::Crashed);
+                        }
+                        Err(DiskError::Unreadable { .. }) => {
+                            if self.observe_health_error(sub.spindle) {
+                                evict.push(sub.spindle);
+                            }
+                            false
+                        }
+                        Err(other) => return Err(other),
                     }
-                    Err(DiskError::Unreadable { .. }) => false,
-                    Err(other) => return Err(other),
-                },
+                }
                 None => false,
             };
             if !served {
-                degraded = true;
+                // A steered piece is a hedge the reconstruction won by
+                // forfeit, not a degraded read: the spindle is healthy
+                // enough to serve, just not worth waiting for.
+                if was_steered {
+                    self.obs.hedged_reads.inc();
+                } else {
+                    degraded = true;
+                }
                 match self.reconstruct_or_escape(sub.spindle, sub.sector, piece, logical) {
-                    Ok(()) => {}
+                    Ok(()) => {
+                        if was_steered {
+                            self.spindles[sub.spindle].record_hedge_win();
+                        }
+                    }
                     Err(DiskError::Crashed) => return Err(DiskError::Crashed),
                     Err(e) => {
                         first_err.get_or_insert(e);
@@ -886,9 +1201,140 @@ impl StripedVolume {
         if degraded {
             self.obs.degraded_reads.inc();
         }
+        for i in evict {
+            self.auto_evict(i);
+        }
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
+        }
+    }
+
+    /// True when every spindle other than `spindle` serves reads — the
+    /// precondition for racing a reconstruction against a slow direct
+    /// read.
+    fn survivors_online(&self, spindle: usize) -> bool {
+        self.states
+            .iter()
+            .enumerate()
+            .all(|(s, st)| s == spindle || *st == SpindleState::Online)
+    }
+
+    /// An error observation is inflation-neutral: it feeds the error
+    /// window at the spindle's current EWMA so a failing-but-fast
+    /// spindle is judged on its errors alone.
+    fn observe_health_error(&mut self, spindle: usize) -> bool {
+        let Some(monitor) = self.health.as_mut() else {
+            return false;
+        };
+        let event = monitor.observe_error(spindle);
+        self.apply_health_event(spindle, event)
+    }
+
+    /// Races pending direct read `id` on `spindle` against XOR
+    /// reconstruction from the survivors. Both sides run to physical
+    /// completion — the loser is *drained* (its spindle still does the
+    /// work and later requests queue behind it) — but the caller's
+    /// clock advances only to the winner's finish, so the foreground
+    /// pays `min(direct, reconstruction)` latency. When both sides
+    /// succeed their bytes are asserted identical and the direct data
+    /// fills `piece`; a failed direct read is covered by the
+    /// reconstruction (returns `true`: the piece was served degraded);
+    /// a failed reconstruction falls back to the direct result.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Unreadable`] at the physical `sector` when both
+    /// sides fail (double fault — the caller escapes to the logical
+    /// address), [`DiskError::Crashed`] if any spindle crashed.
+    fn hedged_race(
+        &mut self,
+        spindle: usize,
+        id: u64,
+        sector: u64,
+        piece: &mut [u8],
+    ) -> DiskResult<bool> {
+        self.obs.hedged_reads.inc();
+        let n = self.spindles.len();
+        let others: Vec<usize> = (0..n).filter(|&s| s != spindle).collect();
+        // Start the reconstruction on every survivor. A survivor that
+        // rejects the submission sinks the reconstruction side; the
+        // started remainder is still drained below so no queue is left
+        // holding a read.
+        let mut recon_handles: Vec<(usize, engine::ReadHandle)> = Vec::with_capacity(others.len());
+        let mut recon_ok = true;
+        for &s in &others {
+            match self.spindles[s].start_read(sector, piece.len()) {
+                Ok(h) => recon_handles.push((s, h)),
+                Err(DiskError::Crashed) => return Err(DiskError::Crashed),
+                Err(_) => {
+                    recon_ok = false;
+                    break;
+                }
+            }
+        }
+        // Drain both sides without advancing the shared clock; the
+        // completion timestamps decide the race.
+        let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(recon_handles.len());
+        let mut recon_finish = self.clock.now_ns();
+        for (s, h) in recon_handles {
+            match h {
+                engine::ReadHandle::Hit(data) => survivors.push(data),
+                engine::ReadHandle::Pending(rid) => match self.spindles[s].drain_read(rid) {
+                    Ok(done) => {
+                        recon_finish = recon_finish.max(done.finish_ns);
+                        survivors.push(done.data.expect("read without data"));
+                    }
+                    Err(DiskError::Crashed) => return Err(DiskError::Crashed),
+                    Err(_) => recon_ok = false,
+                },
+            }
+        }
+        let direct = match self.spindles[spindle].drain_read(id) {
+            Ok(done) => Some(done),
+            Err(DiskError::Crashed) => return Err(DiskError::Crashed),
+            Err(_) => None,
+        };
+        let xor = recon_ok.then(|| {
+            let mut xor = vec![0u8; piece.len()];
+            for data in &survivors {
+                xor_into(&mut xor, data);
+            }
+            xor
+        });
+        match (direct, xor) {
+            (Some(done), Some(xor)) => {
+                let data = done.data.as_deref().expect("read without data");
+                assert_eq!(
+                    xor, data,
+                    "hedged reconstruction diverged from the direct read"
+                );
+                if recon_finish < done.finish_ns {
+                    self.spindles[spindle].record_hedge_win();
+                    self.obs.reconstructions.inc();
+                }
+                self.clock.advance_to_ns(recon_finish.min(done.finish_ns));
+                piece.copy_from_slice(data);
+                Ok(false)
+            }
+            (Some(done), None) => {
+                // The reconstruction fell apart; the direct read still
+                // answered — the race just cost nothing extra.
+                self.clock.advance_to_ns(done.finish_ns);
+                piece.copy_from_slice(done.data.as_deref().expect("read without data"));
+                Ok(false)
+            }
+            (None, Some(xor)) => {
+                // The slow spindle also failed the read: the
+                // reconstruction is authoritative — exactly the
+                // degraded path, already paid for.
+                self.clock.advance_to_ns(recon_finish);
+                piece.copy_from_slice(&xor);
+                self.spindles[spindle].record_hedge_win();
+                self.obs.reconstructions.inc();
+                Ok(true)
+            }
+            (None, None) => Err(DiskError::Unreadable { sector }),
         }
     }
 
@@ -984,20 +1430,32 @@ impl StripedVolume {
             }
             parity_pieces.push((p, row_base + lo, parity));
         }
+        // Writes carry the same media-inflation signal reads do, and
+        // they touch every spindle on every flush — feeding them makes
+        // the monitor converge on a limping drive within a handful of
+        // segment writes instead of waiting for reads to land on it.
+        // Evictions are applied only after every started piece has
+        // landed: killing a spindle discards its queue.
+        let mut evict: Vec<usize> = Vec::new();
         if !sync {
             for sub in subs {
                 if self.states[sub.spindle] == SpindleState::Dead {
                     continue;
                 }
                 let piece = &buf[sub.offset..sub.offset + sub.bytes()];
+                self.feed_health(sub.spindle, sub.sector, sub.bytes() as u64, &mut evict);
                 if let Err(e) = self.spindles[sub.spindle].submit_async_write(sub.sector, piece) {
                     return Err(self.translate(sub.spindle, e));
                 }
             }
             for (p, sector, parity) in &parity_pieces {
+                self.feed_health(*p, *sector, parity.len() as u64, &mut evict);
                 if let Err(e) = self.spindles[*p].submit_async_write(*sector, parity) {
                     return Err(self.translate_parity(e));
                 }
+            }
+            for i in evict {
+                self.auto_evict(i);
             }
             return Ok(());
         }
@@ -1009,12 +1467,14 @@ impl StripedVolume {
                 continue;
             }
             let piece = &buf[sub.offset..sub.offset + sub.bytes()];
+            self.feed_health(sub.spindle, sub.sector, sub.bytes() as u64, &mut evict);
             match self.spindles[sub.spindle].start_sync_write(sub.sector, piece) {
                 Ok(id) => ids.push((sub.spindle, id, false)),
                 Err(e) => return Err(self.translate(sub.spindle, e)),
             }
         }
         for (p, sector, parity) in &parity_pieces {
+            self.feed_health(*p, *sector, parity.len() as u64, &mut evict);
             match self.spindles[*p].start_sync_write(*sector, parity) {
                 Ok(id) => ids.push((*p, id, true)),
                 Err(e) => return Err(self.translate_parity(e)),
@@ -1028,6 +1488,9 @@ impl StripedVolume {
                     self.translate(spindle, e)
                 });
             }
+        }
+        for i in evict {
+            self.auto_evict(i);
         }
         Ok(())
     }
@@ -1128,19 +1591,38 @@ impl StripedVolume {
             .ok()?;
         let token = self.next_read_token;
         self.next_read_token += 1;
-        self.tracked_reads.insert(token, (sub.spindle, inner));
+        self.tracked_reads.insert(
+            token,
+            TrackedVolumeRead {
+                spindle: sub.spindle,
+                inner,
+                sector: sub.sector,
+                logical: sector,
+                len,
+            },
+        );
         Some(token)
     }
 
     /// Completes a read started by [`StripedVolume::start_read_async`].
+    /// If the spindle was killed while the read was queued (operator
+    /// command or health eviction — the engine's queue died with the
+    /// media), a parity volume serves the claim by XOR reconstruction
+    /// instead of dangling on a token that will never complete.
     pub fn finish_read_async(&mut self, token: u64) -> DiskResult<Vec<u8>> {
-        let (spindle, inner) = self
+        let t = self
             .tracked_reads
             .remove(&token)
             .expect("finish_read_async: unknown token");
-        self.spindles[spindle]
-            .finish_tracked_read(inner)
-            .map_err(|e| self.translate(spindle, e))
+        if self.states[t.spindle] == SpindleState::Online {
+            return self.spindles[t.spindle]
+                .finish_tracked_read(t.inner)
+                .map_err(|e| self.translate(t.spindle, e));
+        }
+        let mut buf = vec![0u8; t.len];
+        self.reconstruct_or_escape(t.spindle, t.sector, &mut buf, t.logical)?;
+        self.obs.degraded_reads.inc();
+        Ok(buf)
     }
 
     /// Lazily progresses every spindle to the current virtual time.
@@ -1234,8 +1716,32 @@ impl VolumeDisk {
 
     /// Swaps in a replacement and starts the online rebuild (see
     /// [`StripedVolume::replace_spindle`]).
-    pub fn replace_spindle(&self, i: usize, policy: RebuildPolicy) {
-        self.0.borrow_mut().replace_spindle(i, policy);
+    pub fn replace_spindle(&self, i: usize, policy: RebuildPolicy) -> DiskResult<()> {
+        self.0.borrow_mut().replace_spindle(i, policy)
+    }
+
+    /// Arms fail-slow health monitoring (see
+    /// [`StripedVolume::set_health_policy`]).
+    pub fn set_health_policy(&self, policy: HealthPolicy) {
+        self.0.borrow_mut().set_health_policy(policy);
+    }
+
+    /// Stocks hot spares for automatic failover (see
+    /// [`StripedVolume::set_hot_spares`]).
+    pub fn set_hot_spares(&self, n: usize) {
+        self.0.borrow_mut().set_hot_spares(n);
+    }
+
+    /// Sets the rebuild policy used when a hot spare swaps in (see
+    /// [`StripedVolume::set_spare_rebuild_policy`]).
+    pub fn set_spare_rebuild_policy(&self, policy: RebuildPolicy) {
+        self.0.borrow_mut().set_spare_rebuild_policy(policy);
+    }
+
+    /// The health monitor's verdict on spindle `i` (see
+    /// [`StripedVolume::health_state`]).
+    pub fn health_state(&self, i: usize) -> Option<HealthState> {
+        self.0.borrow().health_state(i)
     }
 
     /// Whether the rebuild policy allows a step right now (see

@@ -122,7 +122,7 @@ fn rebuild_completes_and_restores_single_fault_tolerance() {
     let policy = RebuildPolicy::default()
         .with_idle_queue_depth(None)
         .with_max_step_rows(64);
-    vol.replace_spindle(1, policy);
+    vol.replace_spindle(1, policy).unwrap();
     assert_eq!(vol.spindle_state(1), SpindleState::Rebuilding);
 
     // Foreground writes keep landing mid-rebuild (write-through).
@@ -174,7 +174,7 @@ fn rebuild_idle_gate_follows_the_queue_depth() {
     mixed_writes(&mut vol, &mut mirror, 0x40);
 
     vol.kill_spindle(2);
-    vol.replace_spindle(2, RebuildPolicy::default());
+    vol.replace_spindle(2, RebuildPolicy::default()).unwrap();
     assert!(vol.rebuild_wants_step(), "idle volume should allow a step");
 
     vol.write(0, &patterned(0x55, 4 * CHUNK_SECTORS), false).unwrap();

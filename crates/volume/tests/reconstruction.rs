@@ -95,7 +95,8 @@ proptest! {
             RebuildPolicy::default()
                 .with_idle_queue_depth(None)
                 .with_max_step_rows(64),
-        );
+        )
+        .unwrap();
         while vol.rebuild_step().unwrap() != RebuildProgress::Completed {}
         prop_assert_eq!(vol.spindle_state(dead), SpindleState::Online);
 
