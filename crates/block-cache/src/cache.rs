@@ -129,8 +129,28 @@ impl BlockCache {
     }
 
     fn bump(&mut self) -> u64 {
+        if self.tick == u64::MAX {
+            self.rescale_ticks();
+        }
         self.tick += 1;
         self.tick
+    }
+
+    /// Compacts LRU stamps to their rank order. Stamps grow by one per
+    /// touch and never shrink, so after 2^64 touches the counter would
+    /// wrap and corrupt recency order; on saturation remap the stamps to
+    /// `1..=len`, preserving relative order, and continue from there.
+    fn rescale_ticks(&mut self) {
+        let mut order: Vec<(u64, BlockKey)> = self
+            .slots
+            .iter()
+            .map(|(&key, slot)| (slot.used_tick, key))
+            .collect();
+        order.sort_unstable();
+        for (rank, &(_, key)) in order.iter().enumerate() {
+            self.slots.get_mut(&key).expect("key just listed").used_tick = rank as u64 + 1;
+        }
+        self.tick = self.slots.len() as u64;
     }
 
     /// Looks up a block, counting a hit or miss.
@@ -201,6 +221,9 @@ impl BlockCache {
         if let Some(old) = old {
             if old.dirty {
                 self.dirty_count -= 1;
+                if self.dirty_count == 0 {
+                    self.oldest_dirty_ns = u64::MAX;
+                }
             }
         }
         if dirty {
@@ -545,6 +568,37 @@ mod tests {
         c.drop_clean();
         assert_eq!(c.len(), 1);
         assert!(c.is_dirty(BlockKey::file(Ino(1), 1)));
+    }
+
+    #[test]
+    fn lru_stamps_rescale_at_overflow() {
+        let mut c = cache(2);
+        let a = BlockKey::file(Ino(1), 0);
+        let b = BlockKey::file(Ino(1), 1);
+        let d = BlockKey::file(Ino(1), 2);
+        c.insert_clean(a, block(1));
+        c.insert_clean(b, block(2));
+        // Simulate ~2^64 touches having happened.
+        c.tick = u64::MAX - 1;
+        c.get(a); // stamps `a` with u64::MAX
+        c.get(b); // must rescale instead of wrapping to 0
+        assert!(c.tick < 100, "stamps were not compacted");
+        // Recency order survived the rescale: `a` is older than `b`.
+        c.insert_clean(d, block(3));
+        assert!(!c.contains(a), "LRU order corrupted by rescale");
+        assert!(c.contains(b) && c.contains(d));
+    }
+
+    #[test]
+    fn replacing_the_only_dirty_block_resets_age_trigger() {
+        let mut c = cache(4);
+        let key = BlockKey::file(Ino(1), 0);
+        c.insert_dirty(key, block(1), 100);
+        // Overwrite the dirty block with clean contents: no dirty blocks
+        // remain, so the age trigger must not fire even at huge times.
+        c.insert_clean(key, block(2));
+        assert_eq!(c.dirty_count(), 0);
+        assert_eq!(c.writeback_trigger(u64::MAX), None);
     }
 
     #[test]

@@ -31,11 +31,13 @@
 //! Everything is deterministic: same config, same virtual-time results,
 //! byte-identical metrics JSON.
 
+pub mod mix;
 pub mod multi;
 pub mod qos;
 pub mod queue;
 pub mod sched;
 
+pub use mix::{run_overwrite_read_mix, MixConfig, MixReport};
 pub use multi::{run_small_file_create, ClientSummary, MultiClientConfig, MultiReport, RequestEngine};
 pub use qos::{FairShare, QosClass, QosSpec, TenantQos};
 pub use queue::{EngineConfig, EngineCore, EngineDisk, ReadHandle, MAINT_OWNER};

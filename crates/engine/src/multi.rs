@@ -214,6 +214,7 @@ pub fn run_small_file_create<F: FileSystem>(
 
     // Setup: the shared directory, unattributed to any client.
     core.set_client(None);
+    fs.set_active_client(None);
     core.register_clients(cfg.clients);
     for d in 0..specs[0].ndirs() {
         match fs.mkdir(&specs[0].dir(d)) {
@@ -254,6 +255,7 @@ pub fn run_small_file_create<F: FileSystem>(
         clock.advance_to_ns(next_ready[c]);
         core.pump()?;
         core.set_client(Some(c));
+        fs.set_active_client(Some(c as u32));
 
         let op_index = summaries[c].ops as usize;
         let before_ns = clock.now_ns();
@@ -274,6 +276,7 @@ pub fn run_small_file_create<F: FileSystem>(
 
     // Close the measurement: drain every queued write.
     core.set_client(None);
+    fs.set_active_client(None);
     fs.sync()?;
 
     let report = MultiReport {

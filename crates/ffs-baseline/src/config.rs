@@ -1,6 +1,7 @@
 //! FFS configuration.
 
 use block_cache::WritebackPolicy;
+use mem_mgr::CachePolicy;
 
 /// Tunable parameters of an FFS volume.
 #[derive(Debug, Clone)]
@@ -16,6 +17,9 @@ pub struct FfsConfig {
     pub cache_bytes: usize,
     /// Delayed-write policy for file data.
     pub writeback: WritebackPolicy,
+    /// Memory-manager policy: shared LRU (the classic buffer cache) or
+    /// the adaptive write-buffer / scan-resistant read-cache split.
+    pub cache_policy: CachePolicy,
 }
 
 impl FfsConfig {
@@ -28,6 +32,7 @@ impl FfsConfig {
             inodes_per_cg: 2048,
             cache_bytes: 15 * 1024 * 1024,
             writeback: WritebackPolicy::paper(),
+            cache_policy: CachePolicy::SharedLru,
         }
     }
 
@@ -39,6 +44,7 @@ impl FfsConfig {
             inodes_per_cg: 64,
             cache_bytes: 64 * 1024,
             writeback: WritebackPolicy::paper(),
+            cache_policy: CachePolicy::SharedLru,
         }
     }
 
@@ -52,6 +58,12 @@ impl FfsConfig {
     /// Builder-style override of the cache size.
     pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
         self.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Builder-style override of the memory-manager cache policy.
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
         self
     }
 

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use block_cache::{BlockCache, BlockKey, Owner};
+use block_cache::{BlockKey, Owner};
+use mem_mgr::{CacheReport, MemConfig, MemMgr};
 use sim_disk::{BlockDevice, Clock, CpuCost, CpuModel};
 use vfs::{FileKind, FsError, FsResult, Ino};
 
@@ -134,7 +135,7 @@ pub struct Ffs<D: BlockDevice> {
     pub(crate) cfg: FfsConfig,
     pub(crate) clock: Arc<Clock>,
     pub(crate) cpu: CpuModel,
-    pub(crate) cache: BlockCache,
+    pub(crate) cache: MemMgr,
     pub(crate) alloc: Allocator,
     pub(crate) inodes: HashMap<Ino, CachedInode>,
     pub(crate) obs: FfsObs,
@@ -206,10 +207,17 @@ impl<D: BlockDevice> Ffs<D> {
         // One metrics registry covers device, cache, and file system.
         let registry = obs::Registry::new();
         dev.attach_obs(&registry);
-        let mut cache = BlockCache::new(
+        // FFS has no segment-sized flush unit, so the manager tracks no
+        // flush efficiency; the adaptive split still gives the read side
+        // scan resistance when configured.
+        let mut cache = MemMgr::new(
             sb.block_size as usize,
             (cfg.cache_bytes / sb.block_size as usize).max(8),
-            cfg.writeback,
+            MemConfig {
+                policy: cfg.cache_policy,
+                writeback: cfg.writeback,
+                ..MemConfig::shared(cfg.writeback)
+            },
         );
         cache.attach_obs(&registry);
         let alloc = Allocator::new(sb.clone());
@@ -233,6 +241,12 @@ impl<D: BlockDevice> Ffs<D> {
         self.dev.annotate("superblock");
         self.dev.write(0, &bytes, true)?;
         Ok(())
+    }
+
+    /// A point-in-time report of the memory manager: pool sizes,
+    /// traffic counters, and per-client residency attribution.
+    pub fn cache_report(&self) -> CacheReport {
+        self.cache.report()
     }
 
     /// Replaces the CPU model (CPU-scaling experiments).

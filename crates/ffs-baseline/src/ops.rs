@@ -345,4 +345,8 @@ impl<D: BlockDevice> FileSystem for Ffs<D> {
             live_inodes: (self.sb.max_inodes() as u64) - self.alloc.free_inodes(),
         })
     }
+
+    fn set_active_client(&mut self, client: Option<u32>) {
+        self.cache.set_client(client);
+    }
 }

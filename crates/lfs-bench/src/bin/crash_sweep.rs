@@ -12,7 +12,8 @@
 //! N-th crash index).
 
 use lfs_bench::crash_sweep::{
-    sweep, sweep_cleaner, sweep_rebuild, sweep_striped, SweepFs, SweepMode, SweepSpec,
+    sweep, sweep_adaptive, sweep_cleaner, sweep_rebuild, sweep_striped, SweepFs, SweepMode,
+    SweepSpec,
 };
 use lfs_bench::{print_table, MetricsReport, Row};
 
@@ -124,6 +125,33 @@ fn main() {
             all_clean &= out.is_clean();
             samples.extend(out.samples);
         }
+    }
+
+    // Adaptive cache in the loop: the single-disk sweep with the
+    // adaptive memory manager mounted and the write/read boundary
+    // resized after every operation. A resize that dropped a dirty
+    // block instead of flushing it shows up as lost durable data.
+    for mode in [SweepMode::Drop, SweepMode::Torn] {
+        let out = sweep_adaptive(mode, &spec);
+        let prefix = format!("sweep.lfs_adaptive.{}", mode.name());
+        registry.counter(&format!("{prefix}.crash_points")).add(out.crash_points);
+        registry.counter(&format!("{prefix}.recovered")).add(out.recovered);
+        registry
+            .counter(&format!("{prefix}.detected_unmountable"))
+            .add(out.detected_unmountable);
+        registry.counter(&format!("{prefix}.violations")).add(out.violations);
+        rows.push(Row::new(
+            format!("lfs adaptive {}", mode.name()),
+            vec![
+                out.crash_points.to_string(),
+                out.recovered.to_string(),
+                out.detected_unmountable.to_string(),
+                out.violations.to_string(),
+                if out.is_clean() { "yes" } else { "NO" }.to_string(),
+            ],
+        ));
+        all_clean &= out.is_clean();
+        samples.extend(out.samples);
     }
 
     // Parity rebuild in the loop: a 4-spindle parity volume loses a

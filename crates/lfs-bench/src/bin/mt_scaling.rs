@@ -20,8 +20,10 @@ use std::sync::Arc;
 
 use engine::{run_small_file_create, EngineConfig, EngineCore, EngineDisk, SchedulerKind};
 use ffs_baseline::{Ffs, FfsConfig};
+use lfs_bench::cache_mix::{run_mix_cell, run_scan_cell, MixCellResult};
 use lfs_bench::{fmt_rate, print_table, MetricsReport, Row};
 use lfs_core::{Lfs, LfsConfig};
+use mem_mgr::CachePolicy;
 use sim_disk::{Clock, DiskGeometry, SimDisk};
 
 /// Modern-drive CPU speed (MIPS): fast enough that the disk, not the
@@ -166,5 +168,127 @@ fn main() {
             ffs_cells.last().expect("cells").throughput,
         );
     }
+
+    run_cache_arm(smoke, &mut metrics);
     metrics.emit();
+}
+
+/// The memory-manager arm: overwrite+read mix cells sweeping client
+/// count × cache policy × memory budget, plus the streaming-scan
+/// resistance cells. The 256-client pair and the scan/solo ratio carry
+/// in-binary assertions; CI recomputes both from the emitted JSON.
+fn run_cache_arm(smoke: bool, metrics: &mut MetricsReport) {
+    let (mix_clients, budgets): (&[usize], &[usize]) = if smoke {
+        (&[256], &[1 << 20])
+    } else {
+        (&[64, 256, 1024], &[512 * 1024, 1 << 20])
+    };
+    let policies = [CachePolicy::SharedLru, CachePolicy::Adaptive];
+
+    for &budget in budgets {
+        let mut cells: Vec<(CachePolicy, Vec<MixCellResult>)> = Vec::new();
+        for &policy in &policies {
+            let row: Vec<MixCellResult> = mix_clients
+                .iter()
+                .map(|&n| run_mix_cell(policy, n, budget, metrics))
+                .collect();
+            cells.push((policy, row));
+        }
+
+        let headers: Vec<String> = mix_clients.iter().map(|n| format!("{n} cl")).collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut rows = Vec::new();
+        for (policy, row) in &cells {
+            rows.push(Row::new(
+                format!("{} files/s", policy.as_str()),
+                row.iter().map(|c| fmt_rate(c.ops_per_sec)).collect(),
+            ));
+            rows.push(Row::new(
+                format!("{} hit rate", policy.as_str()),
+                row.iter()
+                    .map(|c| format!("{:.1}%", c.hit_rate_millis as f64 / 10.0))
+                    .collect(),
+            ));
+        }
+        rows.push(Row::new(
+            "adaptive write target",
+            cells[1]
+                .1
+                .iter()
+                .map(|c| format!("{} blk", c.write_target_blocks))
+                .collect(),
+        ));
+        print_table(
+            &format!(
+                "Overwrite+read mix, shared-LRU vs adaptive cache ({} KB budget)",
+                budget / 1024
+            ),
+            "policy",
+            &header_refs,
+            &rows,
+        );
+
+        // The acceptance pair: at 256 clients on the 1 MB budget the
+        // adaptive split must beat the shared LRU on both throughput
+        // and read hit rate.
+        if budget == 1 << 20 {
+            let at = mix_clients
+                .iter()
+                .position(|&n| n == 256)
+                .expect("256-client cell in sweep");
+            let shared = &cells[0].1[at];
+            let adaptive = &cells[1].1[at];
+            assert!(
+                adaptive.ops_per_sec > shared.ops_per_sec,
+                "adaptive cache lost on throughput at 256 clients: {:.0}/s vs {:.0}/s",
+                adaptive.ops_per_sec,
+                shared.ops_per_sec
+            );
+            assert!(
+                adaptive.hit_rate_millis > shared.hit_rate_millis,
+                "adaptive cache lost on read hit rate at 256 clients: {} vs {} millis",
+                adaptive.hit_rate_millis,
+                shared.hit_rate_millis
+            );
+            println!(
+                "  256-client acceptance: adaptive {:.0}/s @ {:.1}% beats shared {:.0}/s @ {:.1}%",
+                adaptive.ops_per_sec,
+                adaptive.hit_rate_millis as f64 / 10.0,
+                shared.ops_per_sec,
+                shared.hit_rate_millis as f64 / 10.0
+            );
+        }
+    }
+
+    // Scan resistance: victims' hit rate with a streaming scanner vs
+    // without (solo), per policy.
+    let mut scan_rows = Vec::new();
+    let mut adaptive_ratio_millis = 0u64;
+    for &policy in &policies {
+        let solo = run_scan_cell(policy, false, metrics);
+        let scan = run_scan_cell(policy, true, metrics);
+        let ratio_millis = scan.victim_hit_rate_millis * 1000 / solo.victim_hit_rate_millis.max(1);
+        if policy == CachePolicy::Adaptive {
+            adaptive_ratio_millis = ratio_millis;
+        }
+        scan_rows.push(Row::new(
+            policy.as_str(),
+            vec![
+                format!("{:.1}%", solo.victim_hit_rate_millis as f64 / 10.0),
+                format!("{:.1}%", scan.victim_hit_rate_millis as f64 / 10.0),
+                format!("{:.1}%", ratio_millis as f64 / 10.0),
+            ],
+        ));
+    }
+    print_table(
+        "Streaming-scan resistance: victim hit rate with/without a scanner",
+        "policy",
+        &["solo", "with scan", "retained"],
+        &scan_rows,
+    );
+    assert!(
+        adaptive_ratio_millis >= 700,
+        "scan resistance failed: adaptive victims retained only {:.1}% of their solo hit rate",
+        adaptive_ratio_millis as f64 / 10.0
+    );
 }

@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use ffs_baseline::{Ffs, FfsConfig};
 use lfs_core::{AsyncCleanerPolicy, CleanerRunMode, Lfs, LfsConfig};
+use mem_mgr::CachePolicy;
 use sim_disk::{Clock, CrashPlan, DiskGeometry, SimDisk};
 use vfs::{FileKind, FileSystem, FsError};
 use volume::{RebuildPolicy, RebuildProgress, StripedVolume, VolumeConfig, VolumeDisk};
@@ -781,6 +782,148 @@ pub fn sweep_cleaner(mode: SweepMode, spec: &SweepSpec, spindles: usize) -> Mode
          active cleaning run ({} points swept)",
         out.crash_points
     );
+    out
+}
+
+/// The small_test config with the adaptive memory manager in place of
+/// the shared LRU: crash recovery must be policy-agnostic, because the
+/// manager only decides *when* dirty blocks flush, never what the log
+/// contains once they do.
+fn adaptive_cfg() -> LfsConfig {
+    LfsConfig::small_test().with_cache_policy(CachePolicy::Adaptive)
+}
+
+/// Deterministic boundary wobble applied after op `i` of the adaptive
+/// sweep: marches the write target across its clamp range so
+/// resize-triggered flushes and evictions fall throughout the script.
+/// The model run and every crash run apply the identical schedule, so
+/// their device write sequences match up to the crash.
+fn wobble_boundary(fs: &mut Lfs<SimDisk>, i: usize) {
+    fs.set_cache_boundary(4 + (i * 13) % 61);
+}
+
+/// Executes the script cleanly under the adaptive cache with the
+/// boundary wobbled after every op, recording the durability model.
+fn dry_run_adaptive(fs: &mut Lfs<SimDisk>, ops: &[Op], format_writes: u64) -> Model {
+    let mut model = Model {
+        format_writes,
+        total_writes: 0,
+        barriers: Vec::new(),
+        history: BTreeMap::new(),
+        deleted: BTreeSet::new(),
+        touch: BTreeMap::new(),
+    };
+    let mut state: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Mkdir(path) => {
+                fs.mkdir(path).expect("model run mkdir");
+            }
+            Op::Write(path, data) => {
+                upsert(fs, path, data).expect("model run write");
+                state.insert(path.clone(), data.clone());
+                model.history.entry(path.clone()).or_default().push(data.clone());
+                model.touch.insert(path.clone(), model.barriers.len());
+            }
+            Op::Unlink(path) => {
+                fs.unlink(path).expect("model run unlink");
+                state.remove(path);
+                model.deleted.insert(path.clone());
+                model.touch.insert(path.clone(), model.barriers.len());
+            }
+            Op::Sync => {
+                fs.sync().expect("model run sync");
+                model.barriers.push(Barrier {
+                    writes_done: fs.disk_writes(),
+                    durable: state.clone(),
+                });
+            }
+        }
+        wobble_boundary(fs, i);
+    }
+    model.total_writes = fs.disk_writes();
+    model
+}
+
+/// Replays the script (with the identical boundary wobble) over a
+/// crash-armed volume, stopping at the first error (the crash).
+fn crash_run_adaptive(fs: &mut Lfs<SimDisk>, ops: &[Op]) {
+    for (i, op) in ops.iter().enumerate() {
+        let r = match op {
+            Op::Mkdir(path) => fs.mkdir(path).map(|_| ()),
+            Op::Write(path, data) => upsert(fs, path, data),
+            Op::Unlink(path) => fs.unlink(path).map(|_| ()),
+            Op::Sync => fs.sync(),
+        };
+        if r.is_err() {
+            return;
+        }
+        wobble_boundary(fs, i);
+    }
+}
+
+/// Sweeps LFS with the adaptive memory manager and a boundary resize
+/// after every operation: crash at every `stride`-th write index,
+/// remount (with the adaptive config again), and hold recovery to the
+/// strict single-disk standard. A resize that dropped a dirty block
+/// instead of flushing it surfaces here as lost durable data. Panics if
+/// the boundary never actually moved during the model run — the sweep
+/// exists to cover resize-triggered flushes, so it must not pass
+/// vacuously.
+pub fn sweep_adaptive(mode: SweepMode, spec: &SweepSpec) -> ModeOutcome {
+    let ops = script(spec);
+
+    let model = {
+        let (disk, clock) = fresh_disk();
+        let mut fs = Lfs::format(disk, adaptive_cfg(), clock).expect("format");
+        let format_writes = fs.disk_writes();
+        let model = dry_run_adaptive(&mut fs, &ops, format_writes);
+        assert!(
+            fs.cache_report().boundary_moves > 0,
+            "adaptive sweep is vacuous: the boundary never moved"
+        );
+        model
+    };
+
+    let mut out = ModeOutcome {
+        fs: SweepFs::Lfs,
+        mode,
+        crash_points: 0,
+        recovered: 0,
+        detected_unmountable: 0,
+        violations: 0,
+        samples: Vec::new(),
+    };
+
+    let mut idx = model.format_writes;
+    while idx < model.total_writes {
+        out.crash_points += 1;
+        let (mut disk, clock) = fresh_disk();
+        disk.arm_crash(mode.plan(idx));
+        let mut fs = Lfs::format(disk, adaptive_cfg(), clock).expect("format");
+        crash_run_adaptive(&mut fs, &ops);
+        let image = fs.into_device().into_image();
+
+        let (disk, clock) = remount_image(image);
+        let problems = match Lfs::mount(disk, adaptive_cfg(), clock) {
+            Ok(mut fs) => {
+                out.recovered += 1;
+                check_recovery(&mut fs, &model, idx, true)
+            }
+            Err(e) => {
+                out.detected_unmountable += 1;
+                vec![format!("LFS mount refused after adaptive-cache crash: {e}")]
+            }
+        };
+        for p in problems {
+            out.violations += 1;
+            if out.samples.len() < 5 {
+                out.samples
+                    .push(format!("adaptive {} @{idx}: {p}", mode.name()));
+            }
+        }
+        idx += spec.stride;
+    }
     out
 }
 

@@ -35,6 +35,7 @@
 //! driven by the WREN IV disk model and the Sun-4/260 CPU model, so runs
 //! are deterministic.
 
+pub mod cache_mix;
 pub mod crash_sweep;
 pub mod degraded;
 pub mod fail_slow;

@@ -1,6 +1,7 @@
 //! File-system configuration.
 
 use block_cache::WritebackPolicy;
+use mem_mgr::CachePolicy;
 
 use crate::cleaner::CleanerConfig;
 
@@ -22,6 +23,11 @@ pub struct LfsConfig {
     pub cache_bytes: usize,
     /// Write-back policy (age threshold, dirty high-water mark).
     pub writeback: WritebackPolicy,
+    /// Memory-manager policy: a single shared LRU over all cached
+    /// blocks (the paper's file cache), or the adaptive split into a
+    /// write buffer and a scan-resistant read cache with a tuned
+    /// boundary between them.
+    pub cache_policy: CachePolicy,
     /// Interval between automatic checkpoints, in virtual nanoseconds.
     pub checkpoint_interval_ns: u64,
     /// Segment-cleaner configuration.
@@ -93,6 +99,7 @@ impl LfsConfig {
             max_inodes: 65_536,
             cache_bytes: 15 * 1024 * 1024,
             writeback: WritebackPolicy::paper(),
+            cache_policy: CachePolicy::SharedLru,
             checkpoint_interval_ns: 30 * 1_000_000_000,
             cleaner: CleanerConfig::default(),
             max_utilization: 0.88,
@@ -112,6 +119,7 @@ impl LfsConfig {
             max_inodes: 512,
             cache_bytes: 64 * 1024,
             writeback: WritebackPolicy::paper(),
+            cache_policy: CachePolicy::SharedLru,
             checkpoint_interval_ns: 30 * 1_000_000_000,
             cleaner: CleanerConfig::default(),
             max_utilization: 0.88,
@@ -154,6 +162,12 @@ impl LfsConfig {
     /// Builder-style override of the cache size.
     pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
         self.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Builder-style override of the memory-manager cache policy.
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
         self
     }
 

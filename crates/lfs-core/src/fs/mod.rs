@@ -17,7 +17,8 @@ mod tests;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use block_cache::{BlockCache, BlockKey, Owner};
+use block_cache::{BlockKey, Owner, WritebackTrigger};
+use mem_mgr::{CacheReport, FlushCause, MemConfig, MemMgr};
 use sim_disk::{BlockDevice, Clock, CpuCost, CpuModel};
 use vfs::{FileKind, FsError, FsResult, Ino};
 
@@ -70,7 +71,7 @@ pub struct Lfs<D: BlockDevice> {
     pub(crate) cfg: LfsConfig,
     pub(crate) clock: Arc<Clock>,
     pub(crate) cpu: CpuModel,
-    pub(crate) cache: BlockCache,
+    pub(crate) cache: MemMgr,
     pub(crate) imap: Imap,
     pub(crate) usage: UsageTable,
     pub(crate) inodes: HashMap<Ino, CachedInode>,
@@ -168,14 +169,17 @@ impl<D: BlockDevice> Lfs<D> {
         // file-system counters share a single snapshot/export.
         let registry = obs::Registry::new();
         dev.attach_obs(&registry);
-        let mut cache = BlockCache::new(
+        let seg_bytes = sb.seg_blocks as u64 * sb.block_size as u64;
+        // The flush unit is one segment: the memory manager's flush
+        // efficiency and boundary tuning are both expressed relative to
+        // segment-sized log writes.
+        let mut cache = MemMgr::new(
             sb.block_size as usize,
             (cfg.cache_bytes / sb.block_size as usize).max(8),
-            cfg.writeback,
+            MemConfig::adaptive(cfg.writeback, seg_bytes).with_policy(cfg.cache_policy),
         );
         cache.attach_obs(&registry);
         let imap = Imap::new(sb.max_inodes, sb.imap_entries_per_block() as usize);
-        let seg_bytes = sb.seg_blocks as u64 * sb.block_size as u64;
         let usage = UsageTable::new(
             sb.nsegments,
             seg_bytes,
@@ -249,6 +253,20 @@ impl<D: BlockDevice> Lfs<D> {
     /// The shared virtual clock.
     pub fn clock(&self) -> &Arc<Clock> {
         &self.clock
+    }
+
+    /// A point-in-time report of the memory manager: pool sizes, the
+    /// write/read boundary, traffic counters, flush efficiency, and
+    /// per-client residency/hit attribution.
+    pub fn cache_report(&self) -> CacheReport {
+        self.cache.report()
+    }
+
+    /// Forces the memory manager's write-buffer target to `blocks`
+    /// (clamped to its internal bounds). Primarily a test hook: the
+    /// adaptive tuner normally moves the boundary on its own.
+    pub fn set_cache_boundary(&mut self, blocks: usize) {
+        self.cache.set_boundary(blocks);
     }
 
     /// Borrows the underlying device (e.g. to inspect I/O statistics).
@@ -645,10 +663,43 @@ impl<D: BlockDevice> Lfs<D> {
     /// dirty inode-map blocks; `include_usage` writes the whole usage
     /// table (both normally only at checkpoints).
     pub(crate) fn flush(&mut self, include_imap: bool, include_usage: bool) -> FsResult<()> {
+        self.flush_as(include_imap, include_usage, FlushCause::Sync)
+    }
+
+    /// [`Lfs::flush`] with an explicit cause, so the memory manager can
+    /// attribute the flush's efficiency to the policy that forced it
+    /// (cache pressure vs. age vs. sync) when tuning its write/read
+    /// boundary.
+    pub(crate) fn flush_as(
+        &mut self,
+        include_imap: bool,
+        include_usage: bool,
+        cause: FlushCause,
+    ) -> FsResult<()> {
         let was_maintenance = std::mem::replace(&mut self.in_maintenance, true);
+        let chunks_before = self.obs.chunks_written.get();
+        let payload_before = self.payload_blocks_written();
         let result = self.flush_inner(include_imap, include_usage);
         self.in_maintenance = was_maintenance;
+        // Report payload bytes per chunk write so the manager can track
+        // flush efficiency (how full each log write ran relative to a
+        // segment) and tune the write-buffer boundary.
+        let chunk_writes = self.obs.chunks_written.get() - chunks_before;
+        if chunk_writes > 0 {
+            let payload = self.payload_blocks_written() - payload_before;
+            self.cache
+                .note_flush(payload * self.sb.block_size as u64, chunk_writes, cause);
+        }
         result
+    }
+
+    /// Total payload (non-summary) blocks written to the log so far.
+    fn payload_blocks_written(&self) -> u64 {
+        self.obs.data_blocks_written.get()
+            + self.obs.indirect_blocks_written.get()
+            + self.obs.inode_blocks_written.get()
+            + self.obs.imap_blocks_written.get()
+            + self.obs.usage_blocks_written.get()
     }
 
     fn flush_inner(&mut self, include_imap: bool, include_usage: bool) -> FsResult<()> {
@@ -861,8 +912,12 @@ impl<D: BlockDevice> Lfs<D> {
         }
 
         // Cache-driven write-back: cache full or dirty data too old.
-        if self.cache.writeback_trigger(now).is_some() {
-            self.flush(false, false)?;
+        if let Some(trigger) = self.cache.writeback_trigger(now) {
+            let cause = match trigger {
+                WritebackTrigger::CacheFull => FlushCause::CachePressure,
+                WritebackTrigger::AgeThreshold => FlushCause::AgeThreshold,
+            };
+            self.flush_as(false, false, cause)?;
         }
 
         // Bound the in-memory inode table: clean entries reload from the

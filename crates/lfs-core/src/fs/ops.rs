@@ -325,4 +325,8 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
             live_inodes: self.imap.live_count(),
         })
     }
+
+    fn set_active_client(&mut self, client: Option<u32>) {
+        self.cache.set_client(client);
+    }
 }

@@ -42,6 +42,13 @@
 //! with no operator action, exactly as a production mount would.
 //! `status` reports each spindle's serving state, the monitor's verdict
 //! (when one is armed), and its observed/model service-time inflation.
+//!
+//! `--cache-stats` (on `status` and `verify`) mounts the file system and
+//! prints the memory manager's report after the command's work: policy,
+//! write/read boundary, pool occupancy, hit/ghost/promotion counters and
+//! per-client charges. With `--cache-stats`, `status` also works on a
+//! single-image volume (`--spindles 1`), where it prints the cache
+//! report alone.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -73,6 +80,7 @@ struct Opts {
     policy: StripePolicyKind,
     degraded: Option<usize>,
     hot_spares: usize,
+    cache_stats: bool,
     verbose: bool,
     target: usize,
     rest: Vec<String>,
@@ -86,6 +94,7 @@ fn parse(args: &[String]) -> Option<Opts> {
         policy: StripePolicyKind::RrSegment,
         degraded: None,
         hot_spares: 0,
+        cache_stats: false,
         verbose: false,
         target: 8,
         rest: Vec::new(),
@@ -99,6 +108,7 @@ fn parse(args: &[String]) -> Option<Opts> {
             "--policy" => opts.policy = StripePolicyKind::parse(it.next()?)?,
             "--degraded" => opts.degraded = Some(it.next()?.parse().ok()?),
             "--hot-spare" => opts.hot_spares = it.next()?.parse().ok()?,
+            "--cache-stats" => opts.cache_stats = true,
             "--target" => opts.target = it.next()?.parse().ok()?,
             "-v" | "--verbose" => opts.verbose = true,
             _ => positional.push(arg.clone()),
@@ -344,7 +354,19 @@ fn cmd_rebuild(opts: &Opts) -> Result<(), String> {
 /// inflation the verdict is based on.
 fn cmd_status(opts: &Opts) -> Result<(), String> {
     if opts.spindles < 2 {
-        return Err("status: needs a striped array (--spindles > 1)".into());
+        if !opts.cache_stats {
+            return Err(
+                "status: needs a striped array (--spindles > 1); \
+                 on a single image use --cache-stats"
+                    .into(),
+            );
+        }
+        let dev = SingleImage.load(opts)?;
+        let clock = <SingleImage as Backing>::clock(&dev);
+        let fs = Lfs::mount(dev, cli_config(opts), clock)
+            .map_err(|e| format!("mount failed: {e}"))?;
+        print!("{}", fs.cache_report().render());
+        return Ok(());
     }
     let dev = StripedImages.load(opts)?;
     let vol = dev.volume().borrow();
@@ -375,6 +397,13 @@ fn cmd_status(opts: &Opts) -> Result<(), String> {
             ),
             None => println!("  spindle {i}: {serving:<10} {verdict}"),
         }
+    }
+    drop(vol);
+    if opts.cache_stats {
+        let clock = <StripedImages as Backing>::clock(&dev);
+        let fs = Lfs::mount(dev, cli_config(opts), clock)
+            .map_err(|e| format!("mount failed: {e}"))?;
+        print!("{}", fs.cache_report().render());
     }
     Ok(())
 }
@@ -433,6 +462,9 @@ fn run_cmd<B: Backing>(command: &str, opts: &Opts, backing: B) -> Result<(), Str
                 report.unrecoverable,
                 report.unreadable_chunks,
             );
+            if opts.cache_stats {
+                print!("{}", fs.cache_report().render());
+            }
             if fs.is_read_only() {
                 println!("volume degraded to read-only");
             }

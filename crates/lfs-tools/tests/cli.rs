@@ -284,6 +284,63 @@ fn status_reports_health_and_hot_spares() {
     assert!(!out.status.success(), "status on a single image must fail");
 }
 
+/// `--cache-stats` on `verify` and `status` prints the memory manager's
+/// report: policy, boundary, pool occupancy and traffic counters.
+#[test]
+fn cache_stats_reports_memory_manager() {
+    let dir = tmpdir("cache-stats");
+    let image = dir.join("vol.img");
+    let image = image.to_str().unwrap();
+    run_ok(&["mkfs", image, "--size-mb", "16"]);
+    let host = dir.join("h.txt");
+    std::fs::write(&host, vec![0x3Cu8; 64 * 1024]).unwrap();
+    run_ok(&[
+        "put",
+        image,
+        host.to_str().unwrap(),
+        "/cached",
+        "--size-mb",
+        "16",
+    ]);
+
+    // verify --cache-stats: the report rides on the scrub summary. The
+    // scrub reads chunks raw (below the block cache), so a fresh mount
+    // legitimately shows a cold cache — the value here is the policy,
+    // boundary and pool configuration of the mounted manager.
+    let out = run_ok(&["verify", image, "--size-mb", "16", "--cache-stats"]);
+    assert!(out.contains("scrubbed"), "{out}");
+    assert!(out.contains("cache: policy=shared"), "{out}");
+    assert!(out.contains("boundary: write target"), "{out}");
+    assert!(out.contains("pools: dirty="), "{out}");
+    assert!(out.contains("traffic: hits="), "{out}");
+
+    // status --cache-stats works on a single image (the array report
+    // needs spindles, the cache report does not)...
+    let out = run_ok(&["status", image, "--size-mb", "16", "--cache-stats"]);
+    assert!(out.contains("cache: policy="), "{out}");
+    assert!(out.contains("flush efficiency:"), "{out}");
+
+    // ...but plain single-image status still refuses.
+    assert!(!run(&["status", image, "--size-mb", "16"]).status.success());
+
+    // And on an array, status appends the cache report to the spindle
+    // listing.
+    let simg = dir.join("arr.img");
+    let simg = simg.to_str().unwrap();
+    run_ok(&["mkfs", simg, "--size-mb", "8", "--spindles", "2"]);
+    let out = run_ok(&[
+        "status",
+        simg,
+        "--size-mb",
+        "8",
+        "--spindles",
+        "2",
+        "--cache-stats",
+    ]);
+    assert!(out.contains("2 spindles"), "{out}");
+    assert!(out.contains("cache: policy="), "{out}");
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     assert!(!run(&[]).status.success());

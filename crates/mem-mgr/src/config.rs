@@ -1,0 +1,120 @@
+//! Memory-manager configuration.
+
+use block_cache::WritebackPolicy;
+
+/// Which replacement policy the manager runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Legacy behaviour: one shared LRU over clean and dirty blocks,
+    /// decision-exact with the original `block-cache` implementation.
+    #[default]
+    SharedLru,
+    /// Split write buffer / 2Q read cache with the adaptive boundary.
+    Adaptive,
+}
+
+impl CachePolicy {
+    /// Stable lower-case name, used in bench labels and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CachePolicy::SharedLru => "shared",
+            CachePolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses a policy name as written by [`CachePolicy::as_str`]
+    /// (aliases `shared-lru` and `lru` are accepted).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "shared" | "shared-lru" | "lru" => Some(CachePolicy::SharedLru),
+            "adaptive" => Some(CachePolicy::Adaptive),
+            _ => None,
+        }
+    }
+}
+
+/// Why the file system flushed, as reported through
+/// [`MemMgr::note_flush`](crate::MemMgr::note_flush).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// The dirty pool reached the write-buffer boundary
+    /// ([`WritebackTrigger::CacheFull`](block_cache::WritebackTrigger)).
+    CachePressure,
+    /// The oldest dirty block exceeded the age threshold.
+    AgeThreshold,
+    /// An explicit `sync`/checkpoint request.
+    Sync,
+}
+
+/// Configuration for a [`MemMgr`](crate::MemMgr).
+#[derive(Debug, Clone, Copy)]
+pub struct MemConfig {
+    /// Replacement policy.
+    pub policy: CachePolicy,
+    /// Write-back triggers (age threshold, dirty high water). Under
+    /// [`CachePolicy::Adaptive`] the high-water fraction only seeds the
+    /// *initial* boundary; the tuner moves it afterwards.
+    pub writeback: WritebackPolicy,
+    /// The flush unit in bytes — the segment size for LFS. Flush
+    /// efficiency is measured against this; `0` disables the write-side
+    /// pressure model (FFS has no segment-sized flush to protect).
+    pub flush_unit_bytes: u64,
+    /// Per-client obs instruments (`cache.client.<id>.*`) are only
+    /// published for client ids below this cap; internal accounting is
+    /// kept for every client regardless.
+    pub per_client_obs_max: u32,
+}
+
+impl MemConfig {
+    /// Legacy shared-LRU configuration.
+    pub fn shared(writeback: WritebackPolicy) -> Self {
+        Self {
+            policy: CachePolicy::SharedLru,
+            writeback,
+            flush_unit_bytes: 0,
+            per_client_obs_max: 32,
+        }
+    }
+
+    /// Adaptive split-pool configuration with the given flush unit.
+    pub fn adaptive(writeback: WritebackPolicy, flush_unit_bytes: u64) -> Self {
+        Self {
+            policy: CachePolicy::Adaptive,
+            writeback,
+            flush_unit_bytes,
+            per_client_obs_max: 32,
+        }
+    }
+
+    /// Builder: replaces the policy.
+    pub fn with_policy(mut self, policy: CachePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder: replaces the flush unit.
+    pub fn with_flush_unit_bytes(mut self, bytes: u64) -> Self {
+        self.flush_unit_bytes = bytes;
+        self
+    }
+
+    /// Builder: replaces the per-client obs cap.
+    pub fn with_per_client_obs_max(mut self, max: u32) -> Self {
+        self.per_client_obs_max = max;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [CachePolicy::SharedLru, CachePolicy::Adaptive] {
+            assert_eq!(CachePolicy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(CachePolicy::parse("lru"), Some(CachePolicy::SharedLru));
+        assert_eq!(CachePolicy::parse("bogus"), None);
+    }
+}

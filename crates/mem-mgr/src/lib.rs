@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Adaptive memory manager: split write buffer / scan-resistant read cache.
+//!
+//! The 1990 LFS paper assumes one large file cache absorbs reads so the
+//! log can own writes, but a single shared LRU makes those two jobs fight:
+//! dirty blocks parked while they accumulate toward a segment-sized flush
+//! evict the read working set, and one streaming client can flush
+//! everyone's hot blocks. [`MemMgr`] partitions one memory budget into
+//!
+//! * a **write buffer** — dirty blocks accumulating toward segment-sized
+//!   flushes, with flush efficiency (bytes flushed per segment write)
+//!   reported back by the owning file system via [`MemMgr::note_flush`];
+//! * a **scan-resistant read cache** — 2Q-style *probation* (FIFO, where
+//!   blocks land on first touch) and *protected* (LRU, entered only on
+//!   re-reference) pools, backed by a **ghost list** of recently evicted
+//!   keys so the manager can observe the misses a larger read pool would
+//!   have served;
+//!
+//! with an **adaptive boundary** that moves blocks between the pools by
+//! comparing read hit-rate marginal benefit (ghost hits per tuning
+//! window) against write-flush efficiency (partial-segment writes a
+//! smaller buffer would cause) — the Luo & Carey "memory walls" tuner
+//! simplified to this two-pool case.
+//!
+//! [`CachePolicy::SharedLru`] preserves the legacy `block-cache`
+//! behaviour decision-for-decision (same victims, same counters, same
+//! write-back triggers), so existing benchmarks are unchanged unless a
+//! configuration opts into [`CachePolicy::Adaptive`].
+//!
+//! The manager also keeps **per-client working-set accounting**: every
+//! resident block is charged to the client that faulted or wrote it, and
+//! hits/misses/ghost hits are attributed to the accessing client
+//! (`cache.client.<id>.*` instruments), so QoS-weighted tenants can be
+//! charged for memory the way the engine charges them for I/O.
+//!
+//! Like `block-cache`, the manager never does I/O: the file system reads
+//! misses from disk and decides when and in what layout dirty blocks are
+//! written back. **Dirty blocks are never evicted** under either policy.
+
+mod config;
+mod ghost;
+mod manager;
+mod report;
+
+pub use block_cache::{BlockKey, CacheStats, Owner, WritebackPolicy, WritebackTrigger};
+pub use config::{CachePolicy, FlushCause, MemConfig};
+pub use manager::MemMgr;
+pub use report::{CacheReport, ClientUsage};

@@ -1,0 +1,171 @@
+//! `MemMgr` in shared-LRU mode must be decision-exact with the legacy
+//! `block_cache::BlockCache`: same contents, same victims, same counters,
+//! same write-back triggers, under arbitrary operation sequences. Every
+//! existing benchmark assertion in the workspace rides on this.
+
+use proptest::prelude::*;
+
+use block_cache::{BlockCache, BlockKey, Owner, WritebackPolicy};
+use mem_mgr::{MemConfig, MemMgr};
+use vfs::Ino;
+
+const BS: usize = 32;
+const CAPACITY: usize = 6;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get { ino: u8, index: u8 },
+    GetMut { ino: u8, index: u8, at: u32 },
+    InsertClean { ino: u8, index: u8, fill: u8 },
+    InsertDirty { ino: u8, index: u8, fill: u8, at: u32 },
+    MarkClean { ino: u8, index: u8 },
+    Remove { ino: u8, index: u8 },
+    RemoveOwner { ino: u8 },
+    RemoveOwnerFrom { ino: u8, first: u8 },
+    RemoveRange { ino: u8, lo: u8, hi: u8 },
+    DropClean,
+    Trigger { at: u32 },
+}
+
+fn key(ino: u8, index: u8) -> BlockKey {
+    BlockKey::file(Ino(ino as u32), index as u64)
+}
+
+fn block(fill: u8) -> Box<[u8]> {
+    vec![fill; BS].into_boxed_slice()
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..4, 0u8..10).prop_map(|(ino, index)| Op::Get { ino, index }),
+        (1u8..4, 0u8..10, any::<u32>()).prop_map(|(ino, index, at)| Op::GetMut { ino, index, at }),
+        (1u8..4, 0u8..10, any::<u8>()).prop_map(|(ino, index, fill)| Op::InsertClean {
+            ino,
+            index,
+            fill
+        }),
+        (1u8..4, 0u8..10, any::<u8>(), any::<u32>()).prop_map(|(ino, index, fill, at)| {
+            Op::InsertDirty {
+                ino,
+                index,
+                fill,
+                at,
+            }
+        }),
+        (1u8..4, 0u8..10).prop_map(|(ino, index)| Op::MarkClean { ino, index }),
+        (1u8..4, 0u8..10).prop_map(|(ino, index)| Op::Remove { ino, index }),
+        (1u8..4).prop_map(|ino| Op::RemoveOwner { ino }),
+        (1u8..4, 0u8..10).prop_map(|(ino, first)| Op::RemoveOwnerFrom { ino, first }),
+        (1u8..4, 0u8..10, 0u8..10).prop_map(|(ino, lo, hi)| Op::RemoveRange { ino, lo, hi }),
+        Just(Op::DropClean),
+        any::<u32>().prop_map(|at| Op::Trigger { at }),
+    ]
+}
+
+/// Applies one op to both implementations and compares the observable
+/// results of that op.
+fn apply_both(legacy: &mut BlockCache, mgr: &mut MemMgr, op: &Op) {
+    match *op {
+        Op::Get { ino, index } => {
+            let a = legacy.get(key(ino, index)).map(|d| d.to_vec());
+            let b = mgr.get(key(ino, index)).map(|d| d.to_vec());
+            assert_eq!(a, b, "get({ino},{index}) diverged");
+        }
+        Op::GetMut { ino, index, at } => {
+            let a = legacy
+                .get_mut(key(ino, index), at as u64)
+                .map(|d| d.to_vec());
+            let b = mgr.get_mut(key(ino, index), at as u64).map(|d| d.to_vec());
+            assert_eq!(a, b, "get_mut({ino},{index}) diverged");
+        }
+        Op::InsertClean { ino, index, fill } => {
+            legacy.insert_clean(key(ino, index), block(fill));
+            mgr.insert_clean(key(ino, index), block(fill));
+        }
+        Op::InsertDirty {
+            ino,
+            index,
+            fill,
+            at,
+        } => {
+            legacy.insert_dirty(key(ino, index), block(fill), at as u64);
+            mgr.insert_dirty(key(ino, index), block(fill), at as u64);
+        }
+        Op::MarkClean { ino, index } => {
+            legacy.mark_clean(key(ino, index));
+            mgr.mark_clean(key(ino, index));
+        }
+        Op::Remove { ino, index } => {
+            assert_eq!(
+                legacy.remove(key(ino, index)),
+                mgr.remove(key(ino, index)),
+                "remove({ino},{index}) diverged"
+            );
+        }
+        Op::RemoveOwner { ino } => {
+            legacy.remove_owner(Owner::File(Ino(ino as u32)));
+            mgr.remove_owner(Owner::File(Ino(ino as u32)));
+        }
+        Op::RemoveOwnerFrom { ino, first } => {
+            legacy.remove_owner_from(Owner::File(Ino(ino as u32)), first as u64);
+            mgr.remove_owner_from(Owner::File(Ino(ino as u32)), first as u64);
+        }
+        Op::RemoveRange { ino, lo, hi } => {
+            legacy.remove_owner_index_range(Owner::File(Ino(ino as u32)), lo as u64, hi as u64);
+            mgr.remove_owner_index_range(Owner::File(Ino(ino as u32)), lo as u64, hi as u64);
+        }
+        Op::DropClean => {
+            legacy.drop_clean();
+            mgr.drop_clean();
+        }
+        Op::Trigger { at } => {
+            assert_eq!(
+                legacy.writeback_trigger(at as u64),
+                mgr.writeback_trigger(at as u64),
+                "writeback_trigger({at}) diverged"
+            );
+        }
+    }
+}
+
+/// Compares all externally observable state after a sequence.
+fn assert_same_state(legacy: &BlockCache, mgr: &MemMgr) {
+    assert_eq!(legacy.len(), mgr.len(), "len diverged");
+    assert_eq!(legacy.dirty_count(), mgr.dirty_count(), "dirty_count");
+    assert_eq!(legacy.stats(), mgr.stats(), "hit/miss/eviction counters");
+    assert_eq!(legacy.dirty_keys(), mgr.dirty_keys(), "dirty key set");
+    for ino in 1u8..4 {
+        assert_eq!(
+            legacy.dirty_keys_of(Owner::File(Ino(ino as u32))),
+            mgr.dirty_keys_of(Owner::File(Ino(ino as u32)))
+        );
+        for index in 0u8..10 {
+            let k = key(ino, index);
+            assert_eq!(legacy.contains(k), mgr.contains(k), "contains({ino},{index})");
+            assert_eq!(legacy.is_dirty(k), mgr.is_dirty(k), "is_dirty({ino},{index})");
+        }
+    }
+    for at in [0u64, 1 << 20, 1 << 34, u64::MAX] {
+        assert_eq!(
+            legacy.writeback_trigger(at),
+            mgr.writeback_trigger(at),
+            "trigger at {at}"
+        );
+        assert_eq!(legacy.dirty_keys_older_than(at), mgr.dirty_keys_older_than(at));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn shared_mode_matches_legacy_cache(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let policy = WritebackPolicy::paper();
+        let mut legacy = BlockCache::new(BS, CAPACITY, policy);
+        let mut mgr = MemMgr::new(BS, CAPACITY, MemConfig::shared(policy));
+        for op in &ops {
+            apply_both(&mut legacy, &mut mgr, op);
+        }
+        assert_same_state(&legacy, &mgr);
+    }
+}

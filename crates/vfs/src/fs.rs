@@ -74,6 +74,12 @@ pub trait FileSystem {
     /// Returns aggregate statistics.
     fn fs_stats(&mut self) -> FsResult<FsStats>;
 
+    /// Tags subsequent operations as issued on behalf of a client, so
+    /// implementations with per-client accounting (e.g. cache residency
+    /// attribution) can charge the right tenant. `None` clears the tag.
+    /// The default is a no-op for file systems without such accounting.
+    fn set_active_client(&mut self, _client: Option<u32>) {}
+
     /// Creates a file at `path` and writes `data` to it. Convenience for
     /// tests and workloads.
     fn write_file(&mut self, path: &str, data: &[u8]) -> FsResult<Ino> {
