@@ -20,6 +20,15 @@ pub struct FfsConfig {
     /// Memory-manager policy: shared LRU (the classic buffer cache) or
     /// the adaptive write-buffer / scan-resistant read-cache split.
     pub cache_policy: CachePolicy,
+    /// How many inode-table reads the mount-time fsck scan keeps in
+    /// flight. `1` (the default) is the classic sequential scan; `0`
+    /// asks the device for its spindle count; larger values fan the
+    /// per-cylinder-group reads out across the array through the
+    /// asynchronous read facade. The rebuilt bitmaps and link counts
+    /// are identical at every setting — the scan decodes results in
+    /// `(cylinder group, table block)` order regardless of completion
+    /// order.
+    pub fsck_fanout: usize,
 }
 
 impl FfsConfig {
@@ -33,6 +42,7 @@ impl FfsConfig {
             cache_bytes: 15 * 1024 * 1024,
             writeback: WritebackPolicy::paper(),
             cache_policy: CachePolicy::SharedLru,
+            fsck_fanout: 1,
         }
     }
 
@@ -45,6 +55,7 @@ impl FfsConfig {
             cache_bytes: 64 * 1024,
             writeback: WritebackPolicy::paper(),
             cache_policy: CachePolicy::SharedLru,
+            fsck_fanout: 1,
         }
     }
 
@@ -70,6 +81,13 @@ impl FfsConfig {
     /// Builder-style override of the block size.
     pub fn with_block_size(mut self, block_size: usize) -> Self {
         self.block_size = block_size;
+        self
+    }
+
+    /// Builder-style override of the mount-time fsck fan-out
+    /// (`0` = ask the device for its spindle count).
+    pub fn with_fsck_fanout(mut self, fanout: usize) -> Self {
+        self.fsck_fanout = fanout;
         self
     }
 

@@ -5,17 +5,31 @@
 //! log." This module is the "scan the entire disk" half of that
 //! comparison: `Ffs::fsck_scan` reads every inode-table block (and every
 //! directory and indirect block it leads to) to rebuild the bitmaps after
-//! an unclean shutdown. [`Ffs::fsck`] is the verification-only variant
+//! an unclean shutdown. An [`fsck_fanout`] above 1 fans the
+//! per-cylinder-group inode-table reads (and a prefetch of the indirect
+//! and directory blocks the later passes walk) out across the array's
+//! spindles; results are decoded in `(cylinder group, table block)`
+//! order, so the rebuilt bitmaps and link counts are identical to the
+//! sequential scan's. [`Ffs::fsck`] is the verification-only variant
 //! used by tests.
+//!
+//! [`fsck_fanout`]: crate::FfsConfig::fsck_fanout
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use block_cache::BlockKey;
 use sim_disk::BlockDevice;
-use vfs::blockmap;
+use vfs::blockmap::{self, NDIRECT};
 use vfs::{FileKind, FsResult, Ino};
 
-use crate::fs::Ffs;
-use crate::layout::{FfsInode, INODE_SIZE, NIL};
+use crate::fs::{idx_dchild, Ffs, IDX_DTOP, IDX_SINGLE};
+use crate::layout::{FfsAddr, FfsInode, INODE_SIZE, NIL};
+
+/// Reads pointer `slot` from an indirect block's raw bytes.
+fn read_ptr(block: &[u8], slot: usize) -> FfsAddr {
+    let start = slot * 4;
+    u32::from_le_bytes(block[start..start + 4].try_into().unwrap())
+}
 
 /// Verification result.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -183,22 +197,51 @@ impl<D: BlockDevice> Ffs<D> {
     pub(crate) fn fsck_scan(&mut self) -> FsResult<()> {
         self.obs.fsck_scans.inc();
         let start_ns = self.now();
+        let fanout = match self.cfg.fsck_fanout {
+            0 => self.dev.fanout(),
+            n => n,
+        };
         // Pass 1: read every inode-table block; rebuild the inode bitmap
-        // from non-empty slots.
+        // from non-empty slots. With a fan-out above 1 the reads are
+        // issued through the asynchronous facade, up to `fanout` in
+        // flight, so cylinder groups on different spindles overlap in
+        // virtual time; decoding runs over the results in
+        // `(cylinder group, table block)` order, so `found` — and the
+        // first propagated read error, if any — is identical to the
+        // sequential scan's.
         let per_block = self.block_size() / INODE_SIZE;
         let mut found: Vec<FfsInode> = Vec::new();
-        for cg in 0..self.sb.ncg {
-            for tb in 0..self.sb.it_blocks() {
-                let addr = self.sb.cg_base(cg) + 1 + tb;
-                let block = self.read_block_raw(addr)?;
-                self.obs.fsck_blocks_scanned.inc();
-                for slot in 0..per_block {
-                    let bytes = &block[slot * INODE_SIZE..(slot + 1) * INODE_SIZE];
-                    if let Ok(Some(inode)) = FfsInode::decode_slot(bytes) {
-                        let expected = self.sb.ino_at(cg, (tb as usize * per_block + slot) as u32);
-                        if inode.ino == expected {
-                            found.push(inode);
-                        }
+        let table: Vec<(u32, u32)> = (0..self.sb.ncg)
+            .flat_map(|cg| (0..self.sb.it_blocks()).map(move |tb| (cg, tb)))
+            .collect();
+        let mut prefetched = if fanout > 1 {
+            let bs = self.block_size();
+            let reqs: Vec<(u64, usize)> = table
+                .iter()
+                .map(|&(cg, tb)| (self.sector_of(self.sb.cg_base(cg) + 1 + tb), bs))
+                .collect();
+            self.dev.set_maintenance(true);
+            let (results, _) = sim_disk::read_batch(&mut self.dev, "fsck-scan", fanout, &reqs);
+            self.dev.set_maintenance(false);
+            Some(results.into_iter())
+        } else {
+            None
+        };
+        for (cg, tb) in table {
+            let block = match prefetched.as_mut().and_then(|iter| iter.next()) {
+                Some(result) => result?,
+                None => {
+                    let addr = self.sb.cg_base(cg) + 1 + tb;
+                    self.read_block_raw(addr)?
+                }
+            };
+            self.obs.fsck_blocks_scanned.inc();
+            for slot in 0..per_block {
+                let bytes = &block[slot * INODE_SIZE..(slot + 1) * INODE_SIZE];
+                if let Ok(Some(inode)) = FfsInode::decode_slot(bytes) {
+                    let expected = self.sb.ino_at(cg, (tb as usize * per_block + slot) as u32);
+                    if inode.ino == expected {
+                        found.push(inode);
                     }
                 }
             }
@@ -219,6 +262,14 @@ impl<D: BlockDevice> Ffs<D> {
                     dirty: false,
                 },
             );
+        }
+        // With a fan-out, front-load the cache misses passes 2 and 3
+        // are about to take: indirect blocks and directory data, read
+        // in overlapped waves. The passes themselves are untouched — a
+        // block the gather could not fetch is re-read serially with
+        // the identical error, so the rebuilt state does not change.
+        if fanout > 1 {
+            self.gather_scan_metadata(fanout, &found);
         }
         // Pass 2: walk every file's pointer tree to rebuild the block
         // bitmap (reads every indirect block — the expensive part).
@@ -244,6 +295,78 @@ impl<D: BlockDevice> Ffs<D> {
             ),
         );
         Ok(())
+    }
+
+    /// Issues one wave of `(cache key, disk address)` prefetches with at
+    /// most `window` reads in flight. Quiet: a read that fails is simply
+    /// not inserted, leaving the serial pass to re-read and report it.
+    fn gather_wave(&mut self, window: usize, mut targets: Vec<(BlockKey, FfsAddr)>) {
+        targets.retain(|&(key, addr)| addr != NIL && !self.cache.contains(key));
+        // Ascending disk order: deterministic, and sequential within
+        // each spindle's share of the address space.
+        targets.sort_by_key(|&(_, addr)| addr);
+        targets.dedup();
+        let bs = self.block_size();
+        let reqs: Vec<(u64, usize)> = targets
+            .iter()
+            .map(|&(_, addr)| (self.sector_of(addr), bs))
+            .collect();
+        let (results, _) = sim_disk::read_batch(&mut self.dev, "fsck-gather", window, &reqs);
+        for ((key, _), result) in targets.into_iter().zip(results) {
+            if let Ok(data) = result {
+                self.cache.insert_clean(key, data.into_boxed_slice());
+            }
+        }
+    }
+
+    /// Prefetches the blocks passes 2 and 3 will walk: wave 1 the
+    /// indirect roots and direct directory data of every recovered
+    /// inode, wave 2 the double-indirect children and each directory's
+    /// single-indirect data span.
+    fn gather_scan_metadata(&mut self, window: usize, found: &[FfsInode]) {
+        self.dev.set_maintenance(true);
+        let bs = self.block_size();
+        let ppb = bs / 4;
+
+        let mut wave: Vec<(BlockKey, FfsAddr)> = Vec::new();
+        for inode in found {
+            wave.push((BlockKey::file(inode.ino, IDX_SINGLE), inode.single));
+            wave.push((BlockKey::file(inode.ino, IDX_DTOP), inode.double));
+            if inode.kind == FileKind::Directory {
+                let nblocks = blockmap::blocks_for_size(inode.size, bs);
+                for bno in 0..nblocks.min(NDIRECT as u64) {
+                    wave.push((BlockKey::file(inode.ino, bno), inode.direct[bno as usize]));
+                }
+            }
+        }
+        self.gather_wave(window, wave);
+
+        let mut wave: Vec<(BlockKey, FfsAddr)> = Vec::new();
+        for inode in found {
+            if inode.double != NIL {
+                if let Some(block) = self.cache.peek(BlockKey::file(inode.ino, IDX_DTOP)) {
+                    let children: Vec<FfsAddr> =
+                        (0..ppb).map(|slot| read_ptr(block, slot)).collect();
+                    for (outer, child) in children.into_iter().enumerate() {
+                        wave.push((BlockKey::file(inode.ino, idx_dchild(outer as u32)), child));
+                    }
+                }
+            }
+            if inode.kind == FileKind::Directory && inode.single != NIL {
+                if let Some(block) = self.cache.peek(BlockKey::file(inode.ino, IDX_SINGLE)) {
+                    let nblocks = blockmap::blocks_for_size(inode.size, bs);
+                    let hi = nblocks.min(NDIRECT as u64 + ppb as u64);
+                    let spans: Vec<(u64, FfsAddr)> = (NDIRECT as u64..hi)
+                        .map(|bno| (bno, read_ptr(block, (bno - NDIRECT as u64) as usize)))
+                        .collect();
+                    for (bno, addr) in spans {
+                        wave.push((BlockKey::file(inode.ino, bno), addr));
+                    }
+                }
+            }
+        }
+        self.gather_wave(window, wave);
+        self.dev.set_maintenance(false);
     }
 
     fn mark_inode_allocated(&mut self, ino: Ino) {

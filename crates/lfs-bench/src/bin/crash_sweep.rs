@@ -12,8 +12,8 @@
 //! N-th crash index).
 
 use lfs_bench::crash_sweep::{
-    sweep, sweep_adaptive, sweep_cleaner, sweep_rebuild, sweep_striped, SweepFs, SweepMode,
-    SweepSpec,
+    sweep, sweep_adaptive, sweep_cleaner, sweep_par_recovery, sweep_rebuild, sweep_striped,
+    SweepFs, SweepMode, SweepSpec,
 };
 use lfs_bench::{print_table, MetricsReport, Row};
 
@@ -125,6 +125,35 @@ fn main() {
             all_clean &= out.is_clean();
             samples.extend(out.samples);
         }
+    }
+
+    // Parallel recovery: the striped crash runs again on a 4-spindle
+    // volume, but every remount recovers with `recovery_fanout = 0`
+    // (ask the device), so the roll-forward's summary sweep and tail
+    // prefetch run fanned out across the spindles. The parallel scan
+    // must be bit-equivalent to the sequential one, so the outcome is
+    // held to the strict single-disk standard.
+    for mode in [SweepMode::Drop, SweepMode::Torn] {
+        let out = sweep_par_recovery(mode, &spec, 4);
+        let prefix = format!("sweep.lfs_par_recovery_4sp.{}", mode.name());
+        registry.counter(&format!("{prefix}.crash_points")).add(out.crash_points);
+        registry.counter(&format!("{prefix}.recovered")).add(out.recovered);
+        registry
+            .counter(&format!("{prefix}.detected_unmountable"))
+            .add(out.detected_unmountable);
+        registry.counter(&format!("{prefix}.violations")).add(out.violations);
+        rows.push(Row::new(
+            format!("lfs par-rec x4 {}", mode.name()),
+            vec![
+                out.crash_points.to_string(),
+                out.recovered.to_string(),
+                out.detected_unmountable.to_string(),
+                out.violations.to_string(),
+                if out.is_clean() { "yes" } else { "NO" }.to_string(),
+            ],
+        ));
+        all_clean &= out.is_clean();
+        samples.extend(out.samples);
     }
 
     // Adaptive cache in the loop: the single-disk sweep with the

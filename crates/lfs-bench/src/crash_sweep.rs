@@ -568,6 +568,83 @@ pub fn sweep_striped(mode: SweepMode, spec: &SweepSpec, spindles: usize) -> Mode
     out
 }
 
+/// Sweeps LFS on a multi-spindle volume with **parallel recovery** at
+/// the remount: the crash runs are identical to [`sweep_striped`]'s,
+/// but the surviving image is remounted with `recovery_fanout = 0`
+/// (ask the device), so the roll-forward's summary sweep and tail
+/// prefetch run fanned out across the spindles. Recovery must be
+/// bit-equivalent to the sequential scan, so the outcome is held to
+/// exactly the single-disk standard: always mounts, never silently
+/// corrupts, strict content checks. Panics if no remount actually
+/// partitioned its scan across more than one spindle — the sweep
+/// exists to cover the parallel path, so a config change that routes
+/// every remount through the sequential scan must fail loudly, not
+/// pass vacuously.
+pub fn sweep_par_recovery(mode: SweepMode, spec: &SweepSpec, spindles: usize) -> ModeOutcome {
+    assert!(spindles >= 2, "a parallel-recovery sweep needs >= 2 spindles");
+    let ops = script(spec);
+
+    let model = {
+        let (vol, clock) = fresh_volume(spindles);
+        let dev = VolumeDisk::new(vol.into_shared());
+        let mut fs = Lfs::format(dev, LfsConfig::small_test(), clock).expect("format");
+        let format_writes = fs.disk_writes();
+        dry_run(&mut fs, &ops, format_writes)
+    };
+
+    let mut out = ModeOutcome {
+        fs: SweepFs::Lfs,
+        mode,
+        crash_points: 0,
+        recovered: 0,
+        detected_unmountable: 0,
+        violations: 0,
+        samples: Vec::new(),
+    };
+
+    let mut max_partitions = 0u64;
+    let mut idx = model.format_writes;
+    while idx < model.total_writes {
+        out.crash_points += 1;
+        let (mut vol, clock) = fresh_volume(spindles);
+        vol.arm_crash_all(mode.plan(idx));
+        let dev = VolumeDisk::new(vol.into_shared());
+        let mut fs = Lfs::format(dev, LfsConfig::small_test(), clock).expect("format");
+        crash_run(&mut fs, &ops);
+        let images = fs.into_device().into_images();
+
+        let (vol, clock) = remount_volume(spindles, images);
+        let dev = VolumeDisk::new(vol.into_shared());
+        let remount_cfg = LfsConfig::small_test().with_recovery_fanout(0);
+        let problems = match Lfs::mount(dev, remount_cfg, clock) {
+            Ok(mut fs) => {
+                out.recovered += 1;
+                max_partitions = max_partitions.max(fs.stats().recovery_partitions);
+                check_recovery(&mut fs, &model, idx, true)
+            }
+            Err(e) => {
+                out.detected_unmountable += 1;
+                vec![format!("LFS mount refused after parallel-recovery crash: {e}")]
+            }
+        };
+        for p in problems {
+            out.violations += 1;
+            if out.samples.len() < 5 {
+                out.samples
+                    .push(format!("par-recovery {}x{spindles} @{idx}: {p}", mode.name()));
+            }
+        }
+        idx += spec.stride;
+    }
+    assert!(
+        max_partitions > 1,
+        "parallel-recovery sweep is vacuous: no remount partitioned its \
+         scan across more than one spindle ({} points swept)",
+        out.crash_points
+    );
+    out
+}
+
 /// The small_test config with the incremental cleaner always eager:
 /// watermarks far above any reachable clean count and minimal step caps,
 /// so the scripted churn keeps a [`lfs_core::CleanerRun`] in flight for

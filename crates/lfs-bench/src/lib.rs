@@ -30,6 +30,7 @@
 //! | `crash_sweep` | §4.4 — exhaustive crash/media-fault torture sweep |
 //! | `degraded_rebuild` | §3 parity claim — degraded reads and online rebuild |
 //! | `fail_slow` | fail-slow tolerance — hedged reads, health eviction, hot-spare failover |
+//! | `recovery_scaling` | §4.4 — crash-recovery time vs spindle count (parallel recovery) |
 //!
 //! All measurements are **virtual time** from the shared [`sim_disk::Clock`]
 //! driven by the WREN IV disk model and the Sun-4/260 CPU model, so runs
@@ -40,6 +41,7 @@ pub mod crash_sweep;
 pub mod degraded;
 pub mod fail_slow;
 pub mod interference;
+pub mod recovery_scaling;
 pub mod trace_replay;
 
 use std::sync::Arc;

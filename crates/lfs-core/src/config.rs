@@ -88,6 +88,20 @@ pub struct LfsConfig {
     /// costs segment-tail fragmentation (which the cleaner reclaims)
     /// without buying anything.
     pub seal_on_flush: bool,
+    /// Recovery read fan-out: how many spindle partitions the recovery
+    /// path (roll-forward, fsck's gather phase, scrub's gather phase)
+    /// keeps in flight at once through the device's asynchronous read
+    /// facade.
+    ///
+    /// `1` (the default) is strictly sequential — the recovery code
+    /// takes the same synchronous path it always has. `0` means "ask
+    /// the device": the fan-out becomes [`BlockDevice::fanout`], i.e.
+    /// the spindle count of a striped volume. Any other value is used
+    /// as-is. The recovered state is bit-identical at every setting;
+    /// only the virtual time spent recovering changes.
+    ///
+    /// [`BlockDevice::fanout`]: sim_disk::BlockDevice::fanout
+    pub recovery_fanout: usize,
 }
 
 impl LfsConfig {
@@ -107,6 +121,7 @@ impl LfsConfig {
             fsync_checkpoints: false,
             segment_align_metadata: false,
             seal_on_flush: false,
+            recovery_fanout: 1,
         }
     }
 
@@ -127,6 +142,7 @@ impl LfsConfig {
             fsync_checkpoints: false,
             segment_align_metadata: false,
             seal_on_flush: false,
+            recovery_fanout: 1,
         }
     }
 
@@ -183,6 +199,15 @@ impl LfsConfig {
     /// [`segment_align_metadata`]: LfsConfig::segment_align_metadata
     pub fn with_segment_aligned_metadata(mut self) -> Self {
         self.segment_align_metadata = true;
+        self
+    }
+
+    /// Builder-style override of [`recovery_fanout`]: `1` sequential,
+    /// `0` match the device's spindle count, `n` explicit.
+    ///
+    /// [`recovery_fanout`]: LfsConfig::recovery_fanout
+    pub fn with_recovery_fanout(mut self, fanout: usize) -> Self {
+        self.recovery_fanout = fanout;
         self
     }
 

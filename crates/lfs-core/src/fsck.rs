@@ -76,6 +76,16 @@ impl<D: BlockDevice> Lfs<D> {
     /// # Ok::<(), vfs::FsError>(())
     /// ```
     pub fn fsck(&mut self) -> FsResult<FsckReport> {
+        // Gather phase: with a recovery fan-out configured, prefetch
+        // the metadata the verify phases below will read — fanned out
+        // across spindles through the async read facade. The verify
+        // phases are untouched: a block the gather could not fetch (or
+        // that failed its checksum) is simply re-read serially, so the
+        // report is identical to a sequential check's.
+        let fanout = crate::recovery::effective_fanout(self);
+        if fanout > 1 {
+            self.gather_metadata(fanout);
+        }
         let mut report = FsckReport::default();
         let bs = self.block_size() as u64;
 

@@ -46,6 +46,7 @@ mod cleaner_tests;
 pub mod config;
 pub mod fs;
 pub mod fsck;
+mod gather;
 pub mod imap;
 pub mod layout;
 pub mod log;

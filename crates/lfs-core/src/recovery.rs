@@ -24,10 +24,31 @@
 //!    only a hint, so any cheap reconstruction is acceptable).
 //! 5. Checkpoint, so recovery is idempotent and the log sequence jumps
 //!    past any stale tail.
+//!
+//! # Parallel recovery
+//!
+//! With [`recovery_fanout`] above 1 the scan is partitioned by spindle:
+//! a gather phase reads every segment's first block (the summary-block
+//! sweep) and then the full image of every *candidate* tail segment —
+//! one whose first chunk is pinned to its own address and carries a
+//! sequence number the checkpointed position could reach — through the
+//! device's asynchronous read facade, so the per-spindle queues overlap
+//! in virtual time. A serial merge then walks exactly the sequential
+//! chain over the prefetched images: chunks are validated and applied
+//! in log order (within a segment by `(seq, partial)` continuity,
+//! across segments by the `next_seg` link and the successor's sequence
+//! number), so the recovered inode map, directory tree, and usage
+//! array are bit-identical to the sequential scan's. Read errors
+//! captured by the gather phase are surfaced only when the merge
+//! actually walks into the failed segment — segments off the chain can
+//! rot freely, exactly as under the sequential scan, which never reads
+//! them.
+//!
+//! [`recovery_fanout`]: crate::LfsConfig::recovery_fanout
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use sim_disk::BlockDevice;
+use sim_disk::{BlockDevice, DiskResult};
 use vfs::blockmap;
 use vfs::{FileKind, FsError, FsResult, Ino};
 
@@ -39,13 +60,219 @@ use crate::layout::usage_block::SegState;
 use crate::log::LogPosition;
 use crate::types::{BlockAddr, SegNo, INODE_SIZE};
 
+/// The fan-out the recovery path should use on this mount: the
+/// configured value, or the device's spindle count when the
+/// configuration says "ask the device" (`0`).
+pub(crate) fn effective_fanout<D: BlockDevice>(fs: &Lfs<D>) -> usize {
+    match fs.cfg.recovery_fanout {
+        0 => fs.dev.fanout(),
+        n => n,
+    }
+}
+
+/// One segment's scan result: the validated chunks in log order (each
+/// paired with the absolute in-segment block offset of its first
+/// payload block) and whether the walk ended on a torn payload.
+struct SegmentScan {
+    chunks: Vec<(ChunkSummary, u32)>,
+    torn: bool,
+}
+
+/// Walks the chunk chain inside one segment image, validating but not
+/// applying. `image` covers blocks `[image_base, seg_blocks)` of the
+/// segment at `base`; the first chunk is expected at `image_base` with
+/// `(seq, first_partial)`. Shared by the sequential scan and the
+/// parallel merge, so both validate chunks with literally the same
+/// code.
+fn scan_segment(
+    image: &[u8],
+    image_base: usize,
+    base: BlockAddr,
+    seg_blocks: usize,
+    bs: usize,
+    seq: u64,
+    first_partial: u32,
+) -> SegmentScan {
+    let mut chunks = Vec::new();
+    let mut offset_abs = image_base;
+    let mut partial = first_partial;
+    let mut torn = false;
+    while offset_abs + 1 < seg_blocks {
+        let offset = offset_abs - image_base;
+        // `decode_at` also pins the chunk to this exact address: a
+        // byte-exact copy of some other (valid, CRC-clean) chunk
+        // landing here — e.g. XOR-forged while reconstructing a
+        // parity row a crash tore — must read as end-of-log, not as
+        // applicable history.
+        let here = BlockAddr(base.0 + offset_abs as u32);
+        let Ok(chunk) = ChunkSummary::decode_at(&image[offset * bs..], here) else {
+            break;
+        };
+        if chunk.seq != seq || chunk.partial != partial {
+            break;
+        }
+        let s = (chunk.reserved_blocks as usize)
+            .max(ChunkSummary::summary_blocks(chunk.entries.len(), bs));
+        let payload_start = offset + s;
+        let payload_end = payload_start + chunk.entries.len();
+        if image_base + payload_end > seg_blocks {
+            break;
+        }
+        let payload = &image[payload_start * bs..payload_end * bs];
+        if summary::data_checksum(payload) != chunk.data_crc {
+            // Torn write: the log ends here.
+            torn = true;
+            break;
+        }
+        let payload_abs = (image_base + payload_start) as u32;
+        offset_abs = image_base + payload_end;
+        partial += 1;
+        chunks.push((chunk, payload_abs));
+    }
+    SegmentScan { chunks, torn }
+}
+
+// The windowed async read helper lives in `sim-disk` so the FFS
+// baseline's fanned-out fsck scan can share it.
+pub(crate) use sim_disk::read_batch;
+
+/// The gather phase's haul: per-segment first-block headers from the
+/// sweep and full tail images of the candidate segments. Errors are
+/// held, not raised — the merge surfaces one only when it walks into
+/// the segment that failed, which is the only time the sequential scan
+/// would have issued the read at all.
+struct TailPrefetch {
+    headers: HashMap<SegNo, DiskResult<Vec<u8>>>,
+    images: HashMap<SegNo, DiskResult<Vec<u8>>>,
+    /// Async reads issued by the gather (for `recovery.parallel_reads`).
+    overlapped: u64,
+}
+
+impl TailPrefetch {
+    /// The tail image of `seg` (headerless segments were never
+    /// prefetched; the merge cannot ask for one, but fall back to the
+    /// synchronous read rather than trusting that invariant with data).
+    fn image<D: BlockDevice>(&mut self, fs: &mut Lfs<D>, seg: SegNo, offset: u32) -> FsResult<Vec<u8>> {
+        match self.images.remove(&seg) {
+            Some(res) => Ok(res?),
+            None => {
+                let bs = fs.block_size();
+                let seg_blocks = fs.superblock().seg_blocks as usize;
+                let start = fs.sb.seg_block(seg, offset);
+                let mut image = vec![0u8; (seg_blocks - offset as usize) * bs];
+                fs.dev.annotate("rollforward-read");
+                fs.dev.read(fs.sector_of(start), &mut image)?;
+                Ok(image)
+            }
+        }
+    }
+
+    /// The first block of `seg`, as read by the sweep.
+    fn header<D: BlockDevice>(&mut self, fs: &mut Lfs<D>, seg: SegNo) -> FsResult<Vec<u8>> {
+        match self.headers.remove(&seg) {
+            Some(res) => Ok(res?),
+            None => Ok(fs.read_block_raw(fs.sb.seg_block(seg, 0))?),
+        }
+    }
+}
+
+/// Fans the tail scan out across spindles: sweeps every segment's
+/// summary block, then prefetches the full image of each candidate
+/// tail segment, all through the async read facade under the
+/// maintenance I/O class with at most `window` requests in flight.
+fn prefetch_tail<D: BlockDevice>(fs: &mut Lfs<D>, window: usize) -> TailPrefetch {
+    let bs = fs.block_size();
+    let seg_blocks = fs.superblock().seg_blocks as usize;
+    let nsegments = fs.sb.nsegments;
+    let cp = fs.pos;
+    fs.dev.set_maintenance(true);
+
+    // Phase 1: the summary-block sweep. One block per segment, claimed
+    // in segment order; under segment round-robin the requests land on
+    // the spindles round-robin, so a window of one-per-spindle keeps
+    // every arm busy.
+    let head_reqs: Vec<(u64, usize)> = (0..nsegments)
+        .map(|s| (fs.sector_of(fs.sb.seg_block(SegNo(s), 0)), bs))
+        .collect();
+    let (head_results, sweep_overlapped) =
+        read_batch(&mut fs.dev, "recovery-sweep", window, &head_reqs);
+    let mut headers: HashMap<SegNo, DiskResult<Vec<u8>>> = HashMap::new();
+    for (s, res) in head_results.into_iter().enumerate() {
+        headers.insert(SegNo(s as u32), res);
+    }
+
+    // Phase 2: full tails of the candidates. A candidate's first chunk
+    // is pinned to its own address with `partial == 0` and a sequence
+    // number in `(cp.seq, cp.seq + nsegments]` — the only numbers a
+    // chain hop from the checkpoint can ever require, since the chain
+    // visits each segment at most once (a segment's first chunk has one
+    // fixed sequence number, and hops strictly increase it). The
+    // checkpointed segment's own unconsumed tail joins the batch.
+    let mut tail_reqs: Vec<(SegNo, u32)> = Vec::new();
+    if (cp.offset as usize) + 1 < seg_blocks {
+        tail_reqs.push((cp.seg, cp.offset));
+    }
+    for s in 0..nsegments {
+        let seg = SegNo(s);
+        if seg == cp.seg {
+            continue;
+        }
+        let Some(Ok(header)) = headers.get(&seg) else {
+            continue;
+        };
+        let Ok(head) = ChunkSummary::decode_header_prefix(header) else {
+            continue;
+        };
+        let first = fs.sb.seg_block(seg, 0);
+        if head.addr == first
+            && head.partial == 0
+            && head.seq > cp.seq
+            && head.seq <= cp.seq + nsegments as u64
+        {
+            tail_reqs.push((seg, 0));
+        }
+    }
+    let reqs: Vec<(u64, usize)> = tail_reqs
+        .iter()
+        .map(|&(seg, offset)| {
+            (
+                fs.sector_of(fs.sb.seg_block(seg, offset)),
+                (seg_blocks - offset as usize) * bs,
+            )
+        })
+        .collect();
+    let (tail_results, tail_overlapped) =
+        read_batch(&mut fs.dev, "rollforward-read", window, &reqs);
+    let mut images: HashMap<SegNo, DiskResult<Vec<u8>>> = HashMap::new();
+    for ((seg, _), res) in tail_reqs.into_iter().zip(tail_results) {
+        images.insert(seg, res);
+    }
+
+    fs.dev.set_maintenance(false);
+    TailPrefetch {
+        headers,
+        images,
+        overlapped: sweep_overlapped + tail_overlapped,
+    }
+}
+
+
 /// Runs roll-forward recovery on a freshly checkpoint-mounted file system.
 pub(crate) fn roll_forward<D: BlockDevice>(fs: &mut Lfs<D>) -> FsResult<()> {
     let bs = fs.block_size();
     let seg_blocks = fs.superblock().seg_blocks as usize;
+    let fanout = effective_fanout(fs);
+    let mut prefetch = if fanout > 1 {
+        Some(prefetch_tail(fs, fanout))
+    } else {
+        None
+    };
     let mut pos = fs.pos;
     let mut applied = 0u64;
     let mut recovered_inodes = 0u64;
+    // Spindles that served segments the merge actually consumed (the
+    // non-vacuity signal for the equivalence tests).
+    let mut partitions: HashSet<usize> = HashSet::new();
     // Segments touched by the recovered tail (must not be reused before
     // the post-recovery checkpoint).
     let mut tail_segments: Vec<SegNo> = Vec::new();
@@ -53,69 +280,56 @@ pub(crate) fn roll_forward<D: BlockDevice>(fs: &mut Lfs<D>) -> FsResult<()> {
     'segments: loop {
         // Read the unconsumed tail of the current segment in one
         // sequential transfer (for the checkpointed segment this skips
-        // everything the checkpoint already covers).
+        // everything the checkpoint already covers). The parallel path
+        // claims the same bytes from the gather phase's prefetch.
         let image_base = pos.offset as usize;
         if image_base + 1 >= seg_blocks {
             break;
         }
         let start = fs.sb.seg_block(pos.seg, pos.offset);
         let base = fs.sb.seg_block(pos.seg, 0);
-        let mut image = vec![0u8; (seg_blocks - image_base) * bs];
-        fs.dev.annotate("rollforward-read");
-        fs.dev.read(fs.sector_of(start), &mut image)?;
+        let image = match prefetch.as_mut() {
+            Some(p) => {
+                partitions.insert(fs.dev.spindle_of(fs.sector_of(start)));
+                p.image(fs, pos.seg, pos.offset)?
+            }
+            None => {
+                let mut image = vec![0u8; (seg_blocks - image_base) * bs];
+                fs.dev.annotate("rollforward-read");
+                fs.dev.read(fs.sector_of(start), &mut image)?;
+                image
+            }
+        };
 
         // Walk chunks from the current offset. A sealing chunk's
         // `next_seg` link tells us where the log continues (§4.3.1's
         // linked list of segments), so recovery only reads the tail.
+        let scan = scan_segment(&image, image_base, base, seg_blocks, bs, pos.seq, pos.partial);
         let mut next_seg = SegNo::NIL;
-        while (pos.offset as usize) + 1 < seg_blocks {
-            let offset = pos.offset as usize - image_base;
-            // `decode_at` also pins the chunk to this exact address: a
-            // byte-exact copy of some other (valid, CRC-clean) chunk
-            // landing here — e.g. XOR-forged while reconstructing a
-            // parity row a crash tore — must read as end-of-log, not as
-            // applicable history.
-            let here = BlockAddr(base.0 + pos.offset);
-            let Ok(chunk) = ChunkSummary::decode_at(&image[offset * bs..], here) else {
-                break;
-            };
-            if chunk.seq != pos.seq || chunk.partial != pos.partial {
-                break;
-            }
-            let s = (chunk.reserved_blocks as usize)
-                .max(ChunkSummary::summary_blocks(chunk.entries.len(), bs));
-            let payload_start = offset + s;
-            let payload_end = payload_start + chunk.entries.len();
-            if image_base + payload_end > seg_blocks {
-                break;
-            }
-            let payload = &image[payload_start * bs..payload_end * bs];
-            if summary::data_checksum(payload) != chunk.data_crc {
-                // Torn write: the log ends here.
-                break 'segments;
-            }
-            apply_chunk(
-                fs,
-                &chunk,
-                base,
-                (image_base + payload_start) as u32,
-                payload,
-                &mut recovered_inodes,
-            )?;
+        for (chunk, payload_abs) in &scan.chunks {
+            let off = (*payload_abs as usize - image_base) * bs;
+            let payload = &image[off..off + chunk.entries.len() * bs];
+            apply_chunk(fs, chunk, base, *payload_abs, payload, &mut recovered_inodes)?;
             if tail_segments.last() != Some(&pos.seg) {
                 tail_segments.push(pos.seg);
             }
-            pos.offset = (image_base + payload_end) as u32;
+            pos.offset = *payload_abs + chunk.entries.len() as u32;
             pos.partial += 1;
             applied += 1;
             next_seg = chunk.next_seg;
+        }
+        if scan.torn {
+            break 'segments;
         }
 
         // Follow the chain link. A valid successor's first chunk must
         // carry the next sequence number.
         if next_seg.is_some() && next_seg.0 < fs.sb.nsegments && next_seg != pos.seg {
             let first = fs.sb.seg_block(next_seg, 0);
-            let header = fs.read_block_raw(first)?;
+            let header = match prefetch.as_mut() {
+                Some(p) => p.header(fs, next_seg)?,
+                None => fs.read_block_raw(first)?,
+            };
             if let Ok(head) = ChunkSummary::decode_header_prefix(&header) {
                 if head.addr == first && head.seq == pos.seq + 1 && head.partial == 0 {
                     pos = LogPosition {
@@ -129,6 +343,11 @@ pub(crate) fn roll_forward<D: BlockDevice>(fs: &mut Lfs<D>) -> FsResult<()> {
             }
         }
         break;
+    }
+
+    if let Some(p) = &prefetch {
+        fs.obs.recovery_partitions.add(partitions.len() as u64);
+        fs.obs.recovery_parallel_reads.add(p.overlapped);
     }
 
     // The registry is fresh at mount, so the counters start at zero and
@@ -148,6 +367,13 @@ pub(crate) fn roll_forward<D: BlockDevice>(fs: &mut Lfs<D>) -> FsResult<()> {
     // Discard volatile state built up during the scan.
     fs.inodes.clear();
     fs.cache.drop_clean();
+
+    // Front-load the metadata misses of the serial repair passes below
+    // (directory reconciliation, usage recount) so they overlap across
+    // spindles instead of stalling one block at a time.
+    if fanout > 1 {
+        fs.gather_metadata(fanout);
+    }
 
     // The recovered tail consumed log space; resume on a fresh segment.
     // The sequence number jumps by `nsegments + 1`: between any two

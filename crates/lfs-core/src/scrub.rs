@@ -82,8 +82,32 @@ impl<D: BlockDevice> Lfs<D> {
                 matches!(self.usage.state(seg), SegState::Dirty | SegState::Active)
             })
             .collect();
-        for seg in victims {
-            self.scrub_segment(seg, &mut report)?;
+        // Gather phase: with a recovery fan-out configured, the
+        // whole-segment images are read up front through the async
+        // facade, overlapping across spindles. The verify/repair phase
+        // below then runs serially over the prefetched bytes in the
+        // same ascending segment order; an image the gather could not
+        // read falls back to the identical per-block retry path, so
+        // every outcome (report, salvage, read-only degradation)
+        // matches the sequential walk's.
+        let fanout = crate::recovery::effective_fanout(self);
+        let mut images: Vec<Option<sim_disk::DiskResult<Vec<u8>>>> = Vec::new();
+        if fanout > 1 {
+            let bs = self.block_size();
+            let seg_blocks = self.sb.seg_blocks as usize;
+            self.dev.set_maintenance(true);
+            let reqs: Vec<(u64, usize)> = victims
+                .iter()
+                .map(|&seg| (self.sector_of(self.sb.seg_block(seg, 0)), seg_blocks * bs))
+                .collect();
+            let (results, _) =
+                crate::recovery::read_batch(&mut self.dev, "scrub-read", fanout, &reqs);
+            self.dev.set_maintenance(false);
+            images = results.into_iter().map(Some).collect();
+        }
+        for (i, seg) in victims.iter().enumerate() {
+            let prefetched = images.get_mut(i).and_then(Option::take);
+            self.scrub_segment(*seg, prefetched, &mut report)?;
         }
         self.obs.scrub_segments.add(report.segments);
         self.obs.scrub_blocks_verified.add(report.blocks_verified);
@@ -109,8 +133,15 @@ impl<D: BlockDevice> Lfs<D> {
         Ok(report)
     }
 
-    /// Scrubs one segment's chunk chain.
-    fn scrub_segment(&mut self, seg: SegNo, report: &mut ScrubReport) -> FsResult<()> {
+    /// Scrubs one segment's chunk chain. `prefetched` carries the
+    /// gather phase's whole-segment read when the fanned-out scrub is
+    /// active; `None` reads synchronously in place.
+    fn scrub_segment(
+        &mut self,
+        seg: SegNo,
+        prefetched: Option<sim_disk::DiskResult<Vec<u8>>>,
+        report: &mut ScrubReport,
+    ) -> FsResult<()> {
         report.segments += 1;
         let bs = self.block_size();
         let seg_blocks = self.sb.seg_blocks as usize;
@@ -119,10 +150,18 @@ impl<D: BlockDevice> Lfs<D> {
         // Read the whole segment in one sequential transfer when the
         // media cooperates; fall back to per-block reads (with retries)
         // so one latent sector does not hide the rest of the segment.
-        let mut image = vec![0u8; seg_blocks * bs];
-        self.dev.annotate("scrub-read");
-        let blocks: Vec<Option<Vec<u8>>> = match self.dev.read(self.sector_of(base), &mut image) {
-            Ok(()) => image.chunks(bs).map(|c| Some(c.to_vec())).collect(),
+        let whole = match prefetched {
+            Some(result) => result,
+            None => {
+                let mut image = vec![0u8; seg_blocks * bs];
+                self.dev.annotate("scrub-read");
+                self.dev
+                    .read(self.sector_of(base), &mut image)
+                    .map(|_| image)
+            }
+        };
+        let blocks: Vec<Option<Vec<u8>>> = match whole {
+            Ok(image) => image.chunks(bs).map(|c| Some(c.to_vec())).collect(),
             Err(_) => (0..seg_blocks)
                 .map(|b| self.read_block_retry(BlockAddr(base.0 + b as u32)))
                 .collect(),

@@ -59,6 +59,15 @@ pub struct LfsStats {
     pub rollforward_chunks: u64,
     /// Inodes recovered by roll-forward at the last mount.
     pub rollforward_inodes: u64,
+    /// Spindle partitions that did recovery work at the last parallel
+    /// roll-forward (0 when recovery ran sequentially).
+    pub recovery_partitions: u64,
+    /// Whole-segment reads recovery issued through the asynchronous
+    /// read facade (overlapped across spindles).
+    pub recovery_parallel_reads: u64,
+    /// Metadata blocks the recovery gather phase prefetched into the
+    /// cache ahead of the serial repair passes.
+    pub recovery_prefetched_blocks: u64,
     /// Log reads verified against their per-block checksum.
     pub verified_reads: u64,
     /// Checksum mismatches detected on the read path.
@@ -126,6 +135,9 @@ pub(crate) struct LfsObs {
     pub async_emergency_passes: Counter,
     pub rollforward_chunks: Counter,
     pub rollforward_inodes: Counter,
+    pub recovery_partitions: Counter,
+    pub recovery_parallel_reads: Counter,
+    pub recovery_prefetched_blocks: Counter,
     pub verified_reads: Counter,
     pub corruptions_detected: Counter,
     pub scrub_segments: Counter,
@@ -176,6 +188,9 @@ impl LfsObs {
             async_emergency_passes: c("cleaner.async.emergency_passes"),
             rollforward_chunks: c("recovery.rollforward_chunks"),
             rollforward_inodes: c("recovery.rollforward_inodes"),
+            recovery_partitions: c("recovery.partitions"),
+            recovery_parallel_reads: c("recovery.parallel_reads"),
+            recovery_prefetched_blocks: c("recovery.prefetched_blocks"),
             verified_reads: c("integrity.verified_reads"),
             corruptions_detected: c("integrity.corruptions_detected"),
             scrub_segments: c("scrub.segments"),
@@ -225,6 +240,9 @@ impl LfsObs {
             async_emergency_passes: self.async_emergency_passes.get(),
             rollforward_chunks: self.rollforward_chunks.get(),
             rollforward_inodes: self.rollforward_inodes.get(),
+            recovery_partitions: self.recovery_partitions.get(),
+            recovery_parallel_reads: self.recovery_parallel_reads.get(),
+            recovery_prefetched_blocks: self.recovery_prefetched_blocks.get(),
             verified_reads: self.verified_reads.get(),
             corruptions_detected: self.corruptions_detected.get(),
             scrub_segments: self.scrub_segments.get(),

@@ -1,0 +1,235 @@
+//! Media-fault equivalence for the fanned-out maintenance scans.
+//!
+//! `fsck` and `scrub` gained a gather phase that prefetches metadata /
+//! segment images across spindles when a recovery fan-out is
+//! configured. The contract: the gather only changes *when* blocks are
+//! read, never what the serial verify phase concludes. This table
+//! drives both maintenance passes over identical 4-spindle images with
+//! identical injected media faults — latent sector errors and silent
+//! rot, on live inode blocks and on chunk summary headers — once
+//! sequentially (`recovery_fanout = 1`) and once fanned out (`= 0`),
+//! and requires the typed outcome to match exactly: the same
+//! [`FsckReport`], the same [`ScrubReport`] (bad blocks, salvaged
+//! relocations, data-loss counts, unreadable chunks), the same errors,
+//! and the same read-only degradation decision.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use lfs_core::{FsckReport, Lfs, LfsConfig, ScrubReport};
+use sim_disk::{Clock, DiskGeometry, MediaFaultPlan, SECTOR_SIZE};
+use vfs::FileSystem;
+use volume::{StripedVolume, VolumeConfig, VolumeDisk};
+
+const SPINDLE_SECTORS: u64 = 8_192;
+const SPINDLES: usize = 4;
+
+fn cfg(fanout: usize) -> LfsConfig {
+    let mut c = LfsConfig::small_test()
+        .with_checkpoint_secs(1e9)
+        .with_recovery_fanout(fanout);
+    c.segment_align_metadata = true;
+    c
+}
+
+fn volume_cfg() -> VolumeConfig {
+    VolumeConfig::rr_segment(SPINDLES, cfg(1).segment_bytes)
+}
+
+/// A checkpointed image set with a handful of files, so the first log
+/// segments are dirty and full of live inode and data blocks.
+fn build_images() -> Vec<Vec<u8>> {
+    let clock = Clock::new();
+    let vol = StripedVolume::new(
+        DiskGeometry::tiny_test(SPINDLE_SECTORS),
+        Arc::clone(&clock),
+        volume_cfg(),
+    );
+    let mut fs =
+        Lfs::format(VolumeDisk::new(vol.into_shared()), cfg(1), clock).expect("format LFS");
+    fs.mkdir("/docs").expect("mkdir");
+    for i in 0..12 {
+        let data: Vec<u8> = (0..2048u32).map(|k| (k as u8) ^ (i as u8).wrapping_mul(29)).collect();
+        fs.write_file(&format!("/docs/f{i}"), &data).expect("write");
+    }
+    fs.sync().expect("checkpoint");
+    fs.into_device().into_images()
+}
+
+/// Maps a volume-logical sector to its (spindle, physical sector) under
+/// segment round-robin striping.
+fn locate(logical: u64) -> (usize, u64) {
+    let chunk_sectors = (cfg(1).segment_bytes / SECTOR_SIZE) as u64;
+    let chunk = logical / chunk_sectors;
+    let within = logical % chunk_sectors;
+    (
+        (chunk % SPINDLES as u64) as usize,
+        (chunk / SPINDLES as u64) * chunk_sectors + within,
+    )
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Fault {
+    /// Permanent read error (until rewritten).
+    Latent,
+    /// Silent corruption: reads succeed, bytes are wrong.
+    Rot,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Target {
+    /// The inode block holding the named file's inode — always live, so
+    /// the scrub must notice damage and take the salvage path.
+    InodeBlock,
+    /// Block 0 of the segment holding that inode block: the chunk
+    /// summary header, whose loss makes the chain unenumerable.
+    SummaryHeader,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Injection {
+    file: &'static str,
+    target: Target,
+    fault: Fault,
+}
+
+/// Everything a maintenance pass can conclude, in comparable form.
+/// Errors are stringified so `Err` outcomes participate in the
+/// equivalence too.
+type Outcome = (
+    Result<FsckReport, String>,
+    Result<ScrubReport, String>,
+    Result<FsckReport, String>,
+    bool,
+);
+
+/// One maintenance run over the shared images with `injections` armed.
+/// Victim addresses come from the inode map, so identical images always
+/// yield identical victims.
+fn run(images: Vec<Vec<u8>>, fanout: usize, injections: &[Injection]) -> Outcome {
+    let clock = Clock::new();
+    let vol = StripedVolume::from_images(
+        DiskGeometry::tiny_test(SPINDLE_SECTORS),
+        Arc::clone(&clock),
+        volume_cfg(),
+        images,
+    );
+    let shared = vol.into_shared();
+    let mut fs =
+        Lfs::mount(VolumeDisk::new(Rc::clone(&shared)), cfg(fanout), clock).expect("mount");
+
+    // Accumulate one plan per spindle: arming a plan replaces any
+    // previous one on that spindle.
+    let sectors_per_block = (fs.block_size() / SECTOR_SIZE) as u64;
+    let mut plans: BTreeMap<usize, MediaFaultPlan> = BTreeMap::new();
+    for inj in injections {
+        let ino = fs.lookup(inj.file).expect("lookup victim");
+        let inode_addr = fs.inode_map().get(ino).expect("imap entry").addr;
+        let addr = match inj.target {
+            Target::InodeBlock => inode_addr,
+            Target::SummaryHeader => {
+                let (seg, _) = fs
+                    .superblock()
+                    .seg_of(inode_addr)
+                    .expect("inode block lives in the log");
+                fs.superblock().seg_block(seg, 0)
+            }
+        };
+        let logical = addr.0 as u64 * sectors_per_block;
+        let (spindle, physical) = locate(logical);
+        let plan = plans.remove(&spindle).unwrap_or_else(|| MediaFaultPlan::new(11));
+        let plan = match inj.fault {
+            Fault::Latent => plan.latent(physical),
+            Fault::Rot => plan.rot(physical),
+        };
+        plans.insert(spindle, plan);
+    }
+    for (spindle, plan) in plans {
+        shared
+            .borrow_mut()
+            .spindle_mut(spindle)
+            .disk_mut()
+            .inject_media_faults(plan);
+    }
+
+    let fsck_before = fs.fsck().map_err(|e| format!("{e:?}"));
+    let scrub = fs.scrub().map_err(|e| format!("{e:?}"));
+    let fsck_after = fs.fsck().map_err(|e| format!("{e:?}"));
+    let read_only = fs.is_read_only();
+    (fsck_before, scrub, fsck_after, read_only)
+}
+
+/// True when some pass noticed the damage — guards the equality from
+/// passing vacuously on a fault that nothing ever read.
+fn noticed(outcome: &Outcome) -> bool {
+    let (fsck_before, scrub, fsck_after, read_only) = outcome;
+    *read_only
+        || fsck_before.as_ref().map_or(true, |r| !r.is_clean())
+        || scrub.as_ref().map_or(true, |r| !r.is_clean())
+        || fsck_after.as_ref().map_or(true, |r| !r.is_clean())
+}
+
+/// The table: fault kind × victim blocks. Inode blocks exercise the
+/// bad-block / salvage path; summary headers the unreadable-chunk path.
+#[test]
+fn fanned_out_maintenance_matches_sequential_on_damaged_media() {
+    use Fault::*;
+    use Target::*;
+    let cases: &[(&str, &[Injection])] = &[
+        (
+            "latent inode block",
+            &[Injection { file: "/docs/f3", target: InodeBlock, fault: Latent }],
+        ),
+        (
+            "rotted inode block",
+            &[Injection { file: "/docs/f7", target: InodeBlock, fault: Rot }],
+        ),
+        (
+            "latent summary header",
+            &[Injection { file: "/docs/f0", target: SummaryHeader, fault: Latent }],
+        ),
+        (
+            "latent inode blocks of two files",
+            &[
+                Injection { file: "/docs/f1", target: InodeBlock, fault: Latent },
+                Injection { file: "/docs/f11", target: InodeBlock, fault: Latent },
+            ],
+        ),
+        (
+            "rot plus latent summary header",
+            &[
+                Injection { file: "/docs/f5", target: InodeBlock, fault: Rot },
+                Injection { file: "/docs/f9", target: SummaryHeader, fault: Latent },
+            ],
+        ),
+    ];
+    let images = build_images();
+    for (name, injections) in cases {
+        let seq = run(images.clone(), 1, injections);
+        let par = run(images.clone(), 0, injections);
+        assert_eq!(
+            seq, par,
+            "{name}: fanned-out maintenance outcome diverged from sequential"
+        );
+        assert!(
+            noticed(&seq),
+            "{name}: no maintenance pass noticed the injected fault ({seq:?})"
+        );
+    }
+}
+
+/// Healthy-media control: both modes agree on a clean volume too, and
+/// neither flags anything.
+#[test]
+fn fanned_out_maintenance_matches_sequential_on_healthy_media() {
+    let images = build_images();
+    let seq = run(images.clone(), 1, &[]);
+    let par = run(images, 0, &[]);
+    assert_eq!(seq, par);
+    let (fsck_before, scrub, fsck_after, read_only) = seq;
+    assert!(fsck_before.expect("fsck").is_clean());
+    assert!(scrub.expect("scrub").is_clean());
+    assert!(fsck_after.expect("fsck").is_clean());
+    assert!(!read_only, "clean volume must not degrade to read-only");
+}

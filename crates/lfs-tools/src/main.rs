@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! lfs-tools mkfs  <image> [--size-mb N]        format a new volume
-//! lfs-tools fsck  <image> [--size-mb N]        check consistency
-//! lfs-tools verify <image> [--size-mb N]       scrub: verify block checksums
+//! lfs-tools fsck  <image> [--size-mb N] [--parallel N]   check consistency
+//! lfs-tools verify <image> [--size-mb N] [--parallel N]  scrub: verify block checksums
 //! lfs-tools dumpfs <image> [--size-mb N] [-v]  inspect on-disk structures
 //! lfs-tools clean <image> [--size-mb N] --target N   run the cleaner
 //! lfs-tools df    <image>                      segment-level space report
@@ -42,6 +42,13 @@
 //! with no operator action, exactly as a production mount would.
 //! `status` reports each spindle's serving state, the monitor's verdict
 //! (when one is armed), and its observed/model service-time inflation.
+//!
+//! `--parallel N` sets the maintenance fan-out: mount-time roll-forward
+//! and the fsck / verify gather phases keep up to N reads in flight
+//! (`--parallel 0` asks the device — one per spindle of a striped
+//! array). The default, 1, is the classic sequential scan. The fan-out
+//! only overlaps reads; every verdict is identical to the sequential
+//! one.
 //!
 //! `--cache-stats` (on `status` and `verify`) mounts the file system and
 //! prints the memory manager's report after the command's work: policy,
@@ -83,6 +90,7 @@ struct Opts {
     cache_stats: bool,
     verbose: bool,
     target: usize,
+    parallel: usize,
     rest: Vec<String>,
 }
 
@@ -97,6 +105,7 @@ fn parse(args: &[String]) -> Option<Opts> {
         cache_stats: false,
         verbose: false,
         target: 8,
+        parallel: 1,
         rest: Vec::new(),
     };
     let mut it = args.iter().peekable();
@@ -110,6 +119,7 @@ fn parse(args: &[String]) -> Option<Opts> {
             "--hot-spare" => opts.hot_spares = it.next()?.parse().ok()?,
             "--cache-stats" => opts.cache_stats = true,
             "--target" => opts.target = it.next()?.parse().ok()?,
+            "--parallel" => opts.parallel = it.next()?.parse().ok()?,
             "-v" | "--verbose" => opts.verbose = true,
             _ => positional.push(arg.clone()),
         }
@@ -125,7 +135,9 @@ fn parse(args: &[String]) -> Option<Opts> {
 /// crash mid-command never leaves a row whose XOR is stale across
 /// committed data.
 fn cli_config(opts: &Opts) -> LfsConfig {
-    let base = LfsConfig::paper().with_cache_bytes(2 * 1024 * 1024);
+    let base = LfsConfig::paper()
+        .with_cache_bytes(2 * 1024 * 1024)
+        .with_recovery_fanout(opts.parallel);
     if opts.spindles > 1 && opts.policy.is_parity() {
         base.with_segment_aligned_metadata().with_seal_on_flush()
     } else {
@@ -443,6 +455,13 @@ fn run_cmd<B: Backing>(command: &str, opts: &Opts, backing: B) -> Result<(), Str
             let mut fs = mount(&backing)?;
             let report = fs.fsck().map_err(|e| format!("fsck failed: {e}"))?;
             println!("{report}");
+            if opts.parallel != 1 {
+                let stats = fs.stats();
+                println!(
+                    "parallel scan: {} reads overlapped, {} roll-forward partitions",
+                    stats.recovery_parallel_reads, stats.recovery_partitions
+                );
+            }
             if report.is_clean() {
                 Ok(())
             } else {

@@ -646,6 +646,15 @@ impl MemMgr {
         self.map.contains_key(&key)
     }
 
+    /// Looks up a block without touching recency, hit/miss stats, or
+    /// pool membership. For maintenance passes (recovery's metadata
+    /// gather) that must not perturb the cache's observable behaviour.
+    pub fn peek(&self, key: BlockKey) -> Option<&[u8]> {
+        self.map
+            .get(&key)
+            .map(|&idx| &*self.slots[idx as usize].as_ref().expect("live slot").data)
+    }
+
     /// Returns true if the block is cached and dirty.
     pub fn is_dirty(&self, key: BlockKey) -> bool {
         self.map

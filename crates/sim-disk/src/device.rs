@@ -130,6 +130,71 @@ pub trait BlockDevice {
     fn finish_read_async(&mut self, _token: u64) -> DiskResult<Vec<u8>> {
         Err(DiskError::Crashed)
     }
+
+    /// Number of independently seeking spindles behind this device: the
+    /// useful concurrency for overlapped maintenance reads (recovery,
+    /// fsck, scrub). Plain devices report 1; a striped volume reports
+    /// its spindle count.
+    fn fanout(&self) -> usize {
+        1
+    }
+
+    /// Which spindle (in `0..fanout()`) serves `sector`. Callers use
+    /// this to partition a batch of reads so each spindle's queue stays
+    /// sequential while the spindles overlap. Plain devices map
+    /// everything to spindle 0.
+    fn spindle_of(&self, _sector: u64) -> usize {
+        0
+    }
+}
+
+/// Issues a batch of reads with at most `window` in flight, claiming
+/// completions in submission order.
+///
+/// Each request is `(sector, len)` and each is annotated with `label`
+/// before submission. On a device with an asynchronous read path the
+/// window keeps up to `window` reads outstanding, so a multi-spindle
+/// device overlaps them in virtual time; a device without one falls
+/// back to synchronous reads in place, making `window = 1` (or a plain
+/// disk) byte- and time-identical to a sequential read loop.
+///
+/// Returns the per-request results in request order, plus how many
+/// reads actually went through the asynchronous path.
+pub fn read_batch<D: BlockDevice + ?Sized>(
+    dev: &mut D,
+    label: &'static str,
+    window: usize,
+    reqs: &[(u64, usize)],
+) -> (Vec<DiskResult<Vec<u8>>>, u64) {
+    let window = window.max(1);
+    let mut out: Vec<Option<DiskResult<Vec<u8>>>> = reqs.iter().map(|_| None).collect();
+    let mut pending: std::collections::VecDeque<(usize, u64)> = std::collections::VecDeque::new();
+    let mut overlapped = 0u64;
+    let mut next = 0usize;
+    while next < reqs.len() || !pending.is_empty() {
+        while next < reqs.len() && pending.len() < window {
+            let (sector, len) = reqs[next];
+            dev.annotate(label);
+            match dev.start_read_async(sector, len) {
+                Some(token) => {
+                    pending.push_back((next, token));
+                    overlapped += 1;
+                }
+                None => {
+                    let mut buf = vec![0u8; len];
+                    out[next] = Some(dev.read(sector, &mut buf).map(|_| buf));
+                }
+            }
+            next += 1;
+        }
+        if let Some((idx, token)) = pending.pop_front() {
+            out[idx] = Some(dev.finish_read_async(token));
+        }
+    }
+    (
+        out.into_iter().map(|r| r.expect("read_batch slot")).collect(),
+        overlapped,
+    )
 }
 
 /// Validates a request against device capacity and sector alignment.

@@ -1804,6 +1804,19 @@ impl BlockDevice for VolumeDisk {
     fn finish_read_async(&mut self, token: u64) -> DiskResult<Vec<u8>> {
         self.0.borrow_mut().finish_read_async(token)
     }
+
+    fn fanout(&self) -> usize {
+        self.0.borrow().spindle_count()
+    }
+
+    fn spindle_of(&self, sector: u64) -> usize {
+        let volume = self.0.borrow();
+        volume
+            .split(sector, 1)
+            .first()
+            .map(|sub| sub.spindle)
+            .unwrap_or(0)
+    }
 }
 
 impl RequestEngine for VolumeDisk {
